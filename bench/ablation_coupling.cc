@@ -1,0 +1,76 @@
+// Ablation: the Pr{g1, g2} frequency-coupling choice (Section V-B discusses
+// both). Generates two corpora pairs — one with independently drawn
+// shared-value frequencies, one where each shared good value realizes the
+// SAME frequency in both databases — and scores both model couplings
+// against the actual IDJN output on each. The matching coupling should win
+// on its corpus.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/join_models.h"
+
+using namespace iejoin;  // NOLINT — benchmark binary
+
+namespace {
+
+void RunCase(const char* name, bool correlated) {
+  WorkbenchConfig config;
+  config.scenario.relation1.num_documents = 6000;
+  config.scenario.relation2.num_documents = 6000;
+  config.scenario.correlate_shared_good_frequencies = correlated;
+  auto bench = Workbench::Create(config);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "%s\n", bench.status().ToString().c_str());
+    return;
+  }
+
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  auto executor = CreateJoinExecutor(plan, (*bench)->resources());
+  if (!executor.ok()) return;
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  auto result = (*executor)->Run(options);
+  if (!result.ok()) return;
+  const double actual =
+      static_cast<double>(result->final_point.good_join_tuples);
+
+  auto params = (*bench)->OracleParams(0.4, 0.4, false);
+  if (!params.ok()) return;
+  const PlanEffort full{6000, 6000};
+  JoinModelParams independent = *params;
+  independent.coupling = FrequencyCoupling::kIndependent;
+  JoinModelParams identical = *params;
+  identical.coupling = FrequencyCoupling::kIdentical;
+  const double est_ind =
+      EstimateIdjn(independent, plan.retrieval1, plan.retrieval2, full,
+                   (*bench)->config().costs, (*bench)->config().costs)
+          .expected_good;
+  const double est_idn =
+      EstimateIdjn(identical, plan.retrieval1, plan.retrieval2, full,
+                   (*bench)->config().costs, (*bench)->config().costs)
+          .expected_good;
+  const double err_ind = std::fabs(est_ind - actual) / actual;
+  const double err_idn = std::fabs(est_idn - actual) / actual;
+  std::printf("%-22s | %9.0f | %12.0f (%4.1f%%) | %12.0f (%4.1f%%) | %s\n", name,
+              actual, est_ind, 100.0 * err_ind, est_idn, 100.0 * err_idn,
+              err_ind < err_idn ? "independent" : "identical");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Frequency-coupling ablation: actual vs model good tuples at "
+              "full IDJN effort\n");
+  std::printf("%-22s | %9s | %21s | %21s | %s\n", "corpus", "actual",
+              "est (independent)", "est (identical)", "better");
+  RunCase("independent-freqs", /*correlated=*/false);
+  RunCase("correlated-freqs", /*correlated=*/true);
+  std::printf("\n# The coupling matching the corpus's generation regime should "
+              "carry the lower error.\n");
+  return 0;
+}

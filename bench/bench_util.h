@@ -1,0 +1,50 @@
+#ifndef IEJOIN_BENCH_BENCH_UTIL_H_
+#define IEJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/workbench.h"
+
+namespace iejoin {
+namespace bench {
+
+/// Builds the paper-like HQ ⋈ EX workbench every experiment binary uses;
+/// aborts with a message on failure (bench binaries have no recovery path).
+inline std::unique_ptr<Workbench> MakePaperWorkbench() {
+  WorkbenchConfig config;
+  auto bench = Workbench::Create(config);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "failed to build workbench: %s\n",
+                 bench.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(bench).value();
+}
+
+/// Finds the last trajectory point with docs_processed1 <= target (the
+/// state of the execution when ~target documents had been processed on
+/// side 1).
+inline const TrajectoryPoint& PointAtDocs1(const JoinExecutionResult& result,
+                                           int64_t target) {
+  const TrajectoryPoint* best = &result.trajectory.front();
+  for (const TrajectoryPoint& p : result.trajectory) {
+    if (p.docs_processed1 <= target) best = &p;
+  }
+  return *best;
+}
+
+/// Same, keyed on total queries issued.
+inline const TrajectoryPoint& PointAtQueries(const JoinExecutionResult& result,
+                                             int64_t target) {
+  const TrajectoryPoint* best = &result.trajectory.front();
+  for (const TrajectoryPoint& p : result.trajectory) {
+    if (p.queries1 + p.queries2 <= target) best = &p;
+  }
+  return *best;
+}
+
+}  // namespace bench
+}  // namespace iejoin
+
+#endif  // IEJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,95 @@
+// Reproduces Figure 11: estimated vs. actual number of (a) good and (b) bad
+// join tuples for HQ ⋈ EX using ZGJN at minSim = 0.4, as a function of the
+// percentage of documents processed (of each run's own total — the model
+// and the execution saturate at different depths, like the paper's).
+//
+// Expected shape: good estimates follow the actuals' growth; bad estimates
+// overestimate — the model assumes no query ever stalls (Section VII
+// discusses exactly this effect).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "model/join_models.h"
+
+using namespace iejoin;  // NOLINT — benchmark binary
+
+int main() {
+  auto bench = bench::MakePaperWorkbench();
+
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kZigZag;
+  plan.theta1 = 0.4;
+  plan.theta2 = 0.4;
+
+  auto executor = CreateJoinExecutor(plan, bench->resources());
+  if (!executor.ok()) {
+    std::fprintf(stderr, "%s\n", executor.status().ToString().c_str());
+    return 1;
+  }
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  options.seed_values = bench->ZgjnSeeds(4);
+  options.snapshot_every_docs = 8;
+  auto result = (*executor)->Run(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  auto params = bench->OracleParams(plan.theta1, plan.theta2,
+                                    /*include_zgjn_pgfs=*/true);
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ZgjnModelPoint> model = SimulateZgjn(
+      *params, /*num_seeds=*/4, /*max_rounds=*/64, bench->config().costs,
+      bench->config().costs);
+  if (model.empty()) {
+    std::fprintf(stderr, "model produced no points\n");
+    return 1;
+  }
+
+  const double act_total = static_cast<double>(
+      result->final_point.docs_processed1 + result->final_point.docs_processed2);
+  const double est_total = model.back().docs1 + model.back().docs2;
+
+  auto model_at = [&](double docs) -> const ZgjnModelPoint& {
+    const ZgjnModelPoint* best = &model.front();
+    for (const ZgjnModelPoint& p : model) {
+      if (p.docs1 + p.docs2 <= docs) best = &p;
+    }
+    return *best;
+  };
+  auto actual_at = [&](double docs) -> const TrajectoryPoint& {
+    const TrajectoryPoint* best = &result->trajectory.front();
+    for (const TrajectoryPoint& p : result->trajectory) {
+      if (static_cast<double>(p.docs_processed1 + p.docs_processed2) <= docs) {
+        best = &p;
+      }
+    }
+    return *best;
+  };
+
+  std::printf("# Figure 11: ZGJN (minSim=0.4) — estimated vs actual\n");
+  std::printf("# actual run: %lld docs processed, %lld queries; model: %.0f docs\n",
+              static_cast<long long>(result->final_point.docs_processed1 +
+                                     result->final_point.docs_processed2),
+              static_cast<long long>(result->final_point.queries1 +
+                                     result->final_point.queries2),
+              est_total);
+  std::printf("%8s %14s %14s %14s %14s\n", "pct_docs", "est_good", "act_good",
+              "est_bad", "act_bad");
+  for (int pct = 10; pct <= 100; pct += 10) {
+    const ZgjnModelPoint& est = model_at(est_total * pct / 100.0);
+    const TrajectoryPoint& act = actual_at(act_total * pct / 100.0);
+    std::printf("%7d%% %14.0f %14lld %14.0f %14lld\n", pct,
+                est.estimate.expected_good,
+                static_cast<long long>(act.good_join_tuples),
+                est.estimate.expected_bad,
+                static_cast<long long>(act.bad_join_tuples));
+  }
+  return 0;
+}

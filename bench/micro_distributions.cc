@@ -1,0 +1,98 @@
+// Microbenchmarks (google-benchmark) for the probability kernels the
+// models evaluate in their inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "distributions/binomial.h"
+#include "distributions/generating_function.h"
+#include "distributions/hypergeometric.h"
+#include "distributions/power_law.h"
+#include "estimation/mixture_mle.h"
+
+namespace iejoin {
+namespace {
+
+void BM_BinomialPmf(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(binomial::Pmf(200, k % 200, 0.37));
+    ++k;
+  }
+}
+BENCHMARK(BM_BinomialPmf);
+
+void BM_HypergeometricPmf(benchmark::State& state) {
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypergeometric::Pmf(12000, 5000, 3000, 1200 + k % 100));
+    ++k;
+  }
+}
+BENCHMARK(BM_HypergeometricPmf);
+
+void BM_PowerLawConstruction(benchmark::State& state) {
+  const int64_t max_value = state.range(0);
+  for (auto _ : state) {
+    PowerLaw law(1.75, max_value);
+    benchmark::DoNotOptimize(law.Mean());
+  }
+}
+BENCHMARK(BM_PowerLawConstruction)->Arg(64)->Arg(400);
+
+void BM_PowerLawSample(benchmark::State& state) {
+  const PowerLaw law(1.75, 400);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(law.Sample(&rng));
+  }
+}
+BENCHMARK(BM_PowerLawSample);
+
+void BM_PowerLawMleFit(benchmark::State& state) {
+  const PowerLaw law(1.75, 200);
+  Rng rng(42);
+  const std::vector<int64_t> samples = law.SampleMany(2000, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitPowerLawExponent(samples, 200));
+  }
+}
+BENCHMARK(BM_PowerLawMleFit);
+
+void BM_ThinnedPowerLawPmf(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThinnedPowerLawPmf(1.6, state.range(0), 0.3, 40));
+  }
+}
+BENCHMARK(BM_ThinnedPowerLawPmf)->Arg(100)->Arg(400);
+
+void BM_PgfPower(benchmark::State& state) {
+  auto f = GeneratingFunction::FromPmf({0.2, 0.3, 0.3, 0.2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->Power(state.range(0), 256));
+  }
+}
+BENCHMARK(BM_PgfPower)->Arg(8)->Arg(64);
+
+void BM_PgfCompose(benchmark::State& state) {
+  auto f = GeneratingFunction::FromPmf(std::vector<double>(32, 1.0 / 32.0));
+  auto g = GeneratingFunction::FromPmf(std::vector<double>(32, 1.0 / 32.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f->Compose(*g, 256));
+  }
+}
+BENCHMARK(BM_PgfCompose);
+
+void BM_PgfEdgeBiasedMean(benchmark::State& state) {
+  auto f = GeneratingFunction::FromPmf(std::vector<double>(200, 1.0 / 200.0));
+  for (auto _ : state) {
+    auto h = f->EdgeBiased();
+    benchmark::DoNotOptimize(h->Mean());
+  }
+}
+BENCHMARK(BM_PgfEdgeBiasedMean);
+
+}  // namespace
+}  // namespace iejoin
+
+BENCHMARK_MAIN();

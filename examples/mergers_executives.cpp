@@ -1,0 +1,102 @@
+// The paper's Example 1.1: join Mergers(Company, MergedWith) extracted from
+// a financial blog with Executives(Company, CEO) extracted from a newspaper
+// archive, and watch how extraction errors propagate into the join output.
+//
+// This example renders real generated document text, runs the Snowball
+// extractors over it, and shows good and bad join tuples side by side.
+
+#include <cstdio>
+
+#include "harness/workbench.h"
+
+using namespace iejoin;  // NOLINT — example code
+
+int main() {
+  WorkbenchConfig config;
+  config.scenario = ScenarioSpec::Small();
+  config.scenario.relation1.name = "Mergers";
+  config.scenario.relation1.database_name = "SeekingAlpha";
+  config.scenario.relation1.second_entity = TokenType::kCompany;
+  config.scenario.relation2.name = "Executives";
+  config.scenario.relation2.database_name = "WSJ";
+  config.scenario.relation2.second_entity = TokenType::kPerson;
+
+  auto bench_or = Workbench::Create(config);
+  if (!bench_or.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench_or.status().ToString().c_str());
+    return 1;
+  }
+  const Workbench& bench = **bench_or;
+  const Vocabulary& vocab = bench.scenario().corpus1->vocabulary();
+
+  // Show a real document and what the IE system extracts from it.
+  std::printf("=== A %s document and its extractions (minSim=0.4) ===\n",
+              bench.database1().name().c_str());
+  const auto extractor = bench.extractor1().WithTheta(0.4);
+  int shown = 0;
+  for (const Document& doc : bench.scenario().corpus1->documents()) {
+    const ExtractionBatch batch = extractor->Process(doc);
+    if (batch.empty() || shown >= 1) continue;
+    ++shown;
+    std::string text = bench.scenario().corpus1->RenderText(doc.id);
+    if (text.size() > 400) text = text.substr(0, 400) + "...";
+    std::printf("doc %d: %s\n", doc.id, text.c_str());
+    for (const ExtractedTuple& t : batch) {
+      std::printf("  -> Mergers<%s, %s>  sim=%.2f  [%s]\n",
+                  vocab.Text(t.join_value).c_str(),
+                  vocab.Text(t.second_value).c_str(), t.similarity,
+                  t.ground_truth_good ? "correct" : "EXTRACTION ERROR");
+    }
+  }
+
+  // Run the full join and materialize some output.
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  auto executor = CreateJoinExecutor(plan, bench.resources());
+  if (!executor.ok()) return 1;
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  options.max_output_tuples = 100000;
+  auto result = (*executor)->Run(options);
+  if (!result.ok()) return 1;
+
+  std::printf("\n=== Mergers ⋈ Executives, full IDJN execution ===\n");
+  std::printf("join output: %lld good tuples, %lld bad tuples\n",
+              static_cast<long long>(result->final_point.good_join_tuples),
+              static_cast<long long>(result->final_point.bad_join_tuples));
+
+  std::printf("\nGood join tuples (company merged with X; CEO Y):\n");
+  int good_shown = 0;
+  int bad_shown = 0;
+  for (const JoinOutputTuple& t : result->state.output()) {
+    if (t.is_good && good_shown < 4) {
+      ++good_shown;
+      std::printf("  <%s, %s, %s>\n", vocab.Text(t.join_value).c_str(),
+                  vocab.Text(t.second1).c_str(), vocab.Text(t.second2).c_str());
+    }
+  }
+  std::printf("\nBad join tuples (at least one side was an extraction error —\n"
+              "the paper's <Microsoft, Symantec, Steve Ballmer> effect):\n");
+  for (const JoinOutputTuple& t : result->state.output()) {
+    if (!t.is_good && bad_shown < 4) {
+      ++bad_shown;
+      std::printf("  <%s, %s, %s>\n", vocab.Text(t.join_value).c_str(),
+                  vocab.Text(t.second1).c_str(), vocab.Text(t.second2).c_str());
+    }
+  }
+
+  // The same join at a strict knob setting: far fewer bad tuples.
+  JoinPlanSpec strict = plan;
+  strict.theta1 = strict.theta2 = 0.8;
+  auto strict_exec = CreateJoinExecutor(strict, bench.resources());
+  if (!strict_exec.ok()) return 1;
+  auto strict_result = (*strict_exec)->Run(options);
+  if (!strict_result.ok()) return 1;
+  std::printf("\nSame join at minSim=0.8: %lld good, %lld bad — the knob\n"
+              "trades recall for precision (Section III-A).\n",
+              static_cast<long long>(strict_result->final_point.good_join_tuples),
+              static_cast<long long>(strict_result->final_point.bad_join_tuples));
+  return 0;
+}

@@ -1,0 +1,45 @@
+#ifndef IEJOIN_CLASSIFIER_DOCUMENT_CLASSIFIER_H_
+#define IEJOIN_CLASSIFIER_DOCUMENT_CLASSIFIER_H_
+
+#include "textdb/document.h"
+
+namespace iejoin {
+
+/// Decides whether a document is a promising ("good") candidate for an
+/// extraction task. Filtered Scan (Section III-B) interposes such a
+/// classifier between retrieval and extraction; the paper used a Ripper
+/// rule classifier. Classifiers are imperfect and characterized by their
+/// true-positive rate C_tp and false-positive rate C_fp.
+class DocumentClassifier {
+ public:
+  virtual ~DocumentClassifier() = default;
+
+  /// True when the classifier predicts the document will yield good tuples.
+  virtual bool IsLikelyGood(const Document& doc) const = 0;
+};
+
+/// Measured classifier quality on a labeled corpus. Following the paper's
+/// definition, C_fp is the acceptance rate over *bad* documents (documents
+/// yielding only bad tuples); empty documents' acceptance rate is tracked
+/// separately because it affects execution time but not output quality.
+struct ClassifierCharacterization {
+  /// C_tp: fraction of good documents accepted.
+  double true_positive_rate = 0.0;
+  /// C_fp: fraction of bad documents accepted.
+  double false_positive_rate = 0.0;
+  /// Fraction of empty documents accepted.
+  double empty_acceptance_rate = 0.0;
+
+  /// Occurrence-weighted rates: the probability that the document hosting a
+  /// given good (resp. bad) tuple occurrence is accepted. These exceed the
+  /// per-document rates when acceptance correlates with how many mentions a
+  /// document carries (mention-rich documents look "gooder" to any text
+  /// classifier); the quality model consumes these, while the per-document
+  /// rates drive the time model.
+  double good_occurrence_acceptance = 0.0;
+  double bad_occurrence_acceptance = 0.0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_CLASSIFIER_DOCUMENT_CLASSIFIER_H_

@@ -1,0 +1,180 @@
+#include "classifier/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace iejoin {
+namespace {
+
+/// Unique non-punctuation tokens of a document.
+std::vector<TokenId> UniqueTokens(const Document& doc) {
+  std::vector<TokenId> tokens = doc.tokens;
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  tokens.erase(std::remove(tokens.begin(), tokens.end(), Vocabulary::kSentenceEnd),
+               tokens.end());
+  return tokens;
+}
+
+}  // namespace
+
+NaiveBayesClassifier::NaiveBayesClassifier(
+    double prior_log_odds, double bias,
+    std::unordered_map<TokenId, double> token_log_odds)
+    : prior_log_odds_(prior_log_odds),
+      bias_(bias),
+      token_log_odds_(std::move(token_log_odds)) {}
+
+Result<std::unique_ptr<NaiveBayesClassifier>> NaiveBayesClassifier::Train(
+    const Corpus& training_corpus, double bias) {
+  int64_t num_pos = 0;
+  int64_t num_neg = 0;
+  std::unordered_map<TokenId, int64_t> pos_docs_with;
+  std::unordered_map<TokenId, int64_t> neg_docs_with;
+
+  for (const Document& doc : training_corpus.documents()) {
+    const bool positive = ClassifyByGroundTruth(doc) == DocumentClass::kGood;
+    if (positive) {
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+    for (TokenId t : UniqueTokens(doc)) {
+      if (positive) {
+        ++pos_docs_with[t];
+      } else {
+        ++neg_docs_with[t];
+      }
+    }
+  }
+  if (num_pos == 0 || num_neg == 0) {
+    return Status::FailedPrecondition(
+        "training corpus must contain both good and non-good documents");
+  }
+
+  // Bernoulli NB with Laplace smoothing; we keep only the presence term
+  // (absence terms mostly cancel for the short documents we classify and
+  // keeping them would make scoring O(vocabulary)).
+  std::unordered_map<TokenId, double> log_odds;
+  const double pos_denom = static_cast<double>(num_pos) + 2.0;
+  const double neg_denom = static_cast<double>(num_neg) + 2.0;
+  auto add_tokens = [&](const std::unordered_map<TokenId, int64_t>& counts) {
+    for (const auto& [token, unused] : counts) {
+      (void)unused;
+      if (log_odds.count(token) > 0) continue;
+      const auto pos_it = pos_docs_with.find(token);
+      const auto neg_it = neg_docs_with.find(token);
+      const double p_pos =
+          (static_cast<double>(pos_it == pos_docs_with.end() ? 0 : pos_it->second) +
+           1.0) /
+          pos_denom;
+      const double p_neg =
+          (static_cast<double>(neg_it == neg_docs_with.end() ? 0 : neg_it->second) +
+           1.0) /
+          neg_denom;
+      log_odds[token] = std::log(p_pos) - std::log(p_neg);
+    }
+  };
+  add_tokens(pos_docs_with);
+  add_tokens(neg_docs_with);
+
+  const double prior =
+      std::log(static_cast<double>(num_pos)) - std::log(static_cast<double>(num_neg));
+  std::unique_ptr<NaiveBayesClassifier> classifier(
+      new NaiveBayesClassifier(prior, 0.0, std::move(log_odds)));
+
+  // Presence-only scoring carries a document-length bias (longer documents
+  // accumulate more positive token evidence), so a fixed threshold of 0 is
+  // meaningless. Calibrate on the training documents: pick the threshold
+  // maximizing Youden's J = C_tp - C_fp.
+  std::vector<std::pair<double, bool>> scored;
+  scored.reserve(training_corpus.documents().size());
+  for (const Document& doc : training_corpus.documents()) {
+    scored.emplace_back(classifier->Score(doc),
+                        ClassifyByGroundTruth(doc) == DocumentClass::kGood);
+  }
+  std::sort(scored.begin(), scored.end());
+  // Sweeping the threshold upward from below the minimum: start with
+  // everything accepted, drop one document at a time.
+  double accepted_pos = static_cast<double>(num_pos);
+  double accepted_neg = static_cast<double>(num_neg);
+  double best_j = accepted_pos / static_cast<double>(num_pos) -
+                  accepted_neg / static_cast<double>(num_neg);
+  double best_threshold = scored.front().first - 1.0;
+  for (size_t i = 0; i < scored.size(); ++i) {
+    if (scored[i].second) {
+      accepted_pos -= 1.0;
+    } else {
+      accepted_neg -= 1.0;
+    }
+    const double j = accepted_pos / static_cast<double>(num_pos) -
+                     accepted_neg / static_cast<double>(num_neg);
+    if (j > best_j) {
+      best_j = j;
+      // Threshold just above this document's score.
+      best_threshold = scored[i].first + 1e-9;
+    }
+  }
+  classifier->bias_ = best_threshold + bias;
+  return classifier;
+}
+
+double NaiveBayesClassifier::Score(const Document& doc) const {
+  double score = prior_log_odds_;
+  for (TokenId t : UniqueTokens(doc)) {
+    const auto it = token_log_odds_.find(t);
+    if (it != token_log_odds_.end()) score += it->second;
+  }
+  return score;
+}
+
+bool NaiveBayesClassifier::IsLikelyGood(const Document& doc) const {
+  return Score(doc) >= bias_;
+}
+
+ClassifierCharacterization CharacterizeClassifier(const DocumentClassifier& classifier,
+                                                  const Corpus& corpus) {
+  int64_t totals[3] = {0, 0, 0};
+  int64_t accepted[3] = {0, 0, 0};
+  int64_t good_occ_total = 0;
+  int64_t good_occ_accepted = 0;
+  int64_t bad_occ_total = 0;
+  int64_t bad_occ_accepted = 0;
+  for (const Document& doc : corpus.documents()) {
+    const int cls = static_cast<int>(ClassifyByGroundTruth(doc));
+    const bool is_accepted = classifier.IsLikelyGood(doc);
+    ++totals[cls];
+    accepted[cls] += is_accepted ? 1 : 0;
+    for (const PlantedMention& m : doc.mentions) {
+      if (m.is_good) {
+        ++good_occ_total;
+        good_occ_accepted += is_accepted ? 1 : 0;
+      } else {
+        ++bad_occ_total;
+        bad_occ_accepted += is_accepted ? 1 : 0;
+      }
+    }
+  }
+  auto rate = [&](DocumentClass cls) {
+    const int i = static_cast<int>(cls);
+    return totals[i] == 0 ? 0.0
+                          : static_cast<double>(accepted[i]) /
+                                static_cast<double>(totals[i]);
+  };
+  ClassifierCharacterization out;
+  out.true_positive_rate = rate(DocumentClass::kGood);
+  out.false_positive_rate = rate(DocumentClass::kBad);
+  out.empty_acceptance_rate = rate(DocumentClass::kEmpty);
+  out.good_occurrence_acceptance =
+      good_occ_total == 0 ? 0.0
+                          : static_cast<double>(good_occ_accepted) /
+                                static_cast<double>(good_occ_total);
+  out.bad_occurrence_acceptance =
+      bad_occ_total == 0 ? 0.0
+                         : static_cast<double>(bad_occ_accepted) /
+                               static_cast<double>(bad_occ_total);
+  return out;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,50 @@
+#ifndef IEJOIN_CLASSIFIER_NAIVE_BAYES_H_
+#define IEJOIN_CLASSIFIER_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "classifier/document_classifier.h"
+#include "common/status.h"
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+/// Bernoulli naive-Bayes document classifier over token presence, our
+/// substitute for the paper's Ripper rule classifier (both are cheap,
+/// imperfect, trained-offline document filters; the Filtered Scan model
+/// consumes only the measured C_tp / C_fp).
+class NaiveBayesClassifier : public DocumentClassifier {
+ public:
+  /// Trains on a labeled corpus: documents whose ground-truth class is
+  /// kGood are positives, everything else negatives. The decision threshold
+  /// is calibrated on the training documents to maximize Youden's J
+  /// (C_tp - C_fp); `bias` shifts it in log-odds space (negative values
+  /// accept more documents).
+  static Result<std::unique_ptr<NaiveBayesClassifier>> Train(
+      const Corpus& training_corpus, double bias = 0.0);
+
+  bool IsLikelyGood(const Document& doc) const override;
+
+  /// Log-odds score log P(good | doc) - log P(not good | doc); exposed for
+  /// tests and threshold tuning.
+  double Score(const Document& doc) const;
+
+ private:
+  NaiveBayesClassifier(double prior_log_odds, double bias,
+                       std::unordered_map<TokenId, double> token_log_odds);
+
+  double prior_log_odds_;
+  double bias_;
+  /// Per-token contribution for tokens *present* in a document.
+  std::unordered_map<TokenId, double> token_log_odds_;
+};
+
+/// Measures C_tp / C_fp of any classifier on a labeled corpus.
+ClassifierCharacterization CharacterizeClassifier(const DocumentClassifier& classifier,
+                                                  const Corpus& corpus);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_CLASSIFIER_NAIVE_BAYES_H_

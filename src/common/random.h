@@ -1,0 +1,60 @@
+#ifndef IEJOIN_COMMON_RANDOM_H_
+#define IEJOIN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace iejoin {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256**), seeded via
+/// splitmix64. Every stochastic component in the library takes an explicit
+/// seed so experiment runs are bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Binomial(n, p) sample, exact inversion for small n and normal
+  /// approximation with rejection touch-up for large n * p.
+  int64_t Binomial(int64_t n, double p);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+
+  /// Spawns an independent generator; deterministic in (this stream, salt).
+  Rng Fork(uint64_t salt);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples an index from unnormalized non-negative weights.
+  /// Returns -1 when all weights are zero.
+  int64_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_RANDOM_H_

@@ -1,0 +1,12 @@
+#include "common/sim_clock.h"
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+void SimClock::Advance(double seconds) {
+  IEJOIN_DCHECK(seconds >= 0.0) << "negative time advance: " << seconds;
+  seconds_ += seconds;
+}
+
+}  // namespace iejoin

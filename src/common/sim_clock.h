@@ -1,0 +1,27 @@
+#ifndef IEJOIN_COMMON_SIM_CLOCK_H_
+#define IEJOIN_COMMON_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace iejoin {
+
+/// Deterministic simulated clock. Execution-time comparisons between join
+/// plans (Table II) are made on simulated seconds charged by the cost model,
+/// not wall-clock time, so runs are exactly reproducible.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  /// Advances the clock; negative durations are a programmer error.
+  void Advance(double seconds);
+
+  double seconds() const { return seconds_; }
+  void Reset() { seconds_ = 0.0; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_SIM_CLOCK_H_

@@ -1,0 +1,122 @@
+#ifndef IEJOIN_COMMON_STATUS_H_
+#define IEJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace iejoin {
+
+/// Error categories used across the library. Library code never throws;
+/// recoverable failures are reported through Status / Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, modeled after absl::Status.
+///
+/// Functions that can fail for reasons other than programmer error return
+/// Status (or Result<T> when they also produce a value). Callers must check
+/// ok() before relying on any side effects.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing value() on an error
+/// result is a fatal programmer error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error keeps call sites terse
+  /// (mirrors absl::StatusOr).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : data_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates an error status from an expression that yields a Status.
+#define IEJOIN_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::iejoin::Status _status = (expr);               \
+    if (!_status.ok()) return _status;               \
+  } while (false)
+
+/// Evaluates a Result<T> expression, assigning the value to `lhs` or
+/// propagating the error.
+#define IEJOIN_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto IEJOIN_CONCAT_(_result_, __LINE__) = (expr);  \
+  if (!IEJOIN_CONCAT_(_result_, __LINE__).ok())      \
+    return IEJOIN_CONCAT_(_result_, __LINE__).status(); \
+  lhs = std::move(IEJOIN_CONCAT_(_result_, __LINE__)).value()
+
+#define IEJOIN_CONCAT_INNER_(a, b) a##b
+#define IEJOIN_CONCAT_(a, b) IEJOIN_CONCAT_INNER_(a, b)
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_STATUS_H_

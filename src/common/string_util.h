@@ -1,0 +1,29 @@
+#ifndef IEJOIN_COMMON_STRING_UTIL_H_
+#define IEJOIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iejoin {
+
+/// Splits on a single-character delimiter; empty pieces are kept.
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Splits on runs of ASCII whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lowercase.
+std::string Lowercase(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,40 @@
+#include "distributions/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "distributions/special.h"
+
+namespace iejoin {
+namespace binomial {
+
+double LogPmf(int64_t n, int64_t k, double p) {
+  IEJOIN_DCHECK(n >= 0);
+  IEJOIN_DCHECK(p >= 0.0 && p <= 1.0);
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  if (p == 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  return LogChoose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double Pmf(int64_t n, int64_t k, double p) {
+  const double lp = LogPmf(n, k, p);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+double Cdf(int64_t n, int64_t k, double p) {
+  if (k < 0) return 0.0;
+  if (k >= n) return 1.0;
+  double sum = 0.0;
+  for (int64_t i = 0; i <= k; ++i) sum += Pmf(n, i, p);
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+double Mean(int64_t n, double p) { return static_cast<double>(n) * p; }
+
+double Variance(int64_t n, double p) { return static_cast<double>(n) * p * (1.0 - p); }
+
+}  // namespace binomial
+}  // namespace iejoin

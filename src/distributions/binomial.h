@@ -1,0 +1,28 @@
+#ifndef IEJOIN_DISTRIBUTIONS_BINOMIAL_H_
+#define IEJOIN_DISTRIBUTIONS_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace iejoin {
+
+/// Bnm(n, k, p) = C(n, k) p^k (1-p)^(n-k): the probability that an IE
+/// system configured with true/false-positive rate p emits k of n candidate
+/// occurrences (paper, Section V-C). All functions are pure.
+namespace binomial {
+
+/// PMF; 0 outside support.
+double Pmf(int64_t n, int64_t k, double p);
+
+/// log PMF; -inf outside support.
+double LogPmf(int64_t n, int64_t k, double p);
+
+/// P[X <= k].
+double Cdf(int64_t n, int64_t k, double p);
+
+double Mean(int64_t n, double p);
+double Variance(int64_t n, double p);
+
+}  // namespace binomial
+}  // namespace iejoin
+
+#endif  // IEJOIN_DISTRIBUTIONS_BINOMIAL_H_

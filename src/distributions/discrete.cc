@@ -1,0 +1,71 @@
+#include "distributions/discrete.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iejoin {
+
+Result<DiscreteDistribution> DiscreteDistribution::FromWeights(
+    std::vector<double> weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("empty weight vector");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || std::isnan(w)) {
+      return Status::InvalidArgument("negative or NaN weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("zero total mass");
+  }
+  for (double& w : weights) w /= total;
+  return DiscreteDistribution(std::move(weights));
+}
+
+Result<DiscreteDistribution> DiscreteDistribution::FromSamples(
+    const std::vector<int64_t>& samples) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("empty sample vector");
+  }
+  int64_t max_seen = 0;
+  for (int64_t s : samples) {
+    if (s < 0) return Status::InvalidArgument("negative sample");
+    max_seen = std::max(max_seen, s);
+  }
+  std::vector<double> weights(static_cast<size_t>(max_seen) + 1, 0.0);
+  for (int64_t s : samples) weights[static_cast<size_t>(s)] += 1.0;
+  return FromWeights(std::move(weights));
+}
+
+double DiscreteDistribution::Pmf(int64_t k) const {
+  if (k < 0 || k >= static_cast<int64_t>(pmf_.size())) return 0.0;
+  return pmf_[static_cast<size_t>(k)];
+}
+
+double DiscreteDistribution::Mean() const {
+  double mean = 0.0;
+  for (size_t k = 0; k < pmf_.size(); ++k) mean += static_cast<double>(k) * pmf_[k];
+  return mean;
+}
+
+double DiscreteDistribution::Variance() const {
+  const double mean = Mean();
+  double ex2 = 0.0;
+  for (size_t k = 0; k < pmf_.size(); ++k) {
+    ex2 += static_cast<double>(k) * static_cast<double>(k) * pmf_[k];
+  }
+  return ex2 - mean * mean;
+}
+
+int64_t DiscreteDistribution::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  for (size_t k = 0; k < pmf_.size(); ++k) {
+    u -= pmf_[k];
+    if (u < 0.0) return static_cast<int64_t>(k);
+  }
+  return static_cast<int64_t>(pmf_.size()) - 1;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,43 @@
+#ifndef IEJOIN_DISTRIBUTIONS_DISCRETE_H_
+#define IEJOIN_DISTRIBUTIONS_DISCRETE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace iejoin {
+
+/// A finite distribution over {0, 1, ..., n-1} stored as a PMF vector.
+/// Used for empirical frequency distributions (Pr{g} in the Section V
+/// general scheme) and as the bridge to generating functions.
+class DiscreteDistribution {
+ public:
+  /// Normalizes the given non-negative weights. Fails if the total mass is
+  /// zero or any weight is negative.
+  static Result<DiscreteDistribution> FromWeights(std::vector<double> weights);
+
+  /// Builds an empirical PMF from integer observations >= 0.
+  static Result<DiscreteDistribution> FromSamples(const std::vector<int64_t>& samples);
+
+  const std::vector<double>& pmf() const { return pmf_; }
+  int64_t max_value() const { return static_cast<int64_t>(pmf_.size()) - 1; }
+
+  /// P[X = k]; 0 outside the stored range.
+  double Pmf(int64_t k) const;
+
+  double Mean() const;
+  double Variance() const;
+
+  int64_t Sample(Rng* rng) const;
+
+ private:
+  explicit DiscreteDistribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {}
+
+  std::vector<double> pmf_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_DISTRIBUTIONS_DISCRETE_H_

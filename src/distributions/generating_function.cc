@@ -1,0 +1,139 @@
+#include "distributions/generating_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+GeneratingFunction::GeneratingFunction() : coeffs_{1.0} {}
+
+GeneratingFunction::GeneratingFunction(std::vector<double> coeffs, double truncated_mass)
+    : coeffs_(std::move(coeffs)), truncated_mass_(truncated_mass) {
+  if (coeffs_.empty()) coeffs_.push_back(0.0);
+}
+
+Result<GeneratingFunction> GeneratingFunction::FromPmf(std::vector<double> pmf) {
+  if (pmf.empty()) return Status::InvalidArgument("empty pmf");
+  double total = 0.0;
+  for (double p : pmf) {
+    if (p < -1e-12 || std::isnan(p)) return Status::InvalidArgument("invalid pmf entry");
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("pmf does not sum to 1");
+  }
+  return GeneratingFunction(std::move(pmf));
+}
+
+GeneratingFunction GeneratingFunction::FromDistribution(
+    const DiscreteDistribution& dist) {
+  return GeneratingFunction(dist.pmf());
+}
+
+GeneratingFunction GeneratingFunction::PointMass(int64_t degree) {
+  IEJOIN_CHECK(degree >= 0);
+  std::vector<double> coeffs(static_cast<size_t>(degree) + 1, 0.0);
+  coeffs.back() = 1.0;
+  return GeneratingFunction(std::move(coeffs));
+}
+
+double GeneratingFunction::Evaluate(double x) const {
+  // Horner's rule.
+  double acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 0;) acc = acc * x + coeffs_[i];
+  return acc;
+}
+
+double GeneratingFunction::EvaluateDerivative(double x) const {
+  double acc = 0.0;
+  for (size_t i = coeffs_.size(); i-- > 1;) {
+    acc = acc * x + static_cast<double>(i) * coeffs_[i];
+  }
+  return acc;
+}
+
+double GeneratingFunction::Mean() const { return EvaluateDerivative(1.0); }
+
+double GeneratingFunction::Variance() const {
+  // F''(1) = E[X(X-1)]
+  double second = 0.0;
+  for (size_t i = 2; i < coeffs_.size(); ++i) {
+    second += static_cast<double>(i) * static_cast<double>(i - 1) * coeffs_[i];
+  }
+  const double mean = Mean();
+  return second + mean - mean * mean;
+}
+
+Result<GeneratingFunction> GeneratingFunction::EdgeBiased() const {
+  const double mean = Mean();
+  if (mean <= 0.0) {
+    return Status::FailedPrecondition("edge-biased distribution undefined: zero mean");
+  }
+  // H(x) = x F'(x) / F'(1): coefficient of x^k is k * p_k / mean.
+  std::vector<double> coeffs(coeffs_.size(), 0.0);
+  for (size_t k = 1; k < coeffs_.size(); ++k) {
+    coeffs[k] = static_cast<double>(k) * coeffs_[k] / mean;
+  }
+  return GeneratingFunction(std::move(coeffs), truncated_mass_);
+}
+
+GeneratingFunction GeneratingFunction::MultiplyTruncated(const GeneratingFunction& a,
+                                                         const GeneratingFunction& b,
+                                                         int64_t max_degree) {
+  const size_t cap = static_cast<size_t>(max_degree) + 1;
+  const size_t out_full = a.coeffs_.size() + b.coeffs_.size() - 1;
+  const size_t out_size = std::min(out_full, cap);
+  std::vector<double> coeffs(out_size, 0.0);
+  double kept = 0.0;
+  for (size_t i = 0; i < a.coeffs_.size(); ++i) {
+    if (a.coeffs_[i] == 0.0) continue;
+    const size_t j_max = std::min(b.coeffs_.size(), out_size > i ? out_size - i : 0);
+    for (size_t j = 0; j < j_max; ++j) {
+      coeffs[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  for (double c : coeffs) kept += c;
+  const double total_in = a.Evaluate(1.0) * b.Evaluate(1.0);
+  const double lost = std::max(0.0, total_in - kept);
+  return GeneratingFunction(std::move(coeffs),
+                            a.truncated_mass_ + b.truncated_mass_ + lost);
+}
+
+GeneratingFunction GeneratingFunction::Compose(const GeneratingFunction& g,
+                                               int64_t max_degree) const {
+  // F(G(x)) = sum_k p_k G(x)^k, evaluated with Horner over polynomials.
+  const size_t cap = static_cast<size_t>(max_degree) + 1;
+  GeneratingFunction acc(std::vector<double>{0.0});
+  for (size_t i = coeffs_.size(); i-- > 0;) {
+    acc = MultiplyTruncated(acc, g, max_degree);
+    if (coeffs_[i] != 0.0) {
+      if (acc.coeffs_.size() < 1) acc.coeffs_.resize(1, 0.0);
+      acc.coeffs_[0] += coeffs_[i];
+    }
+    (void)cap;
+  }
+  acc.truncated_mass_ += truncated_mass_;
+  return acc;
+}
+
+GeneratingFunction GeneratingFunction::Power(int64_t n, int64_t max_degree) const {
+  IEJOIN_CHECK(n >= 0);
+  GeneratingFunction result;  // = 1
+  GeneratingFunction base = *this;
+  int64_t e = n;
+  // Exponentiation by squaring with truncation at every step.
+  while (e > 0) {
+    if (e & 1) result = MultiplyTruncated(result, base, max_degree);
+    e >>= 1;
+    if (e > 0) base = MultiplyTruncated(base, base, max_degree);
+  }
+  return result;
+}
+
+double ComposedMean(const GeneratingFunction& f, const GeneratingFunction& g) {
+  return f.Mean() * g.Mean();
+}
+
+}  // namespace iejoin

@@ -1,0 +1,53 @@
+#include "distributions/hypergeometric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "distributions/special.h"
+
+namespace iejoin {
+namespace hypergeometric {
+
+double LogPmf(int64_t population, int64_t sample, int64_t marked, int64_t k) {
+  IEJOIN_DCHECK(population >= 0);
+  IEJOIN_DCHECK(sample >= 0 && sample <= population);
+  IEJOIN_DCHECK(marked >= 0 && marked <= population);
+  if (k < SupportMin(population, sample, marked) ||
+      k > SupportMax(population, sample, marked)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogChoose(marked, k) + LogChoose(population - marked, sample - k) -
+         LogChoose(population, sample);
+}
+
+double Pmf(int64_t population, int64_t sample, int64_t marked, int64_t k) {
+  const double lp = LogPmf(population, sample, marked, k);
+  return std::isinf(lp) ? 0.0 : std::exp(lp);
+}
+
+double Mean(int64_t population, int64_t sample, int64_t marked) {
+  if (population == 0) return 0.0;
+  return static_cast<double>(sample) * static_cast<double>(marked) /
+         static_cast<double>(population);
+}
+
+double Variance(int64_t population, int64_t sample, int64_t marked) {
+  if (population <= 1) return 0.0;
+  const double n = static_cast<double>(sample);
+  const double g = static_cast<double>(marked);
+  const double d = static_cast<double>(population);
+  return n * (g / d) * (1.0 - g / d) * (d - n) / (d - 1.0);
+}
+
+int64_t SupportMin(int64_t population, int64_t sample, int64_t marked) {
+  return std::max<int64_t>(0, sample + marked - population);
+}
+
+int64_t SupportMax(int64_t /*population*/, int64_t sample, int64_t marked) {
+  return std::min(sample, marked);
+}
+
+}  // namespace hypergeometric
+}  // namespace iejoin

@@ -1,0 +1,31 @@
+#ifndef IEJOIN_DISTRIBUTIONS_HYPERGEOMETRIC_H_
+#define IEJOIN_DISTRIBUTIONS_HYPERGEOMETRIC_H_
+
+#include <cstdint>
+
+namespace iejoin {
+
+/// Hyper(D, S, g, k) = C(g, k) C(D-g, S-k) / C(D, S): the probability of
+/// observing k of the g marked items when sampling S of D items without
+/// replacement. This is the document-sampling kernel of every scan-based
+/// model in the paper (Section V-C).
+namespace hypergeometric {
+
+/// PMF for population D, sample size S, marked count g, observed k.
+double Pmf(int64_t population, int64_t sample, int64_t marked, int64_t k);
+
+double LogPmf(int64_t population, int64_t sample, int64_t marked, int64_t k);
+
+/// E[k] = S * g / D.
+double Mean(int64_t population, int64_t sample, int64_t marked);
+
+double Variance(int64_t population, int64_t sample, int64_t marked);
+
+/// Smallest / largest k with non-zero probability.
+int64_t SupportMin(int64_t population, int64_t sample, int64_t marked);
+int64_t SupportMax(int64_t population, int64_t sample, int64_t marked);
+
+}  // namespace hypergeometric
+}  // namespace iejoin
+
+#endif  // IEJOIN_DISTRIBUTIONS_HYPERGEOMETRIC_H_

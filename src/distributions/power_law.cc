@@ -1,0 +1,120 @@
+#include "distributions/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "distributions/special.h"
+
+namespace iejoin {
+
+PowerLaw::PowerLaw(double exponent, int64_t max_value)
+    : exponent_(exponent), max_value_(max_value) {
+  IEJOIN_CHECK(exponent > 0.0) << "power-law exponent must be positive";
+  IEJOIN_CHECK(max_value >= 1) << "power-law max_value must be >= 1";
+  normalizer_ = GeneralizedHarmonic(max_value, exponent);
+  cdf_.resize(static_cast<size_t>(max_value));
+  double acc = 0.0;
+  double weighted = 0.0;
+  for (int64_t k = 1; k <= max_value; ++k) {
+    const double p = std::pow(static_cast<double>(k), -exponent) / normalizer_;
+    acc += p;
+    weighted += p * static_cast<double>(k);
+    cdf_[static_cast<size_t>(k - 1)] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding drift
+  mean_ = weighted;
+}
+
+double PowerLaw::Pmf(int64_t k) const {
+  if (k < 1 || k > max_value_) return 0.0;
+  return std::pow(static_cast<double>(k), -exponent_) / normalizer_;
+}
+
+double PowerLaw::LogPmf(int64_t k) const {
+  if (k < 1 || k > max_value_) return -std::numeric_limits<double>::infinity();
+  return -exponent_ * std::log(static_cast<double>(k)) - std::log(normalizer_);
+}
+
+double PowerLaw::Cdf(int64_t k) const {
+  if (k < 1) return 0.0;
+  if (k >= max_value_) return 1.0;
+  return cdf_[static_cast<size_t>(k - 1)];
+}
+
+double PowerLaw::Mean() const { return mean_; }
+
+int64_t PowerLaw::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<int64_t> PowerLaw::SampleMany(int64_t n, Rng* rng) const {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+double PowerLawLogLikelihood(const std::vector<int64_t>& samples, double exponent,
+                             int64_t max_value) {
+  const double log_norm = std::log(GeneralizedHarmonic(max_value, exponent));
+  double ll = 0.0;
+  for (int64_t s : samples) {
+    ll += -exponent * std::log(static_cast<double>(s)) - log_norm;
+  }
+  return ll;
+}
+
+Result<double> FitPowerLawExponent(const std::vector<int64_t>& samples,
+                                   int64_t max_value) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("cannot fit power law to empty sample");
+  }
+  for (int64_t s : samples) {
+    if (s < 1 || s > max_value) {
+      return Status::InvalidArgument("sample outside {1..max_value}");
+    }
+  }
+  // Coarse scan followed by golden-section refinement; the likelihood in the
+  // exponent is unimodal for a truncated power law.
+  const double lo_bound = 0.05;
+  const double hi_bound = 4.0;
+  double best_x = lo_bound;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (double x = lo_bound; x <= hi_bound; x += 0.1) {
+    const double ll = PowerLawLogLikelihood(samples, x, max_value);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_x = x;
+    }
+  }
+  double lo = std::max(lo_bound, best_x - 0.1);
+  double hi = std::min(hi_bound, best_x + 0.1);
+  const double phi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = PowerLawLogLikelihood(samples, x1, max_value);
+  double f2 = PowerLawLogLikelihood(samples, x2, max_value);
+  for (int iter = 0; iter < 60 && (b - a) > 1e-6; ++iter) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = PowerLawLogLikelihood(samples, x2, max_value);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = PowerLawLogLikelihood(samples, x1, max_value);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,64 @@
+#ifndef IEJOIN_DISTRIBUTIONS_POWER_LAW_H_
+#define IEJOIN_DISTRIBUTIONS_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace iejoin {
+
+/// Truncated discrete power law over {1, ..., max_value}:
+///
+///   P[X = k] = k^(-exponent) / H(max_value, exponent)
+///
+/// The paper observed that attribute-value and document frequencies in its
+/// corpora follow power laws (Section V-B, Section VII); this is both the
+/// frequency generator for synthetic corpora and the parametric family the
+/// MLE estimator (Section VI) fits.
+class PowerLaw {
+ public:
+  /// Requires exponent > 0 and max_value >= 1.
+  PowerLaw(double exponent, int64_t max_value);
+
+  double exponent() const { return exponent_; }
+  int64_t max_value() const { return max_value_; }
+
+  /// P[X = k]; 0 outside {1..max_value}.
+  double Pmf(int64_t k) const;
+  double LogPmf(int64_t k) const;
+
+  /// P[X <= k].
+  double Cdf(int64_t k) const;
+
+  double Mean() const;
+
+  /// Draws one value (inverse-CDF over the precomputed table).
+  int64_t Sample(Rng* rng) const;
+
+  /// Draws n values.
+  std::vector<int64_t> SampleMany(int64_t n, Rng* rng) const;
+
+ private:
+  double exponent_;
+  int64_t max_value_;
+  double normalizer_;          // H(max_value, exponent)
+  std::vector<double> cdf_;    // cdf_[k-1] = P[X <= k]
+  double mean_;
+};
+
+/// Maximum-likelihood fit of the truncated power-law exponent given i.i.d.
+/// samples in {1..max_value}. Scans [0.1, 4.0] with golden-section
+/// refinement. Fails on empty input or out-of-range samples.
+Result<double> FitPowerLawExponent(const std::vector<int64_t>& samples,
+                                   int64_t max_value);
+
+/// Log-likelihood of samples under a truncated power law (exposed for tests
+/// and for the join-parameter MLE in src/estimation).
+double PowerLawLogLikelihood(const std::vector<int64_t>& samples, double exponent,
+                             int64_t max_value);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_DISTRIBUTIONS_POWER_LAW_H_

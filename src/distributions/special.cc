@@ -1,0 +1,49 @@
+#include "distributions/special.h"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace iejoin {
+namespace {
+
+constexpr int kCacheSize = 256;
+
+const std::array<double, kCacheSize>& LogFactorialCache() {
+  static const std::array<double, kCacheSize> cache = [] {
+    std::array<double, kCacheSize> c{};
+    c[0] = 0.0;
+    for (int i = 1; i < kCacheSize; ++i) c[i] = c[i - 1] + std::log(static_cast<double>(i));
+    return c;
+  }();
+  return cache;
+}
+
+}  // namespace
+
+double LogFactorial(int64_t n) {
+  IEJOIN_DCHECK(n >= 0);
+  if (n < kCacheSize) return LogFactorialCache()[static_cast<size_t>(n)];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Choose(int64_t n, int64_t k) {
+  const double lc = LogChoose(n, k);
+  if (std::isinf(lc)) return 0.0;
+  return std::exp(lc);
+}
+
+double GeneralizedHarmonic(int64_t n, double s) {
+  double sum = 0.0;
+  for (int64_t k = 1; k <= n; ++k) sum += std::pow(static_cast<double>(k), -s);
+  return sum;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,24 @@
+#ifndef IEJOIN_DISTRIBUTIONS_SPECIAL_H_
+#define IEJOIN_DISTRIBUTIONS_SPECIAL_H_
+
+#include <cstdint>
+
+namespace iejoin {
+
+/// log(n!) computed via lgamma with a small-n cache. Requires n >= 0.
+double LogFactorial(int64_t n);
+
+/// log C(n, k). Returns -inf when the coefficient is zero (k < 0 or k > n).
+double LogChoose(int64_t n, int64_t k);
+
+/// C(n, k) in double precision (may overflow to inf for huge arguments;
+/// prefer LogChoose in probability computations).
+double Choose(int64_t n, int64_t k);
+
+/// Riemann zeta partial sum: sum_{k=1..n} k^{-s}. Used to normalize
+/// truncated discrete power laws.
+double GeneralizedHarmonic(int64_t n, double s);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_DISTRIBUTIONS_SPECIAL_H_

@@ -1,0 +1,72 @@
+#include "estimation/join_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace iejoin {
+
+Result<JoinModelParams> EstimateJoinParams(const RelationParamsEstimate& side1,
+                                           const RelationParamsEstimate& side2,
+                                           const std::vector<TokenId>& values1,
+                                           const std::vector<TokenId>& values2,
+                                           FrequencyCoupling coupling) {
+  if (values1.size() != side1.fit.posterior_good.size() ||
+      values2.size() != side2.fit.posterior_good.size()) {
+    return Status::InvalidArgument("values not aligned with mixture posteriors");
+  }
+
+  std::unordered_map<TokenId, double> posterior1;
+  posterior1.reserve(values1.size());
+  for (size_t i = 0; i < values1.size(); ++i) {
+    posterior1.emplace(values1[i], side1.fit.posterior_good[i]);
+  }
+
+  // Accumulate fractional overlap mass over values observed on both sides.
+  double obs_gg = 0.0;
+  double obs_gb = 0.0;
+  double obs_bg = 0.0;
+  double obs_bb = 0.0;
+  for (size_t i = 0; i < values2.size(); ++i) {
+    const auto it = posterior1.find(values2[i]);
+    if (it == posterior1.end()) continue;
+    const double r1 = it->second;
+    const double r2 = side2.fit.posterior_good[i];
+    obs_gg += r1 * r2;
+    obs_gb += r1 * (1.0 - r2);
+    obs_bg += (1.0 - r1) * r2;
+    obs_bb += (1.0 - r1) * (1.0 - r2);
+  }
+
+  // A value of overlap class XY is *jointly* observed with probability
+  // P_obs_X(side1) * P_obs_Y(side2) (independent probing of the two
+  // databases); invert to estimate the true class sizes.
+  auto scale = [](double observed, double p1, double p2, double cap) {
+    const double denom = std::max(p1 * p2, 1e-9);
+    return std::min(observed / denom, cap);
+  };
+  const double cap_g1 = side1.fit.good.estimated_population;
+  const double cap_b1 = side1.fit.bad.estimated_population;
+  const double cap_g2 = side2.fit.good.estimated_population;
+  const double cap_b2 = side2.fit.bad.estimated_population;
+
+  JoinModelParams params;
+  params.relation1 = side1.params;
+  params.relation2 = side2.params;
+  params.num_agg = static_cast<int64_t>(std::llround(
+      scale(obs_gg, side1.fit.good.observe_prob, side2.fit.good.observe_prob,
+            std::min(cap_g1, cap_g2))));
+  params.num_agb = static_cast<int64_t>(std::llround(
+      scale(obs_gb, side1.fit.good.observe_prob, side2.fit.bad.observe_prob,
+            std::min(cap_g1, cap_b2))));
+  params.num_abg = static_cast<int64_t>(std::llround(
+      scale(obs_bg, side1.fit.bad.observe_prob, side2.fit.good.observe_prob,
+            std::min(cap_b1, cap_g2))));
+  params.num_abb = static_cast<int64_t>(std::llround(
+      scale(obs_bb, side1.fit.bad.observe_prob, side2.fit.bad.observe_prob,
+            std::min(cap_b1, cap_b2))));
+  params.coupling = coupling;
+  return params;
+}
+
+}  // namespace iejoin

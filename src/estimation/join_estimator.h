@@ -1,0 +1,33 @@
+#ifndef IEJOIN_ESTIMATION_JOIN_ESTIMATOR_H_
+#define IEJOIN_ESTIMATION_JOIN_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "estimation/relation_estimator.h"
+#include "model/model_params.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// Derives the join-specific overlap parameters |A_gg|, |A_gb|, |A_bg|,
+/// |A_bb| from the two sides' estimates (Section VI: "using the estimated
+/// parameter values for each individual relation, we then numerically
+/// derive the join-specific parameters").
+///
+/// Values observed on both sides contribute fractional overlap mass through
+/// their posterior good/bad splits; the observed overlap is then scaled up
+/// by each component's observation probability to estimate the true overlap
+/// class sizes.
+///
+/// `values1`/`values2` name the observed values, aligned with the
+/// posteriors inside each side's MixtureFit.
+Result<JoinModelParams> EstimateJoinParams(const RelationParamsEstimate& side1,
+                                           const RelationParamsEstimate& side2,
+                                           const std::vector<TokenId>& values1,
+                                           const std::vector<TokenId>& values2,
+                                           FrequencyCoupling coupling);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_ESTIMATION_JOIN_ESTIMATOR_H_

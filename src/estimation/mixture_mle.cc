@@ -1,0 +1,266 @@
+#include "estimation/mixture_mle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "distributions/binomial.h"
+#include "distributions/power_law.h"
+
+namespace iejoin {
+namespace {
+
+constexpr double kTinyProb = 1e-300;
+
+/// Zero-truncates a thinned PMF: observed values have s >= 1 by definition,
+/// so component likelihoods must condition on observation,
+/// P(s | s >= 1) = P(s) / (1 - P(0)).
+std::vector<double> ZeroTruncate(std::vector<double> pmf) {
+  const double observed_mass = std::max(1.0 - pmf[0], kTinyProb);
+  pmf[0] = 0.0;
+  for (double& p : pmf) p /= observed_mass;
+  return pmf;
+}
+
+/// Weighted log-likelihood of the observed counts under one zero-truncated
+/// component table.
+double ComponentLogLikelihood(const std::vector<int64_t>& counts,
+                              const std::vector<double>& weights,
+                              const std::vector<double>& truncated_table) {
+  const int64_t cap = static_cast<int64_t>(truncated_table.size()) - 1;
+  double ll = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const size_t s = static_cast<size_t>(std::min(counts[i], cap));
+    const double p = std::max(truncated_table[s], kTinyProb);
+    ll += weights[i] * std::log(p);
+  }
+  return ll;
+}
+
+/// Golden-section maximization of the weighted likelihood in alpha.
+double FitAlpha(const std::vector<int64_t>& counts, const std::vector<double>& weights,
+                double p, int64_t max_frequency, int64_t max_s, double lo, double hi) {
+  const double phi = 0.6180339887498949;
+  auto eval = [&](double alpha) {
+    return ComponentLogLikelihood(
+        counts, weights,
+        ZeroTruncate(ThinnedPowerLawPmf(alpha, max_frequency, p, max_s)));
+  };
+  // Coarse scan to find the unimodal bracket.
+  double best_alpha = lo;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  const int kCoarse = 12;
+  for (int i = 0; i <= kCoarse; ++i) {
+    const double a = lo + (hi - lo) * static_cast<double>(i) / kCoarse;
+    const double ll = eval(a);
+    if (ll > best_ll) {
+      best_ll = ll;
+      best_alpha = a;
+    }
+  }
+  double a = std::max(lo, best_alpha - (hi - lo) / kCoarse);
+  double b = std::min(hi, best_alpha + (hi - lo) / kCoarse);
+  double x1 = b - phi * (b - a);
+  double x2 = a + phi * (b - a);
+  double f1 = eval(x1);
+  double f2 = eval(x2);
+  for (int iter = 0; iter < 40 && (b - a) > 1e-4; ++iter) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + phi * (b - a);
+      f2 = eval(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - phi * (b - a);
+      f1 = eval(x1);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+FrequencyMoments PowerLawMoments(double alpha, int64_t max_frequency) {
+  const PowerLaw law(alpha, max_frequency);
+  FrequencyMoments m;
+  m.mean = law.Mean();
+  double second = 0.0;
+  for (int64_t k = 1; k <= max_frequency; ++k) {
+    second += law.Pmf(k) * static_cast<double>(k) * static_cast<double>(k);
+  }
+  m.second_moment = second;
+  return m;
+}
+
+}  // namespace
+
+std::vector<double> ThinnedPowerLawPmf(double alpha, int64_t max_frequency, double p,
+                                       int64_t max_s) {
+  const PowerLaw law(alpha, max_frequency);
+  std::vector<double> out(static_cast<size_t>(max_s) + 1, 0.0);
+  const double q = 1.0 - p;
+  if (p >= 1.0) {
+    // Degenerate thinning: s == f.
+    for (int64_t f = 1; f <= max_frequency; ++f) {
+      if (f <= max_s) out[static_cast<size_t>(f)] += law.Pmf(f);
+    }
+    return out;
+  }
+  const double ratio = p / q;
+  for (int64_t f = 1; f <= max_frequency; ++f) {
+    const double pf = law.Pmf(f);
+    if (pf <= 0.0) continue;
+    // Binomial(f, p) terms via the stable upward recurrence
+    // B(s+1) = B(s) * (f - s) / (s + 1) * p / (1 - p); avoids a lgamma per
+    // term, which dominates the MLE's cost otherwise.
+    double b = std::pow(q, static_cast<double>(f));  // B(0)
+    const int64_t s_hi = std::min(max_s, f);
+    if (b <= 0.0) {
+      // Underflow for large f: fall back to the log-space PMF.
+      for (int64_t s = 0; s <= s_hi; ++s) {
+        out[static_cast<size_t>(s)] += pf * binomial::Pmf(f, s, p);
+      }
+      continue;
+    }
+    for (int64_t s = 0; s <= s_hi; ++s) {
+      out[static_cast<size_t>(s)] += pf * b;
+      b *= static_cast<double>(f - s) / static_cast<double>(s + 1) * ratio;
+    }
+  }
+  return out;
+}
+
+Result<MixtureFit> FitGoodBadMixture(const std::vector<int64_t>& observed_counts,
+                                     double p_good, double p_bad,
+                                     const MixtureMleOptions& options) {
+  if (observed_counts.empty()) {
+    return Status::InvalidArgument("no observed values to fit");
+  }
+  if (p_good <= 0.0 || p_good > 1.0 || p_bad <= 0.0 || p_bad > 1.0) {
+    return Status::InvalidArgument("observation probabilities must be in (0, 1]");
+  }
+  int64_t max_s = 1;
+  for (int64_t c : observed_counts) {
+    if (c < 1) {
+      return Status::InvalidArgument("observed counts must be >= 1");
+    }
+    max_s = std::max(max_s, c);
+  }
+  max_s = std::min({max_s, options.max_frequency, options.max_observed_support});
+
+  const size_t n = observed_counts.size();
+
+  // One EM run from a given initial responsibility vector.
+  struct EmSolution {
+    double alpha_good = 1.2;
+    double alpha_bad = 2.0;
+    double pi_good = 0.5;
+    std::vector<double> resp;
+    double log_likelihood = -std::numeric_limits<double>::infinity();
+  };
+  auto run_em = [&](std::vector<double> resp) {
+    EmSolution sol;
+    for (int32_t iter = 0; iter < options.em_iterations; ++iter) {
+      // M-step: refit each component's exponent on the weighted data.
+      std::vector<double> w_bad(n);
+      for (size_t i = 0; i < n; ++i) w_bad[i] = 1.0 - resp[i];
+      sol.alpha_good = FitAlpha(observed_counts, resp, p_good, options.max_frequency,
+                                max_s, options.alpha_min, options.alpha_max);
+      sol.alpha_bad = FitAlpha(observed_counts, w_bad, p_bad, options.max_frequency,
+                               max_s, options.alpha_min, options.alpha_max);
+      double total_resp = 0.0;
+      for (double r : resp) total_resp += r;
+      sol.pi_good = std::clamp(total_resp / static_cast<double>(n), 0.02, 0.98);
+
+      // E-step over zero-truncated components (π is the good share among
+      // *observed* values).
+      const std::vector<double> table_good = ZeroTruncate(
+          ThinnedPowerLawPmf(sol.alpha_good, options.max_frequency, p_good, max_s));
+      const std::vector<double> table_bad = ZeroTruncate(
+          ThinnedPowerLawPmf(sol.alpha_bad, options.max_frequency, p_bad, max_s));
+      sol.log_likelihood = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t s =
+            static_cast<size_t>(std::min<int64_t>(observed_counts[i], max_s));
+        const double pg = std::max(table_good[s], kTinyProb) * sol.pi_good;
+        const double pb = std::max(table_bad[s], kTinyProb) * (1.0 - sol.pi_good);
+        resp[i] = pg / (pg + pb);
+        sol.log_likelihood += std::log(pg + pb);
+      }
+    }
+    sol.resp = std::move(resp);
+    return sol;
+  };
+
+  // Multi-start EM: the likelihood surface has spurious local optima (one
+  // flexible component can absorb nearly all mass), so we start from
+  // several count-threshold splits and both orientations, keeping the best
+  // final likelihood.
+  std::vector<int64_t> sorted_counts = observed_counts;
+  std::sort(sorted_counts.begin(), sorted_counts.end());
+  EmSolution best;
+  for (double quantile : {0.35, 0.6, 0.85}) {
+    const int64_t threshold =
+        sorted_counts[static_cast<size_t>(quantile * (static_cast<double>(n) - 1.0))];
+    for (bool high_is_good : {true, false}) {
+      std::vector<double> resp(n);
+      for (size_t i = 0; i < n; ++i) {
+        const bool high = observed_counts[i] > threshold;
+        resp[i] = (high == high_is_good) ? 0.85 : 0.15;
+      }
+      EmSolution sol = run_em(std::move(resp));
+      if (sol.log_likelihood > best.log_likelihood) best = std::move(sol);
+    }
+  }
+
+  double alpha_good = best.alpha_good;
+  double alpha_bad = best.alpha_bad;
+  double pi_good = best.pi_good;
+  std::vector<double> resp = std::move(best.resp);
+  const double log_likelihood = best.log_likelihood;
+  std::vector<double> table_good =
+      ThinnedPowerLawPmf(alpha_good, options.max_frequency, p_good, max_s);
+  std::vector<double> table_bad =
+      ThinnedPowerLawPmf(alpha_bad, options.max_frequency, p_bad, max_s);
+
+  // Canonical orientation: the good component must have the larger expected
+  // observed count (tp > fp and heavier frequencies); swap if EM converged
+  // to the mirrored labeling.
+  const double mean_obs_good =
+      p_good * PowerLawMoments(alpha_good, options.max_frequency).mean;
+  const double mean_obs_bad =
+      p_bad * PowerLawMoments(alpha_bad, options.max_frequency).mean;
+  bool swapped = mean_obs_good < mean_obs_bad;
+  if (swapped) {
+    std::swap(alpha_good, alpha_bad);
+    std::swap(table_good, table_bad);
+    pi_good = 1.0 - pi_good;
+    for (double& r : resp) r = 1.0 - r;
+    // The tables were fit with the opposite thinning probabilities; refresh.
+    table_good = ThinnedPowerLawPmf(alpha_good, options.max_frequency, p_good, max_s);
+    table_bad = ThinnedPowerLawPmf(alpha_bad, options.max_frequency, p_bad, max_s);
+  }
+
+  MixtureFit fit;
+  fit.mixture_weight_good = pi_good;
+  fit.posterior_good = std::move(resp);
+  fit.log_likelihood = log_likelihood;
+
+  auto fill_component = [&](MixtureComponent* comp, double alpha, double p,
+                            const std::vector<double>& table, bool good_side) {
+    comp->alpha = alpha;
+    comp->observe_prob = std::max(1e-9, 1.0 - table[0]);
+    double observed_mass = 0.0;
+    for (double r : fit.posterior_good) observed_mass += good_side ? r : (1.0 - r);
+    comp->estimated_population = observed_mass / comp->observe_prob;
+    comp->freq_moments = PowerLawMoments(alpha, options.max_frequency);
+    (void)p;
+  };
+  fill_component(&fit.good, alpha_good, p_good, table_good, /*good_side=*/true);
+  fill_component(&fit.bad, alpha_bad, p_bad, table_bad, /*good_side=*/false);
+  return fit;
+}
+
+}  // namespace iejoin

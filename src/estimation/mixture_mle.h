@@ -1,0 +1,72 @@
+#ifndef IEJOIN_ESTIMATION_MIXTURE_MLE_H_
+#define IEJOIN_ESTIMATION_MIXTURE_MLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "model/model_params.h"
+
+namespace iejoin {
+
+/// Options for the good/bad mixture MLE.
+struct MixtureMleOptions {
+  /// Truncation of the fitted power laws (frequencies live in {1..F}).
+  int64_t max_frequency = 400;
+  /// Observed counts above this are censored into the top bucket. Keeps
+  /// the thinned-PMF tables small (the fit cost is O(F * support)) at a
+  /// negligible bias — counts this large are a handful of head values.
+  int64_t max_observed_support = 256;
+  int32_t em_iterations = 12;
+  double alpha_min = 0.75;
+  double alpha_max = 3.5;
+};
+
+/// One fitted mixture component (good or bad values).
+struct MixtureComponent {
+  /// Fitted truncated-power-law exponent of the underlying frequencies.
+  double alpha = 1.0;
+  /// P(a value of this component is observed at least once) under the
+  /// component's fit and the observation thinning.
+  double observe_prob = 0.0;
+  /// Estimated total number of values of this component in the database
+  /// (observed mass corrected for the unobserved tail): |Âg| or |Âb|.
+  double estimated_population = 0.0;
+  /// Moments of the fitted frequency distribution.
+  FrequencyMoments freq_moments;
+};
+
+/// Result of fitting the two-component mixture to observed frequencies.
+struct MixtureFit {
+  MixtureComponent good;
+  MixtureComponent bad;
+  /// π: prior probability that an observed value is of the good component.
+  double mixture_weight_good = 0.5;
+  /// Posterior P(good | s(a_i)) per observed value, aligned with the input.
+  std::vector<double> posterior_good;
+  double log_likelihood = 0.0;
+};
+
+/// The core of the Section VI estimator: observed values' extraction counts
+/// s(a_i) are modeled as power-law frequencies thinned by binomial
+/// observation (document sampling x knob rates),
+///
+///   P(s | component) = sum_f PowerLaw(f; alpha, F) Bnm(f, s, p),
+///
+/// and the two components (good values observed with p_good = tp * incl,
+/// bad values with p_bad = fp * incl) are separated by EM — no tuple
+/// verification oracle needed, exactly as the paper requires. The
+/// unobserved mass P(s = 0) converts observed counts into population
+/// estimates |Âg|, |Âb|.
+Result<MixtureFit> FitGoodBadMixture(const std::vector<int64_t>& observed_counts,
+                                     double p_good, double p_bad,
+                                     const MixtureMleOptions& options);
+
+/// P(s | alpha, p) for s in {0..max_s}: the thinned-power-law PMF used by
+/// the mixture (exposed for tests).
+std::vector<double> ThinnedPowerLawPmf(double alpha, int64_t max_frequency,
+                                       double p, int64_t max_s);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_ESTIMATION_MIXTURE_MLE_H_

@@ -1,0 +1,110 @@
+#include "estimation/relation_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iejoin {
+namespace {
+
+/// Solves target = dg * inclusion * (1 - exp(-rate * occ_total / dg)) for
+/// dg on [1, dmax]; the left side is monotone increasing in dg. Returns
+/// dmax when even the maximum cannot reach the target (saturated sample).
+double SolveDocCount(double target, double inclusion, double rate, double occ_total,
+                     double dmax) {
+  if (target <= 0.0 || inclusion <= 0.0 || rate <= 0.0 || occ_total <= 0.0) {
+    return 0.0;
+  }
+  auto value_at = [&](double dg) {
+    return dg * inclusion * (1.0 - std::exp(-rate * occ_total / dg));
+  };
+  if (value_at(dmax) <= target) return dmax;
+  double lo = 1.0;
+  double hi = dmax;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (value_at(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+Result<RelationParamsEstimate> EstimateRelationParams(
+    const RelationObservation& observation, const RelationEstimatorOptions& options) {
+  if (observation.num_documents <= 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (observation.values.size() != observation.counts.size()) {
+    return Status::InvalidArgument("values/counts size mismatch");
+  }
+  if (observation.counts.empty()) {
+    return Status::FailedPrecondition("no observed values yet; probe further");
+  }
+
+  // Per-occurrence observation probabilities for the two value classes.
+  const double p_good =
+      std::clamp(observation.tp * observation.good_inclusion, 1e-6, 1.0);
+  const double rho = options.assumed_bad_in_good_fraction;
+  const double bad_doc_inclusion = rho * observation.good_inclusion +
+                                   (1.0 - rho) * observation.bad_inclusion;
+  const double p_bad = std::clamp(observation.fp * bad_doc_inclusion, 1e-6, 1.0);
+
+  IEJOIN_ASSIGN_OR_RETURN(
+      MixtureFit fit,
+      FitGoodBadMixture(observation.counts, p_good, p_bad, options.mixture));
+
+  RelationParamsEstimate out;
+  out.params.num_documents = observation.num_documents;
+  out.params.num_good_values =
+      static_cast<int64_t>(std::llround(fit.good.estimated_population));
+  out.params.num_bad_values =
+      static_cast<int64_t>(std::llround(fit.bad.estimated_population));
+  out.params.good_freq = fit.good.freq_moments;
+  out.params.bad_freq = fit.bad.freq_moments;
+  out.params.bad_in_good_doc_fraction = rho;
+  out.params.tp = observation.tp;
+  out.params.fp = observation.fp;
+
+  // Document classes. Split the producing documents between the classes by
+  // extracted-tuple mass (posterior-weighted), then invert the Poisson
+  // detection model: a good document with lambda_g = T_g / |Dg| good
+  // mentions produces at least one extracted tuple with probability
+  // 1 - exp(-tp * lambda_g).
+  double good_mass = 0.0;
+  double total_mass = 0.0;
+  for (size_t i = 0; i < observation.counts.size(); ++i) {
+    const double c = static_cast<double>(observation.counts[i]);
+    good_mass += fit.posterior_good[i] * c;
+    total_mass += c;
+  }
+  const double good_doc_share = total_mass > 0.0 ? good_mass / total_mass : 0.5;
+  const double producing = static_cast<double>(observation.docs_with_extraction);
+  const double good_producing = producing * good_doc_share;
+  const double bad_producing = producing - good_producing;
+
+  const double total_good_occ =
+      fit.good.estimated_population * fit.good.freq_moments.mean;
+  const double total_bad_occ = fit.bad.estimated_population * fit.bad.freq_moments.mean;
+
+  const double dmax = static_cast<double>(observation.num_documents);
+  const double dg_hat =
+      SolveDocCount(good_producing, observation.good_inclusion, observation.tp,
+                    total_good_occ, dmax);
+  // Bad documents host the (1 - rho) share of bad occurrences.
+  const double db_hat =
+      SolveDocCount(bad_producing, observation.bad_inclusion, observation.fp,
+                    total_bad_occ * (1.0 - rho), dmax);
+
+  out.params.num_good_docs = static_cast<int64_t>(
+      std::llround(std::min(dg_hat, dmax)));
+  out.params.num_bad_docs = static_cast<int64_t>(std::llround(
+      std::min(db_hat, dmax - static_cast<double>(out.params.num_good_docs))));
+  out.fit = std::move(fit);
+  return out;
+}
+
+}  // namespace iejoin

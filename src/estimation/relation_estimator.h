@@ -1,0 +1,68 @@
+#ifndef IEJOIN_ESTIMATION_RELATION_ESTIMATOR_H_
+#define IEJOIN_ESTIMATION_RELATION_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "estimation/mixture_mle.h"
+#include "model/model_params.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// What a running (or probing) execution has observed about one relation —
+/// the estimator's entire view of the database. No ground-truth labels.
+struct RelationObservation {
+  /// |D| (databases report their size).
+  int64_t num_documents = 0;
+  /// Documents actually processed by the extractor so far.
+  int64_t docs_processed = 0;
+  /// Of those, how many produced at least one extracted tuple.
+  int64_t docs_with_extraction = 0;
+
+  /// Per-observed-value extraction counts s(a); values[i] names the value
+  /// whose count is counts[i].
+  std::vector<TokenId> values;
+  std::vector<int64_t> counts;
+
+  /// P(a good / bad occurrence's document was processed) under the probing
+  /// strategy (for Scan this is docs_processed / |D| for both).
+  double good_inclusion = 0.0;
+  double bad_inclusion = 0.0;
+
+  /// Extractor knob characterization at the current θ (known offline).
+  double tp = 1.0;
+  double fp = 1.0;
+};
+
+/// Database-specific parameter estimates for one relation (Section VI),
+/// produced without any tuple-verification oracle: the mixture MLE supplies
+/// a probabilistic good/bad split of the observed values.
+struct RelationParamsEstimate {
+  /// The estimated database-specific parameters. Retrieval-strategy and
+  /// join-specific fields (classifier rates, AQG query stats, query reach,
+  /// PGFs) are left at defaults; the optimizer fills them from its offline
+  /// characterizations.
+  RelationModelParams params;
+  /// The underlying mixture fit (posteriors aligned with observation input).
+  MixtureFit fit;
+};
+
+struct RelationEstimatorOptions {
+  MixtureMleOptions mixture;
+  /// Assumed fraction of bad occurrences hosted by good documents (not
+  /// identifiable without labels; 0.5 matches a uniform placement prior).
+  double assumed_bad_in_good_fraction = 0.5;
+};
+
+/// Runs the full Section VI pipeline for one relation: mixture MLE over the
+/// observed s(a), tail-corrected population estimates |Âg| / |Âb|, fitted
+/// frequency moments, and document-class estimates |D̂g| / |D̂b| solved from
+/// the producing-document count under a Poisson mention-placement model.
+Result<RelationParamsEstimate> EstimateRelationParams(
+    const RelationObservation& observation, const RelationEstimatorOptions& options);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_ESTIMATION_RELATION_ESTIMATOR_H_

@@ -1,0 +1,33 @@
+#ifndef IEJOIN_EXTRACTION_EXTRACTED_TUPLE_H_
+#define IEJOIN_EXTRACTION_EXTRACTED_TUPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "textdb/document.h"
+
+namespace iejoin {
+
+/// One tuple occurrence emitted by an extraction system.
+///
+/// `ground_truth_good` is filled by matching the extraction back to the
+/// generator's planted mention. It exists for evaluation (and offline
+/// extractor characterization) only: join algorithms, estimators, and the
+/// optimizer never branch on it.
+struct ExtractedTuple {
+  TokenId join_value = 0;
+  TokenId second_value = 0;
+  DocId doc_id = -1;
+  uint32_t sentence_index = 0;
+  /// Best pattern-similarity score that produced this tuple (>= the
+  /// extractor's minSim at emission time).
+  double similarity = 0.0;
+  bool ground_truth_good = false;
+};
+
+/// A batch of occurrences extracted from one document.
+using ExtractionBatch = std::vector<ExtractedTuple>;
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_EXTRACTION_EXTRACTED_TUPLE_H_

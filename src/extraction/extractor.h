@@ -1,0 +1,35 @@
+#ifndef IEJOIN_EXTRACTION_EXTRACTOR_H_
+#define IEJOIN_EXTRACTION_EXTRACTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "extraction/extracted_tuple.h"
+#include "textdb/document.h"
+
+namespace iejoin {
+
+/// An information extraction system viewed as a blackbox over documents
+/// (the paper's E<θ>). Implementations expose a single tunable knob θ in
+/// [0, 1]; higher θ trades recall (true-positive rate) for precision
+/// (lower false-positive rate), per Section III-A.
+class Extractor {
+ public:
+  virtual ~Extractor() = default;
+
+  /// Runs the IE system over one document and returns all tuple occurrences
+  /// whose extraction confidence clears the current knob setting.
+  virtual ExtractionBatch Process(const Document& doc) const = 0;
+
+  /// Current knob setting θ.
+  virtual double theta() const = 0;
+
+  /// A copy of this extractor re-tuned to a different knob setting.
+  virtual std::unique_ptr<Extractor> WithTheta(double theta) const = 0;
+
+  virtual const std::string& relation_name() const = 0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_EXTRACTION_EXTRACTOR_H_

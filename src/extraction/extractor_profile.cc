@@ -1,0 +1,110 @@
+#include "extraction/extractor_profile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+KnobCharacterization::KnobCharacterization(std::vector<double> thetas,
+                                           std::vector<double> tp,
+                                           std::vector<double> fp)
+    : thetas_(std::move(thetas)), tp_(std::move(tp)), fp_(std::move(fp)) {
+  IEJOIN_CHECK(!thetas_.empty());
+  IEJOIN_CHECK(thetas_.size() == tp_.size() && thetas_.size() == fp_.size());
+  IEJOIN_CHECK(std::is_sorted(thetas_.begin(), thetas_.end()));
+}
+
+namespace {
+
+double Interpolate(const std::vector<double>& xs, const std::vector<double>& ys,
+                   double x) {
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::lower_bound(xs.begin(), xs.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs.begin());
+  const size_t lo = hi - 1;
+  const double span = xs[hi] - xs[lo];
+  if (span <= 0.0) return ys[lo];
+  const double t = (x - xs[lo]) / span;
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace
+
+double KnobCharacterization::TruePositiveRate(double theta) const {
+  return Interpolate(thetas_, tp_, theta);
+}
+
+double KnobCharacterization::FalsePositiveRate(double theta) const {
+  return Interpolate(thetas_, fp_, theta);
+}
+
+Result<KnobCharacterization> CharacterizeExtractor(
+    const Extractor& extractor, const Corpus& training_corpus,
+    const std::vector<double>& thetas) {
+  if (thetas.empty()) {
+    return Status::InvalidArgument("theta grid is empty");
+  }
+  if (!std::is_sorted(thetas.begin(), thetas.end())) {
+    return Status::InvalidArgument("theta grid must be ascending");
+  }
+
+  // One pass at the most permissive setting captures every candidate with
+  // its similarity; tp/fp at any θ are then survival fractions.
+  const std::unique_ptr<Extractor> permissive = extractor.WithTheta(0.0);
+  std::vector<std::pair<double, bool>> candidates;  // (similarity, is_good)
+  for (const Document& doc : training_corpus.documents()) {
+    for (const ExtractedTuple& t : permissive->Process(doc)) {
+      candidates.emplace_back(t.similarity, t.ground_truth_good);
+    }
+  }
+  int64_t total_good = 0;
+  int64_t total_bad = 0;
+  for (const auto& [sim, good] : candidates) {
+    if (good) {
+      ++total_good;
+    } else {
+      ++total_bad;
+    }
+  }
+  if (total_good == 0) {
+    return Status::FailedPrecondition(
+        "training corpus yields no extractable good tuples");
+  }
+
+  std::vector<double> tp;
+  std::vector<double> fp;
+  tp.reserve(thetas.size());
+  fp.reserve(thetas.size());
+  for (double theta : thetas) {
+    int64_t good_kept = 0;
+    int64_t bad_kept = 0;
+    for (const auto& [sim, good] : candidates) {
+      if (sim >= theta) {
+        if (good) {
+          ++good_kept;
+        } else {
+          ++bad_kept;
+        }
+      }
+    }
+    tp.push_back(static_cast<double>(good_kept) / static_cast<double>(total_good));
+    fp.push_back(total_bad == 0
+                     ? 0.0
+                     : static_cast<double>(bad_kept) / static_cast<double>(total_bad));
+  }
+  return KnobCharacterization(thetas, std::move(tp), std::move(fp));
+}
+
+std::vector<double> UniformThetaGrid(int32_t n) {
+  IEJOIN_CHECK(n >= 2);
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) {
+    grid.push_back(static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return grid;
+}
+
+}  // namespace iejoin

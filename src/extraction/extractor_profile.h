@@ -1,0 +1,51 @@
+#ifndef IEJOIN_EXTRACTION_EXTRACTOR_PROFILE_H_
+#define IEJOIN_EXTRACTION_EXTRACTOR_PROFILE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "extraction/extractor.h"
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+/// Measured knob characterization of an IE system over a training database
+/// (Section III-A): tp(θ) is the fraction of all extractable good tuple
+/// occurrences that survive the knob setting θ, and fp(θ) the same for bad
+/// occurrences, with "all extractable" defined across every knob
+/// configuration — i.e., relative to the θ = 0 output, as in the paper.
+class KnobCharacterization {
+ public:
+  KnobCharacterization(std::vector<double> thetas, std::vector<double> tp,
+                       std::vector<double> fp);
+
+  /// tp(θ), linearly interpolated between measured settings.
+  double TruePositiveRate(double theta) const;
+
+  /// fp(θ), linearly interpolated.
+  double FalsePositiveRate(double theta) const;
+
+  const std::vector<double>& thetas() const { return thetas_; }
+  const std::vector<double>& tp() const { return tp_; }
+  const std::vector<double>& fp() const { return fp_; }
+
+ private:
+  std::vector<double> thetas_;  // ascending
+  std::vector<double> tp_;
+  std::vector<double> fp_;
+};
+
+/// Characterizes an extractor on a labeled training corpus — the paper's
+/// offline step of learning tp(θ)/fp(θ) before optimization. This is the
+/// one place outside evaluation harnesses allowed to read ground-truth
+/// labels (training data is labeled in the paper's setup too).
+Result<KnobCharacterization> CharacterizeExtractor(
+    const Extractor& extractor, const Corpus& training_corpus,
+    const std::vector<double>& thetas);
+
+/// Convenience: evenly spaced θ grid {0, 1/(n-1), ..., 1}.
+std::vector<double> UniformThetaGrid(int32_t n);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_EXTRACTION_EXTRACTOR_PROFILE_H_

@@ -1,0 +1,138 @@
+#include "extraction/snowball_extractor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace iejoin {
+
+Result<std::unique_ptr<SnowballExtractor>> SnowballExtractor::Train(
+    const Corpus& training_corpus, const SnowballConfig& config) {
+  if (config.min_sim < 0.0 || config.min_sim > 1.0) {
+    return Status::InvalidArgument("min_sim must be in [0, 1]");
+  }
+  if (config.num_patterns <= 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (config.pattern_coverage <= 0.0 || config.pattern_coverage > 1.0) {
+    return Status::InvalidArgument("pattern_coverage must be in (0, 1]");
+  }
+  const RelationGroundTruth& truth = training_corpus.ground_truth();
+  if (truth.pattern_vocabulary.empty()) {
+    return Status::FailedPrecondition(
+        "training corpus has no pattern vocabulary for relation " +
+        truth.relation_name);
+  }
+
+  Rng rng(config.seed);
+  std::vector<std::unordered_set<TokenId>> patterns;
+  patterns.reserve(static_cast<size_t>(config.num_patterns));
+  for (int32_t p = 0; p < config.num_patterns; ++p) {
+    std::unordered_set<TokenId> pattern;
+    for (TokenId t : truth.pattern_vocabulary) {
+      if (rng.Bernoulli(config.pattern_coverage)) pattern.insert(t);
+    }
+    if (pattern.empty()) pattern.insert(truth.pattern_vocabulary.front());
+    patterns.push_back(std::move(pattern));
+  }
+
+  return std::unique_ptr<SnowballExtractor>(new SnowballExtractor(
+      truth.relation_name, truth.join_entity_type, truth.second_entity_type,
+      &training_corpus.vocabulary(), std::move(patterns), config));
+}
+
+SnowballExtractor::SnowballExtractor(
+    std::string relation_name, TokenType join_entity, TokenType second_entity,
+    const Vocabulary* vocabulary,
+    std::vector<std::unordered_set<TokenId>> patterns, SnowballConfig config)
+    : relation_name_(std::move(relation_name)),
+      join_entity_(join_entity),
+      second_entity_(second_entity),
+      vocabulary_(vocabulary),
+      patterns_(std::move(patterns)),
+      config_(config) {}
+
+double SnowballExtractor::Similarity(const std::vector<TokenId>& context) const {
+  if (context.empty()) return 0.0;
+  double best = 0.0;
+  for (const auto& pattern : patterns_) {
+    int32_t overlap = 0;
+    for (TokenId t : context) {
+      if (pattern.count(t) > 0) ++overlap;
+    }
+    const double sim = static_cast<double>(overlap) / static_cast<double>(context.size());
+    best = std::max(best, sim);
+  }
+  return best;
+}
+
+ExtractionBatch SnowballExtractor::Process(const Document& doc) const {
+  ExtractionBatch batch;
+  uint32_t sentence_index = 0;
+  size_t start = 0;
+  const auto& tokens = doc.tokens;
+
+  // Reused per sentence.
+  std::vector<TokenId> context;
+
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    const bool at_end = (i == tokens.size());
+    if (!at_end && tokens[i] != Vocabulary::kSentenceEnd) continue;
+
+    // Sentence is tokens[start, i).
+    TokenId join_value = 0;
+    TokenId second_value = 0;
+    bool has_join = false;
+    bool has_second = false;
+    context.clear();
+    for (size_t j = start; j < i; ++j) {
+      const TokenId t = tokens[j];
+      const TokenType type = vocabulary_->Type(t);
+      if (type == join_entity_ && !has_join) {
+        join_value = t;
+        has_join = true;
+      } else if (type == second_entity_ && !has_second) {
+        second_value = t;
+        has_second = true;
+      } else if (type == TokenType::kWord) {
+        context.push_back(t);
+      }
+    }
+
+    if (has_join && has_second) {
+      const double sim = Similarity(context);
+      if (sim >= config_.min_sim) {
+        ExtractedTuple tuple;
+        tuple.join_value = join_value;
+        tuple.second_value = second_value;
+        tuple.doc_id = doc.id;
+        tuple.sentence_index = sentence_index;
+        tuple.similarity = sim;
+        // Evaluation-only label: match back to the planted mention.
+        tuple.ground_truth_good = false;
+        for (const PlantedMention& m : doc.mentions) {
+          if (m.sentence_index == sentence_index) {
+            tuple.ground_truth_good = m.is_good;
+            break;
+          }
+        }
+        batch.push_back(tuple);
+      }
+    }
+
+    start = i + 1;
+    ++sentence_index;
+  }
+  return batch;
+}
+
+std::unique_ptr<Extractor> SnowballExtractor::WithTheta(double theta) const {
+  IEJOIN_CHECK(theta >= 0.0 && theta <= 1.0);
+  SnowballConfig config = config_;
+  config.min_sim = theta;
+  return std::unique_ptr<Extractor>(new SnowballExtractor(
+      relation_name_, join_entity_, second_entity_, vocabulary_, patterns_, config));
+}
+
+}  // namespace iejoin

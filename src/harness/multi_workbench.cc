@@ -1,0 +1,131 @@
+#include "harness/multi_workbench.h"
+
+#include <algorithm>
+
+namespace iejoin {
+
+Result<std::unique_ptr<MultiWorkbench>> MultiWorkbench::Create(
+    const MultiWorkbenchConfig& config) {
+  auto bench = std::unique_ptr<MultiWorkbench>(new MultiWorkbench());
+  bench->config_ = config;
+
+  auto vocabulary = std::make_shared<Vocabulary>();
+  MultiScenarioSpec training_spec = config.spec;
+  training_spec.seed = config.spec.seed + 1;
+  {
+    MultiCorpusGenerator generator(training_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->training_, generator.Generate(vocabulary));
+  }
+  MultiScenarioSpec validation_spec = config.spec;
+  validation_spec.seed = config.spec.seed + 2;
+  {
+    MultiCorpusGenerator generator(validation_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->validation_, generator.Generate(vocabulary));
+  }
+  {
+    MultiCorpusGenerator generator(config.spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->scenario_, generator.Generate(vocabulary));
+  }
+
+  const size_t k = bench->scenario_.corpora.size();
+  const std::vector<double> grid = UniformThetaGrid(config.knob_grid_points);
+  for (size_t r = 0; r < k; ++r) {
+    bench->databases_.push_back(std::make_unique<TextDatabase>(
+        bench->scenario_.corpora[r],
+        config.spec.seed ^ (0x9e3779b97f4a7c15ULL + r), config.max_results_per_query));
+
+    IEJOIN_ASSIGN_OR_RETURN(
+        std::unique_ptr<SnowballExtractor> extractor,
+        SnowballExtractor::Train(*bench->training_.corpora[r], config.snowball));
+    IEJOIN_ASSIGN_OR_RETURN(
+        KnobCharacterization knobs,
+        CharacterizeExtractor(*extractor, *bench->training_.corpora[r], grid));
+    bench->knobs_.push_back(
+        std::make_unique<KnobCharacterization>(std::move(knobs)));
+    bench->extractors_.push_back(std::move(extractor));
+
+    IEJOIN_ASSIGN_OR_RETURN(
+        std::unique_ptr<NaiveBayesClassifier> classifier,
+        NaiveBayesClassifier::Train(*bench->training_.corpora[r]));
+    bench->cls_chars_.push_back(
+        CharacterizeClassifier(*classifier, *bench->validation_.corpora[r]));
+    bench->classifiers_.push_back(std::move(classifier));
+
+    IEJOIN_ASSIGN_OR_RETURN(
+        std::vector<LearnedQuery> queries,
+        QueryLearner::Learn(*bench->training_.corpora[r], config.aqg_max_queries));
+    bench->queries_.push_back(std::move(queries));
+  }
+  return bench;
+}
+
+JoinResources MultiWorkbench::PairResources(size_t a, size_t b) const {
+  JoinResources r;
+  r.database1 = databases_[a].get();
+  r.database2 = databases_[b].get();
+  r.extractor1 = extractors_[a].get();
+  r.extractor2 = extractors_[b].get();
+  r.classifier1 = classifiers_[a].get();
+  r.classifier2 = classifiers_[b].get();
+  r.queries1 = &queries_[a];
+  r.queries2 = &queries_[b];
+  r.costs1 = config_.costs;
+  r.costs2 = config_.costs;
+  return r;
+}
+
+Result<JoinModelParams> MultiWorkbench::PairOracleParams(
+    size_t a, size_t b, double theta_a, double theta_b,
+    bool include_zgjn_pgfs) const {
+  JoinModelParams params;
+  IEJOIN_ASSIGN_OR_RETURN(
+      params.relation1,
+      ComputeOracleRelationParams(*scenario_.corpora[a], *databases_[a],
+                                  *extractors_[a], *knobs_[a], theta_a,
+                                  &cls_chars_[a], &queries_[a], include_zgjn_pgfs));
+  IEJOIN_ASSIGN_OR_RETURN(
+      params.relation2,
+      ComputeOracleRelationParams(*scenario_.corpora[b], *databases_[b],
+                                  *extractors_[b], *knobs_[b], theta_b,
+                                  &cls_chars_[b], &queries_[b], include_zgjn_pgfs));
+  const OverlapCounts overlap =
+      ComputeOverlapFromGroundTruth(*scenario_.corpora[a], *scenario_.corpora[b]);
+  params.num_agg = overlap.num_agg;
+  params.num_agb = overlap.num_agb;
+  params.num_abg = overlap.num_abg;
+  params.num_abb = overlap.num_abb;
+  return params;
+}
+
+Result<OptimizerInputs> MultiWorkbench::PairOptimizerInputs(
+    size_t a, size_t b, bool include_zgjn_pgfs) const {
+  IEJOIN_ASSIGN_OR_RETURN(JoinModelParams params,
+                          PairOracleParams(a, b, 0.4, 0.4, include_zgjn_pgfs));
+  OptimizerInputs inputs;
+  inputs.base_params = std::move(params);
+  inputs.knobs1 = knobs_[a].get();
+  inputs.knobs2 = knobs_[b].get();
+  inputs.costs1 = config_.costs;
+  inputs.costs2 = config_.costs;
+  return inputs;
+}
+
+std::vector<TokenId> MultiWorkbench::PairZgjnSeeds(size_t a, size_t b,
+                                                   int64_t count) const {
+  std::vector<TokenId> seeds;
+  const auto& fa = scenario_.corpora[a]->ground_truth().value_frequencies;
+  const auto& fb = scenario_.corpora[b]->ground_truth().value_frequencies;
+  // Deterministic order: walk the shared value universe in id order.
+  for (TokenId v : scenario_.values) {
+    if (static_cast<int64_t>(seeds.size()) >= count) break;
+    const auto ia = fa.find(v);
+    const auto ib = fb.find(v);
+    if (ia != fa.end() && ib != fb.end() && ia->second.good > 0 &&
+        ib->second.good > 0) {
+      seeds.push_back(v);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace iejoin

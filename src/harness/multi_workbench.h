@@ -1,0 +1,85 @@
+#ifndef IEJOIN_HARNESS_MULTI_WORKBENCH_H_
+#define IEJOIN_HARNESS_MULTI_WORKBENCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifier/naive_bayes.h"
+#include "common/status.h"
+#include "extraction/extractor_profile.h"
+#include "extraction/snowball_extractor.h"
+#include "join/join_executor.h"
+#include "model/oracle_params.h"
+#include "optimizer/optimizer.h"
+#include "querygen/query_learner.h"
+#include "textdb/multi_corpus_generator.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+struct MultiWorkbenchConfig {
+  MultiScenarioSpec spec = MultiScenarioSpec::ThreeRelationPaperLike();
+  int64_t max_results_per_query = 200;
+  SnowballConfig snowball;
+  int32_t aqg_max_queries = 60;
+  int32_t knob_grid_points = 21;
+  CostModel costs;
+};
+
+/// The K-relation analogue of Workbench: one generated evaluation scenario
+/// plus training/validation draws over a shared vocabulary, with trained
+/// and characterized components per relation, and helpers to assemble any
+/// *pairwise* join task (resources, oracle parameters, optimizer inputs) —
+/// the paper's "variety of join tasks involving combinations of the three
+/// relations and the three databases".
+class MultiWorkbench {
+ public:
+  static Result<std::unique_ptr<MultiWorkbench>> Create(
+      const MultiWorkbenchConfig& config);
+
+  size_t num_relations() const { return databases_.size(); }
+  const MultiScenario& scenario() const { return scenario_; }
+  const TextDatabase& database(size_t r) const { return *databases_[r]; }
+  const Extractor& extractor(size_t r) const { return *extractors_[r]; }
+  const KnobCharacterization& knobs(size_t r) const { return *knobs_[r]; }
+  const ClassifierCharacterization& classifier_char(size_t r) const {
+    return cls_chars_[r];
+  }
+  const std::vector<LearnedQuery>& queries(size_t r) const { return queries_[r]; }
+  const CostModel& costs() const { return config_.costs; }
+
+  /// Join resources for the task R_a ⋈ R_b (a is side 1).
+  JoinResources PairResources(size_t a, size_t b) const;
+
+  /// Ground-truth model parameters for the pair at the given knob settings;
+  /// the overlap classes are computed from the realized ground truth.
+  Result<JoinModelParams> PairOracleParams(size_t a, size_t b, double theta_a,
+                                           double theta_b,
+                                           bool include_zgjn_pgfs) const;
+
+  /// Oracle-backed optimizer inputs for the pair.
+  Result<OptimizerInputs> PairOptimizerInputs(size_t a, size_t b,
+                                              bool include_zgjn_pgfs) const;
+
+  /// Seed values for ZGJN on the pair: values with good occurrences in both
+  /// relations.
+  std::vector<TokenId> PairZgjnSeeds(size_t a, size_t b, int64_t count) const;
+
+ private:
+  MultiWorkbench() = default;
+
+  MultiWorkbenchConfig config_;
+  MultiScenario scenario_;
+  MultiScenario training_;
+  MultiScenario validation_;
+  std::vector<std::unique_ptr<TextDatabase>> databases_;
+  std::vector<std::unique_ptr<SnowballExtractor>> extractors_;
+  std::vector<std::unique_ptr<KnobCharacterization>> knobs_;
+  std::vector<std::unique_ptr<NaiveBayesClassifier>> classifiers_;
+  std::vector<ClassifierCharacterization> cls_chars_;
+  std::vector<std::vector<LearnedQuery>> queries_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_HARNESS_MULTI_WORKBENCH_H_

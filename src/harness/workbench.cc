@@ -1,0 +1,163 @@
+#include "harness/workbench.h"
+
+#include <algorithm>
+
+namespace iejoin {
+
+Result<std::unique_ptr<Workbench>> Workbench::Create(const WorkbenchConfig& config) {
+  auto bench = std::unique_ptr<Workbench>(new Workbench());
+  bench->config_ = config;
+
+  // One shared token space for training and evaluation corpora, so models
+  // trained on the former transfer to the latter.
+  auto vocabulary = std::make_shared<Vocabulary>();
+
+  ScenarioSpec training_spec = config.scenario;
+  training_spec.seed = config.scenario.seed + 1;
+  {
+    CorpusGenerator generator(training_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->training_, generator.Generate(vocabulary));
+  }
+  // Held-out validation draw: offline characterizations (classifier rates)
+  // are measured here rather than on the training corpus itself, so the
+  // parameters fed to the models do not inherit training overfit.
+  ScenarioSpec validation_spec = config.scenario;
+  validation_spec.seed = config.scenario.seed + 2;
+  {
+    CorpusGenerator generator(validation_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->validation_, generator.Generate(vocabulary));
+  }
+  {
+    CorpusGenerator generator(config.scenario);
+    IEJOIN_ASSIGN_OR_RETURN(bench->scenario_, generator.Generate(vocabulary));
+  }
+  return Wire(std::move(bench), config);
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::CreateForScenario(
+    const WorkbenchConfig& config, JoinScenario evaluation_scenario) {
+  if (evaluation_scenario.vocabulary == nullptr ||
+      evaluation_scenario.corpus1 == nullptr ||
+      evaluation_scenario.corpus2 == nullptr) {
+    return Status::InvalidArgument("evaluation scenario is incomplete");
+  }
+  auto bench = std::unique_ptr<Workbench>(new Workbench());
+  bench->config_ = config;
+  bench->scenario_ = std::move(evaluation_scenario);
+  // Reuse the loaded scenario's vocabulary so trained components share its
+  // token space (names are deterministic per spec, so identical names map
+  // to identical ids).
+  std::shared_ptr<Vocabulary> vocabulary = bench->scenario_.vocabulary;
+
+  ScenarioSpec training_spec = config.scenario;
+  training_spec.seed = config.scenario.seed + 1;
+  {
+    CorpusGenerator generator(training_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->training_, generator.Generate(vocabulary));
+  }
+  ScenarioSpec validation_spec = config.scenario;
+  validation_spec.seed = config.scenario.seed + 2;
+  {
+    CorpusGenerator generator(validation_spec);
+    IEJOIN_ASSIGN_OR_RETURN(bench->validation_, generator.Generate(vocabulary));
+  }
+  return Wire(std::move(bench), config);
+}
+
+Result<std::unique_ptr<Workbench>> Workbench::Wire(std::unique_ptr<Workbench> bench,
+                                                   const WorkbenchConfig& config) {
+  bench->database1_ = std::make_unique<TextDatabase>(
+      bench->scenario_.corpus1, config.scenario.seed ^ 0x5bd1e995,
+      config.max_results_per_query);
+  bench->database2_ = std::make_unique<TextDatabase>(
+      bench->scenario_.corpus2, config.scenario.seed ^ 0xc2b2ae35,
+      config.max_results_per_query);
+
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->extractor1_,
+      SnowballExtractor::Train(*bench->training_.corpus1, config.snowball1));
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->extractor2_,
+      SnowballExtractor::Train(*bench->training_.corpus2, config.snowball2));
+
+  const std::vector<double> grid = UniformThetaGrid(config.knob_grid_points);
+  IEJOIN_ASSIGN_OR_RETURN(
+      KnobCharacterization knobs1,
+      CharacterizeExtractor(*bench->extractor1_, *bench->training_.corpus1, grid));
+  bench->knobs1_ = std::make_unique<KnobCharacterization>(std::move(knobs1));
+  IEJOIN_ASSIGN_OR_RETURN(
+      KnobCharacterization knobs2,
+      CharacterizeExtractor(*bench->extractor2_, *bench->training_.corpus2, grid));
+  bench->knobs2_ = std::make_unique<KnobCharacterization>(std::move(knobs2));
+
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->classifier1_,
+      NaiveBayesClassifier::Train(*bench->training_.corpus1, config.classifier_bias));
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->classifier2_,
+      NaiveBayesClassifier::Train(*bench->training_.corpus2, config.classifier_bias));
+  bench->cls_char1_ =
+      CharacterizeClassifier(*bench->classifier1_, *bench->validation_.corpus1);
+  bench->cls_char2_ =
+      CharacterizeClassifier(*bench->classifier2_, *bench->validation_.corpus2);
+
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->queries1_,
+      QueryLearner::Learn(*bench->training_.corpus1, config.aqg_max_queries));
+  IEJOIN_ASSIGN_OR_RETURN(
+      bench->queries2_,
+      QueryLearner::Learn(*bench->training_.corpus2, config.aqg_max_queries));
+
+  return bench;
+}
+
+JoinResources Workbench::resources() const {
+  JoinResources r;
+  r.database1 = database1_.get();
+  r.database2 = database2_.get();
+  r.extractor1 = extractor1_.get();
+  r.extractor2 = extractor2_.get();
+  r.classifier1 = classifier1_.get();
+  r.classifier2 = classifier2_.get();
+  r.queries1 = &queries1_;
+  r.queries2 = &queries2_;
+  r.costs1 = config_.costs;
+  r.costs2 = config_.costs;
+  return r;
+}
+
+Result<JoinModelParams> Workbench::OracleParams(double theta1, double theta2,
+                                                bool include_zgjn_pgfs) const {
+  OracleParamsOptions options;
+  options.theta1 = theta1;
+  options.theta2 = theta2;
+  options.include_zgjn_pgfs = include_zgjn_pgfs;
+  return ComputeOracleParams(scenario_, *database1_, *database2_, *extractor1_,
+                             *extractor2_, *knobs1_, *knobs2_, &cls_char1_,
+                             &cls_char2_, &queries1_, &queries2_, options);
+}
+
+Result<OptimizerInputs> Workbench::OracleOptimizerInputs(
+    bool include_zgjn_pgfs) const {
+  // The optimizer stamps tp/fp per plan, so any base thetas work here.
+  IEJOIN_ASSIGN_OR_RETURN(JoinModelParams params,
+                          OracleParams(0.4, 0.4, include_zgjn_pgfs));
+  OptimizerInputs inputs;
+  inputs.base_params = std::move(params);
+  inputs.knobs1 = knobs1_.get();
+  inputs.knobs2 = knobs2_.get();
+  inputs.costs1 = config_.costs;
+  inputs.costs2 = config_.costs;
+  return inputs;
+}
+
+std::vector<TokenId> Workbench::ZgjnSeeds(int64_t count) const {
+  std::vector<TokenId> seeds;
+  const auto& gg = scenario_.values_gg;
+  for (int64_t i = 0; i < count && i < static_cast<int64_t>(gg.size()); ++i) {
+    seeds.push_back(gg[static_cast<size_t>(i)]);
+  }
+  return seeds;
+}
+
+}  // namespace iejoin

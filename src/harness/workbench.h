@@ -1,0 +1,110 @@
+#ifndef IEJOIN_HARNESS_WORKBENCH_H_
+#define IEJOIN_HARNESS_WORKBENCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "classifier/naive_bayes.h"
+#include "common/status.h"
+#include "extraction/extractor_profile.h"
+#include "extraction/snowball_extractor.h"
+#include "join/join_executor.h"
+#include "model/oracle_params.h"
+#include "optimizer/optimizer.h"
+#include "querygen/query_learner.h"
+#include "textdb/corpus_generator.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+/// Configuration for a full experimental setup.
+struct WorkbenchConfig {
+  ScenarioSpec scenario = ScenarioSpec::PaperLike();
+  /// The training corpus shares the scenario's shape but different draws
+  /// (the paper trains on NYT96 and evaluates elsewhere); generated from
+  /// scenario.seed + 1.
+  int64_t max_results_per_query = 200;  // search-interface top-k
+  SnowballConfig snowball1;
+  SnowballConfig snowball2;
+  int32_t aqg_max_queries = 60;
+  double classifier_bias = 0.0;
+  int32_t knob_grid_points = 21;
+  CostModel costs;
+};
+
+/// One fully wired experimental setup: evaluation corpora + databases, a
+/// training scenario, trained extractors with measured knob curves, trained
+/// classifiers with measured C_tp/C_fp, learned AQG queries, and helpers to
+/// assemble oracle model parameters and optimizer inputs. This is the
+/// evaluation-harness layer: it is the only layer that touches ground truth
+/// wholesale.
+class Workbench {
+ public:
+  static Result<std::unique_ptr<Workbench>> Create(const WorkbenchConfig& config);
+
+  /// Builds a workbench around an existing evaluation scenario (e.g. one
+  /// loaded from disk via LoadScenario): training and validation draws are
+  /// regenerated from config.scenario over the scenario's own vocabulary,
+  /// so trained components transfer.
+  static Result<std::unique_ptr<Workbench>> CreateForScenario(
+      const WorkbenchConfig& config, JoinScenario evaluation_scenario);
+
+  const WorkbenchConfig& config() const { return config_; }
+  const JoinScenario& scenario() const { return scenario_; }
+  const JoinScenario& training_scenario() const { return training_; }
+  const JoinScenario& validation_scenario() const { return validation_; }
+  const TextDatabase& database1() const { return *database1_; }
+  const TextDatabase& database2() const { return *database2_; }
+  const Extractor& extractor1() const { return *extractor1_; }
+  const Extractor& extractor2() const { return *extractor2_; }
+  const KnobCharacterization& knobs1() const { return *knobs1_; }
+  const KnobCharacterization& knobs2() const { return *knobs2_; }
+  const ClassifierCharacterization& classifier_char1() const { return cls_char1_; }
+  const ClassifierCharacterization& classifier_char2() const { return cls_char2_; }
+  const std::vector<LearnedQuery>& queries1() const { return queries1_; }
+  const std::vector<LearnedQuery>& queries2() const { return queries2_; }
+
+  /// Join resources for executing any plan on the evaluation databases.
+  JoinResources resources() const;
+
+  /// Ground-truth model parameters at the given knob settings.
+  Result<JoinModelParams> OracleParams(double theta1, double theta2,
+                                       bool include_zgjn_pgfs) const;
+
+  /// Optimizer inputs backed by oracle parameters (tp/fp stamped per plan
+  /// by the optimizer itself).
+  Result<OptimizerInputs> OracleOptimizerInputs(bool include_zgjn_pgfs) const;
+
+  /// Seed join-attribute values for ZGJN runs (drawn from the shared
+  /// good-good overlap, like the paper's [“Microsoft”] example).
+  std::vector<TokenId> ZgjnSeeds(int64_t count) const;
+
+ private:
+  Workbench() = default;
+
+  /// Shared tail of Create / CreateForScenario: builds databases, trains
+  /// and characterizes extractors/classifiers, learns queries.
+  static Result<std::unique_ptr<Workbench>> Wire(std::unique_ptr<Workbench> bench,
+                                                 const WorkbenchConfig& config);
+
+  WorkbenchConfig config_;
+  JoinScenario scenario_;
+  JoinScenario training_;
+  JoinScenario validation_;
+  std::unique_ptr<TextDatabase> database1_;
+  std::unique_ptr<TextDatabase> database2_;
+  std::unique_ptr<SnowballExtractor> extractor1_;
+  std::unique_ptr<SnowballExtractor> extractor2_;
+  std::unique_ptr<KnobCharacterization> knobs1_;
+  std::unique_ptr<KnobCharacterization> knobs2_;
+  std::unique_ptr<NaiveBayesClassifier> classifier1_;
+  std::unique_ptr<NaiveBayesClassifier> classifier2_;
+  ClassifierCharacterization cls_char1_;
+  ClassifierCharacterization cls_char2_;
+  std::vector<LearnedQuery> queries1_;
+  std::vector<LearnedQuery> queries2_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_HARNESS_WORKBENCH_H_

@@ -1,0 +1,99 @@
+#ifndef IEJOIN_JOIN_JOIN_EXECUTION_H_
+#define IEJOIN_JOIN_JOIN_EXECUTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "join/join_state.h"
+#include "join/join_types.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// One sampled point of a join execution: cumulative effort and output
+/// composition. The benchmark harnesses replay trajectories to answer
+/// "what had the plan produced after X% of the documents / queries?"
+/// without re-running executions per threshold.
+struct TrajectoryPoint {
+  int64_t docs_retrieved1 = 0;
+  int64_t docs_retrieved2 = 0;
+  int64_t docs_processed1 = 0;
+  int64_t docs_processed2 = 0;
+  int64_t queries1 = 0;
+  int64_t queries2 = 0;
+  int64_t extracted1 = 0;
+  int64_t extracted2 = 0;
+  /// Processed documents that produced at least one tuple (the estimator's
+  /// producing-document observable).
+  int64_t docs_with_extraction1 = 0;
+  int64_t docs_with_extraction2 = 0;
+  /// Ground-truth join composition (evaluation-only fields).
+  int64_t good_join_tuples = 0;
+  int64_t bad_join_tuples = 0;
+  /// Simulated execution time so far.
+  double seconds = 0.0;
+};
+
+/// When a join execution gives up control.
+enum class StopRule : uint8_t {
+  /// Run until documents/queries are exhausted (trajectory benches).
+  kExhaustion = 0,
+  /// Stop when the ground-truth output meets — or can no longer meet — the
+  /// quality requirement. Used by evaluation harnesses ranking candidate
+  /// plans (Table II); real executions never see ground truth.
+  kOracleQuality = 1,
+  /// Delegate to `stop_callback` (the adaptive optimizer plugs its
+  /// estimate-based condition in here, as in Figures 3/5/7).
+  kCallback = 2,
+};
+
+struct JoinExecutionOptions {
+  StopRule stop_rule = StopRule::kExhaustion;
+  QualityRequirement requirement;
+
+  /// For StopRule::kCallback: return true to stop. Invoked after every
+  /// processed document / issued query with the live progress and state.
+  std::function<bool(const TrajectoryPoint&, const JoinState&)> stop_callback;
+
+  /// Trajectory sampling cadence in processed documents (>=1).
+  int64_t snapshot_every_docs = 32;
+
+  /// Materialize up to this many join output tuples (0 = counts only).
+  int64_t max_output_tuples = 0;
+
+  /// IDJN document retrieval rates per round ("square" 1:1 by default;
+  /// other ratios give the paper's "rectangle" variant).
+  int64_t docs_per_round1 = 1;
+  int64_t docs_per_round2 = 1;
+
+  /// ZGJN seed queries (join-attribute values issued to D1 first).
+  std::vector<TokenId> seed_values;
+
+  /// --- ZGJN focusing extensions (the paper's future work: "extending
+  /// ZGJN to derive queries that focus on good documents") ---
+  /// Pop the highest-confidence value (max extraction similarity that
+  /// produced it) instead of FIFO order.
+  bool zgjn_confidence_priority = false;
+  /// Only enqueue values whose best producing-extraction similarity clears
+  /// this bar (0 = enqueue everything, the paper's plain ZGJN).
+  double zgjn_min_confidence = 0.0;
+  /// Run each side's document classifier over retrieved documents and skip
+  /// extraction of rejected ones (Filtered-Scan-style, charges t_F).
+  bool zgjn_classifier_filter = false;
+};
+
+struct JoinExecutionResult {
+  TrajectoryPoint final_point;
+  std::vector<TrajectoryPoint> trajectory;
+  JoinState state{0};
+
+  /// True when the execution consumed every reachable document/query.
+  bool exhausted = false;
+  /// Ground-truth check of options.requirement at the stopping point.
+  bool requirement_met = false;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_JOIN_EXECUTION_H_

@@ -1,0 +1,376 @@
+#include "join/join_executor.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+JoinExecutorBase::JoinExecutorBase(SideConfig side1, SideConfig side2) {
+  sides_[0].config = std::move(side1);
+  sides_[1].config = std::move(side2);
+  for (SideState& side : sides_) {
+    IEJOIN_CHECK(side.config.database != nullptr);
+    IEJOIN_CHECK(side.config.extractor != nullptr);
+    side.meter = ExecutionMeter(side.config.costs);
+    side.retrieved.assign(static_cast<size_t>(side.config.database->size()), false);
+  }
+}
+
+Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
+  if (ran_) {
+    return Status::FailedPrecondition("join executors are single-use");
+  }
+  ran_ = true;
+  if (options.snapshot_every_docs < 1) {
+    return Status::InvalidArgument("snapshot_every_docs must be >= 1");
+  }
+  if (options.stop_rule == StopRule::kCallback && !options.stop_callback) {
+    return Status::InvalidArgument("StopRule::kCallback requires a stop_callback");
+  }
+  state_ = JoinState(options.max_output_tuples);
+  trajectory_.clear();
+  docs_since_snapshot_ = 0;
+  return Status::Ok();
+}
+
+ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
+  SideState& side = sides_[side_index];
+  const Document& document = side.config.database->corpus().document(doc);
+  side.meter.ChargeExtract();
+  ++side.docs_processed;
+  ++docs_since_snapshot_;
+  ExtractionBatch batch = side.config.extractor->Process(document);
+  if (!batch.empty()) ++side.docs_with_extraction;
+  state_.AddBatch(side_index, batch);
+  return batch;
+}
+
+std::vector<DocId> JoinExecutorBase::QueryAndFetch(int side_index, TokenId value) {
+  SideState& side = sides_[side_index];
+  side.meter.ChargeQuery();
+  std::vector<DocId> fresh;
+  for (DocId d : side.config.database->Query({value})) {
+    if (!side.retrieved[static_cast<size_t>(d)]) {
+      side.retrieved[static_cast<size_t>(d)] = true;
+      side.meter.ChargeRetrieve();
+      fresh.push_back(d);
+    }
+  }
+  return fresh;
+}
+
+TrajectoryPoint JoinExecutorBase::Snapshot() const {
+  TrajectoryPoint p;
+  p.docs_retrieved1 = sides_[0].meter.docs_retrieved();
+  p.docs_retrieved2 = sides_[1].meter.docs_retrieved();
+  p.docs_processed1 = sides_[0].docs_processed;
+  p.docs_processed2 = sides_[1].docs_processed;
+  p.queries1 = sides_[0].meter.queries_issued();
+  p.queries2 = sides_[1].meter.queries_issued();
+  p.extracted1 = state_.extracted_occurrences(0);
+  p.extracted2 = state_.extracted_occurrences(1);
+  p.docs_with_extraction1 = sides_[0].docs_with_extraction;
+  p.docs_with_extraction2 = sides_[1].docs_with_extraction;
+  p.good_join_tuples = state_.good_join_tuples();
+  p.bad_join_tuples = state_.bad_join_tuples();
+  p.seconds = sides_[0].meter.seconds() + sides_[1].meter.seconds();
+  return p;
+}
+
+void JoinExecutorBase::MaybeSnapshot(const JoinExecutionOptions& options) {
+  if (docs_since_snapshot_ >= options.snapshot_every_docs) {
+    trajectory_.push_back(Snapshot());
+    docs_since_snapshot_ = 0;
+  }
+}
+
+bool JoinExecutorBase::CheckStop(const JoinExecutionOptions& options) {
+  switch (options.stop_rule) {
+    case StopRule::kExhaustion:
+      return false;
+    case StopRule::kOracleQuality:
+      // Mirror of the algorithms' loop guard (Figures 3/5/7): continue
+      // while good < τ_g and bad <= τ_b.
+      return state_.good_join_tuples() >= options.requirement.min_good_tuples ||
+             state_.bad_join_tuples() > options.requirement.max_bad_tuples;
+    case StopRule::kCallback:
+      return options.stop_callback(Snapshot(), state_);
+  }
+  return false;
+}
+
+JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options,
+                                             bool exhausted) {
+  JoinExecutionResult result;
+  result.final_point = Snapshot();
+  trajectory_.push_back(result.final_point);
+  result.trajectory = std::move(trajectory_);
+  result.state = std::move(state_);
+  result.exhausted = exhausted;
+  result.requirement_met = options.requirement.MetBy(
+      result.final_point.good_join_tuples, result.final_point.bad_join_tuples);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// IDJN
+// ---------------------------------------------------------------------------
+
+IndependentJoin::IndependentJoin(SideConfig side1, SideConfig side2,
+                                 std::unique_ptr<RetrievalStrategy> retrieval1,
+                                 std::unique_ptr<RetrievalStrategy> retrieval2)
+    : JoinExecutorBase(std::move(side1), std::move(side2)) {
+  retrieval_[0] = std::move(retrieval1);
+  retrieval_[1] = std::move(retrieval2);
+  IEJOIN_CHECK(retrieval_[0] != nullptr && retrieval_[1] != nullptr);
+}
+
+Result<JoinExecutionResult> IndependentJoin::Run(const JoinExecutionOptions& options) {
+  IEJOIN_RETURN_IF_ERROR(Begin(options));
+  if (options.docs_per_round1 < 1 || options.docs_per_round2 < 1) {
+    return Status::InvalidArgument("IDJN docs_per_round must be >= 1");
+  }
+
+  const int64_t per_round[2] = {options.docs_per_round1, options.docs_per_round2};
+  bool stopped = false;
+  bool exhausted = false;
+  while (!stopped && !exhausted) {
+    bool progress = false;
+    for (int side = 0; side < 2 && !stopped; ++side) {
+      for (int64_t k = 0; k < per_round[side]; ++k) {
+        const std::optional<DocId> doc = retrieval_[side]->Next(&sides_[side].meter);
+        if (!doc.has_value()) break;
+        ProcessDocument(side, *doc);
+        progress = true;
+        MaybeSnapshot(options);
+        if (CheckStop(options)) {
+          stopped = true;
+          break;
+        }
+      }
+    }
+    if (!progress && !stopped) exhausted = true;
+  }
+  return Finish(options, exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// OIJN
+// ---------------------------------------------------------------------------
+
+OuterInnerJoin::OuterInnerJoin(SideConfig side1, SideConfig side2,
+                               std::unique_ptr<RetrievalStrategy> outer_retrieval,
+                               bool outer_is_side1)
+    : JoinExecutorBase(std::move(side1), std::move(side2)),
+      outer_retrieval_(std::move(outer_retrieval)),
+      outer_is_side1_(outer_is_side1) {
+  IEJOIN_CHECK(outer_retrieval_ != nullptr);
+}
+
+Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& options) {
+  IEJOIN_RETURN_IF_ERROR(Begin(options));
+
+  const int outer = outer_is_side1_ ? 0 : 1;
+  const int inner = 1 - outer;
+  std::unordered_set<TokenId> probed_values;
+
+  bool stopped = false;
+  bool exhausted = false;
+  while (!stopped) {
+    const std::optional<DocId> doc = outer_retrieval_->Next(&sides_[outer].meter);
+    if (!doc.has_value()) {
+      exhausted = true;
+      break;
+    }
+    const ExtractionBatch outer_batch = ProcessDocument(outer, *doc);
+    MaybeSnapshot(options);
+    if (CheckStop(options)) break;
+
+    // Probe the inner database once per newly seen join-attribute value.
+    for (const ExtractedTuple& t : outer_batch) {
+      if (!probed_values.insert(t.join_value).second) continue;
+      for (DocId d : QueryAndFetch(inner, t.join_value)) {
+        ProcessDocument(inner, d);
+        MaybeSnapshot(options);
+        if (CheckStop(options)) {
+          stopped = true;
+          break;
+        }
+      }
+      if (stopped) break;
+    }
+  }
+  return Finish(options, exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// ZGJN
+// ---------------------------------------------------------------------------
+
+ZigZagJoin::ZigZagJoin(SideConfig side1, SideConfig side2,
+                       const DocumentClassifier* classifier1,
+                       const DocumentClassifier* classifier2)
+    : JoinExecutorBase(std::move(side1), std::move(side2)) {
+  classifiers_[0] = classifier1;
+  classifiers_[1] = classifier2;
+}
+
+namespace {
+
+/// A query queue that pops FIFO (plain ZGJN) or by descending confidence
+/// (the focused variant). Confidence is the best extraction similarity
+/// that produced the value.
+class ZgjnQueryQueue {
+ public:
+  explicit ZgjnQueryQueue(bool by_confidence) : by_confidence_(by_confidence) {}
+
+  bool empty() const { return fifo_.empty() && heap_.empty(); }
+
+  void Push(TokenId value, double confidence) {
+    if (by_confidence_) {
+      heap_.emplace(confidence, value);
+    } else {
+      fifo_.push_back(value);
+    }
+  }
+
+  TokenId Pop() {
+    if (by_confidence_) {
+      const TokenId v = heap_.top().second;
+      heap_.pop();
+      return v;
+    }
+    const TokenId v = fifo_.front();
+    fifo_.pop_front();
+    return v;
+  }
+
+ private:
+  bool by_confidence_;
+  std::deque<TokenId> fifo_;
+  std::priority_queue<std::pair<double, TokenId>> heap_;
+};
+
+}  // namespace
+
+Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options) {
+  IEJOIN_RETURN_IF_ERROR(Begin(options));
+  if (options.seed_values.empty()) {
+    return Status::InvalidArgument("ZGJN requires at least one seed value");
+  }
+  if (options.zgjn_classifier_filter &&
+      (classifiers_[0] == nullptr || classifiers_[1] == nullptr)) {
+    return Status::InvalidArgument(
+        "zgjn_classifier_filter requires classifiers for both sides");
+  }
+
+  // queues[0] holds queries destined for D1, queues[1] for D2.
+  ZgjnQueryQueue queues[2] = {ZgjnQueryQueue(options.zgjn_confidence_priority),
+                              ZgjnQueryQueue(options.zgjn_confidence_priority)};
+  std::unordered_set<TokenId> enqueued[2];
+  for (TokenId v : options.seed_values) {
+    if (enqueued[0].insert(v).second) queues[0].Push(v, /*confidence=*/1.0);
+  }
+
+  bool stopped = false;
+  while (!stopped && (!queues[0].empty() || !queues[1].empty())) {
+    for (int side = 0; side < 2 && !stopped; ++side) {
+      if (queues[side].empty()) continue;
+      const TokenId value = queues[side].Pop();
+      const int other = 1 - side;
+      for (DocId d : QueryAndFetch(side, value)) {
+        if (options.zgjn_classifier_filter) {
+          sides_[side].meter.ChargeFilter();
+          if (!classifiers_[side]->IsLikelyGood(
+                  sides_[side].config.database->corpus().document(d))) {
+            continue;
+          }
+        }
+        const ExtractionBatch batch = ProcessDocument(side, d);
+        // Values extracted from this side seed queries against the other;
+        // the focused variant gates them on extraction confidence so the
+        // traversal steers toward values with good-looking contexts.
+        for (const ExtractedTuple& t : batch) {
+          if (t.similarity < options.zgjn_min_confidence) continue;
+          if (enqueued[other].insert(t.join_value).second) {
+            queues[other].Push(t.join_value, t.similarity);
+          }
+        }
+        MaybeSnapshot(options);
+        if (CheckStop(options)) {
+          stopped = true;
+          break;
+        }
+      }
+      if (!stopped && CheckStop(options)) stopped = true;
+    }
+  }
+  const bool exhausted = queues[0].empty() && queues[1].empty();
+  return Finish(options, exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<JoinExecutorBase>> CreateJoinExecutor(
+    const JoinPlanSpec& plan, const JoinResources& resources) {
+  if (resources.database1 == nullptr || resources.database2 == nullptr ||
+      resources.extractor1 == nullptr || resources.extractor2 == nullptr) {
+    return Status::InvalidArgument("join resources are incomplete");
+  }
+  if (plan.theta1 < 0.0 || plan.theta1 > 1.0 || plan.theta2 < 0.0 ||
+      plan.theta2 > 1.0) {
+    return Status::InvalidArgument("plan thetas must be in [0, 1]");
+  }
+
+  JoinExecutorBase::SideConfig side1;
+  side1.database = resources.database1;
+  side1.extractor = resources.extractor1->WithTheta(plan.theta1);
+  side1.costs = resources.costs1;
+  JoinExecutorBase::SideConfig side2;
+  side2.database = resources.database2;
+  side2.extractor = resources.extractor2->WithTheta(plan.theta2);
+  side2.costs = resources.costs2;
+
+  auto make_retrieval = [&](RetrievalStrategyKind kind, int side)
+      -> Result<std::unique_ptr<RetrievalStrategy>> {
+    const TextDatabase* db = side == 0 ? resources.database1 : resources.database2;
+    const DocumentClassifier* classifier =
+        side == 0 ? resources.classifier1 : resources.classifier2;
+    const std::vector<LearnedQuery>* queries =
+        side == 0 ? resources.queries1 : resources.queries2;
+    return CreateRetrievalStrategy(kind, db, classifier, queries);
+  };
+
+  switch (plan.algorithm) {
+    case JoinAlgorithmKind::kIndependent: {
+      IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<RetrievalStrategy> r1,
+                              make_retrieval(plan.retrieval1, 0));
+      IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<RetrievalStrategy> r2,
+                              make_retrieval(plan.retrieval2, 1));
+      return std::unique_ptr<JoinExecutorBase>(new IndependentJoin(
+          std::move(side1), std::move(side2), std::move(r1), std::move(r2)));
+    }
+    case JoinAlgorithmKind::kOuterInner: {
+      const RetrievalStrategyKind outer_kind =
+          plan.outer_is_relation1 ? plan.retrieval1 : plan.retrieval2;
+      IEJOIN_ASSIGN_OR_RETURN(
+          std::unique_ptr<RetrievalStrategy> outer,
+          make_retrieval(outer_kind, plan.outer_is_relation1 ? 0 : 1));
+      return std::unique_ptr<JoinExecutorBase>(
+          new OuterInnerJoin(std::move(side1), std::move(side2), std::move(outer),
+                             plan.outer_is_relation1));
+    }
+    case JoinAlgorithmKind::kZigZag:
+      return std::unique_ptr<JoinExecutorBase>(
+          new ZigZagJoin(std::move(side1), std::move(side2),
+                         resources.classifier1, resources.classifier2));
+  }
+  return Status::InvalidArgument("unknown join algorithm");
+}
+
+}  // namespace iejoin

@@ -1,0 +1,167 @@
+#ifndef IEJOIN_JOIN_JOIN_EXECUTOR_H_
+#define IEJOIN_JOIN_JOIN_EXECUTOR_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "classifier/document_classifier.h"
+#include "common/status.h"
+#include "extraction/extractor.h"
+#include "join/join_execution.h"
+#include "join/join_types.h"
+#include "querygen/query_learner.h"
+#include "retrieval/retrieval_strategy.h"
+#include "textdb/cost_model.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+/// Shared machinery of the three join algorithms: per-side meters, document
+/// bookkeeping, ripple-join state updates, trajectory sampling, and
+/// stopping-rule evaluation. Executors are single-use: construct, Run once.
+class JoinExecutorBase {
+ public:
+  /// Immutable per-side resources. The extractor is already tuned to the
+  /// plan's θ. Everything pointed to must outlive the executor.
+  struct SideConfig {
+    const TextDatabase* database = nullptr;
+    std::unique_ptr<Extractor> extractor;
+    CostModel costs;
+  };
+
+  virtual ~JoinExecutorBase() = default;
+
+  JoinExecutorBase(const JoinExecutorBase&) = delete;
+  JoinExecutorBase& operator=(const JoinExecutorBase&) = delete;
+
+  /// Executes the join under the given options. Fails on invalid options
+  /// (e.g. ZGJN without seed values) or double Run.
+  virtual Result<JoinExecutionResult> Run(const JoinExecutionOptions& options) = 0;
+
+  virtual JoinAlgorithmKind kind() const = 0;
+
+ protected:
+  JoinExecutorBase(SideConfig side1, SideConfig side2);
+
+  struct SideState {
+    SideConfig config;
+    ExecutionMeter meter;
+    /// Documents already fetched through the query interface (dedup for
+    /// query-driven retrieval).
+    std::vector<bool> retrieved;
+    int64_t docs_processed = 0;
+    /// Processed documents yielding at least one extracted tuple.
+    int64_t docs_with_extraction = 0;
+  };
+
+  /// Common Run prologue: validates shared options, resets state.
+  Status Begin(const JoinExecutionOptions& options);
+
+  /// Runs the side's extractor over the document, charges t_E, feeds the
+  /// ripple-join state, and returns the extracted occurrences.
+  ExtractionBatch ProcessDocument(int side_index, DocId doc);
+
+  /// Issues the single-term keyword query `value` to a side's database,
+  /// charging t_Q plus t_R per *new* document; returns the newly retrieved
+  /// documents (top-k limited by the database's search interface).
+  std::vector<DocId> QueryAndFetch(int side_index, TokenId value);
+
+  TrajectoryPoint Snapshot() const;
+
+  /// Appends a trajectory point when the sampling cadence says so.
+  void MaybeSnapshot(const JoinExecutionOptions& options);
+
+  /// True when the configured stop rule fires.
+  bool CheckStop(const JoinExecutionOptions& options);
+
+  /// Common Run epilogue.
+  JoinExecutionResult Finish(const JoinExecutionOptions& options, bool exhausted);
+
+  SideState sides_[2];
+  JoinState state_{0};
+  std::vector<TrajectoryPoint> trajectory_;
+  int64_t docs_since_snapshot_ = 0;
+  bool ran_ = false;
+};
+
+/// IDJN (Section IV-A): extracts both relations independently, retrieving
+/// documents for each through its own retrieval strategy at a fixed
+/// rate ratio, joining as it goes (ripple traversal of D1 x D2).
+class IndependentJoin : public JoinExecutorBase {
+ public:
+  IndependentJoin(SideConfig side1, SideConfig side2,
+                  std::unique_ptr<RetrievalStrategy> retrieval1,
+                  std::unique_ptr<RetrievalStrategy> retrieval2);
+
+  Result<JoinExecutionResult> Run(const JoinExecutionOptions& options) override;
+  JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kIndependent; }
+
+ private:
+  std::unique_ptr<RetrievalStrategy> retrieval_[2];
+};
+
+/// OIJN (Section IV-B): nested-loops analogue. Retrieves outer-relation
+/// documents with a retrieval strategy; every new outer join-attribute
+/// value becomes a keyword probe into the inner database, whose (top-k
+/// limited) matches are processed with the inner extractor.
+class OuterInnerJoin : public JoinExecutorBase {
+ public:
+  /// `outer_is_side1` picks the outer relation; `outer_retrieval` drives it.
+  OuterInnerJoin(SideConfig side1, SideConfig side2,
+                 std::unique_ptr<RetrievalStrategy> outer_retrieval,
+                 bool outer_is_side1);
+
+  Result<JoinExecutionResult> Run(const JoinExecutionOptions& options) override;
+  JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kOuterInner; }
+
+ private:
+  std::unique_ptr<RetrievalStrategy> outer_retrieval_;
+  bool outer_is_side1_;
+};
+
+/// ZGJN (Section IV-C): fully interleaved querying. Seed values are issued
+/// against D1; values extracted from R1 documents become queries against
+/// D2, and vice versa, alternating until both query queues drain or the
+/// stop rule fires.
+///
+/// Optionally supports the paper's future-work extension of focusing
+/// queries on good documents (JoinExecutionOptions::zgjn_*): confidence
+/// ordering/gating of the query queues and classifier filtering of
+/// retrieved documents. Classifiers may be null when filtering is off.
+class ZigZagJoin : public JoinExecutorBase {
+ public:
+  ZigZagJoin(SideConfig side1, SideConfig side2,
+             const DocumentClassifier* classifier1 = nullptr,
+             const DocumentClassifier* classifier2 = nullptr);
+
+  Result<JoinExecutionResult> Run(const JoinExecutionOptions& options) override;
+  JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kZigZag; }
+
+ private:
+  const DocumentClassifier* classifiers_[2];
+};
+
+/// Everything needed to instantiate any plan in the plan space. Extractor
+/// bases are re-tuned per plan via Extractor::WithTheta.
+struct JoinResources {
+  const TextDatabase* database1 = nullptr;
+  const TextDatabase* database2 = nullptr;
+  const Extractor* extractor1 = nullptr;
+  const Extractor* extractor2 = nullptr;
+  const DocumentClassifier* classifier1 = nullptr;
+  const DocumentClassifier* classifier2 = nullptr;
+  const std::vector<LearnedQuery>* queries1 = nullptr;
+  const std::vector<LearnedQuery>* queries2 = nullptr;
+  CostModel costs1;
+  CostModel costs2;
+};
+
+/// Builds the executor for a join execution plan (Definition 3.1).
+Result<std::unique_ptr<JoinExecutorBase>> CreateJoinExecutor(
+    const JoinPlanSpec& plan, const JoinResources& resources);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_JOIN_EXECUTOR_H_

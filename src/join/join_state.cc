@@ -1,0 +1,64 @@
+#include "join/join_state.h"
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+JoinState::JoinState(int64_t max_output_tuples)
+    : max_output_tuples_(max_output_tuples) {}
+
+void JoinState::AddTuple(int side, const ExtractedTuple& tuple) {
+  IEJOIN_DCHECK(side == 0 || side == 1);
+  const int other = 1 - side;
+
+  // Join the new occurrence against everything already on the other side.
+  const auto other_it = value_counts_[other].find(tuple.join_value);
+  if (other_it != value_counts_[other].end()) {
+    const ValueCounts& counts = other_it->second;
+    if (tuple.ground_truth_good) {
+      good_join_tuples_ += counts.good;
+      bad_join_tuples_ += counts.bad;
+    } else {
+      bad_join_tuples_ += counts.total();
+    }
+    if (max_output_tuples_ > 0) {
+      for (const StoredOccurrence& occ : occurrences_[other][tuple.join_value]) {
+        if (static_cast<int64_t>(output_.size()) >= max_output_tuples_) {
+          output_truncated_ = true;
+          break;
+        }
+        JoinOutputTuple out;
+        out.join_value = tuple.join_value;
+        out.second1 = side == 0 ? tuple.second_value : occ.second_value;
+        out.second2 = side == 0 ? occ.second_value : tuple.second_value;
+        out.is_good = tuple.ground_truth_good && occ.is_good;
+        out.confidence = tuple.similarity * occ.similarity;
+        output_.push_back(out);
+      }
+    }
+  }
+
+  ValueCounts& mine = value_counts_[side][tuple.join_value];
+  if (tuple.ground_truth_good) {
+    ++mine.good;
+    ++good_extracted_[side];
+  } else {
+    ++mine.bad;
+  }
+  ++extracted_[side];
+  if (max_output_tuples_ > 0) {
+    occurrences_[side][tuple.join_value].push_back(StoredOccurrence{
+        tuple.second_value, tuple.ground_truth_good, tuple.similarity});
+  }
+}
+
+std::unordered_map<TokenId, int64_t> JoinState::ObservedFrequencies(int side) const {
+  std::unordered_map<TokenId, int64_t> out;
+  out.reserve(value_counts_[side].size());
+  for (const auto& [value, counts] : value_counts_[side]) {
+    out.emplace(value, counts.total());
+  }
+  return out;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,99 @@
+#ifndef IEJOIN_JOIN_JOIN_STATE_H_
+#define IEJOIN_JOIN_JOIN_STATE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "extraction/extracted_tuple.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// Extracted-occurrence counts for one join-attribute value on one side.
+/// The good/bad split comes from ground-truth labels and feeds evaluation
+/// only; estimators see total() (the unlabeled observation s(a)).
+struct ValueCounts {
+  int64_t good = 0;
+  int64_t bad = 0;
+
+  int64_t total() const { return good + bad; }
+};
+
+/// One materialized join result tuple (R1.join = R2.join). `is_good`
+/// follows Section III-C: a join tuple is good iff both constituent
+/// occurrences are good.
+struct JoinOutputTuple {
+  TokenId join_value = 0;
+  TokenId second1 = 0;
+  TokenId second2 = 0;
+  bool is_good = false;
+  /// Extraction confidence of the join tuple: the product of the two
+  /// constituent occurrences' pattern similarities. Lets consumers rank
+  /// output for precision-at-k style use without ground truth.
+  double confidence = 0.0;
+};
+
+/// Incrementally maintained state of a two-way join over extracted tuple
+/// occurrences. Each AddTuple joins the new occurrence against everything
+/// already extracted on the other side (the ripple-join bookkeeping shared
+/// by all three algorithms) and updates |T_good⋈| / |T_bad⋈| in O(1).
+class JoinState {
+ public:
+  /// `max_output_tuples` > 0 materializes up to that many join tuples
+  /// (requires remembering per-value occurrences); 0 keeps counts only.
+  explicit JoinState(int64_t max_output_tuples = 0);
+
+  /// Adds one extracted occurrence for relation `side` (0 or 1).
+  void AddTuple(int side, const ExtractedTuple& tuple);
+
+  void AddBatch(int side, const ExtractionBatch& batch) {
+    for (const auto& t : batch) AddTuple(side, t);
+  }
+
+  /// Ground-truth join composition (evaluation only).
+  int64_t good_join_tuples() const { return good_join_tuples_; }
+  int64_t bad_join_tuples() const { return bad_join_tuples_; }
+  int64_t total_join_tuples() const { return good_join_tuples_ + bad_join_tuples_; }
+
+  /// Extracted occurrence totals per side.
+  int64_t extracted_occurrences(int side) const { return extracted_[side]; }
+  int64_t good_occurrences(int side) const { return good_extracted_[side]; }
+
+  /// Per-value extraction counts for one side. Estimators must use only
+  /// ValueCounts::total() from here.
+  const std::unordered_map<TokenId, ValueCounts>& value_counts(int side) const {
+    return value_counts_[side];
+  }
+
+  /// Unlabeled observed frequencies s(a) for one side (for the Section VI
+  /// MLE): value -> number of retrieved documents that generated it.
+  std::unordered_map<TokenId, int64_t> ObservedFrequencies(int side) const;
+
+  /// Materialized join output (empty unless max_output_tuples > 0).
+  const std::vector<JoinOutputTuple>& output() const { return output_; }
+  bool output_truncated() const { return output_truncated_; }
+
+ private:
+  struct StoredOccurrence {
+    TokenId second_value;
+    bool is_good;
+    double similarity;
+  };
+
+  int64_t max_output_tuples_;
+  bool output_truncated_ = false;
+
+  std::unordered_map<TokenId, ValueCounts> value_counts_[2];
+  std::unordered_map<TokenId, std::vector<StoredOccurrence>> occurrences_[2];
+  int64_t extracted_[2] = {0, 0};
+  int64_t good_extracted_[2] = {0, 0};
+
+  int64_t good_join_tuples_ = 0;
+  int64_t bad_join_tuples_ = 0;
+  std::vector<JoinOutputTuple> output_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_JOIN_STATE_H_

@@ -1,0 +1,62 @@
+#include "join/join_types.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace iejoin {
+
+const char* JoinAlgorithmName(JoinAlgorithmKind kind) {
+  switch (kind) {
+    case JoinAlgorithmKind::kIndependent:
+      return "IDJN";
+    case JoinAlgorithmKind::kOuterInner:
+      return "OIJN";
+    case JoinAlgorithmKind::kZigZag:
+      return "ZGJN";
+  }
+  return "?";
+}
+
+QualityRequirement RequirementForPrecisionAtK(double precision, int64_t k) {
+  IEJOIN_CHECK(precision > 0.0 && precision <= 1.0);
+  IEJOIN_CHECK(k >= 1);
+  QualityRequirement req;
+  // Round half-up lattice: τ_g + τ_b = k exactly, with τ_g at least as
+  // strict as asked (ceil avoids floating-point artifacts like
+  // (1 - 0.8) * 100 = 19.999...).
+  req.min_good_tuples = static_cast<int64_t>(
+      std::ceil(precision * static_cast<double>(k) - 1e-9));
+  req.max_bad_tuples = k - req.min_good_tuples;
+  return req;
+}
+
+QualityRequirement RequirementForRecall(double recall, double achievable_good,
+                                        int64_t max_bad) {
+  IEJOIN_CHECK(recall > 0.0 && recall <= 1.0);
+  IEJOIN_CHECK(achievable_good >= 0.0);
+  QualityRequirement req;
+  req.min_good_tuples = static_cast<int64_t>(std::ceil(recall * achievable_good));
+  req.max_bad_tuples = max_bad;
+  return req;
+}
+
+std::string JoinPlanSpec::Describe() const {
+  switch (algorithm) {
+    case JoinAlgorithmKind::kIndependent:
+      return StrFormat("IDJN θ=(%.1f,%.1f) X=(%s,%s)", theta1, theta2,
+                       RetrievalStrategyName(retrieval1),
+                       RetrievalStrategyName(retrieval2));
+    case JoinAlgorithmKind::kOuterInner:
+      return StrFormat("OIJN θ=(%.1f,%.1f) outer=R%d X_outer=%s", theta1, theta2,
+                       outer_is_relation1 ? 1 : 2,
+                       RetrievalStrategyName(outer_is_relation1 ? retrieval1
+                                                                : retrieval2));
+    case JoinAlgorithmKind::kZigZag:
+      return StrFormat("ZGJN θ=(%.1f,%.1f)", theta1, theta2);
+  }
+  return "?";
+}
+
+}  // namespace iejoin

@@ -1,0 +1,68 @@
+#ifndef IEJOIN_JOIN_JOIN_TYPES_H_
+#define IEJOIN_JOIN_JOIN_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "retrieval/retrieval_strategy.h"
+
+namespace iejoin {
+
+/// The join algorithms of Section IV.
+enum class JoinAlgorithmKind : uint8_t {
+  kIndependent = 0,  // IDJN: extract both relations independently
+  kOuterInner = 1,   // OIJN: nested-loops with keyword probes on the inner
+  kZigZag = 2,       // ZGJN: fully interleaved query-driven extraction
+};
+
+const char* JoinAlgorithmName(JoinAlgorithmKind kind);
+
+/// User quality preferences (Section III-C): at least τ_g good join tuples
+/// with at most τ_b bad join tuples tolerated.
+struct QualityRequirement {
+  int64_t min_good_tuples = 0;                                      // τ_g
+  int64_t max_bad_tuples = std::numeric_limits<int64_t>::max();     // τ_b
+
+  bool MetBy(int64_t good, int64_t bad) const {
+    return good >= min_good_tuples && bad <= max_bad_tuples;
+  }
+};
+
+/// Higher-level quality goals map onto the (τ_g, τ_b) model, as Section
+/// III-C notes ("such alternate quality constraints can be mapped to the
+/// somewhat lower level model that we study"). These helpers perform the
+/// mappings.
+
+/// "Precision at least `precision` among ~`k` result tuples":
+/// τ_g = ceil(precision * k), τ_b = floor((1 - precision) * k).
+/// Requires precision in (0, 1] and k >= 1.
+QualityRequirement RequirementForPrecisionAtK(double precision, int64_t k);
+
+/// "Recall at least `recall` of the `achievable_good` good join tuples the
+/// task can produce (e.g. a model estimate at full effort), tolerating
+/// `max_bad` bad tuples": τ_g = ceil(recall * achievable_good).
+/// Requires recall in (0, 1] and achievable_good >= 0.
+QualityRequirement RequirementForRecall(double recall, double achievable_good,
+                                        int64_t max_bad);
+
+/// A join execution plan (Definition 3.1): the tuple
+/// <E1<θ1>, E2<θ2>, X1, X2, JN>. For OIJN, `retrieval1`/`retrieval2`
+/// describe the outer relation's strategy (the inner side is query-driven
+/// by construction) and `outer_is_relation1` picks the outer. For ZGJN both
+/// sides are query-driven and the retrieval fields are ignored.
+struct JoinPlanSpec {
+  JoinAlgorithmKind algorithm = JoinAlgorithmKind::kIndependent;
+  double theta1 = 0.4;
+  double theta2 = 0.4;
+  RetrievalStrategyKind retrieval1 = RetrievalStrategyKind::kScan;
+  RetrievalStrategyKind retrieval2 = RetrievalStrategyKind::kScan;
+  bool outer_is_relation1 = true;
+
+  /// Compact human-readable form, e.g. "IDJN θ=(0.4,0.8) X=(SC,AQG)".
+  std::string Describe() const;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_JOIN_TYPES_H_

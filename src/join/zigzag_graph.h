@@ -1,0 +1,77 @@
+#ifndef IEJOIN_JOIN_ZIGZAG_GRAPH_H_
+#define IEJOIN_JOIN_ZIGZAG_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "distributions/discrete.h"
+#include "extraction/extractor.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+/// The zig-zag graph of Section V-E (Figure 8) for one database/extractor
+/// side: attribute nodes and document nodes connected by
+///   - "hit" edges a -> d: document d matches the keyword query [a], and
+///   - "generates" edges d -> a: processing d with the extractor yields a.
+///
+/// A ZGJN execution is a traversal of the two sides' graphs; its reach and
+/// cost are governed by the degree distributions captured here, which feed
+/// the generating-function model (pak = hits per attribute, pdk = attributes
+/// generated per document).
+class ZigZagGraphSide {
+ public:
+  /// Builds the graph side by running the extractor over the whole database
+  /// (an offline characterization pass; execution-time estimation uses the
+  /// fitted distributions, not the graph itself).
+  static Result<ZigZagGraphSide> Build(const TextDatabase& database,
+                                       const Extractor& extractor);
+
+  int64_t num_attribute_nodes() const {
+    return static_cast<int64_t>(hit_degree_.size());
+  }
+  int64_t num_document_nodes() const {
+    return static_cast<int64_t>(generate_degree_.size());
+  }
+  int64_t num_hit_edges() const { return num_hit_edges_; }
+  int64_t num_generate_edges() const { return num_generate_edges_; }
+
+  /// Hit degree of an attribute value: how many documents its query
+  /// matches (capped at the search interface's top-k limit, which is what a
+  /// ZGJN traversal can actually reach).
+  const std::unordered_map<TokenId, int64_t>& hit_degree() const {
+    return hit_degree_;
+  }
+
+  /// Generates degree per document (only documents that generate at least
+  /// one attribute appear; others have degree 0 and are counted in
+  /// num_barren_documents).
+  const std::unordered_map<DocId, int64_t>& generate_degree() const {
+    return generate_degree_;
+  }
+
+  int64_t num_barren_documents() const { return num_barren_documents_; }
+
+  /// pak: distribution of hit degrees over attribute nodes.
+  Result<DiscreteDistribution> HitsPerAttribute() const;
+
+  /// pdk: distribution of generated-attribute counts over all documents
+  /// (barren documents contribute mass at 0 — this is what lets the model
+  /// predict stalling).
+  Result<DiscreteDistribution> AttributesPerDocument() const;
+
+ private:
+  ZigZagGraphSide() = default;
+
+  std::unordered_map<TokenId, int64_t> hit_degree_;
+  std::unordered_map<DocId, int64_t> generate_degree_;
+  int64_t num_hit_edges_ = 0;
+  int64_t num_generate_edges_ = 0;
+  int64_t num_barren_documents_ = 0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_ZIGZAG_GRAPH_H_

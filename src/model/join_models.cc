@@ -1,0 +1,414 @@
+#include "model/join_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "distributions/binomial.h"
+#include "distributions/hypergeometric.h"
+
+namespace iejoin {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// P(a value with mean frequency `mean_freq` is extracted at least once)
+/// given per-occurrence extraction probability p. Poissonized closed form
+/// (1 - e^{-p E[f]}); exact enough for probe-count prediction and avoids
+/// carrying full frequency PMFs through the optimizer loop.
+double ValueObservedProbability(double per_occurrence, double mean_freq) {
+  return 1.0 - std::exp(-per_occurrence * mean_freq);
+}
+
+}  // namespace
+
+Result<DiscreteDistribution> OijnInnerFrequencyDistribution(
+    int64_t num_documents, int64_t g, int64_t query_hits, int64_t top_k,
+    int64_t background_docs, double emission_rate) {
+  if (g < 0 || query_hits < g || top_k < 0 || num_documents <= 0 ||
+      background_docs < 0 || background_docs > num_documents) {
+    return Status::InvalidArgument("inconsistent OIJN distribution arguments");
+  }
+  if (emission_rate < 0.0 || emission_rate > 1.0) {
+    return Status::InvalidArgument("emission_rate must be in [0, 1]");
+  }
+  const int64_t returned = std::min(top_k, query_hits);
+  const double background_prob =
+      static_cast<double>(background_docs) / static_cast<double>(num_documents);
+
+  std::vector<double> pmf(static_cast<size_t>(g) + 1, 0.0);
+  // i: the value's documents inside the top-k answer (Pr_q, hypergeometric
+  // over the query's matches); j: additional documents of the value reached
+  // through other probes' background coverage (Pr_r); l: occurrences the
+  // extractor finally emits.
+  for (int64_t i = hypergeometric::SupportMin(query_hits, returned, g);
+       i <= hypergeometric::SupportMax(query_hits, returned, g); ++i) {
+    const double p_i = hypergeometric::Pmf(query_hits, returned, g, i);
+    if (p_i <= 0.0) continue;
+    for (int64_t j = 0; j <= g - i; ++j) {
+      const double p_j = binomial::Pmf(g - i, j, background_prob);
+      if (p_j <= 0.0) continue;
+      for (int64_t l = 0; l <= i + j; ++l) {
+        pmf[static_cast<size_t>(l)] +=
+            p_i * p_j * binomial::Pmf(i + j, l, emission_rate);
+      }
+    }
+  }
+  return DiscreteDistribution::FromWeights(std::move(pmf));
+}
+
+OccurrenceFactors StrategyFactors(const RelationModelParams& params,
+                                  RetrievalStrategyKind strategy, int64_t effort) {
+  switch (strategy) {
+    case RetrievalStrategyKind::kScan:
+      return ScanFactors(params, effort);
+    case RetrievalStrategyKind::kFilteredScan:
+      return FilteredScanFactors(params, effort);
+    case RetrievalStrategyKind::kAutomaticQueryGeneration:
+      return AqgFactors(params, effort);
+  }
+  return OccurrenceFactors{};
+}
+
+int64_t MaxEffort(const RelationModelParams& params, RetrievalStrategyKind strategy) {
+  switch (strategy) {
+    case RetrievalStrategyKind::kScan:
+    case RetrievalStrategyKind::kFilteredScan:
+      return params.num_documents;
+    case RetrievalStrategyKind::kAutomaticQueryGeneration:
+      return static_cast<int64_t>(params.aqg_queries.size());
+  }
+  return 0;
+}
+
+QualityEstimate EstimateIdjn(const JoinModelParams& params,
+                             RetrievalStrategyKind strategy1,
+                             RetrievalStrategyKind strategy2, PlanEffort effort,
+                             const CostModel& costs1, const CostModel& costs2) {
+  const OccurrenceFactors f1 =
+      StrategyFactors(params.relation1, strategy1, effort.side1);
+  const OccurrenceFactors f2 =
+      StrategyFactors(params.relation2, strategy2, effort.side2);
+  return ComposeJoin(params, f1, f2, costs1, costs2);
+}
+
+QualityEstimate EstimateOijn(const JoinModelParams& params, bool outer_is_relation1,
+                             RetrievalStrategyKind outer_strategy,
+                             int64_t outer_effort, const CostModel& costs1,
+                             const CostModel& costs2) {
+  const RelationModelParams& outer_params =
+      outer_is_relation1 ? params.relation1 : params.relation2;
+  const RelationModelParams& inner_params =
+      outer_is_relation1 ? params.relation2 : params.relation1;
+
+  const OccurrenceFactors f_outer =
+      StrategyFactors(outer_params, outer_strategy, outer_effort);
+
+  // Expected number of keyword probes: one per distinct join-attribute
+  // value extracted on the outer side.
+  const double probes =
+      static_cast<double>(outer_params.num_good_values) *
+          ValueObservedProbability(f_outer.good_occurrence,
+                                   outer_params.good_freq.mean) +
+      static_cast<double>(outer_params.num_bad_values) *
+          ValueObservedProbability(f_outer.bad_occurrence,
+                                   outer_params.bad_freq.mean);
+
+  // Inner reach. A probed value's own documents are returned directly
+  // (top-k limited); on top of that, documents retrieved for *other*
+  // probes provide background coverage — the paper's "remainder" term.
+  const double inner_docs = std::max<double>(1.0, static_cast<double>(
+                                                      inner_params.num_documents));
+  const double per_query_docs =
+      std::min(inner_params.mean_query_hits, inner_docs);
+  const double coverage =
+      1.0 - std::pow(1.0 - per_query_docs / inner_docs, probes);
+  const double expected_inner_retrieved = coverage * inner_docs;
+
+  const double p_direct = Clamp01(inner_params.mean_direct_inclusion);
+  const double background = Clamp01(expected_inner_retrieved / inner_docs);
+  const double inclusion = Clamp01(p_direct + (1.0 - p_direct) * background);
+
+  // Join output only contains values extracted on the outer side, and OIJN
+  // probes every extracted value, so the inner factors are conditional on
+  // the value having been probed.
+  OccurrenceFactors f_inner;
+  f_inner.good_occurrence = Clamp01(inner_params.tp * inclusion);
+  f_inner.bad_occurrence = Clamp01(inner_params.fp * inclusion);
+  f_inner.docs_retrieved = expected_inner_retrieved;
+  f_inner.docs_processed = expected_inner_retrieved;
+  f_inner.queries_issued = probes;
+
+  const OccurrenceFactors& f1 = outer_is_relation1 ? f_outer : f_inner;
+  const OccurrenceFactors& f2 = outer_is_relation1 ? f_inner : f_outer;
+  return ComposeJoin(params, f1, f2, costs1, costs2);
+}
+
+namespace {
+
+/// Shared recursion state for SimulateZgjn / EstimateZgjn. `values` counts
+/// *distinct* attribute values reached (the query universe); `occurrences`
+/// counts extracted tuple occurrences (the quality mass).
+struct ZgjnRecursionState {
+  double queries[2] = {0.0, 0.0};
+  double docs[2] = {0.0, 0.0};
+  double values[2] = {0.0, 0.0};
+  double occurrences[2] = {0.0, 0.0};
+};
+
+QualityEstimate ZgjnEstimateFromState(const JoinModelParams& params,
+                                      const ZgjnRecursionState& s,
+                                      const CostModel& costs1,
+                                      const CostModel& costs2) {
+  // Quality side: ZGJN "does not specifically focus on filtering out any
+  // bad documents" (Section VII) — the documents its value probes retrieve
+  // carry the database's occurrence mix, not a quality-biased one. So a
+  // given occurrence is extracted with probability
+  // tp/fp(θ) * P(its document has been retrieved), with document coverage
+  // treated as an unbiased sample — the Scan inclusion law applied to the
+  // traversal's reach. (The reach itself still follows the
+  // generating-function recursion, including its no-stall optimism.)
+  auto make_factors = [](const RelationModelParams& r, double queries,
+                         double docs) {
+    const double coverage =
+        r.num_documents > 0 ? Clamp01(docs / static_cast<double>(r.num_documents))
+                            : 0.0;
+    OccurrenceFactors f;
+    f.good_occurrence = Clamp01(r.tp * coverage);
+    f.bad_occurrence = Clamp01(r.fp * coverage);
+    f.docs_retrieved = docs;
+    f.docs_processed = docs;
+    f.queries_issued = queries;
+    return f;
+  };
+  const OccurrenceFactors f1 =
+      make_factors(params.relation1, s.queries[0], s.docs[0]);
+  const OccurrenceFactors f2 =
+      make_factors(params.relation2, s.queries[1], s.docs[1]);
+  return ComposeJoin(params, f1, f2, costs1, costs2);
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<ZgjnModelPoint> SimulateZgjnImpl(const JoinModelParams& params,
+                                             int64_t num_seeds, int64_t max_rounds,
+                                             const CostModel& costs1,
+                                             const CostModel& costs2,
+                                             double reach_scale);
+
+}  // namespace
+
+std::vector<ZgjnModelPoint> SimulateZgjn(const JoinModelParams& params,
+                                         int64_t num_seeds, int64_t max_rounds,
+                                         const CostModel& costs1,
+                                         const CostModel& costs2) {
+  return SimulateZgjnImpl(params, num_seeds, max_rounds, costs1, costs2,
+                          /*reach_scale=*/1.0);
+}
+
+ZgjnReachability AnalyzeZgjnReachability(const JoinModelParams& params,
+                                         int64_t num_seeds) {
+  IEJOIN_CHECK(num_seeds > 0);
+  ZgjnReachability out;
+  const RelationModelParams* rel[2] = {&params.relation1, &params.relation2};
+
+  // Offspring PGFs C_i(s) = h0_i(ga0_i(s)) over the *unbiased*
+  // distributions: the stall signal lives in their zero mass — a retrieved
+  // document that generates nothing (ga0's barren mass) or a query that
+  // matches nothing — and edge-biasing would erase it. (Queried values
+  // arrive size-biased by the *other* side's frequencies, which under
+  // cross-side independence leaves this side's hit count unbiased — the
+  // same argument the mean recursion uses.)
+  const GeneratingFunction* h0[2] = {&rel[0]->hits_pgf, &rel[1]->hits_pgf};
+  const GeneratingFunction* ga0[2] = {&rel[0]->generates_pgf,
+                                      &rel[1]->generates_pgf};
+  auto offspring = [&](int side, double s) {
+    return h0[side]->Evaluate(ga0[side]->Evaluate(s));
+  };
+  out.cycle_branching_factor = h0[0]->Mean() * ga0[0]->Mean() * h0[1]->Mean() *
+                               ga0[1]->Mean();
+  if (out.cycle_branching_factor <= 0.0) {
+    out.extinction_probability = 1.0;
+    out.survival_probability = 0.0;
+    return out;
+  }
+
+  // Smallest fixed point of q = C1(C2(q)) by iteration from 0.
+  double q = 0.0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const double next = offspring(0, offspring(1, q));
+    if (std::fabs(next - q) < 1e-12) {
+      q = next;
+      break;
+    }
+    q = next;
+  }
+  out.extinction_probability = Clamp01(q);
+  out.survival_probability =
+      1.0 - std::pow(out.extinction_probability, static_cast<double>(num_seeds));
+  return out;
+}
+
+std::vector<ZgjnModelPoint> SimulateZgjnStallAware(const JoinModelParams& params,
+                                                   int64_t num_seeds,
+                                                   int64_t max_rounds,
+                                                   const CostModel& costs1,
+                                                   const CostModel& costs2) {
+  const ZgjnReachability reach = AnalyzeZgjnReachability(params, num_seeds);
+  return SimulateZgjnImpl(params, num_seeds, max_rounds, costs1, costs2,
+                          reach.survival_probability);
+}
+
+namespace {
+
+std::vector<ZgjnModelPoint> SimulateZgjnImpl(const JoinModelParams& params,
+                                             int64_t num_seeds, int64_t max_rounds,
+                                             const CostModel& costs1,
+                                             const CostModel& costs2,
+                                             double reach_scale) {
+  IEJOIN_CHECK(num_seeds > 0);
+  reach_scale = Clamp01(reach_scale);
+  const RelationModelParams* rel[2] = {&params.relation1, &params.relation2};
+
+  // Mean degrees. Seed queries are randomly chosen attribute values (h0);
+  // values reached by following a generates-edge have the edge-biased hit
+  // degree H(x) = x h0'(x) / h0'(1), and documents reached by a hit-edge
+  // generate values per the edge-biased Ga(x) — the Moments property turns
+  // each expansion step into a product of means.
+  double mean_h0[2];
+  double mean_h_edge[2];
+  double mean_ga[2];
+  for (int i = 0; i < 2; ++i) {
+    mean_h0[i] = rel[i]->hits_pgf.Mean();
+    const auto h_edge = rel[i]->hits_pgf.EdgeBiased();
+    mean_h_edge[i] = h_edge.ok() ? h_edge.value().Mean() : 0.0;
+    // Retrieved documents are the ones matching a value query, i.e.
+    // (essentially) the non-barren documents. The pure NSW edge-biased
+    // generates mean E[g^2]/E[g] overstates the per-retrieved-document
+    // yield once the deduplicated traversal covers most reachable
+    // documents, so we use the non-barren conditional mean E[g | g >= 1].
+    const auto& ga = rel[i]->generates_pgf;
+    const double barren = ga.coefficients().empty() ? 0.0 : ga.coefficients()[0];
+    mean_ga[i] = barren < 1.0 ? ga.Mean() / (1.0 - barren) : 0.0;
+  }
+
+  // Universes. Queries target distinct values; occurrences are bounded by
+  // the extractable (tp/fp-thinned) occurrence mass. The model follows the
+  // paper's no-stall assumption — every value's query is presumed to keep
+  // matching documents — so the reach saturates toward the full database,
+  // overestimating in sparse regions (Section VII discusses this).
+  // reach_scale < 1 (the stall-aware variant) shrinks every saturation cap
+  // to the survival-weighted reachable fraction.
+  double value_universe[2];
+  double occurrence_cap[2];
+  double doc_cap[2];
+  for (int i = 0; i < 2; ++i) {
+    value_universe[i] = reach_scale * (static_cast<double>(rel[i]->num_good_values) +
+                                       static_cast<double>(rel[i]->num_bad_values));
+    occurrence_cap[i] =
+        reach_scale * (rel[i]->tp * static_cast<double>(rel[i]->num_good_values) *
+                           rel[i]->good_freq.mean +
+                       rel[i]->fp * static_cast<double>(rel[i]->num_bad_values) *
+                           rel[i]->bad_freq.mean);
+    doc_cap[i] = reach_scale * static_cast<double>(rel[i]->num_documents);
+  }
+
+  ZgjnRecursionState state;
+  std::vector<ZgjnModelPoint> points;
+
+  // pending[i]: distinct values queued for querying against D_i. Queries
+  // are issued in small batches so the recursion yields a smooth
+  // effort-vs-reach series (the Power property: |Q| queries multiply the
+  // per-query means).
+  double pending[2] = {static_cast<double>(num_seeds), 0.0};
+  const double batch =
+      std::max(1.0, (value_universe[0] + value_universe[1]) / 512.0);
+
+  const int64_t max_steps = max_rounds * 1024;
+  for (int64_t step = 0; step < max_steps; ++step) {
+    // Alternate sides; pick the side with pending queries.
+    int side = (step % 2 == 0) ? 0 : 1;
+    if (pending[side] <= 1e-9) side = 1 - side;
+    if (pending[side] <= 1e-9) break;
+    const int other = 1 - side;
+
+    const double issue = std::min(pending[side], batch);
+    pending[side] -= issue;
+    state.queries[side] += issue;
+
+    const double db_size = doc_cap[side];
+    // The pure NSW recursion uses the edge-biased mean H'(1) for values
+    // reached by an edge; ZGJN, however, deduplicates queries per distinct
+    // value, so over the execution each distinct value is queried exactly
+    // once and the average issued query has the *unbiased* hit mean h0'(1).
+    // (The edge-biased mean is still what seeds the early growth rate of
+    // the branching process; both are exposed via the PGFs.)
+    const double mean_hits = mean_h0[side];
+    (void)mean_h_edge;  // diagnostic; the reachability analysis uses it
+    const double unseen_frac =
+        db_size > 0.0 ? std::max(0.0, 1.0 - state.docs[side] / db_size) : 0.0;
+    const double new_docs = std::min(issue * mean_hits * unseen_frac,
+                                     std::max(0.0, db_size - state.docs[side]));
+    state.docs[side] += new_docs;
+
+    // New documents generate occurrences (quality mass) and distinct values
+    // (queries against the other database).
+    const double occ_frac =
+        occurrence_cap[side] > 0.0
+            ? std::max(0.0, 1.0 - state.occurrences[side] / occurrence_cap[side])
+            : 0.0;
+    const double new_occs =
+        std::min(new_docs * mean_ga[side] * occ_frac,
+                 std::max(0.0, occurrence_cap[side] - state.occurrences[side]));
+    state.occurrences[side] += new_occs;
+
+    const double unseen_values =
+        value_universe[side] > 0.0
+            ? std::max(0.0, 1.0 - state.values[side] / value_universe[side])
+            : 0.0;
+    const double new_values =
+        std::min(new_docs * mean_ga[side] * unseen_values,
+                 std::max(0.0, value_universe[side] - state.values[side]));
+    state.values[side] += new_values;
+    pending[other] += new_values;
+
+    ZgjnModelPoint point;
+    point.queries1 = state.queries[0];
+    point.queries2 = state.queries[1];
+    point.docs1 = state.docs[0];
+    point.docs2 = state.docs[1];
+    point.values1 = state.values[0];
+    point.values2 = state.values[1];
+    point.estimate = ZgjnEstimateFromState(params, state, costs1, costs2);
+    points.push_back(point);
+
+    if (new_docs <= 1e-9 && new_values <= 1e-9 && pending[0] <= 1e-9 &&
+        pending[1] <= 1e-9) {
+      break;
+    }
+  }
+  if (points.empty()) points.push_back(ZgjnModelPoint{});
+  return points;
+}
+
+}  // namespace
+
+QualityEstimate EstimateZgjn(const JoinModelParams& params, int64_t num_seeds,
+                             int64_t query_budget, const CostModel& costs1,
+                             const CostModel& costs2) {
+  const std::vector<ZgjnModelPoint> points =
+      SimulateZgjn(params, num_seeds, /*max_rounds=*/64, costs1, costs2);
+  QualityEstimate best;
+  for (const ZgjnModelPoint& p : points) {
+    if (p.queries1 + p.queries2 <= static_cast<double>(query_budget)) {
+      best = p.estimate;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace iejoin

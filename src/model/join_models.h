@@ -1,0 +1,135 @@
+#ifndef IEJOIN_MODEL_JOIN_MODELS_H_
+#define IEJOIN_MODEL_JOIN_MODELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "join/join_types.h"
+#include "model/join_quality_model.h"
+#include "model/model_params.h"
+#include "textdb/cost_model.h"
+
+namespace iejoin {
+
+/// Effort knob for a plan: documents retrieved for scan-based sides,
+/// queries issued for AQG sides and for query-driven algorithms.
+struct PlanEffort {
+  int64_t side1 = 0;
+  int64_t side2 = 0;
+};
+
+/// IDJN model (Section V-C): both sides extract independently under their
+/// own retrieval strategy; effort is per-side (docs for SC/FS, queries for
+/// AQG).
+QualityEstimate EstimateIdjn(const JoinModelParams& params,
+                             RetrievalStrategyKind strategy1,
+                             RetrievalStrategyKind strategy2, PlanEffort effort,
+                             const CostModel& costs1, const CostModel& costs2);
+
+/// OIJN model (Section V-D). The outer side behaves like a single-relation
+/// extraction under `outer_strategy` with `outer_effort`; the inner side's
+/// reach is driven by keyword probes on the outer relation's extracted
+/// join-attribute values: each probed value's documents are reached with
+/// the top-k limited direct-inclusion probability, plus the "remainder"
+/// background coverage from all other probes.
+QualityEstimate EstimateOijn(const JoinModelParams& params, bool outer_is_relation1,
+                             RetrievalStrategyKind outer_strategy,
+                             int64_t outer_effort, const CostModel& costs1,
+                             const CostModel& costs2);
+
+/// One round-by-round point of the ZGJN reachability recursion.
+struct ZgjnModelPoint {
+  double queries1 = 0.0;  // cumulative queries issued to D1
+  double queries2 = 0.0;
+  double docs1 = 0.0;     // cumulative documents retrieved from D1
+  double docs2 = 0.0;
+  double values1 = 0.0;   // cumulative attribute occurrences generated, R1
+  double values2 = 0.0;
+  QualityEstimate estimate;
+};
+
+/// ZGJN model (Section V-E): the Newman-Strogatz-Watts branching recursion
+/// over the two zig-zag graph sides. Seed queries go to D1; each round
+/// expands documents via the (edge-biased) hits distributions and new
+/// queries via the generates distributions, with saturation caps at the
+/// database and value-universe sizes. Like the paper's model, it assumes
+/// executions do not stall (queries keep matching documents), which makes
+/// it overestimate in sparse regions.
+std::vector<ZgjnModelPoint> SimulateZgjn(const JoinModelParams& params,
+                                         int64_t num_seeds, int64_t max_rounds,
+                                         const CostModel& costs1,
+                                         const CostModel& costs2);
+
+/// ZGJN estimate under a total query budget (both sides combined); the
+/// recursion is truncated once the budget is exhausted.
+QualityEstimate EstimateZgjn(const JoinModelParams& params, int64_t num_seeds,
+                             int64_t query_budget, const CostModel& costs1,
+                             const CostModel& costs2);
+
+/// Reachability analysis of the zig-zag graph — the stalling correction the
+/// paper defers to future work ("we can account for stalling by
+/// incorporating the reachability of a ZGJN execution").
+///
+/// A ZGJN execution is a two-type branching process: a query against D_i
+/// retrieves documents per the (edge-biased) hits distribution and each
+/// document spawns queries against the other side per the generates
+/// distribution. The offspring PGF of one side-1 query is
+/// Q1(s) = H1(Ga1(s)), and the per-lineage extinction probability is the
+/// smallest fixed point of q = Q1(Q2(q)).
+struct ZgjnReachability {
+  /// Mean queries spawned per query after one full zig-zag cycle
+  /// (side 1 -> side 2 -> side 1); < 1 means the traversal is subcritical
+  /// and stalls after O(seeds) work.
+  double cycle_branching_factor = 0.0;
+  /// Extinction probability of a single seed-query lineage.
+  double extinction_probability = 1.0;
+  /// 1 - extinction^seeds: the chance the execution reaches the giant
+  /// component at all.
+  double survival_probability = 0.0;
+};
+
+ZgjnReachability AnalyzeZgjnReachability(const JoinModelParams& params,
+                                         int64_t num_seeds);
+
+/// Stall-aware variant of SimulateZgjn: scales the document saturation caps
+/// by the survival probability, so subcritical configurations predict the
+/// (near-)stalled reach instead of the paper's no-stall optimism. With a
+/// supercritical graph and several seeds it converges to SimulateZgjn.
+std::vector<ZgjnModelPoint> SimulateZgjnStallAware(const JoinModelParams& params,
+                                                   int64_t num_seeds,
+                                                   int64_t max_rounds,
+                                                   const CostModel& costs1,
+                                                   const CostModel& costs2);
+
+/// The Section V-D distributional form for OIJN's inner side: the PMF of
+/// the extracted frequency of one *probed* value with g occurrence
+/// documents among the query_hits documents matching its query.
+///
+/// Composition per the paper: the top-k interface returns top_k of the
+/// query_hits matches (a hypergeometric sample containing some of the
+/// value's documents — Pr_q); each of the value's documents NOT returned
+/// directly may still arrive through other probes' background coverage of
+/// background_docs of the num_documents database documents (Pr_r); every
+/// reached occurrence is finally emitted with probability tp (or fp for a
+/// bad value — pass the corresponding rate).
+///
+/// The optimizer uses the collapsed mean (EstimateOijn); this full form
+/// backs tests and the model-cost ablation, mirroring the Scan-side pair
+/// ExtractedFrequencyDistribution / ScanFactors.
+Result<DiscreteDistribution> OijnInnerFrequencyDistribution(
+    int64_t num_documents, int64_t g, int64_t query_hits, int64_t top_k,
+    int64_t background_docs, double emission_rate);
+
+/// Dispatches on strategy kind: ScanFactors / FilteredScanFactors /
+/// AqgFactors; effort means docs for scan-based, queries for AQG.
+OccurrenceFactors StrategyFactors(const RelationModelParams& params,
+                                  RetrievalStrategyKind strategy, int64_t effort);
+
+/// Maximum meaningful effort for one side under a strategy (database size
+/// for scans, available queries for AQG).
+int64_t MaxEffort(const RelationModelParams& params, RetrievalStrategyKind strategy);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_MODEL_JOIN_MODELS_H_

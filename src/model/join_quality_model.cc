@@ -1,0 +1,54 @@
+#include "model/join_quality_model.h"
+
+#include <cmath>
+
+namespace iejoin {
+
+double CoupledPairMean(const FrequencyMoments& m1, const FrequencyMoments& m2,
+                       FrequencyCoupling coupling) {
+  switch (coupling) {
+    case FrequencyCoupling::kIndependent:
+      return m1.mean * m2.mean;
+    case FrequencyCoupling::kIdentical:
+      // Pr{g1, g2} ≈ Pr{g}: E[g^2], symmetrized across the two sides'
+      // marginals (they coincide when the assumption holds exactly).
+      return std::sqrt(m1.second_moment * m2.second_moment);
+  }
+  return m1.mean * m2.mean;
+}
+
+QualityEstimate ComposeJoin(const JoinModelParams& params,
+                            const OccurrenceFactors& side1,
+                            const OccurrenceFactors& side2,
+                            const CostModel& costs1, const CostModel& costs2) {
+  const RelationModelParams& r1 = params.relation1;
+  const RelationModelParams& r2 = params.relation2;
+
+  QualityEstimate est;
+  est.expected_good =
+      static_cast<double>(params.num_agg) * side1.good_occurrence *
+      side2.good_occurrence *
+      CoupledPairMean(r1.good_freq, r2.good_freq, params.coupling);
+
+  const double j_gb = static_cast<double>(params.num_agb) * side1.good_occurrence *
+                      side2.bad_occurrence *
+                      CoupledPairMean(r1.good_freq, r2.bad_freq, params.coupling);
+  const double j_bg = static_cast<double>(params.num_abg) * side1.bad_occurrence *
+                      side2.good_occurrence *
+                      CoupledPairMean(r1.bad_freq, r2.good_freq, params.coupling);
+  const double j_bb = static_cast<double>(params.num_abb) * side1.bad_occurrence *
+                      side2.bad_occurrence *
+                      CoupledPairMean(r1.bad_freq, r2.bad_freq, params.coupling);
+  est.expected_bad = j_gb + j_bg + j_bb;
+
+  est.seconds = side1.Seconds(costs1) + side2.Seconds(costs2);
+  est.docs_retrieved1 = side1.docs_retrieved;
+  est.docs_retrieved2 = side2.docs_retrieved;
+  est.docs_processed1 = side1.docs_processed;
+  est.docs_processed2 = side2.docs_processed;
+  est.queries1 = side1.queries_issued;
+  est.queries2 = side2.queries_issued;
+  return est;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,46 @@
+#ifndef IEJOIN_MODEL_JOIN_QUALITY_MODEL_H_
+#define IEJOIN_MODEL_JOIN_QUALITY_MODEL_H_
+
+#include "model/model_params.h"
+#include "model/single_relation_model.h"
+#include "textdb/cost_model.h"
+
+namespace iejoin {
+
+/// Model output for one join execution plan at one effort level: the
+/// expected composition of R1 ⋈ R2 (|T_good⋈| and |T_bad⋈|) plus the
+/// predicted execution time and effort breakdown.
+struct QualityEstimate {
+  double expected_good = 0.0;
+  double expected_bad = 0.0;
+  double seconds = 0.0;
+
+  double docs_retrieved1 = 0.0;
+  double docs_retrieved2 = 0.0;
+  double docs_processed1 = 0.0;
+  double docs_processed2 = 0.0;
+  double queries1 = 0.0;
+  double queries2 = 0.0;
+};
+
+/// The Section V-B general scheme: combines per-side occurrence factors
+/// into the expected join composition,
+///
+///   E[|T_good⋈|] = |A_gg| E[gr1] E[gr2]        (per shared value)
+///   E[|T_bad⋈|]  = J_gb + J_bg + J_bb
+///
+/// with the per-value frequency coupling handling Pr{g1, g2}.
+QualityEstimate ComposeJoin(const JoinModelParams& params,
+                            const OccurrenceFactors& side1,
+                            const OccurrenceFactors& side2,
+                            const CostModel& costs1, const CostModel& costs2);
+
+/// E[g1 * g2] for one shared value under the coupling choice: product of
+/// means when independent, the (symmetrized) second moment when the two
+/// frequencies are taken as identical.
+double CoupledPairMean(const FrequencyMoments& m1, const FrequencyMoments& m2,
+                       FrequencyCoupling coupling);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_MODEL_JOIN_QUALITY_MODEL_H_

@@ -1,0 +1,228 @@
+#include "model/oracle_params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "join/zigzag_graph.h"
+
+namespace iejoin {
+namespace {
+
+FrequencyMoments MomentsOf(const std::vector<int64_t>& values) {
+  FrequencyMoments m;
+  if (values.empty()) return m;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int64_t v : values) {
+    const double x = static_cast<double>(v);
+    sum += x;
+    sum2 += x * x;
+  }
+  m.mean = sum / static_cast<double>(values.size());
+  m.second_moment = sum2 / static_cast<double>(values.size());
+  return m;
+}
+
+}  // namespace
+
+OverlapCounts ComputeOverlapFromGroundTruth(const Corpus& corpus1,
+                                            const Corpus& corpus2) {
+  OverlapCounts out;
+  const auto& f1 = corpus1.ground_truth().value_frequencies;
+  const auto& f2 = corpus2.ground_truth().value_frequencies;
+  for (const auto& [value, vf1] : f1) {
+    const auto it = f2.find(value);
+    if (it == f2.end()) continue;
+    const ValueFrequencies& vf2 = it->second;
+    if (vf1.good > 0 && vf2.good > 0) ++out.num_agg;
+    if (vf1.good > 0 && vf2.bad > 0) ++out.num_agb;
+    if (vf1.bad > 0 && vf2.good > 0) ++out.num_abg;
+    if (vf1.bad > 0 && vf2.bad > 0) ++out.num_abb;
+  }
+  return out;
+}
+
+Result<RelationModelParams> ComputeOracleRelationParams(
+    const Corpus& corpus, const TextDatabase& database, const Extractor& extractor,
+    const KnobCharacterization& knobs, double theta,
+    const ClassifierCharacterization* classifier,
+    const std::vector<LearnedQuery>* queries, bool include_zgjn_pgfs) {
+  const RelationGroundTruth& truth = corpus.ground_truth();
+  RelationModelParams params;
+  params.num_documents = corpus.size();
+  params.num_good_docs = static_cast<int64_t>(truth.good_docs.size());
+  params.num_bad_docs = static_cast<int64_t>(truth.bad_docs.size());
+  params.num_good_values = truth.num_good_values;
+  params.num_bad_values = truth.num_bad_values;
+
+  std::vector<int64_t> good_freqs;
+  std::vector<int64_t> bad_freqs;
+  for (const auto& [value, vf] : truth.value_frequencies) {
+    if (vf.good > 0) good_freqs.push_back(vf.good);
+    if (vf.bad > 0) bad_freqs.push_back(vf.bad);
+  }
+  params.good_freq = MomentsOf(good_freqs);
+  params.bad_freq = MomentsOf(bad_freqs);
+
+  // Fraction of bad occurrences hosted by good documents.
+  int64_t bad_in_good = 0;
+  int64_t bad_total = 0;
+  for (const Document& doc : corpus.documents()) {
+    const bool good_doc = ClassifyByGroundTruth(doc) == DocumentClass::kGood;
+    for (const PlantedMention& m : doc.mentions) {
+      if (m.is_good) continue;
+      ++bad_total;
+      if (good_doc) ++bad_in_good;
+    }
+  }
+  params.bad_in_good_doc_fraction =
+      bad_total == 0 ? 0.0
+                     : static_cast<double>(bad_in_good) / static_cast<double>(bad_total);
+
+  params.tp = knobs.TruePositiveRate(theta);
+  params.fp = knobs.FalsePositiveRate(theta);
+
+  if (classifier != nullptr) {
+    params.classifier_tp = classifier->true_positive_rate;
+    params.classifier_fp = classifier->false_positive_rate;
+    params.classifier_empty = classifier->empty_acceptance_rate;
+    params.classifier_good_occ = classifier->good_occurrence_acceptance;
+    params.classifier_bad_occ = classifier->bad_occurrence_acceptance;
+  }
+
+  if (queries != nullptr) {
+    // Measure each learned query against this database: g(q) is top-k
+    // capped, P(q) over all matches (the pseudo-relevance ranking is
+    // goodness-uncorrelated, so the top-k share has the same expectation).
+    std::vector<bool> is_good_doc(static_cast<size_t>(corpus.size()), false);
+    for (DocId d : truth.good_docs) is_good_doc[static_cast<size_t>(d)] = true;
+    for (const LearnedQuery& q : *queries) {
+      const std::vector<DocId> matches =
+          database.index().Query(q.terms, database.size());
+      if (matches.empty()) continue;
+      int64_t good = 0;
+      for (DocId d : matches) good += is_good_doc[static_cast<size_t>(d)] ? 1 : 0;
+      AqgQueryStat stat;
+      stat.retrieved_docs = static_cast<double>(std::min<int64_t>(
+          static_cast<int64_t>(matches.size()), database.max_results_per_query()));
+      stat.precision = static_cast<double>(good) / static_cast<double>(matches.size());
+      params.aqg_queries.push_back(stat);
+    }
+
+    // Occurrence-weighting correction: compare document-weighted and
+    // occurrence-weighted coverage of the full query budget.
+    std::vector<bool> covered(static_cast<size_t>(corpus.size()), false);
+    for (const LearnedQuery& q : *queries) {
+      for (DocId d : database.Query(q.terms)) covered[static_cast<size_t>(d)] = true;
+    }
+    int64_t good_docs_cov = 0;
+    int64_t bad_other_docs_cov = 0;
+    int64_t good_occ_total = 0, good_occ_cov = 0;
+    int64_t bad_occ_total = 0, bad_occ_cov = 0;
+    for (const Document& doc : corpus.documents()) {
+      const bool cov = covered[static_cast<size_t>(doc.id)];
+      const bool good_doc = ClassifyByGroundTruth(doc) == DocumentClass::kGood;
+      if (cov) {
+        if (good_doc) {
+          ++good_docs_cov;
+        } else {
+          ++bad_other_docs_cov;
+        }
+      }
+      for (const PlantedMention& m : doc.mentions) {
+        if (m.is_good) {
+          ++good_occ_total;
+          good_occ_cov += cov ? 1 : 0;
+        } else {
+          ++bad_occ_total;
+          bad_occ_cov += cov ? 1 : 0;
+        }
+      }
+    }
+    const double doc_cov_good =
+        params.num_good_docs > 0 ? static_cast<double>(good_docs_cov) /
+                                       static_cast<double>(params.num_good_docs)
+                                 : 0.0;
+    const double other_docs = static_cast<double>(
+        params.num_documents - params.num_good_docs);
+    const double doc_cov_other =
+        other_docs > 0.0 ? static_cast<double>(bad_other_docs_cov) / other_docs : 0.0;
+    const double occ_cov_good =
+        good_occ_total > 0 ? static_cast<double>(good_occ_cov) /
+                                 static_cast<double>(good_occ_total)
+                           : 0.0;
+    // Bad occurrences live in both good and covered/uncovered other docs;
+    // weight the document-level baseline accordingly.
+    const double rho = params.bad_in_good_doc_fraction;
+    const double doc_cov_bad_mix = rho * doc_cov_good + (1.0 - rho) * doc_cov_other;
+    const double occ_cov_bad =
+        bad_occ_total > 0 ? static_cast<double>(bad_occ_cov) /
+                                static_cast<double>(bad_occ_total)
+                          : 0.0;
+    if (doc_cov_good > 1e-9) params.aqg_good_occ_boost = occ_cov_good / doc_cov_good;
+    if (doc_cov_bad_mix > 1e-9) {
+      params.aqg_bad_occ_boost = occ_cov_bad / doc_cov_bad_mix;
+    }
+  }
+
+  // Join-attribute value probe reach: H(a) and the top-k truncation.
+  {
+    double sum_hits = 0.0;
+    double sum_inclusion = 0.0;
+    int64_t count = 0;
+    const int64_t top_k = database.max_results_per_query();
+    for (const auto& [value, vf] : truth.value_frequencies) {
+      const int64_t h = database.CountMatches({value});
+      if (h <= 0) continue;
+      const int64_t reached = std::min(h, top_k);
+      sum_hits += static_cast<double>(reached);
+      sum_inclusion += static_cast<double>(reached) / static_cast<double>(h);
+      ++count;
+    }
+    if (count > 0) {
+      params.mean_query_hits = sum_hits / static_cast<double>(count);
+      params.mean_direct_inclusion = sum_inclusion / static_cast<double>(count);
+    }
+  }
+
+  if (include_zgjn_pgfs) {
+    const std::unique_ptr<Extractor> tuned = extractor.WithTheta(theta);
+    IEJOIN_ASSIGN_OR_RETURN(ZigZagGraphSide graph,
+                            ZigZagGraphSide::Build(database, *tuned));
+    IEJOIN_ASSIGN_OR_RETURN(DiscreteDistribution hits, graph.HitsPerAttribute());
+    IEJOIN_ASSIGN_OR_RETURN(DiscreteDistribution gens, graph.AttributesPerDocument());
+    params.hits_pgf = GeneratingFunction::FromDistribution(hits);
+    params.generates_pgf = GeneratingFunction::FromDistribution(gens);
+  }
+
+  return params;
+}
+
+Result<JoinModelParams> ComputeOracleParams(
+    const JoinScenario& scenario, const TextDatabase& database1,
+    const TextDatabase& database2, const Extractor& extractor1,
+    const Extractor& extractor2, const KnobCharacterization& knobs1,
+    const KnobCharacterization& knobs2, const ClassifierCharacterization* classifier1,
+    const ClassifierCharacterization* classifier2,
+    const std::vector<LearnedQuery>* queries1,
+    const std::vector<LearnedQuery>* queries2, const OracleParamsOptions& options) {
+  JoinModelParams params;
+  IEJOIN_ASSIGN_OR_RETURN(
+      params.relation1,
+      ComputeOracleRelationParams(*scenario.corpus1, database1, extractor1, knobs1,
+                                  options.theta1, classifier1, queries1,
+                                  options.include_zgjn_pgfs));
+  IEJOIN_ASSIGN_OR_RETURN(
+      params.relation2,
+      ComputeOracleRelationParams(*scenario.corpus2, database2, extractor2, knobs2,
+                                  options.theta2, classifier2, queries2,
+                                  options.include_zgjn_pgfs));
+  params.num_agg = static_cast<int64_t>(scenario.values_gg.size());
+  params.num_agb = static_cast<int64_t>(scenario.values_gb.size());
+  params.num_abg = static_cast<int64_t>(scenario.values_bg.size());
+  params.num_abb = static_cast<int64_t>(scenario.values_bb.size());
+  params.coupling = options.coupling;
+  return params;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,69 @@
+#ifndef IEJOIN_MODEL_ORACLE_PARAMS_H_
+#define IEJOIN_MODEL_ORACLE_PARAMS_H_
+
+#include <vector>
+
+#include "classifier/document_classifier.h"
+#include "common/status.h"
+#include "extraction/extractor.h"
+#include "extraction/extractor_profile.h"
+#include "model/model_params.h"
+#include "querygen/query_learner.h"
+#include "textdb/corpus_generator.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+/// Options for assembling ground-truth ("oracle") model parameters.
+struct OracleParamsOptions {
+  double theta1 = 0.4;
+  double theta2 = 0.4;
+  /// Building the ZGJN generating functions requires a full extraction pass
+  /// per side; skip it unless a ZGJN estimate is needed.
+  bool include_zgjn_pgfs = false;
+  FrequencyCoupling coupling = FrequencyCoupling::kIndependent;
+};
+
+/// Assembles the Section V model parameters from generator ground truth and
+/// measured component characterizations, replicating the paper's
+/// "perfect knowledge of the database-specific parameters" setting used to
+/// validate the analytical models (Section VII, Figures 9-12).
+///
+/// `classifier*` / `queries*` may be null when the plan space under study
+/// uses no FS / AQG sides.
+Result<JoinModelParams> ComputeOracleParams(
+    const JoinScenario& scenario, const TextDatabase& database1,
+    const TextDatabase& database2, const Extractor& extractor1,
+    const Extractor& extractor2, const KnobCharacterization& knobs1,
+    const KnobCharacterization& knobs2, const ClassifierCharacterization* classifier1,
+    const ClassifierCharacterization* classifier2,
+    const std::vector<LearnedQuery>* queries1,
+    const std::vector<LearnedQuery>* queries2, const OracleParamsOptions& options);
+
+/// Pairwise value-overlap cardinalities (Section V-A) computed directly
+/// from two corpora's ground truth, as the paper's literal set
+/// intersections: A_g of a relation is {a : g(a) > 0}, A_b is
+/// {a : b(a) > 0}, and A_gg = |A_g1 ∩ A_g2|, A_gb = |A_g1 ∩ A_b2|, etc.
+/// Works for any corpus pair sharing a vocabulary (e.g. the pairwise tasks
+/// of a three-relation scenario).
+struct OverlapCounts {
+  int64_t num_agg = 0;
+  int64_t num_agb = 0;
+  int64_t num_abg = 0;
+  int64_t num_abb = 0;
+};
+
+OverlapCounts ComputeOverlapFromGroundTruth(const Corpus& corpus1,
+                                            const Corpus& corpus2);
+
+/// Ground-truth parameters for one side (exposed for single-relation tests
+/// and the estimation-accuracy ablation).
+Result<RelationModelParams> ComputeOracleRelationParams(
+    const Corpus& corpus, const TextDatabase& database, const Extractor& extractor,
+    const KnobCharacterization& knobs, double theta,
+    const ClassifierCharacterization* classifier,
+    const std::vector<LearnedQuery>* queries, bool include_zgjn_pgfs);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_MODEL_ORACLE_PARAMS_H_

@@ -1,0 +1,176 @@
+#include "model/single_relation_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "distributions/binomial.h"
+#include "distributions/hypergeometric.h"
+
+namespace iejoin {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+/// Combines a document-inclusion profile with the knob rates into
+/// per-occurrence extraction probabilities.
+OccurrenceFactors CombineFactors(const RelationModelParams& params,
+                                 const InclusionProbabilities& inclusion) {
+  OccurrenceFactors f;
+  // Good occurrences live only in good documents.
+  f.good_occurrence = Clamp01(params.tp * inclusion.good_doc);
+  // Bad occurrences split between good documents (fraction ρ) and others.
+  const double rho = Clamp01(params.bad_in_good_doc_fraction);
+  f.bad_occurrence = Clamp01(
+      params.fp * (rho * inclusion.good_doc + (1.0 - rho) * inclusion.other_doc));
+  return f;
+}
+
+}  // namespace
+
+OccurrenceFactors ScanFactors(const RelationModelParams& params,
+                              int64_t docs_retrieved) {
+  IEJOIN_DCHECK(params.num_documents > 0);
+  const int64_t dr = std::min(docs_retrieved, params.num_documents);
+  const double frac =
+      static_cast<double>(dr) / static_cast<double>(params.num_documents);
+  InclusionProbabilities inclusion{frac, frac};
+  OccurrenceFactors f = CombineFactors(params, inclusion);
+  f.docs_retrieved = static_cast<double>(dr);
+  f.docs_processed = static_cast<double>(dr);
+  return f;
+}
+
+OccurrenceFactors FilteredScanFactors(const RelationModelParams& params,
+                                      int64_t docs_retrieved) {
+  IEJOIN_DCHECK(params.num_documents > 0);
+  const int64_t dr = std::min(docs_retrieved, params.num_documents);
+  const double frac =
+      static_cast<double>(dr) / static_cast<double>(params.num_documents);
+  // Quality side: occurrence-weighted acceptance (a mention's document must
+  // survive the classifier; mention-rich documents are accepted more often
+  // than the per-document C rates suggest). The bad occurrence-weighted
+  // rate already folds in where bad occurrences live (good vs bad docs).
+  OccurrenceFactors f;
+  f.good_occurrence = Clamp01(params.tp * frac * params.classifier_good_occ);
+  f.bad_occurrence = Clamp01(params.fp * frac * params.classifier_bad_occ);
+  f.docs_retrieved = static_cast<double>(dr);
+  f.docs_filtered = static_cast<double>(dr);
+  // Only accepted documents reach the extractor; acceptance depends on the
+  // document class.
+  const double total = static_cast<double>(params.num_documents);
+  const double good_frac = static_cast<double>(params.num_good_docs) / total;
+  const double bad_frac = static_cast<double>(params.num_bad_docs) / total;
+  const double empty_frac = std::max(0.0, 1.0 - good_frac - bad_frac);
+  f.docs_processed = static_cast<double>(dr) *
+                     (good_frac * params.classifier_tp +
+                      bad_frac * params.classifier_fp +
+                      empty_frac * params.classifier_empty);
+  return f;
+}
+
+OccurrenceFactors AqgFactors(const RelationModelParams& params,
+                             int64_t queries_issued) {
+  IEJOIN_DCHECK(params.num_documents > 0);
+  const int64_t q = std::min<int64_t>(queries_issued,
+                                      static_cast<int64_t>(params.aqg_queries.size()));
+  const double good_docs = std::max<double>(1.0, static_cast<double>(params.num_good_docs));
+  const double other_docs = std::max<double>(
+      1.0, static_cast<double>(params.num_documents - params.num_good_docs));
+
+  // Eq. 2: Pr_g(d) = 1 - prod_i (1 - P(q_i) g(q_i) / |Dg|); analogously for
+  // non-good documents with the imprecise share of each query's results.
+  double miss_good = 1.0;
+  double miss_other = 1.0;
+  double retrieved = 0.0;
+  for (int64_t i = 0; i < q; ++i) {
+    const AqgQueryStat& qs = params.aqg_queries[static_cast<size_t>(i)];
+    miss_good *= 1.0 - Clamp01(qs.precision * qs.retrieved_docs / good_docs);
+    miss_other *=
+        1.0 - Clamp01((1.0 - qs.precision) * qs.retrieved_docs / other_docs);
+    retrieved += qs.retrieved_docs;
+  }
+  // Quality side uses occurrence-weighted coverage (mention-rich documents
+  // match more queries, so the offline-measured boosts scale the
+  // document-weighted coverages up); the time side below uses
+  // document-weighted coverage.
+  const double cov_good = 1.0 - miss_good;
+  const double cov_other = 1.0 - miss_other;
+  const double rho = Clamp01(params.bad_in_good_doc_fraction);
+  OccurrenceFactors f;
+  f.good_occurrence =
+      Clamp01(params.tp * Clamp01(cov_good * params.aqg_good_occ_boost));
+  f.bad_occurrence = Clamp01(
+      params.fp * Clamp01((rho * cov_good + (1.0 - rho) * cov_other) *
+                          params.aqg_bad_occ_boost));
+  // Expected distinct documents retrieved (queries overlap, so bound by the
+  // coverage expectation rather than the raw sum).
+  const double expected_distinct =
+      (1.0 - miss_good) * good_docs + (1.0 - miss_other) * other_docs;
+  f.docs_retrieved = std::min(retrieved, expected_distinct);
+  f.docs_processed = f.docs_retrieved;
+  f.queries_issued = static_cast<double>(q);
+  return f;
+}
+
+double ExpectedGoodFrequency(const OccurrenceFactors& factors, double g) {
+  return factors.good_occurrence * g;
+}
+
+double ExpectedBadFrequency(const OccurrenceFactors& factors, double b) {
+  return factors.bad_occurrence * b;
+}
+
+Result<DiscreteDistribution> ScanGoodDocsDistribution(
+    const RelationModelParams& params, int64_t docs_retrieved) {
+  if (params.num_documents <= 0 || params.num_good_docs < 0 ||
+      params.num_good_docs > params.num_documents) {
+    return Status::InvalidArgument("inconsistent document counts");
+  }
+  const int64_t dr = std::min(docs_retrieved, params.num_documents);
+  const int64_t max_j = std::min(dr, params.num_good_docs);
+  std::vector<double> pmf(static_cast<size_t>(max_j) + 1, 0.0);
+  for (int64_t j = 0; j <= max_j; ++j) {
+    pmf[static_cast<size_t>(j)] =
+        hypergeometric::Pmf(params.num_documents, dr, params.num_good_docs, j);
+  }
+  return DiscreteDistribution::FromWeights(std::move(pmf));
+}
+
+Result<DiscreteDistribution> FilteredScanGoodDocsDistribution(
+    const RelationModelParams& params, int64_t docs_retrieved) {
+  IEJOIN_ASSIGN_OR_RETURN(DiscreteDistribution retrieved,
+                          ScanGoodDocsDistribution(params, docs_retrieved));
+  // Compose with the classifier acceptance stage:
+  // Pr(|Dgr|=j) = sum_n Hyper(...) Bnm(n, j, C_tp).
+  const int64_t max_n = retrieved.max_value();
+  std::vector<double> pmf(static_cast<size_t>(max_n) + 1, 0.0);
+  for (int64_t n = 0; n <= max_n; ++n) {
+    const double pn = retrieved.Pmf(n);
+    if (pn <= 0.0) continue;
+    for (int64_t j = 0; j <= n; ++j) {
+      pmf[static_cast<size_t>(j)] += pn * binomial::Pmf(n, j, params.classifier_tp);
+    }
+  }
+  return DiscreteDistribution::FromWeights(std::move(pmf));
+}
+
+Result<DiscreteDistribution> ExtractedFrequencyDistribution(
+    const RelationModelParams& params, int64_t good_docs_processed, int64_t g) {
+  if (g < 0 || good_docs_processed < 0 ||
+      good_docs_processed > params.num_good_docs) {
+    return Status::InvalidArgument("invalid frequency-distribution arguments");
+  }
+  std::vector<double> pmf(static_cast<size_t>(g) + 1, 0.0);
+  for (int64_t k = 0; k <= std::min(g, good_docs_processed); ++k) {
+    const double pk =
+        hypergeometric::Pmf(params.num_good_docs, good_docs_processed, g, k);
+    if (pk <= 0.0) continue;
+    for (int64_t l = 0; l <= k; ++l) {
+      pmf[static_cast<size_t>(l)] += pk * binomial::Pmf(k, l, params.tp);
+    }
+  }
+  return DiscreteDistribution::FromWeights(std::move(pmf));
+}
+
+}  // namespace iejoin

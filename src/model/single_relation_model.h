@@ -1,0 +1,93 @@
+#ifndef IEJOIN_MODEL_SINGLE_RELATION_MODEL_H_
+#define IEJOIN_MODEL_SINGLE_RELATION_MODEL_H_
+
+#include <cstdint>
+
+#include "distributions/discrete.h"
+#include "model/model_params.h"
+#include "textdb/cost_model.h"
+
+namespace iejoin {
+
+/// Probability that a given good / non-good document is processed by the
+/// extraction system, under a document retrieval strategy and effort level.
+/// This is the mean-field collapse of the paper's document-sampling
+/// distributions (Section V-C); the full distributions are exposed
+/// separately below for the distributional model variant.
+struct InclusionProbabilities {
+  double good_doc = 0.0;
+  double other_doc = 0.0;  // bad and empty documents
+};
+
+/// Per-occurrence extraction probabilities and side-effort accounting for
+/// one relation under one (strategy, effort) choice. These are the factors
+/// the general scheme multiplies into join-output expectations.
+struct OccurrenceFactors {
+  /// P(a given good occurrence appears in the extracted relation)
+  /// = tp(θ) * P(its document is processed).
+  double good_occurrence = 0.0;
+  /// Same for a bad occurrence (which may live in good or bad documents).
+  double bad_occurrence = 0.0;
+  /// Expected documents retrieved / filtered / processed and queries
+  /// issued, for the time model.
+  double docs_retrieved = 0.0;
+  double docs_filtered = 0.0;
+  double docs_processed = 0.0;
+  double queries_issued = 0.0;
+
+  /// Expected execution time for this side under a cost model.
+  double Seconds(const CostModel& costs) const {
+    return docs_retrieved * costs.retrieve_seconds +
+           docs_filtered * costs.filter_seconds +
+           docs_processed * costs.extract_seconds +
+           queries_issued * costs.query_seconds;
+  }
+};
+
+/// Scan (SC): after retrieving `docs_retrieved` of |D| documents in
+/// arbitrary order, every document is equally likely to have been seen;
+/// all retrieved documents are processed.
+OccurrenceFactors ScanFactors(const RelationModelParams& params,
+                              int64_t docs_retrieved);
+
+/// Filtered Scan (FS): like Scan, but only documents accepted by the
+/// classifier (C_tp for good, C_fp for others) are processed.
+OccurrenceFactors FilteredScanFactors(const RelationModelParams& params,
+                                      int64_t docs_retrieved);
+
+/// Automatic Query Generation (AQG): after issuing the first
+/// `queries_issued` learned queries, a good document is covered with the
+/// paper's Eq. 2 probability (and analogously for non-good documents).
+OccurrenceFactors AqgFactors(const RelationModelParams& params,
+                             int64_t queries_issued);
+
+/// Expected number of good occurrences of a value with frequency g,
+/// given the side's factors: E[gr | g] = factors.good_occurrence * g.
+/// (Exact: the paper's Hyper x Binomial double sum is linear in g; see
+/// ExpectedFrequencyDistribution for the full PMF.)
+double ExpectedGoodFrequency(const OccurrenceFactors& factors, double g);
+double ExpectedBadFrequency(const OccurrenceFactors& factors, double b);
+
+/// --- Distributional forms (used by tests and the model-cost ablation to
+/// validate that the closed-form means match the paper's full sums) ---
+
+/// PMF of the number of good documents processed, Pr(|Dgr| = j), after
+/// retrieving `docs_retrieved` documents with Scan:
+/// Hyper(|D|, |Dr|, |Dg|, j) (Section V-C).
+Result<DiscreteDistribution> ScanGoodDocsDistribution(
+    const RelationModelParams& params, int64_t docs_retrieved);
+
+/// Same for Filtered Scan: hypergeometric retrieval composed with a
+/// Binomial(C_tp) classification stage.
+Result<DiscreteDistribution> FilteredScanGoodDocsDistribution(
+    const RelationModelParams& params, int64_t docs_retrieved);
+
+/// PMF of the extracted frequency of one good value with frequency g given
+/// exactly j good documents were processed:
+/// sum_k Hyper(|Dg|, j, g, k) Bnm(k, l, tp)  (Section V-C).
+Result<DiscreteDistribution> ExtractedFrequencyDistribution(
+    const RelationModelParams& params, int64_t good_docs_processed, int64_t g);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_MODEL_SINGLE_RELATION_MODEL_H_

@@ -1,0 +1,275 @@
+#include "optimizer/adaptive_executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+AdaptiveJoinExecutor::AdaptiveJoinExecutor(JoinResources resources,
+                                           OptimizerInputs offline_inputs,
+                                           PlanEnumerationOptions enum_options)
+    : resources_(resources),
+      offline_inputs_(std::move(offline_inputs)),
+      enum_options_(std::move(enum_options)) {
+  IEJOIN_CHECK(offline_inputs_.knobs1 != nullptr &&
+               offline_inputs_.knobs2 != nullptr);
+}
+
+Result<JoinModelParams> AdaptiveJoinExecutor::EstimateFromState(
+    const JoinPlanSpec& plan, const TrajectoryPoint& point, const JoinState& state,
+    const AdaptiveOptions& options) const {
+  std::vector<TokenId> values[2];
+  RelationParamsEstimate estimates[2];
+  for (int side = 0; side < 2; ++side) {
+    RelationObservation obs;
+    const TextDatabase* db = side == 0 ? resources_.database1 : resources_.database2;
+    obs.num_documents = db->size();
+    obs.docs_processed = side == 0 ? point.docs_processed1 : point.docs_processed2;
+    obs.docs_with_extraction =
+        side == 0 ? point.docs_with_extraction1 : point.docs_with_extraction2;
+    // Per-occurrence document inclusion of the probe. Scan: uniform, the
+    // retrieved fraction. Filtered Scan: the retrieved (scanned) fraction
+    // times the offline occurrence-weighted acceptance rates — the sample
+    // the extractor saw is classifier-biased, and this inverts that bias.
+    const RetrievalStrategyKind retrieval =
+        side == 0 ? plan.retrieval1 : plan.retrieval2;
+    const int64_t docs_retrieved =
+        side == 0 ? point.docs_retrieved1 : point.docs_retrieved2;
+    const double retrieved_frac =
+        obs.num_documents > 0 ? static_cast<double>(docs_retrieved) /
+                                    static_cast<double>(obs.num_documents)
+                              : 0.0;
+    const RelationModelParams& offline = side == 0
+                                             ? offline_inputs_.base_params.relation1
+                                             : offline_inputs_.base_params.relation2;
+    if (retrieval == RetrievalStrategyKind::kFilteredScan) {
+      obs.good_inclusion = retrieved_frac * offline.classifier_good_occ;
+      // The estimator reconstructs the bad-occurrence inclusion as
+      // rho * good_inclusion + (1 - rho) * bad_inclusion; solve for the
+      // bad-document term so the mix lands on the occurrence-weighted
+      // classifier rate.
+      const double rho = options.estimator.assumed_bad_in_good_fraction;
+      const double target = retrieved_frac * offline.classifier_bad_occ;
+      obs.bad_inclusion = std::clamp(
+          (target - rho * obs.good_inclusion) / std::max(1.0 - rho, 1e-6), 1e-9,
+          1.0);
+    } else {
+      obs.good_inclusion = retrieved_frac;
+      obs.bad_inclusion = retrieved_frac;
+    }
+    const KnobCharacterization* knobs =
+        side == 0 ? offline_inputs_.knobs1 : offline_inputs_.knobs2;
+    const double theta = side == 0 ? plan.theta1 : plan.theta2;
+    obs.tp = knobs->TruePositiveRate(theta);
+    obs.fp = knobs->FalsePositiveRate(theta);
+
+    for (const auto& [value, count] : state.ObservedFrequencies(side)) {
+      obs.values.push_back(value);
+      obs.counts.push_back(count);
+    }
+    values[side] = obs.values;
+    IEJOIN_ASSIGN_OR_RETURN(estimates[side],
+                            EstimateRelationParams(obs, options.estimator));
+  }
+
+  IEJOIN_ASSIGN_OR_RETURN(
+      JoinModelParams params,
+      EstimateJoinParams(estimates[0], estimates[1], values[0], values[1],
+                         options.coupling));
+
+  // Overlay the offline-characterized strategy/join-specific parameters.
+  auto overlay = [](RelationModelParams* dst, const RelationModelParams& offline) {
+    dst->classifier_tp = offline.classifier_tp;
+    dst->classifier_fp = offline.classifier_fp;
+    dst->classifier_empty = offline.classifier_empty;
+    dst->classifier_good_occ = offline.classifier_good_occ;
+    dst->classifier_bad_occ = offline.classifier_bad_occ;
+    dst->aqg_queries = offline.aqg_queries;
+    dst->mean_query_hits = offline.mean_query_hits;
+    dst->mean_direct_inclusion = offline.mean_direct_inclusion;
+    dst->hits_pgf = offline.hits_pgf;
+    dst->generates_pgf = offline.generates_pgf;
+  };
+  overlay(&params.relation1, offline_inputs_.base_params.relation1);
+  overlay(&params.relation2, offline_inputs_.base_params.relation2);
+  return params;
+}
+
+QualityEstimate AdaptiveJoinExecutor::EstimateAtCurrentEffort(
+    const JoinPlanSpec& plan, const JoinModelParams& params,
+    const TrajectoryPoint& point) const {
+  switch (plan.algorithm) {
+    case JoinAlgorithmKind::kIndependent: {
+      PlanEffort effort;
+      effort.side1 = plan.retrieval1 == RetrievalStrategyKind::kAutomaticQueryGeneration
+                         ? point.queries1
+                         : point.docs_retrieved1;
+      effort.side2 = plan.retrieval2 == RetrievalStrategyKind::kAutomaticQueryGeneration
+                         ? point.queries2
+                         : point.docs_retrieved2;
+      return EstimateIdjn(params, plan.retrieval1, plan.retrieval2, effort,
+                          offline_inputs_.costs1, offline_inputs_.costs2);
+    }
+    case JoinAlgorithmKind::kOuterInner: {
+      const bool outer1 = plan.outer_is_relation1;
+      const RetrievalStrategyKind outer_strategy =
+          outer1 ? plan.retrieval1 : plan.retrieval2;
+      const int64_t outer_effort =
+          outer_strategy == RetrievalStrategyKind::kAutomaticQueryGeneration
+              ? (outer1 ? point.queries1 : point.queries2)
+              : (outer1 ? point.docs_retrieved1 : point.docs_retrieved2);
+      return EstimateOijn(params, outer1, outer_strategy, outer_effort,
+                          offline_inputs_.costs1, offline_inputs_.costs2);
+    }
+    case JoinAlgorithmKind::kZigZag:
+      return EstimateZgjn(params, offline_inputs_.zgjn_seeds,
+                          point.queries1 + point.queries2, offline_inputs_.costs1,
+                          offline_inputs_.costs2);
+  }
+  return QualityEstimate{};
+}
+
+Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options) {
+  AdaptiveResult result;
+  JoinPlanSpec current_plan = options.initial_plan;
+  int32_t switches = 0;
+
+  while (true) {
+    IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<JoinExecutorBase> executor,
+                            CreateJoinExecutor(current_plan, resources_));
+
+    // Per-phase adaptive state, owned by the callback.
+    int64_t next_estimate_at = options.min_docs_for_estimate;
+    bool want_switch = false;
+    JoinPlanSpec switch_target;
+    bool believed_done = false;
+
+    JoinExecutionOptions exec_options;
+    exec_options.stop_rule = StopRule::kCallback;
+    exec_options.requirement = options.requirement;
+    if (current_plan.algorithm == JoinAlgorithmKind::kZigZag) {
+      // Seed with the offline inputs' assumed seed count; callers populate
+      // seed values through the resources' first database values. The
+      // adaptive flow only reaches ZGJN via a switch, so reuse a fixed
+      // probe: the most frequent values observed so far are not available
+      // here, so we fall back to scanning seeds below.
+      exec_options.seed_values = {};
+    }
+    // On-the-fly estimation assumes the probe's per-occurrence inclusion is
+    // known: exact for Scan (uniform sampling) and correctable for Filtered
+    // Scan (the offline occurrence-weighted classifier rates tell us how the
+    // processed sample is biased — see EstimateFromState). Query-driven
+    // retrieval (OIJN inner, ZGJN, AQG) biases the sample toward the probed
+    // values in a way the estimator cannot invert, so during those phases we
+    // keep the latest scan-phase estimates and only evaluate the stopping
+    // condition.
+    auto estimable = [](RetrievalStrategyKind kind) {
+      return kind == RetrievalStrategyKind::kScan ||
+             kind == RetrievalStrategyKind::kFilteredScan;
+    };
+    const bool plan_supports_estimation =
+        current_plan.algorithm == JoinAlgorithmKind::kIndependent &&
+        estimable(current_plan.retrieval1) && estimable(current_plan.retrieval2);
+
+    exec_options.stop_callback = [&](const TrajectoryPoint& point,
+                                     const JoinState& state) -> bool {
+      const int64_t docs = point.docs_processed1 + point.docs_processed2;
+      if (docs < next_estimate_at) return false;
+      next_estimate_at = docs + options.reestimate_every_docs;
+
+      if (plan_supports_estimation) {
+        Result<JoinModelParams> estimated =
+            EstimateFromState(current_plan, point, state, options);
+        if (!estimated.ok()) return false;  // sample still too thin
+        result.final_estimate = estimated.value();
+        result.has_estimate = true;
+      }
+      if (!result.has_estimate) return false;
+
+      // Estimate-based stopping condition (Figures 3/5/7).
+      const QualityEstimate so_far =
+          EstimateAtCurrentEffort(current_plan, result.final_estimate, point);
+      if (so_far.expected_good >=
+              static_cast<double>(options.requirement.min_good_tuples) ||
+          so_far.expected_bad >
+              static_cast<double>(options.requirement.max_bad_tuples)) {
+        believed_done = true;
+        return true;
+      }
+
+      // Re-optimize under the fresh statistics.
+      if (switches >= options.max_switches) return false;
+      OptimizerInputs inputs = offline_inputs_;
+      inputs.base_params = result.final_estimate;
+      const QualityAwareOptimizer optimizer(inputs, enum_options_);
+      const Result<PlanChoice> best = optimizer.ChoosePlan(options.requirement);
+      if (!best.ok()) return false;
+      const PlanChoice current_choice =
+          optimizer.EvaluatePlan(current_plan, options.requirement);
+      const double current_predicted = current_choice.feasible
+                                           ? current_choice.estimate.seconds
+                                           : std::numeric_limits<double>::infinity();
+      if (best->plan.Describe() != current_plan.Describe() &&
+          best->estimate.seconds < options.switch_advantage * current_predicted) {
+        want_switch = true;
+        switch_target = best->plan;
+        return true;
+      }
+      return false;
+    };
+
+    // ZGJN needs seeds; when switching into it, seed with a handful of scan
+    // documents' values by probing the first database's scan order.
+    if (current_plan.algorithm == JoinAlgorithmKind::kZigZag) {
+      const int64_t probe_docs = std::min<int64_t>(50, resources_.database1->size());
+      const std::unique_ptr<Extractor> probe_extractor =
+          resources_.extractor1->WithTheta(current_plan.theta1);
+      for (int64_t i = 0;
+           i < probe_docs &&
+           exec_options.seed_values.size() < static_cast<size_t>(
+                                                 offline_inputs_.zgjn_seeds);
+           ++i) {
+        for (const ExtractedTuple& t :
+             probe_extractor->Process(resources_.database1->ScanDocument(i))) {
+          exec_options.seed_values.push_back(t.join_value);
+          if (exec_options.seed_values.size() >=
+              static_cast<size_t>(offline_inputs_.zgjn_seeds)) {
+            break;
+          }
+        }
+      }
+      if (exec_options.seed_values.empty()) {
+        return Status::FailedPrecondition("could not derive ZGJN seed values");
+      }
+    }
+
+    IEJOIN_ASSIGN_OR_RETURN(JoinExecutionResult exec_result,
+                            executor->Run(exec_options));
+
+    AdaptivePhase phase;
+    phase.plan = current_plan;
+    phase.seconds = exec_result.final_point.seconds;
+    phase.end_point = exec_result.final_point;
+    phase.switched_away = want_switch;
+    phase.exhausted = exec_result.exhausted;
+    result.phases.push_back(phase);
+    result.total_seconds += phase.seconds;
+
+    if (want_switch) {
+      ++switches;
+      current_plan = switch_target;
+      continue;
+    }
+
+    result.good_join_tuples = exec_result.final_point.good_join_tuples;
+    result.bad_join_tuples = exec_result.final_point.bad_join_tuples;
+    result.requirement_met = options.requirement.MetBy(result.good_join_tuples,
+                                                       result.bad_join_tuples);
+    (void)believed_done;
+    return result;
+  }
+}
+
+}  // namespace iejoin

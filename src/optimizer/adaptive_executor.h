@@ -1,0 +1,102 @@
+#ifndef IEJOIN_OPTIMIZER_ADAPTIVE_EXECUTOR_H_
+#define IEJOIN_OPTIMIZER_ADAPTIVE_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "estimation/join_estimator.h"
+#include "estimation/relation_estimator.h"
+#include "join/join_executor.h"
+#include "optimizer/optimizer.h"
+
+namespace iejoin {
+
+struct AdaptiveOptions {
+  QualityRequirement requirement;
+
+  /// Plan to start with before any statistics exist (the paper's optimizer
+  /// "begins with an initial choice of execution strategy").
+  JoinPlanSpec initial_plan;
+
+  /// Re-run the MLE / re-optimize after this many newly processed docs.
+  int64_t reestimate_every_docs = 500;
+  /// Do not trust estimates before this many docs have been processed
+  /// (summed over both sides); thin samples make the heavy-tailed MLE far
+  /// too noisy to switch plans on.
+  int64_t min_docs_for_estimate = 600;
+
+  /// Switch plans only when the newly chosen plan's predicted total time is
+  /// below this fraction of the current plan's predicted total time
+  /// (hysteresis against estimate noise).
+  double switch_advantage = 0.7;
+  int32_t max_switches = 2;
+
+  FrequencyCoupling coupling = FrequencyCoupling::kIndependent;
+  RelationEstimatorOptions estimator;
+};
+
+/// One execution phase (a plan run until it stopped or was abandoned).
+struct AdaptivePhase {
+  JoinPlanSpec plan;
+  double seconds = 0.0;
+  TrajectoryPoint end_point;
+  bool switched_away = false;
+  /// True when the phase consumed every reachable document/query.
+  bool exhausted = false;
+};
+
+struct AdaptiveResult {
+  std::vector<AdaptivePhase> phases;
+  /// Simulated time summed over all phases (abandoned work included).
+  double total_seconds = 0.0;
+  /// Ground-truth evaluation of the final output (reporting only).
+  int64_t good_join_tuples = 0;
+  int64_t bad_join_tuples = 0;
+  bool requirement_met = false;
+  /// Last parameter estimate produced during execution.
+  JoinModelParams final_estimate;
+  bool has_estimate = false;
+};
+
+/// End-to-end adaptive quality-aware join execution (Section VI "Putting It
+/// All Together"): starts with an initial plan, derives the database- and
+/// join-specific parameters on the fly with the MLE/EM estimators while the
+/// plan runs, re-optimizes, and switches execution strategies when the
+/// statistics say a different plan is substantially faster. The current
+/// implementation follows the paper's discard-and-restart policy: an
+/// abandoned plan's time is charged but its partial output is dropped.
+class AdaptiveJoinExecutor {
+ public:
+  /// `offline_inputs.base_params` supplies the retrieval-strategy- and
+  /// join-algorithm-specific parameters (classifier rates, AQG query stats,
+  /// probe reach, ZGJN PGFs) that the paper estimates in a pre-execution
+  /// offline step; its database-specific fields are ignored once online
+  /// estimates exist.
+  AdaptiveJoinExecutor(JoinResources resources, OptimizerInputs offline_inputs,
+                       PlanEnumerationOptions enum_options);
+
+  Result<AdaptiveResult> Run(const AdaptiveOptions& options);
+
+ private:
+  /// Builds online parameter estimates from a running execution's state;
+  /// returns nullopt when the sample is still too thin.
+  Result<JoinModelParams> EstimateFromState(const JoinPlanSpec& plan,
+                                            const TrajectoryPoint& point,
+                                            const JoinState& state,
+                                            const AdaptiveOptions& options) const;
+
+  /// Model estimate of what the *current* plan has produced so far, at its
+  /// observed effort, under the given parameters (this is the estimate the
+  /// stopping condition of Figures 3/5/7 consults).
+  QualityEstimate EstimateAtCurrentEffort(const JoinPlanSpec& plan,
+                                          const JoinModelParams& params,
+                                          const TrajectoryPoint& point) const;
+
+  JoinResources resources_;
+  OptimizerInputs offline_inputs_;
+  PlanEnumerationOptions enum_options_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_OPTIMIZER_ADAPTIVE_EXECUTOR_H_

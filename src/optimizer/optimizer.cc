@@ -1,0 +1,178 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace iejoin {
+namespace {
+
+/// Effort fractions are searched on a fine grid by bisection; expected good
+/// output is monotone non-decreasing in effort for every model.
+constexpr int kBisectionSteps = 48;
+
+}  // namespace
+
+QualityAwareOptimizer::QualityAwareOptimizer(OptimizerInputs inputs,
+                                             PlanEnumerationOptions enum_options)
+    : inputs_(std::move(inputs)), enum_options_(std::move(enum_options)) {
+  IEJOIN_CHECK(inputs_.knobs1 != nullptr && inputs_.knobs2 != nullptr);
+}
+
+JoinModelParams QualityAwareOptimizer::ParamsForThetas(double theta1,
+                                                       double theta2) const {
+  JoinModelParams params = inputs_.base_params;
+  params.relation1.tp = inputs_.knobs1->TruePositiveRate(theta1);
+  params.relation1.fp = inputs_.knobs1->FalsePositiveRate(theta1);
+  params.relation2.tp = inputs_.knobs2->TruePositiveRate(theta2);
+  params.relation2.fp = inputs_.knobs2->FalsePositiveRate(theta2);
+  return params;
+}
+
+PlanChoice QualityAwareOptimizer::EvaluatePlan(
+    const JoinPlanSpec& plan, const QualityRequirement& requirement) const {
+  PlanChoice choice;
+  choice.plan = plan;
+  const JoinModelParams params = ParamsForThetas(plan.theta1, plan.theta2);
+  const double tau_g =
+      static_cast<double>(requirement.min_good_tuples) * inputs_.good_margin;
+
+  // Estimate at an effort fraction s in (0, 1] of each side's maximum
+  // (IDJN additionally applies the current rectangle ratio).
+  double idjn_ratio = 1.0;
+  auto estimate_at = [&](double s) -> QualityEstimate {
+    switch (plan.algorithm) {
+      case JoinAlgorithmKind::kIndependent: {
+        const double skew = std::sqrt(idjn_ratio);
+        const double s1 = std::min(1.0, s * skew);
+        const double s2 = std::min(1.0, s / skew);
+        PlanEffort effort;
+        effort.side1 = static_cast<int64_t>(std::ceil(
+            s1 * static_cast<double>(MaxEffort(params.relation1, plan.retrieval1))));
+        effort.side2 = static_cast<int64_t>(std::ceil(
+            s2 * static_cast<double>(MaxEffort(params.relation2, plan.retrieval2))));
+        return EstimateIdjn(params, plan.retrieval1, plan.retrieval2, effort,
+                            inputs_.costs1, inputs_.costs2);
+      }
+      case JoinAlgorithmKind::kOuterInner: {
+        const RelationModelParams& outer =
+            plan.outer_is_relation1 ? params.relation1 : params.relation2;
+        const RetrievalStrategyKind outer_strategy =
+            plan.outer_is_relation1 ? plan.retrieval1 : plan.retrieval2;
+        const int64_t effort = static_cast<int64_t>(
+            std::ceil(s * static_cast<double>(MaxEffort(outer, outer_strategy))));
+        return EstimateOijn(params, plan.outer_is_relation1, outer_strategy, effort,
+                            inputs_.costs1, inputs_.costs2);
+      }
+      case JoinAlgorithmKind::kZigZag:
+        break;  // handled below
+    }
+    return QualityEstimate{};
+  };
+
+  if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    // The ZGJN recursion is already incremental: walk its rounds and stop
+    // at the first one meeting the requirement.
+    const std::vector<ZgjnModelPoint> points = SimulateZgjn(
+        params, inputs_.zgjn_seeds, /*max_rounds=*/64, inputs_.costs1, inputs_.costs2);
+    for (const ZgjnModelPoint& p : points) {
+      if (p.estimate.expected_good >= tau_g) {
+        choice.feasible = p.estimate.expected_bad <=
+                          static_cast<double>(requirement.max_bad_tuples);
+        choice.estimate = p.estimate;
+        choice.effort.side1 = static_cast<int64_t>(std::llround(p.queries1));
+        choice.effort.side2 = static_cast<int64_t>(std::llround(p.queries2));
+        return choice;
+      }
+    }
+    choice.estimate = points.empty() ? QualityEstimate{} : points.back().estimate;
+    choice.feasible = false;
+    return choice;
+  }
+
+  // Ratios to explore: the square heuristic plus any configured rectangle
+  // skews (IDJN only; other algorithms have a single effort dimension).
+  std::vector<double> ratios = {1.0};
+  if (plan.algorithm == JoinAlgorithmKind::kIndependent &&
+      !inputs_.idjn_effort_ratios.empty()) {
+    ratios = inputs_.idjn_effort_ratios;
+  }
+
+  bool have_best = false;
+  QualityEstimate best_infeasible;
+  for (double ratio : ratios) {
+    idjn_ratio = ratio;
+    // s_hi lets the skewed side saturate while the other still reaches 1.
+    const double s_hi = std::sqrt(std::max(ratio, 1.0 / ratio));
+
+    // Infeasible at this ratio if even full effort cannot reach τ_g.
+    const QualityEstimate full = estimate_at(s_hi);
+    if (full.expected_good < tau_g) {
+      if (!have_best && full.expected_good > best_infeasible.expected_good) {
+        best_infeasible = full;
+      }
+      continue;
+    }
+
+    // Bisect the smallest effort fraction reaching τ_g; output only grows
+    // with effort, so this is also the ratio's best shot at staying under
+    // τ_b.
+    double lo = 0.0;
+    double hi = s_hi;
+    for (int i = 0; i < kBisectionSteps; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (estimate_at(mid).expected_good >= tau_g) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    const QualityEstimate at_min = estimate_at(hi);
+    const bool feasible =
+        at_min.expected_bad <= static_cast<double>(requirement.max_bad_tuples);
+    const bool better =
+        !have_best ||
+        (feasible && !choice.feasible) ||
+        (feasible == choice.feasible && at_min.seconds < choice.estimate.seconds);
+    if (better) {
+      have_best = true;
+      choice.estimate = at_min;
+      choice.feasible = feasible;
+      choice.effort.side1 =
+          static_cast<int64_t>(std::llround(at_min.docs_retrieved1));
+      choice.effort.side2 =
+          static_cast<int64_t>(std::llround(at_min.docs_retrieved2));
+    }
+  }
+  if (!have_best) {
+    choice.estimate = best_infeasible;
+    choice.feasible = false;
+  }
+  return choice;
+}
+
+std::vector<PlanChoice> QualityAwareOptimizer::RankPlans(
+    const QualityRequirement& requirement) const {
+  std::vector<PlanChoice> choices;
+  for (const JoinPlanSpec& plan : EnumeratePlans(enum_options_)) {
+    choices.push_back(EvaluatePlan(plan, requirement));
+  }
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const PlanChoice& a, const PlanChoice& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.estimate.seconds < b.estimate.seconds;
+                   });
+  return choices;
+}
+
+Result<PlanChoice> QualityAwareOptimizer::ChoosePlan(
+    const QualityRequirement& requirement) const {
+  const std::vector<PlanChoice> ranked = RankPlans(requirement);
+  if (ranked.empty() || !ranked.front().feasible) {
+    return Status::NotFound("no candidate plan meets the quality requirement");
+  }
+  return ranked.front();
+}
+
+}  // namespace iejoin

@@ -1,0 +1,83 @@
+#ifndef IEJOIN_OPTIMIZER_OPTIMIZER_H_
+#define IEJOIN_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "extraction/extractor_profile.h"
+#include "join/join_types.h"
+#include "model/join_models.h"
+#include "model/model_params.h"
+#include "optimizer/plan_space.h"
+#include "textdb/cost_model.h"
+
+namespace iejoin {
+
+/// Everything the optimizer needs to cost plans: the database-specific and
+/// strategy/join-specific model parameters (ground truth or estimates; the
+/// per-plan tp/fp fields are overwritten from the knob characterizations),
+/// plus the cost model.
+struct OptimizerInputs {
+  JoinModelParams base_params;
+  const KnobCharacterization* knobs1 = nullptr;
+  const KnobCharacterization* knobs2 = nullptr;
+  CostModel costs1;
+  CostModel costs2;
+  /// Seed-query count assumed for ZGJN plans.
+  int64_t zgjn_seeds = 4;
+  /// Robustness margin (the paper's optimizer cross-validates its choice):
+  /// a plan is sized and deemed feasible only if the model predicts
+  /// good_margin * τ_g good tuples, absorbing model/estimation error.
+  double good_margin = 1.15;
+  /// IDJN side-effort ratios (side1 : side2) explored per plan. {1.0} is
+  /// the paper's "square" traversal heuristic; adding ratios enables the
+  /// "rectangle" generalization the paper sketches (Section IV-A), letting
+  /// the optimizer skew effort toward the side whose occurrences are
+  /// scarcer. Each ratio adds one bisection per IDJN plan evaluation.
+  std::vector<double> idjn_effort_ratios = {1.0};
+};
+
+/// The optimizer's verdict on one candidate plan for one requirement.
+struct PlanChoice {
+  JoinPlanSpec plan;
+  /// Whether the models predict the plan can meet (τ_g, τ_b) at all.
+  bool feasible = false;
+  /// Minimal effort at which the predicted good tuples reach τ_g.
+  PlanEffort effort;
+  /// Model estimate at that effort (seconds is the predicted plan time).
+  QualityEstimate estimate;
+};
+
+/// The quality-aware join optimizer (Section VI): enumerates the plan
+/// space, uses the Section V models to find each plan's minimal effort that
+/// meets the user's (τ_g, τ_b), and picks the predicted-fastest feasible
+/// plan. The per-plan effort search follows the paper's "square" heuristic
+/// for IDJN: both sides progress at equal effort fractions, minimizing the
+/// sum of documents conditioned on the product of reached occurrences.
+class QualityAwareOptimizer {
+ public:
+  QualityAwareOptimizer(OptimizerInputs inputs, PlanEnumerationOptions enum_options);
+
+  /// Costs one plan against a requirement.
+  PlanChoice EvaluatePlan(const JoinPlanSpec& plan,
+                          const QualityRequirement& requirement) const;
+
+  /// All candidate plans, feasible plans first, each group sorted by
+  /// predicted time.
+  std::vector<PlanChoice> RankPlans(const QualityRequirement& requirement) const;
+
+  /// The predicted-fastest feasible plan; fails when no plan can meet the
+  /// requirement.
+  Result<PlanChoice> ChoosePlan(const QualityRequirement& requirement) const;
+
+  /// Model parameters with tp/fp stamped for the given knob settings.
+  JoinModelParams ParamsForThetas(double theta1, double theta2) const;
+
+ private:
+  OptimizerInputs inputs_;
+  PlanEnumerationOptions enum_options_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_OPTIMIZER_OPTIMIZER_H_

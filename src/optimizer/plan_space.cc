@@ -1,0 +1,52 @@
+#include "optimizer/plan_space.h"
+
+namespace iejoin {
+
+std::vector<JoinPlanSpec> EnumeratePlans(const PlanEnumerationOptions& options) {
+  std::vector<JoinPlanSpec> plans;
+  for (double t1 : options.thetas1) {
+    for (double t2 : options.thetas2) {
+      if (options.include_idjn) {
+        for (RetrievalStrategyKind x1 : options.strategies) {
+          for (RetrievalStrategyKind x2 : options.strategies) {
+            JoinPlanSpec plan;
+            plan.algorithm = JoinAlgorithmKind::kIndependent;
+            plan.theta1 = t1;
+            plan.theta2 = t2;
+            plan.retrieval1 = x1;
+            plan.retrieval2 = x2;
+            plans.push_back(plan);
+          }
+        }
+      }
+      if (options.include_oijn) {
+        const int num_outers = options.oijn_both_outers ? 2 : 1;
+        for (int outer = 0; outer < num_outers; ++outer) {
+          for (RetrievalStrategyKind x : options.strategies) {
+            JoinPlanSpec plan;
+            plan.algorithm = JoinAlgorithmKind::kOuterInner;
+            plan.theta1 = t1;
+            plan.theta2 = t2;
+            plan.outer_is_relation1 = (outer == 0);
+            if (plan.outer_is_relation1) {
+              plan.retrieval1 = x;
+            } else {
+              plan.retrieval2 = x;
+            }
+            plans.push_back(plan);
+          }
+        }
+      }
+      if (options.include_zgjn) {
+        JoinPlanSpec plan;
+        plan.algorithm = JoinAlgorithmKind::kZigZag;
+        plan.theta1 = t1;
+        plan.theta2 = t2;
+        plans.push_back(plan);
+      }
+    }
+  }
+  return plans;
+}
+
+}  // namespace iejoin

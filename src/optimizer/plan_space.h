@@ -1,0 +1,34 @@
+#ifndef IEJOIN_OPTIMIZER_PLAN_SPACE_H_
+#define IEJOIN_OPTIMIZER_PLAN_SPACE_H_
+
+#include <vector>
+
+#include "join/join_types.h"
+
+namespace iejoin {
+
+/// Controls which corner of the plan space is enumerated. Defaults mirror
+/// the paper's Section VII setup: minSim ∈ {0.4, 0.8} per extractor,
+/// {SC, FS, AQG} per scan-driven side, all three join algorithms, and both
+/// outer-relation choices for OIJN.
+struct PlanEnumerationOptions {
+  std::vector<double> thetas1 = {0.4, 0.8};
+  std::vector<double> thetas2 = {0.4, 0.8};
+  std::vector<RetrievalStrategyKind> strategies = {
+      RetrievalStrategyKind::kScan, RetrievalStrategyKind::kFilteredScan,
+      RetrievalStrategyKind::kAutomaticQueryGeneration};
+  bool include_idjn = true;
+  bool include_oijn = true;
+  bool include_zgjn = true;
+  bool oijn_both_outers = true;
+};
+
+/// Enumerates the candidate join execution plans (Definition 3.1) for the
+/// optimizer to cost. IDJN varies both sides' strategies independently;
+/// OIJN varies the outer side's strategy (the inner side is query-driven);
+/// ZGJN has no retrieval-strategy dimension.
+std::vector<JoinPlanSpec> EnumeratePlans(const PlanEnumerationOptions& options);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_OPTIMIZER_PLAN_SPACE_H_

@@ -1,0 +1,90 @@
+#include "querygen/query_learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace iejoin {
+
+Result<std::vector<LearnedQuery>> QueryLearner::Learn(const Corpus& training_corpus,
+                                                      int32_t max_queries,
+                                                      int64_t min_hits) {
+  if (max_queries <= 0) {
+    return Status::InvalidArgument("max_queries must be positive");
+  }
+
+  int64_t num_good = 0;
+  int64_t num_other = 0;
+  std::unordered_map<TokenId, int64_t> good_docs_with;
+  std::unordered_map<TokenId, int64_t> all_docs_with;
+
+  for (const Document& doc : training_corpus.documents()) {
+    const bool good = ClassifyByGroundTruth(doc) == DocumentClass::kGood;
+    if (good) {
+      ++num_good;
+    } else {
+      ++num_other;
+    }
+    std::vector<TokenId> tokens = doc.tokens;
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (TokenId t : tokens) {
+      if (training_corpus.vocabulary().Type(t) != TokenType::kWord) continue;
+      ++all_docs_with[t];
+      if (good) ++good_docs_with[t];
+    }
+  }
+  if (num_good == 0) {
+    return Status::FailedPrecondition("training corpus has no good documents");
+  }
+  if (num_other == 0) {
+    return Status::FailedPrecondition("training corpus has only good documents");
+  }
+
+  struct Scored {
+    TokenId token;
+    double score;
+    int64_t hits;
+    double precision;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(all_docs_with.size());
+  for (const auto& [token, hits] : all_docs_with) {
+    if (hits < min_hits) continue;
+    const auto it = good_docs_with.find(token);
+    const int64_t good_hits = it == good_docs_with.end() ? 0 : it->second;
+    // Smoothed log-odds of goodness given the term, weighted by coverage of
+    // the good class: favors terms that are both selective and frequent
+    // enough to retrieve a useful number of documents.
+    const double p_good =
+        (static_cast<double>(good_hits) + 1.0) / (static_cast<double>(num_good) + 2.0);
+    const double p_other =
+        (static_cast<double>(hits - good_hits) + 1.0) /
+        (static_cast<double>(num_other) + 2.0);
+    const double score = p_good * (std::log(p_good) - std::log(p_other));
+    const double precision = static_cast<double>(good_hits) / static_cast<double>(hits);
+    scored.push_back(Scored{token, score, hits, precision});
+  }
+  if (scored.empty()) {
+    return Status::FailedPrecondition("no candidate query terms survive min_hits");
+  }
+
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.token < b.token;
+  });
+
+  std::vector<LearnedQuery> queries;
+  const size_t take = std::min(scored.size(), static_cast<size_t>(max_queries));
+  queries.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    LearnedQuery q;
+    q.terms = {scored[i].token};
+    q.hits = scored[i].hits;
+    q.precision = scored[i].precision;
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,43 @@
+#ifndef IEJOIN_QUERYGEN_QUERY_LEARNER_H_
+#define IEJOIN_QUERYGEN_QUERY_LEARNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "textdb/corpus.h"
+#include "textdb/inverted_index.h"
+
+namespace iejoin {
+
+/// A keyword query learned for Automatic Query Generation, annotated with
+/// the statistics the AQG model consumes (Section V-C): the number of
+/// documents it matches, H(q), and its precision P(q) — the fraction of
+/// matched documents that are good. Both are measured on the *training*
+/// database, mirroring the paper's offline estimation of retrieval
+/// strategy-specific parameters.
+struct LearnedQuery {
+  std::vector<TokenId> terms;
+  int64_t hits = 0;
+  double precision = 0.0;
+};
+
+/// QXtract-style query learner [Agichtein & Gravano, ICDE 2003 substitute]:
+/// scores every word by how strongly its presence separates good documents
+/// from the rest (log-odds weighted by coverage, an information-gain
+/// flavored criterion) and emits the top single-term queries. Trained to
+/// match *good* documents only, as the paper configures QXtract.
+class QueryLearner {
+ public:
+  /// Learns up to `max_queries` queries from a labeled training corpus.
+  /// Queries that match fewer than `min_hits` training documents are
+  /// dropped (they would retrieve nothing useful at execution time).
+  static Result<std::vector<LearnedQuery>> Learn(const Corpus& training_corpus,
+                                                 int32_t max_queries,
+                                                 int64_t min_hits = 3);
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_QUERYGEN_QUERY_LEARNER_H_

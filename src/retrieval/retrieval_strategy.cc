@@ -1,0 +1,98 @@
+#include "retrieval/retrieval_strategy.h"
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+const char* RetrievalStrategyName(RetrievalStrategyKind kind) {
+  switch (kind) {
+    case RetrievalStrategyKind::kScan:
+      return "SC";
+    case RetrievalStrategyKind::kFilteredScan:
+      return "FS";
+    case RetrievalStrategyKind::kAutomaticQueryGeneration:
+      return "AQG";
+  }
+  return "?";
+}
+
+ScanStrategy::ScanStrategy(const TextDatabase* database) : database_(database) {
+  IEJOIN_CHECK(database_ != nullptr);
+}
+
+std::optional<DocId> ScanStrategy::Next(ExecutionMeter* meter) {
+  if (position_ >= database_->size()) return std::nullopt;
+  meter->ChargeRetrieve();
+  return database_->ScanDocument(position_++).id;
+}
+
+FilteredScanStrategy::FilteredScanStrategy(const TextDatabase* database,
+                                           const DocumentClassifier* classifier)
+    : database_(database), classifier_(classifier) {
+  IEJOIN_CHECK(database_ != nullptr);
+  IEJOIN_CHECK(classifier_ != nullptr);
+}
+
+std::optional<DocId> FilteredScanStrategy::Next(ExecutionMeter* meter) {
+  while (position_ < database_->size()) {
+    const Document& doc = database_->ScanDocument(position_++);
+    meter->ChargeRetrieve();
+    meter->ChargeFilter();
+    if (classifier_->IsLikelyGood(doc)) return doc.id;
+  }
+  return std::nullopt;
+}
+
+AqgStrategy::AqgStrategy(const TextDatabase* database, std::vector<LearnedQuery> queries)
+    : database_(database),
+      queries_(std::move(queries)),
+      seen_(static_cast<size_t>(database->size()), false) {
+  IEJOIN_CHECK(database_ != nullptr);
+}
+
+std::optional<DocId> AqgStrategy::Next(ExecutionMeter* meter) {
+  while (true) {
+    if (pending_pos_ < pending_.size()) {
+      const DocId d = pending_[pending_pos_++];
+      meter->ChargeRetrieve();
+      return d;
+    }
+    if (next_query_ >= queries_.size()) return std::nullopt;
+    const LearnedQuery& q = queries_[next_query_++];
+    meter->ChargeQuery();
+    pending_.clear();
+    pending_pos_ = 0;
+    for (DocId d : database_->Query(q.terms)) {
+      if (!seen_[static_cast<size_t>(d)]) {
+        seen_[static_cast<size_t>(d)] = true;
+        pending_.push_back(d);
+      }
+    }
+  }
+}
+
+Result<std::unique_ptr<RetrievalStrategy>> CreateRetrievalStrategy(
+    RetrievalStrategyKind kind, const TextDatabase* database,
+    const DocumentClassifier* classifier, const std::vector<LearnedQuery>* queries) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("database is null");
+  }
+  switch (kind) {
+    case RetrievalStrategyKind::kScan:
+      return std::unique_ptr<RetrievalStrategy>(new ScanStrategy(database));
+    case RetrievalStrategyKind::kFilteredScan:
+      if (classifier == nullptr) {
+        return Status::InvalidArgument("Filtered Scan requires a classifier");
+      }
+      return std::unique_ptr<RetrievalStrategy>(
+          new FilteredScanStrategy(database, classifier));
+    case RetrievalStrategyKind::kAutomaticQueryGeneration:
+      if (queries == nullptr || queries->empty()) {
+        return Status::InvalidArgument("AQG requires learned queries");
+      }
+      return std::unique_ptr<RetrievalStrategy>(new AqgStrategy(database, *queries));
+  }
+  return Status::InvalidArgument("unknown retrieval strategy kind");
+}
+
+}  // namespace iejoin

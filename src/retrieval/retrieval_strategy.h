@@ -1,0 +1,105 @@
+#ifndef IEJOIN_RETRIEVAL_RETRIEVAL_STRATEGY_H_
+#define IEJOIN_RETRIEVAL_RETRIEVAL_STRATEGY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classifier/document_classifier.h"
+#include "common/status.h"
+#include "querygen/query_learner.h"
+#include "textdb/cost_model.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+
+/// The document retrieval strategies of Section III-B.
+enum class RetrievalStrategyKind : uint8_t {
+  kScan = 0,                      // SC
+  kFilteredScan = 1,              // FS
+  kAutomaticQueryGeneration = 2,  // AQG
+};
+
+const char* RetrievalStrategyName(RetrievalStrategyKind kind);
+
+/// Streams documents from one database for one extraction task, charging
+/// retrieval/filter/query costs to the caller's meter. Each document id is
+/// produced at most once.
+class RetrievalStrategy {
+ public:
+  virtual ~RetrievalStrategy() = default;
+
+  /// The next document to process, or nullopt when the strategy is
+  /// exhausted (whole database scanned, or all queries spent).
+  virtual std::optional<DocId> Next(ExecutionMeter* meter) = 0;
+
+  virtual RetrievalStrategyKind kind() const = 0;
+};
+
+/// Sequentially retrieves every document in scan order (SC). Guaranteed to
+/// reach all good documents — along with every bad and empty one.
+class ScanStrategy : public RetrievalStrategy {
+ public:
+  explicit ScanStrategy(const TextDatabase* database);
+
+  std::optional<DocId> Next(ExecutionMeter* meter) override;
+  RetrievalStrategyKind kind() const override { return RetrievalStrategyKind::kScan; }
+
+ private:
+  const TextDatabase* database_;
+  int64_t position_ = 0;
+};
+
+/// Scan plus a document classifier (FS): retrieves every document but only
+/// yields those the classifier accepts, so rejected documents cost t_R+t_F
+/// but are never extracted. Misclassification loses good documents (C_tp)
+/// and leaks bad ones (C_fp).
+class FilteredScanStrategy : public RetrievalStrategy {
+ public:
+  FilteredScanStrategy(const TextDatabase* database,
+                       const DocumentClassifier* classifier);
+
+  std::optional<DocId> Next(ExecutionMeter* meter) override;
+  RetrievalStrategyKind kind() const override {
+    return RetrievalStrategyKind::kFilteredScan;
+  }
+
+ private:
+  const TextDatabase* database_;
+  const DocumentClassifier* classifier_;
+  int64_t position_ = 0;
+};
+
+/// Automatic Query Generation (AQG): issues learned keyword queries that
+/// target good documents and yields their (top-k limited) matches. Reaches
+/// only the part of the database the queries cover.
+class AqgStrategy : public RetrievalStrategy {
+ public:
+  AqgStrategy(const TextDatabase* database, std::vector<LearnedQuery> queries);
+
+  std::optional<DocId> Next(ExecutionMeter* meter) override;
+  RetrievalStrategyKind kind() const override {
+    return RetrievalStrategyKind::kAutomaticQueryGeneration;
+  }
+
+  int64_t queries_issued() const { return next_query_; }
+
+ private:
+  const TextDatabase* database_;
+  std::vector<LearnedQuery> queries_;
+  size_t next_query_ = 0;
+  std::vector<DocId> pending_;
+  size_t pending_pos_ = 0;
+  std::vector<bool> seen_;
+};
+
+/// Builds a strategy of the given kind. FS requires `classifier`; AQG
+/// requires non-empty `queries`.
+Result<std::unique_ptr<RetrievalStrategy>> CreateRetrievalStrategy(
+    RetrievalStrategyKind kind, const TextDatabase* database,
+    const DocumentClassifier* classifier, const std::vector<LearnedQuery>* queries);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_RETRIEVAL_RETRIEVAL_STRATEGY_H_

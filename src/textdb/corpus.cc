@@ -1,0 +1,21 @@
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+std::string Corpus::RenderText(DocId id) const {
+  const Document& doc = document(id);
+  std::string out;
+  for (size_t i = 0; i < doc.tokens.size(); ++i) {
+    const TokenId t = doc.tokens[i];
+    if (t == Vocabulary::kSentenceEnd) {
+      out += ".";
+      if (i + 1 < doc.tokens.size()) out += " ";
+      continue;
+    }
+    if (!out.empty() && out.back() != ' ') out += " ";
+    out += vocabulary_->Text(t);
+  }
+  return out;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,94 @@
+#ifndef IEJOIN_TEXTDB_CORPUS_H_
+#define IEJOIN_TEXTDB_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "textdb/document.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// Per-join-attribute-value ground-truth frequencies in one database:
+/// g(a) = number of good occurrences, b(a) = number of bad occurrences
+/// (paper Table I; the generator guarantees at most one occurrence of a
+/// value per document, matching the paper's simplifying assumption).
+struct ValueFrequencies {
+  int64_t good = 0;
+  int64_t bad = 0;
+};
+
+/// Generator-side ground truth for the relation hosted by a corpus.
+/// Consumed by evaluation harnesses and by "oracle" model runs (Section VII
+/// feeds the models the *actual* database statistics to isolate model
+/// accuracy from estimation error); never visible to join algorithms.
+struct RelationGroundTruth {
+  std::string relation_name;
+  TokenType join_entity_type = TokenType::kCompany;
+  TokenType second_entity_type = TokenType::kLocation;
+
+  /// Join-attribute value id -> frequencies.
+  std::unordered_map<TokenId, ValueFrequencies> value_frequencies;
+
+  std::vector<DocId> good_docs;
+  std::vector<DocId> bad_docs;
+  std::vector<DocId> empty_docs;
+
+  /// Total planted occurrences.
+  int64_t total_good_occurrences = 0;
+  int64_t total_bad_occurrences = 0;
+
+  /// Number of distinct values with at least one good (resp. bad)
+  /// occurrence: |Ag| and |Ab|.
+  int64_t num_good_values = 0;
+  int64_t num_bad_values = 0;
+
+  /// Token ids of the relation's extraction-pattern vocabulary (the terms a
+  /// Snowball-style extractor trained for this relation keys on).
+  std::vector<TokenId> pattern_vocabulary;
+};
+
+/// A text database: documents plus relation ground truth. Documents are
+/// stored in *scan order* — the order a Scan retrieval strategy yields them
+/// (the generator pre-shuffles so scanning is order-agnostic as in the
+/// paper).
+class Corpus {
+ public:
+  Corpus(std::string name, std::shared_ptr<Vocabulary> vocabulary)
+      : name_(std::move(name)), vocabulary_(std::move(vocabulary)) {}
+
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Vocabulary& vocabulary() const { return *vocabulary_; }
+  std::shared_ptr<Vocabulary> shared_vocabulary() const { return vocabulary_; }
+
+  int64_t size() const { return static_cast<int64_t>(documents_.size()); }
+  const Document& document(DocId id) const { return documents_[static_cast<size_t>(id)]; }
+  const std::vector<Document>& documents() const { return documents_; }
+
+  /// Mutable access for the generator.
+  std::vector<Document>* mutable_documents() { return &documents_; }
+
+  const RelationGroundTruth& ground_truth() const { return ground_truth_; }
+  RelationGroundTruth* mutable_ground_truth() { return &ground_truth_; }
+
+  /// Renders a document's token stream back to text (for examples/demos).
+  std::string RenderText(DocId id) const;
+
+ private:
+  std::string name_;
+  std::shared_ptr<Vocabulary> vocabulary_;
+  std::vector<Document> documents_;
+  RelationGroundTruth ground_truth_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_CORPUS_H_

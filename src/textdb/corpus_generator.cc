@@ -1,0 +1,453 @@
+#include "textdb/corpus_generator.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "distributions/power_law.h"
+#include "textdb/corpus_io.h"
+
+namespace iejoin {
+namespace {
+
+/// Everything BuildCorpus needs to know about one join-attribute value.
+using ValuePlan = internal_generator::ValueAssignment;
+
+std::vector<TokenId> InternBatch(Vocabulary* vocab, const std::string& prefix,
+                                 int64_t count, TokenType type) {
+  std::vector<TokenId> ids;
+  ids.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    ids.push_back(vocab->Intern(StrFormat("%s%05lld", prefix.c_str(),
+                                          static_cast<long long>(i)),
+                                type));
+  }
+  return ids;
+}
+
+/// Samples `count` distinct document positions in [0, zone).
+std::vector<int64_t> SampleDistinctDocs(int64_t count, int64_t zone, Rng* rng) {
+  IEJOIN_DCHECK(count <= zone);
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(count) * 2);
+  while (static_cast<int64_t>(chosen.size()) < count) {
+    chosen.insert(rng->UniformInt(0, zone - 1));
+  }
+  return std::vector<int64_t>(chosen.begin(), chosen.end());
+}
+
+class RelationBuilder {
+ public:
+  RelationBuilder(const RelationSpec& spec, std::shared_ptr<Vocabulary> vocab,
+                  std::vector<TokenId> pattern_vocab,
+                  std::vector<TokenId> noise_vocab,
+                  std::vector<TokenId> second_values, Rng rng)
+      : spec_(spec),
+        vocab_(std::move(vocab)),
+        pattern_vocab_(std::move(pattern_vocab)),
+        noise_vocab_(std::move(noise_vocab)),
+        second_values_(std::move(second_values)),
+        rng_(rng) {}
+
+  Result<std::shared_ptr<Corpus>> Build(const std::vector<ValuePlan>& values) {
+    const int64_t n = spec_.num_documents;
+    good_zone_ = std::max<int64_t>(
+        1, static_cast<int64_t>(spec_.good_zone_fraction * static_cast<double>(n)));
+    mention_zone_ = std::max(
+        good_zone_, static_cast<int64_t>(spec_.mention_zone_fraction *
+                                         static_cast<double>(n)));
+
+    docs_.resize(static_cast<size_t>(n));
+    sentence_counts_.assign(static_cast<size_t>(n), 0);
+
+    // All join values that have any presence in this relation, for stray
+    // filler-entity sampling.
+    all_values_.clear();
+    for (const ValuePlan& v : values) all_values_.push_back(v.id);
+
+    for (int64_t d = 0; d < n; ++d) AppendFillerSentences(d);
+
+    const int64_t good_max_freq = std::min(spec_.max_good_frequency, good_zone_);
+    const int64_t bad_max_freq = std::min(spec_.max_bad_frequency, mention_zone_);
+    PowerLaw good_freqs(spec_.good_freq_exponent, good_max_freq);
+    PowerLaw bad_freqs(spec_.bad_freq_exponent, bad_max_freq);
+
+    for (const ValuePlan& v : values) {
+      if (v.is_good) {
+        const int64_t freq = v.forced_frequency > 0
+                                 ? std::min(v.forced_frequency, good_max_freq)
+                                 : good_freqs.Sample(&rng_);
+        PlantGoodOccurrences(v.id, freq);
+      } else {
+        int64_t freq = v.is_outlier
+                           ? std::min(outlier_frequency_, mention_zone_)
+                           : bad_freqs.Sample(&rng_);
+        PlantBadOccurrences(v.id, freq, v.is_outlier);
+      }
+    }
+
+    ShuffleScanOrder();
+    auto corpus = std::make_shared<Corpus>(spec_.database_name, vocab_);
+    *corpus->mutable_documents() = std::move(docs_);
+    FillGroundTruth(corpus.get());
+    return corpus;
+  }
+
+  void set_outlier_frequency(int64_t f) { outlier_frequency_ = f; }
+
+ private:
+  void AppendFillerSentences(int64_t doc_index) {
+    Document& doc = docs_[static_cast<size_t>(doc_index)];
+    for (int32_t s = 0; s < spec_.filler_sentences_per_doc; ++s) {
+      const bool stray_entity =
+          !all_values_.empty() && rng_.Bernoulli(spec_.filler_entity_probability);
+      const int64_t stray_pos =
+          stray_entity ? rng_.UniformInt(0, spec_.words_per_filler_sentence - 1) : -1;
+      for (int32_t w = 0; w < spec_.words_per_filler_sentence; ++w) {
+        if (w == stray_pos) {
+          doc.tokens.push_back(all_values_[static_cast<size_t>(
+              rng_.UniformInt(0, static_cast<int64_t>(all_values_.size()) - 1))]);
+        } else {
+          doc.tokens.push_back(RandomNoiseWord());
+        }
+      }
+      doc.tokens.push_back(Vocabulary::kSentenceEnd);
+      ++sentence_counts_[static_cast<size_t>(doc_index)];
+    }
+  }
+
+  void PlantGoodOccurrences(TokenId value, int64_t freq) {
+    // One canonical (true) second-attribute value per good join value.
+    const TokenId second = RandomSecondValue();
+    for (int64_t d : SampleDistinctDocs(freq, good_zone_, &rng_)) {
+      const double affinity =
+          spec_.good_affinity_lo +
+          rng_.NextDouble() * (spec_.good_affinity_hi - spec_.good_affinity_lo);
+      AppendMentionSentence(d, value, second, /*is_good=*/true, affinity);
+    }
+  }
+
+  void PlantBadOccurrences(TokenId value, int64_t freq, bool is_outlier) {
+    for (int64_t d : SampleDistinctDocs(freq, mention_zone_, &rng_)) {
+      double affinity;
+      if (is_outlier) {
+        // Frequent but effectively unextractable (the "CNN Center" case).
+        affinity = rng_.NextDouble() * 0.05;
+      } else {
+        affinity = spec_.bad_affinity_lo +
+                   rng_.NextDouble() * (spec_.bad_affinity_hi - spec_.bad_affinity_lo);
+      }
+      // Bad mentions pair the value with an arbitrary (false) second value.
+      AppendMentionSentence(d, value, RandomSecondValue(), /*is_good=*/false,
+                            affinity);
+    }
+  }
+
+  void AppendMentionSentence(int64_t doc_index, TokenId join_value,
+                             TokenId second_value, bool is_good, double affinity) {
+    Document& doc = docs_[static_cast<size_t>(doc_index)];
+    const int32_t total_ctx = spec_.context_words_per_mention;
+    const int32_t lead = total_ctx / 3;
+    const int32_t mid = std::max(1, total_ctx / 4);
+    const int32_t tail = total_ctx - lead - mid;
+    for (int32_t w = 0; w < lead; ++w) doc.tokens.push_back(ContextWord(affinity));
+    doc.tokens.push_back(join_value);
+    for (int32_t w = 0; w < mid; ++w) doc.tokens.push_back(ContextWord(affinity));
+    doc.tokens.push_back(second_value);
+    for (int32_t w = 0; w < tail; ++w) doc.tokens.push_back(ContextWord(affinity));
+    doc.tokens.push_back(Vocabulary::kSentenceEnd);
+
+    PlantedMention mention;
+    mention.join_value = join_value;
+    mention.second_value = second_value;
+    mention.sentence_index =
+        static_cast<uint32_t>(sentence_counts_[static_cast<size_t>(doc_index)]);
+    mention.is_good = is_good;
+    mention.pattern_affinity = static_cast<float>(affinity);
+    doc.mentions.push_back(mention);
+    ++sentence_counts_[static_cast<size_t>(doc_index)];
+  }
+
+  TokenId ContextWord(double affinity) {
+    const auto& pool = rng_.Bernoulli(affinity) ? pattern_vocab_ : noise_vocab_;
+    return pool[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+  }
+
+  TokenId RandomNoiseWord() {
+    return noise_vocab_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(noise_vocab_.size()) - 1))];
+  }
+
+  TokenId RandomSecondValue() {
+    return second_values_[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(second_values_.size()) - 1))];
+  }
+
+  void ShuffleScanOrder() {
+    // Scan order must be uninformative (the zones are a generator artifact),
+    // so permute documents before assigning final ids.
+    rng_.Shuffle(&docs_);
+    for (size_t i = 0; i < docs_.size(); ++i) {
+      docs_[i].id = static_cast<DocId>(i);
+    }
+  }
+
+  void FillGroundTruth(Corpus* corpus) {
+    RelationGroundTruth* truth = corpus->mutable_ground_truth();
+    truth->relation_name = spec_.name;
+    truth->join_entity_type = spec_.join_entity;
+    truth->second_entity_type = spec_.second_entity;
+    truth->pattern_vocabulary = pattern_vocab_;
+    RecomputeGroundTruthStats(corpus);
+  }
+
+  const RelationSpec& spec_;
+  std::shared_ptr<Vocabulary> vocab_;
+  std::vector<TokenId> pattern_vocab_;
+  std::vector<TokenId> noise_vocab_;
+  std::vector<TokenId> second_values_;
+  std::vector<TokenId> all_values_;
+  Rng rng_;
+
+  int64_t good_zone_ = 0;
+  int64_t mention_zone_ = 0;
+  int64_t outlier_frequency_ = 0;
+  std::vector<Document> docs_;
+  std::vector<int32_t> sentence_counts_;
+};
+
+Status ValidateRelationSpecImpl(const RelationSpec& spec) {
+  if (spec.num_documents <= 0) {
+    return Status::InvalidArgument("num_documents must be positive");
+  }
+  if (spec.good_zone_fraction <= 0.0 || spec.good_zone_fraction > 1.0 ||
+      spec.mention_zone_fraction < spec.good_zone_fraction ||
+      spec.mention_zone_fraction > 1.0) {
+    return Status::InvalidArgument("invalid zone fractions");
+  }
+  if (spec.max_good_frequency < 1 || spec.max_bad_frequency < 1) {
+    return Status::InvalidArgument("frequency caps must be >= 1");
+  }
+  if (spec.pattern_vocab_size <= 0 || spec.noise_vocab_size <= 0 ||
+      spec.second_value_pool <= 0) {
+    return Status::InvalidArgument("vocabulary sizes must be positive");
+  }
+  if (spec.good_affinity_lo > spec.good_affinity_hi ||
+      spec.bad_affinity_lo > spec.bad_affinity_hi || spec.good_affinity_lo < 0.0 ||
+      spec.good_affinity_hi > 1.0 || spec.bad_affinity_lo < 0.0 ||
+      spec.bad_affinity_hi > 1.0) {
+    return Status::InvalidArgument("invalid affinity ranges");
+  }
+  if (spec.context_words_per_mention < 3) {
+    return Status::InvalidArgument("context_words_per_mention must be >= 3");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace internal_generator {
+
+Result<std::shared_ptr<Corpus>> BuildRelationCorpus(
+    const RelationSpec& spec, std::shared_ptr<Vocabulary> vocabulary,
+    std::vector<TokenId> pattern_vocabulary, std::vector<TokenId> noise_vocabulary,
+    std::vector<TokenId> second_values,
+    const std::vector<ValueAssignment>& values, int64_t outlier_frequency,
+    Rng rng) {
+  IEJOIN_RETURN_IF_ERROR(ValidateRelationSpecImpl(spec));
+  RelationBuilder builder(spec, std::move(vocabulary), std::move(pattern_vocabulary),
+                          std::move(noise_vocabulary), std::move(second_values), rng);
+  builder.set_outlier_frequency(outlier_frequency);
+  return builder.Build(values);
+}
+
+Status ValidateRelationSpec(const RelationSpec& spec) {
+  return ValidateRelationSpecImpl(spec);
+}
+
+std::vector<TokenId> InternTokenBatch(Vocabulary* vocabulary,
+                                      const std::string& prefix, int64_t count,
+                                      TokenType type) {
+  return InternBatch(vocabulary, prefix, count, type);
+}
+
+}  // namespace internal_generator
+
+ScenarioSpec ScenarioSpec::PaperLike() {
+  ScenarioSpec spec;
+  spec.relation1.name = "Headquarters";
+  spec.relation1.database_name = "nyt96";
+  spec.relation1.join_entity = TokenType::kCompany;
+  spec.relation1.second_entity = TokenType::kLocation;
+  spec.relation2.name = "Executives";
+  spec.relation2.database_name = "nyt95";
+  spec.relation2.join_entity = TokenType::kCompany;
+  spec.relation2.second_entity = TokenType::kPerson;
+  return spec;
+}
+
+ScenarioSpec ScenarioSpec::Small() {
+  ScenarioSpec spec = PaperLike();
+  spec.relation1.num_documents = 1500;
+  spec.relation2.num_documents = 1500;
+  spec.relation1.noise_vocab_size = 800;
+  spec.relation2.noise_vocab_size = 800;
+  spec.relation1.second_value_pool = 300;
+  spec.relation2.second_value_pool = 300;
+  spec.num_shared_gg = 60;
+  spec.num_shared_gb = 70;
+  spec.num_shared_bg = 70;
+  spec.num_shared_bb = 280;
+  spec.num_exclusive_good1 = 150;
+  spec.num_exclusive_bad1 = 200;
+  spec.num_exclusive_good2 = 150;
+  spec.num_exclusive_bad2 = 200;
+  spec.num_outlier_values = 2;
+  spec.outlier_frequency = 80;
+  spec.relation1.max_good_frequency = 30;
+  spec.relation2.max_good_frequency = 30;
+  spec.relation1.max_bad_frequency = 80;
+  spec.relation2.max_bad_frequency = 80;
+  return spec;
+}
+
+CorpusGenerator::CorpusGenerator(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+Result<JoinScenario> CorpusGenerator::Generate(
+    std::shared_ptr<Vocabulary> shared_vocabulary) {
+  IEJOIN_RETURN_IF_ERROR(ValidateRelationSpecImpl(spec_.relation1));
+  IEJOIN_RETURN_IF_ERROR(ValidateRelationSpecImpl(spec_.relation2));
+  if (spec_.relation1.join_entity != spec_.relation2.join_entity) {
+    return Status::InvalidArgument(
+        "natural join requires both relations to share the join entity type");
+  }
+  if (spec_.num_shared_gg < 0 || spec_.num_shared_gb < 0 || spec_.num_shared_bg < 0 ||
+      spec_.num_shared_bb < 0 || spec_.num_exclusive_good1 < 0 ||
+      spec_.num_exclusive_bad1 < 0 || spec_.num_exclusive_good2 < 0 ||
+      spec_.num_exclusive_bad2 < 0 || spec_.num_outlier_values < 0) {
+    return Status::InvalidArgument("value-class counts must be non-negative");
+  }
+
+  Rng rng(spec_.seed);
+  std::shared_ptr<Vocabulary> vocab = shared_vocabulary != nullptr
+                                          ? std::move(shared_vocabulary)
+                                          : std::make_shared<Vocabulary>();
+
+  const int64_t noise_size =
+      std::max(spec_.relation1.noise_vocab_size, spec_.relation2.noise_vocab_size);
+  const std::vector<TokenId> noise =
+      InternBatch(vocab.get(), "w", noise_size, TokenType::kWord);
+  const std::vector<TokenId> pattern1 = InternBatch(
+      vocab.get(), "p1x", spec_.relation1.pattern_vocab_size, TokenType::kWord);
+  const std::vector<TokenId> pattern2 = InternBatch(
+      vocab.get(), "p2x", spec_.relation2.pattern_vocab_size, TokenType::kWord);
+
+  const int64_t total_join_values =
+      spec_.num_shared_gg + spec_.num_shared_gb + spec_.num_shared_bg +
+      spec_.num_shared_bb + spec_.num_exclusive_good1 + spec_.num_exclusive_bad1 +
+      spec_.num_exclusive_good2 + spec_.num_exclusive_bad2 + spec_.num_outlier_values;
+  if (total_join_values <= 0) {
+    return Status::InvalidArgument("scenario has no join-attribute values");
+  }
+  const std::vector<TokenId> join_values = InternBatch(
+      vocab.get(), "corp", total_join_values, spec_.relation1.join_entity);
+
+  const std::vector<TokenId> second1 =
+      InternBatch(vocab.get(),
+                  StrFormat("%s_", TokenTypeName(spec_.relation1.second_entity)),
+                  spec_.relation1.second_value_pool, spec_.relation1.second_entity);
+  const std::vector<TokenId> second2 =
+      InternBatch(vocab.get(),
+                  StrFormat("x%s_", TokenTypeName(spec_.relation2.second_entity)),
+                  spec_.relation2.second_value_pool, spec_.relation2.second_entity);
+
+  // Partition the join-value universe into the overlap classes.
+  JoinScenario scenario;
+  scenario.vocabulary = vocab;
+  size_t cursor = 0;
+  auto take = [&join_values, &cursor](int64_t count) {
+    std::vector<TokenId> out(join_values.begin() + static_cast<ptrdiff_t>(cursor),
+                             join_values.begin() +
+                                 static_cast<ptrdiff_t>(cursor + static_cast<size_t>(count)));
+    cursor += static_cast<size_t>(count);
+    return out;
+  };
+  scenario.values_gg = take(spec_.num_shared_gg);
+  scenario.values_gb = take(spec_.num_shared_gb);
+  scenario.values_bg = take(spec_.num_shared_bg);
+  scenario.values_bb = take(spec_.num_shared_bb);
+  const std::vector<TokenId> excl_g1 = take(spec_.num_exclusive_good1);
+  const std::vector<TokenId> excl_b1 = take(spec_.num_exclusive_bad1);
+  const std::vector<TokenId> excl_g2 = take(spec_.num_exclusive_good2);
+  const std::vector<TokenId> excl_b2 = take(spec_.num_exclusive_bad2);
+  const std::vector<TokenId> outliers = take(spec_.num_outlier_values);
+
+  // Optionally pre-draw one shared frequency per good-good value, so both
+  // databases realize it identically (the correlated Pr{g1, g2} regime).
+  std::unordered_map<TokenId, int64_t> shared_good_freqs;
+  if (spec_.correlate_shared_good_frequencies) {
+    const int64_t cap = std::min(
+        {spec_.relation1.max_good_frequency, spec_.relation2.max_good_frequency,
+         static_cast<int64_t>(spec_.relation1.good_zone_fraction *
+                              static_cast<double>(spec_.relation1.num_documents)),
+         static_cast<int64_t>(spec_.relation2.good_zone_fraction *
+                              static_cast<double>(spec_.relation2.num_documents))});
+    const PowerLaw law(spec_.relation1.good_freq_exponent, std::max<int64_t>(1, cap));
+    Rng freq_rng = rng.Fork(99);
+    for (TokenId v : scenario.values_gg) {
+      shared_good_freqs.emplace(v, law.Sample(&freq_rng));
+    }
+  }
+
+  auto plan_for = [&outliers, &shared_good_freqs](
+                      const std::vector<const std::vector<TokenId>*>& good,
+                      const std::vector<const std::vector<TokenId>*>& bad) {
+    std::vector<ValuePlan> plans;
+    for (const auto* set : good) {
+      for (TokenId id : *set) {
+        ValuePlan plan{id, /*is_good=*/true, false, 0};
+        const auto it = shared_good_freqs.find(id);
+        if (it != shared_good_freqs.end()) plan.forced_frequency = it->second;
+        plans.push_back(plan);
+      }
+    }
+    for (const auto* set : bad) {
+      for (TokenId id : *set) {
+        plans.push_back(ValuePlan{id, /*is_good=*/false, false, 0});
+      }
+    }
+    for (TokenId id : outliers) {
+      plans.push_back(ValuePlan{id, /*is_good=*/false, /*is_outlier=*/true, 0});
+    }
+    return plans;
+  };
+
+  const std::vector<ValuePlan> plans1 =
+      plan_for({&scenario.values_gg, &scenario.values_gb, &excl_g1},
+               {&scenario.values_bg, &scenario.values_bb, &excl_b1});
+  const std::vector<ValuePlan> plans2 =
+      plan_for({&scenario.values_gg, &scenario.values_bg, &excl_g2},
+               {&scenario.values_gb, &scenario.values_bb, &excl_b2});
+
+  // Outliers are planted as bad in both relations (via plan_for), so they
+  // belong to A_bb in the realized ground truth.
+  scenario.values_bb.insert(scenario.values_bb.end(), outliers.begin(),
+                            outliers.end());
+
+  RelationBuilder builder1(spec_.relation1, vocab, pattern1, noise, second1,
+                           rng.Fork(1));
+  builder1.set_outlier_frequency(spec_.outlier_frequency);
+  IEJOIN_ASSIGN_OR_RETURN(scenario.corpus1, builder1.Build(plans1));
+
+  RelationBuilder builder2(spec_.relation2, vocab, pattern2, noise, second2,
+                           rng.Fork(2));
+  builder2.set_outlier_frequency(spec_.outlier_frequency);
+  IEJOIN_ASSIGN_OR_RETURN(scenario.corpus2, builder2.Build(plans2));
+
+  return scenario;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,194 @@
+#ifndef IEJOIN_TEXTDB_CORPUS_GENERATOR_H_
+#define IEJOIN_TEXTDB_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+/// Shape of one synthetic text database hosting one extractable relation.
+///
+/// The generator plants *mentions* (tuple occurrences) into documents:
+/// good mentions state true facts, bad mentions are extraction traps whose
+/// contexts partially resemble real extraction patterns. Every statistical
+/// property the paper's models consume is controllable here: the number of
+/// good/bad/empty documents (via zone fractions), the power-law frequency
+/// distributions of attribute values, and the extractability (pattern
+/// affinity) of good vs. bad mentions.
+struct RelationSpec {
+  std::string name = "R";
+  std::string database_name = "D";
+
+  TokenType join_entity = TokenType::kCompany;
+  TokenType second_entity = TokenType::kLocation;
+
+  int64_t num_documents = 12000;
+
+  /// Good mentions land in documents [0, good_zone_fraction * N) of the
+  /// pre-shuffle layout; bad mentions in [0, mention_zone_fraction * N).
+  /// Documents outside both zones are empty. Which documents end up good /
+  /// bad / empty is *emergent* from the placement (a zone document that
+  /// happens to receive no mention stays empty), matching the paper's
+  /// definitions exactly.
+  double good_zone_fraction = 0.30;
+  double mention_zone_fraction = 0.65;
+
+  /// Truncated power-law parameters for per-value occurrence frequencies
+  /// g(a) and b(a). The paper verified its corpora follow power laws.
+  double good_freq_exponent = 1.8;
+  double bad_freq_exponent = 1.6;
+  /// Good frequencies are truncated tighter than bad ones: good facts are
+  /// restated a bounded number of times, while noisy/bad values (the "CNN
+  /// Center" kind) can be arbitrarily frequent. The tighter good cap also
+  /// keeps the realized Σ g1(a)g2(a) concentrated around its expectation.
+  int64_t max_good_frequency = 60;
+  int64_t max_bad_frequency = 400;
+
+  /// Document body: filler sentences of pure noise vocabulary.
+  int32_t filler_sentences_per_doc = 4;
+  int32_t words_per_filler_sentence = 9;
+  /// Probability that a filler sentence carries a stray join-entity token
+  /// (no extractable pair). This is what keeps keyword-query precision
+  /// below 1 — a query on a value also hits documents that merely name it.
+  double filler_entity_probability = 0.12;
+
+  /// Context words flanking the two entities in a mention sentence.
+  int32_t context_words_per_mention = 8;
+
+  /// Pattern affinity = fraction of context words drawn from the relation's
+  /// extraction-pattern vocabulary; the Snowball-style extractor's cosine
+  /// similarity tracks it. Good mentions skew high (mostly extractable),
+  /// bad mentions overlap from below (extracted only at permissive minSim).
+  double good_affinity_lo = 0.45;
+  double good_affinity_hi = 1.0;
+  double bad_affinity_lo = 0.15;
+  double bad_affinity_hi = 0.75;
+
+  int64_t pattern_vocab_size = 150;
+  int64_t noise_vocab_size = 4000;
+
+  /// Distinct second-attribute values to draw from.
+  int64_t second_value_pool = 2500;
+};
+
+/// Shape of a two-database join scenario (R1 from D1 joined with R2 from
+/// D2 on a shared join attribute). Controls the value-overlap classes of
+/// Section V-A: A_gg (good in both), A_gb (good in R1, bad in R2), A_bg,
+/// A_bb, plus values exclusive to one relation (which never join).
+struct ScenarioSpec {
+  RelationSpec relation1;
+  RelationSpec relation2;
+
+  int64_t num_shared_gg = 250;
+  int64_t num_shared_gb = 300;
+  int64_t num_shared_bg = 300;
+  int64_t num_shared_bb = 1200;
+
+  int64_t num_exclusive_good1 = 800;
+  int64_t num_exclusive_bad1 = 900;
+  int64_t num_exclusive_good2 = 800;
+  int64_t num_exclusive_bad2 = 900;
+
+  /// When true, each shared good-good value gets the *same* sampled
+  /// frequency in both databases ("frequent attribute values in one
+  /// relation are commonly frequent in the other", the paper's alternative
+  /// Pr{g1, g2} coupling); when false, frequencies are drawn independently
+  /// per side (the paper's default independence assumption). The model's
+  /// FrequencyCoupling switch mirrors this choice.
+  bool correlate_shared_good_frequencies = false;
+
+  /// Frequent-but-unextractable bad values planted in *both* databases —
+  /// the paper's "CNN Center" outliers that make the OIJN/ZGJN models
+  /// overestimate bad tuples (Section VII). Their mentions get pattern
+  /// affinity ~0 so no realistic minSim setting extracts them, while their
+  /// database frequency is high.
+  int64_t num_outlier_values = 4;
+  int64_t outlier_frequency = 250;
+
+  uint64_t seed = 20090331;
+
+  /// Defaults mirroring the paper's HQ (NYT96) join EX (NYT95) task at
+  /// laptop scale.
+  static ScenarioSpec PaperLike();
+
+  /// A small, fast configuration for unit tests.
+  static ScenarioSpec Small();
+};
+
+/// A generated two-database join scenario plus realized overlap ground
+/// truth (generator-side; evaluation/oracle use only).
+struct JoinScenario {
+  std::shared_ptr<Vocabulary> vocabulary;
+  std::shared_ptr<Corpus> corpus1;
+  std::shared_ptr<Corpus> corpus2;
+
+  /// Realized shared-value sets (join-attribute token ids).
+  std::vector<TokenId> values_gg;
+  std::vector<TokenId> values_gb;
+  std::vector<TokenId> values_bg;
+  std::vector<TokenId> values_bb;
+};
+
+namespace internal_generator {
+
+/// One join value's planting instruction for a single relation: good or bad
+/// occurrences, optional outlier treatment (fixed high frequency, near-zero
+/// extractability), optional forced frequency (for cross-database
+/// frequency correlation).
+struct ValueAssignment {
+  TokenId id = 0;
+  bool is_good = false;
+  bool is_outlier = false;
+  int64_t forced_frequency = 0;
+};
+
+/// Builds one relation's corpus by planting the given value assignments —
+/// the building block shared by CorpusGenerator (two relations with
+/// explicit overlap classes) and MultiCorpusGenerator (K relations with
+/// sampled roles).
+Result<std::shared_ptr<Corpus>> BuildRelationCorpus(
+    const RelationSpec& spec, std::shared_ptr<Vocabulary> vocabulary,
+    std::vector<TokenId> pattern_vocabulary, std::vector<TokenId> noise_vocabulary,
+    std::vector<TokenId> second_values,
+    const std::vector<ValueAssignment>& values, int64_t outlier_frequency,
+    Rng rng);
+
+Status ValidateRelationSpec(const RelationSpec& spec);
+
+/// Interns `count` tokens named `prefix` + zero-padded index.
+std::vector<TokenId> InternTokenBatch(Vocabulary* vocabulary,
+                                      const std::string& prefix, int64_t count,
+                                      TokenType type);
+
+}  // namespace internal_generator
+
+/// Deterministically generates a JoinScenario from a spec. All randomness
+/// derives from spec.seed.
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(ScenarioSpec spec);
+
+  /// Validates the spec and builds both corpora. Fails on inconsistent
+  /// specs (zone fractions out of range, zero documents, ...).
+  ///
+  /// `shared_vocabulary` lets several scenarios (e.g. a training corpus and
+  /// the evaluation corpus) share one token space, so extractors and
+  /// classifiers trained on one apply to the other; pass nullptr for a
+  /// private vocabulary. Value/word names are deterministic per spec, so a
+  /// shared vocabulary maps equal names to equal ids.
+  Result<JoinScenario> Generate(
+      std::shared_ptr<Vocabulary> shared_vocabulary = nullptr);
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_CORPUS_GENERATOR_H_

@@ -1,0 +1,245 @@
+#include "textdb/corpus_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace iejoin {
+
+void RecomputeGroundTruthStats(Corpus* corpus) {
+  RelationGroundTruth* truth = corpus->mutable_ground_truth();
+  truth->value_frequencies.clear();
+  truth->good_docs.clear();
+  truth->bad_docs.clear();
+  truth->empty_docs.clear();
+  truth->total_good_occurrences = 0;
+  truth->total_bad_occurrences = 0;
+  truth->num_good_values = 0;
+  truth->num_bad_values = 0;
+  for (const Document& doc : corpus->documents()) {
+    switch (ClassifyByGroundTruth(doc)) {
+      case DocumentClass::kGood:
+        truth->good_docs.push_back(doc.id);
+        break;
+      case DocumentClass::kBad:
+        truth->bad_docs.push_back(doc.id);
+        break;
+      case DocumentClass::kEmpty:
+        truth->empty_docs.push_back(doc.id);
+        break;
+    }
+    for (const PlantedMention& m : doc.mentions) {
+      ValueFrequencies& vf = truth->value_frequencies[m.join_value];
+      if (m.is_good) {
+        ++vf.good;
+        ++truth->total_good_occurrences;
+      } else {
+        ++vf.bad;
+        ++truth->total_bad_occurrences;
+      }
+    }
+  }
+  for (const auto& [value, vf] : truth->value_frequencies) {
+    if (vf.good > 0) ++truth->num_good_values;
+    if (vf.bad > 0) ++truth->num_bad_values;
+  }
+}
+
+namespace {
+
+constexpr char kMagic[] = "IEJOIN_SCENARIO";
+constexpr int kVersion = 1;
+
+Status WriteCorpus(std::ostream& out, const Corpus& corpus) {
+  const RelationGroundTruth& truth = corpus.ground_truth();
+  out << "corpus " << corpus.size() << "\n";
+  out << "name " << corpus.name() << "\n";
+  out << "relation " << truth.relation_name << " "
+      << static_cast<int>(truth.join_entity_type) << " "
+      << static_cast<int>(truth.second_entity_type) << "\n";
+  out << "patterns " << truth.pattern_vocabulary.size();
+  for (TokenId t : truth.pattern_vocabulary) out << " " << t;
+  out << "\n";
+  for (const Document& doc : corpus.documents()) {
+    out << "doc " << doc.id << " " << doc.tokens.size() << " "
+        << doc.mentions.size() << "\n";
+    for (size_t i = 0; i < doc.tokens.size(); ++i) {
+      out << (i == 0 ? "" : " ") << doc.tokens[i];
+    }
+    out << "\n";
+    for (const PlantedMention& m : doc.mentions) {
+      out << "mention " << m.join_value << " " << m.second_value << " "
+          << m.sentence_index << " " << (m.is_good ? 1 : 0) << " "
+          << m.pattern_affinity << "\n";
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
+                                           std::shared_ptr<Vocabulary> vocab) {
+  std::string keyword;
+  int64_t num_docs = 0;
+  if (!(in >> keyword >> num_docs) || keyword != "corpus" || num_docs < 0) {
+    return Status::InvalidArgument("corpus header malformed");
+  }
+  std::string name;
+  if (!(in >> keyword >> name) || keyword != "name") {
+    return Status::InvalidArgument("corpus name malformed");
+  }
+  auto corpus = std::make_shared<Corpus>(name, vocab);
+  RelationGroundTruth* truth = corpus->mutable_ground_truth();
+  int join_type = 0;
+  int second_type = 0;
+  if (!(in >> keyword >> truth->relation_name >> join_type >> second_type) ||
+      keyword != "relation") {
+    return Status::InvalidArgument("relation line malformed");
+  }
+  truth->join_entity_type = static_cast<TokenType>(join_type);
+  truth->second_entity_type = static_cast<TokenType>(second_type);
+  size_t num_patterns = 0;
+  if (!(in >> keyword >> num_patterns) || keyword != "patterns") {
+    return Status::InvalidArgument("patterns line malformed");
+  }
+  truth->pattern_vocabulary.resize(num_patterns);
+  for (TokenId& t : truth->pattern_vocabulary) {
+    if (!(in >> t)) return Status::InvalidArgument("pattern token malformed");
+  }
+
+  corpus->mutable_documents()->reserve(static_cast<size_t>(num_docs));
+  for (int64_t d = 0; d < num_docs; ++d) {
+    Document doc;
+    size_t num_tokens = 0;
+    size_t num_mentions = 0;
+    if (!(in >> keyword >> doc.id >> num_tokens >> num_mentions) ||
+        keyword != "doc" || doc.id != d) {
+      return Status::InvalidArgument(
+          StrFormat("doc header malformed at index %lld", static_cast<long long>(d)));
+    }
+    doc.tokens.resize(num_tokens);
+    for (TokenId& t : doc.tokens) {
+      if (!(in >> t) || t >= vocab->size()) {
+        return Status::InvalidArgument("document token out of vocabulary");
+      }
+    }
+    doc.mentions.resize(num_mentions);
+    for (PlantedMention& m : doc.mentions) {
+      int is_good = 0;
+      if (!(in >> keyword >> m.join_value >> m.second_value >> m.sentence_index >>
+            is_good >> m.pattern_affinity) ||
+          keyword != "mention") {
+        return Status::InvalidArgument("mention line malformed");
+      }
+      m.is_good = is_good != 0;
+    }
+    corpus->mutable_documents()->push_back(std::move(doc));
+  }
+  RecomputeGroundTruthStats(corpus.get());
+  return corpus;
+}
+
+Status WriteValues(std::ostream& out, const char* label,
+                   const std::vector<TokenId>& values) {
+  out << label << " " << values.size();
+  for (TokenId v : values) out << " " << v;
+  out << "\n";
+  return Status::Ok();
+}
+
+Result<std::vector<TokenId>> ReadValues(std::istream& in, const char* label) {
+  std::string keyword;
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != label) {
+    return Status::InvalidArgument(std::string("overlap line malformed: ") + label);
+  }
+  std::vector<TokenId> values(count);
+  for (TokenId& v : values) {
+    if (!(in >> v)) return Status::InvalidArgument("overlap value malformed");
+  }
+  return values;
+}
+
+}  // namespace
+
+Status SaveScenario(const JoinScenario& scenario, const std::string& path) {
+  if (scenario.vocabulary == nullptr || scenario.corpus1 == nullptr ||
+      scenario.corpus2 == nullptr) {
+    return Status::InvalidArgument("scenario is incomplete");
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  out << kMagic << " " << kVersion << "\n";
+  const Vocabulary& vocab = *scenario.vocabulary;
+  out << "vocab " << vocab.size() << "\n";
+  for (TokenId id = 0; id < vocab.size(); ++id) {
+    const std::string& text = vocab.Text(id);
+    for (char c : text) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        return Status::InvalidArgument("token text contains whitespace: " + text);
+      }
+    }
+    out << static_cast<int>(vocab.Type(id)) << " " << text << "\n";
+  }
+  IEJOIN_RETURN_IF_ERROR(WriteValues(out, "gg", scenario.values_gg));
+  IEJOIN_RETURN_IF_ERROR(WriteValues(out, "gb", scenario.values_gb));
+  IEJOIN_RETURN_IF_ERROR(WriteValues(out, "bg", scenario.values_bg));
+  IEJOIN_RETURN_IF_ERROR(WriteValues(out, "bb", scenario.values_bb));
+  IEJOIN_RETURN_IF_ERROR(WriteCorpus(out, *scenario.corpus1));
+  IEJOIN_RETURN_IF_ERROR(WriteCorpus(out, *scenario.corpus2));
+  out.flush();
+  if (!out) {
+    return Status::Unavailable("write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Result<JoinScenario> LoadScenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    return Status::InvalidArgument("not an iejoin scenario file: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported scenario version %d", version));
+  }
+
+  std::string keyword;
+  size_t vocab_size = 0;
+  if (!(in >> keyword >> vocab_size) || keyword != "vocab" || vocab_size == 0) {
+    return Status::InvalidArgument("vocab header malformed");
+  }
+  auto vocab = std::make_shared<Vocabulary>();
+  for (size_t i = 0; i < vocab_size; ++i) {
+    int type = 0;
+    std::string text;
+    if (!(in >> type >> text)) {
+      return Status::InvalidArgument("vocab entry malformed");
+    }
+    if (i == 0) continue;  // the sentence delimiter is pre-interned
+    const TokenId id = vocab->Intern(text, static_cast<TokenType>(type));
+    if (id != i) {
+      return Status::InvalidArgument("duplicate token in vocab section: " + text);
+    }
+  }
+
+  JoinScenario scenario;
+  scenario.vocabulary = vocab;
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gg, ReadValues(in, "gg"));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gb, ReadValues(in, "gb"));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bg, ReadValues(in, "bg"));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bb, ReadValues(in, "bb"));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.corpus1, ReadCorpus(in, vocab));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.corpus2, ReadCorpus(in, vocab));
+  return scenario;
+}
+
+}  // namespace iejoin

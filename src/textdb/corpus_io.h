@@ -1,0 +1,33 @@
+#ifndef IEJOIN_TEXTDB_CORPUS_IO_H_
+#define IEJOIN_TEXTDB_CORPUS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "textdb/corpus.h"
+#include "textdb/corpus_generator.h"
+
+namespace iejoin {
+
+/// Rebuilds a corpus's derived ground-truth statistics (value frequencies,
+/// document class lists, totals) from its documents' planted mentions.
+/// Relation metadata (name, entity types, pattern vocabulary) is preserved.
+/// Used by the generator and by deserialization.
+void RecomputeGroundTruthStats(Corpus* corpus);
+
+/// Serializes a complete JoinScenario (shared vocabulary, both corpora with
+/// planted ground truth, overlap value sets) to a line-oriented text file,
+/// so generated experiment inputs can be archived and shared.
+///
+/// The format is versioned ("IEJOIN_SCENARIO 1"); loading rejects unknown
+/// versions and structurally invalid files.
+Status SaveScenario(const JoinScenario& scenario, const std::string& path);
+
+/// Loads a scenario previously written by SaveScenario. Round-trips
+/// exactly: documents, mentions, overlap sets, and recomputed ground-truth
+/// statistics all match the saved scenario.
+Result<JoinScenario> LoadScenario(const std::string& path);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_CORPUS_IO_H_

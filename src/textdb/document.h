@@ -1,0 +1,62 @@
+#ifndef IEJOIN_TEXTDB_DOCUMENT_H_
+#define IEJOIN_TEXTDB_DOCUMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+using DocId = int32_t;
+
+/// Ground-truth record of a tuple mention planted in a document by the
+/// corpus generator.
+///
+/// The extractor never reads these: it re-discovers candidate sentences from
+/// the token stream. Mentions exist so the evaluation harness can label each
+/// extracted tuple good/bad (the paper used a template + web gold-set
+/// verifier for the same purpose).
+struct PlantedMention {
+  TokenId join_value = 0;
+  TokenId second_value = 0;
+  /// Index of the sentence (0-based) within the document that carries the
+  /// mention.
+  uint32_t sentence_index = 0;
+  /// True for a correct fact, false for a planted extraction trap.
+  bool is_good = false;
+  /// Fraction of the mention's context words drawn from the extraction
+  /// systems' pattern vocabulary; drives how "extractable" the mention is.
+  float pattern_affinity = 0.0f;
+};
+
+/// One text document: a flat token stream (sentences delimited by
+/// Vocabulary::kSentenceEnd) plus generator-side ground truth.
+struct Document {
+  DocId id = -1;
+  std::vector<TokenId> tokens;
+  std::vector<PlantedMention> mentions;
+
+  bool has_good_mention() const {
+    for (const auto& m : mentions) {
+      if (m.is_good) return true;
+    }
+    return false;
+  }
+
+  bool has_any_mention() const { return !mentions.empty(); }
+};
+
+/// Document class per Section III-B: good documents yield at least one good
+/// tuple, bad documents yield only bad tuples, empty documents yield none.
+enum class DocumentClass : uint8_t { kGood = 0, kBad = 1, kEmpty = 2 };
+
+inline DocumentClass ClassifyByGroundTruth(const Document& doc) {
+  if (doc.has_good_mention()) return DocumentClass::kGood;
+  if (doc.has_any_mention()) return DocumentClass::kBad;
+  return DocumentClass::kEmpty;
+}
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_DOCUMENT_H_

@@ -1,0 +1,93 @@
+#include "textdb/inverted_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace iejoin {
+
+InvertedIndex::InvertedIndex(const Corpus& corpus, uint64_t ranking_seed) {
+  const int64_t n = corpus.size();
+  // Fixed pseudo-relevance permutation.
+  std::vector<int32_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(ranking_seed);
+  rng.Shuffle(&order);
+  rank_.resize(static_cast<size_t>(n));
+  for (int64_t pos = 0; pos < n; ++pos) {
+    rank_[static_cast<size_t>(order[static_cast<size_t>(pos)])] =
+        static_cast<int32_t>(pos);
+  }
+
+  for (const Document& doc : corpus.documents()) {
+    // De-duplicate terms within a document.
+    std::vector<TokenId> terms = doc.tokens;
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    for (TokenId t : terms) {
+      if (t == Vocabulary::kSentenceEnd) continue;
+      postings_[t].push_back(doc.id);
+    }
+  }
+  for (auto& [term, docs] : postings_) {
+    std::sort(docs.begin(), docs.end(), [this](DocId a, DocId b) {
+      return rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)];
+    });
+  }
+}
+
+const std::vector<DocId>& InvertedIndex::Postings(TokenId term) const {
+  const auto it = postings_.find(term);
+  return it == postings_.end() ? empty_ : it->second;
+}
+
+std::vector<DocId> InvertedIndex::Query(const std::vector<TokenId>& terms,
+                                        int64_t max_results) const {
+  std::vector<DocId> out;
+  if (terms.empty() || max_results <= 0) return out;
+  if (terms.size() == 1) {
+    const auto& p = Postings(terms[0]);
+    const size_t take = std::min(p.size(), static_cast<size_t>(max_results));
+    out.assign(p.begin(), p.begin() + static_cast<ptrdiff_t>(take));
+    return out;
+  }
+  // Conjunction: intersect postings (already rank-sorted); walk the shortest
+  // list and membership-test the others.
+  size_t shortest = 0;
+  for (size_t i = 1; i < terms.size(); ++i) {
+    if (Postings(terms[i]).size() < Postings(terms[shortest]).size()) shortest = i;
+  }
+  const auto& base = Postings(terms[shortest]);
+  for (DocId d : base) {
+    bool in_all = true;
+    for (size_t i = 0; i < terms.size() && in_all; ++i) {
+      if (i == shortest) continue;
+      const auto& p = Postings(terms[i]);
+      in_all = std::binary_search(
+          p.begin(), p.end(), d, [this](DocId a, DocId b) {
+            return rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)];
+          });
+    }
+    if (in_all) {
+      out.push_back(d);
+      if (static_cast<int64_t>(out.size()) >= max_results) break;
+    }
+  }
+  return out;
+}
+
+int64_t InvertedIndex::CountMatches(const std::vector<TokenId>& terms) const {
+  if (terms.empty()) return 0;
+  if (terms.size() == 1) return static_cast<int64_t>(Postings(terms[0]).size());
+  const std::vector<DocId> all =
+      Query(terms, std::numeric_limits<int64_t>::max());
+  return static_cast<int64_t>(all.size());
+}
+
+int64_t InvertedIndex::DocumentFrequency(TokenId term) const {
+  return static_cast<int64_t>(Postings(term).size());
+}
+
+}  // namespace iejoin

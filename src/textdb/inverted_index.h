@@ -1,0 +1,51 @@
+#ifndef IEJOIN_TEXTDB_INVERTED_INDEX_H_
+#define IEJOIN_TEXTDB_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+/// Keyword index over a corpus with a top-k search interface.
+///
+/// Matching documents are returned in a fixed pseudo-relevance order that is
+/// uncorrelated with document goodness (a deterministic per-index
+/// permutation), emulating the paper's web-style search interface whose
+/// ranking the models treat as a random sample of the matching documents.
+/// The top-k cut-off is the mechanism that bounds how much of D1 x D2 the
+/// query-based joins (OIJN, ZGJN) can reach.
+class InvertedIndex {
+ public:
+  /// Builds the index; `ranking_seed` fixes the pseudo-relevance order.
+  InvertedIndex(const Corpus& corpus, uint64_t ranking_seed);
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+
+  /// Documents containing every query term, best-ranked first, at most
+  /// max_results of them. Unknown terms match nothing.
+  std::vector<DocId> Query(const std::vector<TokenId>& terms,
+                           int64_t max_results) const;
+
+  /// Total number of documents matching the conjunctive query (ignores the
+  /// top-k limit); this is H(q) in the OIJN/ZGJN models.
+  int64_t CountMatches(const std::vector<TokenId>& terms) const;
+
+  /// Number of documents containing the single term.
+  int64_t DocumentFrequency(TokenId term) const;
+
+ private:
+  const std::vector<DocId>& Postings(TokenId term) const;
+
+  std::unordered_map<TokenId, std::vector<DocId>> postings_;  // sorted by rank
+  std::vector<int32_t> rank_;  // doc id -> pseudo-relevance rank
+  std::vector<DocId> empty_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_INVERTED_INDEX_H_

@@ -1,0 +1,132 @@
+#include "textdb/multi_corpus_generator.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace iejoin {
+
+MultiScenarioSpec MultiScenarioSpec::ThreeRelationPaperLike() {
+  MultiScenarioSpec spec;
+  const ScenarioSpec base = ScenarioSpec::PaperLike();
+
+  RelationSpec hq = base.relation1;  // Headquarters on nyt96
+  hq.num_documents = 6000;
+
+  RelationSpec ex = base.relation2;  // Executives on nyt95
+  ex.num_documents = 6000;
+
+  RelationSpec mg = base.relation1;
+  mg.name = "Mergers";
+  mg.database_name = "wsj";
+  mg.join_entity = TokenType::kCompany;
+  // MergedWith is a company too — the Example 1.1 schema.
+  mg.second_entity = TokenType::kCompany;
+  mg.num_documents = 9000;
+
+  spec.relations = {hq, ex, mg};
+  spec.roles = {{0.22, 0.38}, {0.22, 0.38}, {0.18, 0.42}};
+  spec.value_universe = 3600;
+  return spec;
+}
+
+MultiCorpusGenerator::MultiCorpusGenerator(MultiScenarioSpec spec)
+    : spec_(std::move(spec)) {}
+
+Result<MultiScenario> MultiCorpusGenerator::Generate(
+    std::shared_ptr<Vocabulary> shared_vocabulary) {
+  const size_t k = spec_.relations.size();
+  if (k < 2) {
+    return Status::InvalidArgument("a multi-scenario needs at least two relations");
+  }
+  if (spec_.roles.size() != k) {
+    return Status::InvalidArgument("roles must match relations");
+  }
+  for (const RelationRoleProbabilities& p : spec_.roles) {
+    if (p.good < 0.0 || p.bad < 0.0 || p.good + p.bad > 1.0) {
+      return Status::InvalidArgument("invalid role probabilities");
+    }
+  }
+  for (const RelationSpec& rel : spec_.relations) {
+    IEJOIN_RETURN_IF_ERROR(internal_generator::ValidateRelationSpec(rel));
+    if (rel.join_entity != spec_.relations[0].join_entity) {
+      return Status::InvalidArgument(
+          "all relations must share the join entity type");
+    }
+  }
+  if (spec_.value_universe <= 0) {
+    return Status::InvalidArgument("value_universe must be positive");
+  }
+  if (spec_.num_outlier_values < 0 ||
+      spec_.num_outlier_values > spec_.value_universe) {
+    return Status::InvalidArgument("invalid outlier count");
+  }
+
+  Rng rng(spec_.seed);
+  MultiScenario scenario;
+  scenario.vocabulary = shared_vocabulary != nullptr
+                            ? std::move(shared_vocabulary)
+                            : std::make_shared<Vocabulary>();
+  Vocabulary* vocab = scenario.vocabulary.get();
+
+  int64_t max_noise = 0;
+  for (const RelationSpec& rel : spec_.relations) {
+    max_noise = std::max(max_noise, rel.noise_vocab_size);
+  }
+  const std::vector<TokenId> noise =
+      internal_generator::InternTokenBatch(vocab, "w", max_noise, TokenType::kWord);
+
+  scenario.values = internal_generator::InternTokenBatch(
+      vocab, "corp", spec_.value_universe, spec_.relations[0].join_entity);
+
+  // Sample roles: the last num_outlier_values values are bad everywhere.
+  scenario.roles.assign(k, std::vector<ValueRole>(
+                               static_cast<size_t>(spec_.value_universe),
+                               ValueRole::kAbsent));
+  const int64_t first_outlier = spec_.value_universe - spec_.num_outlier_values;
+  for (int64_t v = 0; v < spec_.value_universe; ++v) {
+    for (size_t r = 0; r < k; ++r) {
+      if (v >= first_outlier) {
+        scenario.roles[r][static_cast<size_t>(v)] = ValueRole::kBad;
+        continue;
+      }
+      const double u = rng.NextDouble();
+      if (u < spec_.roles[r].good) {
+        scenario.roles[r][static_cast<size_t>(v)] = ValueRole::kGood;
+      } else if (u < spec_.roles[r].good + spec_.roles[r].bad) {
+        scenario.roles[r][static_cast<size_t>(v)] = ValueRole::kBad;
+      }
+    }
+  }
+
+  for (size_t r = 0; r < k; ++r) {
+    const RelationSpec& rel = spec_.relations[r];
+    const std::vector<TokenId> pattern = internal_generator::InternTokenBatch(
+        vocab, StrFormat("p%zux", r), rel.pattern_vocab_size, TokenType::kWord);
+    const std::vector<TokenId> second = internal_generator::InternTokenBatch(
+        vocab,
+        StrFormat("r%zu%s_", r, TokenTypeName(rel.second_entity)),
+        rel.second_value_pool, rel.second_entity);
+
+    std::vector<internal_generator::ValueAssignment> assignments;
+    for (int64_t v = 0; v < spec_.value_universe; ++v) {
+      const ValueRole role = scenario.roles[r][static_cast<size_t>(v)];
+      if (role == ValueRole::kAbsent) continue;
+      internal_generator::ValueAssignment assignment;
+      assignment.id = scenario.values[static_cast<size_t>(v)];
+      assignment.is_good = role == ValueRole::kGood;
+      assignment.is_outlier = v >= first_outlier;
+      assignments.push_back(assignment);
+    }
+    IEJOIN_ASSIGN_OR_RETURN(
+        std::shared_ptr<Corpus> corpus,
+        internal_generator::BuildRelationCorpus(rel, scenario.vocabulary, pattern,
+                                                noise, second, assignments,
+                                                spec_.outlier_frequency,
+                                                rng.Fork(static_cast<uint64_t>(r))));
+    scenario.corpora.push_back(std::move(corpus));
+  }
+  return scenario;
+}
+
+}  // namespace iejoin

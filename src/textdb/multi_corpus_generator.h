@@ -1,0 +1,69 @@
+#ifndef IEJOIN_TEXTDB_MULTI_CORPUS_GENERATOR_H_
+#define IEJOIN_TEXTDB_MULTI_CORPUS_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "textdb/corpus_generator.h"
+
+namespace iejoin {
+
+/// Role of one join value within one relation.
+enum class ValueRole : uint8_t { kAbsent = 0, kGood = 1, kBad = 2 };
+
+/// Per-relation role sampling probabilities (remainder = absent).
+struct RelationRoleProbabilities {
+  double good = 0.25;
+  double bad = 0.35;
+};
+
+/// A K-relation scenario (K >= 2): the paper trains three relations (EX,
+/// HQ, MG) over three databases and evaluates "a variety of join tasks
+/// involving combinations" of them. Unlike ScenarioSpec's explicit overlap
+/// classes, roles here are sampled independently per (value, relation) from
+/// per-relation probabilities, and the pairwise A_gg/A_gb/A_bg/A_bb sets
+/// *emerge*; compute them with ComputeOverlapFromGroundTruth.
+struct MultiScenarioSpec {
+  std::vector<RelationSpec> relations;
+  std::vector<RelationRoleProbabilities> roles;
+
+  /// Candidate join-value universe shared by all relations.
+  int64_t value_universe = 3000;
+
+  /// Frequent-but-unextractable values planted bad in *every* relation.
+  int64_t num_outlier_values = 4;
+  int64_t outlier_frequency = 250;
+
+  uint64_t seed = 20090331;
+
+  /// The paper's three relations at laptop scale: Headquarters (nyt96),
+  /// Executives (nyt95), Mergers (wsj).
+  static MultiScenarioSpec ThreeRelationPaperLike();
+};
+
+struct MultiScenario {
+  std::shared_ptr<Vocabulary> vocabulary;
+  std::vector<std::shared_ptr<Corpus>> corpora;
+  /// roles[r][v]: realized role of join value `values[v]` in relation r.
+  std::vector<TokenId> values;
+  std::vector<std::vector<ValueRole>> roles;
+};
+
+/// Deterministically generates a MultiScenario. Every value keeps the same
+/// token id across relations (shared vocabulary), so any corpus pair forms
+/// a natural-join task.
+class MultiCorpusGenerator {
+ public:
+  explicit MultiCorpusGenerator(MultiScenarioSpec spec);
+
+  Result<MultiScenario> Generate(
+      std::shared_ptr<Vocabulary> shared_vocabulary = nullptr);
+
+ private:
+  MultiScenarioSpec spec_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_MULTI_CORPUS_GENERATOR_H_

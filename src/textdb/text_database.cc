@@ -1,0 +1,15 @@
+#include "textdb/text_database.h"
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+TextDatabase::TextDatabase(std::shared_ptr<const Corpus> corpus,
+                           uint64_t ranking_seed, int64_t max_results_per_query)
+    : corpus_(std::move(corpus)),
+      index_(*corpus_, ranking_seed),
+      max_results_per_query_(max_results_per_query) {
+  IEJOIN_CHECK(max_results_per_query_ > 0);
+}
+
+}  // namespace iejoin

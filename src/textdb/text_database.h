@@ -1,0 +1,54 @@
+#ifndef IEJOIN_TEXTDB_TEXT_DATABASE_H_
+#define IEJOIN_TEXTDB_TEXT_DATABASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "textdb/corpus.h"
+#include "textdb/inverted_index.h"
+
+namespace iejoin {
+
+/// The access interface join executions see for one text database: scan
+/// access in a fixed (arbitrary) order plus a top-k keyword search
+/// interface. Costs are charged by the caller through an ExecutionMeter so
+/// that concurrent executions over the same database stay independent.
+class TextDatabase {
+ public:
+  /// `max_results_per_query` is the search interface's top-k limit (the
+  /// paper's key constraint on query-based plans).
+  TextDatabase(std::shared_ptr<const Corpus> corpus, uint64_t ranking_seed,
+               int64_t max_results_per_query);
+
+  const Corpus& corpus() const { return *corpus_; }
+  const std::string& name() const { return corpus_->name(); }
+  int64_t size() const { return corpus_->size(); }
+  int64_t max_results_per_query() const { return max_results_per_query_; }
+
+  /// Scan access: the position-th document in scan order.
+  const Document& ScanDocument(int64_t position) const {
+    return corpus_->document(static_cast<DocId>(position));
+  }
+
+  /// Top-k conjunctive keyword query (k = max_results_per_query).
+  std::vector<DocId> Query(const std::vector<TokenId>& terms) const {
+    return index_.Query(terms, max_results_per_query_);
+  }
+
+  /// Total matches ignoring the top-k limit: H(q).
+  int64_t CountMatches(const std::vector<TokenId>& terms) const {
+    return index_.CountMatches(terms);
+  }
+
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  std::shared_ptr<const Corpus> corpus_;
+  InvertedIndex index_;
+  int64_t max_results_per_query_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_TEXT_DATABASE_H_

@@ -1,0 +1,55 @@
+#include "textdb/vocabulary.h"
+
+#include "common/logging.h"
+
+namespace iejoin {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kPunctuation:
+      return "punct";
+    case TokenType::kWord:
+      return "word";
+    case TokenType::kCompany:
+      return "company";
+    case TokenType::kLocation:
+      return "location";
+    case TokenType::kPerson:
+      return "person";
+  }
+  return "?";
+}
+
+Vocabulary::Vocabulary() {
+  const TokenId id = Intern(".", TokenType::kPunctuation);
+  IEJOIN_CHECK(id == kSentenceEnd);
+}
+
+TokenId Vocabulary::Intern(std::string_view text, TokenType type) {
+  const auto it = index_.find(std::string(text));
+  if (it != index_.end()) return it->second;
+  const TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.push_back(Entry{std::string(text), type});
+  index_.emplace(std::string(text), id);
+  return id;
+}
+
+Result<TokenId> Vocabulary::Find(std::string_view text) const {
+  const auto it = index_.find(std::string(text));
+  if (it == index_.end()) {
+    return Status::NotFound("token not in vocabulary: " + std::string(text));
+  }
+  return it->second;
+}
+
+const std::string& Vocabulary::Text(TokenId id) const {
+  IEJOIN_DCHECK(id < tokens_.size());
+  return tokens_[id].text;
+}
+
+TokenType Vocabulary::Type(TokenId id) const {
+  IEJOIN_DCHECK(id < tokens_.size());
+  return tokens_[id].type;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,72 @@
+#ifndef IEJOIN_TEXTDB_VOCABULARY_H_
+#define IEJOIN_TEXTDB_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iejoin {
+
+/// Lexical category of a token. Entity categories stand in for the output
+/// of a named-entity tagger: the Snowball-style extractor looks for
+/// (entity, entity) pairs of the types its relation schema requires, exactly
+/// as the paper's IE systems run NE tagging before pattern matching.
+enum class TokenType : uint8_t {
+  kPunctuation = 0,
+  kWord = 1,
+  kCompany = 2,
+  kLocation = 3,
+  kPerson = 4,
+};
+
+const char* TokenTypeName(TokenType type);
+
+using TokenId = uint32_t;
+
+/// Interns token strings and their lexical categories. Token id 0 is always
+/// the sentence delimiter ".".
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Interns `text`; returns the existing id if already present (the
+  /// existing token type wins).
+  TokenId Intern(std::string_view text, TokenType type);
+
+  /// Id for an existing token.
+  Result<TokenId> Find(std::string_view text) const;
+
+  const std::string& Text(TokenId id) const;
+  TokenType Type(TokenId id) const;
+
+  bool IsEntity(TokenId id) const {
+    const TokenType t = Type(id);
+    return t == TokenType::kCompany || t == TokenType::kLocation ||
+           t == TokenType::kPerson;
+  }
+
+  size_t size() const { return tokens_.size(); }
+
+  /// The sentence delimiter token (".").
+  static constexpr TokenId kSentenceEnd = 0;
+
+ private:
+  struct Entry {
+    std::string text;
+    TokenType type;
+  };
+
+  std::vector<Entry> tokens_;
+  std::unordered_map<std::string, TokenId> index_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_TEXTDB_VOCABULARY_H_

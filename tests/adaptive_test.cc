@@ -1,0 +1,159 @@
+// Behavioral tests for the adaptive join executor: switching policy,
+// hysteresis, estimate-driven stopping, and accounting.
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "optimizer/adaptive_executor.h"
+
+namespace iejoin {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static AdaptiveOptions BaseOptions() {
+    AdaptiveOptions options;
+    options.requirement.min_good_tuples = 25;
+    options.requirement.max_bad_tuples = 100000;
+    options.initial_plan.algorithm = JoinAlgorithmKind::kIndependent;
+    options.initial_plan.theta1 = options.initial_plan.theta2 = 0.4;
+    options.initial_plan.retrieval1 = RetrievalStrategyKind::kScan;
+    options.initial_plan.retrieval2 = RetrievalStrategyKind::kScan;
+    options.reestimate_every_docs = 300;
+    options.min_docs_for_estimate = 600;
+    options.estimator.mixture.max_frequency = 100;
+    return options;
+  }
+
+  static Result<AdaptiveResult> Run(const AdaptiveOptions& options) {
+    auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+    EXPECT_TRUE(inputs.ok());
+    PlanEnumerationOptions enum_options;
+    enum_options.include_zgjn = false;
+    AdaptiveJoinExecutor adaptive(bench().resources(), *inputs, enum_options);
+    return adaptive.Run(options);
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* AdaptiveTest::bench_ = nullptr;
+
+TEST_F(AdaptiveTest, ZeroMaxSwitchesRunsSinglePhase) {
+  AdaptiveOptions options = BaseOptions();
+  options.max_switches = 0;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->phases.size(), 1u);
+  EXPECT_FALSE(result->phases[0].switched_away);
+}
+
+TEST_F(AdaptiveTest, ZeroSwitchAdvantageNeverSwitches) {
+  // A new plan must be predicted faster than 0 x current time: impossible.
+  AdaptiveOptions options = BaseOptions();
+  options.switch_advantage = 0.0;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->phases.size(), 1u);
+}
+
+TEST_F(AdaptiveTest, SwitchesWhenClearlyBeneficial) {
+  // Generous hysteresis: from a Scan/Scan start the optimizer finds a
+  // query/filter-based plan it predicts to be far faster for a small τ_g.
+  AdaptiveOptions options = BaseOptions();
+  options.switch_advantage = 0.7;
+  options.max_switches = 2;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->phases.size(), 2u);
+  EXPECT_TRUE(result->phases[0].switched_away);
+  EXPECT_NE(result->phases[0].plan.Describe(), result->phases[1].plan.Describe());
+}
+
+TEST_F(AdaptiveTest, RespectsMaxSwitchesBudget) {
+  AdaptiveOptions options = BaseOptions();
+  options.max_switches = 1;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->phases.size(), 2u);
+}
+
+TEST_F(AdaptiveTest, TotalTimeSumsPhases) {
+  AdaptiveOptions options = BaseOptions();
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  double sum = 0.0;
+  for (const AdaptivePhase& phase : result->phases) sum += phase.seconds;
+  EXPECT_NEAR(result->total_seconds, sum, 1e-9);
+}
+
+TEST_F(AdaptiveTest, EstimateDrivenStopBeatsExhaustion) {
+  // With a tiny requirement the executor should stop long before scanning
+  // both databases end to end.
+  AdaptiveOptions options = BaseOptions();
+  options.requirement.min_good_tuples = 10;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  const TrajectoryPoint& end = result->phases.back().end_point;
+  EXPECT_LT(end.docs_processed1 + end.docs_processed2,
+            bench().database1().size() + bench().database2().size());
+}
+
+TEST_F(AdaptiveTest, FilteredScanPhasesAlsoEstimate) {
+  // The occurrence-weighted classifier correction makes FS a valid probe:
+  // starting from an FS/FS plan still produces usable online estimates.
+  AdaptiveOptions options = BaseOptions();
+  options.initial_plan.retrieval1 = RetrievalStrategyKind::kFilteredScan;
+  options.initial_plan.retrieval2 = RetrievalStrategyKind::kFilteredScan;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->has_estimate);
+  const auto& truth = bench().scenario().corpus1->ground_truth();
+  const double true_values =
+      static_cast<double>(truth.num_good_values + truth.num_bad_values);
+  const double est_values =
+      static_cast<double>(result->final_estimate.relation1.num_good_values +
+                          result->final_estimate.relation1.num_bad_values);
+  EXPECT_GT(est_values, true_values / 4.0);
+  EXPECT_LT(est_values, true_values * 4.0);
+}
+
+TEST_F(AdaptiveTest, QueryDrivenInitialPlanProducesNoEstimates) {
+  AdaptiveOptions options = BaseOptions();
+  options.initial_plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  options.initial_plan.outer_is_relation1 = true;
+  options.initial_plan.retrieval1 = RetrievalStrategyKind::kScan;
+  options.max_switches = 0;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  // OIJN's inner side is query-driven: estimation is (deliberately)
+  // disabled, so the run completes on exhaustion without estimates.
+  EXPECT_FALSE(result->has_estimate);
+  EXPECT_TRUE(result->phases.back().exhausted);
+}
+
+TEST_F(AdaptiveTest, HugeRequirementExhaustsAndReportsHonestly) {
+  AdaptiveOptions options = BaseOptions();
+  options.requirement.min_good_tuples = 10000000;  // unreachable
+  options.max_switches = 1;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->requirement_met);
+  EXPECT_TRUE(result->phases.back().exhausted);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,186 @@
+// Tests for the naive-Bayes document classifier (Filtered Scan's filter)
+// and the QXtract-style query learner (AQG's queries).
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "classifier/naive_bayes.h"
+#include "querygen/query_learner.h"
+#include "textdb/corpus_generator.h"
+
+namespace iejoin {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusGenerator generator(ScenarioSpec::Small());
+    auto result = generator.Generate();
+    ASSERT_TRUE(result.ok());
+    scenario_ = new JoinScenario(std::move(result.value()));
+    auto classifier = NaiveBayesClassifier::Train(*scenario_->corpus1);
+    ASSERT_TRUE(classifier.ok()) << classifier.status().ToString();
+    classifier_ = classifier.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete classifier_;
+    delete scenario_;
+    classifier_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static const JoinScenario& scenario() { return *scenario_; }
+  static const NaiveBayesClassifier& classifier() { return *classifier_; }
+
+  static JoinScenario* scenario_;
+  static NaiveBayesClassifier* classifier_;
+};
+
+JoinScenario* ClassifierTest::scenario_ = nullptr;
+NaiveBayesClassifier* ClassifierTest::classifier_ = nullptr;
+
+TEST_F(ClassifierTest, GoodDocsScoreHigherOnAverage) {
+  double good_sum = 0.0;
+  int64_t good_n = 0;
+  double other_sum = 0.0;
+  int64_t other_n = 0;
+  for (const Document& doc : scenario().corpus1->documents()) {
+    const double s = classifier().Score(doc);
+    if (ClassifyByGroundTruth(doc) == DocumentClass::kGood) {
+      good_sum += s;
+      ++good_n;
+    } else {
+      other_sum += s;
+      ++other_n;
+    }
+  }
+  ASSERT_GT(good_n, 0);
+  ASSERT_GT(other_n, 0);
+  EXPECT_GT(good_sum / static_cast<double>(good_n),
+            other_sum / static_cast<double>(other_n));
+}
+
+TEST_F(ClassifierTest, CharacterizationSeparatesClasses) {
+  const ClassifierCharacterization c =
+      CharacterizeClassifier(classifier(), *scenario().corpus1);
+  EXPECT_GT(c.true_positive_rate, 0.5);
+  EXPECT_LT(c.false_positive_rate, c.true_positive_rate);
+  EXPECT_LE(c.empty_acceptance_rate, c.false_positive_rate + 0.05);
+  EXPECT_GE(c.true_positive_rate, 0.0);
+  EXPECT_LE(c.true_positive_rate, 1.0);
+}
+
+TEST_F(ClassifierTest, OccurrenceWeightedRatesAtLeastDocRates) {
+  // Acceptance correlates with mention count, so occurrence-weighted
+  // acceptance dominates the per-document rate for good documents.
+  const ClassifierCharacterization c =
+      CharacterizeClassifier(classifier(), *scenario().corpus1);
+  EXPECT_GE(c.good_occurrence_acceptance, c.true_positive_rate - 0.02);
+  EXPECT_GT(c.bad_occurrence_acceptance, 0.0);
+  EXPECT_LE(c.good_occurrence_acceptance, 1.0);
+  EXPECT_LE(c.bad_occurrence_acceptance, 1.0);
+}
+
+TEST_F(ClassifierTest, BiasShiftsAcceptanceMonotonically) {
+  auto loose = NaiveBayesClassifier::Train(*scenario().corpus1, -5.0);
+  auto strict = NaiveBayesClassifier::Train(*scenario().corpus1, 5.0);
+  ASSERT_TRUE(loose.ok() && strict.ok());
+  int64_t loose_accepted = 0;
+  int64_t strict_accepted = 0;
+  for (const Document& doc : scenario().corpus1->documents()) {
+    loose_accepted += (*loose)->IsLikelyGood(doc) ? 1 : 0;
+    strict_accepted += (*strict)->IsLikelyGood(doc) ? 1 : 0;
+  }
+  EXPECT_GT(loose_accepted, strict_accepted);
+}
+
+TEST_F(ClassifierTest, TrainingRequiresBothClasses) {
+  // A corpus with no planted mentions has only empty documents.
+  ScenarioSpec spec = ScenarioSpec::Small();
+  spec.num_shared_gg = spec.num_shared_gb = spec.num_shared_bg = spec.num_shared_bb =
+      0;
+  spec.num_exclusive_good1 = spec.num_exclusive_bad1 = 0;
+  spec.num_exclusive_good2 = spec.num_exclusive_bad2 = 0;
+  spec.num_outlier_values = 1;  // keep the value universe non-empty
+  CorpusGenerator generator(spec);
+  auto empty = generator.Generate();
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_FALSE(NaiveBayesClassifier::Train(*empty->corpus1).ok());
+}
+
+// --------------------------------------------------------------------------
+// Query learner
+// --------------------------------------------------------------------------
+
+class QueryLearnerTest : public ClassifierTest {};
+
+TEST_F(QueryLearnerTest, LearnsRequestedNumberOfQueries) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 20);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_LE(queries->size(), 20u);
+  EXPECT_GT(queries->size(), 0u);
+}
+
+TEST_F(QueryLearnerTest, QueriesAreSingleWordTerms) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 20);
+  ASSERT_TRUE(queries.ok());
+  for (const LearnedQuery& q : *queries) {
+    ASSERT_EQ(q.terms.size(), 1u);
+    EXPECT_EQ(scenario().corpus1->vocabulary().Type(q.terms[0]), TokenType::kWord);
+  }
+}
+
+TEST_F(QueryLearnerTest, QueriesAreDistinct) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 30);
+  ASSERT_TRUE(queries.ok());
+  std::set<TokenId> terms;
+  for (const LearnedQuery& q : *queries) terms.insert(q.terms[0]);
+  EXPECT_EQ(terms.size(), queries->size());
+}
+
+TEST_F(QueryLearnerTest, ReportedStatsMatchCorpus) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 10);
+  ASSERT_TRUE(queries.ok());
+  for (const LearnedQuery& q : *queries) {
+    int64_t hits = 0;
+    int64_t good_hits = 0;
+    for (const Document& doc : scenario().corpus1->documents()) {
+      if (std::find(doc.tokens.begin(), doc.tokens.end(), q.terms[0]) !=
+          doc.tokens.end()) {
+        ++hits;
+        good_hits += ClassifyByGroundTruth(doc) == DocumentClass::kGood ? 1 : 0;
+      }
+    }
+    EXPECT_EQ(q.hits, hits);
+    EXPECT_NEAR(q.precision, static_cast<double>(good_hits) / hits, 1e-9);
+  }
+}
+
+TEST_F(QueryLearnerTest, QueriesTargetGoodDocuments) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 20);
+  ASSERT_TRUE(queries.ok());
+  const auto& truth = scenario().corpus1->ground_truth();
+  const double base_rate =
+      static_cast<double>(truth.good_docs.size()) /
+      static_cast<double>(scenario().corpus1->size());
+  double avg_precision = 0.0;
+  for (const LearnedQuery& q : *queries) avg_precision += q.precision;
+  avg_precision /= static_cast<double>(queries->size());
+  // Learned queries beat the base rate decisively.
+  EXPECT_GT(avg_precision, 2.0 * base_rate);
+}
+
+TEST_F(QueryLearnerTest, MinHitsRespected) {
+  auto queries = QueryLearner::Learn(*scenario().corpus1, 50, /*min_hits=*/10);
+  ASSERT_TRUE(queries.ok());
+  for (const LearnedQuery& q : *queries) EXPECT_GE(q.hits, 10);
+}
+
+TEST_F(QueryLearnerTest, RejectsNonPositiveBudget) {
+  EXPECT_FALSE(QueryLearner::Learn(*scenario().corpus1, 0).ok());
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,356 @@
+// Unit tests for src/common: Status/Result, Rng, string utilities, and the
+// simulated clock.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace iejoin {
+namespace {
+
+// --------------------------------------------------------------------------
+// Status / Result
+// --------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad knob");
+}
+
+TEST(StatusTest, FactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+namespace helpers {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  IEJOIN_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+}  // namespace helpers
+
+TEST(ResultTest, AssignOrReturnPropagatesValue) {
+  auto r = helpers::Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto r = helpers::Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------------------
+// Rng
+// --------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntNegativeRange) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.UniformInt(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RngBinomialTest : public ::testing::TestWithParam<std::pair<int64_t, double>> {};
+
+TEST_P(RngBinomialTest, MatchesMeanAndVariance) {
+  const auto [n, p] = GetParam();
+  Rng rng(21 + static_cast<uint64_t>(n));
+  const int trials = 20000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const int64_t x = rng.Binomial(n, p);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, n);
+    sum += static_cast<double>(x);
+    sum2 += static_cast<double>(x) * static_cast<double>(x);
+  }
+  const double mean = sum / trials;
+  const double var = sum2 / trials - mean * mean;
+  const double expect_mean = static_cast<double>(n) * p;
+  const double expect_var = expect_mean * (1.0 - p);
+  EXPECT_NEAR(mean, expect_mean, std::max(0.05, 4.0 * std::sqrt(expect_var / trials)));
+  EXPECT_NEAR(var, expect_var, std::max(0.1, 0.15 * expect_var));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndLarge, RngBinomialTest,
+                         ::testing::Values(std::make_pair<int64_t, double>(10, 0.5),
+                                           std::make_pair<int64_t, double>(40, 0.1),
+                                           std::make_pair<int64_t, double>(500, 0.3),
+                                           std::make_pair<int64_t, double>(5000, 0.7)));
+
+TEST(RngTest, BinomialDegenerate) {
+  Rng rng(23);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(25);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng fa = a.Fork(5);
+  Rng fb = b.Fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(33);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(35);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t idx = rng.WeightedIndex(weights);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 3);
+    ++counts[static_cast<size_t>(idx)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsMinusOne) {
+  Rng rng(37);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), -1);
+}
+
+// --------------------------------------------------------------------------
+// String utilities
+// --------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitBasic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  const auto parts = Split(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  const auto parts = SplitWhitespace("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[1], "bar");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(StringUtilTest, SplitWhitespaceEmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, Lowercase) {
+  EXPECT_EQ(Lowercase("MiXeD 123 CaSe"), "mixed 123 case");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_FALSE(StartsWith("bar", "foo"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// --------------------------------------------------------------------------
+// SimClock
+// --------------------------------------------------------------------------
+
+TEST(SimClockTest, AccumulatesAndResets) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(2.0);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 3.5);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+TEST(SimClockTest, ZeroAdvanceIsNoop) {
+  SimClock clock;
+  clock.Advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,174 @@
+// Tests for scenario serialization: save/load round-trips, format
+// validation, and ground-truth recomputation.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "textdb/corpus_generator.h"
+#include "textdb/corpus_io.h"
+#include "textdb/text_database.h"
+
+namespace iejoin {
+namespace {
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioSpec spec = ScenarioSpec::Small();
+    spec.relation1.num_documents = 200;
+    spec.relation2.num_documents = 200;
+    CorpusGenerator generator(spec);
+    auto result = generator.Generate();
+    ASSERT_TRUE(result.ok());
+    scenario_ = new JoinScenario(std::move(result.value()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/scenario_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".iejoin";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static const JoinScenario& scenario() { return *scenario_; }
+
+  std::string path_;
+  static JoinScenario* scenario_;
+};
+
+JoinScenario* CorpusIoTest::scenario_ = nullptr;
+
+TEST_F(CorpusIoTest, RoundTripsDocuments) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  auto loaded = LoadScenario(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->corpus1->size(), scenario().corpus1->size());
+  ASSERT_EQ(loaded->corpus2->size(), scenario().corpus2->size());
+  for (int64_t d = 0; d < scenario().corpus1->size(); ++d) {
+    const Document& a = scenario().corpus1->document(static_cast<DocId>(d));
+    const Document& b = loaded->corpus1->document(static_cast<DocId>(d));
+    ASSERT_EQ(a.tokens, b.tokens) << "doc " << d;
+    ASSERT_EQ(a.mentions.size(), b.mentions.size());
+    for (size_t m = 0; m < a.mentions.size(); ++m) {
+      EXPECT_EQ(a.mentions[m].join_value, b.mentions[m].join_value);
+      EXPECT_EQ(a.mentions[m].second_value, b.mentions[m].second_value);
+      EXPECT_EQ(a.mentions[m].sentence_index, b.mentions[m].sentence_index);
+      EXPECT_EQ(a.mentions[m].is_good, b.mentions[m].is_good);
+      EXPECT_NEAR(a.mentions[m].pattern_affinity, b.mentions[m].pattern_affinity,
+                  1e-5);
+    }
+  }
+}
+
+TEST_F(CorpusIoTest, RoundTripsVocabulary) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  auto loaded = LoadScenario(path_);
+  ASSERT_TRUE(loaded.ok());
+  const Vocabulary& a = *scenario().vocabulary;
+  const Vocabulary& b = *loaded->vocabulary;
+  ASSERT_EQ(a.size(), b.size());
+  for (TokenId id = 0; id < a.size(); ++id) {
+    EXPECT_EQ(a.Text(id), b.Text(id));
+    EXPECT_EQ(a.Type(id), b.Type(id));
+  }
+}
+
+TEST_F(CorpusIoTest, RoundTripsGroundTruthAndOverlaps) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  auto loaded = LoadScenario(path_);
+  ASSERT_TRUE(loaded.ok());
+  const RelationGroundTruth& a = scenario().corpus1->ground_truth();
+  const RelationGroundTruth& b = loaded->corpus1->ground_truth();
+  EXPECT_EQ(a.relation_name, b.relation_name);
+  EXPECT_EQ(a.join_entity_type, b.join_entity_type);
+  EXPECT_EQ(a.pattern_vocabulary, b.pattern_vocabulary);
+  EXPECT_EQ(a.good_docs, b.good_docs);
+  EXPECT_EQ(a.bad_docs, b.bad_docs);
+  EXPECT_EQ(a.total_good_occurrences, b.total_good_occurrences);
+  EXPECT_EQ(a.total_bad_occurrences, b.total_bad_occurrences);
+  EXPECT_EQ(a.num_good_values, b.num_good_values);
+  EXPECT_EQ(scenario().values_gg, loaded->values_gg);
+  EXPECT_EQ(scenario().values_bb, loaded->values_bb);
+}
+
+TEST_F(CorpusIoTest, LoadedScenarioSupportsExtractionPipeline) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  auto loaded = LoadScenario(path_);
+  ASSERT_TRUE(loaded.ok());
+  // A database + query over the reloaded corpus behaves identically.
+  TextDatabase original(scenario().corpus1, 7, 50);
+  TextDatabase reloaded(loaded->corpus1, 7, 50);
+  const TokenId value = scenario().values_gg.front();
+  EXPECT_EQ(original.Query({value}), reloaded.Query({value}));
+  EXPECT_EQ(original.CountMatches({value}), reloaded.CountMatches({value}));
+}
+
+TEST_F(CorpusIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadScenario("/nonexistent/path/file.iejoin").ok());
+}
+
+TEST_F(CorpusIoTest, RejectsWrongMagic) {
+  std::ofstream out(path_);
+  out << "NOT_A_SCENARIO 1\n";
+  out.close();
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsWrongVersion) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  // Rewrite the header with a bogus version.
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents.replace(0, contents.find('\n'), "IEJOIN_SCENARIO 99");
+  std::ofstream out(path_);
+  out << contents;
+  out.close();
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsTruncatedFile) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::ifstream in(path_);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_);
+  out << contents.substr(0, contents.size() / 2);
+  out.close();
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST(RecomputeGroundTruthTest, RebuildsFromMentions) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const TokenId company = vocab->Intern("acme", TokenType::kCompany);
+  const TokenId loc = vocab->Intern("paris", TokenType::kLocation);
+  Corpus corpus("test", vocab);
+  Document good_doc;
+  good_doc.id = 0;
+  good_doc.tokens = {company, loc, Vocabulary::kSentenceEnd};
+  good_doc.mentions.push_back(PlantedMention{company, loc, 0, true, 0.9f});
+  Document empty_doc;
+  empty_doc.id = 1;
+  empty_doc.tokens = {Vocabulary::kSentenceEnd};
+  corpus.mutable_documents()->push_back(good_doc);
+  corpus.mutable_documents()->push_back(empty_doc);
+  RecomputeGroundTruthStats(&corpus);
+  const RelationGroundTruth& truth = corpus.ground_truth();
+  EXPECT_EQ(truth.good_docs.size(), 1u);
+  EXPECT_EQ(truth.empty_docs.size(), 1u);
+  EXPECT_EQ(truth.total_good_occurrences, 1);
+  EXPECT_EQ(truth.num_good_values, 1);
+  EXPECT_EQ(truth.num_bad_values, 0);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,499 @@
+// Unit and property tests for src/distributions: combinatorial kernels,
+// binomial / hypergeometric PMFs, truncated power laws, empirical discrete
+// distributions, and probability generating functions.
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distributions/binomial.h"
+#include "distributions/discrete.h"
+#include "distributions/generating_function.h"
+#include "distributions/hypergeometric.h"
+#include "distributions/power_law.h"
+#include "distributions/special.h"
+
+namespace iejoin {
+namespace {
+
+// --------------------------------------------------------------------------
+// Special functions
+// --------------------------------------------------------------------------
+
+TEST(SpecialTest, LogFactorialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(SpecialTest, LogFactorialLargeMatchesLgamma) {
+  EXPECT_NEAR(LogFactorial(1000), std::lgamma(1001.0), 1e-9);
+}
+
+TEST(SpecialTest, LogFactorialCacheBoundarySeam) {
+  // Values straddling the internal cache boundary must agree with lgamma.
+  for (int64_t n = 250; n <= 260; ++n) {
+    EXPECT_NEAR(LogFactorial(n), std::lgamma(static_cast<double>(n) + 1.0), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(SpecialTest, ChooseSmall) {
+  EXPECT_DOUBLE_EQ(Choose(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Choose(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Choose(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Choose(10, 11), 0.0);
+  EXPECT_DOUBLE_EQ(Choose(10, -1), 0.0);
+}
+
+TEST(SpecialTest, ChooseSymmetry) {
+  for (int64_t k = 0; k <= 20; ++k) {
+    EXPECT_NEAR(Choose(20, k), Choose(20, 20 - k), 1e-6);
+  }
+}
+
+TEST(SpecialTest, PascalIdentity) {
+  for (int64_t n = 2; n <= 30; ++n) {
+    for (int64_t k = 1; k < n; ++k) {
+      EXPECT_NEAR(Choose(n, k), Choose(n - 1, k - 1) + Choose(n - 1, k),
+                  1e-6 * Choose(n, k));
+    }
+  }
+}
+
+TEST(SpecialTest, GeneralizedHarmonic) {
+  EXPECT_NEAR(GeneralizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(1, 2.5), 1.0, 1e-12);
+  EXPECT_NEAR(GeneralizedHarmonic(2, 2.0), 1.25, 1e-12);
+}
+
+// --------------------------------------------------------------------------
+// Binomial
+// --------------------------------------------------------------------------
+
+TEST(BinomialTest, PmfKnownValues) {
+  EXPECT_NEAR(binomial::Pmf(2, 1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(binomial::Pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial::Pmf(3, 0, 0.2), 0.512, 1e-12);
+}
+
+TEST(BinomialTest, PmfOutsideSupportIsZero) {
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, 6, 0.5), 0.0);
+}
+
+TEST(BinomialTest, DegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial::Pmf(5, 4, 1.0), 0.0);
+}
+
+class BinomialSweep : public ::testing::TestWithParam<std::pair<int64_t, double>> {};
+
+TEST_P(BinomialSweep, PmfSumsToOne) {
+  const auto [n, p] = GetParam();
+  double sum = 0.0;
+  for (int64_t k = 0; k <= n; ++k) sum += binomial::Pmf(n, k, p);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(BinomialSweep, PmfMeanMatchesFormula) {
+  const auto [n, p] = GetParam();
+  double mean = 0.0;
+  for (int64_t k = 0; k <= n; ++k) mean += static_cast<double>(k) * binomial::Pmf(n, k, p);
+  EXPECT_NEAR(mean, binomial::Mean(n, p), 1e-8);
+}
+
+TEST_P(BinomialSweep, PmfVarianceMatchesFormula) {
+  const auto [n, p] = GetParam();
+  const double mean = binomial::Mean(n, p);
+  double var = 0.0;
+  for (int64_t k = 0; k <= n; ++k) {
+    const double d = static_cast<double>(k) - mean;
+    var += d * d * binomial::Pmf(n, k, p);
+  }
+  EXPECT_NEAR(var, binomial::Variance(n, p), 1e-7);
+}
+
+TEST_P(BinomialSweep, CdfIsMonotoneAndReachesOne) {
+  const auto [n, p] = GetParam();
+  double prev = -1.0;
+  for (int64_t k = 0; k <= n; ++k) {
+    const double c = binomial::Cdf(n, k, p);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(binomial::Cdf(n, n, p), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BinomialSweep,
+    ::testing::Values(std::make_pair<int64_t, double>(1, 0.5),
+                      std::make_pair<int64_t, double>(7, 0.1),
+                      std::make_pair<int64_t, double>(20, 0.9),
+                      std::make_pair<int64_t, double>(64, 0.37),
+                      std::make_pair<int64_t, double>(200, 0.02)));
+
+// --------------------------------------------------------------------------
+// Hypergeometric
+// --------------------------------------------------------------------------
+
+TEST(HypergeometricTest, KnownValue) {
+  // Population 10, 4 marked, sample 3: P(k=2) = C(4,2)C(6,1)/C(10,3) = 36/120.
+  EXPECT_NEAR(hypergeometric::Pmf(10, 3, 4, 2), 0.3, 1e-12);
+}
+
+TEST(HypergeometricTest, Support) {
+  EXPECT_EQ(hypergeometric::SupportMin(10, 8, 5), 3);
+  EXPECT_EQ(hypergeometric::SupportMin(10, 3, 5), 0);
+  EXPECT_EQ(hypergeometric::SupportMax(10, 3, 5), 3);
+  EXPECT_EQ(hypergeometric::SupportMax(10, 7, 5), 5);
+  EXPECT_DOUBLE_EQ(hypergeometric::Pmf(10, 8, 5, 2), 0.0);
+}
+
+struct HyperParams {
+  int64_t population;
+  int64_t sample;
+  int64_t marked;
+};
+
+class HypergeometricSweep : public ::testing::TestWithParam<HyperParams> {};
+
+TEST_P(HypergeometricSweep, PmfSumsToOne) {
+  const auto p = GetParam();
+  double sum = 0.0;
+  for (int64_t k = hypergeometric::SupportMin(p.population, p.sample, p.marked);
+       k <= hypergeometric::SupportMax(p.population, p.sample, p.marked); ++k) {
+    sum += hypergeometric::Pmf(p.population, p.sample, p.marked, k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(HypergeometricSweep, MeanMatchesFormula) {
+  const auto p = GetParam();
+  double mean = 0.0;
+  for (int64_t k = hypergeometric::SupportMin(p.population, p.sample, p.marked);
+       k <= hypergeometric::SupportMax(p.population, p.sample, p.marked); ++k) {
+    mean += static_cast<double>(k) *
+            hypergeometric::Pmf(p.population, p.sample, p.marked, k);
+  }
+  EXPECT_NEAR(mean, hypergeometric::Mean(p.population, p.sample, p.marked), 1e-8);
+}
+
+TEST_P(HypergeometricSweep, VarianceMatchesFormula) {
+  const auto p = GetParam();
+  const double mean = hypergeometric::Mean(p.population, p.sample, p.marked);
+  double var = 0.0;
+  for (int64_t k = hypergeometric::SupportMin(p.population, p.sample, p.marked);
+       k <= hypergeometric::SupportMax(p.population, p.sample, p.marked); ++k) {
+    const double d = static_cast<double>(k) - mean;
+    var += d * d * hypergeometric::Pmf(p.population, p.sample, p.marked, k);
+  }
+  EXPECT_NEAR(var, hypergeometric::Variance(p.population, p.sample, p.marked), 1e-7);
+}
+
+TEST_P(HypergeometricSweep, SampleMarkedSymmetry) {
+  // Hyper(D, S, g, k) == Hyper(D, g, S, k): drawing S and marking g is
+  // symmetric.
+  const auto p = GetParam();
+  for (int64_t k = 0; k <= std::min(p.sample, p.marked); ++k) {
+    EXPECT_NEAR(hypergeometric::Pmf(p.population, p.sample, p.marked, k),
+                hypergeometric::Pmf(p.population, p.marked, p.sample, k), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, HypergeometricSweep,
+                         ::testing::Values(HyperParams{10, 3, 4},
+                                           HyperParams{50, 25, 10},
+                                           HyperParams{100, 99, 3},
+                                           HyperParams{500, 100, 250},
+                                           HyperParams{30, 30, 12}));
+
+TEST(HypergeometricTest, FullSampleIsDeterministic) {
+  // Sampling the entire population sees every marked item.
+  EXPECT_NEAR(hypergeometric::Pmf(20, 20, 7, 7), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(hypergeometric::Pmf(20, 20, 7, 6), 0.0);
+}
+
+// --------------------------------------------------------------------------
+// Power law
+// --------------------------------------------------------------------------
+
+TEST(PowerLawTest, PmfNormalized) {
+  const PowerLaw law(1.7, 100);
+  double sum = 0.0;
+  for (int64_t k = 1; k <= 100; ++k) sum += law.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PowerLawTest, PmfMonotoneDecreasing) {
+  const PowerLaw law(2.0, 50);
+  for (int64_t k = 1; k < 50; ++k) {
+    EXPECT_GT(law.Pmf(k), law.Pmf(k + 1));
+  }
+}
+
+TEST(PowerLawTest, PmfOutsideSupportZero) {
+  const PowerLaw law(2.0, 50);
+  EXPECT_DOUBLE_EQ(law.Pmf(0), 0.0);
+  EXPECT_DOUBLE_EQ(law.Pmf(51), 0.0);
+  EXPECT_TRUE(std::isinf(law.LogPmf(0)));
+}
+
+TEST(PowerLawTest, CdfEndpoints) {
+  const PowerLaw law(1.5, 30);
+  EXPECT_DOUBLE_EQ(law.Cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(law.Cdf(30), 1.0);
+  EXPECT_NEAR(law.Cdf(1), law.Pmf(1), 1e-12);
+}
+
+TEST(PowerLawTest, MeanMatchesDirectSum) {
+  const PowerLaw law(1.9, 200);
+  double mean = 0.0;
+  for (int64_t k = 1; k <= 200; ++k) mean += static_cast<double>(k) * law.Pmf(k);
+  EXPECT_NEAR(law.Mean(), mean, 1e-9);
+}
+
+TEST(PowerLawTest, SampleMatchesPmf) {
+  const PowerLaw law(1.6, 20);
+  Rng rng(99);
+  std::vector<int64_t> counts(21, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t s = law.Sample(&rng);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 20);
+    ++counts[static_cast<size_t>(s)];
+  }
+  for (int64_t k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<size_t>(k)]) / n, law.Pmf(k),
+                0.01)
+        << "k=" << k;
+  }
+}
+
+TEST(PowerLawTest, SampleManyCount) {
+  const PowerLaw law(2.0, 10);
+  Rng rng(5);
+  EXPECT_EQ(law.SampleMany(37, &rng).size(), 37u);
+}
+
+class PowerLawFitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawFitSweep, MleRecoversExponent) {
+  const double alpha = GetParam();
+  const PowerLaw law(alpha, 300);
+  Rng rng(static_cast<uint64_t>(alpha * 1000));
+  const std::vector<int64_t> samples = law.SampleMany(20000, &rng);
+  const auto fit = FitPowerLawExponent(samples, 300);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value(), alpha, 0.05) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, PowerLawFitSweep,
+                         ::testing::Values(0.8, 1.2, 1.6, 2.0, 2.5, 3.0));
+
+TEST(PowerLawTest, FitRejectsEmptyAndOutOfRange) {
+  EXPECT_FALSE(FitPowerLawExponent({}, 10).ok());
+  EXPECT_FALSE(FitPowerLawExponent({0}, 10).ok());
+  EXPECT_FALSE(FitPowerLawExponent({11}, 10).ok());
+}
+
+TEST(PowerLawTest, LogLikelihoodPrefersTrueExponent) {
+  const PowerLaw law(1.5, 100);
+  Rng rng(123);
+  const std::vector<int64_t> samples = law.SampleMany(5000, &rng);
+  const double ll_true = PowerLawLogLikelihood(samples, 1.5, 100);
+  EXPECT_GT(ll_true, PowerLawLogLikelihood(samples, 0.5, 100));
+  EXPECT_GT(ll_true, PowerLawLogLikelihood(samples, 3.0, 100));
+}
+
+// --------------------------------------------------------------------------
+// DiscreteDistribution
+// --------------------------------------------------------------------------
+
+TEST(DiscreteTest, FromWeightsNormalizes) {
+  auto d = DiscreteDistribution::FromWeights({1.0, 3.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d->Pmf(1), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(d->Pmf(2), 0.0);
+  EXPECT_DOUBLE_EQ(d->Pmf(-1), 0.0);
+}
+
+TEST(DiscreteTest, FromWeightsRejectsInvalid) {
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({0.0, 0.0}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromWeights({1.0, -0.5}).ok());
+}
+
+TEST(DiscreteTest, FromSamplesBuildsEmpiricalPmf) {
+  auto d = DiscreteDistribution::FromSamples({0, 1, 1, 3});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d->Pmf(1), 0.5, 1e-12);
+  EXPECT_NEAR(d->Pmf(2), 0.0, 1e-12);
+  EXPECT_NEAR(d->Pmf(3), 0.25, 1e-12);
+  EXPECT_EQ(d->max_value(), 3);
+}
+
+TEST(DiscreteTest, FromSamplesRejectsNegative) {
+  EXPECT_FALSE(DiscreteDistribution::FromSamples({1, -2}).ok());
+  EXPECT_FALSE(DiscreteDistribution::FromSamples({}).ok());
+}
+
+TEST(DiscreteTest, MeanAndVariance) {
+  auto d = DiscreteDistribution::FromWeights({0.0, 0.5, 0.5});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d->Mean(), 1.5, 1e-12);
+  EXPECT_NEAR(d->Variance(), 0.25, 1e-12);
+}
+
+TEST(DiscreteTest, SampleMatchesPmf) {
+  auto d = DiscreteDistribution::FromWeights({0.2, 0.3, 0.5});
+  ASSERT_TRUE(d.ok());
+  Rng rng(77);
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<size_t>(d->Sample(&rng))];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.5, 0.01);
+}
+
+// --------------------------------------------------------------------------
+// Generating functions
+// --------------------------------------------------------------------------
+
+TEST(GeneratingFunctionTest, DefaultIsUnitMassAtZero) {
+  GeneratingFunction f;
+  EXPECT_DOUBLE_EQ(f.Evaluate(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.Mean(), 0.0);
+}
+
+TEST(GeneratingFunctionTest, FromPmfValidates) {
+  EXPECT_TRUE(GeneratingFunction::FromPmf({0.5, 0.5}).ok());
+  EXPECT_FALSE(GeneratingFunction::FromPmf({}).ok());
+  EXPECT_FALSE(GeneratingFunction::FromPmf({0.9}).ok());
+  EXPECT_FALSE(GeneratingFunction::FromPmf({1.5, -0.5}).ok());
+}
+
+TEST(GeneratingFunctionTest, EvaluateIsPolynomial) {
+  auto f = GeneratingFunction::FromPmf({0.25, 0.25, 0.5});
+  ASSERT_TRUE(f.ok());
+  // F(x) = 0.25 + 0.25 x + 0.5 x^2
+  EXPECT_NEAR(f->Evaluate(0.0), 0.25, 1e-12);
+  EXPECT_NEAR(f->Evaluate(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(f->Evaluate(0.5), 0.25 + 0.125 + 0.125, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, MomentsProperty) {
+  auto f = GeneratingFunction::FromPmf({0.1, 0.2, 0.3, 0.4});
+  ASSERT_TRUE(f.ok());
+  const double mean = 0.2 + 2 * 0.3 + 3 * 0.4;
+  EXPECT_NEAR(f->Mean(), mean, 1e-12);
+  const double ex2 = 0.2 + 4 * 0.3 + 9 * 0.4;
+  EXPECT_NEAR(f->Variance(), ex2 - mean * mean, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, PointMass) {
+  const GeneratingFunction f = GeneratingFunction::PointMass(3);
+  EXPECT_DOUBLE_EQ(f.Mean(), 3.0);
+  EXPECT_NEAR(f.Variance(), 0.0, 1e-12);
+  EXPECT_NEAR(f.Evaluate(0.5), 0.125, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, EdgeBiasedMatchesSizeBiasing) {
+  // p = (0, 0.5, 0, 0.5) over degrees {0,1,2,3}: edge-biased puts mass
+  // k p_k / mean on degree k.
+  auto f = GeneratingFunction::FromPmf({0.0, 0.5, 0.0, 0.5});
+  ASSERT_TRUE(f.ok());
+  auto h = f->EdgeBiased();
+  ASSERT_TRUE(h.ok());
+  const double mean = 0.5 + 1.5;
+  EXPECT_NEAR(h->coefficients()[1], 0.5 / mean, 1e-12);
+  EXPECT_NEAR(h->coefficients()[3], 1.5 / mean, 1e-12);
+  EXPECT_NEAR(h->Evaluate(1.0), 1.0, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, EdgeBiasedFailsOnZeroMean) {
+  auto f = GeneratingFunction::FromPmf({1.0});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->EdgeBiased().ok());
+}
+
+TEST(GeneratingFunctionTest, PowerPropertyMean) {
+  // Sum of n i.i.d. variables: mean multiplies by n.
+  auto f = GeneratingFunction::FromPmf({0.3, 0.7});
+  ASSERT_TRUE(f.ok());
+  const GeneratingFunction f5 = f->Power(5, 64);
+  EXPECT_NEAR(f5.Mean(), 5 * 0.7, 1e-9);
+  EXPECT_NEAR(f5.Evaluate(1.0), 1.0, 1e-9);
+}
+
+TEST(GeneratingFunctionTest, PowerMatchesExplicitBinomial) {
+  // (q + p x)^n is the Binomial(n, p) PGF.
+  auto f = GeneratingFunction::FromPmf({0.6, 0.4});
+  ASSERT_TRUE(f.ok());
+  const GeneratingFunction f4 = f->Power(4, 16);
+  for (int64_t k = 0; k <= 4; ++k) {
+    EXPECT_NEAR(f4.coefficients()[static_cast<size_t>(k)], binomial::Pmf(4, k, 0.4),
+                1e-12);
+  }
+}
+
+TEST(GeneratingFunctionTest, PowerZeroIsOne) {
+  auto f = GeneratingFunction::FromPmf({0.5, 0.5});
+  ASSERT_TRUE(f.ok());
+  const GeneratingFunction f0 = f->Power(0, 8);
+  EXPECT_NEAR(f0.Evaluate(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(f0.Mean(), 0.0, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, CompositionPropertyMean) {
+  // F(G(x)): mean is F'(1) * G'(1) (sum of F-many i.i.d. G variables).
+  auto f = GeneratingFunction::FromPmf({0.2, 0.5, 0.3});
+  auto g = GeneratingFunction::FromPmf({0.1, 0.6, 0.3});
+  ASSERT_TRUE(f.ok() && g.ok());
+  const GeneratingFunction fg = f->Compose(*g, 64);
+  EXPECT_NEAR(fg.Mean(), f->Mean() * g->Mean(), 1e-9);
+  EXPECT_NEAR(fg.Evaluate(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(ComposedMean(*f, *g), f->Mean() * g->Mean(), 1e-12);
+}
+
+TEST(GeneratingFunctionTest, CompositionExplicitCoefficients) {
+  // F(x) = x^2 composed with G: coefficients of G^2.
+  const GeneratingFunction f = GeneratingFunction::PointMass(2);
+  auto g = GeneratingFunction::FromPmf({0.5, 0.5});
+  ASSERT_TRUE(g.ok());
+  const GeneratingFunction fg = f.Compose(*g, 16);
+  EXPECT_NEAR(fg.coefficients()[0], 0.25, 1e-12);
+  EXPECT_NEAR(fg.coefficients()[1], 0.5, 1e-12);
+  EXPECT_NEAR(fg.coefficients()[2], 0.25, 1e-12);
+}
+
+TEST(GeneratingFunctionTest, TruncationTracksLostMass) {
+  auto f = GeneratingFunction::FromPmf({0.5, 0.5});
+  ASSERT_TRUE(f.ok());
+  // (0.5 + 0.5x)^8 truncated to degree 2 loses everything above x^2.
+  const GeneratingFunction f8 = f->Power(8, 2);
+  EXPECT_GT(f8.truncated_mass(), 0.0);
+  double kept = 0.0;
+  for (double c : f8.coefficients()) kept += c;
+  EXPECT_LT(kept, 1.0);
+}
+
+TEST(GeneratingFunctionTest, VarianceOfBinomialPgf) {
+  auto f = GeneratingFunction::FromPmf({0.7, 0.3});
+  ASSERT_TRUE(f.ok());
+  const GeneratingFunction f10 = f->Power(10, 16);
+  EXPECT_NEAR(f10.Variance(), 10 * 0.3 * 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace iejoin

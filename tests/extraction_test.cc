@@ -1,0 +1,231 @@
+// Tests for the Snowball-style extractor and its knob characterization.
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "extraction/extractor_profile.h"
+#include "extraction/snowball_extractor.h"
+#include "textdb/corpus_generator.h"
+
+namespace iejoin {
+namespace {
+
+class ExtractionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusGenerator generator(ScenarioSpec::Small());
+    auto result = generator.Generate();
+    ASSERT_TRUE(result.ok());
+    scenario_ = new JoinScenario(std::move(result.value()));
+    SnowballConfig config;
+    config.min_sim = 0.4;
+    auto extractor = SnowballExtractor::Train(*scenario_->corpus1, config);
+    ASSERT_TRUE(extractor.ok()) << extractor.status().ToString();
+    extractor_ = extractor.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete extractor_;
+    delete scenario_;
+    extractor_ = nullptr;
+    scenario_ = nullptr;
+  }
+
+  static const JoinScenario& scenario() { return *scenario_; }
+  static const SnowballExtractor& extractor() { return *extractor_; }
+
+  static JoinScenario* scenario_;
+  static SnowballExtractor* extractor_;
+};
+
+JoinScenario* ExtractionTest::scenario_ = nullptr;
+SnowballExtractor* ExtractionTest::extractor_ = nullptr;
+
+TEST_F(ExtractionTest, TrainValidatesConfig) {
+  SnowballConfig bad;
+  bad.min_sim = 1.5;
+  EXPECT_FALSE(SnowballExtractor::Train(*scenario().corpus1, bad).ok());
+  bad = SnowballConfig();
+  bad.num_patterns = 0;
+  EXPECT_FALSE(SnowballExtractor::Train(*scenario().corpus1, bad).ok());
+  bad = SnowballConfig();
+  bad.pattern_coverage = 0.0;
+  EXPECT_FALSE(SnowballExtractor::Train(*scenario().corpus1, bad).ok());
+}
+
+TEST_F(ExtractionTest, RelationNameComesFromTraining) {
+  EXPECT_EQ(extractor().relation_name(), "Headquarters");
+}
+
+TEST_F(ExtractionTest, PermissiveSettingFindsEveryPlantedMention) {
+  // At minSim = 0, every candidate sentence (entity pair present) clears the
+  // threshold, so every planted mention is recovered.
+  const auto permissive = extractor().WithTheta(0.0);
+  int64_t planted = 0;
+  int64_t extracted = 0;
+  for (const Document& doc : scenario().corpus1->documents()) {
+    planted += static_cast<int64_t>(doc.mentions.size());
+    extracted += static_cast<int64_t>(permissive->Process(doc).size());
+  }
+  EXPECT_EQ(extracted, planted);
+}
+
+TEST_F(ExtractionTest, ExtractionsMatchPlantedMentionsExactly) {
+  const auto permissive = extractor().WithTheta(0.0);
+  for (int64_t i = 0; i < std::min<int64_t>(scenario().corpus1->size(), 200); ++i) {
+    const Document& doc = scenario().corpus1->document(static_cast<DocId>(i));
+    const ExtractionBatch batch = permissive->Process(doc);
+    ASSERT_EQ(batch.size(), doc.mentions.size());
+    // Match by sentence index.
+    for (const ExtractedTuple& t : batch) {
+      const auto it = std::find_if(doc.mentions.begin(), doc.mentions.end(),
+                                   [&](const PlantedMention& m) {
+                                     return m.sentence_index == t.sentence_index;
+                                   });
+      ASSERT_NE(it, doc.mentions.end());
+      EXPECT_EQ(t.join_value, it->join_value);
+      EXPECT_EQ(t.second_value, it->second_value);
+      EXPECT_EQ(t.ground_truth_good, it->is_good);
+      EXPECT_EQ(t.doc_id, doc.id);
+    }
+  }
+}
+
+TEST_F(ExtractionTest, HigherThetaExtractsSubset) {
+  const auto loose = extractor().WithTheta(0.3);
+  const auto strict = extractor().WithTheta(0.7);
+  for (int64_t i = 0; i < std::min<int64_t>(scenario().corpus1->size(), 300); ++i) {
+    const Document& doc = scenario().corpus1->document(static_cast<DocId>(i));
+    const ExtractionBatch a = loose->Process(doc);
+    const ExtractionBatch b = strict->Process(doc);
+    EXPECT_LE(b.size(), a.size());
+    // Every strict extraction also appears in the loose set.
+    for (const ExtractedTuple& t : b) {
+      EXPECT_TRUE(std::any_of(a.begin(), a.end(), [&](const ExtractedTuple& u) {
+        return u.sentence_index == t.sentence_index;
+      }));
+    }
+  }
+}
+
+TEST_F(ExtractionTest, SimilarityReportedAboveThreshold) {
+  for (int64_t i = 0; i < std::min<int64_t>(scenario().corpus1->size(), 300); ++i) {
+    const Document& doc = scenario().corpus1->document(static_cast<DocId>(i));
+    for (const ExtractedTuple& t : extractor().Process(doc)) {
+      EXPECT_GE(t.similarity, extractor().theta());
+      EXPECT_LE(t.similarity, 1.0);
+    }
+  }
+}
+
+TEST_F(ExtractionTest, GoodMentionsSurviveMoreOftenThanBad) {
+  // The affinity design means tp(θ) > fp(θ) at the default setting.
+  int64_t good_planted = 0, good_kept = 0, bad_planted = 0, bad_kept = 0;
+  for (const Document& doc : scenario().corpus1->documents()) {
+    for (const PlantedMention& m : doc.mentions) {
+      (m.is_good ? good_planted : bad_planted) += 1;
+    }
+    for (const ExtractedTuple& t : extractor().Process(doc)) {
+      (t.ground_truth_good ? good_kept : bad_kept) += 1;
+    }
+  }
+  ASSERT_GT(good_planted, 0);
+  ASSERT_GT(bad_planted, 0);
+  const double tp = static_cast<double>(good_kept) / good_planted;
+  const double fp = static_cast<double>(bad_kept) / bad_planted;
+  EXPECT_GT(tp, fp);
+  EXPECT_GT(tp, 0.5);
+  EXPECT_LT(fp, 0.7);
+}
+
+TEST_F(ExtractionTest, WithThetaValidatesAndPreservesPatterns) {
+  const auto other = extractor().WithTheta(0.9);
+  EXPECT_DOUBLE_EQ(other->theta(), 0.9);
+  EXPECT_EQ(other->relation_name(), extractor().relation_name());
+}
+
+TEST_F(ExtractionTest, SimilarityOfPurePatternContextIsHigh) {
+  const auto& pattern_vocab =
+      scenario().corpus1->ground_truth().pattern_vocabulary;
+  std::vector<TokenId> context(pattern_vocab.begin(),
+                               pattern_vocab.begin() + std::min<size_t>(
+                                                           8, pattern_vocab.size()));
+  EXPECT_GT(extractor().Similarity(context), 0.6);
+}
+
+TEST_F(ExtractionTest, SimilarityOfEmptyContextIsZero) {
+  EXPECT_DOUBLE_EQ(extractor().Similarity({}), 0.0);
+}
+
+TEST_F(ExtractionTest, WrongRelationSchemaFindsNothing) {
+  // The HQ extractor (company, location) finds no candidates in the EX
+  // corpus (company, person mentions).
+  int64_t extracted = 0;
+  const auto permissive = extractor().WithTheta(0.0);
+  for (const Document& doc : scenario().corpus2->documents()) {
+    extracted += static_cast<int64_t>(permissive->Process(doc).size());
+  }
+  EXPECT_EQ(extracted, 0);
+}
+
+// --------------------------------------------------------------------------
+// Knob characterization
+// --------------------------------------------------------------------------
+
+TEST_F(ExtractionTest, CharacterizationAtZeroIsPerfectRecall) {
+  auto knobs = CharacterizeExtractor(extractor(), *scenario().corpus1,
+                                     UniformThetaGrid(11));
+  ASSERT_TRUE(knobs.ok());
+  EXPECT_DOUBLE_EQ(knobs->TruePositiveRate(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(knobs->FalsePositiveRate(0.0), 1.0);
+}
+
+TEST_F(ExtractionTest, CharacterizationMonotoneInTheta) {
+  auto knobs = CharacterizeExtractor(extractor(), *scenario().corpus1,
+                                     UniformThetaGrid(21));
+  ASSERT_TRUE(knobs.ok());
+  for (size_t i = 1; i < knobs->thetas().size(); ++i) {
+    EXPECT_LE(knobs->tp()[i], knobs->tp()[i - 1]);
+    EXPECT_LE(knobs->fp()[i], knobs->fp()[i - 1]);
+  }
+}
+
+TEST_F(ExtractionTest, CharacterizationTpDominatesFp) {
+  auto knobs = CharacterizeExtractor(extractor(), *scenario().corpus1,
+                                     UniformThetaGrid(11));
+  ASSERT_TRUE(knobs.ok());
+  for (size_t i = 0; i + 1 < knobs->thetas().size(); ++i) {
+    EXPECT_GE(knobs->tp()[i], knobs->fp()[i]) << "theta=" << knobs->thetas()[i];
+  }
+}
+
+TEST_F(ExtractionTest, CharacterizationInterpolates) {
+  auto knobs = CharacterizeExtractor(extractor(), *scenario().corpus1,
+                                     {0.0, 0.5, 1.0});
+  ASSERT_TRUE(knobs.ok());
+  const double mid = knobs->TruePositiveRate(0.25);
+  EXPECT_LE(mid, knobs->TruePositiveRate(0.0));
+  EXPECT_GE(mid, knobs->TruePositiveRate(0.5));
+  // Outside the grid clamps to the ends.
+  EXPECT_DOUBLE_EQ(knobs->TruePositiveRate(-1.0), knobs->TruePositiveRate(0.0));
+  EXPECT_DOUBLE_EQ(knobs->TruePositiveRate(2.0), knobs->TruePositiveRate(1.0));
+}
+
+TEST_F(ExtractionTest, CharacterizationRejectsBadGrids) {
+  EXPECT_FALSE(CharacterizeExtractor(extractor(), *scenario().corpus1, {}).ok());
+  EXPECT_FALSE(
+      CharacterizeExtractor(extractor(), *scenario().corpus1, {0.5, 0.1}).ok());
+}
+
+TEST(UniformThetaGridTest, EndpointsAndSpacing) {
+  const auto grid = UniformThetaGrid(5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  EXPECT_DOUBLE_EQ(grid[1], 0.25);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,127 @@
+// Randomized stress tests: generate scenarios from randomly drawn (valid)
+// specifications and assert the structural invariants hold for every draw,
+// then push a couple of executions through the most extreme shapes.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "harness/workbench.h"
+#include "textdb/corpus_generator.h"
+
+namespace iejoin {
+namespace {
+
+ScenarioSpec RandomSpec(uint64_t seed) {
+  Rng rng(seed);
+  ScenarioSpec spec;
+  spec.seed = seed;
+  for (RelationSpec* rel : {&spec.relation1, &spec.relation2}) {
+    rel->num_documents = rng.UniformInt(40, 1200);
+    rel->good_zone_fraction = 0.05 + 0.4 * rng.NextDouble();
+    rel->mention_zone_fraction =
+        rel->good_zone_fraction + (1.0 - rel->good_zone_fraction) * rng.NextDouble();
+    rel->good_freq_exponent = 1.1 + 1.5 * rng.NextDouble();
+    rel->bad_freq_exponent = 1.1 + 1.5 * rng.NextDouble();
+    rel->max_good_frequency = rng.UniformInt(2, 40);
+    rel->max_bad_frequency = rng.UniformInt(2, 80);
+    rel->filler_sentences_per_doc = static_cast<int32_t>(rng.UniformInt(1, 6));
+    rel->words_per_filler_sentence = static_cast<int32_t>(rng.UniformInt(3, 12));
+    rel->filler_entity_probability = 0.3 * rng.NextDouble();
+    rel->context_words_per_mention = static_cast<int32_t>(rng.UniformInt(3, 12));
+    rel->good_affinity_lo = 0.3 + 0.3 * rng.NextDouble();
+    rel->good_affinity_hi = rel->good_affinity_lo +
+                            (1.0 - rel->good_affinity_lo) * rng.NextDouble();
+    rel->bad_affinity_lo = 0.05 + 0.2 * rng.NextDouble();
+    rel->bad_affinity_hi =
+        rel->bad_affinity_lo + 0.5 * (1.0 - rel->bad_affinity_lo) * rng.NextDouble();
+    rel->pattern_vocab_size = rng.UniformInt(20, 200);
+    rel->noise_vocab_size = rng.UniformInt(100, 2000);
+    rel->second_value_pool = rng.UniformInt(10, 400);
+  }
+  spec.relation2.second_entity = TokenType::kPerson;
+  spec.num_shared_gg = rng.UniformInt(1, 80);
+  spec.num_shared_gb = rng.UniformInt(0, 40);
+  spec.num_shared_bg = rng.UniformInt(0, 40);
+  spec.num_shared_bb = rng.UniformInt(0, 120);
+  spec.num_exclusive_good1 = rng.UniformInt(0, 100);
+  spec.num_exclusive_bad1 = rng.UniformInt(0, 100);
+  spec.num_exclusive_good2 = rng.UniformInt(0, 100);
+  spec.num_exclusive_bad2 = rng.UniformInt(0, 100);
+  spec.num_outlier_values = rng.UniformInt(0, 4);
+  spec.outlier_frequency = rng.UniformInt(1, 60);
+  spec.correlate_shared_good_frequencies = rng.Bernoulli(0.5);
+  return spec;
+}
+
+class GeneratorFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorFuzzTest, InvariantsHoldForRandomSpecs) {
+  const ScenarioSpec spec = RandomSpec(GetParam());
+  CorpusGenerator generator(spec);
+  auto scenario = generator.Generate();
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+
+  for (const auto* corpus : {scenario->corpus1.get(), scenario->corpus2.get()}) {
+    const RelationGroundTruth& truth = corpus->ground_truth();
+    // Document partition is complete.
+    EXPECT_EQ(static_cast<int64_t>(truth.good_docs.size() + truth.bad_docs.size() +
+                                   truth.empty_docs.size()),
+              corpus->size());
+    // Frequencies and totals are consistent.
+    int64_t good = 0;
+    int64_t bad = 0;
+    for (const auto& [value, vf] : truth.value_frequencies) {
+      EXPECT_GE(vf.good, 0);
+      EXPECT_GE(vf.bad, 0);
+      good += vf.good;
+      bad += vf.bad;
+    }
+    EXPECT_EQ(good, truth.total_good_occurrences);
+    EXPECT_EQ(bad, truth.total_bad_occurrences);
+    // Every token id is valid; document ids are positional.
+    for (const Document& doc : corpus->documents()) {
+      for (TokenId t : doc.tokens) {
+        EXPECT_LT(t, corpus->vocabulary().size());
+      }
+    }
+  }
+
+  // Overlap classes realized with the requested polarity.
+  const auto& t1 = scenario->corpus1->ground_truth().value_frequencies;
+  for (TokenId v : scenario->values_gg) {
+    EXPECT_GT(t1.at(v).good, 0);
+  }
+}
+
+TEST_P(GeneratorFuzzTest, ExtractionRunsCleanlyOnRandomCorpora) {
+  ScenarioSpec spec = RandomSpec(GetParam() + 1000);
+  // An extractor needs at least a handful of good values to characterize.
+  spec.num_shared_gg = std::max<int64_t>(spec.num_shared_gg, 10);
+  CorpusGenerator generator(spec);
+  auto scenario = generator.Generate();
+  ASSERT_TRUE(scenario.ok());
+  SnowballConfig config;
+  auto extractor = SnowballExtractor::Train(*scenario->corpus1, config);
+  ASSERT_TRUE(extractor.ok());
+  int64_t extracted = 0;
+  for (const Document& doc : scenario->corpus1->documents()) {
+    extracted += static_cast<int64_t>((*extractor)->Process(doc).size());
+  }
+  // The permissive pass over the whole corpus never exceeds the planted
+  // mention count and finds everything at theta = 0.
+  const auto permissive = (*extractor)->WithTheta(0.0);
+  int64_t planted = 0;
+  int64_t found = 0;
+  for (const Document& doc : scenario->corpus1->documents()) {
+    planted += static_cast<int64_t>(doc.mentions.size());
+    found += static_cast<int64_t>(permissive->Process(doc).size());
+  }
+  EXPECT_EQ(found, planted);
+  EXPECT_LE(extracted, planted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorFuzzTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,172 @@
+// Tests for the evaluation harness (Workbench) and a property sweep over
+// the whole plan space: every enumerable plan must execute cleanly with
+// consistent accounting on a small scenario.
+
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "optimizer/plan_space.h"
+#include "textdb/corpus_io.h"
+
+namespace iejoin {
+namespace {
+
+ScenarioSpec TinySpec() {
+  ScenarioSpec spec = ScenarioSpec::Small();
+  spec.relation1.num_documents = 500;
+  spec.relation2.num_documents = 500;
+  return spec;
+}
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = TinySpec();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static Workbench* bench_;
+};
+
+Workbench* HarnessTest::bench_ = nullptr;
+
+TEST_F(HarnessTest, ScenariosAreDistinctDraws) {
+  // Training, validation, and evaluation corpora must differ (different
+  // seeds) while sharing one vocabulary.
+  const auto& eval = bench().scenario();
+  const auto& train = bench().training_scenario();
+  const auto& val = bench().validation_scenario();
+  EXPECT_NE(eval.corpus1.get(), train.corpus1.get());
+  bool train_differs = false;
+  bool val_differs = false;
+  for (int64_t d = 0; d < eval.corpus1->size(); ++d) {
+    const auto& e = eval.corpus1->document(static_cast<DocId>(d)).tokens;
+    if (e != train.corpus1->document(static_cast<DocId>(d)).tokens) {
+      train_differs = true;
+    }
+    if (e != val.corpus1->document(static_cast<DocId>(d)).tokens) {
+      val_differs = true;
+    }
+    if (train_differs && val_differs) break;
+  }
+  EXPECT_TRUE(train_differs);
+  EXPECT_TRUE(val_differs);
+}
+
+TEST_F(HarnessTest, ResourcesAreFullyWired) {
+  const JoinResources r = bench().resources();
+  EXPECT_NE(r.database1, nullptr);
+  EXPECT_NE(r.database2, nullptr);
+  EXPECT_NE(r.extractor1, nullptr);
+  EXPECT_NE(r.extractor2, nullptr);
+  EXPECT_NE(r.classifier1, nullptr);
+  EXPECT_NE(r.classifier2, nullptr);
+  ASSERT_NE(r.queries1, nullptr);
+  EXPECT_FALSE(r.queries1->empty());
+}
+
+TEST_F(HarnessTest, CreateForScenarioReusesLoadedEvaluation) {
+  // Save the evaluation scenario, reload it, and build a workbench around
+  // it: executions must be identical to the original workbench's.
+  const std::string path = ::testing::TempDir() + "/harness_roundtrip.iejoin";
+  ASSERT_TRUE(SaveScenario(bench().scenario(), path).ok());
+  auto loaded = LoadScenario(path);
+  ASSERT_TRUE(loaded.ok());
+  WorkbenchConfig config;
+  config.scenario = TinySpec();
+  auto rebench = Workbench::CreateForScenario(config, std::move(*loaded));
+  ASSERT_TRUE(rebench.ok()) << rebench.status().ToString();
+
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  auto e1 = CreateJoinExecutor(plan, bench().resources());
+  auto e2 = CreateJoinExecutor(plan, (*rebench)->resources());
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  auto r1 = (*e1)->Run(options);
+  auto r2 = (*e2)->Run(options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->final_point.good_join_tuples, r2->final_point.good_join_tuples);
+  EXPECT_EQ(r1->final_point.bad_join_tuples, r2->final_point.bad_join_tuples);
+  std::remove(path.c_str());
+}
+
+TEST_F(HarnessTest, CreateForScenarioRejectsEmptyScenario) {
+  WorkbenchConfig config;
+  EXPECT_FALSE(Workbench::CreateForScenario(config, JoinScenario{}).ok());
+}
+
+// --------------------------------------------------------------------------
+// Plan-space sweep: every plan executes with consistent accounting.
+// --------------------------------------------------------------------------
+
+class PlanSweepTest : public HarnessTest,
+                      public ::testing::WithParamInterface<int> {};
+
+TEST_P(PlanSweepTest, PlanExecutesWithConsistentAccounting) {
+  const auto plans = EnumeratePlans(PlanEnumerationOptions());
+  ASSERT_LT(static_cast<size_t>(GetParam()), plans.size());
+  const JoinPlanSpec& plan = plans[static_cast<size_t>(GetParam())];
+
+  auto executor = CreateJoinExecutor(plan, bench().resources());
+  ASSERT_TRUE(executor.ok()) << plan.Describe();
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    options.seed_values = bench().ZgjnSeeds(3);
+  }
+  auto result = (*executor)->Run(options);
+  ASSERT_TRUE(result.ok()) << plan.Describe() << ": "
+                           << result.status().ToString();
+  const TrajectoryPoint& f = result->final_point;
+
+  // Processed docs never exceed retrieved docs or the database size.
+  EXPECT_LE(f.docs_processed1, f.docs_retrieved1);
+  EXPECT_LE(f.docs_processed2, f.docs_retrieved2);
+  EXPECT_LE(f.docs_processed1, bench().database1().size());
+  EXPECT_LE(f.docs_processed2, bench().database2().size());
+  // Producing docs bounded by processed docs; extractions bounded below by
+  // producing docs.
+  EXPECT_LE(f.docs_with_extraction1, f.docs_processed1);
+  EXPECT_LE(f.docs_with_extraction2, f.docs_processed2);
+  EXPECT_GE(f.extracted1, f.docs_with_extraction1);
+  EXPECT_GE(f.extracted2, f.docs_with_extraction2);
+  // Simulated time is positive iff any work happened, and exhaustion holds.
+  EXPECT_GT(f.seconds, 0.0);
+  EXPECT_TRUE(result->exhausted);
+  // Ground-truth recount: the state's counters match a brute-force join of
+  // its per-value counts.
+  int64_t good = 0;
+  int64_t bad = 0;
+  for (const auto& [value, c1] : result->state.value_counts(0)) {
+    const auto it = result->state.value_counts(1).find(value);
+    if (it == result->state.value_counts(1).end()) continue;
+    good += c1.good * it->second.good;
+    bad += c1.good * it->second.bad + c1.bad * it->second.total();
+  }
+  EXPECT_EQ(f.good_join_tuples, good) << plan.Describe();
+  EXPECT_EQ(f.bad_join_tuples, bad) << plan.Describe();
+}
+
+// Sweep a representative stratified subset of the 64-plan space (all
+// algorithms, all strategies, both theta mixes) to keep runtime modest.
+INSTANTIATE_TEST_SUITE_P(Stratified, PlanSweepTest,
+                         ::testing::Values(0, 3, 7, 10, 13, 15, 16, 19, 25, 31,
+                                           32, 38, 44, 47, 48, 54, 60, 63));
+
+}  // namespace
+}  // namespace iejoin

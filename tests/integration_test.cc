@@ -1,0 +1,387 @@
+// End-to-end integration tests: full workbench pipeline, oracle model
+// parameters, model-vs-execution agreement, optimizer choices validated by
+// actual executions, zig-zag graph construction, and the adaptive executor.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "join/zigzag_graph.h"
+#include "model/join_models.h"
+#include "optimizer/adaptive_executor.h"
+
+namespace iejoin {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinExecutionResult RunToExhaustion(const JoinPlanSpec& plan) {
+    auto executor = CreateJoinExecutor(plan, bench().resources());
+    EXPECT_TRUE(executor.ok());
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kExhaustion;
+    if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
+      options.seed_values = bench().ZgjnSeeds(3);
+    }
+    auto result = (*executor)->Run(options);
+    EXPECT_TRUE(result.ok());
+    return std::move(result.value());
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* IntegrationTest::bench_ = nullptr;
+
+// --------------------------------------------------------------------------
+// Workbench wiring
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, TrainingAndEvaluationShareVocabulary) {
+  EXPECT_EQ(bench().scenario().vocabulary.get(),
+            bench().training_scenario().vocabulary.get());
+  EXPECT_EQ(bench().scenario().vocabulary.get(),
+            bench().validation_scenario().vocabulary.get());
+}
+
+TEST_F(IntegrationTest, KnobCurvesAreUsable) {
+  // tp(0.4) decently high, fp(0.8) small: the knob trade-off the paper's
+  // plan space exploits exists.
+  EXPECT_GT(bench().knobs1().TruePositiveRate(0.4), 0.6);
+  EXPECT_LT(bench().knobs1().FalsePositiveRate(0.8), 0.2);
+  EXPECT_GT(bench().knobs1().TruePositiveRate(0.4),
+            bench().knobs1().TruePositiveRate(0.8));
+}
+
+TEST_F(IntegrationTest, ZgjnSeedsAreSharedGoodValues) {
+  const auto seeds = bench().ZgjnSeeds(3);
+  ASSERT_EQ(seeds.size(), 3u);
+  const auto& t1 = bench().scenario().corpus1->ground_truth().value_frequencies;
+  for (TokenId v : seeds) {
+    ASSERT_TRUE(t1.count(v));
+    EXPECT_GT(t1.at(v).good, 0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Oracle parameters
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, OracleParamsMatchGroundTruth) {
+  auto params = bench().OracleParams(0.4, 0.4, /*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(params.ok()) << params.status().ToString();
+  const auto& truth = bench().scenario().corpus1->ground_truth();
+  EXPECT_EQ(params->relation1.num_documents, bench().database1().size());
+  EXPECT_EQ(params->relation1.num_good_docs,
+            static_cast<int64_t>(truth.good_docs.size()));
+  EXPECT_EQ(params->relation1.num_good_values, truth.num_good_values);
+  EXPECT_NEAR(params->relation1.good_freq.mean,
+              static_cast<double>(truth.total_good_occurrences) /
+                  static_cast<double>(truth.num_good_values),
+              1e-9);
+  EXPECT_EQ(params->num_agg,
+            static_cast<int64_t>(bench().scenario().values_gg.size()));
+  EXPECT_GT(params->relation1.tp, params->relation1.fp);
+  EXPECT_GT(params->relation1.mean_query_hits, 0.0);
+  EXPECT_GT(params->relation1.aqg_good_occ_boost, 0.5);
+  EXPECT_FALSE(params->relation1.aqg_queries.empty());
+}
+
+TEST_F(IntegrationTest, OracleParamsThetaChangesOnlyKnobRates) {
+  auto loose = bench().OracleParams(0.4, 0.4, false);
+  auto strict = bench().OracleParams(0.8, 0.8, false);
+  ASSERT_TRUE(loose.ok() && strict.ok());
+  EXPECT_GT(loose->relation1.tp, strict->relation1.tp);
+  EXPECT_GT(loose->relation1.fp, strict->relation1.fp);
+  EXPECT_EQ(loose->relation1.num_good_docs, strict->relation1.num_good_docs);
+  EXPECT_EQ(loose->num_abb, strict->num_abb);
+}
+
+// --------------------------------------------------------------------------
+// Model vs actual execution
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, IdjnModelTracksExecution) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  const JoinExecutionResult actual = RunToExhaustion(plan);
+  auto params = bench().OracleParams(0.4, 0.4, false);
+  ASSERT_TRUE(params.ok());
+  const QualityEstimate est = EstimateIdjn(
+      *params, plan.retrieval1, plan.retrieval2,
+      PlanEffort{bench().database1().size(), bench().database2().size()},
+      bench().config().costs, bench().config().costs);
+  // Within a factor of 1.6 at full effort (Small corpora are noisy).
+  const double good_ratio =
+      est.expected_good / static_cast<double>(actual.final_point.good_join_tuples);
+  const double bad_ratio =
+      est.expected_bad / static_cast<double>(actual.final_point.bad_join_tuples);
+  EXPECT_GT(good_ratio, 1.0 / 1.6);
+  EXPECT_LT(good_ratio, 1.6);
+  EXPECT_GT(bad_ratio, 1.0 / 1.6);
+  EXPECT_LT(bad_ratio, 1.6);
+  // Predicted time is exact for scan/scan.
+  EXPECT_NEAR(est.seconds, actual.final_point.seconds, 1e-6);
+}
+
+TEST_F(IntegrationTest, OijnModelTracksExecution) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.outer_is_relation1 = true;
+  plan.retrieval1 = RetrievalStrategyKind::kScan;
+  const JoinExecutionResult actual = RunToExhaustion(plan);
+  auto params = bench().OracleParams(0.4, 0.4, false);
+  ASSERT_TRUE(params.ok());
+  const QualityEstimate est =
+      EstimateOijn(*params, true, RetrievalStrategyKind::kScan,
+                   bench().database1().size(), bench().config().costs,
+                   bench().config().costs);
+  const double good_ratio =
+      est.expected_good / static_cast<double>(actual.final_point.good_join_tuples);
+  EXPECT_GT(good_ratio, 0.5);
+  EXPECT_LT(good_ratio, 2.0);
+  // Predicted probe count within a factor of 2 of the real one.
+  const double probe_ratio =
+      est.queries2 / static_cast<double>(actual.final_point.queries2);
+  EXPECT_GT(probe_ratio, 0.5);
+  EXPECT_LT(probe_ratio, 2.0);
+}
+
+TEST_F(IntegrationTest, ZgjnModelSaturationCoversExecutionReach) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kZigZag;
+  plan.theta1 = plan.theta2 = 0.4;
+  const JoinExecutionResult actual = RunToExhaustion(plan);
+  auto params = bench().OracleParams(0.4, 0.4, /*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(params.ok());
+  const auto points = SimulateZgjn(*params, 3, 64, bench().config().costs,
+                                   bench().config().costs);
+  ASSERT_FALSE(points.empty());
+  // The no-stall model reaches at least as far as the real execution.
+  EXPECT_GE(points.back().docs1 + points.back().docs2,
+            0.9 * static_cast<double>(actual.final_point.docs_retrieved1 +
+                                      actual.final_point.docs_retrieved2));
+}
+
+// --------------------------------------------------------------------------
+// Zig-zag graph
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, ZigZagGraphInvariants) {
+  const auto extractor = bench().extractor1().WithTheta(0.4);
+  auto graph = ZigZagGraphSide::Build(bench().database1(), *extractor);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_GT(graph->num_attribute_nodes(), 0);
+  EXPECT_GT(graph->num_document_nodes(), 0);
+  // Generate edges sum to the per-document degrees.
+  int64_t degree_sum = 0;
+  for (const auto& [doc, degree] : graph->generate_degree()) degree_sum += degree;
+  EXPECT_EQ(degree_sum, graph->num_generate_edges());
+  // Hit degrees are top-k capped.
+  for (const auto& [value, degree] : graph->hit_degree()) {
+    EXPECT_GE(degree, 1);
+    EXPECT_LE(degree, bench().database1().max_results_per_query());
+  }
+  // Documents + barren docs cover the whole database.
+  EXPECT_EQ(graph->num_document_nodes() + graph->num_barren_documents(),
+            bench().database1().size());
+  auto pak = graph->HitsPerAttribute();
+  auto pdk = graph->AttributesPerDocument();
+  ASSERT_TRUE(pak.ok() && pdk.ok());
+  EXPECT_GT(pak->Mean(), 0.0);
+  EXPECT_GT(pdk->Mean(), 0.0);
+  EXPECT_GT(pdk->Pmf(0), 0.0);  // barren documents put mass at zero
+}
+
+TEST_F(IntegrationTest, StricterThetaShrinksZigZagGraph) {
+  const auto loose = bench().extractor1().WithTheta(0.2);
+  const auto strict = bench().extractor1().WithTheta(0.8);
+  auto g_loose = ZigZagGraphSide::Build(bench().database1(), *loose);
+  auto g_strict = ZigZagGraphSide::Build(bench().database1(), *strict);
+  ASSERT_TRUE(g_loose.ok() && g_strict.ok());
+  EXPECT_LT(g_strict->num_attribute_nodes(), g_loose->num_attribute_nodes());
+  EXPECT_LT(g_strict->num_generate_edges(), g_loose->num_generate_edges());
+}
+
+// --------------------------------------------------------------------------
+// Optimizer end-to-end
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, OptimizerChoiceActuallyMeetsRequirement) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  const QualityAwareOptimizer optimizer(*inputs, PlanEnumerationOptions());
+  QualityRequirement req;
+  req.min_good_tuples = 30;
+  req.max_bad_tuples = 3000;
+  auto choice = optimizer.ChoosePlan(req);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  // Execute the chosen plan with the oracle stopping rule and verify it
+  // delivers.
+  auto executor = CreateJoinExecutor(choice->plan, bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement = req;
+  if (choice->plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    options.seed_values = bench().ZgjnSeeds(3);
+  }
+  auto result = (*executor)->Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->requirement_met)
+      << "chosen plan " << choice->plan.Describe() << " produced "
+      << result->final_point.good_join_tuples << " good / "
+      << result->final_point.bad_join_tuples << " bad";
+}
+
+TEST_F(IntegrationTest, OptimizerPrefersCheapPlansForTinyRequirements) {
+  auto inputs = bench().OracleOptimizerInputs(true);
+  ASSERT_TRUE(inputs.ok());
+  const QualityAwareOptimizer optimizer(*inputs, PlanEnumerationOptions());
+  QualityRequirement tiny;
+  tiny.min_good_tuples = 2;
+  tiny.max_bad_tuples = 100;
+  QualityRequirement big;
+  big.min_good_tuples = 200;
+  big.max_bad_tuples = 1000000;
+  auto tiny_choice = optimizer.ChoosePlan(tiny);
+  auto big_choice = optimizer.ChoosePlan(big);
+  ASSERT_TRUE(tiny_choice.ok() && big_choice.ok());
+  EXPECT_LT(tiny_choice->estimate.seconds, big_choice->estimate.seconds);
+}
+
+// Parameterized sweep: for a grid of requirements, the optimizer's chosen
+// plan — when executed with the oracle stop — actually delivers, or the
+// optimizer honestly declines.
+class RequirementSweepTest
+    : public IntegrationTest,
+      public ::testing::WithParamInterface<std::pair<int64_t, int64_t>> {};
+
+TEST_P(RequirementSweepTest, ChosenPlanDeliversOrOptimizerDeclines) {
+  const auto [tau_g, tau_b] = GetParam();
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(inputs.ok());
+  const QualityAwareOptimizer optimizer(*inputs, PlanEnumerationOptions());
+  QualityRequirement req;
+  req.min_good_tuples = tau_g;
+  req.max_bad_tuples = tau_b;
+  const auto choice = optimizer.ChoosePlan(req);
+  if (!choice.ok()) {
+    // Declining is acceptable only when the requirement is genuinely hard:
+    // the margin-free model must also find the plan space thin.
+    OptimizerInputs no_margin = *inputs;
+    no_margin.good_margin = 1.0;
+    const auto retry =
+        QualityAwareOptimizer(no_margin, PlanEnumerationOptions()).ChoosePlan(req);
+    if (retry.ok()) {
+      GTEST_SKIP() << "declined within the robustness margin";
+    }
+    SUCCEED();
+    return;
+  }
+  auto executor = CreateJoinExecutor(choice->plan, bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement = req;
+  if (choice->plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    options.seed_values = bench().ZgjnSeeds(3);
+  }
+  auto result = (*executor)->Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->requirement_met)
+      << choice->plan.Describe() << " produced "
+      << result->final_point.good_join_tuples << " good / "
+      << result->final_point.bad_join_tuples << " bad for (" << tau_g << ", "
+      << tau_b << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauGrid, RequirementSweepTest,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(2, 60),
+                      std::make_pair<int64_t, int64_t>(8, 200),
+                      std::make_pair<int64_t, int64_t>(20, 600),
+                      std::make_pair<int64_t, int64_t>(50, 2000),
+                      std::make_pair<int64_t, int64_t>(120, 4000),
+                      std::make_pair<int64_t, int64_t>(250, 10000)));
+
+// --------------------------------------------------------------------------
+// Adaptive executor
+// --------------------------------------------------------------------------
+
+TEST_F(IntegrationTest, AdaptiveExecutorRunsAndReports) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok());
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;  // adaptive seeds are probe-derived
+  AdaptiveJoinExecutor adaptive(bench().resources(), *inputs, enum_options);
+  AdaptiveOptions options;
+  options.requirement.min_good_tuples = 25;
+  options.requirement.max_bad_tuples = 100000;
+  options.initial_plan.algorithm = JoinAlgorithmKind::kIndependent;
+  options.initial_plan.theta1 = options.initial_plan.theta2 = 0.4;
+  options.initial_plan.retrieval1 = options.initial_plan.retrieval2 =
+      RetrievalStrategyKind::kScan;
+  options.reestimate_every_docs = 300;
+  options.min_docs_for_estimate = 600;
+  options.estimator.mixture.max_frequency = 100;
+  auto result = adaptive.Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->phases.empty());
+  EXPECT_GT(result->total_seconds, 0.0);
+  EXPECT_TRUE(result->has_estimate);
+  // The estimate-driven stop should deliver the requirement (with oracle
+  // verification) or have exhausted the final phase trying.
+  EXPECT_TRUE(result->requirement_met || result->phases.back().exhausted);
+  // Estimated parameters are in a sane range of the truth.
+  const auto& truth = bench().scenario().corpus1->ground_truth();
+  const double true_values =
+      static_cast<double>(truth.num_good_values + truth.num_bad_values);
+  const double est_values =
+      static_cast<double>(result->final_estimate.relation1.num_good_values +
+                          result->final_estimate.relation1.num_bad_values);
+  EXPECT_GT(est_values, true_values / 4.0);
+  EXPECT_LT(est_values, true_values * 4.0);
+}
+
+TEST_F(IntegrationTest, FullPipelineIsDeterministic) {
+  WorkbenchConfig config;
+  config.scenario = ScenarioSpec::Small();
+  auto bench2 = Workbench::Create(config);
+  ASSERT_TRUE(bench2.ok());
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kFilteredScan;
+  auto e1 = CreateJoinExecutor(plan, bench().resources());
+  auto e2 = CreateJoinExecutor(plan, (*bench2)->resources());
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  auto r1 = (*e1)->Run(options);
+  auto r2 = (*e2)->Run(options);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->final_point.good_join_tuples, r2->final_point.good_join_tuples);
+  EXPECT_EQ(r1->final_point.bad_join_tuples, r2->final_point.bad_join_tuples);
+  EXPECT_DOUBLE_EQ(r1->final_point.seconds, r2->final_point.seconds);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,493 @@
+// Tests for the three join algorithms (IDJN, OIJN, ZGJN): execution
+// semantics, stopping rules, cost accounting, and trajectory invariants.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "join/join_executor.h"
+
+namespace iejoin {
+namespace {
+
+class JoinExecutorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec IdjnScanPlan() {
+    JoinPlanSpec plan;
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+    plan.theta1 = 0.4;
+    plan.theta2 = 0.4;
+    plan.retrieval1 = RetrievalStrategyKind::kScan;
+    plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  static JoinExecutionResult RunPlan(const JoinPlanSpec& plan,
+                                     JoinExecutionOptions options) {
+    auto executor = CreateJoinExecutor(plan, bench().resources());
+    EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+    if (plan.algorithm == JoinAlgorithmKind::kZigZag &&
+        options.seed_values.empty()) {
+      options.seed_values = bench().ZgjnSeeds(3);
+    }
+    auto result = (*executor)->Run(options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result.value());
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* JoinExecutorTest::bench_ = nullptr;
+
+// --------------------------------------------------------------------------
+// Plan descriptions
+// --------------------------------------------------------------------------
+
+TEST(JoinTypesTest, AlgorithmNames) {
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithmKind::kIndependent), "IDJN");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithmKind::kOuterInner), "OIJN");
+  EXPECT_STREQ(JoinAlgorithmName(JoinAlgorithmKind::kZigZag), "ZGJN");
+}
+
+TEST(JoinTypesTest, DescribeMentionsComponents) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.retrieval1 = RetrievalStrategyKind::kFilteredScan;
+  plan.retrieval2 = RetrievalStrategyKind::kAutomaticQueryGeneration;
+  const std::string desc = plan.Describe();
+  EXPECT_NE(desc.find("IDJN"), std::string::npos);
+  EXPECT_NE(desc.find("FS"), std::string::npos);
+  EXPECT_NE(desc.find("AQG"), std::string::npos);
+}
+
+TEST(JoinTypesTest, RequirementMetBy) {
+  QualityRequirement req;
+  req.min_good_tuples = 10;
+  req.max_bad_tuples = 5;
+  EXPECT_TRUE(req.MetBy(10, 5));
+  EXPECT_TRUE(req.MetBy(11, 0));
+  EXPECT_FALSE(req.MetBy(9, 0));
+  EXPECT_FALSE(req.MetBy(10, 6));
+}
+
+// --------------------------------------------------------------------------
+// IDJN
+// --------------------------------------------------------------------------
+
+TEST_F(JoinExecutorTest, IdjnExhaustionProcessesEverything) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.final_point.docs_processed1, bench().database1().size());
+  EXPECT_EQ(result.final_point.docs_processed2, bench().database2().size());
+  EXPECT_GT(result.final_point.good_join_tuples, 0);
+  EXPECT_GT(result.final_point.bad_join_tuples, 0);
+}
+
+TEST_F(JoinExecutorTest, IdjnDeterministicAcrossRuns) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult a = RunPlan(IdjnScanPlan(), options);
+  const JoinExecutionResult b = RunPlan(IdjnScanPlan(), options);
+  EXPECT_EQ(a.final_point.good_join_tuples, b.final_point.good_join_tuples);
+  EXPECT_EQ(a.final_point.bad_join_tuples, b.final_point.bad_join_tuples);
+  EXPECT_DOUBLE_EQ(a.final_point.seconds, b.final_point.seconds);
+}
+
+TEST_F(JoinExecutorTest, IdjnOracleStopMeetsRequirement) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement.min_good_tuples = 5;
+  options.requirement.max_bad_tuples = 1000000;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  EXPECT_TRUE(result.requirement_met);
+  EXPECT_GE(result.final_point.good_join_tuples, 5);
+  // It stopped early, well before exhaustion.
+  EXPECT_LT(result.final_point.docs_processed1, bench().database1().size());
+}
+
+TEST_F(JoinExecutorTest, IdjnOracleStopOnBadOverflow) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement.min_good_tuples = 1000000;  // unreachable
+  options.requirement.max_bad_tuples = 10;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  EXPECT_FALSE(result.requirement_met);
+  EXPECT_GT(result.final_point.bad_join_tuples, 10);
+  EXPECT_FALSE(result.exhausted);
+}
+
+TEST_F(JoinExecutorTest, IdjnTimeMatchesCostModel) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  const CostModel& costs = bench().config().costs;
+  const double expected =
+      static_cast<double>(result.final_point.docs_retrieved1 +
+                          result.final_point.docs_retrieved2) *
+          costs.retrieve_seconds +
+      static_cast<double>(result.final_point.docs_processed1 +
+                          result.final_point.docs_processed2) *
+          costs.extract_seconds;
+  EXPECT_NEAR(result.final_point.seconds, expected, 1e-6);
+}
+
+TEST_F(JoinExecutorTest, IdjnRectangleRatioAdvancesSidesUnevenly) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement.min_good_tuples = 10;
+  options.docs_per_round1 = 4;
+  options.docs_per_round2 = 1;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  EXPECT_GT(result.final_point.docs_processed1,
+            2 * result.final_point.docs_processed2);
+}
+
+TEST_F(JoinExecutorTest, IdjnCallbackStops) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kCallback;
+  int calls = 0;
+  options.stop_callback = [&calls](const TrajectoryPoint& p, const JoinState&) {
+    ++calls;
+    return p.docs_processed1 + p.docs_processed2 >= 50;
+  };
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  EXPECT_GT(calls, 0);
+  EXPECT_GE(result.final_point.docs_processed1 + result.final_point.docs_processed2,
+            50);
+  EXPECT_LE(result.final_point.docs_processed1 + result.final_point.docs_processed2,
+            52);
+}
+
+TEST_F(JoinExecutorTest, CallbackRuleRequiresCallback) {
+  auto executor = CreateJoinExecutor(IdjnScanPlan(), bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kCallback;
+  EXPECT_FALSE((*executor)->Run(options).ok());
+}
+
+TEST_F(JoinExecutorTest, ExecutorsAreSingleUse) {
+  auto executor = CreateJoinExecutor(IdjnScanPlan(), bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement.min_good_tuples = 1;
+  ASSERT_TRUE((*executor)->Run(options).ok());
+  EXPECT_FALSE((*executor)->Run(options).ok());
+}
+
+TEST_F(JoinExecutorTest, TrajectoryIsMonotone) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  options.snapshot_every_docs = 8;
+  const JoinExecutionResult result = RunPlan(IdjnScanPlan(), options);
+  ASSERT_GT(result.trajectory.size(), 3u);
+  for (size_t i = 1; i < result.trajectory.size(); ++i) {
+    const TrajectoryPoint& prev = result.trajectory[i - 1];
+    const TrajectoryPoint& cur = result.trajectory[i];
+    EXPECT_GE(cur.docs_processed1, prev.docs_processed1);
+    EXPECT_GE(cur.docs_processed2, prev.docs_processed2);
+    EXPECT_GE(cur.good_join_tuples, prev.good_join_tuples);
+    EXPECT_GE(cur.bad_join_tuples, prev.bad_join_tuples);
+    EXPECT_GE(cur.seconds, prev.seconds);
+  }
+}
+
+TEST_F(JoinExecutorTest, InvalidOptionsRejected) {
+  auto executor = CreateJoinExecutor(IdjnScanPlan(), bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.snapshot_every_docs = 0;
+  EXPECT_FALSE((*executor)->Run(options).ok());
+
+  auto executor2 = CreateJoinExecutor(IdjnScanPlan(), bench().resources());
+  ASSERT_TRUE(executor2.ok());
+  JoinExecutionOptions options2;
+  options2.docs_per_round1 = 0;
+  EXPECT_FALSE((*executor2)->Run(options2).ok());
+}
+
+// --------------------------------------------------------------------------
+// OIJN
+// --------------------------------------------------------------------------
+
+JoinPlanSpec OijnPlan(bool outer_is_r1 = true) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  plan.theta1 = 0.4;
+  plan.theta2 = 0.4;
+  plan.outer_is_relation1 = outer_is_r1;
+  plan.retrieval1 = RetrievalStrategyKind::kScan;
+  plan.retrieval2 = RetrievalStrategyKind::kScan;
+  return plan;
+}
+
+TEST_F(JoinExecutorTest, OijnScansOuterQueriesInner) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(OijnPlan(), options);
+  EXPECT_TRUE(result.exhausted);
+  // Outer side fully scanned, no queries on it.
+  EXPECT_EQ(result.final_point.docs_processed1, bench().database1().size());
+  EXPECT_EQ(result.final_point.queries1, 0);
+  // Inner side driven purely by queries; reaches only part of the database.
+  EXPECT_GT(result.final_point.queries2, 0);
+  EXPECT_LT(result.final_point.docs_processed2, bench().database2().size());
+}
+
+TEST_F(JoinExecutorTest, OijnProbesOncePerDistinctValue) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(OijnPlan(), options);
+  // Queries == distinct join values extracted on the outer side.
+  EXPECT_EQ(result.final_point.queries2,
+            static_cast<int64_t>(result.state.value_counts(0).size()));
+}
+
+TEST_F(JoinExecutorTest, OijnOuterCanBeRelation2) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(OijnPlan(/*outer_is_r1=*/false), options);
+  EXPECT_EQ(result.final_point.docs_processed2, bench().database2().size());
+  EXPECT_GT(result.final_point.queries1, 0);
+  EXPECT_EQ(result.final_point.queries2, 0);
+}
+
+TEST_F(JoinExecutorTest, OijnFindsFewerBadTuplesThanIdjnAtSameGood) {
+  // OIJN focuses inner effort on joining values; compare compositions at
+  // the same good-tuple milestone.
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement.min_good_tuples = 20;
+  const JoinExecutionResult idjn = RunPlan(IdjnScanPlan(), options);
+  const JoinExecutionResult oijn = RunPlan(OijnPlan(), options);
+  ASSERT_TRUE(idjn.final_point.good_join_tuples >= 20);
+  ASSERT_TRUE(oijn.final_point.good_join_tuples >= 20);
+  // OIJN reaches the milestone processing far fewer documents overall.
+  EXPECT_LT(oijn.final_point.docs_processed1 + oijn.final_point.docs_processed2,
+            idjn.final_point.docs_processed1 + idjn.final_point.docs_processed2);
+}
+
+// --------------------------------------------------------------------------
+// ZGJN
+// --------------------------------------------------------------------------
+
+JoinPlanSpec ZgjnPlan() {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kZigZag;
+  plan.theta1 = 0.4;
+  plan.theta2 = 0.4;
+  return plan;
+}
+
+TEST_F(JoinExecutorTest, ZgjnRequiresSeeds) {
+  auto executor = CreateJoinExecutor(ZgjnPlan(), bench().resources());
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;  // no seeds
+  EXPECT_FALSE((*executor)->Run(options).ok());
+}
+
+TEST_F(JoinExecutorTest, ZgjnSpreadsFromSeeds) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(ZgjnPlan(), options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_GT(result.final_point.queries1, 0);
+  EXPECT_GT(result.final_point.queries2, 0);
+  EXPECT_GT(result.final_point.docs_processed1, 0);
+  EXPECT_GT(result.final_point.docs_processed2, 0);
+  EXPECT_GT(result.final_point.good_join_tuples, 0);
+}
+
+TEST_F(JoinExecutorTest, ZgjnIsBoundedByQueryReach) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(ZgjnPlan(), options);
+  // The query interface limits the reachable space (gray circles of
+  // Figure 6): ZGJN cannot touch the whole database.
+  EXPECT_LT(result.final_point.docs_processed1, bench().database1().size());
+  EXPECT_LT(result.final_point.docs_processed2, bench().database2().size());
+}
+
+TEST_F(JoinExecutorTest, ZgjnQueriesAreDeduplicated) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  // Duplicate seeds must collapse.
+  auto seeds = bench().ZgjnSeeds(2);
+  seeds.push_back(seeds[0]);
+  seeds.push_back(seeds[1]);
+  options.seed_values = seeds;
+  const JoinExecutionResult result = RunPlan(ZgjnPlan(), options);
+  // Queries to D1 bounded by distinct values ever enqueued; in particular
+  // the duplicated seeds must not add queries.
+  JoinExecutionOptions options2;
+  options2.stop_rule = StopRule::kExhaustion;
+  options2.seed_values = bench().ZgjnSeeds(2);
+  const JoinExecutionResult result2 = RunPlan(ZgjnPlan(), options2);
+  EXPECT_EQ(result.final_point.queries1, result2.final_point.queries1);
+}
+
+TEST_F(JoinExecutorTest, ZgjnChargesQueriesAndDocs) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult result = RunPlan(ZgjnPlan(), options);
+  const CostModel& costs = bench().config().costs;
+  const double expected =
+      static_cast<double>(result.final_point.docs_retrieved1 +
+                          result.final_point.docs_retrieved2) *
+          costs.retrieve_seconds +
+      static_cast<double>(result.final_point.docs_processed1 +
+                          result.final_point.docs_processed2) *
+          costs.extract_seconds +
+      static_cast<double>(result.final_point.queries1 +
+                          result.final_point.queries2) *
+          costs.query_seconds;
+  EXPECT_NEAR(result.final_point.seconds, expected, 1e-6);
+}
+
+// --------------------------------------------------------------------------
+// ZGJN focusing extensions (paper future work)
+// --------------------------------------------------------------------------
+
+TEST_F(JoinExecutorTest, ZgjnConfidencePriorityKeepsReachChangesOrder) {
+  // Priority ordering changes *when* values are queried, not *which* are
+  // reachable: the endpoint matches plain ZGJN while the trajectory
+  // differs. (Its early-quality benefit is demonstrated at paper scale by
+  // bench/ablation_zgjn_focus; it is not guaranteed on tiny corpora.)
+  JoinExecutionOptions plain;
+  plain.stop_rule = StopRule::kExhaustion;
+  plain.snapshot_every_docs = 4;
+  JoinExecutionOptions focused = plain;
+  focused.zgjn_confidence_priority = true;
+  const JoinExecutionResult r_plain = RunPlan(ZgjnPlan(), plain);
+  const JoinExecutionResult r_focused = RunPlan(ZgjnPlan(), focused);
+  EXPECT_EQ(r_plain.final_point.good_join_tuples,
+            r_focused.final_point.good_join_tuples);
+  EXPECT_EQ(r_plain.final_point.bad_join_tuples,
+            r_focused.final_point.bad_join_tuples);
+  EXPECT_EQ(r_plain.final_point.queries1 + r_plain.final_point.queries2,
+            r_focused.final_point.queries1 + r_focused.final_point.queries2);
+  // The traversal order differs somewhere along the trajectory.
+  bool differs = r_plain.trajectory.size() != r_focused.trajectory.size();
+  for (size_t i = 0; !differs && i < r_plain.trajectory.size(); ++i) {
+    differs = r_plain.trajectory[i].good_join_tuples !=
+              r_focused.trajectory[i].good_join_tuples;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(JoinExecutorTest, ZgjnConfidenceGatePrunesQueries) {
+  JoinExecutionOptions plain;
+  plain.stop_rule = StopRule::kExhaustion;
+  JoinExecutionOptions gated = plain;
+  gated.zgjn_min_confidence = 0.7;
+  const JoinExecutionResult r_plain = RunPlan(ZgjnPlan(), plain);
+  const JoinExecutionResult r_gated = RunPlan(ZgjnPlan(), gated);
+  EXPECT_LT(r_gated.final_point.queries1 + r_gated.final_point.queries2,
+            r_plain.final_point.queries1 + r_plain.final_point.queries2);
+  EXPECT_LE(r_gated.final_point.good_join_tuples,
+            r_plain.final_point.good_join_tuples);
+}
+
+TEST_F(JoinExecutorTest, ZgjnImpossibleGateStopsAtSeeds) {
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  options.zgjn_min_confidence = 1.1;  // nothing clears this
+  const JoinExecutionResult result = RunPlan(ZgjnPlan(), options);
+  // Only the seed queries run; no derived queries are enqueued.
+  EXPECT_EQ(result.final_point.queries1, 3);
+  EXPECT_EQ(result.final_point.queries2, 0);
+}
+
+TEST_F(JoinExecutorTest, ZgjnClassifierFilterReducesProcessingAndBadTuples) {
+  JoinExecutionOptions plain;
+  plain.stop_rule = StopRule::kExhaustion;
+  JoinExecutionOptions filtered = plain;
+  filtered.zgjn_classifier_filter = true;
+  const JoinExecutionResult r_plain = RunPlan(ZgjnPlan(), plain);
+  const JoinExecutionResult r_filtered = RunPlan(ZgjnPlan(), filtered);
+  EXPECT_LT(r_filtered.final_point.docs_processed1 +
+                r_filtered.final_point.docs_processed2,
+            r_plain.final_point.docs_processed1 +
+                r_plain.final_point.docs_processed2);
+  EXPECT_LT(r_filtered.final_point.bad_join_tuples,
+            r_plain.final_point.bad_join_tuples);
+  // Output precision improves.
+  const double p_plain =
+      static_cast<double>(r_plain.final_point.good_join_tuples) /
+      static_cast<double>(r_plain.final_point.good_join_tuples +
+                          r_plain.final_point.bad_join_tuples);
+  const double p_filtered =
+      static_cast<double>(r_filtered.final_point.good_join_tuples) /
+      static_cast<double>(r_filtered.final_point.good_join_tuples +
+                          r_filtered.final_point.bad_join_tuples);
+  EXPECT_GT(p_filtered, p_plain);
+}
+
+TEST_F(JoinExecutorTest, ZgjnFilterRequiresClassifiers) {
+  JoinResources resources = bench().resources();
+  resources.classifier1 = nullptr;
+  resources.classifier2 = nullptr;
+  auto executor = CreateJoinExecutor(ZgjnPlan(), resources);
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.seed_values = bench().ZgjnSeeds(3);
+  options.zgjn_classifier_filter = true;
+  EXPECT_FALSE((*executor)->Run(options).ok());
+}
+
+// --------------------------------------------------------------------------
+// Factory validation
+// --------------------------------------------------------------------------
+
+TEST_F(JoinExecutorTest, FactoryRejectsInvalidThetas) {
+  JoinPlanSpec plan = IdjnScanPlan();
+  plan.theta1 = -0.1;
+  EXPECT_FALSE(CreateJoinExecutor(plan, bench().resources()).ok());
+  plan = IdjnScanPlan();
+  plan.theta2 = 1.1;
+  EXPECT_FALSE(CreateJoinExecutor(plan, bench().resources()).ok());
+}
+
+TEST_F(JoinExecutorTest, FactoryRejectsIncompleteResources) {
+  JoinResources resources = bench().resources();
+  resources.database1 = nullptr;
+  EXPECT_FALSE(CreateJoinExecutor(IdjnScanPlan(), resources).ok());
+  resources = bench().resources();
+  resources.extractor2 = nullptr;
+  EXPECT_FALSE(CreateJoinExecutor(IdjnScanPlan(), resources).ok());
+}
+
+TEST_F(JoinExecutorTest, FactoryHonorsPlanKnobs) {
+  JoinPlanSpec strict = IdjnScanPlan();
+  strict.theta1 = 0.9;
+  strict.theta2 = 0.9;
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kExhaustion;
+  const JoinExecutionResult loose = RunPlan(IdjnScanPlan(), options);
+  const JoinExecutionResult tight = RunPlan(strict, options);
+  // Stricter knobs extract fewer occurrences and fewer bad join tuples.
+  EXPECT_LT(tight.final_point.extracted1, loose.final_point.extracted1);
+  EXPECT_LT(tight.final_point.bad_join_tuples, loose.final_point.bad_join_tuples);
+}
+
+}  // namespace
+}  // namespace iejoin

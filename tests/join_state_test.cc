@@ -1,0 +1,233 @@
+// Tests for the incremental ripple-join bookkeeping: JoinState's O(1)
+// updates must agree with a brute-force recomputation of the join.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "join/join_state.h"
+
+namespace iejoin {
+namespace {
+
+ExtractedTuple MakeTuple(TokenId join_value, TokenId second, bool good) {
+  ExtractedTuple t;
+  t.join_value = join_value;
+  t.second_value = second;
+  t.ground_truth_good = good;
+  return t;
+}
+
+TEST(JoinStateTest, EmptyStateHasNoTuples) {
+  JoinState state;
+  EXPECT_EQ(state.good_join_tuples(), 0);
+  EXPECT_EQ(state.bad_join_tuples(), 0);
+  EXPECT_EQ(state.extracted_occurrences(0), 0);
+  EXPECT_EQ(state.extracted_occurrences(1), 0);
+}
+
+TEST(JoinStateTest, GoodPairsOnlyWhenBothGood) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(1, 10, true));
+  state.AddTuple(1, MakeTuple(1, 20, true));
+  EXPECT_EQ(state.good_join_tuples(), 1);
+  EXPECT_EQ(state.bad_join_tuples(), 0);
+}
+
+TEST(JoinStateTest, GoodBadPairIsBad) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(1, 10, true));
+  state.AddTuple(1, MakeTuple(1, 20, false));
+  EXPECT_EQ(state.good_join_tuples(), 0);
+  EXPECT_EQ(state.bad_join_tuples(), 1);
+}
+
+TEST(JoinStateTest, BadBadPairIsBad) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(1, 10, false));
+  state.AddTuple(1, MakeTuple(1, 20, false));
+  EXPECT_EQ(state.bad_join_tuples(), 1);
+}
+
+TEST(JoinStateTest, DifferentValuesDoNotJoin) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(1, 10, true));
+  state.AddTuple(1, MakeTuple(2, 20, true));
+  EXPECT_EQ(state.total_join_tuples(), 0);
+}
+
+TEST(JoinStateTest, PaperFigure2Example) {
+  // R1 values: good {a, c}, bad {b, d, e}; R2: good {a, b}, bad {x, c, e}.
+  // |Tgood| = 1 (a-a), |Tbad| = 3 (b, c, e pairings).
+  JoinState state;
+  const TokenId a = 1, b = 2, c = 3, d = 4, e = 5, x = 6;
+  state.AddTuple(0, MakeTuple(a, 100, true));
+  state.AddTuple(0, MakeTuple(c, 100, true));
+  state.AddTuple(0, MakeTuple(b, 100, false));
+  state.AddTuple(0, MakeTuple(d, 100, false));
+  state.AddTuple(0, MakeTuple(e, 100, false));
+  state.AddTuple(1, MakeTuple(a, 200, true));
+  state.AddTuple(1, MakeTuple(b, 200, true));
+  state.AddTuple(1, MakeTuple(x, 200, false));
+  state.AddTuple(1, MakeTuple(c, 200, false));
+  state.AddTuple(1, MakeTuple(e, 200, false));
+  EXPECT_EQ(state.good_join_tuples(), 1);
+  EXPECT_EQ(state.bad_join_tuples(), 3);
+}
+
+TEST(JoinStateTest, OrderOfInsertionDoesNotMatter) {
+  std::vector<std::pair<int, ExtractedTuple>> inserts = {
+      {0, MakeTuple(1, 10, true)},  {1, MakeTuple(1, 20, true)},
+      {0, MakeTuple(1, 11, false)}, {1, MakeTuple(1, 21, false)},
+      {0, MakeTuple(2, 12, true)},  {1, MakeTuple(2, 22, false)},
+  };
+  JoinState forward;
+  for (const auto& [side, t] : inserts) forward.AddTuple(side, t);
+  JoinState backward;
+  for (auto it = inserts.rbegin(); it != inserts.rend(); ++it) {
+    backward.AddTuple(it->first, it->second);
+  }
+  EXPECT_EQ(forward.good_join_tuples(), backward.good_join_tuples());
+  EXPECT_EQ(forward.bad_join_tuples(), backward.bad_join_tuples());
+}
+
+// Property test: incremental counters match a brute-force O(n^2) recount on
+// random batches.
+class JoinStateRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinStateRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  JoinState state;
+  std::vector<ExtractedTuple> sides[2];
+  for (int step = 0; step < 400; ++step) {
+    const int side = static_cast<int>(rng.UniformInt(0, 1));
+    ExtractedTuple t = MakeTuple(static_cast<TokenId>(rng.UniformInt(1, 12)),
+                                 static_cast<TokenId>(rng.UniformInt(100, 120)),
+                                 rng.Bernoulli(0.4));
+    sides[side].push_back(t);
+    state.AddTuple(side, t);
+  }
+  int64_t good = 0;
+  int64_t bad = 0;
+  for (const auto& t1 : sides[0]) {
+    for (const auto& t2 : sides[1]) {
+      if (t1.join_value != t2.join_value) continue;
+      if (t1.ground_truth_good && t2.ground_truth_good) {
+        ++good;
+      } else {
+        ++bad;
+      }
+    }
+  }
+  EXPECT_EQ(state.good_join_tuples(), good);
+  EXPECT_EQ(state.bad_join_tuples(), bad);
+  EXPECT_EQ(state.extracted_occurrences(0), static_cast<int64_t>(sides[0].size()));
+  EXPECT_EQ(state.extracted_occurrences(1), static_cast<int64_t>(sides[1].size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinStateRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(JoinStateTest, ValueCountsTrackPolarity) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(5, 1, true));
+  state.AddTuple(0, MakeTuple(5, 2, true));
+  state.AddTuple(0, MakeTuple(5, 3, false));
+  const auto& counts = state.value_counts(0);
+  ASSERT_TRUE(counts.count(5));
+  EXPECT_EQ(counts.at(5).good, 2);
+  EXPECT_EQ(counts.at(5).bad, 1);
+  EXPECT_EQ(counts.at(5).total(), 3);
+  EXPECT_EQ(state.good_occurrences(0), 2);
+}
+
+TEST(JoinStateTest, ObservedFrequenciesHideLabels) {
+  JoinState state;
+  state.AddTuple(1, MakeTuple(7, 1, true));
+  state.AddTuple(1, MakeTuple(7, 2, false));
+  const auto observed = state.ObservedFrequencies(1);
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed.at(7), 2);
+}
+
+TEST(JoinStateTest, MaterializesOutputTuples) {
+  JoinState state(/*max_output_tuples=*/10);
+  state.AddTuple(0, MakeTuple(1, 10, true));
+  state.AddTuple(1, MakeTuple(1, 20, true));
+  state.AddTuple(1, MakeTuple(1, 21, false));
+  ASSERT_EQ(state.output().size(), 2u);
+  // Output side attribution: second1 from side 0, second2 from side 1.
+  for (const JoinOutputTuple& t : state.output()) {
+    EXPECT_EQ(t.join_value, 1u);
+    EXPECT_EQ(t.second1, 10u);
+    EXPECT_TRUE(t.second2 == 20u || t.second2 == 21u);
+    EXPECT_EQ(t.is_good, t.second2 == 20u);
+  }
+  EXPECT_FALSE(state.output_truncated());
+}
+
+TEST(JoinStateTest, OutputCarriesConfidenceProduct) {
+  JoinState state(/*max_output_tuples=*/4);
+  ExtractedTuple a = MakeTuple(1, 10, true);
+  a.similarity = 0.8;
+  ExtractedTuple b = MakeTuple(1, 20, false);
+  b.similarity = 0.5;
+  state.AddTuple(0, a);
+  state.AddTuple(1, b);
+  ASSERT_EQ(state.output().size(), 1u);
+  EXPECT_NEAR(state.output()[0].confidence, 0.4, 1e-12);
+}
+
+TEST(JoinStateTest, ConfidenceCorrelatesWithGoodness) {
+  // High-confidence join tuples should be good more often: feed tuples
+  // whose similarity tracks goodness (the extractor's property) and check
+  // that precision among the top-confidence half beats the bottom half.
+  Rng rng(99);
+  JoinState state(/*max_output_tuples=*/100000);
+  for (int i = 0; i < 300; ++i) {
+    const bool good = rng.Bernoulli(0.5);
+    ExtractedTuple t = MakeTuple(static_cast<TokenId>(rng.UniformInt(1, 30)),
+                                 static_cast<TokenId>(rng.UniformInt(100, 130)),
+                                 good);
+    t.similarity = good ? 0.5 + 0.5 * rng.NextDouble() : 0.2 + 0.5 * rng.NextDouble();
+    state.AddTuple(i % 2, t);
+  }
+  std::vector<JoinOutputTuple> output = state.output();
+  ASSERT_GT(output.size(), 20u);
+  std::sort(output.begin(), output.end(),
+            [](const JoinOutputTuple& a, const JoinOutputTuple& b) {
+              return a.confidence > b.confidence;
+            });
+  auto precision = [&](size_t lo, size_t hi) {
+    int64_t good = 0;
+    for (size_t i = lo; i < hi; ++i) good += output[i].is_good ? 1 : 0;
+    return static_cast<double>(good) / static_cast<double>(hi - lo);
+  };
+  const size_t half = output.size() / 2;
+  EXPECT_GT(precision(0, half), precision(half, output.size()));
+}
+
+TEST(JoinStateTest, OutputTruncatesAtCap) {
+  JoinState state(/*max_output_tuples=*/3);
+  for (int i = 0; i < 5; ++i) {
+    state.AddTuple(0, MakeTuple(1, static_cast<TokenId>(10 + i), true));
+  }
+  state.AddTuple(1, MakeTuple(1, 99, true));  // joins with all 5
+  EXPECT_EQ(state.output().size(), 3u);
+  EXPECT_TRUE(state.output_truncated());
+  // Counters are NOT truncated.
+  EXPECT_EQ(state.good_join_tuples(), 5);
+}
+
+TEST(JoinStateTest, NoMaterializationByDefault) {
+  JoinState state;
+  state.AddTuple(0, MakeTuple(1, 10, true));
+  state.AddTuple(1, MakeTuple(1, 20, true));
+  EXPECT_TRUE(state.output().empty());
+  EXPECT_EQ(state.good_join_tuples(), 1);
+}
+
+}  // namespace
+}  // namespace iejoin

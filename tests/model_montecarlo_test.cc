@@ -1,0 +1,324 @@
+// Monte-Carlo validation of the Section V models: simulate the document
+// sampling + knob-thinned extraction processes directly (no corpora, no
+// executors) and compare empirical means/distributions against the model
+// formulas. These tests pin the math itself, independent of the synthetic
+// text substrate.
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "distributions/binomial.h"
+#include "model/join_models.h"
+#include "model/join_quality_model.h"
+#include "model/single_relation_model.h"
+
+namespace iejoin {
+namespace {
+
+constexpr int kTrials = 4000;
+
+/// Samples `sample` of `population` indices without replacement and returns
+/// how many of the first `marked` were hit.
+int64_t SampleMarked(int64_t population, int64_t sample, int64_t marked, Rng* rng) {
+  // Floyd-ish: for moderate sizes a shuffle prefix is fine.
+  std::vector<int32_t> idx(static_cast<size_t>(population));
+  std::iota(idx.begin(), idx.end(), 0);
+  rng->Shuffle(&idx);
+  int64_t hit = 0;
+  for (int64_t i = 0; i < sample; ++i) {
+    if (idx[static_cast<size_t>(i)] < marked) ++hit;
+  }
+  return hit;
+}
+
+TEST(MonteCarloModelTest, ScanGoodOccurrenceProbability) {
+  // One good value with frequency g=6 placed in 6 distinct good documents
+  // of a 400-document database; Scan retrieves 150 documents; extraction
+  // keeps each seen occurrence with tp=0.7.
+  RelationModelParams params;
+  params.num_documents = 400;
+  params.num_good_docs = 120;
+  params.num_bad_docs = 100;
+  params.tp = 0.7;
+  params.fp = 0.3;
+  params.bad_in_good_doc_fraction = 0.0;
+
+  Rng rng(404);
+  const int64_t g = 6;
+  double total = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    // The value's documents are 6 specific docs among 400; scanning 150
+    // random docs sees Hyper(400, 150, 6) of them.
+    const int64_t seen = SampleMarked(400, 150, g, &rng);
+    total += static_cast<double>(rng.Binomial(seen, params.tp));
+  }
+  const double empirical = total / kTrials;
+  const OccurrenceFactors f = ScanFactors(params, 150);
+  EXPECT_NEAR(empirical, ExpectedGoodFrequency(f, static_cast<double>(g)),
+              0.06 * ExpectedGoodFrequency(f, static_cast<double>(g)));
+}
+
+TEST(MonteCarloModelTest, ScanGoodDocsDistributionMatchesEmpirical) {
+  RelationModelParams params;
+  params.num_documents = 200;
+  params.num_good_docs = 60;
+  params.num_bad_docs = 50;
+  params.tp = 1.0;
+  params.fp = 1.0;
+
+  Rng rng(405);
+  std::vector<int64_t> samples;
+  samples.reserve(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    samples.push_back(SampleMarked(200, 80, 60, &rng));
+  }
+  const double emp_mean =
+      std::accumulate(samples.begin(), samples.end(), 0.0) / kTrials;
+  auto dist = ScanGoodDocsDistribution(params, 80);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(emp_mean, dist->Mean(), 0.03 * dist->Mean());
+  // Variance too (hypergeometric, not binomial).
+  double emp_var = 0.0;
+  for (int64_t s : samples) {
+    emp_var += (static_cast<double>(s) - emp_mean) * (static_cast<double>(s) - emp_mean);
+  }
+  emp_var /= kTrials;
+  EXPECT_NEAR(emp_var, dist->Variance(), 0.15 * dist->Variance());
+}
+
+TEST(MonteCarloModelTest, ExtractedFrequencyDistributionMatchesEmpirical) {
+  RelationModelParams params;
+  params.num_documents = 300;
+  params.num_good_docs = 90;
+  params.num_bad_docs = 80;
+  params.tp = 0.6;
+  params.fp = 0.2;
+
+  const int64_t g = 5;
+  const int64_t good_processed = 40;
+  Rng rng(406);
+  std::vector<double> hist(static_cast<size_t>(g) + 1, 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    const int64_t seen = SampleMarked(90, good_processed, g, &rng);
+    const int64_t kept = rng.Binomial(seen, params.tp);
+    hist[static_cast<size_t>(kept)] += 1.0 / kTrials;
+  }
+  auto dist = ExtractedFrequencyDistribution(params, good_processed, g);
+  ASSERT_TRUE(dist.ok());
+  for (int64_t l = 0; l <= g; ++l) {
+    EXPECT_NEAR(hist[static_cast<size_t>(l)], dist->Pmf(l), 0.025)
+        << "l=" << l;
+  }
+}
+
+TEST(MonteCarloModelTest, FilteredScanOccurrenceProbability) {
+  // Occurrence survives iff its document is scanned AND accepted by the
+  // classifier; with per-document-independent acceptance the
+  // occurrence-weighted and per-document rates coincide.
+  RelationModelParams params;
+  params.num_documents = 400;
+  params.num_good_docs = 120;
+  params.num_bad_docs = 100;
+  params.tp = 0.8;
+  params.fp = 0.4;
+  params.classifier_tp = 0.85;
+  params.classifier_fp = 0.25;
+  params.classifier_empty = 0.05;
+  params.classifier_good_occ = 0.85;  // == C_tp for independent acceptance
+  params.classifier_bad_occ = 0.25 * 0.6 + 0.85 * 0.4;  // rho = 0.4 mix
+  params.bad_in_good_doc_fraction = 0.4;
+
+  Rng rng(407);
+  const int64_t g = 5;
+  double total_good = 0.0;
+  double total_bad = 0.0;
+  const int64_t b = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    // Good occurrences: doc scanned (hyper over all docs), then accepted
+    // w.p. C_tp, then extracted w.p. tp.
+    const int64_t good_seen = SampleMarked(400, 200, g, &rng);
+    const int64_t good_accepted = rng.Binomial(good_seen, params.classifier_tp);
+    total_good += static_cast<double>(rng.Binomial(good_accepted, params.tp));
+    // Bad occurrences: 40% live in good docs (accepted at C_tp), the rest
+    // in bad docs (accepted at C_fp).
+    const int64_t bad_seen = SampleMarked(400, 200, b, &rng);
+    int64_t bad_accepted = 0;
+    for (int64_t i = 0; i < bad_seen; ++i) {
+      const bool in_good_doc = rng.Bernoulli(0.4);
+      bad_accepted += rng.Bernoulli(in_good_doc ? params.classifier_tp
+                                                : params.classifier_fp)
+                          ? 1
+                          : 0;
+    }
+    total_bad += static_cast<double>(rng.Binomial(bad_accepted, params.fp));
+  }
+  const OccurrenceFactors f = FilteredScanFactors(params, 200);
+  EXPECT_NEAR(total_good / kTrials, ExpectedGoodFrequency(f, static_cast<double>(g)),
+              0.07 * ExpectedGoodFrequency(f, static_cast<double>(g)));
+  EXPECT_NEAR(total_bad / kTrials, ExpectedBadFrequency(f, static_cast<double>(b)),
+              0.10 * ExpectedBadFrequency(f, static_cast<double>(b)));
+}
+
+TEST(MonteCarloModelTest, AqgCoverageMatchesEquation2) {
+  // 3 queries, each retrieving 30 docs at precision 0.5 over |Dg| = 100
+  // good docs. Simulate: each query independently retrieves 15 distinct
+  // good docs (uniform subset); a good doc is covered if any query hits it.
+  RelationModelParams params;
+  params.num_documents = 500;
+  params.num_good_docs = 100;
+  params.num_bad_docs = 150;
+  params.tp = 1.0;
+  params.fp = 1.0;
+  for (int i = 0; i < 3; ++i) params.aqg_queries.push_back(AqgQueryStat{0.5, 30.0});
+
+  Rng rng(408);
+  double covered_fraction = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<bool> covered(100, false);
+    for (int q = 0; q < 3; ++q) {
+      // 15 good docs per query (precision 0.5 of 30).
+      std::vector<int32_t> idx(100);
+      std::iota(idx.begin(), idx.end(), 0);
+      rng.Shuffle(&idx);
+      for (int i = 0; i < 15; ++i) covered[static_cast<size_t>(idx[i])] = true;
+    }
+    covered_fraction +=
+        static_cast<double>(std::count(covered.begin(), covered.end(), true)) /
+        100.0;
+  }
+  covered_fraction /= kTrials;
+  const OccurrenceFactors f = AqgFactors(params, 3);
+  // With tp = 1 the good-occurrence probability IS the Eq. 2 coverage.
+  EXPECT_NEAR(f.good_occurrence, covered_fraction, 0.01);
+}
+
+TEST(MonteCarloModelTest, OijnInnerFrequencyDistributionMatchesEmpirical) {
+  // A probed value with g = 5 documents among H = 60 query matches; the
+  // top-k interface returns 20 of them; documents missed directly may be
+  // reached by background coverage of 100 of 400 database documents; each
+  // reached occurrence is emitted with rate 0.7.
+  const int64_t g = 5, hits = 60, top_k = 20, background = 100, docs = 400;
+  const double rate = 0.7;
+  Rng rng(411);
+  std::vector<double> hist(static_cast<size_t>(g) + 1, 0.0);
+  double mean = 0.0;
+  for (int t = 0; t < kTrials; ++t) {
+    const int64_t direct = SampleMarked(hits, top_k, g, &rng);
+    const int64_t via_background =
+        rng.Binomial(g - direct, static_cast<double>(background) / docs);
+    const int64_t emitted = rng.Binomial(direct + via_background, rate);
+    hist[static_cast<size_t>(emitted)] += 1.0 / kTrials;
+    mean += static_cast<double>(emitted) / kTrials;
+  }
+  auto dist =
+      OijnInnerFrequencyDistribution(docs, g, hits, top_k, background, rate);
+  ASSERT_TRUE(dist.ok()) << dist.status().ToString();
+  EXPECT_NEAR(dist->Mean(), mean, 0.05 * mean);
+  for (int64_t l = 0; l <= g; ++l) {
+    EXPECT_NEAR(hist[static_cast<size_t>(l)], dist->Pmf(l), 0.025) << "l=" << l;
+  }
+  // The mean matches the collapsed form used by EstimateOijn:
+  // rate * g * (k/H + (1 - k/H) * background/docs).
+  const double direct_frac = static_cast<double>(top_k) / hits;
+  const double closed =
+      rate * g * (direct_frac + (1.0 - direct_frac) * background / static_cast<double>(docs));
+  EXPECT_NEAR(dist->Mean(), closed, 1e-9);
+}
+
+TEST(MonteCarloModelTest, OijnInnerDistributionValidatesArguments) {
+  EXPECT_FALSE(OijnInnerFrequencyDistribution(100, 5, 3, 10, 10, 0.5).ok());
+  EXPECT_FALSE(OijnInnerFrequencyDistribution(100, 5, 10, 10, 200, 0.5).ok());
+  EXPECT_FALSE(OijnInnerFrequencyDistribution(100, 5, 10, 10, 10, 1.5).ok());
+  // Top-k covering every match degenerates to pure binomial thinning.
+  auto dist = OijnInnerFrequencyDistribution(100, 4, 4, 10, 0, 0.5);
+  ASSERT_TRUE(dist.ok());
+  for (int64_t l = 0; l <= 4; ++l) {
+    EXPECT_NEAR(dist->Pmf(l), binomial::Pmf(4, l, 0.5), 1e-12);
+  }
+}
+
+TEST(MonteCarloModelTest, JoinCompositionMatchesBruteForce) {
+  // A full mini-universe: 30 shared good values (freqs iid uniform {1..4}
+  // per side), 20 values good in R1 / bad in R2, 40 bad in both. Extraction
+  // keeps good occurrences w.p. p1g/p2g and bad w.p. p1b/p2b. Compare the
+  // empirical mean join composition with ComposeJoin.
+  const double p1g = 0.6, p1b = 0.3, p2g = 0.5, p2b = 0.25;
+  Rng rng(409);
+
+  double good_sum = 0.0;
+  double bad_sum = 0.0;
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t) {
+    int64_t good = 0;
+    int64_t bad = 0;
+    auto pair_count = [&rng](double pa, double pb) {
+      const int64_t fa = rng.UniformInt(1, 4);
+      const int64_t fb = rng.UniformInt(1, 4);
+      return rng.Binomial(fa, pa) * rng.Binomial(fb, pb);
+    };
+    for (int v = 0; v < 30; ++v) good += pair_count(p1g, p2g);
+    for (int v = 0; v < 20; ++v) bad += pair_count(p1g, p2b);
+    for (int v = 0; v < 40; ++v) bad += pair_count(p1b, p2b);
+    good_sum += static_cast<double>(good);
+    bad_sum += static_cast<double>(bad);
+  }
+
+  JoinModelParams params;
+  params.num_agg = 30;
+  params.num_agb = 20;
+  params.num_abg = 0;
+  params.num_abb = 40;
+  params.relation1.good_freq = FrequencyMoments{2.5, 7.5};
+  params.relation1.bad_freq = FrequencyMoments{2.5, 7.5};
+  params.relation2.good_freq = FrequencyMoments{2.5, 7.5};
+  params.relation2.bad_freq = FrequencyMoments{2.5, 7.5};
+  OccurrenceFactors f1;
+  f1.good_occurrence = p1g;
+  f1.bad_occurrence = p1b;
+  OccurrenceFactors f2;
+  f2.good_occurrence = p2g;
+  f2.bad_occurrence = p2b;
+  const QualityEstimate est = ComposeJoin(params, f1, f2, CostModel(), CostModel());
+  EXPECT_NEAR(good_sum / trials, est.expected_good, 0.03 * est.expected_good);
+  EXPECT_NEAR(bad_sum / trials, est.expected_bad, 0.03 * est.expected_bad);
+}
+
+TEST(MonteCarloModelTest, IdenticalCouplingMatchesSharedFrequencies) {
+  // When both sides share the same per-value frequency (g1 = g2 = g), the
+  // identical-coupling composition E[g^2] is the right answer.
+  const double p = 0.7;
+  Rng rng(410);
+  double good_sum = 0.0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    int64_t good = 0;
+    for (int v = 0; v < 25; ++v) {
+      const int64_t f = rng.UniformInt(1, 5);
+      good += rng.Binomial(f, p) * rng.Binomial(f, p);
+    }
+    good_sum += static_cast<double>(good);
+  }
+  JoinModelParams params;
+  params.num_agg = 25;
+  params.coupling = FrequencyCoupling::kIdentical;
+  // freqs uniform {1..5}: E[f] = 3, E[f^2] = 11.
+  params.relation1.good_freq = FrequencyMoments{3.0, 11.0};
+  params.relation2.good_freq = FrequencyMoments{3.0, 11.0};
+  OccurrenceFactors f;
+  f.good_occurrence = p;
+  const QualityEstimate est = ComposeJoin(params, f, f, CostModel(), CostModel());
+  EXPECT_NEAR(good_sum / trials, est.expected_good, 0.03 * est.expected_good);
+  // The independent coupling would be wrong here (E[f]^2 = 9 < 11).
+  JoinModelParams wrong = params;
+  wrong.coupling = FrequencyCoupling::kIndependent;
+  const QualityEstimate bad_est = ComposeJoin(wrong, f, f, CostModel(), CostModel());
+  EXPECT_LT(bad_est.expected_good, 0.9 * est.expected_good);
+}
+
+}  // namespace
+}  // namespace iejoin

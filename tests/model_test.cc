@@ -1,0 +1,518 @@
+// Tests for the Section V analytical models: single-relation document
+// sampling, per-occurrence extraction factors, the general join-composition
+// scheme, per-algorithm join models, and the agreement between the
+// closed-form means and the full distributional forms.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "distributions/hypergeometric.h"
+#include "model/join_models.h"
+#include "model/join_quality_model.h"
+#include "model/model_params.h"
+#include "model/single_relation_model.h"
+
+namespace iejoin {
+namespace {
+
+RelationModelParams MakeRelation() {
+  RelationModelParams r;
+  r.num_documents = 1000;
+  r.num_good_docs = 300;
+  r.num_bad_docs = 350;
+  r.num_good_values = 80;
+  r.num_bad_values = 120;
+  r.good_freq.mean = 4.0;
+  r.good_freq.second_moment = 30.0;
+  r.bad_freq.mean = 6.0;
+  r.bad_freq.second_moment = 90.0;
+  r.bad_in_good_doc_fraction = 0.4;
+  r.tp = 0.8;
+  r.fp = 0.3;
+  r.classifier_tp = 0.9;
+  r.classifier_fp = 0.2;
+  r.classifier_empty = 0.05;
+  r.classifier_good_occ = 0.92;
+  r.classifier_bad_occ = 0.45;
+  for (int i = 0; i < 10; ++i) {
+    AqgQueryStat q;
+    q.precision = 0.6;
+    q.retrieved_docs = 40.0;
+    r.aqg_queries.push_back(q);
+  }
+  r.mean_query_hits = 12.0;
+  r.mean_direct_inclusion = 0.9;
+  return r;
+}
+
+JoinModelParams MakeJoin() {
+  JoinModelParams p;
+  p.relation1 = MakeRelation();
+  p.relation2 = MakeRelation();
+  p.num_agg = 40;
+  p.num_agb = 20;
+  p.num_abg = 20;
+  p.num_abb = 60;
+  return p;
+}
+
+// --------------------------------------------------------------------------
+// Scan factors
+// --------------------------------------------------------------------------
+
+TEST(ScanFactorsTest, ZeroEffortMeansNothingExtracted) {
+  const OccurrenceFactors f = ScanFactors(MakeRelation(), 0);
+  EXPECT_DOUBLE_EQ(f.good_occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(f.bad_occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(f.docs_processed, 0.0);
+}
+
+TEST(ScanFactorsTest, FullScanYieldsKnobRates) {
+  // With every document processed, a good occurrence survives with exactly
+  // tp(θ) and a bad one with fp(θ).
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors f = ScanFactors(r, r.num_documents);
+  EXPECT_NEAR(f.good_occurrence, r.tp, 1e-12);
+  EXPECT_NEAR(f.bad_occurrence, r.fp, 1e-12);
+  EXPECT_DOUBLE_EQ(f.docs_processed, static_cast<double>(r.num_documents));
+}
+
+TEST(ScanFactorsTest, LinearInEffort) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors half = ScanFactors(r, 500);
+  const OccurrenceFactors full = ScanFactors(r, 1000);
+  EXPECT_NEAR(half.good_occurrence, full.good_occurrence / 2.0, 1e-12);
+  EXPECT_NEAR(half.bad_occurrence, full.bad_occurrence / 2.0, 1e-12);
+}
+
+TEST(ScanFactorsTest, EffortClampedAtDatabaseSize) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors f = ScanFactors(r, 10 * r.num_documents);
+  EXPECT_DOUBLE_EQ(f.docs_retrieved, static_cast<double>(r.num_documents));
+}
+
+TEST(ScanFactorsTest, SecondsFollowCostModel) {
+  CostModel costs;
+  costs.retrieve_seconds = 2.0;
+  costs.extract_seconds = 5.0;
+  const OccurrenceFactors f = ScanFactors(MakeRelation(), 100);
+  EXPECT_NEAR(f.Seconds(costs), 100 * 2.0 + 100 * 5.0, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Filtered Scan factors
+// --------------------------------------------------------------------------
+
+TEST(FilteredScanFactorsTest, UsesOccurrenceWeightedRates) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors f = FilteredScanFactors(r, r.num_documents);
+  EXPECT_NEAR(f.good_occurrence, r.tp * r.classifier_good_occ, 1e-12);
+  EXPECT_NEAR(f.bad_occurrence, r.fp * r.classifier_bad_occ, 1e-12);
+}
+
+TEST(FilteredScanFactorsTest, ProcessesFewerDocsThanScan) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors fs = FilteredScanFactors(r, 1000);
+  const OccurrenceFactors sc = ScanFactors(r, 1000);
+  EXPECT_LT(fs.docs_processed, sc.docs_processed);
+  EXPECT_DOUBLE_EQ(fs.docs_filtered, 1000.0);
+  EXPECT_DOUBLE_EQ(sc.docs_filtered, 0.0);
+}
+
+TEST(FilteredScanFactorsTest, ProcessedMatchesClassMix) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors f = FilteredScanFactors(r, 1000);
+  const double expected = 300 * 0.9 + 350 * 0.2 + 350 * 0.05;
+  EXPECT_NEAR(f.docs_processed, expected, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// AQG factors
+// --------------------------------------------------------------------------
+
+TEST(AqgFactorsTest, ZeroQueriesNothing) {
+  const OccurrenceFactors f = AqgFactors(MakeRelation(), 0);
+  EXPECT_DOUBLE_EQ(f.good_occurrence, 0.0);
+  EXPECT_DOUBLE_EQ(f.docs_retrieved, 0.0);
+}
+
+TEST(AqgFactorsTest, CoverageGrowsWithQueries) {
+  const RelationModelParams r = MakeRelation();
+  double prev = 0.0;
+  for (int q = 1; q <= 10; ++q) {
+    const OccurrenceFactors f = AqgFactors(r, q);
+    EXPECT_GT(f.good_occurrence, prev);
+    prev = f.good_occurrence;
+  }
+}
+
+TEST(AqgFactorsTest, Equation2SingleQuery) {
+  // One query: Pr_g(d) = P(q) g(q) / |Dg|.
+  RelationModelParams r = MakeRelation();
+  r.aqg_good_occ_boost = 1.0;
+  r.aqg_bad_occ_boost = 1.0;
+  const OccurrenceFactors f = AqgFactors(r, 1);
+  const double pr_good = 0.6 * 40.0 / 300.0;
+  EXPECT_NEAR(f.good_occurrence, r.tp * pr_good, 1e-9);
+}
+
+TEST(AqgFactorsTest, QueriesClampedToAvailable) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors f10 = AqgFactors(r, 10);
+  const OccurrenceFactors f99 = AqgFactors(r, 99);
+  EXPECT_DOUBLE_EQ(f10.good_occurrence, f99.good_occurrence);
+  EXPECT_DOUBLE_EQ(f99.queries_issued, 10.0);
+}
+
+TEST(AqgFactorsTest, NeverReachesFullScanRecall) {
+  const RelationModelParams r = MakeRelation();
+  const OccurrenceFactors aqg = AqgFactors(r, 10);
+  const OccurrenceFactors scan = ScanFactors(r, r.num_documents);
+  EXPECT_LT(aqg.good_occurrence, scan.good_occurrence);
+}
+
+TEST(AqgFactorsTest, BoostScalesOccurrenceInclusion) {
+  RelationModelParams r = MakeRelation();
+  r.aqg_good_occ_boost = 1.0;
+  const double base = AqgFactors(r, 5).good_occurrence;
+  r.aqg_good_occ_boost = 1.3;
+  EXPECT_NEAR(AqgFactors(r, 5).good_occurrence, base * 1.3, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+// Distributional forms vs closed-form means
+// --------------------------------------------------------------------------
+
+TEST(DistributionalModelTest, ScanGoodDocsDistributionMatchesHypergeometric) {
+  const RelationModelParams r = MakeRelation();
+  auto dist = ScanGoodDocsDistribution(r, 200);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), hypergeometric::Mean(1000, 200, 300), 1e-6);
+  double total = 0.0;
+  for (int64_t j = 0; j <= dist->max_value(); ++j) total += dist->Pmf(j);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DistributionalModelTest, FilteredScanComposesClassifier) {
+  const RelationModelParams r = MakeRelation();
+  auto dist = FilteredScanGoodDocsDistribution(r, 200);
+  ASSERT_TRUE(dist.ok());
+  // Mean: hypergeometric mean thinned by C_tp.
+  EXPECT_NEAR(dist->Mean(), hypergeometric::Mean(1000, 200, 300) * r.classifier_tp,
+              1e-6);
+}
+
+TEST(DistributionalModelTest, ExtractedFrequencyMeanIsClosedForm) {
+  // The paper's E[gr | |Dgr| = j] double sum collapses to tp * j * g / |Dg|.
+  const RelationModelParams r = MakeRelation();
+  for (int64_t g : {1, 3, 8}) {
+    for (int64_t j : {10, 50, 150}) {
+      auto dist = ExtractedFrequencyDistribution(r, j, g);
+      ASSERT_TRUE(dist.ok());
+      const double closed_form = r.tp * static_cast<double>(j) *
+                                 static_cast<double>(g) /
+                                 static_cast<double>(r.num_good_docs);
+      EXPECT_NEAR(dist->Mean(), closed_form, 1e-9) << "g=" << g << " j=" << j;
+    }
+  }
+}
+
+TEST(DistributionalModelTest, ExtractedFrequencyZeroProcessed) {
+  const RelationModelParams r = MakeRelation();
+  auto dist = ExtractedFrequencyDistribution(r, 0, 5);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Pmf(0), 1.0, 1e-12);
+}
+
+TEST(DistributionalModelTest, RejectsInconsistentArguments) {
+  RelationModelParams r = MakeRelation();
+  EXPECT_FALSE(ExtractedFrequencyDistribution(r, -1, 5).ok());
+  EXPECT_FALSE(ExtractedFrequencyDistribution(r, r.num_good_docs + 1, 5).ok());
+  r.num_good_docs = 2000;  // > num_documents
+  EXPECT_FALSE(ScanGoodDocsDistribution(r, 10).ok());
+}
+
+// --------------------------------------------------------------------------
+// Join composition (general scheme)
+// --------------------------------------------------------------------------
+
+TEST(ComposeJoinTest, GoodTuplesFollowEquation1) {
+  const JoinModelParams p = MakeJoin();
+  OccurrenceFactors f1;
+  f1.good_occurrence = 0.5;
+  f1.bad_occurrence = 0.2;
+  OccurrenceFactors f2;
+  f2.good_occurrence = 0.4;
+  f2.bad_occurrence = 0.1;
+  const QualityEstimate est = ComposeJoin(p, f1, f2, CostModel(), CostModel());
+  // E[good] = |Agg| * (f1g * E[g1]) * (f2g * E[g2])
+  EXPECT_NEAR(est.expected_good, 40 * (0.5 * 4.0) * (0.4 * 4.0), 1e-9);
+}
+
+TEST(ComposeJoinTest, BadTuplesSumThreeClasses) {
+  const JoinModelParams p = MakeJoin();
+  OccurrenceFactors f1;
+  f1.good_occurrence = 0.5;
+  f1.bad_occurrence = 0.2;
+  OccurrenceFactors f2;
+  f2.good_occurrence = 0.4;
+  f2.bad_occurrence = 0.1;
+  const QualityEstimate est = ComposeJoin(p, f1, f2, CostModel(), CostModel());
+  const double j_gb = 20 * (0.5 * 4.0) * (0.1 * 6.0);
+  const double j_bg = 20 * (0.2 * 6.0) * (0.4 * 4.0);
+  const double j_bb = 60 * (0.2 * 6.0) * (0.1 * 6.0);
+  EXPECT_NEAR(est.expected_bad, j_gb + j_bg + j_bb, 1e-9);
+}
+
+TEST(ComposeJoinTest, IdenticalCouplingUsesSecondMoments) {
+  JoinModelParams p = MakeJoin();
+  p.coupling = FrequencyCoupling::kIdentical;
+  OccurrenceFactors f;
+  f.good_occurrence = 1.0;
+  f.bad_occurrence = 1.0;
+  const QualityEstimate est = ComposeJoin(p, f, f, CostModel(), CostModel());
+  EXPECT_NEAR(est.expected_good, 40 * 30.0, 1e-9);  // |Agg| * E[g^2]
+}
+
+TEST(ComposeJoinTest, CoupledPairMeanModes) {
+  FrequencyMoments a{3.0, 15.0};
+  FrequencyMoments b{5.0, 40.0};
+  EXPECT_NEAR(CoupledPairMean(a, b, FrequencyCoupling::kIndependent), 15.0, 1e-12);
+  EXPECT_NEAR(CoupledPairMean(a, b, FrequencyCoupling::kIdentical),
+              std::sqrt(15.0 * 40.0), 1e-12);
+}
+
+TEST(ComposeJoinTest, TimeSumsBothSides) {
+  const JoinModelParams p = MakeJoin();
+  OccurrenceFactors f1;
+  f1.docs_retrieved = 10;
+  f1.docs_processed = 10;
+  OccurrenceFactors f2;
+  f2.docs_retrieved = 20;
+  f2.docs_processed = 20;
+  f2.queries_issued = 5;
+  CostModel costs;
+  costs.retrieve_seconds = 1.0;
+  costs.extract_seconds = 2.0;
+  costs.query_seconds = 3.0;
+  const QualityEstimate est = ComposeJoin(p, f1, f2, costs, costs);
+  EXPECT_NEAR(est.seconds, (10 + 20) * 1.0 + (10 + 20) * 2.0 + 5 * 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.queries2, 5.0);
+}
+
+// --------------------------------------------------------------------------
+// Per-algorithm models
+// --------------------------------------------------------------------------
+
+TEST(EstimateIdjnTest, MonotoneInEffort) {
+  const JoinModelParams p = MakeJoin();
+  double prev_good = -1.0;
+  double prev_bad = -1.0;
+  for (int64_t effort : {100, 300, 600, 1000}) {
+    const QualityEstimate est =
+        EstimateIdjn(p, RetrievalStrategyKind::kScan, RetrievalStrategyKind::kScan,
+                     PlanEffort{effort, effort}, CostModel(), CostModel());
+    EXPECT_GT(est.expected_good, prev_good);
+    EXPECT_GT(est.expected_bad, prev_bad);
+    prev_good = est.expected_good;
+    prev_bad = est.expected_bad;
+  }
+}
+
+TEST(EstimateIdjnTest, MixedStrategies) {
+  const JoinModelParams p = MakeJoin();
+  const QualityEstimate est = EstimateIdjn(
+      p, RetrievalStrategyKind::kFilteredScan,
+      RetrievalStrategyKind::kAutomaticQueryGeneration, PlanEffort{1000, 10},
+      CostModel(), CostModel());
+  EXPECT_GT(est.expected_good, 0.0);
+  EXPECT_GT(est.queries2, 0.0);
+  EXPECT_DOUBLE_EQ(est.queries1, 0.0);
+}
+
+TEST(EstimateOijnTest, InnerEffortFollowsOuterExtraction) {
+  const JoinModelParams p = MakeJoin();
+  const QualityEstimate small = EstimateOijn(p, true, RetrievalStrategyKind::kScan,
+                                             100, CostModel(), CostModel());
+  const QualityEstimate large = EstimateOijn(p, true, RetrievalStrategyKind::kScan,
+                                             1000, CostModel(), CostModel());
+  EXPECT_GT(large.queries2, small.queries2);
+  EXPECT_GT(large.expected_good, small.expected_good);
+  EXPECT_GT(large.docs_retrieved2, small.docs_retrieved2);
+}
+
+TEST(EstimateOijnTest, OuterSideSwaps) {
+  const JoinModelParams p = MakeJoin();
+  const QualityEstimate r1_outer = EstimateOijn(p, true, RetrievalStrategyKind::kScan,
+                                                500, CostModel(), CostModel());
+  const QualityEstimate r2_outer = EstimateOijn(p, false, RetrievalStrategyKind::kScan,
+                                                500, CostModel(), CostModel());
+  EXPECT_GT(r1_outer.queries2, 0.0);
+  EXPECT_DOUBLE_EQ(r1_outer.queries1, 0.0);
+  EXPECT_GT(r2_outer.queries1, 0.0);
+  EXPECT_DOUBLE_EQ(r2_outer.queries2, 0.0);
+}
+
+TEST(EstimateOijnTest, TopKLimitsInnerRecall) {
+  JoinModelParams p = MakeJoin();
+  p.relation2.mean_direct_inclusion = 1.0;
+  const QualityEstimate unlimited = EstimateOijn(
+      p, true, RetrievalStrategyKind::kScan, 1000, CostModel(), CostModel());
+  p.relation2.mean_direct_inclusion = 0.3;
+  const QualityEstimate limited = EstimateOijn(
+      p, true, RetrievalStrategyKind::kScan, 1000, CostModel(), CostModel());
+  EXPECT_LT(limited.expected_good, unlimited.expected_good);
+}
+
+GeneratingFunction MakePgf(std::vector<double> pmf) {
+  auto f = GeneratingFunction::FromPmf(std::move(pmf));
+  EXPECT_TRUE(f.ok());
+  return f.value();
+}
+
+JoinModelParams MakeZgjnJoin() {
+  JoinModelParams p = MakeJoin();
+  // Hits: mean 3; generates: mean 1.2.
+  p.relation1.hits_pgf = MakePgf({0.1, 0.2, 0.3, 0.4});
+  p.relation1.generates_pgf = MakePgf({0.3, 0.3, 0.3, 0.1});
+  p.relation2.hits_pgf = MakePgf({0.1, 0.2, 0.3, 0.4});
+  p.relation2.generates_pgf = MakePgf({0.3, 0.3, 0.3, 0.1});
+  return p;
+}
+
+TEST(SimulateZgjnTest, ProducesMonotoneSeries) {
+  const std::vector<ZgjnModelPoint> points =
+      SimulateZgjn(MakeZgjnJoin(), 4, 32, CostModel(), CostModel());
+  ASSERT_FALSE(points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].docs1 + points[i].docs2,
+              points[i - 1].docs1 + points[i - 1].docs2);
+    EXPECT_GE(points[i].queries1 + points[i].queries2,
+              points[i - 1].queries1 + points[i - 1].queries2);
+    EXPECT_GE(points[i].estimate.expected_good,
+              points[i - 1].estimate.expected_good - 1e-9);
+  }
+}
+
+TEST(SimulateZgjnTest, SaturatesAtDatabaseSize) {
+  const std::vector<ZgjnModelPoint> points =
+      SimulateZgjn(MakeZgjnJoin(), 4, 64, CostModel(), CostModel());
+  ASSERT_FALSE(points.empty());
+  EXPECT_LE(points.back().docs1, 1000.0 + 1e-6);
+  EXPECT_LE(points.back().docs2, 1000.0 + 1e-6);
+}
+
+TEST(SimulateZgjnTest, QueriesBoundedByValueUniverse) {
+  const std::vector<ZgjnModelPoint> points =
+      SimulateZgjn(MakeZgjnJoin(), 4, 64, CostModel(), CostModel());
+  // Distinct-value queries cannot exceed the value universe (plus seeds).
+  const double universe = 80 + 120;
+  EXPECT_LE(points.back().queries1, universe + 4 + 1e-6);
+  EXPECT_LE(points.back().queries2, universe + 1e-6);
+}
+
+TEST(ZgjnReachabilityTest, SupercriticalGraphSurvives) {
+  const JoinModelParams p = MakeZgjnJoin();
+  const ZgjnReachability reach = AnalyzeZgjnReachability(p, 4);
+  EXPECT_GT(reach.cycle_branching_factor, 1.0);
+  EXPECT_LT(reach.extinction_probability, 1.0);
+  EXPECT_GT(reach.survival_probability, 0.5);
+}
+
+TEST(ZgjnReachabilityTest, SubcriticalGraphGoesExtinct) {
+  JoinModelParams p = MakeZgjnJoin();
+  // Hits mostly zero: the traversal dies out (mean offspring << 1).
+  p.relation1.hits_pgf = MakePgf({0.9, 0.1});
+  p.relation1.generates_pgf = MakePgf({0.9, 0.1});
+  p.relation2.hits_pgf = MakePgf({0.9, 0.1});
+  p.relation2.generates_pgf = MakePgf({0.9, 0.1});
+  const ZgjnReachability reach = AnalyzeZgjnReachability(p, 2);
+  EXPECT_LT(reach.cycle_branching_factor, 1.0);
+  EXPECT_NEAR(reach.extinction_probability, 1.0, 1e-6);
+  EXPECT_NEAR(reach.survival_probability, 0.0, 1e-6);
+}
+
+TEST(ZgjnReachabilityTest, MoreSeedsImproveSurvival) {
+  JoinModelParams p = MakeZgjnJoin();
+  // Critical-ish graph so per-lineage extinction is non-trivial.
+  p.relation1.hits_pgf = MakePgf({0.4, 0.3, 0.3});
+  p.relation1.generates_pgf = MakePgf({0.3, 0.4, 0.3});
+  p.relation2.hits_pgf = MakePgf({0.4, 0.3, 0.3});
+  p.relation2.generates_pgf = MakePgf({0.3, 0.4, 0.3});
+  const ZgjnReachability one = AnalyzeZgjnReachability(p, 1);
+  const ZgjnReachability many = AnalyzeZgjnReachability(p, 8);
+  ASSERT_GT(one.extinction_probability, 0.0);
+  ASSERT_LT(one.extinction_probability, 1.0);
+  EXPECT_GT(many.survival_probability, one.survival_probability);
+}
+
+TEST(ZgjnReachabilityTest, DegenerateGraphDiesImmediately) {
+  JoinModelParams p = MakeZgjnJoin();
+  p.relation1.hits_pgf = MakePgf({1.0});  // no edges at all
+  const ZgjnReachability reach = AnalyzeZgjnReachability(p, 4);
+  EXPECT_DOUBLE_EQ(reach.extinction_probability, 1.0);
+  EXPECT_DOUBLE_EQ(reach.survival_probability, 0.0);
+}
+
+TEST(ZgjnReachabilityTest, ExtinctionIsFixedPoint) {
+  const JoinModelParams p = MakeZgjnJoin();
+  const ZgjnReachability reach = AnalyzeZgjnReachability(p, 1);
+  const double q = reach.extinction_probability;
+  const double inner =
+      p.relation2.hits_pgf.Evaluate(p.relation2.generates_pgf.Evaluate(q));
+  EXPECT_NEAR(p.relation1.hits_pgf.Evaluate(p.relation1.generates_pgf.Evaluate(inner)),
+              q, 1e-9);
+}
+
+TEST(SimulateZgjnStallAwareTest, SubcriticalReachCollapses) {
+  JoinModelParams p = MakeZgjnJoin();
+  p.relation1.hits_pgf = MakePgf({0.9, 0.1});
+  p.relation1.generates_pgf = MakePgf({0.9, 0.1});
+  p.relation2.hits_pgf = MakePgf({0.9, 0.1});
+  p.relation2.generates_pgf = MakePgf({0.9, 0.1});
+  const auto no_stall = SimulateZgjn(p, 4, 64, CostModel(), CostModel());
+  const auto stall = SimulateZgjnStallAware(p, 4, 64, CostModel(), CostModel());
+  ASSERT_FALSE(no_stall.empty());
+  ASSERT_FALSE(stall.empty());
+  // The stall-aware prediction reaches essentially nothing, and never more
+  // than the no-stall optimism.
+  EXPECT_LT(stall.back().docs1 + stall.back().docs2, 0.01);
+  EXPECT_LE(stall.back().docs1 + stall.back().docs2,
+            no_stall.back().docs1 + no_stall.back().docs2 + 1e-9);
+}
+
+TEST(SimulateZgjnStallAwareTest, SupercriticalMatchesNoStallClosely) {
+  const JoinModelParams p = MakeZgjnJoin();
+  const auto no_stall = SimulateZgjn(p, 6, 64, CostModel(), CostModel());
+  const auto stall = SimulateZgjnStallAware(p, 6, 64, CostModel(), CostModel());
+  ASSERT_FALSE(no_stall.empty());
+  ASSERT_FALSE(stall.empty());
+  const double reach_ratio = (stall.back().docs1 + stall.back().docs2) /
+                             (no_stall.back().docs1 + no_stall.back().docs2);
+  EXPECT_GT(reach_ratio, 0.8);
+}
+
+TEST(EstimateZgjnTest, RespectsQueryBudget) {
+  const JoinModelParams p = MakeZgjnJoin();
+  const QualityEstimate small = EstimateZgjn(p, 4, 10, CostModel(), CostModel());
+  const QualityEstimate large = EstimateZgjn(p, 4, 10000, CostModel(), CostModel());
+  EXPECT_LE(small.queries1 + small.queries2, 10.0 + 1e-9);
+  EXPECT_GE(large.expected_good, small.expected_good);
+}
+
+TEST(StrategyFactorsTest, DispatchAndMaxEffort) {
+  const RelationModelParams r = MakeRelation();
+  EXPECT_EQ(MaxEffort(r, RetrievalStrategyKind::kScan), r.num_documents);
+  EXPECT_EQ(MaxEffort(r, RetrievalStrategyKind::kFilteredScan), r.num_documents);
+  EXPECT_EQ(MaxEffort(r, RetrievalStrategyKind::kAutomaticQueryGeneration), 10);
+  const OccurrenceFactors scan =
+      StrategyFactors(r, RetrievalStrategyKind::kScan, 100);
+  EXPECT_DOUBLE_EQ(scan.docs_filtered, 0.0);
+  const OccurrenceFactors fs =
+      StrategyFactors(r, RetrievalStrategyKind::kFilteredScan, 100);
+  EXPECT_DOUBLE_EQ(fs.docs_filtered, 100.0);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,210 @@
+// Tests for the K-relation scenario generator, pairwise overlap
+// computation, and the multi-relation workbench.
+
+#include <gtest/gtest.h>
+
+#include "harness/multi_workbench.h"
+#include "textdb/corpus_generator.h"
+#include "textdb/multi_corpus_generator.h"
+
+namespace iejoin {
+namespace {
+
+MultiScenarioSpec SmallTriSpec() {
+  MultiScenarioSpec spec = MultiScenarioSpec::ThreeRelationPaperLike();
+  for (RelationSpec& rel : spec.relations) {
+    rel.num_documents = 700;
+    rel.noise_vocab_size = 600;
+    rel.second_value_pool = 150;
+    rel.max_good_frequency = 20;
+    rel.max_bad_frequency = 40;
+  }
+  spec.value_universe = 500;
+  spec.num_outlier_values = 2;
+  spec.outlier_frequency = 40;
+  return spec;
+}
+
+class MultiScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    MultiCorpusGenerator generator(SmallTriSpec());
+    auto result = generator.Generate();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    scenario_ = new MultiScenario(std::move(result.value()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const MultiScenario& scenario() { return *scenario_; }
+  static MultiScenario* scenario_;
+};
+
+MultiScenario* MultiScenarioTest::scenario_ = nullptr;
+
+TEST_F(MultiScenarioTest, BuildsOneCorpusPerRelation) {
+  ASSERT_EQ(scenario().corpora.size(), 3u);
+  for (const auto& corpus : scenario().corpora) {
+    EXPECT_EQ(corpus->size(), 700);
+    EXPECT_EQ(corpus->shared_vocabulary().get(), scenario().vocabulary.get());
+  }
+  EXPECT_EQ(scenario().corpora[2]->ground_truth().relation_name, "Mergers");
+}
+
+TEST_F(MultiScenarioTest, RolesMatchRealizedGroundTruth) {
+  for (size_t r = 0; r < 3; ++r) {
+    const auto& freqs = scenario().corpora[r]->ground_truth().value_frequencies;
+    for (size_t v = 0; v < scenario().values.size(); ++v) {
+      const TokenId value = scenario().values[v];
+      const ValueRole role = scenario().roles[r][v];
+      const auto it = freqs.find(value);
+      switch (role) {
+        case ValueRole::kAbsent:
+          EXPECT_EQ(it, freqs.end());
+          break;
+        case ValueRole::kGood:
+          ASSERT_NE(it, freqs.end());
+          EXPECT_GT(it->second.good, 0);
+          EXPECT_EQ(it->second.bad, 0);
+          break;
+        case ValueRole::kBad:
+          ASSERT_NE(it, freqs.end());
+          EXPECT_EQ(it->second.good, 0);
+          EXPECT_GT(it->second.bad, 0);
+          break;
+      }
+    }
+  }
+}
+
+TEST_F(MultiScenarioTest, OutliersAreBadEverywhere) {
+  const size_t n = scenario().values.size();
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(scenario().roles[r][n - 1], ValueRole::kBad);
+    EXPECT_EQ(scenario().roles[r][n - 2], ValueRole::kBad);
+  }
+}
+
+TEST_F(MultiScenarioTest, OverlapMatchesRoleMatrix) {
+  // ComputeOverlapFromGroundTruth must agree with a recount over the role
+  // matrix for every pair.
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      OverlapCounts expected;
+      for (size_t v = 0; v < scenario().values.size(); ++v) {
+        const ValueRole ra = scenario().roles[a][v];
+        const ValueRole rb = scenario().roles[b][v];
+        if (ra == ValueRole::kGood && rb == ValueRole::kGood) ++expected.num_agg;
+        if (ra == ValueRole::kGood && rb == ValueRole::kBad) ++expected.num_agb;
+        if (ra == ValueRole::kBad && rb == ValueRole::kGood) ++expected.num_abg;
+        if (ra == ValueRole::kBad && rb == ValueRole::kBad) ++expected.num_abb;
+      }
+      const OverlapCounts got = ComputeOverlapFromGroundTruth(
+          *scenario().corpora[a], *scenario().corpora[b]);
+      EXPECT_EQ(got.num_agg, expected.num_agg) << a << "," << b;
+      EXPECT_EQ(got.num_agb, expected.num_agb);
+      EXPECT_EQ(got.num_abg, expected.num_abg);
+      EXPECT_EQ(got.num_abb, expected.num_abb);
+    }
+  }
+}
+
+TEST_F(MultiScenarioTest, OverlapMatchesTwoRelationScenarioSets) {
+  // On the classic two-relation generator, the ground-truth overlap
+  // computation reproduces the explicitly planted class sets.
+  CorpusGenerator generator(ScenarioSpec::Small());
+  auto scenario2 = generator.Generate();
+  ASSERT_TRUE(scenario2.ok());
+  const OverlapCounts overlap =
+      ComputeOverlapFromGroundTruth(*scenario2->corpus1, *scenario2->corpus2);
+  EXPECT_EQ(overlap.num_agg, static_cast<int64_t>(scenario2->values_gg.size()));
+  EXPECT_EQ(overlap.num_agb, static_cast<int64_t>(scenario2->values_gb.size()));
+  EXPECT_EQ(overlap.num_abg, static_cast<int64_t>(scenario2->values_bg.size()));
+  EXPECT_EQ(overlap.num_abb, static_cast<int64_t>(scenario2->values_bb.size()));
+}
+
+TEST(MultiGeneratorTest, Deterministic) {
+  MultiCorpusGenerator g1(SmallTriSpec());
+  MultiCorpusGenerator g2(SmallTriSpec());
+  auto s1 = g1.Generate();
+  auto s2 = g2.Generate();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  for (size_t r = 0; r < 3; ++r) {
+    for (int64_t d = 0; d < s1->corpora[r]->size(); ++d) {
+      ASSERT_EQ(s1->corpora[r]->document(static_cast<DocId>(d)).tokens,
+                s2->corpora[r]->document(static_cast<DocId>(d)).tokens);
+    }
+  }
+}
+
+TEST(MultiGeneratorTest, ValidatesSpecs) {
+  MultiScenarioSpec spec = SmallTriSpec();
+  spec.relations.resize(1);
+  spec.roles.resize(1);
+  EXPECT_FALSE(MultiCorpusGenerator(spec).Generate().ok());
+
+  spec = SmallTriSpec();
+  spec.roles.pop_back();
+  EXPECT_FALSE(MultiCorpusGenerator(spec).Generate().ok());
+
+  spec = SmallTriSpec();
+  spec.roles[0].good = 0.7;
+  spec.roles[0].bad = 0.7;  // sums over 1
+  EXPECT_FALSE(MultiCorpusGenerator(spec).Generate().ok());
+
+  spec = SmallTriSpec();
+  spec.relations[1].join_entity = TokenType::kLocation;
+  EXPECT_FALSE(MultiCorpusGenerator(spec).Generate().ok());
+
+  spec = SmallTriSpec();
+  spec.value_universe = 0;
+  EXPECT_FALSE(MultiCorpusGenerator(spec).Generate().ok());
+}
+
+TEST(MultiWorkbenchTest, PairwiseTaskExecutesAndDelivers) {
+  MultiWorkbenchConfig config;
+  config.spec = SmallTriSpec();
+  auto bench = MultiWorkbench::Create(config);
+  ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+  ASSERT_EQ((*bench)->num_relations(), 3u);
+
+  // Run the optimizer on the HQ ⋈ MG pair and verify delivery.
+  auto inputs = (*bench)->PairOptimizerInputs(0, 2, /*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;
+  const QualityAwareOptimizer optimizer(*inputs, enum_options);
+  QualityRequirement req;
+  req.min_good_tuples = 5;
+  req.max_bad_tuples = 100000;
+  auto choice = optimizer.ChoosePlan(req);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  auto executor = CreateJoinExecutor(choice->plan, (*bench)->PairResources(0, 2));
+  ASSERT_TRUE(executor.ok());
+  JoinExecutionOptions options;
+  options.stop_rule = StopRule::kOracleQuality;
+  options.requirement = req;
+  auto result = (*executor)->Run(options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->requirement_met) << choice->plan.Describe();
+}
+
+TEST(MultiWorkbenchTest, ZgjnSeedsAreSharedGoodValues) {
+  MultiWorkbenchConfig config;
+  config.spec = SmallTriSpec();
+  auto bench = MultiWorkbench::Create(config);
+  ASSERT_TRUE(bench.ok());
+  const auto seeds = (*bench)->PairZgjnSeeds(0, 1, 5);
+  EXPECT_FALSE(seeds.empty());
+  const auto& f0 = (*bench)->database(0).corpus().ground_truth().value_frequencies;
+  const auto& f1 = (*bench)->database(1).corpus().ground_truth().value_frequencies;
+  for (TokenId v : seeds) {
+    EXPECT_GT(f0.at(v).good, 0);
+    EXPECT_GT(f1.at(v).good, 0);
+  }
+}
+
+}  // namespace
+}  // namespace iejoin

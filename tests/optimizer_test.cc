@@ -1,0 +1,303 @@
+// Tests for the plan space enumeration and the quality-aware optimizer's
+// feasibility / plan-choice logic on hand-built model parameters.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_space.h"
+
+namespace iejoin {
+namespace {
+
+// --------------------------------------------------------------------------
+// Plan enumeration
+// --------------------------------------------------------------------------
+
+TEST(PlanSpaceTest, DefaultCount) {
+  // 2x2 thetas x (9 IDJN + 6 OIJN + 1 ZGJN) = 64.
+  const auto plans = EnumeratePlans(PlanEnumerationOptions());
+  EXPECT_EQ(plans.size(), 64u);
+}
+
+TEST(PlanSpaceTest, DescriptionsAreUnique) {
+  const auto plans = EnumeratePlans(PlanEnumerationOptions());
+  std::set<std::string> names;
+  for (const auto& p : plans) names.insert(p.Describe());
+  EXPECT_EQ(names.size(), plans.size());
+}
+
+TEST(PlanSpaceTest, AlgorithmToggles) {
+  PlanEnumerationOptions options;
+  options.include_oijn = false;
+  options.include_zgjn = false;
+  const auto idjn_only = EnumeratePlans(options);
+  EXPECT_EQ(idjn_only.size(), 36u);
+  for (const auto& p : idjn_only) {
+    EXPECT_EQ(p.algorithm, JoinAlgorithmKind::kIndependent);
+  }
+
+  options.include_idjn = false;
+  options.include_zgjn = true;
+  const auto zgjn_only = EnumeratePlans(options);
+  EXPECT_EQ(zgjn_only.size(), 4u);
+}
+
+TEST(PlanSpaceTest, SingleOuterOption) {
+  PlanEnumerationOptions options;
+  options.include_idjn = false;
+  options.include_zgjn = false;
+  options.oijn_both_outers = false;
+  const auto plans = EnumeratePlans(options);
+  EXPECT_EQ(plans.size(), 12u);
+  for (const auto& p : plans) EXPECT_TRUE(p.outer_is_relation1);
+}
+
+TEST(PlanSpaceTest, SingleThetaSingleStrategy) {
+  PlanEnumerationOptions options;
+  options.thetas1 = {0.4};
+  options.thetas2 = {0.4};
+  options.strategies = {RetrievalStrategyKind::kScan};
+  const auto plans = EnumeratePlans(options);
+  // 1 IDJN + 2 OIJN + 1 ZGJN.
+  EXPECT_EQ(plans.size(), 4u);
+}
+
+// --------------------------------------------------------------------------
+// Optimizer on synthetic parameters
+// --------------------------------------------------------------------------
+
+class OptimizerLogicTest : public ::testing::Test {
+ protected:
+  OptimizerLogicTest() {
+    // A symmetric synthetic setting where everything is computable by hand.
+    RelationModelParams r;
+    r.num_documents = 1000;
+    r.num_good_docs = 300;
+    r.num_bad_docs = 300;
+    r.num_good_values = 100;
+    r.num_bad_values = 100;
+    r.good_freq = FrequencyMoments{4.0, 25.0};
+    r.bad_freq = FrequencyMoments{4.0, 25.0};
+    r.bad_in_good_doc_fraction = 0.5;
+    r.classifier_tp = 0.9;
+    r.classifier_fp = 0.2;
+    r.classifier_empty = 0.05;
+    r.classifier_good_occ = 0.9;
+    r.classifier_bad_occ = 0.35;
+    for (int i = 0; i < 20; ++i) {
+      r.aqg_queries.push_back(AqgQueryStat{0.7, 30.0});
+    }
+    r.mean_query_hits = 10.0;
+    r.mean_direct_inclusion = 0.9;
+    auto pgf = GeneratingFunction::FromPmf({0.2, 0.3, 0.3, 0.2});
+    r.hits_pgf = pgf.value();
+    r.generates_pgf = pgf.value();
+
+    inputs_.base_params.relation1 = r;
+    inputs_.base_params.relation2 = r;
+    inputs_.base_params.num_agg = 50;
+    inputs_.base_params.num_agb = 20;
+    inputs_.base_params.num_abg = 20;
+    inputs_.base_params.num_abb = 40;
+
+    // Linear knob curves: tp = 1 - 0.6 θ, fp = 1 - θ.
+    knobs_ = std::make_unique<KnobCharacterization>(
+        std::vector<double>{0.0, 1.0}, std::vector<double>{1.0, 0.4},
+        std::vector<double>{1.0, 0.0});
+    inputs_.knobs1 = knobs_.get();
+    inputs_.knobs2 = knobs_.get();
+  }
+
+  OptimizerInputs inputs_;
+  std::unique_ptr<KnobCharacterization> knobs_;
+};
+
+TEST_F(OptimizerLogicTest, ParamsForThetasStampsKnobRates) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  const JoinModelParams p = optimizer.ParamsForThetas(0.5, 1.0);
+  EXPECT_NEAR(p.relation1.tp, 0.7, 1e-9);
+  EXPECT_NEAR(p.relation1.fp, 0.5, 1e-9);
+  EXPECT_NEAR(p.relation2.tp, 0.4, 1e-9);
+  EXPECT_NEAR(p.relation2.fp, 0.0, 1e-9);
+}
+
+TEST_F(OptimizerLogicTest, EvaluatePlanFindsMinimalEffort) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.0;  // tp = fp = 1
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  QualityRequirement req;
+  req.min_good_tuples = 50;
+  const PlanChoice choice = optimizer.EvaluatePlan(plan, req);
+  ASSERT_TRUE(choice.feasible);
+  // Expected good at full scan: 50 * 16 = 800; with the margin the target
+  // is 57.5, reached at s = sqrt(57.5 / 800) ≈ 0.268.
+  EXPECT_NEAR(static_cast<double>(choice.effort.side1), 269.0, 4.0);
+  EXPECT_GE(choice.estimate.expected_good, 57.0);
+  EXPECT_LE(choice.estimate.expected_good, 63.0);
+}
+
+TEST_F(OptimizerLogicTest, InfeasibleWhenGoodUnreachable) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.0;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  QualityRequirement req;
+  req.min_good_tuples = 1000;  // above the 800 full-effort maximum
+  EXPECT_FALSE(optimizer.EvaluatePlan(plan, req).feasible);
+}
+
+TEST_F(OptimizerLogicTest, InfeasibleWhenBadOverflows) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.0;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  QualityRequirement req;
+  req.min_good_tuples = 50;
+  req.max_bad_tuples = 1;  // bad accrues alongside good; cannot stay under 1
+  EXPECT_FALSE(optimizer.EvaluatePlan(plan, req).feasible);
+}
+
+TEST_F(OptimizerLogicTest, StricterThetaTradesTimeForQuality) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  JoinPlanSpec loose;
+  loose.algorithm = JoinAlgorithmKind::kIndependent;
+  loose.theta1 = loose.theta2 = 0.0;
+  loose.retrieval1 = loose.retrieval2 = RetrievalStrategyKind::kScan;
+  JoinPlanSpec strict = loose;
+  strict.theta1 = strict.theta2 = 1.0;  // tp 0.4, fp 0
+  QualityRequirement req;
+  req.min_good_tuples = 20;
+  const PlanChoice loose_choice = optimizer.EvaluatePlan(loose, req);
+  const PlanChoice strict_choice = optimizer.EvaluatePlan(strict, req);
+  ASSERT_TRUE(loose_choice.feasible);
+  ASSERT_TRUE(strict_choice.feasible);
+  // The strict plan produces (almost) no bad tuples but must work longer.
+  EXPECT_LT(strict_choice.estimate.expected_bad, loose_choice.estimate.expected_bad);
+  EXPECT_GT(strict_choice.estimate.seconds, loose_choice.estimate.seconds);
+}
+
+TEST_F(OptimizerLogicTest, ChoosePlanPicksFastestFeasible) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  QualityRequirement req;
+  req.min_good_tuples = 20;
+  req.max_bad_tuples = 1000000;
+  const auto choice = optimizer.ChoosePlan(req);
+  ASSERT_TRUE(choice.ok()) << choice.status().ToString();
+  const auto ranked = optimizer.RankPlans(req);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().plan.Describe(), choice->plan.Describe());
+  for (const PlanChoice& c : ranked) {
+    if (c.feasible) {
+      EXPECT_GE(c.estimate.seconds, choice->estimate.seconds - 1e-9);
+    }
+  }
+}
+
+TEST_F(OptimizerLogicTest, RankPlansPutsFeasibleFirst) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  QualityRequirement req;
+  req.min_good_tuples = 100;
+  req.max_bad_tuples = 500;
+  const auto ranked = optimizer.RankPlans(req);
+  bool seen_infeasible = false;
+  for (const PlanChoice& c : ranked) {
+    if (!c.feasible) {
+      seen_infeasible = true;
+    } else {
+      EXPECT_FALSE(seen_infeasible) << "feasible plan ranked after infeasible";
+    }
+  }
+}
+
+TEST_F(OptimizerLogicTest, ImpossibleRequirementFails) {
+  const QualityAwareOptimizer optimizer(inputs_, PlanEnumerationOptions());
+  QualityRequirement req;
+  req.min_good_tuples = 1000000;
+  EXPECT_FALSE(optimizer.ChoosePlan(req).ok());
+}
+
+TEST_F(OptimizerLogicTest, RectangleRatiosNeverHurtPredictedTime) {
+  // The square ratio is always in the explored set, so the rectangle
+  // search's best predicted time is at most the square heuristic's.
+  OptimizerInputs rect = inputs_;
+  rect.idjn_effort_ratios = {0.25, 1.0, 4.0};
+  PlanEnumerationOptions idjn_only;
+  idjn_only.include_oijn = false;
+  idjn_only.include_zgjn = false;
+  const QualityAwareOptimizer square_opt(inputs_, idjn_only);
+  const QualityAwareOptimizer rect_opt(rect, idjn_only);
+  for (int64_t tau_g : {10, 50, 200}) {
+    QualityRequirement req;
+    req.min_good_tuples = tau_g;
+    auto s = square_opt.ChoosePlan(req);
+    auto r = rect_opt.ChoosePlan(req);
+    ASSERT_TRUE(s.ok() && r.ok());
+    EXPECT_LE(r->estimate.seconds, s->estimate.seconds + 1e-6) << "tau_g=" << tau_g;
+  }
+}
+
+TEST_F(OptimizerLogicTest, RectangleExploitsAsymmetricCosts) {
+  // Side 2 documents cost 10x more to process: the rectangle search should
+  // skew effort toward side 1 and beat the square heuristic.
+  OptimizerInputs inputs = inputs_;
+  inputs.costs2.extract_seconds = 10.0;
+  OptimizerInputs rect = inputs;
+  rect.idjn_effort_ratios = {0.25, 0.5, 1.0, 2.0, 4.0};
+  PlanEnumerationOptions idjn_only;
+  idjn_only.include_oijn = false;
+  idjn_only.include_zgjn = false;
+  QualityRequirement req;
+  req.min_good_tuples = 60;
+  const auto square = QualityAwareOptimizer(inputs, idjn_only).ChoosePlan(req);
+  const auto rectangle = QualityAwareOptimizer(rect, idjn_only).ChoosePlan(req);
+  ASSERT_TRUE(square.ok() && rectangle.ok());
+  EXPECT_LT(rectangle->estimate.seconds, square->estimate.seconds);
+  EXPECT_GT(rectangle->effort.side1, rectangle->effort.side2);
+}
+
+TEST(QualityRequirementMappingTest, PrecisionAtK) {
+  const QualityRequirement req = RequirementForPrecisionAtK(0.8, 100);
+  EXPECT_EQ(req.min_good_tuples, 80);
+  EXPECT_EQ(req.max_bad_tuples, 20);
+  const QualityRequirement exact = RequirementForPrecisionAtK(1.0, 50);
+  EXPECT_EQ(exact.min_good_tuples, 50);
+  EXPECT_EQ(exact.max_bad_tuples, 0);
+  // Rounding keeps the requirement at least as strict as asked.
+  const QualityRequirement odd = RequirementForPrecisionAtK(0.75, 10);
+  EXPECT_EQ(odd.min_good_tuples, 8);
+  EXPECT_EQ(odd.max_bad_tuples, 2);
+}
+
+TEST(QualityRequirementMappingTest, Recall) {
+  const QualityRequirement req = RequirementForRecall(0.5, 2583.0, 10000);
+  EXPECT_EQ(req.min_good_tuples, 1292);
+  EXPECT_EQ(req.max_bad_tuples, 10000);
+}
+
+TEST_F(OptimizerLogicTest, MarginMakesFeasibilityConservative) {
+  QualityRequirement req;
+  req.min_good_tuples = 780;  // just below the 800 maximum
+  OptimizerInputs tight = inputs_;
+  tight.good_margin = 1.0;
+  OptimizerInputs cautious = inputs_;
+  cautious.good_margin = 1.15;
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.0;
+  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+  EXPECT_TRUE(QualityAwareOptimizer(tight, PlanEnumerationOptions())
+                  .EvaluatePlan(plan, req)
+                  .feasible);
+  EXPECT_FALSE(QualityAwareOptimizer(cautious, PlanEnumerationOptions())
+                   .EvaluatePlan(plan, req)
+                   .feasible);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,175 @@
+// Tests for the document retrieval strategies (Section III-B): Scan,
+// Filtered Scan, and Automatic Query Generation.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "retrieval/retrieval_strategy.h"
+
+namespace iejoin {
+namespace {
+
+class RetrievalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static Workbench* bench_;
+};
+
+Workbench* RetrievalTest::bench_ = nullptr;
+
+TEST(RetrievalNamesTest, StrategyNames) {
+  EXPECT_STREQ(RetrievalStrategyName(RetrievalStrategyKind::kScan), "SC");
+  EXPECT_STREQ(RetrievalStrategyName(RetrievalStrategyKind::kFilteredScan), "FS");
+  EXPECT_STREQ(
+      RetrievalStrategyName(RetrievalStrategyKind::kAutomaticQueryGeneration),
+      "AQG");
+}
+
+TEST_F(RetrievalTest, ScanYieldsEveryDocumentOnceInOrder) {
+  ScanStrategy scan(&bench().database1());
+  ExecutionMeter meter;
+  std::vector<DocId> yielded;
+  while (auto d = scan.Next(&meter)) yielded.push_back(*d);
+  EXPECT_EQ(static_cast<int64_t>(yielded.size()), bench().database1().size());
+  for (size_t i = 0; i < yielded.size(); ++i) {
+    EXPECT_EQ(yielded[i], static_cast<DocId>(i));
+  }
+  // Exhausted: further calls return nothing.
+  EXPECT_FALSE(scan.Next(&meter).has_value());
+}
+
+TEST_F(RetrievalTest, ScanChargesRetrievalPerDocument) {
+  ScanStrategy scan(&bench().database1());
+  ExecutionMeter meter;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(scan.Next(&meter).has_value());
+  EXPECT_EQ(meter.docs_retrieved(), 10);
+  EXPECT_EQ(meter.docs_filtered(), 0);
+  EXPECT_EQ(meter.queries_issued(), 0);
+}
+
+TEST_F(RetrievalTest, FilteredScanYieldsExactlyAcceptedDocuments) {
+  const TextDatabase& db = bench().database1();
+  auto classifier = NaiveBayesClassifier::Train(*bench().training_scenario().corpus1);
+  ASSERT_TRUE(classifier.ok());
+  FilteredScanStrategy fs(&db, classifier->get());
+  ExecutionMeter meter;
+  std::set<DocId> yielded;
+  while (auto d = fs.Next(&meter)) yielded.insert(*d);
+  // It must yield exactly the accepted documents.
+  for (int64_t i = 0; i < db.size(); ++i) {
+    const Document& doc = db.ScanDocument(i);
+    EXPECT_EQ(yielded.count(doc.id) > 0, (*classifier)->IsLikelyGood(doc));
+  }
+  // Every document was retrieved and filtered even if not yielded.
+  EXPECT_EQ(meter.docs_retrieved(), db.size());
+  EXPECT_EQ(meter.docs_filtered(), db.size());
+}
+
+TEST_F(RetrievalTest, AqgYieldsOnlyQueryMatches) {
+  const TextDatabase& db = bench().database1();
+  AqgStrategy aqg(&db, bench().queries1());
+  ExecutionMeter meter;
+  std::set<DocId> yielded;
+  while (auto d = aqg.Next(&meter)) {
+    EXPECT_TRUE(yielded.insert(*d).second) << "duplicate doc " << *d;
+  }
+  // Each yielded doc matches at least one learned query.
+  for (DocId d : yielded) {
+    const Document& doc = db.corpus().document(d);
+    bool matches = false;
+    for (const LearnedQuery& q : bench().queries1()) {
+      if (std::find(doc.tokens.begin(), doc.tokens.end(), q.terms[0]) !=
+          doc.tokens.end()) {
+        matches = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matches);
+  }
+  EXPECT_EQ(meter.queries_issued(),
+            static_cast<int64_t>(bench().queries1().size()));
+  EXPECT_EQ(meter.docs_retrieved(), static_cast<int64_t>(yielded.size()));
+}
+
+TEST_F(RetrievalTest, AqgReachesOnlyPartOfDatabase) {
+  const TextDatabase& db = bench().database1();
+  AqgStrategy aqg(&db, bench().queries1());
+  ExecutionMeter meter;
+  int64_t count = 0;
+  while (aqg.Next(&meter).has_value()) ++count;
+  EXPECT_LT(count, db.size());
+  EXPECT_GT(count, 0);
+}
+
+TEST_F(RetrievalTest, AqgPrefersGoodDocuments) {
+  const TextDatabase& db = bench().database1();
+  AqgStrategy aqg(&db, bench().queries1());
+  ExecutionMeter meter;
+  int64_t good = 0;
+  int64_t total = 0;
+  while (auto d = aqg.Next(&meter)) {
+    ++total;
+    good += ClassifyByGroundTruth(db.corpus().document(*d)) == DocumentClass::kGood
+                ? 1
+                : 0;
+  }
+  const auto& truth = db.corpus().ground_truth();
+  const double base_rate = static_cast<double>(truth.good_docs.size()) /
+                           static_cast<double>(db.size());
+  EXPECT_GT(static_cast<double>(good) / static_cast<double>(total),
+            1.3 * base_rate);
+}
+
+TEST_F(RetrievalTest, FactoryBuildsEachKind) {
+  auto classifier = NaiveBayesClassifier::Train(*bench().training_scenario().corpus1);
+  ASSERT_TRUE(classifier.ok());
+  auto scan = CreateRetrievalStrategy(RetrievalStrategyKind::kScan,
+                                      &bench().database1(), nullptr, nullptr);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ((*scan)->kind(), RetrievalStrategyKind::kScan);
+
+  auto fs = CreateRetrievalStrategy(RetrievalStrategyKind::kFilteredScan,
+                                    &bench().database1(), classifier->get(), nullptr);
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ((*fs)->kind(), RetrievalStrategyKind::kFilteredScan);
+
+  auto aqg = CreateRetrievalStrategy(RetrievalStrategyKind::kAutomaticQueryGeneration,
+                                     &bench().database1(), nullptr,
+                                     &bench().queries1());
+  ASSERT_TRUE(aqg.ok());
+  EXPECT_EQ((*aqg)->kind(), RetrievalStrategyKind::kAutomaticQueryGeneration);
+}
+
+TEST_F(RetrievalTest, FactoryValidatesDependencies) {
+  EXPECT_FALSE(CreateRetrievalStrategy(RetrievalStrategyKind::kScan, nullptr, nullptr,
+                                       nullptr)
+                   .ok());
+  EXPECT_FALSE(CreateRetrievalStrategy(RetrievalStrategyKind::kFilteredScan,
+                                       &bench().database1(), nullptr, nullptr)
+                   .ok());
+  EXPECT_FALSE(CreateRetrievalStrategy(RetrievalStrategyKind::kAutomaticQueryGeneration,
+                                       &bench().database1(), nullptr, nullptr)
+                   .ok());
+  const std::vector<LearnedQuery> empty;
+  EXPECT_FALSE(CreateRetrievalStrategy(RetrievalStrategyKind::kAutomaticQueryGeneration,
+                                       &bench().database1(), nullptr, &empty)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,564 @@
+// Unit and property tests for src/textdb: vocabulary, corpus generation
+// (ground-truth consistency invariants), inverted index, search interface,
+// and cost accounting.
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "textdb/corpus_generator.h"
+#include "textdb/cost_model.h"
+#include "textdb/inverted_index.h"
+#include "textdb/text_database.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+namespace {
+
+// --------------------------------------------------------------------------
+// Vocabulary
+// --------------------------------------------------------------------------
+
+TEST(VocabularyTest, SentenceEndIsTokenZero) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Text(Vocabulary::kSentenceEnd), ".");
+  EXPECT_EQ(vocab.Type(Vocabulary::kSentenceEnd), TokenType::kPunctuation);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  const TokenId a = vocab.Intern("acme", TokenType::kCompany);
+  const TokenId b = vocab.Intern("acme", TokenType::kCompany);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 2u);  // "." + "acme"
+}
+
+TEST(VocabularyTest, FindExistingAndMissing) {
+  Vocabulary vocab;
+  const TokenId a = vocab.Intern("boston", TokenType::kLocation);
+  auto found = vocab.Find("boston");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), a);
+  EXPECT_FALSE(vocab.Find("nowhere").ok());
+}
+
+TEST(VocabularyTest, EntityDetection) {
+  Vocabulary vocab;
+  EXPECT_TRUE(vocab.IsEntity(vocab.Intern("acme", TokenType::kCompany)));
+  EXPECT_TRUE(vocab.IsEntity(vocab.Intern("paris", TokenType::kLocation)));
+  EXPECT_TRUE(vocab.IsEntity(vocab.Intern("alice", TokenType::kPerson)));
+  EXPECT_FALSE(vocab.IsEntity(vocab.Intern("hello", TokenType::kWord)));
+  EXPECT_FALSE(vocab.IsEntity(Vocabulary::kSentenceEnd));
+}
+
+TEST(VocabularyTest, TokenTypeNames) {
+  EXPECT_STREQ(TokenTypeName(TokenType::kCompany), "company");
+  EXPECT_STREQ(TokenTypeName(TokenType::kWord), "word");
+}
+
+// --------------------------------------------------------------------------
+// Corpus generation
+// --------------------------------------------------------------------------
+
+class GeneratedScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CorpusGenerator generator(ScenarioSpec::Small());
+    auto result = generator.Generate();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    scenario_ = new JoinScenario(std::move(result.value()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+
+  static const JoinScenario& scenario() { return *scenario_; }
+
+  static JoinScenario* scenario_;
+};
+
+JoinScenario* GeneratedScenarioTest::scenario_ = nullptr;
+
+TEST_F(GeneratedScenarioTest, DocumentCountsMatchSpec) {
+  const ScenarioSpec spec = ScenarioSpec::Small();
+  EXPECT_EQ(scenario().corpus1->size(), spec.relation1.num_documents);
+  EXPECT_EQ(scenario().corpus2->size(), spec.relation2.num_documents);
+}
+
+TEST_F(GeneratedScenarioTest, DocumentIdsMatchPositions) {
+  for (int64_t i = 0; i < scenario().corpus1->size(); ++i) {
+    EXPECT_EQ(scenario().corpus1->document(static_cast<DocId>(i)).id, i);
+  }
+}
+
+TEST_F(GeneratedScenarioTest, DocClassPartitionIsComplete) {
+  const auto& truth = scenario().corpus1->ground_truth();
+  EXPECT_EQ(static_cast<int64_t>(truth.good_docs.size() + truth.bad_docs.size() +
+                                 truth.empty_docs.size()),
+            scenario().corpus1->size());
+}
+
+TEST_F(GeneratedScenarioTest, DocClassesMatchDefinition) {
+  // Good docs host >=1 good mention; bad docs only bad mentions; empty none.
+  const auto& truth = scenario().corpus1->ground_truth();
+  for (DocId d : truth.good_docs) {
+    EXPECT_TRUE(scenario().corpus1->document(d).has_good_mention());
+  }
+  for (DocId d : truth.bad_docs) {
+    const Document& doc = scenario().corpus1->document(d);
+    EXPECT_TRUE(doc.has_any_mention());
+    EXPECT_FALSE(doc.has_good_mention());
+  }
+  for (DocId d : truth.empty_docs) {
+    EXPECT_FALSE(scenario().corpus1->document(d).has_any_mention());
+  }
+}
+
+TEST_F(GeneratedScenarioTest, ValueFrequenciesMatchPlantedMentions) {
+  std::unordered_map<TokenId, ValueFrequencies> recount;
+  for (const Document& doc : scenario().corpus1->documents()) {
+    for (const PlantedMention& m : doc.mentions) {
+      if (m.is_good) {
+        ++recount[m.join_value].good;
+      } else {
+        ++recount[m.join_value].bad;
+      }
+    }
+  }
+  const auto& truth = scenario().corpus1->ground_truth();
+  ASSERT_EQ(recount.size(), truth.value_frequencies.size());
+  for (const auto& [value, freq] : truth.value_frequencies) {
+    const auto it = recount.find(value);
+    ASSERT_NE(it, recount.end());
+    EXPECT_EQ(it->second.good, freq.good);
+    EXPECT_EQ(it->second.bad, freq.bad);
+  }
+}
+
+TEST_F(GeneratedScenarioTest, ValueAppearsAtMostOncePerDocumentPerPolarity) {
+  // The models assume each attribute value occurs at most once per document
+  // (per good/bad polarity as planted).
+  for (const Document& doc : scenario().corpus1->documents()) {
+    std::set<std::pair<TokenId, bool>> seen;
+    for (const PlantedMention& m : doc.mentions) {
+      EXPECT_TRUE(seen.insert({m.join_value, m.is_good}).second)
+          << "duplicate mention of value " << m.join_value << " in doc " << doc.id;
+    }
+  }
+}
+
+TEST_F(GeneratedScenarioTest, OverlapClassesAreDisjoint) {
+  std::set<TokenId> all;
+  size_t total = 0;
+  for (const auto* set :
+       {&scenario().values_gg, &scenario().values_gb, &scenario().values_bg,
+        &scenario().values_bb}) {
+    all.insert(set->begin(), set->end());
+    total += set->size();
+  }
+  EXPECT_EQ(all.size(), total);
+}
+
+TEST_F(GeneratedScenarioTest, OverlapClassesHaveClaimedPolarity) {
+  const auto& t1 = scenario().corpus1->ground_truth().value_frequencies;
+  const auto& t2 = scenario().corpus2->ground_truth().value_frequencies;
+  for (TokenId v : scenario().values_gg) {
+    ASSERT_TRUE(t1.count(v) && t2.count(v));
+    EXPECT_GT(t1.at(v).good, 0);
+    EXPECT_GT(t2.at(v).good, 0);
+  }
+  for (TokenId v : scenario().values_gb) {
+    EXPECT_GT(t1.at(v).good, 0);
+    EXPECT_GT(t2.at(v).bad, 0);
+    EXPECT_EQ(t2.at(v).good, 0);
+  }
+  for (TokenId v : scenario().values_bg) {
+    EXPECT_EQ(t1.at(v).good, 0);
+    EXPECT_GT(t1.at(v).bad, 0);
+    EXPECT_GT(t2.at(v).good, 0);
+  }
+  for (TokenId v : scenario().values_bb) {
+    EXPECT_EQ(t1.at(v).good, 0);
+    EXPECT_GT(t1.at(v).bad, 0);
+    EXPECT_EQ(t2.at(v).good, 0);
+    EXPECT_GT(t2.at(v).bad, 0);
+  }
+}
+
+TEST_F(GeneratedScenarioTest, MentionSentenceIndicesValid) {
+  for (const Document& doc : scenario().corpus1->documents()) {
+    // Count sentences.
+    uint32_t sentences = 0;
+    for (TokenId t : doc.tokens) {
+      if (t == Vocabulary::kSentenceEnd) ++sentences;
+    }
+    for (const PlantedMention& m : doc.mentions) {
+      EXPECT_LT(m.sentence_index, sentences);
+    }
+  }
+}
+
+TEST_F(GeneratedScenarioTest, MentionSentencesContainBothEntities) {
+  const Vocabulary& vocab = scenario().corpus1->vocabulary();
+  const auto& truth = scenario().corpus1->ground_truth();
+  for (const Document& doc : scenario().corpus1->documents()) {
+    // Split into sentences.
+    std::vector<std::vector<TokenId>> sentences(1);
+    for (TokenId t : doc.tokens) {
+      if (t == Vocabulary::kSentenceEnd) {
+        sentences.emplace_back();
+      } else {
+        sentences.back().push_back(t);
+      }
+    }
+    for (const PlantedMention& m : doc.mentions) {
+      const auto& sentence = sentences[m.sentence_index];
+      bool has_join = false;
+      bool has_second = false;
+      for (TokenId t : sentence) {
+        if (t == m.join_value) has_join = true;
+        if (t == m.second_value) has_second = true;
+      }
+      EXPECT_TRUE(has_join);
+      EXPECT_TRUE(has_second);
+      EXPECT_EQ(vocab.Type(m.join_value), truth.join_entity_type);
+      EXPECT_EQ(vocab.Type(m.second_value), truth.second_entity_type);
+    }
+  }
+}
+
+TEST_F(GeneratedScenarioTest, TotalsAreConsistent) {
+  const auto& truth = scenario().corpus1->ground_truth();
+  int64_t good = 0;
+  int64_t bad = 0;
+  int64_t good_values = 0;
+  int64_t bad_values = 0;
+  for (const auto& [value, freq] : truth.value_frequencies) {
+    good += freq.good;
+    bad += freq.bad;
+    good_values += freq.good > 0 ? 1 : 0;
+    bad_values += freq.bad > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(good, truth.total_good_occurrences);
+  EXPECT_EQ(bad, truth.total_bad_occurrences);
+  EXPECT_EQ(good_values, truth.num_good_values);
+  EXPECT_EQ(bad_values, truth.num_bad_values);
+}
+
+TEST_F(GeneratedScenarioTest, OutliersAreFrequentAndBadInBoth) {
+  const ScenarioSpec spec = ScenarioSpec::Small();
+  // Outliers are appended at the end of values_bb.
+  ASSERT_GE(static_cast<int64_t>(scenario().values_bb.size()),
+            spec.num_outlier_values);
+  const auto& t1 = scenario().corpus1->ground_truth().value_frequencies;
+  for (int64_t i = 0; i < spec.num_outlier_values; ++i) {
+    const TokenId v =
+        scenario().values_bb[scenario().values_bb.size() - 1 - static_cast<size_t>(i)];
+    ASSERT_TRUE(t1.count(v));
+    // Outlier frequency is fixed (possibly clipped by zone size).
+    EXPECT_GE(t1.at(v).bad, spec.outlier_frequency / 2);
+    EXPECT_EQ(t1.at(v).good, 0);
+    // And their mentions are essentially unextractable.
+    for (const Document& doc : scenario().corpus1->documents()) {
+      for (const PlantedMention& m : doc.mentions) {
+        if (m.join_value == v) {
+          EXPECT_LT(m.pattern_affinity, 0.06f);
+        }
+      }
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, CorrelatedSharedFrequenciesMatchAcrossSides) {
+  ScenarioSpec spec = ScenarioSpec::Small();
+  spec.correlate_shared_good_frequencies = true;
+  CorpusGenerator generator(spec);
+  auto scenario = generator.Generate();
+  ASSERT_TRUE(scenario.ok());
+  const auto& t1 = scenario->corpus1->ground_truth().value_frequencies;
+  const auto& t2 = scenario->corpus2->ground_truth().value_frequencies;
+  for (TokenId v : scenario->values_gg) {
+    ASSERT_TRUE(t1.count(v) && t2.count(v));
+    EXPECT_EQ(t1.at(v).good, t2.at(v).good) << "value " << v;
+  }
+}
+
+TEST(CorpusGeneratorTest, IndependentFrequenciesDifferAcrossSides) {
+  CorpusGenerator generator(ScenarioSpec::Small());
+  auto scenario = generator.Generate();
+  ASSERT_TRUE(scenario.ok());
+  const auto& t1 = scenario->corpus1->ground_truth().value_frequencies;
+  const auto& t2 = scenario->corpus2->ground_truth().value_frequencies;
+  int differing = 0;
+  for (TokenId v : scenario->values_gg) {
+    differing += t1.at(v).good != t2.at(v).good ? 1 : 0;
+  }
+  // Independent draws coincide only occasionally.
+  EXPECT_GT(differing, static_cast<int>(scenario->values_gg.size()) / 3);
+}
+
+TEST(CorpusGeneratorTest, DeterministicForSameSeed) {
+  CorpusGenerator g1(ScenarioSpec::Small());
+  CorpusGenerator g2(ScenarioSpec::Small());
+  auto s1 = g1.Generate();
+  auto s2 = g2.Generate();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ(s1->corpus1->size(), s2->corpus1->size());
+  for (int64_t i = 0; i < s1->corpus1->size(); ++i) {
+    EXPECT_EQ(s1->corpus1->document(static_cast<DocId>(i)).tokens,
+              s2->corpus1->document(static_cast<DocId>(i)).tokens);
+  }
+}
+
+TEST(CorpusGeneratorTest, DifferentSeedsDiffer) {
+  ScenarioSpec spec = ScenarioSpec::Small();
+  spec.seed += 1;
+  CorpusGenerator g1(ScenarioSpec::Small());
+  CorpusGenerator g2(spec);
+  auto s1 = g1.Generate();
+  auto s2 = g2.Generate();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  bool any_diff = false;
+  for (int64_t i = 0; i < s1->corpus1->size() && !any_diff; ++i) {
+    any_diff = s1->corpus1->document(static_cast<DocId>(i)).tokens !=
+               s2->corpus1->document(static_cast<DocId>(i)).tokens;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CorpusGeneratorTest, SharedVocabularyGivesConsistentIds) {
+  auto vocab = std::make_shared<Vocabulary>();
+  ScenarioSpec spec_a = ScenarioSpec::Small();
+  ScenarioSpec spec_b = ScenarioSpec::Small();
+  spec_b.seed += 99;
+  CorpusGenerator ga(spec_a);
+  CorpusGenerator gb(spec_b);
+  auto sa = ga.Generate(vocab);
+  auto sb = gb.Generate(vocab);
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  EXPECT_EQ(sa->vocabulary.get(), sb->vocabulary.get());
+  // Same value names -> same token ids across scenarios.
+  EXPECT_EQ(sa->values_gg, sb->values_gg);
+}
+
+struct InvalidSpecCase {
+  const char* name;
+  ScenarioSpec (*make)();
+};
+
+class InvalidSpecTest : public ::testing::TestWithParam<InvalidSpecCase> {};
+
+TEST_P(InvalidSpecTest, GenerateFails) {
+  CorpusGenerator generator(GetParam().make());
+  EXPECT_FALSE(generator.Generate().ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, InvalidSpecTest,
+    ::testing::Values(
+        InvalidSpecCase{"zero_docs",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.num_documents = 0;
+                          return s;
+                        }},
+        InvalidSpecCase{"bad_zone_order",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.good_zone_fraction = 0.8;
+                          s.relation1.mention_zone_fraction = 0.5;
+                          return s;
+                        }},
+        InvalidSpecCase{"zone_over_one",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.mention_zone_fraction = 1.5;
+                          return s;
+                        }},
+        InvalidSpecCase{"mismatched_join_entity",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation2.join_entity = TokenType::kLocation;
+                          return s;
+                        }},
+        InvalidSpecCase{"negative_overlap",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.num_shared_gg = -1;
+                          return s;
+                        }},
+        InvalidSpecCase{"bad_affinity_range",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.good_affinity_lo = 0.9;
+                          s.relation1.good_affinity_hi = 0.4;
+                          return s;
+                        }},
+        InvalidSpecCase{"tiny_context",
+                        [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.context_words_per_mention = 1;
+                          return s;
+                        }},
+        InvalidSpecCase{"zero_freq_cap", [] {
+                          ScenarioSpec s = ScenarioSpec::Small();
+                          s.relation1.max_good_frequency = 0;
+                          return s;
+                        }}),
+    [](const ::testing::TestParamInfo<InvalidSpecCase>& info) {
+      return info.param.name;
+    });
+
+TEST_F(GeneratedScenarioTest, RenderTextIsNonEmptyAndHasSentences) {
+  const std::string text = scenario().corpus1->RenderText(0);
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find('.'), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Inverted index / TextDatabase
+// --------------------------------------------------------------------------
+
+class IndexTest : public GeneratedScenarioTest {
+ protected:
+  void SetUp() override {
+    database_ = std::make_unique<TextDatabase>(scenario().corpus1, /*seed=*/42,
+                                               /*top_k=*/50);
+  }
+  std::unique_ptr<TextDatabase> database_;
+};
+
+TEST_F(IndexTest, SingleTermPostingsMatchBruteForce) {
+  // Pick a few join values and verify CountMatches against a scan.
+  int checked = 0;
+  for (const auto& [value, freq] :
+       scenario().corpus1->ground_truth().value_frequencies) {
+    if (checked >= 5) break;
+    ++checked;
+    int64_t expected = 0;
+    for (const Document& doc : scenario().corpus1->documents()) {
+      if (std::find(doc.tokens.begin(), doc.tokens.end(), value) != doc.tokens.end()) {
+        ++expected;
+      }
+    }
+    EXPECT_EQ(database_->CountMatches({value}), expected);
+  }
+}
+
+TEST_F(IndexTest, QueryRespectsTopK) {
+  // Find a frequent value with more matches than top_k.
+  for (const auto& [value, freq] :
+       scenario().corpus1->ground_truth().value_frequencies) {
+    const int64_t matches = database_->CountMatches({value});
+    if (matches > 50) {
+      EXPECT_EQ(static_cast<int64_t>(database_->Query({value}).size()), 50);
+      return;
+    }
+  }
+  GTEST_SKIP() << "no value with more than top_k matches";
+}
+
+TEST_F(IndexTest, QueryResultsContainTerm) {
+  const TokenId value =
+      scenario().corpus1->ground_truth().value_frequencies.begin()->first;
+  for (DocId d : database_->Query({value})) {
+    const Document& doc = scenario().corpus1->document(d);
+    EXPECT_NE(std::find(doc.tokens.begin(), doc.tokens.end(), value),
+              doc.tokens.end());
+  }
+}
+
+TEST_F(IndexTest, QueryIsDeterministic) {
+  const TokenId value =
+      scenario().corpus1->ground_truth().value_frequencies.begin()->first;
+  EXPECT_EQ(database_->Query({value}), database_->Query({value}));
+}
+
+TEST_F(IndexTest, ConjunctiveQueryIsIntersection) {
+  // Find a document with a mention; query for (join_value AND second_value).
+  for (const Document& doc : scenario().corpus1->documents()) {
+    if (doc.mentions.empty()) continue;
+    const PlantedMention& m = doc.mentions.front();
+    const auto results =
+        database_->index().Query({m.join_value, m.second_value}, 1000000);
+    // Our document must be among the matches.
+    EXPECT_NE(std::find(results.begin(), results.end(), doc.id), results.end());
+    for (DocId d : results) {
+      const Document& rd = scenario().corpus1->document(d);
+      EXPECT_NE(std::find(rd.tokens.begin(), rd.tokens.end(), m.join_value),
+                rd.tokens.end());
+      EXPECT_NE(std::find(rd.tokens.begin(), rd.tokens.end(), m.second_value),
+                rd.tokens.end());
+    }
+    return;
+  }
+  FAIL() << "no mentions in corpus";
+}
+
+TEST_F(IndexTest, UnknownTermMatchesNothing) {
+  // A token id beyond the vocabulary never occurs.
+  EXPECT_EQ(database_->CountMatches({static_cast<TokenId>(10000000)}), 0);
+  EXPECT_TRUE(database_->Query({static_cast<TokenId>(10000000)}).empty());
+}
+
+TEST_F(IndexTest, EmptyQueryMatchesNothing) {
+  EXPECT_TRUE(database_->Query({}).empty());
+  EXPECT_EQ(database_->CountMatches({}), 0);
+}
+
+TEST_F(IndexTest, SentinelTokenNotIndexed) {
+  EXPECT_EQ(database_->CountMatches({Vocabulary::kSentenceEnd}), 0);
+}
+
+TEST_F(IndexTest, ScanDocumentCoversAll) {
+  std::set<DocId> seen;
+  for (int64_t i = 0; i < database_->size(); ++i) {
+    seen.insert(database_->ScanDocument(i).id);
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), database_->size());
+}
+
+// --------------------------------------------------------------------------
+// Cost model
+// --------------------------------------------------------------------------
+
+TEST(ExecutionMeterTest, ChargesAccumulate) {
+  CostModel costs;
+  costs.retrieve_seconds = 1.0;
+  costs.extract_seconds = 10.0;
+  costs.filter_seconds = 0.5;
+  costs.query_seconds = 2.0;
+  ExecutionMeter meter(costs);
+  meter.ChargeRetrieve(3);
+  meter.ChargeExtract(2);
+  meter.ChargeFilter(4);
+  meter.ChargeQuery();
+  EXPECT_EQ(meter.docs_retrieved(), 3);
+  EXPECT_EQ(meter.docs_extracted(), 2);
+  EXPECT_EQ(meter.docs_filtered(), 4);
+  EXPECT_EQ(meter.queries_issued(), 1);
+  EXPECT_DOUBLE_EQ(meter.seconds(), 3.0 + 20.0 + 2.0 + 2.0);
+}
+
+TEST(ExecutionMeterTest, ResetClearsEverything) {
+  ExecutionMeter meter;
+  meter.ChargeRetrieve(5);
+  meter.ChargeExtract(5);
+  meter.Reset();
+  EXPECT_EQ(meter.docs_retrieved(), 0);
+  EXPECT_DOUBLE_EQ(meter.seconds(), 0.0);
+}
+
+TEST(ExecutionMeterTest, DefaultCostsExtractDominates) {
+  const CostModel costs;
+  EXPECT_GT(costs.extract_seconds, costs.retrieve_seconds);
+  EXPECT_GT(costs.extract_seconds, costs.filter_seconds);
+  EXPECT_GT(costs.extract_seconds, costs.query_seconds);
+}
+
+}  // namespace
+}  // namespace iejoin

@@ -1,0 +1,260 @@
+// iejoin command-line tool.
+//
+//   iejoin_cli generate [--small|--paper] [--seed N] --out FILE
+//       Generate a two-database join scenario and save it.
+//
+//   iejoin_cli inspect --scenario FILE
+//       Print a scenario's statistics (documents, classes, values, overlap).
+//
+//   iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]
+//       [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 sc|fs|aqg]
+//       [--tau-good N] [--tau-bad N]
+//       Execute one join plan (oracle stopping when taus given, exhaustion
+//       otherwise) and report output quality and simulated time.
+//
+//   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
+//       Rank the full plan space for a quality requirement and print the
+//       optimizer's choice.
+//
+// The tool retrains extractors/classifiers/queries on a freshly generated
+// training scenario seeded from the file's contents, mirroring the
+// Workbench pipeline but over a persisted evaluation scenario.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "harness/workbench.h"
+#include "optimizer/optimizer.h"
+#include "textdb/corpus_io.h"
+
+namespace iejoin {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  iejoin_cli generate [--small|--paper] [--seed N] --out FILE\n"
+               "  iejoin_cli inspect --scenario FILE\n"
+               "  iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]\n"
+               "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
+               "             [--tau-good N] [--tau-bad N]\n"
+               "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n");
+  return 2;
+}
+
+Result<RetrievalStrategyKind> ParseStrategy(const std::string& name) {
+  if (name == "sc") return RetrievalStrategyKind::kScan;
+  if (name == "fs") return RetrievalStrategyKind::kFilteredScan;
+  if (name == "aqg") return RetrievalStrategyKind::kAutomaticQueryGeneration;
+  return Status::InvalidArgument("unknown retrieval strategy: " + name);
+}
+
+int CmdGenerate(const Args& args) {
+  if (!args.Has("out")) return Usage();
+  ScenarioSpec spec =
+      args.Has("small") ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 20090331));
+  CorpusGenerator generator(spec);
+  auto scenario = generator.Generate();
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "generate: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = SaveScenario(*scenario, args.Get("out", ""));
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%lld + %lld documents)\n", args.Get("out", "").c_str(),
+              static_cast<long long>(scenario->corpus1->size()),
+              static_cast<long long>(scenario->corpus2->size()));
+  return 0;
+}
+
+void PrintCorpusStats(const Corpus& corpus) {
+  const RelationGroundTruth& t = corpus.ground_truth();
+  std::printf("  %s (relation %s, %s ⋈-attr):\n", corpus.name().c_str(),
+              t.relation_name.c_str(), TokenTypeName(t.join_entity_type));
+  std::printf("    %lld documents: %zu good / %zu bad / %zu empty\n",
+              static_cast<long long>(corpus.size()), t.good_docs.size(),
+              t.bad_docs.size(), t.empty_docs.size());
+  std::printf("    values: |Ag|=%lld |Ab|=%lld; occurrences: %lld good, %lld bad\n",
+              static_cast<long long>(t.num_good_values),
+              static_cast<long long>(t.num_bad_values),
+              static_cast<long long>(t.total_good_occurrences),
+              static_cast<long long>(t.total_bad_occurrences));
+}
+
+int CmdInspect(const Args& args) {
+  auto scenario = LoadScenario(args.Get("scenario", ""));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "load: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("scenario: %zu vocabulary tokens\n", scenario->vocabulary->size());
+  PrintCorpusStats(*scenario->corpus1);
+  PrintCorpusStats(*scenario->corpus2);
+  std::printf("  overlap: |Agg|=%zu |Agb|=%zu |Abg|=%zu |Abb|=%zu\n",
+              scenario->values_gg.size(), scenario->values_gb.size(),
+              scenario->values_bg.size(), scenario->values_bb.size());
+  return 0;
+}
+
+/// Builds a Workbench whose evaluation scenario was loaded from disk: the
+/// training/validation draws are regenerated from a spec matching the
+/// loaded corpora's sizes.
+Result<std::unique_ptr<Workbench>> WorkbenchForScenario(const std::string& path) {
+  IEJOIN_ASSIGN_OR_RETURN(JoinScenario scenario, LoadScenario(path));
+  WorkbenchConfig config;
+  // Match the default spec shape to the loaded sizes so the training draw
+  // has comparable statistics.
+  config.scenario =
+      scenario.corpus1->size() <= 2000 ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
+  return Workbench::CreateForScenario(config, std::move(scenario));
+}
+
+int CmdRun(const Args& args) {
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""));
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+
+  JoinPlanSpec plan;
+  const std::string algorithm = args.Get("algorithm", "idjn");
+  if (algorithm == "idjn") {
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+  } else if (algorithm == "oijn") {
+    plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  } else if (algorithm == "zgjn") {
+    plan.algorithm = JoinAlgorithmKind::kZigZag;
+  } else {
+    std::fprintf(stderr, "unknown algorithm: %s\n", algorithm.c_str());
+    return 2;
+  }
+  plan.theta1 = args.GetDouble("theta1", 0.4);
+  plan.theta2 = args.GetDouble("theta2", 0.4);
+  auto x1 = ParseStrategy(args.Get("x1", "sc"));
+  auto x2 = ParseStrategy(args.Get("x2", "sc"));
+  if (!x1.ok() || !x2.ok()) return 2;
+  plan.retrieval1 = *x1;
+  plan.retrieval2 = *x2;
+
+  auto executor = CreateJoinExecutor(plan, (*bench)->resources());
+  if (!executor.ok()) {
+    std::fprintf(stderr, "executor: %s\n", executor.status().ToString().c_str());
+    return 1;
+  }
+  JoinExecutionOptions options;
+  if (args.Has("tau-good")) {
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples = args.GetInt("tau-good", 1);
+    options.requirement.max_bad_tuples =
+        args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
+  }
+  if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    options.seed_values = (*bench)->ZgjnSeeds(4);
+  }
+  auto result = (*executor)->Run(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: %s\n", plan.Describe().c_str());
+  std::printf("docs processed: %lld + %lld; queries: %lld + %lld\n",
+              static_cast<long long>(result->final_point.docs_processed1),
+              static_cast<long long>(result->final_point.docs_processed2),
+              static_cast<long long>(result->final_point.queries1),
+              static_cast<long long>(result->final_point.queries2));
+  std::printf("output: %lld good / %lld bad join tuples in %.0f simulated s\n",
+              static_cast<long long>(result->final_point.good_join_tuples),
+              static_cast<long long>(result->final_point.bad_join_tuples),
+              result->final_point.seconds);
+  if (options.stop_rule == StopRule::kOracleQuality) {
+    std::printf("requirement %s\n", result->requirement_met ? "met" : "missed");
+  }
+  return 0;
+}
+
+int CmdOptimize(const Args& args) {
+  if (!args.Has("tau-good")) return Usage();
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""));
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  auto inputs = (*bench)->OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "inputs: %s\n", inputs.status().ToString().c_str());
+    return 1;
+  }
+  QualityRequirement req;
+  req.min_good_tuples = args.GetInt("tau-good", 1);
+  req.max_bad_tuples = args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
+  const QualityAwareOptimizer optimizer(*inputs, PlanEnumerationOptions());
+  const auto ranked = optimizer.RankPlans(req);
+  int shown = 0;
+  std::printf("%-38s %9s %10s %10s %10s\n", "plan", "feasible", "est_good",
+              "est_bad", "est_time");
+  for (const PlanChoice& c : ranked) {
+    if (++shown > 12) break;
+    std::printf("%-38s %9s %10.0f %10.0f %9.0fs\n", c.plan.Describe().c_str(),
+                c.feasible ? "yes" : "no", c.estimate.expected_good,
+                c.estimate.expected_bad, c.estimate.seconds);
+  }
+  auto choice = optimizer.ChoosePlan(req);
+  if (!choice.ok()) {
+    std::printf("\nno feasible plan for this requirement\n");
+    return 0;
+  }
+  std::printf("\noptimizer picks: %s\n", choice->plan.Describe().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage();
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[arg] = argv[++i];
+    } else {
+      args.flags[arg] = "1";
+    }
+  }
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "inspect") return CmdInspect(args);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "optimize") return CmdOptimize(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace iejoin
+
+int main(int argc, char** argv) { return iejoin::Main(argc, argv); }
