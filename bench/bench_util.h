@@ -3,8 +3,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace iejoin {
 namespace bench {
@@ -42,6 +46,42 @@ inline const TrajectoryPoint& PointAtQueries(const JoinExecutionResult& result,
     if (p.queries1 + p.queries2 <= target) best = &p;
   }
   return *best;
+}
+
+/// Bundles one instrumented execution into a RunReport: metrics snapshot,
+/// span tree, trajectory, and the observed side of the prediction block
+/// (callers with a model estimate fill in the predicted_* fields).
+inline obs::RunReport MakeRunReport(const std::string& label,
+                                    const JoinExecutionResult& result,
+                                    const obs::MetricsRegistry& registry,
+                                    const obs::Tracer& tracer) {
+  obs::RunReport report;
+  report.label = label;
+  report.metrics = registry.Snapshot();
+  report.spans = tracer.spans();
+  report.dropped_spans = tracer.dropped_spans();
+  report.trajectory.reserve(result.trajectory.size());
+  for (const TrajectoryPoint& p : result.trajectory) {
+    report.trajectory.push_back(p.ToSample());
+  }
+  report.prediction.observed_good =
+      static_cast<double>(result.final_point.good_join_tuples);
+  report.prediction.observed_bad =
+      static_cast<double>(result.final_point.bad_join_tuples);
+  report.prediction.observed_seconds = result.final_point.seconds;
+  return report;
+}
+
+/// Writes a report's JSON to `path`; aborts with a message on I/O failure
+/// (bench binaries have no recovery path).
+inline void WriteReportOrDie(const obs::RunReport& report,
+                             const std::string& path) {
+  const Status status = obs::WriteFile(path, report.ToJson());
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write report %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
 }
 
 }  // namespace bench

@@ -158,5 +158,59 @@ int main() {
                 candidates.size(), choice->plan.Describe().c_str(), faster, slower,
                 faster_range, slower_range);
   }
+
+  // Instrumented re-run of one representative requirement: execute the
+  // optimizer's chosen plan with telemetry attached and emit a RunReport
+  // whose prediction block compares the optimizer's model estimate against
+  // the observed output (the paper's "quality matters" calibration check).
+  {
+    QualityRequirement req;
+    req.min_good_tuples = 32;
+    req.max_bad_tuples = 84;
+    const Result<PlanChoice> choice = optimizer.ChoosePlan(req);
+    if (!choice.ok()) {
+      std::fprintf(stderr, "runreport: no feasible plan for (32, 84)\n");
+      return 1;
+    }
+    obs::MetricsRegistry registry;
+    obs::Tracer tracer;
+    auto executor = CreateJoinExecutor(choice->plan, bench->resources());
+    if (!executor.ok()) {
+      std::fprintf(stderr, "runreport executor: %s\n",
+                   executor.status().ToString().c_str());
+      return 1;
+    }
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement = req;
+    options.metrics = &registry;
+    options.tracer = &tracer;
+    if (choice->plan.algorithm == JoinAlgorithmKind::kZigZag) {
+      options.seed_values = bench->ZgjnSeeds(4);
+    }
+    auto result = (*executor)->Run(options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "runreport run: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    obs::RunReport report =
+        bench::MakeRunReport(choice->plan.Describe(), *result, registry, tracer);
+    report.prediction.has_prediction = true;
+    report.prediction.predicted_good = choice->estimate.expected_good;
+    report.prediction.predicted_bad = choice->estimate.expected_bad;
+    report.prediction.predicted_seconds = choice->estimate.seconds;
+    bench::WriteReportOrDie(report, "table2_runreport.json");
+    std::printf(
+        "\n# RunReport (tau_g=32, tau_b=84): %s -> table2_runreport.json\n"
+        "#   good: predicted %.1f observed %.0f (delta %+.1f)\n"
+        "#   bad:  predicted %.1f observed %.0f (delta %+.1f)\n"
+        "#   time: predicted %.0fs observed %.0fs (delta %+.0fs)\n",
+        choice->plan.Describe().c_str(), report.prediction.predicted_good,
+        report.prediction.observed_good, report.prediction.good_delta(),
+        report.prediction.predicted_bad, report.prediction.observed_bad,
+        report.prediction.bad_delta(), report.prediction.predicted_seconds,
+        report.prediction.observed_seconds, report.prediction.seconds_delta());
+  }
   return 0;
 }

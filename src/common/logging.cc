@@ -3,11 +3,26 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace iejoin {
 namespace {
 
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+/// Guards sink installation and emission. Function-local static so logging
+/// works during static initialization of other translation units.
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex;
+  return *mutex;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,16 +45,67 @@ const char* LevelName(LogLevel level) {
 void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
 LogLevel GetLogThreshold() { return g_threshold.load(); }
 
-namespace internal_logging {
-
-LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower += (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "fatal" || lower == "4") return LogLevel::kFatal;
+  return std::nullopt;
 }
 
+void ApplyLogLevelFromEnv() {
+  const char* value = std::getenv("IEJOIN_LOG_LEVEL");
+  if (value == nullptr) return;
+  const std::optional<LogLevel> level = ParseLogLevel(value);
+  if (level.has_value()) SetLogThreshold(*level);
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  LogSink previous = std::move(Sink());
+  Sink() = std::move(sink);
+  return previous;
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
 LogMessage::~LogMessage() {
+  std::call_once(g_env_once, ApplyLogLevelFromEnv);
   if (level_ >= GetLogThreshold() || level_ == LogLevel::kFatal) {
-    std::fputs(stream_.str().c_str(), stderr);
-    std::fputc('\n', stderr);
+    const std::string message = stream_.str();
+    {
+      std::lock_guard<std::mutex> lock(EmitMutex());
+      bool to_stderr = true;
+      if (Sink()) {
+        Sink()(level_, file_, line_, message);
+        // The sink owns non-fatal output; fatal last words still go to
+        // stderr below.
+        to_stderr = level_ == LogLevel::kFatal;
+      }
+      if (to_stderr) {
+        std::string line = "[";
+        line += LevelName(level_);
+        line += ' ';
+        line += file_;
+        line += ':';
+        line += std::to_string(line_);
+        line += "] ";
+        line += message;
+        line += '\n';
+        std::fwrite(line.data(), 1, line.size(), stderr);
+      }
+    }
   }
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);

@@ -1,8 +1,11 @@
 #ifndef IEJOIN_COMMON_LOGGING_H_
 #define IEJOIN_COMMON_LOGGING_H_
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace iejoin {
 
@@ -10,8 +13,11 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 
 
 namespace internal_logging {
 
-/// Collects one log statement and emits it (to stderr) on destruction.
-/// FATAL messages abort the process after emission.
+/// Collects one log statement and emits it on destruction: to the process
+/// log sink when one is installed, to stderr otherwise. Emission is
+/// mutex-guarded and stderr output is a single fwrite, so messages from
+/// concurrent threads never interleave. FATAL messages abort the process
+/// after emission.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
@@ -24,6 +30,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -45,9 +53,31 @@ class Voidify {
 
 }  // namespace internal_logging
 
-/// Sets the minimum level that actually gets emitted (default: kInfo).
+/// Sets the minimum level that actually gets emitted (default: kInfo; the
+/// IEJOIN_LOG_LEVEL environment variable overrides the default once, on
+/// first use).
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();
+
+/// Parses a level name ("debug", "INFO", "warning"/"warn", "error",
+/// "fatal") or a digit 0-4; nullopt when unrecognized.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+/// Applies the IEJOIN_LOG_LEVEL environment variable to the threshold.
+/// Called automatically before the first emission; exposed for tests and
+/// for re-reading after a setenv.
+void ApplyLogLevelFromEnv();
+
+/// Receives every emitted log statement: level, source location, and the
+/// streamed message (without the "[LEVEL file:line]" prefix).
+using LogSink =
+    std::function<void(LogLevel, const char* file, int line, const std::string&)>;
+
+/// Installs a process-wide log sink, replacing stderr emission — so tests
+/// and tools can capture warnings/errors instead of scraping stderr.
+/// Passing nullptr restores the stderr default. FATAL messages are still
+/// copied to stderr before aborting. Returns the previous sink.
+LogSink SetLogSink(LogSink sink);
 
 #define IEJOIN_LOG(level)                                                  \
   ::iejoin::internal_logging::LogMessage(::iejoin::LogLevel::k##level,     \

@@ -12,6 +12,8 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(const WorkbenchConfig& conf
   // trained on the former transfer to the latter.
   auto vocabulary = std::make_shared<Vocabulary>();
 
+  obs::Tracer::Span generate_span =
+      obs::StartSpan(config.tracer, "workbench.generate_corpora");
   ScenarioSpec training_spec = config.scenario;
   training_spec.seed = config.scenario.seed + 1;
   {
@@ -31,6 +33,7 @@ Result<std::unique_ptr<Workbench>> Workbench::Create(const WorkbenchConfig& conf
     CorpusGenerator generator(config.scenario);
     IEJOIN_ASSIGN_OR_RETURN(bench->scenario_, generator.Generate(vocabulary));
   }
+  generate_span.End();
   return Wire(std::move(bench), config);
 }
 
@@ -49,6 +52,8 @@ Result<std::unique_ptr<Workbench>> Workbench::CreateForScenario(
   // to identical ids).
   std::shared_ptr<Vocabulary> vocabulary = bench->scenario_.vocabulary;
 
+  obs::Tracer::Span generate_span =
+      obs::StartSpan(config.tracer, "workbench.generate_corpora");
   ScenarioSpec training_spec = config.scenario;
   training_spec.seed = config.scenario.seed + 1;
   {
@@ -61,52 +66,82 @@ Result<std::unique_ptr<Workbench>> Workbench::CreateForScenario(
     CorpusGenerator generator(validation_spec);
     IEJOIN_ASSIGN_OR_RETURN(bench->validation_, generator.Generate(vocabulary));
   }
+  generate_span.End();
   return Wire(std::move(bench), config);
 }
 
 Result<std::unique_ptr<Workbench>> Workbench::Wire(std::unique_ptr<Workbench> bench,
                                                    const WorkbenchConfig& config) {
+  obs::Tracer::Span wire_span = obs::StartSpan(config.tracer, "workbench.wire");
   bench->database1_ = std::make_unique<TextDatabase>(
       bench->scenario_.corpus1, config.scenario.seed ^ 0x5bd1e995,
       config.max_results_per_query);
   bench->database2_ = std::make_unique<TextDatabase>(
       bench->scenario_.corpus2, config.scenario.seed ^ 0xc2b2ae35,
       config.max_results_per_query);
+  if (config.metrics != nullptr) {
+    config.metrics->gauge("workbench.database1_docs")
+        ->Set(static_cast<double>(bench->database1_->size()));
+    config.metrics->gauge("workbench.database2_docs")
+        ->Set(static_cast<double>(bench->database2_->size()));
+  }
 
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->extractor1_,
-      SnowballExtractor::Train(*bench->training_.corpus1, config.snowball1));
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->extractor2_,
-      SnowballExtractor::Train(*bench->training_.corpus2, config.snowball2));
+  {
+    obs::Tracer::Span span =
+        obs::StartSpan(config.tracer, "workbench.train_extractors");
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->extractor1_,
+        SnowballExtractor::Train(*bench->training_.corpus1, config.snowball1));
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->extractor2_,
+        SnowballExtractor::Train(*bench->training_.corpus2, config.snowball2));
+  }
 
-  const std::vector<double> grid = UniformThetaGrid(config.knob_grid_points);
-  IEJOIN_ASSIGN_OR_RETURN(
-      KnobCharacterization knobs1,
-      CharacterizeExtractor(*bench->extractor1_, *bench->training_.corpus1, grid));
-  bench->knobs1_ = std::make_unique<KnobCharacterization>(std::move(knobs1));
-  IEJOIN_ASSIGN_OR_RETURN(
-      KnobCharacterization knobs2,
-      CharacterizeExtractor(*bench->extractor2_, *bench->training_.corpus2, grid));
-  bench->knobs2_ = std::make_unique<KnobCharacterization>(std::move(knobs2));
+  {
+    obs::Tracer::Span span =
+        obs::StartSpan(config.tracer, "workbench.characterize_knobs");
+    const std::vector<double> grid = UniformThetaGrid(config.knob_grid_points);
+    IEJOIN_ASSIGN_OR_RETURN(
+        KnobCharacterization knobs1,
+        CharacterizeExtractor(*bench->extractor1_, *bench->training_.corpus1, grid));
+    bench->knobs1_ = std::make_unique<KnobCharacterization>(std::move(knobs1));
+    IEJOIN_ASSIGN_OR_RETURN(
+        KnobCharacterization knobs2,
+        CharacterizeExtractor(*bench->extractor2_, *bench->training_.corpus2, grid));
+    bench->knobs2_ = std::make_unique<KnobCharacterization>(std::move(knobs2));
+  }
 
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->classifier1_,
-      NaiveBayesClassifier::Train(*bench->training_.corpus1, config.classifier_bias));
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->classifier2_,
-      NaiveBayesClassifier::Train(*bench->training_.corpus2, config.classifier_bias));
-  bench->cls_char1_ =
-      CharacterizeClassifier(*bench->classifier1_, *bench->validation_.corpus1);
-  bench->cls_char2_ =
-      CharacterizeClassifier(*bench->classifier2_, *bench->validation_.corpus2);
+  {
+    obs::Tracer::Span span =
+        obs::StartSpan(config.tracer, "workbench.train_classifiers");
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->classifier1_,
+        NaiveBayesClassifier::Train(*bench->training_.corpus1, config.classifier_bias));
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->classifier2_,
+        NaiveBayesClassifier::Train(*bench->training_.corpus2, config.classifier_bias));
+    bench->cls_char1_ =
+        CharacterizeClassifier(*bench->classifier1_, *bench->validation_.corpus1);
+    bench->cls_char2_ =
+        CharacterizeClassifier(*bench->classifier2_, *bench->validation_.corpus2);
+  }
 
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->queries1_,
-      QueryLearner::Learn(*bench->training_.corpus1, config.aqg_max_queries));
-  IEJOIN_ASSIGN_OR_RETURN(
-      bench->queries2_,
-      QueryLearner::Learn(*bench->training_.corpus2, config.aqg_max_queries));
+  {
+    obs::Tracer::Span span =
+        obs::StartSpan(config.tracer, "workbench.learn_queries");
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->queries1_,
+        QueryLearner::Learn(*bench->training_.corpus1, config.aqg_max_queries));
+    IEJOIN_ASSIGN_OR_RETURN(
+        bench->queries2_,
+        QueryLearner::Learn(*bench->training_.corpus2, config.aqg_max_queries));
+    if (config.metrics != nullptr) {
+      config.metrics->gauge("workbench.learned_queries1")
+          ->Set(static_cast<double>(bench->queries1_.size()));
+      config.metrics->gauge("workbench.learned_queries2")
+          ->Set(static_cast<double>(bench->queries2_.size()));
+    }
+  }
 
   return bench;
 }

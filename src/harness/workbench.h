@@ -30,6 +30,13 @@ struct WorkbenchConfig {
   double classifier_bias = 0.0;
   int32_t knob_grid_points = 21;
   CostModel costs;
+
+  /// Optional telemetry (non-owning; must outlive Create/CreateForScenario).
+  /// Records workbench.* spans around the setup stages (corpus generation,
+  /// extractor training, knob/classifier characterization, query learning)
+  /// and workbench.* gauges for database sizes.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One fully wired experimental setup: evaluation corpora + databases, a

@@ -7,6 +7,9 @@
 
 #include "join/join_state.h"
 #include "join/join_types.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "textdb/vocabulary.h"
 
 namespace iejoin {
@@ -33,6 +36,25 @@ struct TrajectoryPoint {
   int64_t bad_join_tuples = 0;
   /// Simulated execution time so far.
   double seconds = 0.0;
+
+  /// Telemetry form of this point (obs::RunReport trajectories).
+  obs::TrajectorySample ToSample() const {
+    obs::TrajectorySample sample;
+    sample.side1.docs_retrieved = docs_retrieved1;
+    sample.side2.docs_retrieved = docs_retrieved2;
+    sample.side1.docs_processed = docs_processed1;
+    sample.side2.docs_processed = docs_processed2;
+    sample.side1.queries_issued = queries1;
+    sample.side2.queries_issued = queries2;
+    sample.side1.tuples_extracted = extracted1;
+    sample.side2.tuples_extracted = extracted2;
+    sample.side1.docs_with_extraction = docs_with_extraction1;
+    sample.side2.docs_with_extraction = docs_with_extraction2;
+    sample.good_join_tuples = good_join_tuples;
+    sample.bad_join_tuples = bad_join_tuples;
+    sample.seconds = seconds;
+    return sample;
+  }
 };
 
 /// When a join execution gives up control.
@@ -81,6 +103,14 @@ struct JoinExecutionOptions {
   /// Run each side's document classifier over retrieved documents and skip
   /// extraction of rejected ones (Filtered-Scan-style, charges t_F).
   bool zgjn_classifier_filter = false;
+
+  /// --- Telemetry (optional, non-owning; must outlive the run) ---
+  /// When attached, the executor mirrors per-side counters/gauges into the
+  /// registry and records a span tree (join.run -> side.retrieve /
+  /// side.extract). When null, instrumentation reduces to a pointer check —
+  /// execution is bit-identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 struct JoinExecutionResult {

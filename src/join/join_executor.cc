@@ -19,6 +19,14 @@ JoinExecutorBase::JoinExecutorBase(SideConfig side1, SideConfig side2) {
   }
 }
 
+JoinExecutorBase::~JoinExecutorBase() {
+  // Close the run span (error paths skip Finish) while the sim-time source
+  // still points at live meters, then detach it so a longer-lived tracer
+  // never calls into a destroyed executor.
+  run_span_.End();
+  if (tracer_ != nullptr) tracer_->ClearSimTimeSource();
+}
+
 Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   if (ran_) {
     return Status::FailedPrecondition("join executors are single-use");
@@ -33,23 +41,58 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   state_ = JoinState(options.max_output_tuples);
   trajectory_.clear();
   docs_since_snapshot_ = 0;
+
+  metrics_ = options.metrics;
+  tracer_ = options.tracer;
+  if (metrics_ != nullptr) {
+    for (int i = 0; i < 2; ++i) {
+      const std::string prefix = i == 0 ? "side1." : "side2.";
+      MeterTelemetry telemetry;
+      telemetry.docs_retrieved = metrics_->counter(prefix + "docs_retrieved");
+      telemetry.docs_processed = metrics_->counter(prefix + "docs_processed");
+      telemetry.docs_with_extraction =
+          metrics_->counter(prefix + "docs_with_extraction");
+      telemetry.docs_filtered = metrics_->counter(prefix + "docs_filtered");
+      telemetry.queries_issued = metrics_->counter(prefix + "queries_issued");
+      telemetry.tuples_extracted = metrics_->counter(prefix + "tuples_extracted");
+      sides_[i].meter.AttachTelemetry(telemetry);
+    }
+    metrics_->counter("join.runs")->Increment();
+    tuples_per_doc_ = metrics_->histogram(
+        "join.tuples_per_document", obs::Histogram::ExponentialBounds(1, 2, 8));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->SetSimTimeSource(
+        [this] { return sides_[0].meter.seconds() + sides_[1].meter.seconds(); });
+    run_span_ = tracer_->StartSpan("join.run");
+    run_span_.AddAttribute("algorithm", JoinAlgorithmName(kind()));
+  }
   return Status::Ok();
 }
 
 ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
   SideState& side = sides_[side_index];
   const Document& document = side.config.database->corpus().document(doc);
+  obs::Tracer::Span span = obs::StartSpan(tracer_, "side.extract");
   side.meter.ChargeExtract();
-  ++side.docs_processed;
   ++docs_since_snapshot_;
   ExtractionBatch batch = side.config.extractor->Process(document);
-  if (!batch.empty()) ++side.docs_with_extraction;
+  side.meter.RecordExtractionYield(static_cast<int64_t>(batch.size()));
+  if (tuples_per_doc_ != nullptr) {
+    tuples_per_doc_->Observe(static_cast<double>(batch.size()));
+  }
+  if (span) {
+    span.AddAttribute("side", side_index + 1);
+    span.AddAttribute("doc", static_cast<int64_t>(doc));
+    span.AddAttribute("tuples", static_cast<int64_t>(batch.size()));
+  }
   state_.AddBatch(side_index, batch);
   return batch;
 }
 
 std::vector<DocId> JoinExecutorBase::QueryAndFetch(int side_index, TokenId value) {
   SideState& side = sides_[side_index];
+  obs::Tracer::Span span = obs::StartSpan(tracer_, "side.retrieve");
   side.meter.ChargeQuery();
   std::vector<DocId> fresh;
   for (DocId d : side.config.database->Query({value})) {
@@ -59,21 +102,28 @@ std::vector<DocId> JoinExecutorBase::QueryAndFetch(int side_index, TokenId value
       fresh.push_back(d);
     }
   }
+  if (span) {
+    span.AddAttribute("side", side_index + 1);
+    span.AddAttribute("value", static_cast<int64_t>(value));
+    span.AddAttribute("new_docs", static_cast<int64_t>(fresh.size()));
+  }
   return fresh;
 }
 
 TrajectoryPoint JoinExecutorBase::Snapshot() const {
+  const obs::SideCounters& c1 = sides_[0].meter.counters();
+  const obs::SideCounters& c2 = sides_[1].meter.counters();
   TrajectoryPoint p;
-  p.docs_retrieved1 = sides_[0].meter.docs_retrieved();
-  p.docs_retrieved2 = sides_[1].meter.docs_retrieved();
-  p.docs_processed1 = sides_[0].docs_processed;
-  p.docs_processed2 = sides_[1].docs_processed;
-  p.queries1 = sides_[0].meter.queries_issued();
-  p.queries2 = sides_[1].meter.queries_issued();
-  p.extracted1 = state_.extracted_occurrences(0);
-  p.extracted2 = state_.extracted_occurrences(1);
-  p.docs_with_extraction1 = sides_[0].docs_with_extraction;
-  p.docs_with_extraction2 = sides_[1].docs_with_extraction;
+  p.docs_retrieved1 = c1.docs_retrieved;
+  p.docs_retrieved2 = c2.docs_retrieved;
+  p.docs_processed1 = c1.docs_processed;
+  p.docs_processed2 = c2.docs_processed;
+  p.queries1 = c1.queries_issued;
+  p.queries2 = c2.queries_issued;
+  p.extracted1 = c1.tuples_extracted;
+  p.extracted2 = c2.tuples_extracted;
+  p.docs_with_extraction1 = c1.docs_with_extraction;
+  p.docs_with_extraction2 = c2.docs_with_extraction;
   p.good_join_tuples = state_.good_join_tuples();
   p.bad_join_tuples = state_.bad_join_tuples();
   p.seconds = sides_[0].meter.seconds() + sides_[1].meter.seconds();
@@ -112,6 +162,23 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
   result.exhausted = exhausted;
   result.requirement_met = options.requirement.MetBy(
       result.final_point.good_join_tuples, result.final_point.bad_join_tuples);
+
+  if (metrics_ != nullptr) {
+    metrics_->gauge("join.good_tuples")
+        ->Set(static_cast<double>(result.final_point.good_join_tuples));
+    metrics_->gauge("join.bad_tuples")
+        ->Set(static_cast<double>(result.final_point.bad_join_tuples));
+    metrics_->gauge("join.sim_seconds")->Set(result.final_point.seconds);
+    metrics_->counter("join.trajectory_points")
+        ->Increment(static_cast<int64_t>(result.trajectory.size()));
+  }
+  if (run_span_) {
+    run_span_.AddAttribute("good_tuples", result.final_point.good_join_tuples);
+    run_span_.AddAttribute("bad_tuples", result.final_point.bad_join_tuples);
+    run_span_.AddAttribute("exhausted", exhausted ? "true" : "false");
+    run_span_.End();
+  }
+  if (tracer_ != nullptr) tracer_->ClearSimTimeSource();
   return result;
 }
 
@@ -267,6 +334,12 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
         "zgjn_classifier_filter requires classifiers for both sides");
   }
 
+  obs::Counter* values_enqueued =
+      metrics_ != nullptr ? metrics_->counter("zgjn.values_enqueued") : nullptr;
+  obs::Counter* docs_rejected =
+      metrics_ != nullptr ? metrics_->counter("zgjn.docs_rejected_by_classifier")
+                          : nullptr;
+
   // queues[0] holds queries destined for D1, queues[1] for D2.
   ZgjnQueryQueue queues[2] = {ZgjnQueryQueue(options.zgjn_confidence_priority),
                               ZgjnQueryQueue(options.zgjn_confidence_priority)};
@@ -286,6 +359,7 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
           sides_[side].meter.ChargeFilter();
           if (!classifiers_[side]->IsLikelyGood(
                   sides_[side].config.database->corpus().document(d))) {
+            if (docs_rejected != nullptr) docs_rejected->Increment();
             continue;
           }
         }
@@ -297,6 +371,7 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
           if (t.similarity < options.zgjn_min_confidence) continue;
           if (enqueued[other].insert(t.join_value).second) {
             queues[other].Push(t.join_value, t.similarity);
+            if (values_enqueued != nullptr) values_enqueued->Increment();
           }
         }
         MaybeSnapshot(options);

@@ -31,7 +31,7 @@ class JoinExecutorBase {
     CostModel costs;
   };
 
-  virtual ~JoinExecutorBase() = default;
+  virtual ~JoinExecutorBase();
 
   JoinExecutorBase(const JoinExecutorBase&) = delete;
   JoinExecutorBase& operator=(const JoinExecutorBase&) = delete;
@@ -47,16 +47,16 @@ class JoinExecutorBase {
 
   struct SideState {
     SideConfig config;
+    /// The single source of per-side bookkeeping (docs, queries, tuples):
+    /// trajectory points and telemetry are both read off the meter.
     ExecutionMeter meter;
     /// Documents already fetched through the query interface (dedup for
     /// query-driven retrieval).
     std::vector<bool> retrieved;
-    int64_t docs_processed = 0;
-    /// Processed documents yielding at least one extracted tuple.
-    int64_t docs_with_extraction = 0;
   };
 
-  /// Common Run prologue: validates shared options, resets state.
+  /// Common Run prologue: validates shared options, resets state, attaches
+  /// telemetry when the options carry a registry/tracer.
   Status Begin(const JoinExecutionOptions& options);
 
   /// Runs the side's extractor over the document, charges t_E, feeds the
@@ -84,6 +84,12 @@ class JoinExecutorBase {
   std::vector<TrajectoryPoint> trajectory_;
   int64_t docs_since_snapshot_ = 0;
   bool ran_ = false;
+
+  /// Telemetry attachment (null unless the run options carry them).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Histogram* tuples_per_doc_ = nullptr;
+  obs::Tracer::Span run_span_;
 };
 
 /// IDJN (Section IV-A): extracts both relations independently, retrieving

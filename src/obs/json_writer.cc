@@ -1,0 +1,118 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace iejoin {
+namespace obs {
+
+void JsonWriter::Prefix() {
+  if (comma_) out_ += ',';
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  out_ += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix();
+  out_ += '{';
+  comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  out_ += '}';
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix();
+  out_ += '[';
+  comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  out_ += ']';
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view name) {
+  Prefix();
+  AppendEscaped(name);
+  out_ += ':';
+  comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prefix();
+  AppendEscaped(value);
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  Prefix();
+  out_ += std::to_string(value);
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) return Null();
+  Prefix();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  out_ += buf;
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  Prefix();
+  out_ += value ? "true" : "false";
+  comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix();
+  out_ += "null";
+  comma_ = true;
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace iejoin

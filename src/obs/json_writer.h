@@ -1,0 +1,48 @@
+#ifndef IEJOIN_OBS_JSON_WRITER_H_
+#define IEJOIN_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace iejoin {
+namespace obs {
+
+/// Minimal streaming JSON emitter used by the telemetry serializers. Keeps
+/// the library dependency-free; callers are responsible for well-formed
+/// nesting (Begin/End pairs, Key before every object member).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object member name; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view name);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(size_t value) { return Value(static_cast<int64_t>(value)); }
+  /// Non-finite doubles serialize as null (JSON has no inf/nan literal).
+  JsonWriter& Value(double value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  void Prefix();
+  void AppendEscaped(std::string_view text);
+
+  std::string out_;
+  bool comma_ = false;
+};
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_JSON_WRITER_H_

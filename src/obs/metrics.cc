@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/json_writer.h"
+
+namespace iejoin {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  IEJOIN_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be sorted ascending";
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+                          bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of atomic<double>::fetch_add for toolchain portability.
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  IEJOIN_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.upper_bounds = histogram->upper_bounds();
+    data.bucket_counts.reserve(data.upper_bounds.size() + 1);
+    for (size_t i = 0; i <= data.upper_bounds.size(); ++i) {
+      data.bucket_counts.push_back(histogram->bucket_count(i));
+    }
+    data.count = histogram->count();
+    data.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(data);
+  }
+  return snapshot;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    diff.counters[name] = value - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  diff.gauges = gauges;
+  for (const auto& [name, data] : histograms) {
+    HistogramData d = data;
+    const auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end() &&
+        it->second.upper_bounds == data.upper_bounds) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (size_t i = 0; i < d.bucket_counts.size(); ++i) {
+        d.bucket_counts[i] -= it->second.bucket_counts[i];
+      }
+    }
+    diff.histograms[name] = std::move(d);
+  }
+  return diff;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) json.Key(name).Value(value);
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) json.Key(name).Value(value);
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, data] : histograms) {
+    json.Key(name).BeginObject();
+    json.Key("count").Value(data.count);
+    json.Key("sum").Value(data.sum);
+    json.Key("upper_bounds").BeginArray();
+    for (const double bound : data.upper_bounds) json.Value(bound);
+    json.EndArray();
+    json.Key("bucket_counts").BeginArray();
+    for (const int64_t count : data.bucket_counts) json.Value(count);
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::string out = "kind,name,value,count,sum\n";
+  char buf[64];
+  for (const auto& [name, value] : counters) {
+    out += "counter," + name + "," + std::to_string(value) + ",,\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out += "gauge," + name + "," + buf + ",,\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    std::snprintf(buf, sizeof(buf), "%.12g", data.sum);
+    out += "histogram," + name + ",," + std::to_string(data.count) + "," + buf +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace iejoin

@@ -1,0 +1,123 @@
+#ifndef IEJOIN_OBS_METRICS_H_
+#define IEJOIN_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iejoin {
+namespace obs {
+
+/// Monotone event count. Updates are relaxed atomics: cheap enough for
+/// per-document hot paths and safe for future multi-threaded executors.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: observation i lands in the first bucket whose
+/// upper bound is >= value; one implicit overflow bucket catches the rest.
+/// Bucket layout is fixed at construction so Observe is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Finite upper bounds; bucket_count(upper_bounds().size()) is overflow.
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  int64_t bucket_count(size_t index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bounds start, start*factor, ... (count values), for count >= 1.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of a registry's contents. Maps are ordered so
+/// serialization is deterministic.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<int64_t> bucket_counts;  // upper_bounds.size() + 1 entries
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  /// Number of distinct metrics captured.
+  size_t size() const {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+
+  /// Returns this snapshot minus `earlier`: counters and histogram
+  /// counts/sums subtract (metrics absent earlier keep their full value);
+  /// gauges keep this snapshot's value.
+  MetricsSnapshot DiffSince(const MetricsSnapshot& earlier) const;
+
+  std::string ToJson() const;
+  /// One line per metric: kind,name,value,count,sum.
+  std::string ToCsv() const;
+};
+
+/// Named metric registry. Lookup/creation takes a mutex; the returned
+/// pointers are stable for the registry's lifetime, so hot paths look up
+/// once and update lock-free afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// Creates the histogram with the given bounds on first use; later calls
+  /// with the same name return the existing histogram unchanged.
+  Histogram* histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_METRICS_H_

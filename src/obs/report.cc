@@ -1,0 +1,86 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace iejoin {
+namespace obs {
+
+namespace {
+
+void WriteSideCounters(const SideCounters& side, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("docs_retrieved").Value(side.docs_retrieved);
+  json.Key("docs_processed").Value(side.docs_processed);
+  json.Key("docs_with_extraction").Value(side.docs_with_extraction);
+  json.Key("docs_filtered").Value(side.docs_filtered);
+  json.Key("queries_issued").Value(side.queries_issued);
+  json.Key("tuples_extracted").Value(side.tuples_extracted);
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string RunReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("label").Value(label);
+
+  json.Key("prediction").BeginObject();
+  json.Key("has_prediction").Value(prediction.has_prediction);
+  if (prediction.has_prediction) {
+    json.Key("predicted_good").Value(prediction.predicted_good);
+    json.Key("predicted_bad").Value(prediction.predicted_bad);
+    json.Key("predicted_seconds").Value(prediction.predicted_seconds);
+  }
+  json.Key("observed_good").Value(prediction.observed_good);
+  json.Key("observed_bad").Value(prediction.observed_bad);
+  json.Key("observed_seconds").Value(prediction.observed_seconds);
+  if (prediction.has_prediction) {
+    json.Key("good_delta").Value(prediction.good_delta());
+    json.Key("bad_delta").Value(prediction.bad_delta());
+    json.Key("seconds_delta").Value(prediction.seconds_delta());
+  }
+  json.EndObject();
+
+  json.Key("trajectory").BeginArray();
+  for (const TrajectorySample& sample : trajectory) {
+    json.BeginObject();
+    json.Key("side1");
+    WriteSideCounters(sample.side1, json);
+    json.Key("side2");
+    WriteSideCounters(sample.side2, json);
+    json.Key("good_join_tuples").Value(sample.good_join_tuples);
+    json.Key("bad_join_tuples").Value(sample.bad_join_tuples);
+    json.Key("seconds").Value(sample.seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  // Embed the other serializers' output verbatim; both emit one complete
+  // JSON value.
+  std::string out = json.TakeString();
+  out.pop_back();  // strip the closing '}' to splice in the two sub-documents
+  out += ",\"metrics\":" + metrics.ToJson();
+  out += ",\"trace\":" + SpansToJson(spans, dropped_spans);
+  out += "}";
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), file);
+  const bool close_ok = std::fclose(file) == 0;
+  if (written != contents.size() || !close_ok) {
+    return Status::Unavailable("short write: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace iejoin

@@ -1,0 +1,65 @@
+#ifndef IEJOIN_OBS_REPORT_H_
+#define IEJOIN_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/side_counters.h"
+#include "obs/trace.h"
+
+namespace iejoin {
+namespace obs {
+
+/// One sampled execution state in telemetry form: two sides of counters
+/// plus the join-level composition. Join-layer TrajectoryPoints convert to
+/// this representation so reports stay independent of the join headers.
+struct TrajectorySample {
+  SideCounters side1;
+  SideCounters side2;
+  int64_t good_join_tuples = 0;
+  int64_t bad_join_tuples = 0;
+  double seconds = 0.0;
+};
+
+/// Model-predicted vs. observed run outcome — the model-vs-reality drift
+/// the paper's estimators exist to close, recorded as a first-class
+/// artifact of every instrumented execution.
+struct PredictedVsObserved {
+  bool has_prediction = false;
+  double predicted_good = 0.0;
+  double predicted_bad = 0.0;
+  double predicted_seconds = 0.0;
+  double observed_good = 0.0;
+  double observed_bad = 0.0;
+  double observed_seconds = 0.0;
+
+  double good_delta() const { return observed_good - predicted_good; }
+  double bad_delta() const { return observed_bad - predicted_bad; }
+  double seconds_delta() const { return observed_seconds - predicted_seconds; }
+};
+
+/// Everything one instrumented execution produced, bundled into a single
+/// serializable artifact: final metrics, the span tree, the sampled
+/// trajectory, and the prediction-vs-reality deltas.
+struct RunReport {
+  /// Human-readable run identity (typically JoinPlanSpec::Describe()).
+  std::string label;
+  MetricsSnapshot metrics;
+  std::vector<SpanRecord> spans;
+  size_t dropped_spans = 0;
+  std::vector<TrajectorySample> trajectory;
+  PredictedVsObserved prediction;
+
+  std::string ToJson() const;
+};
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_REPORT_H_

@@ -1,0 +1,33 @@
+#ifndef IEJOIN_OBS_SIDE_COUNTERS_H_
+#define IEJOIN_OBS_SIDE_COUNTERS_H_
+
+#include <cstdint>
+
+namespace iejoin {
+namespace obs {
+
+/// Per-side document/tuple bookkeeping of one join execution. This is the
+/// single source of truth for "what did this side do": the ExecutionMeter
+/// owns one, trajectory points are assembled from it, and the metrics layer
+/// mirrors it — so telemetry and stopping rules can never disagree.
+struct SideCounters {
+  /// Documents fetched from the database (scan cursor advances or fresh
+  /// query results).
+  int64_t docs_retrieved = 0;
+  /// Documents run through the side's extractor.
+  int64_t docs_processed = 0;
+  /// Processed documents that yielded at least one extracted tuple (the
+  /// estimator's producing-document observable).
+  int64_t docs_with_extraction = 0;
+  /// Documents pushed through a classifier (Filtered Scan / ZGJN filter).
+  int64_t docs_filtered = 0;
+  /// Keyword queries issued against the side's search interface.
+  int64_t queries_issued = 0;
+  /// Tuple occurrences extracted on this side.
+  int64_t tuples_extracted = 0;
+};
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_SIDE_COUNTERS_H_

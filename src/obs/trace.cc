@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace iejoin {
+namespace obs {
+
+Tracer::Tracer(size_t max_spans)
+    : epoch_(std::chrono::steady_clock::now()), max_spans_(max_spans) {}
+
+double Tracer::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Span Tracer::StartSpan(std::string_view name) {
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return Span();
+  }
+  SpanRecord record;
+  record.id = static_cast<int32_t>(spans_.size());
+  record.parent_id = stack_.empty() ? -1 : stack_.back();
+  record.name = std::string(name);
+  record.wall_start_us = NowUs();
+  record.sim_start_seconds = SimNow();
+  spans_.push_back(std::move(record));
+  stack_.push_back(spans_.back().id);
+  return Span(this, spans_.back().id);
+}
+
+void Tracer::EndSpan(int32_t id) {
+  SpanRecord& record = spans_[static_cast<size_t>(id)];
+  if (record.ended) return;
+  record.wall_end_us = NowUs();
+  record.sim_end_seconds = SimNow();
+  record.ended = true;
+  // RAII handles end LIFO, so this is normally the top of the stack.
+  const auto it = std::find(stack_.rbegin(), stack_.rend(), id);
+  if (it != stack_.rend()) stack_.erase(std::next(it).base());
+}
+
+void Tracer::Span::AddAttribute(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  tracer_->spans_[static_cast<size_t>(id_)].attributes.emplace_back(
+      std::string(key), std::string(value));
+}
+
+void Tracer::Span::AddAttribute(std::string_view key, int64_t value) {
+  AddAttribute(key, std::string_view(std::to_string(value)));
+}
+
+void Tracer::Span::AddAttribute(std::string_view key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  AddAttribute(key, std::string_view(buf));
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) return;
+  tracer_->EndSpan(id_);
+  tracer_ = nullptr;
+  id_ = -1;
+}
+
+namespace {
+
+void WriteSpanTree(const std::vector<SpanRecord>& spans,
+                   const std::vector<std::vector<int32_t>>& children, int32_t id,
+                   JsonWriter& json) {
+  const SpanRecord& span = spans[static_cast<size_t>(id)];
+  json.BeginObject();
+  json.Key("name").Value(span.name);
+  json.Key("wall_start_us").Value(span.wall_start_us);
+  json.Key("wall_end_us").Value(span.wall_end_us);
+  json.Key("sim_start_s").Value(span.sim_start_seconds);
+  json.Key("sim_end_s").Value(span.sim_end_seconds);
+  if (!span.ended) json.Key("open").Value(true);
+  if (!span.attributes.empty()) {
+    json.Key("attrs").BeginObject();
+    for (const auto& [key, value] : span.attributes) json.Key(key).Value(value);
+    json.EndObject();
+  }
+  if (!children[static_cast<size_t>(id)].empty()) {
+    json.Key("children").BeginArray();
+    for (const int32_t child : children[static_cast<size_t>(id)]) {
+      WriteSpanTree(spans, children, child, json);
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string SpansToJson(const std::vector<SpanRecord>& spans,
+                        size_t dropped_spans) {
+  std::vector<std::vector<int32_t>> children(spans.size());
+  std::vector<int32_t> roots;
+  for (const SpanRecord& span : spans) {
+    if (span.parent_id >= 0) {
+      children[static_cast<size_t>(span.parent_id)].push_back(span.id);
+    } else {
+      roots.push_back(span.id);
+    }
+  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("span_count").Value(spans.size());
+  json.Key("dropped_spans").Value(dropped_spans);
+  json.Key("spans").BeginArray();
+  for (const int32_t root : roots) WriteSpanTree(spans, children, root, json);
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace obs
+}  // namespace iejoin

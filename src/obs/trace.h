@@ -1,0 +1,128 @@
+#ifndef IEJOIN_OBS_TRACE_H_
+#define IEJOIN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iejoin {
+namespace obs {
+
+/// One recorded span. Spans form a tree through parent_id; both wall-clock
+/// (microseconds since the tracer's construction) and simulated time (the
+/// executors' cost-model clock, when a source is bound) are captured so
+/// model-predicted and real costs can be compared per operation.
+struct SpanRecord {
+  int32_t id = -1;
+  int32_t parent_id = -1;  // -1 = root
+  std::string name;
+  double wall_start_us = 0.0;
+  double wall_end_us = 0.0;
+  double sim_start_seconds = 0.0;
+  double sim_end_seconds = 0.0;
+  bool ended = false;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Renders spans as a nested JSON tree (children grouped under parents).
+std::string SpansToJson(const std::vector<SpanRecord>& spans,
+                        size_t dropped_spans);
+
+/// Records hierarchical timed spans. Parentage follows the open-span stack:
+/// a span started while another is open becomes its child, which matches
+/// the executors' synchronous call structure. Not thread-safe (executions
+/// are single-threaded today); the metrics registry is the concurrent half
+/// of the telemetry layer.
+class Tracer {
+ public:
+  /// Spans beyond `max_spans` are counted as dropped instead of recorded,
+  /// bounding memory on per-document instrumentation of huge runs.
+  explicit Tracer(size_t max_spans = 65536);
+
+  /// RAII span handle; ends the span on destruction. A default-constructed
+  /// handle is an inert no-op, which is how instrumentation costs nothing
+  /// when no tracer is attached.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+      other.id_ = -1;
+    }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        End();
+        tracer_ = other.tracer_;
+        id_ = other.id_;
+        other.tracer_ = nullptr;
+        other.id_ = -1;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    void AddAttribute(std::string_view key, std::string_view value);
+    void AddAttribute(std::string_view key, int64_t value);
+    void AddAttribute(std::string_view key, int value) {
+      AddAttribute(key, static_cast<int64_t>(value));
+    }
+    void AddAttribute(std::string_view key, double value);
+
+    /// Ends the span now (idempotent; destruction ends it otherwise).
+    void End();
+
+    /// True when backed by a tracer (false for no-op handles).
+    explicit operator bool() const { return tracer_ != nullptr; }
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, int32_t id) : tracer_(tracer), id_(id) {}
+
+    Tracer* tracer_ = nullptr;
+    int32_t id_ = -1;
+  };
+
+  Span StartSpan(std::string_view name);
+
+  /// Binds the simulated-clock source sampled at span start/end (executors
+  /// bind their cost meters here). The source must stay valid until cleared.
+  void SetSimTimeSource(std::function<double()> source) {
+    sim_source_ = std::move(source);
+  }
+  void ClearSimTimeSource() { sim_source_ = nullptr; }
+
+  /// All recorded spans in start order (open spans have ended == false).
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  size_t dropped_spans() const { return dropped_; }
+
+  std::string ToJson() const { return SpansToJson(spans_, dropped_); }
+
+ private:
+  void EndSpan(int32_t id);
+  double NowUs() const;
+  double SimNow() const { return sim_source_ ? sim_source_() : 0.0; }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::function<double()> sim_source_;
+  std::vector<SpanRecord> spans_;
+  std::vector<int32_t> stack_;
+  size_t max_spans_;
+  size_t dropped_ = 0;
+};
+
+/// Starts a span on a possibly-absent tracer; the null case returns a no-op
+/// handle, so instrumentation sites need no branching.
+inline Tracer::Span StartSpan(Tracer* tracer, std::string_view name) {
+  return tracer != nullptr ? tracer->StartSpan(name) : Tracer::Span();
+}
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_TRACE_H_

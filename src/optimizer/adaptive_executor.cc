@@ -136,9 +136,23 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
   JoinPlanSpec current_plan = options.initial_plan;
   int32_t switches = 0;
 
+  obs::Tracer::Span adaptive_span = obs::StartSpan(options.tracer, "adaptive.run");
+  if (adaptive_span) {
+    adaptive_span.AddAttribute("initial_plan", options.initial_plan.Describe());
+  }
+
   while (true) {
     IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<JoinExecutorBase> executor,
                             CreateJoinExecutor(current_plan, resources_));
+
+    obs::Tracer::Span phase_span = obs::StartSpan(options.tracer, "adaptive.phase");
+    if (phase_span) {
+      phase_span.AddAttribute("phase", static_cast<int64_t>(result.phases.size()));
+      phase_span.AddAttribute("plan", current_plan.Describe());
+    }
+    if (options.metrics != nullptr) {
+      options.metrics->counter("adaptive.phases")->Increment();
+    }
 
     // Per-phase adaptive state, owned by the callback.
     int64_t next_estimate_at = options.min_docs_for_estimate;
@@ -149,6 +163,8 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     JoinExecutionOptions exec_options;
     exec_options.stop_rule = StopRule::kCallback;
     exec_options.requirement = options.requirement;
+    exec_options.metrics = options.metrics;
+    exec_options.tracer = options.tracer;
     if (current_plan.algorithm == JoinAlgorithmKind::kZigZag) {
       // Seed with the offline inputs' assumed seed count; callers populate
       // seed values through the resources' first database values. The
@@ -180,8 +196,22 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       next_estimate_at = docs + options.reestimate_every_docs;
 
       if (plan_supports_estimation) {
+        obs::Tracer::Span mle_span = obs::StartSpan(options.tracer, "estimate.mle");
+        if (options.metrics != nullptr) {
+          options.metrics->counter("adaptive.reestimates")->Increment();
+        }
         Result<JoinModelParams> estimated =
             EstimateFromState(current_plan, point, state, options);
+        if (mle_span) {
+          mle_span.AddAttribute("docs_processed", docs);
+          mle_span.AddAttribute("ok", estimated.ok() ? 1 : 0);
+          if (estimated.ok()) {
+            mle_span.AddAttribute("good_values1", estimated->relation1.num_good_values);
+            mle_span.AddAttribute("bad_values1", estimated->relation1.num_bad_values);
+            mle_span.AddAttribute("good_values2", estimated->relation2.num_good_values);
+            mle_span.AddAttribute("bad_values2", estimated->relation2.num_bad_values);
+          }
+        }
         if (!estimated.ok()) return false;  // sample still too thin
         result.final_estimate = estimated.value();
         result.has_estimate = true;
@@ -203,6 +233,8 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       if (switches >= options.max_switches) return false;
       OptimizerInputs inputs = offline_inputs_;
       inputs.base_params = result.final_estimate;
+      inputs.metrics = options.metrics;
+      inputs.tracer = options.tracer;
       const QualityAwareOptimizer optimizer(inputs, enum_options_);
       const Result<PlanChoice> best = optimizer.ChoosePlan(options.requirement);
       if (!best.ok()) return false;
@@ -215,6 +247,17 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
           best->estimate.seconds < options.switch_advantage * current_predicted) {
         want_switch = true;
         switch_target = best->plan;
+        // Zero-ish-duration event span marking the decision point.
+        obs::Tracer::Span switch_span = obs::StartSpan(options.tracer, "plan.switch");
+        if (switch_span) {
+          switch_span.AddAttribute("from", current_plan.Describe());
+          switch_span.AddAttribute("to", switch_target.Describe());
+          switch_span.AddAttribute("predicted_seconds", best->estimate.seconds);
+          switch_span.AddAttribute("current_predicted_seconds", current_predicted);
+        }
+        if (options.metrics != nullptr) {
+          options.metrics->counter("adaptive.plan_switches")->Increment();
+        }
         return true;
       }
       return false;
@@ -257,6 +300,13 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     result.phases.push_back(phase);
     result.total_seconds += phase.seconds;
 
+    if (phase_span) {
+      phase_span.AddAttribute("seconds", phase.seconds);
+      phase_span.AddAttribute("switched_away", phase.switched_away ? 1 : 0);
+      phase_span.AddAttribute("exhausted", phase.exhausted ? 1 : 0);
+    }
+    phase_span.End();
+
     if (want_switch) {
       ++switches;
       current_plan = switch_target;
@@ -268,6 +318,43 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     result.requirement_met = options.requirement.MetBy(result.good_join_tuples,
                                                        result.bad_join_tuples);
     (void)believed_done;
+
+    if (adaptive_span) {
+      adaptive_span.AddAttribute("phases", static_cast<int64_t>(result.phases.size()));
+      adaptive_span.AddAttribute("total_seconds", result.total_seconds);
+      adaptive_span.AddAttribute("requirement_met", result.requirement_met ? 1 : 0);
+    }
+    adaptive_span.End();
+
+    if (options.metrics != nullptr || options.tracer != nullptr) {
+      result.report.label = current_plan.Describe();
+      if (options.metrics != nullptr) {
+        result.report.metrics = options.metrics->Snapshot();
+      }
+      if (options.tracer != nullptr) {
+        result.report.spans = options.tracer->spans();
+        result.report.dropped_spans = options.tracer->dropped_spans();
+      }
+      result.report.trajectory.reserve(exec_result.trajectory.size());
+      for (const TrajectoryPoint& p : exec_result.trajectory) {
+        result.report.trajectory.push_back(p.ToSample());
+      }
+      obs::PredictedVsObserved& pvo = result.report.prediction;
+      pvo.observed_good =
+          static_cast<double>(exec_result.final_point.good_join_tuples);
+      pvo.observed_bad =
+          static_cast<double>(exec_result.final_point.bad_join_tuples);
+      pvo.observed_seconds = exec_result.final_point.seconds;
+      if (result.has_estimate) {
+        const QualityEstimate predicted = EstimateAtCurrentEffort(
+            current_plan, result.final_estimate, exec_result.final_point);
+        pvo.has_prediction = true;
+        pvo.predicted_good = predicted.expected_good;
+        pvo.predicted_bad = predicted.expected_bad;
+        pvo.predicted_seconds = predicted.seconds;
+      }
+      result.has_report = true;
+    }
     return result;
   }
 }

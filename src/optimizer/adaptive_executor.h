@@ -7,6 +7,7 @@
 #include "estimation/join_estimator.h"
 #include "estimation/relation_estimator.h"
 #include "join/join_executor.h"
+#include "obs/report.h"
 #include "optimizer/optimizer.h"
 
 namespace iejoin {
@@ -33,6 +34,13 @@ struct AdaptiveOptions {
 
   FrequencyCoupling coupling = FrequencyCoupling::kIndependent;
   RelationEstimatorOptions estimator;
+
+  /// Optional telemetry (non-owning; must outlive the run). Forwarded to
+  /// every phase's executor and re-optimizer; the adaptive loop adds
+  /// adaptive.run / adaptive.phase / estimate.mle / plan.switch spans plus
+  /// adaptive.* counters, and assembles AdaptiveResult::report at the end.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One execution phase (a plan run until it stopped or was abandoned).
@@ -56,6 +64,12 @@ struct AdaptiveResult {
   /// Last parameter estimate produced during execution.
   JoinModelParams final_estimate;
   bool has_estimate = false;
+
+  /// Structured run report: final metrics snapshot, span tree, final-phase
+  /// trajectory, and the predicted-vs-observed quality/time deltas. Only
+  /// populated (has_report) when AdaptiveOptions carried telemetry.
+  obs::RunReport report;
+  bool has_report = false;
 };
 
 /// End-to-end adaptive quality-aware join execution (Section VI "Putting It

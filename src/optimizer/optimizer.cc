@@ -34,6 +34,9 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
     const JoinPlanSpec& plan, const QualityRequirement& requirement) const {
   PlanChoice choice;
   choice.plan = plan;
+  if (inputs_.metrics != nullptr) {
+    inputs_.metrics->counter("optimizer.plans_evaluated")->Increment();
+  }
   const JoinModelParams params = ParamsForThetas(plan.theta1, plan.theta2);
   const double tau_g =
       static_cast<double>(requirement.min_good_tuples) * inputs_.good_margin;
@@ -154,6 +157,7 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
 
 std::vector<PlanChoice> QualityAwareOptimizer::RankPlans(
     const QualityRequirement& requirement) const {
+  obs::Tracer::Span span = obs::StartSpan(inputs_.tracer, "optimizer.rank_plans");
   std::vector<PlanChoice> choices;
   for (const JoinPlanSpec& plan : EnumeratePlans(enum_options_)) {
     choices.push_back(EvaluatePlan(plan, requirement));
@@ -163,14 +167,38 @@ std::vector<PlanChoice> QualityAwareOptimizer::RankPlans(
                      if (a.feasible != b.feasible) return a.feasible;
                      return a.estimate.seconds < b.estimate.seconds;
                    });
+  int64_t feasible = 0;
+  for (const PlanChoice& c : choices) feasible += c.feasible ? 1 : 0;
+  if (inputs_.metrics != nullptr) {
+    inputs_.metrics->counter("optimizer.plans_feasible")->Increment(feasible);
+    inputs_.metrics->counter("optimizer.plans_infeasible")
+        ->Increment(static_cast<int64_t>(choices.size()) - feasible);
+  }
+  if (span) {
+    span.AddAttribute("plans", static_cast<int64_t>(choices.size()));
+    span.AddAttribute("feasible", feasible);
+    span.AddAttribute("tau_good", requirement.min_good_tuples);
+    span.AddAttribute("tau_bad", requirement.max_bad_tuples);
+  }
   return choices;
 }
 
 Result<PlanChoice> QualityAwareOptimizer::ChoosePlan(
     const QualityRequirement& requirement) const {
+  obs::Tracer::Span span = obs::StartSpan(inputs_.tracer, "optimizer.choose");
+  if (inputs_.metrics != nullptr) {
+    inputs_.metrics->counter("optimizer.choose_calls")->Increment();
+  }
   const std::vector<PlanChoice> ranked = RankPlans(requirement);
   if (ranked.empty() || !ranked.front().feasible) {
+    if (span) span.AddAttribute("chosen", "none");
     return Status::NotFound("no candidate plan meets the quality requirement");
+  }
+  if (span) {
+    span.AddAttribute("chosen", ranked.front().plan.Describe());
+    span.AddAttribute("predicted_seconds", ranked.front().estimate.seconds);
+    span.AddAttribute("predicted_good", ranked.front().estimate.expected_good);
+    span.AddAttribute("predicted_bad", ranked.front().estimate.expected_bad);
   }
   return ranked.front();
 }

@@ -8,6 +8,8 @@
 #include "join/join_types.h"
 #include "model/join_models.h"
 #include "model/model_params.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/plan_space.h"
 #include "textdb/cost_model.h"
 
@@ -35,6 +37,12 @@ struct OptimizerInputs {
   /// the optimizer skew effort toward the side whose occurrences are
   /// scarcer. Each ratio adds one bisection per IDJN plan evaluation.
   std::vector<double> idjn_effort_ratios = {1.0};
+
+  /// Optional telemetry (non-owning; must outlive the optimizer). Records
+  /// plans evaluated/feasible counters and optimizer.rank_plans /
+  /// optimizer.choose spans.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The optimizer's verdict on one candidate plan for one requirement.

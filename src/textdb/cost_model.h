@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/sim_clock.h"
+#include "obs/metrics.h"
+#include "obs/side_counters.h"
 
 namespace iejoin {
 
@@ -23,48 +25,94 @@ struct CostModel {
   double query_seconds = 0.1;
 };
 
+/// Optional per-side metric mirrors. When attached to an ExecutionMeter,
+/// every charge is forwarded to the corresponding counter at charge time —
+/// which covers all charge sites (retrieval strategies included) without
+/// instrumenting each one. Null entries are skipped, so an unattached meter
+/// costs one branch per charge.
+struct MeterTelemetry {
+  obs::Counter* docs_retrieved = nullptr;
+  obs::Counter* docs_processed = nullptr;
+  obs::Counter* docs_with_extraction = nullptr;
+  obs::Counter* docs_filtered = nullptr;
+  obs::Counter* queries_issued = nullptr;
+  obs::Counter* tuples_extracted = nullptr;
+};
+
 /// Charges simulated time and counts operations during a join execution.
-/// One meter per database side; JoinResult aggregates them.
+/// One meter per database side. The counters live in one obs::SideCounters
+/// so stopping rules, trajectories, and telemetry all read the same
+/// bookkeeping.
 class ExecutionMeter {
  public:
   explicit ExecutionMeter(CostModel costs = CostModel()) : costs_(costs) {}
 
+  /// Attaches (or, with a default-constructed argument, detaches) metric
+  /// mirrors. The counters must outlive the meter's charges.
+  void AttachTelemetry(const MeterTelemetry& telemetry) { telemetry_ = telemetry; }
+
   void ChargeRetrieve(int64_t docs = 1) {
-    docs_retrieved_ += docs;
+    counters_.docs_retrieved += docs;
+    if (telemetry_.docs_retrieved != nullptr) {
+      telemetry_.docs_retrieved->Increment(docs);
+    }
     clock_.Advance(costs_.retrieve_seconds * static_cast<double>(docs));
   }
   void ChargeExtract(int64_t docs = 1) {
-    docs_extracted_ += docs;
+    counters_.docs_processed += docs;
+    if (telemetry_.docs_processed != nullptr) {
+      telemetry_.docs_processed->Increment(docs);
+    }
     clock_.Advance(costs_.extract_seconds * static_cast<double>(docs));
   }
   void ChargeFilter(int64_t docs = 1) {
-    docs_filtered_ += docs;
+    counters_.docs_filtered += docs;
+    if (telemetry_.docs_filtered != nullptr) {
+      telemetry_.docs_filtered->Increment(docs);
+    }
     clock_.Advance(costs_.filter_seconds * static_cast<double>(docs));
   }
   void ChargeQuery(int64_t queries = 1) {
-    queries_issued_ += queries;
+    counters_.queries_issued += queries;
+    if (telemetry_.queries_issued != nullptr) {
+      telemetry_.queries_issued->Increment(queries);
+    }
     clock_.Advance(costs_.query_seconds * static_cast<double>(queries));
   }
 
+  /// Records the extraction yield of one processed document (no time
+  /// charge; ChargeExtract pays for the processing itself).
+  void RecordExtractionYield(int64_t tuples) {
+    counters_.tuples_extracted += tuples;
+    if (telemetry_.tuples_extracted != nullptr) {
+      telemetry_.tuples_extracted->Increment(tuples);
+    }
+    if (tuples > 0) {
+      ++counters_.docs_with_extraction;
+      if (telemetry_.docs_with_extraction != nullptr) {
+        telemetry_.docs_with_extraction->Increment();
+      }
+    }
+  }
+
   double seconds() const { return clock_.seconds(); }
-  int64_t docs_retrieved() const { return docs_retrieved_; }
-  int64_t docs_extracted() const { return docs_extracted_; }
-  int64_t docs_filtered() const { return docs_filtered_; }
-  int64_t queries_issued() const { return queries_issued_; }
+  const obs::SideCounters& counters() const { return counters_; }
+  int64_t docs_retrieved() const { return counters_.docs_retrieved; }
+  int64_t docs_extracted() const { return counters_.docs_processed; }
+  int64_t docs_filtered() const { return counters_.docs_filtered; }
+  int64_t queries_issued() const { return counters_.queries_issued; }
   const CostModel& costs() const { return costs_; }
 
   void Reset() {
     clock_.Reset();
-    docs_retrieved_ = docs_extracted_ = docs_filtered_ = queries_issued_ = 0;
+    counters_ = obs::SideCounters();
   }
 
  private:
   CostModel costs_;
   SimClock clock_;
-  int64_t docs_retrieved_ = 0;
-  int64_t docs_extracted_ = 0;
-  int64_t docs_filtered_ = 0;
-  int64_t queries_issued_ = 0;
+  obs::SideCounters counters_;
+  MeterTelemetry telemetry_;
 };
 
 }  // namespace iejoin

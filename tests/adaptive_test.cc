@@ -155,5 +155,77 @@ TEST_F(AdaptiveTest, HugeRequirementExhaustsAndReportsHonestly) {
   EXPECT_TRUE(result->phases.back().exhausted);
 }
 
+TEST_F(AdaptiveTest, TelemetryRecordsPhasesSwitchesAndReport) {
+  // Same setup as SwitchesWhenClearlyBeneficial, with telemetry attached:
+  // the span tree and counters must mirror the phase/switch structure, and
+  // the run must assemble a RunReport.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  AdaptiveOptions options = BaseOptions();
+  options.switch_advantage = 0.7;
+  options.max_switches = 2;
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GE(result->phases.size(), 2u);
+  EXPECT_TRUE(result->phases[0].switched_away);
+
+  size_t phase_spans = 0;
+  size_t switch_spans = 0;
+  size_t mle_spans = 0;
+  for (const obs::SpanRecord& span : tracer.spans()) {
+    if (span.name == "adaptive.phase") ++phase_spans;
+    if (span.name == "plan.switch") ++switch_spans;
+    if (span.name == "estimate.mle") ++mle_spans;
+  }
+  EXPECT_EQ(phase_spans, result->phases.size());
+  EXPECT_GE(mle_spans, 1u);
+
+  size_t switched = 0;
+  for (const AdaptivePhase& phase : result->phases) {
+    if (phase.switched_away) ++switched;
+  }
+  EXPECT_EQ(switch_spans, switched);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("adaptive.phases"),
+            static_cast<int64_t>(result->phases.size()));
+  EXPECT_EQ(snap.counters.at("adaptive.plan_switches"),
+            static_cast<int64_t>(switched));
+  EXPECT_GE(snap.counters.at("adaptive.reestimates"), 1);
+  EXPECT_GT(snap.counters.at("optimizer.plans_evaluated"), 0);
+
+  ASSERT_TRUE(result->has_report);
+  EXPECT_EQ(result->report.label, result->phases.back().plan.Describe());
+  EXPECT_GE(result->report.metrics.size(), 10u);
+  EXPECT_FALSE(result->report.spans.empty());
+  EXPECT_TRUE(result->report.prediction.has_prediction);
+  EXPECT_DOUBLE_EQ(result->report.prediction.observed_good,
+                   static_cast<double>(result->good_join_tuples));
+}
+
+TEST_F(AdaptiveTest, TelemetryDoesNotChangeAdaptiveOutcome) {
+  AdaptiveOptions options = BaseOptions();
+  auto plain = Run(options);
+  ASSERT_TRUE(plain.ok());
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  options.metrics = &registry;
+  options.tracer = &tracer;
+  auto instrumented = Run(options);
+  ASSERT_TRUE(instrumented.ok());
+
+  ASSERT_EQ(plain->phases.size(), instrumented->phases.size());
+  for (size_t i = 0; i < plain->phases.size(); ++i) {
+    EXPECT_EQ(plain->phases[i].plan.Describe(),
+              instrumented->phases[i].plan.Describe());
+    EXPECT_DOUBLE_EQ(plain->phases[i].seconds, instrumented->phases[i].seconds);
+  }
+  EXPECT_EQ(plain->good_join_tuples, instrumented->good_join_tuples);
+  EXPECT_EQ(plain->bad_join_tuples, instrumented->bad_join_tuples);
+  EXPECT_DOUBLE_EQ(plain->total_seconds, instrumented->total_seconds);
+}
+
 }  // namespace
 }  // namespace iejoin

@@ -1,8 +1,9 @@
-// Unit tests for src/common: Status/Result, Rng, string utilities, and the
-// simulated clock.
+// Unit tests for src/common: Status/Result, Rng, string utilities, logging,
+// and the simulated clock.
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <string>
@@ -10,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/sim_clock.h"
 #include "common/status.h"
@@ -330,6 +332,68 @@ TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
   EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
   EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// --------------------------------------------------------------------------
+// Logging
+// --------------------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal"), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("9"), std::nullopt);
+}
+
+TEST(LoggingTest, SinkCapturesMessagesAndRestores) {
+  struct Captured {
+    LogLevel level;
+    std::string file;
+    int line;
+    std::string message;
+  };
+  std::vector<Captured> captured;
+  LogSink previous = SetLogSink(
+      [&captured](LogLevel level, const char* file, int line,
+                  const std::string& message) {
+        captured.push_back(Captured{level, file, line, message});
+      });
+
+  const LogLevel old_threshold = GetLogThreshold();
+  SetLogThreshold(LogLevel::kInfo);
+  IEJOIN_LOG(Warning) << "captured " << 42;
+  IEJOIN_LOG(Debug) << "below threshold";  // must not reach the sink
+
+  SetLogThreshold(old_threshold);
+  SetLogSink(std::move(previous));
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarning);
+  EXPECT_EQ(captured[0].message, "captured 42");
+  EXPECT_NE(captured[0].file.find("common_test"), std::string::npos);
+  EXPECT_GT(captured[0].line, 0);
+}
+
+TEST(LoggingTest, EnvOverrideSetsThreshold) {
+  const LogLevel old_threshold = GetLogThreshold();
+  ASSERT_EQ(setenv("IEJOIN_LOG_LEVEL", "error", /*overwrite=*/1), 0);
+  ApplyLogLevelFromEnv();
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+
+  // Unparsable values leave the threshold untouched.
+  ASSERT_EQ(setenv("IEJOIN_LOG_LEVEL", "nonsense", 1), 0);
+  ApplyLogLevelFromEnv();
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+
+  ASSERT_EQ(unsetenv("IEJOIN_LOG_LEVEL"), 0);
+  SetLogThreshold(old_threshold);
 }
 
 // --------------------------------------------------------------------------

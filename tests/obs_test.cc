@@ -1,0 +1,516 @@
+// Tests for the telemetry subsystem (src/obs): metrics registry, span
+// tracer, JSON serialization, run reports — and the guard test proving that
+// attaching telemetry to a join execution does not perturb it.
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace iejoin {
+namespace {
+
+// --------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker (test-only): enough to
+// prove the serializers emit well-formed documents without a JSON library.
+// --------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) { return JsonChecker(text).Valid(); }
+
+// --------------------------------------------------------------------------
+// JsonWriter
+// --------------------------------------------------------------------------
+
+TEST(JsonWriterTest, WritesNestedStructures) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("a").Value(int64_t{1});
+  json.Key("b").BeginArray();
+  json.Value("x");
+  json.Value(2.5);
+  json.Value(true);
+  json.Null();
+  json.EndArray();
+  json.Key("c").BeginObject();
+  json.EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.str(), R"({"a":1,"b":["x",2.5,true,null],"c":{}})");
+  EXPECT_TRUE(IsValidJson(json.str()));
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("s").Value("quote\" slash\\ nl\n tab\t ctrl\x01");
+  json.EndObject();
+  EXPECT_EQ(json.str(),
+            "{\"s\":\"quote\\\" slash\\\\ nl\\n tab\\t ctrl\\u0001\"}");
+  EXPECT_TRUE(IsValidJson(json.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  obs::JsonWriter json;
+  json.BeginArray();
+  json.Value(std::numeric_limits<double>::infinity());
+  json.Value(std::nan(""));
+  json.EndArray();
+  EXPECT_EQ(json.str(), "[null,null]");
+}
+
+// --------------------------------------------------------------------------
+// Metrics
+// --------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  obs::Gauge g;
+  g.Set(1.5);
+  g.Set(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), -3.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0
+  h.Observe(3.0);   // bucket 2 (<= 4)
+  h.Observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 0);
+  EXPECT_EQ(h.bucket_count(2), 1);
+  EXPECT_EQ(h.bucket_count(3), 1);  // overflow bucket
+}
+
+TEST(MetricsTest, ExponentialBounds) {
+  const std::vector<double> bounds = obs::Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 8.0);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.counter("x");
+  a->Increment(7);
+  EXPECT_EQ(registry.counter("x"), a);
+  EXPECT_EQ(registry.counter("x")->value(), 7);
+  EXPECT_NE(registry.counter("y"), a);
+
+  obs::Histogram* h = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(registry.histogram("h", {99.0}), h);  // bounds fixed at creation
+  EXPECT_EQ(h->upper_bounds().size(), 2u);
+}
+
+TEST(MetricsTest, SnapshotCapturesEverything) {
+  obs::MetricsRegistry registry;
+  registry.counter("c")->Increment(3);
+  registry.gauge("g")->Set(2.5);
+  registry.histogram("h", {1.0})->Observe(0.5);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.counters.at("c"), 3);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+  ASSERT_EQ(snap.histograms.at("h").bucket_counts.size(), 2u);
+  EXPECT_EQ(snap.histograms.at("h").bucket_counts[0], 1);
+}
+
+TEST(MetricsTest, DiffSinceSubtractsCountersKeepsGauges) {
+  obs::MetricsRegistry registry;
+  registry.counter("c")->Increment(10);
+  registry.gauge("g")->Set(1.0);
+  registry.histogram("h", {1.0})->Observe(0.5);
+  const obs::MetricsSnapshot before = registry.Snapshot();
+
+  registry.counter("c")->Increment(5);
+  registry.gauge("g")->Set(9.0);
+  registry.histogram("h", {1.0})->Observe(0.25);
+  registry.counter("new")->Increment(2);
+  const obs::MetricsSnapshot after = registry.Snapshot();
+
+  const obs::MetricsSnapshot diff = after.DiffSince(before);
+  EXPECT_EQ(diff.counters.at("c"), 5);
+  EXPECT_EQ(diff.counters.at("new"), 2);
+  EXPECT_DOUBLE_EQ(diff.gauges.at("g"), 9.0);
+  EXPECT_EQ(diff.histograms.at("h").count, 1);
+  EXPECT_DOUBLE_EQ(diff.histograms.at("h").sum, 0.25);
+}
+
+TEST(MetricsTest, JsonAndCsvSerialization) {
+  obs::MetricsRegistry registry;
+  registry.counter("join.runs")->Increment();
+  registry.gauge("sim")->Set(1.5);
+  registry.histogram("lat", {1.0, 2.0})->Observe(1.5);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"join.runs\":1"), std::string::npos);
+
+  const std::string csv = snap.ToCsv();
+  EXPECT_NE(csv.find("counter,join.runs,1"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,sim,"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,lat,"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Tracer
+// --------------------------------------------------------------------------
+
+TEST(TracerTest, NestsByOpenSpanStack) {
+  obs::Tracer tracer;
+  {
+    obs::Tracer::Span root = tracer.StartSpan("root");
+    {
+      obs::Tracer::Span child = tracer.StartSpan("child");
+      obs::Tracer::Span grandchild = tracer.StartSpan("grandchild");
+    }
+    obs::Tracer::Span sibling = tracer.StartSpan("sibling");
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_id, -1);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].parent_id, spans[1].id);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent_id, spans[0].id);
+  for (const obs::SpanRecord& s : spans) {
+    EXPECT_TRUE(s.ended);
+    EXPECT_GE(s.wall_end_us, s.wall_start_us);
+  }
+}
+
+TEST(TracerTest, AttributesAndExplicitEnd) {
+  obs::Tracer tracer;
+  obs::Tracer::Span span = tracer.StartSpan("op");
+  span.AddAttribute("k", "v");
+  span.AddAttribute("n", int64_t{7});
+  span.AddAttribute("d", 1.5);
+  span.End();
+  span.End();  // idempotent
+  const obs::SpanRecord& rec = tracer.spans()[0];
+  ASSERT_EQ(rec.attributes.size(), 3u);
+  EXPECT_EQ(rec.attributes[0].first, "k");
+  EXPECT_EQ(rec.attributes[0].second, "v");
+  EXPECT_EQ(rec.attributes[1].second, "7");
+  EXPECT_TRUE(rec.ended);
+}
+
+TEST(TracerTest, NoopSpanWhenTracerAbsent) {
+  obs::Tracer::Span span = obs::StartSpan(nullptr, "anything");
+  EXPECT_FALSE(static_cast<bool>(span));
+  span.AddAttribute("k", "v");  // must not crash
+  span.End();
+}
+
+TEST(TracerTest, DropsSpansBeyondCap) {
+  obs::Tracer tracer(/*max_spans=*/2);
+  obs::Tracer::Span a = tracer.StartSpan("a");
+  obs::Tracer::Span b = tracer.StartSpan("b");
+  obs::Tracer::Span c = tracer.StartSpan("c");
+  EXPECT_FALSE(static_cast<bool>(c));
+  EXPECT_EQ(tracer.spans().size(), 2u);
+  EXPECT_EQ(tracer.dropped_spans(), 1u);
+}
+
+TEST(TracerTest, SimTimeSourceSampledAtStartAndEnd) {
+  obs::Tracer tracer;
+  double sim = 10.0;
+  tracer.SetSimTimeSource([&sim] { return sim; });
+  obs::Tracer::Span span = tracer.StartSpan("op");
+  sim = 25.0;
+  span.End();
+  tracer.ClearSimTimeSource();
+  const obs::SpanRecord& rec = tracer.spans()[0];
+  EXPECT_DOUBLE_EQ(rec.sim_start_seconds, 10.0);
+  EXPECT_DOUBLE_EQ(rec.sim_end_seconds, 25.0);
+}
+
+TEST(TracerTest, ToJsonIsValidNestedTree) {
+  obs::Tracer tracer;
+  {
+    obs::Tracer::Span root = tracer.StartSpan("root");
+    root.AddAttribute("quoted", "needs \"escaping\"");
+    obs::Tracer::Span child = tracer.StartSpan("child");
+  }
+  const std::string json = tracer.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"span_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"children\":[{\"name\":\"child\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// RunReport
+// --------------------------------------------------------------------------
+
+TEST(RunReportTest, ToJsonBundlesAllSections) {
+  obs::MetricsRegistry registry;
+  registry.counter("c")->Increment(3);
+  obs::Tracer tracer;
+  { obs::Tracer::Span s = tracer.StartSpan("join.run"); }
+
+  obs::RunReport report;
+  report.label = "IDJN test";
+  report.metrics = registry.Snapshot();
+  report.spans = tracer.spans();
+  obs::TrajectorySample sample;
+  sample.side1.docs_processed = 5;
+  sample.good_join_tuples = 2;
+  sample.seconds = 1.5;
+  report.trajectory.push_back(sample);
+  report.prediction.has_prediction = true;
+  report.prediction.predicted_good = 10.0;
+  report.prediction.observed_good = 8.0;
+
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"label\":\"IDJN test\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(json.find("\"good_delta\":-2"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Guard test: telemetry must not perturb execution.
+// --------------------------------------------------------------------------
+
+class ObsExecutionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec ScanPlan() {
+    JoinPlanSpec plan;
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+    plan.theta1 = plan.theta2 = 0.4;
+    plan.retrieval1 = RetrievalStrategyKind::kScan;
+    plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  static Result<JoinExecutionResult> RunScanPlan(obs::MetricsRegistry* metrics,
+                                                 obs::Tracer* tracer) {
+    auto executor = CreateJoinExecutor(ScanPlan(), bench().resources());
+    EXPECT_TRUE(executor.ok());
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples = 20;
+    options.requirement.max_bad_tuples = 100000;
+    options.metrics = metrics;
+    options.tracer = tracer;
+    return (*executor)->Run(options);
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* ObsExecutionTest::bench_ = nullptr;
+
+TEST_F(ObsExecutionTest, TelemetryDoesNotPerturbExecution) {
+  auto plain = RunScanPlan(nullptr, nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  auto instrumented = RunScanPlan(&registry, &tracer);
+  ASSERT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+
+  EXPECT_EQ(plain->final_point.docs_processed1,
+            instrumented->final_point.docs_processed1);
+  EXPECT_EQ(plain->final_point.docs_processed2,
+            instrumented->final_point.docs_processed2);
+  EXPECT_EQ(plain->final_point.extracted1, instrumented->final_point.extracted1);
+  EXPECT_EQ(plain->final_point.extracted2, instrumented->final_point.extracted2);
+  EXPECT_EQ(plain->final_point.good_join_tuples,
+            instrumented->final_point.good_join_tuples);
+  EXPECT_EQ(plain->final_point.bad_join_tuples,
+            instrumented->final_point.bad_join_tuples);
+  EXPECT_DOUBLE_EQ(plain->final_point.seconds, instrumented->final_point.seconds);
+  EXPECT_EQ(plain->trajectory.size(), instrumented->trajectory.size());
+}
+
+TEST_F(ObsExecutionTest, ExecutorPopulatesRegistryAndTrace) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  auto result = RunScanPlan(&registry, &tracer);
+  ASSERT_TRUE(result.ok());
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_GE(snap.size(), 10u);  // the documented metric scheme is rich
+  // Mirrored side counters must agree exactly with the final point.
+  EXPECT_EQ(snap.counters.at("side1.docs_processed"),
+            result->final_point.docs_processed1);
+  EXPECT_EQ(snap.counters.at("side2.docs_processed"),
+            result->final_point.docs_processed2);
+  EXPECT_EQ(snap.counters.at("side1.tuples_extracted"),
+            result->final_point.extracted1);
+  EXPECT_EQ(snap.counters.at("join.runs"), 1);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("join.good_tuples"),
+                   static_cast<double>(result->final_point.good_join_tuples));
+  EXPECT_EQ(snap.histograms.at("join.tuples_per_document").count,
+            result->final_point.docs_processed1 +
+                result->final_point.docs_processed2);
+
+  // Span tree: one join.run root with side.extract children.
+  const auto& spans = tracer.spans();
+  ASSERT_FALSE(spans.empty());
+  const obs::SpanRecord* run = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "join.run") run = &s;
+  }
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->parent_id, -1);
+  EXPECT_TRUE(run->ended);
+  int64_t extract_children = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "side.extract" && s.parent_id == run->id) ++extract_children;
+  }
+  EXPECT_EQ(extract_children, result->final_point.docs_processed1 +
+                                  result->final_point.docs_processed2);
+  // The executor binds the cost-model clock: the run span's simulated end
+  // time is the execution's simulated duration.
+  EXPECT_DOUBLE_EQ(run->sim_end_seconds, result->final_point.seconds);
+
+  EXPECT_TRUE(IsValidJson(tracer.ToJson()));
+  EXPECT_TRUE(IsValidJson(snap.ToJson()));
+}
+
+}  // namespace
+}  // namespace iejoin

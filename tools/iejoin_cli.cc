@@ -9,10 +9,14 @@
 //   iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]
 //       [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 sc|fs|aqg]
 //       [--tau-good N] [--tau-bad N]
+//       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
 //       Execute one join plan (oracle stopping when taus given, exhaustion
-//       otherwise) and report output quality and simulated time.
+//       otherwise) and report output quality and simulated time. The *-out
+//       flags attach the telemetry subsystem (docs/OBSERVABILITY.md) and
+//       dump the metrics snapshot, span tree, or full run report as JSON.
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
+//       [--metrics-out FILE] [--trace-out FILE]
 //       Rank the full plan space for a quality requirement and print the
 //       optimizer's choice.
 //
@@ -27,6 +31,9 @@
 #include <string>
 
 #include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "textdb/corpus_io.h"
 
@@ -60,7 +67,9 @@ int Usage() {
                "  iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]\n"
                "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
                "             [--tau-good N] [--tau-bad N]\n"
-               "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n");
+               "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
+               "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
+               "             [--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -124,19 +133,45 @@ int CmdInspect(const Args& args) {
 
 /// Builds a Workbench whose evaluation scenario was loaded from disk: the
 /// training/validation draws are regenerated from a spec matching the
-/// loaded corpora's sizes.
-Result<std::unique_ptr<Workbench>> WorkbenchForScenario(const std::string& path) {
+/// loaded corpora's sizes. Telemetry pointers may be null.
+Result<std::unique_ptr<Workbench>> WorkbenchForScenario(
+    const std::string& path, obs::MetricsRegistry* metrics = nullptr,
+    obs::Tracer* tracer = nullptr) {
   IEJOIN_ASSIGN_OR_RETURN(JoinScenario scenario, LoadScenario(path));
   WorkbenchConfig config;
   // Match the default spec shape to the loaded sizes so the training draw
   // has comparable statistics.
   config.scenario =
       scenario.corpus1->size() <= 2000 ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
+  config.metrics = metrics;
+  config.tracer = tracer;
   return Workbench::CreateForScenario(config, std::move(scenario));
 }
 
+/// Writes `contents` to the path under `flag` when present; returns false
+/// (after printing) on I/O failure.
+bool MaybeDump(const Args& args, const std::string& flag,
+               const std::string& contents) {
+  if (!args.Has(flag)) return true;
+  const std::string path = args.Get(flag, "");
+  const Status status = obs::WriteFile(path, contents);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", flag.c_str(), status.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 int CmdRun(const Args& args) {
-  auto bench = WorkbenchForScenario(args.Get("scenario", ""));
+  const bool telemetry = args.Has("metrics-out") || args.Has("trace-out") ||
+                         args.Has("report-out");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
+  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -177,6 +212,8 @@ int CmdRun(const Args& args) {
   if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
     options.seed_values = (*bench)->ZgjnSeeds(4);
   }
+  options.metrics = metrics;
+  options.tracer = trace;
   auto result = (*executor)->Run(options);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
@@ -195,12 +232,40 @@ int CmdRun(const Args& args) {
   if (options.stop_rule == StopRule::kOracleQuality) {
     std::printf("requirement %s\n", result->requirement_met ? "met" : "missed");
   }
+
+  if (telemetry) {
+    if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
+    if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+    if (args.Has("report-out")) {
+      obs::RunReport report;
+      report.label = plan.Describe();
+      report.metrics = registry.Snapshot();
+      report.spans = tracer.spans();
+      report.dropped_spans = tracer.dropped_spans();
+      report.trajectory.reserve(result->trajectory.size());
+      for (const TrajectoryPoint& p : result->trajectory) {
+        report.trajectory.push_back(p.ToSample());
+      }
+      report.prediction.observed_good =
+          static_cast<double>(result->final_point.good_join_tuples);
+      report.prediction.observed_bad =
+          static_cast<double>(result->final_point.bad_join_tuples);
+      report.prediction.observed_seconds = result->final_point.seconds;
+      if (!MaybeDump(args, "report-out", report.ToJson())) return 1;
+    }
+  }
   return 0;
 }
 
 int CmdOptimize(const Args& args) {
   if (!args.Has("tau-good")) return Usage();
-  auto bench = WorkbenchForScenario(args.Get("scenario", ""));
+  const bool telemetry = args.Has("metrics-out") || args.Has("trace-out");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
+  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -210,6 +275,8 @@ int CmdOptimize(const Args& args) {
     std::fprintf(stderr, "inputs: %s\n", inputs.status().ToString().c_str());
     return 1;
   }
+  inputs->metrics = metrics;
+  inputs->tracer = trace;
   QualityRequirement req;
   req.min_good_tuples = args.GetInt("tau-good", 1);
   req.max_bad_tuples = args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
@@ -225,11 +292,15 @@ int CmdOptimize(const Args& args) {
                 c.estimate.expected_bad, c.estimate.seconds);
   }
   auto choice = optimizer.ChoosePlan(req);
-  if (!choice.ok()) {
+  if (choice.ok()) {
+    std::printf("\noptimizer picks: %s\n", choice->plan.Describe().c_str());
+  } else {
     std::printf("\nno feasible plan for this requirement\n");
-    return 0;
   }
-  std::printf("\noptimizer picks: %s\n", choice->plan.Describe().c_str());
+  if (telemetry) {
+    if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
+    if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+  }
   return 0;
 }
 
