@@ -4,12 +4,21 @@
 // asymmetric database sizes, inverted overlap mixes, different random
 // draws — and reports, per scenario, whether the chosen plan actually met
 // the requirement and how it ranked among all candidates.
+//
+// A second section sweeps the fault-injection matrix (docs/ROBUSTNESS.md):
+// each join algorithm runs under a spectrum of fault plans — transient
+// errors, timeouts, burst outages, breaker storms, deadlines — and the
+// table shows how output quality and cost degrade, never crash.
+//
+// `--smoke` shrinks the scenarios and sweep for use as a ctest smoke test.
 
 #include <cstdio>
+#include <cstring>
 #include <optional>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "fault/fault_plan.h"
 #include "optimizer/optimizer.h"
 
 using namespace iejoin;  // NOLINT — benchmark binary
@@ -21,8 +30,17 @@ struct ScenarioVariant {
   ScenarioSpec spec;
 };
 
-std::vector<ScenarioVariant> Variants() {
+std::vector<ScenarioVariant> Variants(bool smoke) {
   std::vector<ScenarioVariant> out;
+
+  if (smoke) {
+    ScenarioSpec base = ScenarioSpec::Small();
+    out.push_back({"baseline-small", base});
+    ScenarioSpec reseeded = base;
+    reseeded.seed = 777;
+    out.push_back({"different-draw", reseeded});
+    return out;
+  }
 
   ScenarioSpec base = ScenarioSpec::PaperLike();
   base.relation1.num_documents = 5000;
@@ -56,13 +74,7 @@ std::optional<double> TimeToMeet(const JoinExecutionResult& result,
   return std::nullopt;
 }
 
-}  // namespace
-
-int main() {
-  QualityRequirement req;
-  req.min_good_tuples = 64;
-  req.max_bad_tuples = 2000;
-
+void OptimizerSection(bool smoke, const QualityRequirement& req) {
   std::printf("# Optimizer robustness across scenario shapes (tau_g=%lld, "
               "tau_b=%lld)\n",
               static_cast<long long>(req.min_good_tuples),
@@ -70,7 +82,7 @@ int main() {
   std::printf("%-20s %6s | %-34s | %5s | %7s %7s\n", "scenario", "#cand", "chosen",
               "met", "#faster", "#slower");
 
-  for (const ScenarioVariant& variant : Variants()) {
+  for (const ScenarioVariant& variant : Variants(smoke)) {
     WorkbenchConfig config;
     config.scenario = variant.spec;
     auto bench = Workbench::Create(config);
@@ -87,15 +99,10 @@ int main() {
     };
     std::vector<Executed> executed;
     for (const JoinPlanSpec& plan : EnumeratePlans(PlanEnumerationOptions())) {
-      auto executor = CreateJoinExecutor(plan, (*bench)->resources());
-      if (!executor.ok()) continue;
       JoinExecutionOptions options;
       options.stop_rule = StopRule::kExhaustion;
       options.snapshot_every_docs = 4;
-      if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
-        options.seed_values = (*bench)->ZgjnSeeds(4);
-      }
-      auto result = (*executor)->Run(options);
+      auto result = (*bench)->RunPlan(plan, options);
       if (!result.ok()) continue;
       executed.push_back(Executed{plan, TimeToMeet(*result, req)});
     }
@@ -130,5 +137,111 @@ int main() {
                 choice->plan.Describe().c_str(),
                 chosen_time.has_value() ? "yes" : "NO", faster, slower);
   }
+}
+
+struct FaultVariant {
+  const char* name;
+  const char* spec;  // ParseFaultPlan syntax; nullptr = no injector
+};
+
+void FaultSection(bool smoke) {
+  const double deadline = smoke ? 300.0 : 3000.0;
+  char deadline_spec[64];
+  std::snprintf(deadline_spec, sizeof(deadline_spec), "deadline=%.0f", deadline);
+  const std::vector<FaultVariant> faults = {
+      {"none", nullptr},
+      {"transient", "extract.error=0.1,retrieve.error=0.05,retry.attempts=4"},
+      {"timeouts", "extract.timeout=0.05,extract.timeout-cost=3,retry.attempts=3"},
+      {"outage", "outage=50:150,retry.attempts=2"},
+      {"breaker-storm",
+       "extract.error=0.6,retry.attempts=2,breaker.threshold=5,"
+       "breaker.cooldown=50"},
+      {"deadline", deadline_spec},
+  };
+
+  struct PlanVariant {
+    const char* name;
+    JoinPlanSpec plan;
+  };
+  std::vector<PlanVariant> plans;
+  {
+    JoinPlanSpec idjn;
+    idjn.algorithm = JoinAlgorithmKind::kIndependent;
+    idjn.theta1 = idjn.theta2 = 0.4;
+    plans.push_back({"idjn-sc", idjn});
+    JoinPlanSpec oijn;
+    oijn.algorithm = JoinAlgorithmKind::kOuterInner;
+    oijn.theta1 = oijn.theta2 = 0.4;
+    plans.push_back({"oijn", oijn});
+    JoinPlanSpec zgjn;
+    zgjn.algorithm = JoinAlgorithmKind::kZigZag;
+    zgjn.theta1 = zgjn.theta2 = 0.4;
+    plans.push_back({"zgjn", zgjn});
+  }
+
+  WorkbenchConfig config;
+  config.scenario = smoke ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
+  auto bench = Workbench::Create(config);
+  if (!bench.ok()) {
+    std::printf("fault sweep workbench failed: %s\n",
+                bench.status().ToString().c_str());
+    return;
+  }
+
+  std::printf("\n# Fault-injection sweep (exhaustion runs, docs/ROBUSTNESS.md)\n");
+  std::printf("%-9s %-14s | %7s %7s %9s | %6s %6s %6s %5s | %s\n", "plan",
+              "faults", "good", "bad", "seconds", "drop_d", "drop_q", "retry",
+              "fail", "flags");
+
+  for (const PlanVariant& pv : plans) {
+    for (const FaultVariant& fv : faults) {
+      fault::FaultPlan fault_plan;
+      if (fv.spec != nullptr) {
+        auto parsed = fault::ParseFaultPlan(fv.spec);
+        if (!parsed.ok()) {
+          std::printf("%-9s %-14s | parse failed: %s\n", pv.name, fv.name,
+                      parsed.status().ToString().c_str());
+          continue;
+        }
+        fault_plan = *parsed;
+      }
+      JoinExecutionOptions options;
+      options.stop_rule = StopRule::kExhaustion;
+      if (fv.spec != nullptr) options.fault_plan = &fault_plan;
+      auto result = (*bench)->RunPlan(pv.plan, options);
+      if (!result.ok()) {
+        std::printf("%-9s %-14s | run failed: %s\n", pv.name, fv.name,
+                    result.status().ToString().c_str());
+        continue;
+      }
+      const TrajectoryPoint& p = result->final_point;
+      char flags[32] = "";
+      if (result->degraded) std::strcat(flags, "degraded ");
+      if (result->deadline_exceeded) std::strcat(flags, "deadline");
+      std::printf("%-9s %-14s | %7lld %7lld %8.0fs | %6lld %6lld %6lld %5lld | %s\n",
+                  pv.name, fv.name, static_cast<long long>(p.good_join_tuples),
+                  static_cast<long long>(p.bad_join_tuples), p.seconds,
+                  static_cast<long long>(p.docs_dropped1 + p.docs_dropped2),
+                  static_cast<long long>(p.queries_dropped1 + p.queries_dropped2),
+                  static_cast<long long>(p.ops_retried1 + p.ops_retried2),
+                  static_cast<long long>(p.ops_failed1 + p.ops_failed2), flags);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  QualityRequirement req;
+  req.min_good_tuples = smoke ? 24 : 64;
+  req.max_bad_tuples = smoke ? 100000 : 2000;
+
+  OptimizerSection(smoke, req);
+  FaultSection(smoke);
   return 0;
 }

@@ -16,8 +16,12 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kUnavailable,
+  kDeadlineExceeded,
   kInternal,
 };
+
+/// One past the last valid StatusCode (for exhaustive iteration in tests).
+inline constexpr int kNumStatusCodes = static_cast<int>(StatusCode::kInternal) + 1;
 
 /// Returns a stable human-readable name for a status code ("OK",
 /// "INVALID_ARGUMENT", ...).
@@ -50,6 +54,9 @@ class Status {
   }
   static Status Unavailable(std::string message) {
     return Status(StatusCode::kUnavailable, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

@@ -1,0 +1,47 @@
+#include "fault/circuit_breaker.h"
+
+namespace iejoin {
+namespace fault {
+
+Status CircuitBreaker::Config::Validate() const {
+  if (cooldown_seconds < 0.0) {
+    return Status::InvalidArgument("breaker.cooldown must be >= 0");
+  }
+  return Status::Ok();
+}
+
+bool CircuitBreaker::AllowRequest(double now_seconds) {
+  if (!config_.enabled()) return true;
+  switch (state_) {
+    case State::kClosed:
+    case State::kHalfOpen:
+      return true;
+    case State::kOpen:
+      if (now_seconds >= open_until_seconds_) {
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordFailure(double now_seconds) {
+  if (!config_.enabled()) return;
+  ++consecutive_failures_;
+  const bool trial_failed = state_ == State::kHalfOpen;
+  if (trial_failed || (state_ == State::kClosed &&
+                       consecutive_failures_ >= config_.failure_threshold)) {
+    state_ = State::kOpen;
+    open_until_seconds_ = now_seconds + config_.cooldown_seconds;
+    ++trips_;
+  }
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+}  // namespace fault
+}  // namespace iejoin

@@ -1,0 +1,61 @@
+#ifndef IEJOIN_FAULT_CIRCUIT_BREAKER_H_
+#define IEJOIN_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace iejoin {
+namespace fault {
+
+/// Classic three-state circuit breaker over simulated time. Consecutive
+/// operation failures trip it open; while open, requests fail fast (the
+/// executor drops the document without paying the extractor cost). After
+/// `cooldown_seconds` of simulated time the breaker lets one trial request
+/// through (half-open); success closes it, failure re-opens it.
+class CircuitBreaker {
+ public:
+  struct Config {
+    /// Consecutive failures that trip the breaker. <= 0 disables it.
+    int32_t failure_threshold = 8;
+    /// Simulated seconds the breaker stays open before a half-open trial.
+    double cooldown_seconds = 120.0;
+
+    bool enabled() const { return failure_threshold > 0; }
+    Status Validate() const;
+  };
+
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// True when a request may proceed at simulated time `now`. An open
+  /// breaker whose cooldown has elapsed transitions to half-open and admits
+  /// this one trial request.
+  bool AllowRequest(double now_seconds);
+
+  /// Records an operation failure (per attempt). May trip the breaker.
+  void RecordFailure(double now_seconds);
+
+  /// Records a successful operation; closes the breaker and resets the
+  /// consecutive-failure count.
+  void RecordSuccess();
+
+  State state() const { return state_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  int64_t trips() const { return trips_; }
+  int32_t consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  Config config_;
+  State state_ = State::kClosed;
+  int32_t consecutive_failures_ = 0;
+  double open_until_seconds_ = 0.0;
+  int64_t trips_ = 0;
+};
+
+}  // namespace fault
+}  // namespace iejoin
+
+#endif  // IEJOIN_FAULT_CIRCUIT_BREAKER_H_

@@ -1,0 +1,57 @@
+#include "fault/fault_injector.h"
+
+#include "common/string_util.h"
+
+namespace iejoin {
+namespace fault {
+
+namespace {
+
+Rng MakeStream(uint64_t seed, uint64_t salt) {
+  Rng root(seed);
+  return root.Fork(salt);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_(plan),
+      streams_{{MakeStream(plan.seed, 0), MakeStream(plan.seed, 1),
+                MakeStream(plan.seed, 2), MakeStream(plan.seed, 3)},
+               {MakeStream(plan.seed, 4), MakeStream(plan.seed, 5),
+                MakeStream(plan.seed, 6), MakeStream(plan.seed, 7)}},
+      backoff_rng_(MakeStream(plan.seed, 8)) {}
+
+FaultInjector::Attempt FaultInjector::Decide(int side, FaultOp op,
+                                             double now_seconds) {
+  Attempt attempt;
+  for (const OutageWindow& window : plan_.outages) {
+    if (window.Covers(side, op, now_seconds)) {
+      attempt.status = Status::Unavailable(
+          StrFormat("%s outage on side %d (t=%.1fs)", FaultOpName(op), side + 1,
+                    now_seconds));
+      return attempt;
+    }
+  }
+  const OpFaultSpec& spec = plan_.op(op);
+  if (!spec.active()) return attempt;  // fast path: no draw, no state change
+  Rng& rng = streams_[side][static_cast<int>(op)];
+  if (spec.timeout_rate > 0.0 && rng.Bernoulli(spec.timeout_rate)) {
+    attempt.status = Status::DeadlineExceeded(
+        StrFormat("%s attempt timed out on side %d", FaultOpName(op), side + 1));
+    attempt.penalty_seconds = spec.timeout_seconds;
+    return attempt;
+  }
+  if (spec.error_rate > 0.0 && rng.Bernoulli(spec.error_rate)) {
+    attempt.status = Status::Unavailable(
+        StrFormat("transient %s error on side %d", FaultOpName(op), side + 1));
+  }
+  return attempt;
+}
+
+double FaultInjector::BackoffSeconds(int32_t attempt) {
+  return plan_.retry.BackoffSeconds(attempt, &backoff_rng_);
+}
+
+}  // namespace fault
+}  // namespace iejoin

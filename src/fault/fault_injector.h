@@ -1,0 +1,49 @@
+#ifndef IEJOIN_FAULT_FAULT_INJECTOR_H_
+#define IEJOIN_FAULT_FAULT_INJECTOR_H_
+
+#include "common/random.h"
+#include "common/status.h"
+#include "fault/fault_plan.h"
+
+namespace iejoin {
+namespace fault {
+
+/// Seeded, deterministic fault source. One private Rng stream per
+/// (side, operation) pair keeps an operation's fault sequence stable even
+/// when the interleaving of other operations changes, and keeps the
+/// injector fully independent of every other randomness source in the
+/// library — attaching a zero-rate injector cannot perturb an execution.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  /// Outcome of one operation attempt. `status` is OK, UNAVAILABLE
+  /// (transient error / burst outage), or DEADLINE_EXCEEDED (simulated
+  /// timeout). `penalty_seconds` is the extra stall to charge on top of the
+  /// attempt's normal operation cost (nonzero only for timeouts).
+  struct Attempt {
+    Status status;
+    double penalty_seconds = 0.0;
+
+    bool ok() const { return status.ok(); }
+  };
+
+  /// Rolls the fault dice for one attempt of `op` on `side` at simulated
+  /// time `now_seconds`. Burst outages dominate rates.
+  Attempt Decide(int side, FaultOp op, double now_seconds);
+
+  /// Deterministic backoff (plan's retry policy + private jitter stream).
+  double BackoffSeconds(int32_t attempt);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng streams_[2][kNumFaultOps];
+  Rng backoff_rng_;
+};
+
+}  // namespace fault
+}  // namespace iejoin
+
+#endif  // IEJOIN_FAULT_FAULT_INJECTOR_H_

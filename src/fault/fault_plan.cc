@@ -1,0 +1,202 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace iejoin {
+namespace fault {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kRetrieve:
+      return "retrieve";
+    case FaultOp::kQuery:
+      return "query";
+    case FaultOp::kExtract:
+      return "extract";
+    case FaultOp::kFilter:
+      return "filter";
+  }
+  return "?";
+}
+
+bool FaultPlan::HasAnyFaults() const {
+  for (const OpFaultSpec& spec : ops) {
+    if (spec.active()) return true;
+  }
+  return !outages.empty() || deadline_seconds > 0.0;
+}
+
+Status FaultPlan::Validate() const {
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    const OpFaultSpec& spec = ops[i];
+    if (spec.error_rate < 0.0 || spec.error_rate > 1.0 ||
+        spec.timeout_rate < 0.0 || spec.timeout_rate > 1.0) {
+      return Status::InvalidArgument(
+          StrFormat("%s fault rates must be in [0, 1]",
+                    FaultOpName(static_cast<FaultOp>(i))));
+    }
+    if (spec.timeout_seconds < 0.0) {
+      return Status::InvalidArgument("timeout-cost must be >= 0");
+    }
+  }
+  for (const OutageWindow& w : outages) {
+    if (w.duration_seconds < 0.0 || w.start_seconds < 0.0) {
+      return Status::InvalidArgument("outage windows must have start, duration >= 0");
+    }
+    if (w.side < -1 || w.side > 1 || w.op < -1 || w.op >= kNumFaultOps) {
+      return Status::InvalidArgument("outage side/op out of range");
+    }
+  }
+  if (deadline_seconds < 0.0) {
+    return Status::InvalidArgument("deadline must be >= 0");
+  }
+  IEJOIN_RETURN_IF_ERROR(retry.Validate());
+  return breaker.Validate();
+}
+
+namespace {
+
+Result<double> ParseDouble(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault plan: bad number for " + key + ": " + text);
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault plan: bad integer for " + key + ": " + text);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<int> ParseOpName(const std::string& name) {
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    if (name == FaultOpName(static_cast<FaultOp>(i))) return i;
+  }
+  if (name == "all") return -1;
+  return Status::InvalidArgument("fault plan: unknown operation: " + name);
+}
+
+Result<OutageWindow> ParseOutage(const std::string& text) {
+  const std::vector<std::string> parts = Split(text, ':');
+  if (parts.size() < 2 || parts.size() > 4) {
+    return Status::InvalidArgument(
+        "fault plan: outage must be START:DURATION[:SIDE[:OP]]: " + text);
+  }
+  OutageWindow window;
+  IEJOIN_ASSIGN_OR_RETURN(window.start_seconds, ParseDouble("outage", parts[0]));
+  IEJOIN_ASSIGN_OR_RETURN(window.duration_seconds, ParseDouble("outage", parts[1]));
+  if (parts.size() >= 3) {
+    if (parts[2] == "both") {
+      window.side = -1;
+    } else if (parts[2] == "1" || parts[2] == "2") {
+      window.side = parts[2] == "1" ? 0 : 1;
+    } else {
+      return Status::InvalidArgument("fault plan: outage side must be 1, 2, or both");
+    }
+  }
+  if (parts.size() == 4) {
+    IEJOIN_ASSIGN_OR_RETURN(window.op, ParseOpName(parts[3]));
+  }
+  return window;
+}
+
+}  // namespace
+
+Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& entry : Split(spec, ',')) {
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan: expected key=value: " + entry);
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+
+    if (key == "seed") {
+      IEJOIN_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      plan.seed = static_cast<uint64_t>(v);
+    } else if (key == "deadline") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.deadline_seconds, ParseDouble(key, value));
+    } else if (key == "retry.attempts") {
+      IEJOIN_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      plan.retry.max_attempts = static_cast<int32_t>(v);
+    } else if (key == "retry.backoff") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.retry.initial_backoff_seconds,
+                              ParseDouble(key, value));
+    } else if (key == "retry.multiplier") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.retry.backoff_multiplier, ParseDouble(key, value));
+    } else if (key == "retry.max-backoff") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.retry.max_backoff_seconds,
+                              ParseDouble(key, value));
+    } else if (key == "retry.jitter") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.retry.jitter_fraction, ParseDouble(key, value));
+    } else if (key == "breaker.threshold") {
+      IEJOIN_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      plan.breaker.failure_threshold = static_cast<int32_t>(v);
+    } else if (key == "breaker.cooldown") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.breaker.cooldown_seconds, ParseDouble(key, value));
+    } else if (key == "outage") {
+      IEJOIN_ASSIGN_OR_RETURN(const OutageWindow window, ParseOutage(value));
+      plan.outages.push_back(window);
+    } else {
+      // <op>.error / <op>.timeout / <op>.timeout-cost
+      const size_t dot = key.find('.');
+      if (dot == std::string::npos) {
+        return Status::InvalidArgument("fault plan: unknown key: " + key);
+      }
+      IEJOIN_ASSIGN_OR_RETURN(const int op, ParseOpName(key.substr(0, dot)));
+      if (op < 0) {
+        return Status::InvalidArgument("fault plan: rates need a concrete op: " + key);
+      }
+      const std::string field = key.substr(dot + 1);
+      OpFaultSpec& target = plan.ops[op];
+      if (field == "error") {
+        IEJOIN_ASSIGN_OR_RETURN(target.error_rate, ParseDouble(key, value));
+      } else if (field == "timeout") {
+        IEJOIN_ASSIGN_OR_RETURN(target.timeout_rate, ParseDouble(key, value));
+      } else if (field == "timeout-cost") {
+        IEJOIN_ASSIGN_OR_RETURN(target.timeout_seconds, ParseDouble(key, value));
+      } else {
+        return Status::InvalidArgument("fault plan: unknown key: " + key);
+      }
+    }
+  }
+  IEJOIN_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+std::string DescribeFaultPlan(const FaultPlan& plan) {
+  std::string out = StrFormat("seed=%llu retry=%dx",
+                              static_cast<unsigned long long>(plan.seed),
+                              plan.retry.max_attempts);
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    const OpFaultSpec& spec = plan.ops[i];
+    if (!spec.active()) continue;
+    out += StrFormat(" %s(err=%.2f,to=%.2f)",
+                     FaultOpName(static_cast<FaultOp>(i)), spec.error_rate,
+                     spec.timeout_rate);
+  }
+  if (!plan.outages.empty()) {
+    out += StrFormat(" outages=%zu", plan.outages.size());
+  }
+  if (plan.breaker.enabled()) {
+    out += StrFormat(" breaker=%d/%.0fs", plan.breaker.failure_threshold,
+                     plan.breaker.cooldown_seconds);
+  }
+  if (plan.deadline_seconds > 0.0) {
+    out += StrFormat(" deadline=%.0fs", plan.deadline_seconds);
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace iejoin

@@ -1,0 +1,116 @@
+#ifndef IEJOIN_FAULT_FAULT_PLAN_H_
+#define IEJOIN_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/circuit_breaker.h"
+#include "fault/retry_policy.h"
+
+namespace iejoin {
+namespace fault {
+
+/// The fallible operations of a join execution that the injector wraps.
+enum class FaultOp : uint8_t {
+  kRetrieve = 0,  // fetching one document's content
+  kQuery = 1,     // issuing one keyword query
+  kExtract = 2,   // running the extractor over one document
+  kFilter = 3,    // classifying one document (ZGJN filter)
+};
+inline constexpr int kNumFaultOps = 4;
+
+const char* FaultOpName(FaultOp op);
+
+/// Per-operation fault rates. Rates are per attempt, so retries re-roll.
+struct OpFaultSpec {
+  /// Probability an attempt fails with a transient UNAVAILABLE error. The
+  /// failed attempt is still charged its normal operation cost.
+  double error_rate = 0.0;
+  /// Probability an attempt stalls and times out (DEADLINE_EXCEEDED); the
+  /// attempt is charged its normal cost plus timeout_seconds.
+  double timeout_rate = 0.0;
+  /// Simulated stall charged on each timed-out attempt.
+  double timeout_seconds = 2.0;
+
+  bool active() const { return error_rate > 0.0 || timeout_rate > 0.0; }
+};
+
+/// A burst outage: every matching attempt inside the simulated-time window
+/// [start, start + duration) fails with UNAVAILABLE, regardless of rates.
+/// Retries whose backoff pushes them past the window's end succeed again —
+/// exactly the transient-outage dynamics a production system rides out.
+struct OutageWindow {
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Side the outage hits: 0 or 1, or -1 for both.
+  int32_t side = -1;
+  /// Operation the outage hits, or -1 for all operations.
+  int32_t op = -1;
+
+  bool Covers(int32_t at_side, FaultOp at_op, double now_seconds) const {
+    return now_seconds >= start_seconds &&
+           now_seconds < start_seconds + duration_seconds &&
+           (side < 0 || side == at_side) &&
+           (op < 0 || op == static_cast<int32_t>(at_op));
+  }
+};
+
+/// Complete description of the faults injected into one run, plus the
+/// policies that make the run survive them. Deterministic: the same plan
+/// (seed included) against the same scenario produces bit-identical
+/// executions. An all-zero plan injects nothing and perturbs nothing.
+struct FaultPlan {
+  /// Seeds the injector's private Rng streams; independent of every other
+  /// randomness source in the library.
+  uint64_t seed = 20090331;
+
+  /// Indexed by FaultOp; both sides share one spec per operation.
+  OpFaultSpec ops[kNumFaultOps];
+  std::vector<OutageWindow> outages;
+
+  RetryPolicy retry;
+  CircuitBreaker::Config breaker;
+
+  /// Per-run simulated-time budget; a run that reaches it stops and returns
+  /// its best partial result flagged `degraded`. 0 disables the deadline.
+  double deadline_seconds = 0.0;
+
+  const OpFaultSpec& op(FaultOp o) const { return ops[static_cast<int>(o)]; }
+  OpFaultSpec& op(FaultOp o) { return ops[static_cast<int>(o)]; }
+
+  /// True when any rate, outage, or deadline can alter an execution.
+  bool HasAnyFaults() const;
+
+  Status Validate() const;
+};
+
+/// Parses a compact fault-plan spec of comma-separated key=value pairs:
+///
+///   seed=N                      injector seed
+///   deadline=S                  per-run simulated-time budget (seconds)
+///   <op>.error=R                transient-error rate, op in
+///                               {retrieve,query,extract,filter}
+///   <op>.timeout=R              timeout rate
+///   <op>.timeout-cost=S         stall charged per timed-out attempt
+///   retry.attempts=N            total attempts per operation
+///   retry.backoff=S             initial backoff seconds
+///   retry.multiplier=X          exponential backoff factor
+///   retry.max-backoff=S         backoff cap
+///   retry.jitter=F              +/- jitter fraction
+///   breaker.threshold=N         consecutive failures tripping the breaker
+///   breaker.cooldown=S          open duration before a half-open trial
+///   outage=START:DUR[:SIDE[:OP]]  burst outage window (repeatable);
+///                               SIDE in {1,2,both}, OP an op name or "all"
+///
+/// e.g. "extract.error=0.1,retry.attempts=4,deadline=5000,outage=100:50:1".
+Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// Compact human-readable one-line form (CLI/bench banners).
+std::string DescribeFaultPlan(const FaultPlan& plan);
+
+}  // namespace fault
+}  // namespace iejoin
+
+#endif  // IEJOIN_FAULT_FAULT_PLAN_H_

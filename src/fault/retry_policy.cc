@@ -1,0 +1,40 @@
+#include "fault/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iejoin {
+namespace fault {
+
+double RetryPolicy::BackoffSeconds(int32_t attempt, Rng* rng) const {
+  double backoff = initial_backoff_seconds;
+  for (int32_t i = 0; i < attempt && backoff < max_backoff_seconds; ++i) {
+    backoff *= backoff_multiplier;
+  }
+  backoff = std::min(backoff, max_backoff_seconds);
+  if (jitter_fraction > 0.0 && rng != nullptr) {
+    // Uniform in [1 - j, 1 + j): spreads retry storms without breaking
+    // determinism (the rng is seeded from the fault plan).
+    backoff *= 1.0 + jitter_fraction * (2.0 * rng->NextDouble() - 1.0);
+  }
+  return backoff;
+}
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("retry.attempts must be >= 1");
+  }
+  if (initial_backoff_seconds < 0.0 || max_backoff_seconds < 0.0) {
+    return Status::InvalidArgument("retry backoff seconds must be >= 0");
+  }
+  if (backoff_multiplier < 1.0) {
+    return Status::InvalidArgument("retry.multiplier must be >= 1");
+  }
+  if (jitter_fraction < 0.0 || jitter_fraction >= 1.0) {
+    return Status::InvalidArgument("retry.jitter must be in [0, 1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace fault
+}  // namespace iejoin

@@ -1,0 +1,39 @@
+#ifndef IEJOIN_FAULT_RETRY_POLICY_H_
+#define IEJOIN_FAULT_RETRY_POLICY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace iejoin {
+namespace fault {
+
+/// Bounded-attempt retry with exponential backoff and deterministic jitter.
+/// All delays are simulated seconds charged to the execution meter, so a
+/// retried operation costs real (simulated) time exactly like the paper's
+/// cost model charges t_E / t_R / t_Q.
+struct RetryPolicy {
+  /// Total attempts per operation, including the first (>= 1). 1 disables
+  /// retries: the first failure is final.
+  int32_t max_attempts = 3;
+  /// Backoff charged before attempt k+1 is initial * multiplier^(k-1),
+  /// capped at max_backoff_seconds.
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 5.0;
+  /// Uniform jitter of +/- jitter_fraction around the nominal backoff,
+  /// drawn from the caller's seeded Rng (deterministic per run).
+  double jitter_fraction = 0.1;
+
+  /// Backoff to charge before retrying after failed attempt `attempt`
+  /// (0-based). Deterministic in (policy, rng state).
+  double BackoffSeconds(int32_t attempt, Rng* rng) const;
+
+  Status Validate() const;
+};
+
+}  // namespace fault
+}  // namespace iejoin
+
+#endif  // IEJOIN_FAULT_RETRY_POLICY_H_

@@ -195,4 +195,17 @@ std::vector<TokenId> Workbench::ZgjnSeeds(int64_t count) const {
   return seeds;
 }
 
+Result<JoinExecutionResult> Workbench::RunPlan(const JoinPlanSpec& plan,
+                                               JoinExecutionOptions options) const {
+  IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<JoinExecutorBase> executor,
+                          CreateJoinExecutor(plan, resources()));
+  if (plan.algorithm == JoinAlgorithmKind::kZigZag && options.seed_values.empty()) {
+    options.seed_values = ZgjnSeeds(config_.zgjn_seed_count);
+  }
+  if (options.fault_plan == nullptr && config_.fault_plan != nullptr) {
+    options.fault_plan = config_.fault_plan;
+  }
+  return executor->Run(options);
+}
+
 }  // namespace iejoin

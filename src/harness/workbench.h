@@ -30,6 +30,13 @@ struct WorkbenchConfig {
   double classifier_bias = 0.0;
   int32_t knob_grid_points = 21;
   CostModel costs;
+  /// ZGJN seed count used by RunPlan when the caller supplies none.
+  int32_t zgjn_seed_count = 4;
+
+  /// Optional default fault plan (non-owning; must outlive the workbench).
+  /// RunPlan attaches it to every execution whose options do not carry
+  /// their own plan — one switch turns a whole experiment fault-injected.
+  const fault::FaultPlan* fault_plan = nullptr;
 
   /// Optional telemetry (non-owning; must outlive Create/CreateForScenario).
   /// Records workbench.* spans around the setup stages (corpus generation,
@@ -73,6 +80,13 @@ class Workbench {
 
   /// Join resources for executing any plan on the evaluation databases.
   JoinResources resources() const;
+
+  /// One-call plan execution: builds the executor, auto-seeds ZGJN plans
+  /// when the options carry no seed values, attaches the config's default
+  /// fault plan when the options carry none, and runs. The convenience
+  /// entry the CLI and benches share.
+  Result<JoinExecutionResult> RunPlan(const JoinPlanSpec& plan,
+                                      JoinExecutionOptions options) const;
 
   /// Ground-truth model parameters at the given knob settings.
   Result<JoinModelParams> OracleParams(double theta1, double theta2,

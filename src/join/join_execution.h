@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "join/join_state.h"
 #include "join/join_types.h"
 #include "obs/metrics.h"
@@ -31,6 +32,17 @@ struct TrajectoryPoint {
   /// producing-document observable).
   int64_t docs_with_extraction1 = 0;
   int64_t docs_with_extraction2 = 0;
+  /// Fault accounting (all zero without an injector): dropped documents /
+  /// probes and retried / finally-failed operations. Estimators consume
+  /// docs_retrieved - docs_dropped as the effective retrieval.
+  int64_t docs_dropped1 = 0;
+  int64_t docs_dropped2 = 0;
+  int64_t queries_dropped1 = 0;
+  int64_t queries_dropped2 = 0;
+  int64_t ops_retried1 = 0;
+  int64_t ops_retried2 = 0;
+  int64_t ops_failed1 = 0;
+  int64_t ops_failed2 = 0;
   /// Ground-truth join composition (evaluation-only fields).
   int64_t good_join_tuples = 0;
   int64_t bad_join_tuples = 0;
@@ -50,6 +62,14 @@ struct TrajectoryPoint {
     sample.side2.tuples_extracted = extracted2;
     sample.side1.docs_with_extraction = docs_with_extraction1;
     sample.side2.docs_with_extraction = docs_with_extraction2;
+    sample.side1.docs_dropped = docs_dropped1;
+    sample.side2.docs_dropped = docs_dropped2;
+    sample.side1.queries_dropped = queries_dropped1;
+    sample.side2.queries_dropped = queries_dropped2;
+    sample.side1.ops_retried = ops_retried1;
+    sample.side2.ops_retried = ops_retried2;
+    sample.side1.ops_failed = ops_failed1;
+    sample.side2.ops_failed = ops_failed2;
     sample.good_join_tuples = good_join_tuples;
     sample.bad_join_tuples = bad_join_tuples;
     sample.seconds = seconds;
@@ -104,6 +124,16 @@ struct JoinExecutionOptions {
   /// extraction of rejected ones (Filtered-Scan-style, charges t_F).
   bool zgjn_classifier_filter = false;
 
+  /// --- Fault tolerance (optional, non-owning; must outlive the run) ---
+  /// When attached, the executor wraps document fetches, keyword queries,
+  /// extractor runs, and ZGJN classifier filtering with the plan's injected
+  /// faults, retry policy, per-side extractor circuit breaker, and per-run
+  /// deadline (docs/ROBUSTNESS.md). Operations that exhaust retries degrade
+  /// gracefully — the document or probe is dropped and counted, never
+  /// fatal. A plan with all-zero rates and no deadline is bit-identical to
+  /// running without one.
+  const fault::FaultPlan* fault_plan = nullptr;
+
   /// --- Telemetry (optional, non-owning; must outlive the run) ---
   /// When attached, the executor mirrors per-side counters/gauges into the
   /// registry and records a span tree (join.run -> side.retrieve /
@@ -122,6 +152,13 @@ struct JoinExecutionResult {
   bool exhausted = false;
   /// Ground-truth check of options.requirement at the stopping point.
   bool requirement_met = false;
+  /// True when faults altered the output: documents or probes were dropped,
+  /// a circuit breaker tripped, or the deadline cut the run short. The
+  /// result is still valid — it is the best partial answer.
+  bool degraded = false;
+  /// True when the run stopped because the fault plan's time budget ran
+  /// out (the result is the partial output at that point).
+  bool deadline_exceeded = false;
 };
 
 }  // namespace iejoin

@@ -41,6 +41,12 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   state_ = JoinState(options.max_output_tuples);
   trajectory_.clear();
   docs_since_snapshot_ = 0;
+  deadline_hit_ = false;
+
+  if (options.fault_plan != nullptr) {
+    IEJOIN_RETURN_IF_ERROR(options.fault_plan->Validate());
+    faults_ = std::make_unique<FaultSession>(*options.fault_plan);
+  }
 
   metrics_ = options.metrics;
   tracer_ = options.tracer;
@@ -55,6 +61,14 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
       telemetry.docs_filtered = metrics_->counter(prefix + "docs_filtered");
       telemetry.queries_issued = metrics_->counter(prefix + "queries_issued");
       telemetry.tuples_extracted = metrics_->counter(prefix + "tuples_extracted");
+      // Fault counters are registered whether or not an injector is
+      // attached, so metric snapshots stay key-identical across
+      // fault-free and zero-rate runs (the determinism guard relies on it).
+      telemetry.ops_retried = metrics_->counter(prefix + "ops_retried");
+      telemetry.ops_failed = metrics_->counter(prefix + "ops_failed");
+      telemetry.docs_dropped = metrics_->counter(prefix + "docs_dropped");
+      telemetry.queries_dropped = metrics_->counter(prefix + "queries_dropped");
+      telemetry.breaker_trips = metrics_->counter(prefix + "breaker_trips");
       sides_[i].meter.AttachTelemetry(telemetry);
     }
     metrics_->counter("join.runs")->Increment();
@@ -90,15 +104,134 @@ ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
   return batch;
 }
 
+double JoinExecutorBase::TotalSeconds() const {
+  return sides_[0].meter.seconds() + sides_[1].meter.seconds();
+}
+
+bool JoinExecutorBase::DeadlineExceeded() {
+  if (faults_ == nullptr) return false;
+  const double deadline = faults_->injector.plan().deadline_seconds;
+  if (deadline <= 0.0) return false;
+  if (TotalSeconds() >= deadline) deadline_hit_ = true;
+  return deadline_hit_;
+}
+
+bool JoinExecutorBase::SurviveFaults(int side_index, fault::FaultOp op) {
+  if (faults_ == nullptr) return true;
+  ExecutionMeter& meter = sides_[side_index].meter;
+  const fault::RetryPolicy& retry = faults_->injector.plan().retry;
+  for (int32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    const fault::FaultInjector::Attempt outcome =
+        faults_->injector.Decide(side_index, op, TotalSeconds());
+    if (outcome.ok()) return true;
+    // The failed attempt performed (and wasted) the operation's work, plus
+    // any simulated stall before the timeout fired.
+    meter.ChargeFaultDelay(meter.CostOf(static_cast<int>(op)) +
+                           outcome.penalty_seconds);
+    IEJOIN_LOG(Debug) << "fault: " << outcome.status.ToString() << " (attempt "
+                      << attempt + 1 << "/" << retry.max_attempts << ")";
+    if (attempt + 1 < retry.max_attempts) {
+      meter.RecordRetry();
+      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(attempt));
+    }
+  }
+  meter.RecordOpFailed();
+  return false;
+}
+
+std::optional<ExtractionBatch> JoinExecutorBase::TryProcessDocument(int side_index,
+                                                                    DocId doc) {
+  if (faults_ == nullptr) return ProcessDocument(side_index, doc);
+  ExecutionMeter& meter = sides_[side_index].meter;
+  fault::CircuitBreaker& breaker = faults_->breakers[side_index];
+  if (!breaker.AllowRequest(TotalSeconds())) {
+    // Breaker open: fail fast without paying the extractor cost.
+    meter.RecordDocDropped();
+    return std::nullopt;
+  }
+  const fault::RetryPolicy& retry = faults_->injector.plan().retry;
+  for (int32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    const fault::FaultInjector::Attempt outcome = faults_->injector.Decide(
+        side_index, fault::FaultOp::kExtract, TotalSeconds());
+    if (outcome.ok()) {
+      breaker.RecordSuccess();
+      return ProcessDocument(side_index, doc);
+    }
+    const int64_t trips_before = breaker.trips();
+    breaker.RecordFailure(TotalSeconds());
+    if (breaker.trips() > trips_before) meter.RecordBreakerTrip();
+    meter.ChargeFaultDelay(meter.CostOf(static_cast<int>(fault::FaultOp::kExtract)) +
+                           outcome.penalty_seconds);
+    IEJOIN_LOG(Debug) << "fault: " << outcome.status.ToString() << " (attempt "
+                      << attempt + 1 << "/" << retry.max_attempts << ")";
+    if (attempt + 1 < retry.max_attempts) {
+      if (!breaker.AllowRequest(TotalSeconds())) break;  // tripped mid-operation
+      meter.RecordRetry();
+      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(attempt));
+    }
+  }
+  meter.RecordOpFailed();
+  meter.RecordDocDropped();
+  return std::nullopt;
+}
+
+JoinExecutorBase::FetchOutcome JoinExecutorBase::FetchNext(
+    int side_index, RetrievalStrategy* strategy) {
+  FetchOutcome outcome;
+  const std::optional<DocId> doc = strategy->Next(&sides_[side_index].meter);
+  if (!doc.has_value()) {
+    outcome.exhausted = true;
+    return outcome;
+  }
+  if (!SurviveFaults(side_index, fault::FaultOp::kRetrieve)) {
+    // Fetch failed for good: the document is dropped (it stays counted as
+    // retrieved — the budget was spent — and counted as dropped, so the
+    // estimators' effective retrieval excludes it).
+    sides_[side_index].meter.RecordDocDropped();
+    return outcome;
+  }
+  outcome.doc = doc;
+  return outcome;
+}
+
+bool JoinExecutorBase::FilterAccepts(int side_index, DocId doc,
+                                     const DocumentClassifier* classifier) {
+  SideState& side = sides_[side_index];
+  side.meter.ChargeFilter();
+  if (!SurviveFaults(side_index, fault::FaultOp::kFilter)) {
+    // Classifier unavailable: degrade to processing the document
+    // unfiltered instead of losing it (costs extraction time on documents
+    // the filter might have rejected — graceful, not free).
+    return true;
+  }
+  return classifier->IsLikelyGood(
+      side.config.database->corpus().document(doc));
+}
+
 std::vector<DocId> JoinExecutorBase::QueryAndFetch(int side_index, TokenId value) {
   SideState& side = sides_[side_index];
   obs::Tracer::Span span = obs::StartSpan(tracer_, "side.retrieve");
-  side.meter.ChargeQuery();
   std::vector<DocId> fresh;
+  if (!SurviveFaults(side_index, fault::FaultOp::kQuery)) {
+    // The probe never went through: the value's reachable documents are
+    // lost to this run (they may still arrive via other values).
+    side.meter.RecordQueryDropped();
+    if (span) {
+      span.AddAttribute("side", side_index + 1);
+      span.AddAttribute("value", static_cast<int64_t>(value));
+      span.AddAttribute("dropped", "query");
+    }
+    return fresh;
+  }
+  side.meter.ChargeQuery();
   for (DocId d : side.config.database->Query({value})) {
     if (!side.retrieved[static_cast<size_t>(d)]) {
       side.retrieved[static_cast<size_t>(d)] = true;
       side.meter.ChargeRetrieve();
+      if (!SurviveFaults(side_index, fault::FaultOp::kRetrieve)) {
+        side.meter.RecordDocDropped();
+        continue;
+      }
       fresh.push_back(d);
     }
   }
@@ -124,6 +257,14 @@ TrajectoryPoint JoinExecutorBase::Snapshot() const {
   p.extracted2 = c2.tuples_extracted;
   p.docs_with_extraction1 = c1.docs_with_extraction;
   p.docs_with_extraction2 = c2.docs_with_extraction;
+  p.docs_dropped1 = c1.docs_dropped;
+  p.docs_dropped2 = c2.docs_dropped;
+  p.queries_dropped1 = c1.queries_dropped;
+  p.queries_dropped2 = c2.queries_dropped;
+  p.ops_retried1 = c1.ops_retried;
+  p.ops_retried2 = c2.ops_retried;
+  p.ops_failed1 = c1.ops_failed;
+  p.ops_failed2 = c2.ops_failed;
   p.good_join_tuples = state_.good_join_tuples();
   p.bad_join_tuples = state_.bad_join_tuples();
   p.seconds = sides_[0].meter.seconds() + sides_[1].meter.seconds();
@@ -138,6 +279,10 @@ void JoinExecutorBase::MaybeSnapshot(const JoinExecutionOptions& options) {
 }
 
 bool JoinExecutorBase::CheckStop(const JoinExecutionOptions& options) {
+  // The fault plan's deadline dominates every stop rule: a run out of time
+  // budget stops with its best partial answer no matter what it was
+  // configured to wait for.
+  if (DeadlineExceeded()) return true;
   switch (options.stop_rule) {
     case StopRule::kExhaustion:
       return false;
@@ -162,6 +307,12 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
   result.exhausted = exhausted;
   result.requirement_met = options.requirement.MetBy(
       result.final_point.good_join_tuples, result.final_point.bad_join_tuples);
+  result.deadline_exceeded = deadline_hit_;
+  const obs::SideCounters& fc1 = sides_[0].meter.counters();
+  const obs::SideCounters& fc2 = sides_[1].meter.counters();
+  result.degraded = deadline_hit_ || fc1.docs_dropped > 0 || fc2.docs_dropped > 0 ||
+                    fc1.queries_dropped > 0 || fc2.queries_dropped > 0 ||
+                    fc1.breaker_trips > 0 || fc2.breaker_trips > 0;
 
   if (metrics_ != nullptr) {
     metrics_->gauge("join.good_tuples")
@@ -171,11 +322,18 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
     metrics_->gauge("join.sim_seconds")->Set(result.final_point.seconds);
     metrics_->counter("join.trajectory_points")
         ->Increment(static_cast<int64_t>(result.trajectory.size()));
+    metrics_->gauge("join.degraded")->Set(result.degraded ? 1.0 : 0.0);
+    metrics_->gauge("join.deadline_exceeded")
+        ->Set(result.deadline_exceeded ? 1.0 : 0.0);
   }
   if (run_span_) {
     run_span_.AddAttribute("good_tuples", result.final_point.good_join_tuples);
     run_span_.AddAttribute("bad_tuples", result.final_point.bad_join_tuples);
     run_span_.AddAttribute("exhausted", exhausted ? "true" : "false");
+    if (result.degraded) run_span_.AddAttribute("degraded", "true");
+    if (result.deadline_exceeded) {
+      run_span_.AddAttribute("deadline_exceeded", "true");
+    }
     run_span_.End();
   }
   if (tracer_ != nullptr) tracer_->ClearSimTimeSource();
@@ -208,9 +366,14 @@ Result<JoinExecutionResult> IndependentJoin::Run(const JoinExecutionOptions& opt
     bool progress = false;
     for (int side = 0; side < 2 && !stopped; ++side) {
       for (int64_t k = 0; k < per_round[side]; ++k) {
-        const std::optional<DocId> doc = retrieval_[side]->Next(&sides_[side].meter);
-        if (!doc.has_value()) break;
-        ProcessDocument(side, *doc);
+        const FetchOutcome fetched = FetchNext(side, retrieval_[side].get());
+        if (fetched.exhausted) break;
+        if (fetched.doc.has_value()) {
+          // A dropped fetch still made progress (budget was spent), so the
+          // round does not read as exhaustion; only a successful fetch is
+          // worth extracting.
+          TryProcessDocument(side, *fetched.doc);
+        }
         progress = true;
         MaybeSnapshot(options);
         if (CheckStop(options)) {
@@ -247,20 +410,27 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
   bool stopped = false;
   bool exhausted = false;
   while (!stopped) {
-    const std::optional<DocId> doc = outer_retrieval_->Next(&sides_[outer].meter);
-    if (!doc.has_value()) {
+    const FetchOutcome fetched = FetchNext(outer, outer_retrieval_.get());
+    if (fetched.exhausted) {
       exhausted = true;
       break;
     }
-    const ExtractionBatch outer_batch = ProcessDocument(outer, *doc);
+    if (!fetched.doc.has_value()) {
+      // Outer fetch dropped by injected faults: skip to the next document.
+      if (CheckStop(options)) break;
+      continue;
+    }
+    const std::optional<ExtractionBatch> outer_batch =
+        TryProcessDocument(outer, *fetched.doc);
     MaybeSnapshot(options);
     if (CheckStop(options)) break;
+    if (!outer_batch.has_value()) continue;  // extraction dropped
 
     // Probe the inner database once per newly seen join-attribute value.
-    for (const ExtractedTuple& t : outer_batch) {
+    for (const ExtractedTuple& t : *outer_batch) {
       if (!probed_values.insert(t.join_value).second) continue;
       for (DocId d : QueryAndFetch(inner, t.join_value)) {
-        ProcessDocument(inner, d);
+        TryProcessDocument(inner, d);
         MaybeSnapshot(options);
         if (CheckStop(options)) {
           stopped = true;
@@ -355,19 +525,26 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
       const TokenId value = queues[side].Pop();
       const int other = 1 - side;
       for (DocId d : QueryAndFetch(side, value)) {
-        if (options.zgjn_classifier_filter) {
-          sides_[side].meter.ChargeFilter();
-          if (!classifiers_[side]->IsLikelyGood(
-                  sides_[side].config.database->corpus().document(d))) {
-            if (docs_rejected != nullptr) docs_rejected->Increment();
-            continue;
-          }
+        if (options.zgjn_classifier_filter &&
+            !FilterAccepts(side, d, classifiers_[side])) {
+          if (docs_rejected != nullptr) docs_rejected->Increment();
+          continue;
         }
-        const ExtractionBatch batch = ProcessDocument(side, d);
+        const std::optional<ExtractionBatch> batch = TryProcessDocument(side, d);
+        if (!batch.has_value()) {
+          // Extraction dropped by injected faults; the document's values
+          // never reach the other side's queue.
+          MaybeSnapshot(options);
+          if (CheckStop(options)) {
+            stopped = true;
+            break;
+          }
+          continue;
+        }
         // Values extracted from this side seed queries against the other;
         // the focused variant gates them on extraction confidence so the
         // traversal steers toward values with good-looking contexts.
-        for (const ExtractedTuple& t : batch) {
+        for (const ExtractedTuple& t : *batch) {
           if (t.similarity < options.zgjn_min_confidence) continue;
           if (enqueued[other].insert(t.join_value).second) {
             queues[other].Push(t.join_value, t.similarity);

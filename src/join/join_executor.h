@@ -3,12 +3,15 @@
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "classifier/document_classifier.h"
 #include "common/status.h"
 #include "extraction/extractor.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
 #include "join/join_execution.h"
 #include "join/join_types.h"
 #include "querygen/query_learner.h"
@@ -56,17 +59,59 @@ class JoinExecutorBase {
   };
 
   /// Common Run prologue: validates shared options, resets state, attaches
-  /// telemetry when the options carry a registry/tracer.
+  /// telemetry when the options carry a registry/tracer, and arms the fault
+  /// session when the options carry a fault plan.
   Status Begin(const JoinExecutionOptions& options);
 
   /// Runs the side's extractor over the document, charges t_E, feeds the
   /// ripple-join state, and returns the extracted occurrences.
   ExtractionBatch ProcessDocument(int side_index, DocId doc);
 
+  /// Fault-aware ProcessDocument: consults the side's circuit breaker and
+  /// the injector's extract faults, retrying per the plan's policy. Returns
+  /// nullopt when the document was dropped (breaker open or retries
+  /// exhausted) — wasted attempts and backoff are charged to the meter, the
+  /// drop is counted, and execution continues.
+  std::optional<ExtractionBatch> TryProcessDocument(int side_index, DocId doc);
+
+  /// One fetched document from a retrieval strategy, or the reason there is
+  /// none: the strategy is exhausted, or injected fetch faults dropped the
+  /// document (time was charged; the caller should continue).
+  struct FetchOutcome {
+    std::optional<DocId> doc;
+    bool exhausted = false;
+  };
+
+  /// Fault-aware strategy pull: draws the next document and survives
+  /// injected retrieve faults via retries; a document whose fetch
+  /// ultimately fails is dropped and counted.
+  FetchOutcome FetchNext(int side_index, RetrievalStrategy* strategy);
+
   /// Issues the single-term keyword query `value` to a side's database,
   /// charging t_Q plus t_R per *new* document; returns the newly retrieved
-  /// documents (top-k limited by the database's search interface).
+  /// documents (top-k limited by the database's search interface). With a
+  /// fault session, query and per-document retrieve faults apply: a failed
+  /// probe returns no documents (counted as a dropped query), a failed
+  /// document fetch drops just that document.
   std::vector<DocId> QueryAndFetch(int side_index, TokenId value);
+
+  /// Fault-aware classifier filter for ZGJN: returns whether the document
+  /// should be extracted. Injected filter faults degrade to accepting the
+  /// document unfiltered (extraction still happens) rather than losing it.
+  bool FilterAccepts(int side_index, DocId doc,
+                     const DocumentClassifier* classifier);
+
+  /// One injected-fault attempt loop around an abstract operation. Returns
+  /// true when an attempt succeeded; false when retries were exhausted.
+  /// Charges op costs for failed attempts, timeout penalties, and backoff.
+  bool SurviveFaults(int side_index, fault::FaultOp op);
+
+  /// Total simulated seconds across both sides (the fault session's clock).
+  double TotalSeconds() const;
+
+  /// True when the fault plan's deadline has passed (latches the
+  /// deadline_hit_ flag for Finish).
+  bool DeadlineExceeded();
 
   TrajectoryPoint Snapshot() const;
 
@@ -84,6 +129,21 @@ class JoinExecutorBase {
   std::vector<TrajectoryPoint> trajectory_;
   int64_t docs_since_snapshot_ = 0;
   bool ran_ = false;
+
+  /// Armed by Begin when the run options carry a fault plan: the seeded
+  /// injector plus one extractor circuit breaker per side. Null otherwise —
+  /// every fault check then reduces to a pointer test.
+  struct FaultSession {
+    fault::FaultInjector injector;
+    fault::CircuitBreaker breakers[2];
+
+    explicit FaultSession(const fault::FaultPlan& plan)
+        : injector(plan),
+          breakers{fault::CircuitBreaker(plan.breaker),
+                   fault::CircuitBreaker(plan.breaker)} {}
+  };
+  std::unique_ptr<FaultSession> faults_;
+  bool deadline_hit_ = false;
 
   /// Telemetry attachment (null unless the run options carry them).
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -17,6 +17,11 @@ void WriteSideCounters(const SideCounters& side, JsonWriter& json) {
   json.Key("docs_filtered").Value(side.docs_filtered);
   json.Key("queries_issued").Value(side.queries_issued);
   json.Key("tuples_extracted").Value(side.tuples_extracted);
+  json.Key("ops_retried").Value(side.ops_retried);
+  json.Key("ops_failed").Value(side.ops_failed);
+  json.Key("docs_dropped").Value(side.docs_dropped);
+  json.Key("queries_dropped").Value(side.queries_dropped);
+  json.Key("breaker_trips").Value(side.breaker_trips);
   json.EndObject();
 }
 

@@ -25,6 +25,21 @@ struct SideCounters {
   int64_t queries_issued = 0;
   /// Tuple occurrences extracted on this side.
   int64_t tuples_extracted = 0;
+
+  /// --- Fault accounting (src/fault; all zero when no injector is
+  /// attached). Effective retrieval for the estimators is
+  /// docs_retrieved - docs_dropped: a dropped document consumed retrieval
+  /// budget but never reached the extractor. ---
+  /// Operation attempts that failed transiently and were retried.
+  int64_t ops_retried = 0;
+  /// Operations that exhausted their retry budget (final failures).
+  int64_t ops_failed = 0;
+  /// Documents dropped after retries were exhausted (fetch or extract).
+  int64_t docs_dropped = 0;
+  /// Keyword probes abandoned after retries were exhausted.
+  int64_t queries_dropped = 0;
+  /// Times this side's extractor circuit breaker tripped open.
+  int64_t breaker_trips = 0;
 };
 
 }  // namespace obs

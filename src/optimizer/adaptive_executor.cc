@@ -35,10 +35,14 @@ Result<JoinModelParams> AdaptiveJoinExecutor::EstimateFromState(
     // the extractor saw is classifier-biased, and this inverts that bias.
     const RetrievalStrategyKind retrieval =
         side == 0 ? plan.retrieval1 : plan.retrieval2;
+    // Effective retrieval: documents whose fetch was dropped by injected
+    // faults were paid for but never reached the extractor, so they are no
+    // part of the sample the MLE inverts.
     const int64_t docs_retrieved =
-        side == 0 ? point.docs_retrieved1 : point.docs_retrieved2;
+        (side == 0 ? point.docs_retrieved1 : point.docs_retrieved2) -
+        (side == 0 ? point.docs_dropped1 : point.docs_dropped2);
     const double retrieved_frac =
-        obs.num_documents > 0 ? static_cast<double>(docs_retrieved) /
+        obs.num_documents > 0 ? static_cast<double>(std::max<int64_t>(docs_retrieved, 0)) /
                                     static_cast<double>(obs.num_documents)
                               : 0.0;
     const RelationModelParams& offline = side == 0
@@ -165,6 +169,22 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     exec_options.requirement = options.requirement;
     exec_options.metrics = options.metrics;
     exec_options.tracer = options.tracer;
+
+    // Each phase runs under its own fault-plan copy: the seed is salted by
+    // the phase index (a restarted plan must not replay the previous
+    // phase's fault sequence) and the deadline shrinks to the remaining
+    // budget — time burned by abandoned phases still counts.
+    fault::FaultPlan phase_fault_plan;
+    if (options.fault_plan != nullptr) {
+      phase_fault_plan = *options.fault_plan;
+      phase_fault_plan.seed += static_cast<uint64_t>(result.phases.size());
+      if (phase_fault_plan.deadline_seconds > 0.0) {
+        phase_fault_plan.deadline_seconds =
+            std::max(phase_fault_plan.deadline_seconds - result.total_seconds,
+                     1e-9);
+      }
+      exec_options.fault_plan = &phase_fault_plan;
+    }
     if (current_plan.algorithm == JoinAlgorithmKind::kZigZag) {
       // Seed with the offline inputs' assumed seed count; callers populate
       // seed values through the resources' first database values. The
@@ -297,15 +317,28 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     phase.end_point = exec_result.final_point;
     phase.switched_away = want_switch;
     phase.exhausted = exec_result.exhausted;
+    phase.degraded = exec_result.degraded;
     result.phases.push_back(phase);
     result.total_seconds += phase.seconds;
+    result.degraded = result.degraded || exec_result.degraded;
+    result.deadline_exceeded =
+        result.deadline_exceeded || exec_result.deadline_exceeded;
+    result.docs_dropped += exec_result.final_point.docs_dropped1 +
+                           exec_result.final_point.docs_dropped2;
+    result.queries_dropped += exec_result.final_point.queries_dropped1 +
+                              exec_result.final_point.queries_dropped2;
 
     if (phase_span) {
       phase_span.AddAttribute("seconds", phase.seconds);
       phase_span.AddAttribute("switched_away", phase.switched_away ? 1 : 0);
       phase_span.AddAttribute("exhausted", phase.exhausted ? 1 : 0);
+      if (phase.degraded) phase_span.AddAttribute("degraded", "true");
     }
     phase_span.End();
+
+    // A phase that ran out of the shared time budget ends the whole
+    // execution with the best partial answer — no further switches.
+    if (exec_result.deadline_exceeded) want_switch = false;
 
     if (want_switch) {
       ++switches;
@@ -323,6 +356,10 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       adaptive_span.AddAttribute("phases", static_cast<int64_t>(result.phases.size()));
       adaptive_span.AddAttribute("total_seconds", result.total_seconds);
       adaptive_span.AddAttribute("requirement_met", result.requirement_met ? 1 : 0);
+      if (result.degraded) adaptive_span.AddAttribute("degraded", "true");
+      if (result.deadline_exceeded) {
+        adaptive_span.AddAttribute("deadline_exceeded", "true");
+      }
     }
     adaptive_span.End();
 

@@ -35,6 +35,14 @@ struct AdaptiveOptions {
   FrequencyCoupling coupling = FrequencyCoupling::kIndependent;
   RelationEstimatorOptions estimator;
 
+  /// Optional fault plan (non-owning; must outlive the run). Each phase
+  /// executes under a copy whose seed is salted by the phase index (a
+  /// restarted plan should not replay the identical fault sequence) and
+  /// whose deadline is the *remaining* budget — time spent by abandoned
+  /// phases counts against it. Estimation consumes effective (post-drop)
+  /// counts, so dropped documents do not skew the MLE's retrieved fraction.
+  const fault::FaultPlan* fault_plan = nullptr;
+
   /// Optional telemetry (non-owning; must outlive the run). Forwarded to
   /// every phase's executor and re-optimizer; the adaptive loop adds
   /// adaptive.run / adaptive.phase / estimate.mle / plan.switch spans plus
@@ -51,6 +59,9 @@ struct AdaptivePhase {
   bool switched_away = false;
   /// True when the phase consumed every reachable document/query.
   bool exhausted = false;
+  /// True when injected faults altered the phase's output (drops, breaker
+  /// trips, or the deadline cut it short).
+  bool degraded = false;
 };
 
 struct AdaptiveResult {
@@ -64,6 +75,15 @@ struct AdaptiveResult {
   /// Last parameter estimate produced during execution.
   JoinModelParams final_estimate;
   bool has_estimate = false;
+
+  /// --- Fault degradation (all false/zero without a fault plan) ---
+  /// True when any phase degraded; the result is the best partial answer.
+  bool degraded = false;
+  /// True when the fault plan's time budget ran out mid-execution.
+  bool deadline_exceeded = false;
+  /// Documents / probes lost to exhausted retries, summed over all phases.
+  int64_t docs_dropped = 0;
+  int64_t queries_dropped = 0;
 
   /// Structured run report: final metrics snapshot, span tree, final-phase
   /// trajectory, and the predicted-vs-observed quality/time deltas. Only

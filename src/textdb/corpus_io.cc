@@ -52,6 +52,22 @@ namespace {
 constexpr char kMagic[] = "IEJOIN_SCENARIO";
 constexpr int kVersion = 1;
 
+/// Upper bound on any single count field (vocabulary entries, documents,
+/// tokens, mentions, overlap values). Far above every real scenario; a
+/// corrupt or truncated file whose decoded count is larger — including a
+/// negative value wrapped through unsigned parsing — fails cleanly instead
+/// of attempting a multi-gigabyte resize.
+constexpr size_t kMaxSectionCount = size_t{1} << 27;
+
+Status CheckCount(const char* what, size_t count) {
+  if (count > kMaxSectionCount) {
+    return Status::InvalidArgument(
+        StrFormat("%s count %zu exceeds sanity limit (corrupt file?)", what,
+                  count));
+  }
+  return Status::Ok();
+}
+
 Status WriteCorpus(std::ostream& out, const Corpus& corpus) {
   const RelationGroundTruth& truth = corpus.ground_truth();
   out << "corpus " << corpus.size() << "\n";
@@ -85,6 +101,8 @@ Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
   if (!(in >> keyword >> num_docs) || keyword != "corpus" || num_docs < 0) {
     return Status::InvalidArgument("corpus header malformed");
   }
+  IEJOIN_RETURN_IF_ERROR(
+      CheckCount("document", static_cast<size_t>(num_docs)));
   std::string name;
   if (!(in >> keyword >> name) || keyword != "name") {
     return Status::InvalidArgument("corpus name malformed");
@@ -103,9 +121,12 @@ Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
   if (!(in >> keyword >> num_patterns) || keyword != "patterns") {
     return Status::InvalidArgument("patterns line malformed");
   }
+  IEJOIN_RETURN_IF_ERROR(CheckCount("pattern", num_patterns));
   truth->pattern_vocabulary.resize(num_patterns);
   for (TokenId& t : truth->pattern_vocabulary) {
-    if (!(in >> t)) return Status::InvalidArgument("pattern token malformed");
+    if (!(in >> t) || t >= vocab->size()) {
+      return Status::InvalidArgument("pattern token malformed");
+    }
   }
 
   corpus->mutable_documents()->reserve(static_cast<size_t>(num_docs));
@@ -118,6 +139,8 @@ Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
       return Status::InvalidArgument(
           StrFormat("doc header malformed at index %lld", static_cast<long long>(d)));
     }
+    IEJOIN_RETURN_IF_ERROR(CheckCount("token", num_tokens));
+    IEJOIN_RETURN_IF_ERROR(CheckCount("mention", num_mentions));
     doc.tokens.resize(num_tokens);
     for (TokenId& t : doc.tokens) {
       if (!(in >> t) || t >= vocab->size()) {
@@ -131,6 +154,12 @@ Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
             is_good >> m.pattern_affinity) ||
           keyword != "mention") {
         return Status::InvalidArgument("mention line malformed");
+      }
+      if (m.join_value >= vocab->size() || m.second_value >= vocab->size()) {
+        return Status::InvalidArgument("mention value out of vocabulary");
+      }
+      if (m.sentence_index < 0) {
+        return Status::InvalidArgument("mention sentence index negative");
       }
       m.is_good = is_good != 0;
     }
@@ -148,15 +177,19 @@ Status WriteValues(std::ostream& out, const char* label,
   return Status::Ok();
 }
 
-Result<std::vector<TokenId>> ReadValues(std::istream& in, const char* label) {
+Result<std::vector<TokenId>> ReadValues(std::istream& in, const char* label,
+                                        TokenId vocab_size) {
   std::string keyword;
   size_t count = 0;
   if (!(in >> keyword >> count) || keyword != label) {
     return Status::InvalidArgument(std::string("overlap line malformed: ") + label);
   }
+  IEJOIN_RETURN_IF_ERROR(CheckCount("overlap value", count));
   std::vector<TokenId> values(count);
   for (TokenId& v : values) {
-    if (!(in >> v)) return Status::InvalidArgument("overlap value malformed");
+    if (!(in >> v) || v >= vocab_size) {
+      return Status::InvalidArgument("overlap value malformed");
+    }
   }
   return values;
 }
@@ -217,6 +250,7 @@ Result<JoinScenario> LoadScenario(const std::string& path) {
   if (!(in >> keyword >> vocab_size) || keyword != "vocab" || vocab_size == 0) {
     return Status::InvalidArgument("vocab header malformed");
   }
+  IEJOIN_RETURN_IF_ERROR(CheckCount("vocab", vocab_size));
   auto vocab = std::make_shared<Vocabulary>();
   for (size_t i = 0; i < vocab_size; ++i) {
     int type = 0;
@@ -233,12 +267,17 @@ Result<JoinScenario> LoadScenario(const std::string& path) {
 
   JoinScenario scenario;
   scenario.vocabulary = vocab;
-  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gg, ReadValues(in, "gg"));
-  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gb, ReadValues(in, "gb"));
-  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bg, ReadValues(in, "bg"));
-  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bb, ReadValues(in, "bb"));
+  const TokenId interned = vocab->size();
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gg, ReadValues(in, "gg", interned));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_gb, ReadValues(in, "gb", interned));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bg, ReadValues(in, "bg", interned));
+  IEJOIN_ASSIGN_OR_RETURN(scenario.values_bb, ReadValues(in, "bb", interned));
   IEJOIN_ASSIGN_OR_RETURN(scenario.corpus1, ReadCorpus(in, vocab));
   IEJOIN_ASSIGN_OR_RETURN(scenario.corpus2, ReadCorpus(in, vocab));
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument("trailing data after scenario (corrupt file?)");
+  }
   return scenario;
 }
 

@@ -37,6 +37,11 @@ struct MeterTelemetry {
   obs::Counter* docs_filtered = nullptr;
   obs::Counter* queries_issued = nullptr;
   obs::Counter* tuples_extracted = nullptr;
+  obs::Counter* ops_retried = nullptr;
+  obs::Counter* ops_failed = nullptr;
+  obs::Counter* docs_dropped = nullptr;
+  obs::Counter* queries_dropped = nullptr;
+  obs::Counter* breaker_trips = nullptr;
 };
 
 /// Charges simulated time and counts operations during a join execution.
@@ -80,6 +85,50 @@ class ExecutionMeter {
     clock_.Advance(costs_.query_seconds * static_cast<double>(queries));
   }
 
+  /// Per-operation cost lookup for fault accounting: the wasted work of a
+  /// failed attempt is the operation's own simulated cost.
+  double CostOf(int fault_op) const {
+    switch (fault_op) {
+      case 0: return costs_.retrieve_seconds;   // fault::FaultOp::kRetrieve
+      case 1: return costs_.query_seconds;      // fault::FaultOp::kQuery
+      case 2: return costs_.extract_seconds;    // fault::FaultOp::kExtract
+      case 3: return costs_.filter_seconds;     // fault::FaultOp::kFilter
+    }
+    return 0.0;
+  }
+
+  /// Advances the clock without touching operation counters: failed-attempt
+  /// work, timeout stalls, and retry backoff are real simulated time but
+  /// produce no documents/queries.
+  void ChargeFaultDelay(double seconds) {
+    fault_seconds_ += seconds;
+    clock_.Advance(seconds);
+  }
+
+  /// --- Fault bookkeeping (no time charge; pair with ChargeFaultDelay). ---
+  void RecordRetry() {
+    ++counters_.ops_retried;
+    if (telemetry_.ops_retried != nullptr) telemetry_.ops_retried->Increment();
+  }
+  void RecordOpFailed() {
+    ++counters_.ops_failed;
+    if (telemetry_.ops_failed != nullptr) telemetry_.ops_failed->Increment();
+  }
+  void RecordDocDropped() {
+    ++counters_.docs_dropped;
+    if (telemetry_.docs_dropped != nullptr) telemetry_.docs_dropped->Increment();
+  }
+  void RecordQueryDropped() {
+    ++counters_.queries_dropped;
+    if (telemetry_.queries_dropped != nullptr) {
+      telemetry_.queries_dropped->Increment();
+    }
+  }
+  void RecordBreakerTrip() {
+    ++counters_.breaker_trips;
+    if (telemetry_.breaker_trips != nullptr) telemetry_.breaker_trips->Increment();
+  }
+
   /// Records the extraction yield of one processed document (no time
   /// charge; ChargeExtract pays for the processing itself).
   void RecordExtractionYield(int64_t tuples) {
@@ -96,6 +145,8 @@ class ExecutionMeter {
   }
 
   double seconds() const { return clock_.seconds(); }
+  /// Simulated time lost to failed attempts, timeout stalls, and backoff.
+  double fault_seconds() const { return fault_seconds_; }
   const obs::SideCounters& counters() const { return counters_; }
   int64_t docs_retrieved() const { return counters_.docs_retrieved; }
   int64_t docs_extracted() const { return counters_.docs_processed; }
@@ -106,6 +157,7 @@ class ExecutionMeter {
   void Reset() {
     clock_.Reset();
     counters_ = obs::SideCounters();
+    fault_seconds_ = 0.0;
   }
 
  private:
@@ -113,6 +165,7 @@ class ExecutionMeter {
   SimClock clock_;
   obs::SideCounters counters_;
   MeterTelemetry telemetry_;
+  double fault_seconds_ = 0.0;
 };
 
 }  // namespace iejoin

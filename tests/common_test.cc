@@ -44,13 +44,28 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusTest, EveryCodeHasAUniqueName) {
+  // Exhaustive over the enum: no code may fall through to the "UNKNOWN"
+  // default, and no two codes may share a name.
+  std::set<std::string> names;
+  for (int c = 0; c < kNumStatusCodes; ++c) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(c));
+    EXPECT_STRNE(name, "UNKNOWN") << "code " << c;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_STREQ(StatusCodeName(static_cast<StatusCode>(kNumStatusCodes)), "UNKNOWN");
 }
 
 TEST(ResultTest, HoldsValue) {

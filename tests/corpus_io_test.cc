@@ -147,6 +147,88 @@ TEST_F(CorpusIoTest, RejectsTruncatedFile) {
   EXPECT_FALSE(LoadScenario(path_).ok());
 }
 
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+/// Replaces the whitespace-delimited field at `fields_after` positions past
+/// the first occurrence of `marker` with `replacement`.
+void CorruptField(std::string* contents, const std::string& marker,
+                  int fields_after, const std::string& replacement) {
+  size_t pos = contents->find(marker);
+  ASSERT_NE(pos, std::string::npos) << "marker not found: " << marker;
+  pos += marker.size();
+  for (int i = 0; i < fields_after; ++i) {
+    pos = contents->find_first_of(" \n", pos);
+    ASSERT_NE(pos, std::string::npos);
+    ++pos;
+  }
+  const size_t end = contents->find_first_of(" \n", pos);
+  ASSERT_NE(end, std::string::npos);
+  contents->replace(pos, end - pos, replacement);
+}
+
+// A corrupt count field far beyond any plausible scenario must fail
+// cleanly instead of attempting a multi-gigabyte resize.
+TEST_F(CorpusIoTest, RejectsAbsurdPatternCount) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::string contents = ReadAll(path_);
+  CorruptField(&contents, "\npatterns ", 0, "99999999999999999");
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsAbsurdTokenCount) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::string contents = ReadAll(path_);
+  // "doc <id> <tokens> <mentions>": blow up the token count of doc 0.
+  CorruptField(&contents, "\ndoc 0 ", 0, "99999999999999999");
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+// Negative counts wrap through unsigned stream parsing into huge values;
+// the sanity cap must catch them too.
+TEST_F(CorpusIoTest, RejectsNegativeOverlapCount) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::string contents = ReadAll(path_);
+  CorruptField(&contents, "\ngg ", 0, "-5");
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsOutOfVocabularyOverlapValue) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  ASSERT_FALSE(scenario().values_gg.empty());
+  std::string contents = ReadAll(path_);
+  CorruptField(&contents, "\ngg ", 1, "987654321");
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsOutOfVocabularyMentionValue) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::string contents = ReadAll(path_);
+  CorruptField(&contents, "\nmention ", 0, "987654321");
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
+TEST_F(CorpusIoTest, RejectsTrailingGarbage) {
+  ASSERT_TRUE(SaveScenario(scenario(), path_).ok());
+  std::string contents = ReadAll(path_);
+  contents += "EXTRA 1 2 3\n";
+  WriteAll(path_, contents);
+  EXPECT_FALSE(LoadScenario(path_).ok());
+}
+
 TEST(RecomputeGroundTruthTest, RebuildsFromMentions) {
   auto vocab = std::make_shared<Vocabulary>();
   const TokenId company = vocab->Intern("acme", TokenType::kCompany);

@@ -1,0 +1,587 @@
+// Tests for the fault subsystem (src/fault) and its threading through the
+// join executors: retry/backoff policy, circuit breaker state machine,
+// fault-plan parsing, injector determinism — and the guard tests proving
+// that (a) a zero-rate fault plan is bit-identical to no plan at all and
+// (b) the same seed + plan reproduces a faulty execution exactly.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/retry_policy.h"
+#include "harness/workbench.h"
+#include "optimizer/adaptive_executor.h"
+
+namespace iejoin {
+namespace {
+
+using fault::CircuitBreaker;
+using fault::FaultInjector;
+using fault::FaultOp;
+using fault::FaultPlan;
+using fault::OutageWindow;
+using fault::ParseFaultPlan;
+using fault::RetryPolicy;
+
+// --------------------------------------------------------------------------
+// RetryPolicy
+// --------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithoutJitter) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 100.0;
+  policy.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(0, &rng), 0.1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, &rng), 0.2);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, &rng), 0.4);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, &rng), 0.8);
+}
+
+TEST(RetryPolicyTest, BackoffIsCapped) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 5.0;
+  policy.jitter_fraction = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5, &rng), 5.0);
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinFraction) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 1.0;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter_fraction = 0.25;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    const double backoff = policy.BackoffSeconds(0, &rng);
+    EXPECT_GE(backoff, 0.75);
+    EXPECT_LE(backoff, 1.25);
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicInSeed) {
+  RetryPolicy policy;
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(policy.BackoffSeconds(i % 4, &a),
+                     policy.BackoffSeconds(i % 4, &b));
+  }
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadConfigs) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.Validate().ok());
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.initial_backoff_seconds = -1.0;
+  EXPECT_FALSE(policy.Validate().ok());
+  policy = RetryPolicy();
+  policy.jitter_fraction = 1.5;
+  EXPECT_FALSE(policy.Validate().ok());
+}
+
+// --------------------------------------------------------------------------
+// CircuitBreaker
+// --------------------------------------------------------------------------
+
+CircuitBreaker::Config BreakerConfig(int32_t threshold, double cooldown) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = threshold;
+  config.cooldown_seconds = cooldown;
+  return config;
+}
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailures) {
+  CircuitBreaker breaker(BreakerConfig(3, 10.0));
+  EXPECT_TRUE(breaker.AllowRequest(0.0));
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(2.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 1);
+  EXPECT_FALSE(breaker.AllowRequest(2.0));
+}
+
+TEST(CircuitBreakerTest, SuccessResetsConsecutiveCount) {
+  CircuitBreaker breaker(BreakerConfig(3, 10.0));
+  breaker.RecordFailure(0.0);
+  breaker.RecordFailure(1.0);
+  breaker.RecordSuccess();
+  breaker.RecordFailure(2.0);
+  breaker.RecordFailure(3.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenTrialAfterCooldown) {
+  CircuitBreaker breaker(BreakerConfig(1, 10.0));
+  breaker.RecordFailure(0.0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest(5.0));
+  // Cooldown elapsed: one trial goes through.
+  EXPECT_TRUE(breaker.AllowRequest(10.5));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(10.6));
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  CircuitBreaker breaker(BreakerConfig(1, 10.0));
+  breaker.RecordFailure(0.0);
+  EXPECT_TRUE(breaker.AllowRequest(10.5));
+  breaker.RecordFailure(10.5);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.trips(), 2);
+  EXPECT_FALSE(breaker.AllowRequest(15.0));
+  EXPECT_TRUE(breaker.AllowRequest(20.6));
+}
+
+TEST(CircuitBreakerTest, DisabledBreakerNeverBlocks) {
+  CircuitBreaker breaker(BreakerConfig(0, 10.0));
+  for (int i = 0; i < 100; ++i) {
+    breaker.RecordFailure(static_cast<double>(i));
+    EXPECT_TRUE(breaker.AllowRequest(static_cast<double>(i)));
+  }
+  EXPECT_EQ(breaker.trips(), 0);
+}
+
+// --------------------------------------------------------------------------
+// FaultPlan parsing and validation
+// --------------------------------------------------------------------------
+
+TEST(FaultPlanTest, DefaultPlanHasNoFaults) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.HasAnyFaults());
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, ParsesFullSpec) {
+  auto plan = ParseFaultPlan(
+      "seed=7,extract.error=0.1,retrieve.timeout=0.05,retrieve.timeout-cost=3,"
+      "retry.attempts=5,retry.backoff=0.2,retry.multiplier=3,retry.jitter=0.2,"
+      "breaker.threshold=4,breaker.cooldown=60,deadline=1000,"
+      "outage=100:50:1,outage=200:25:both:query");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kExtract).error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kRetrieve).timeout_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kRetrieve).timeout_seconds, 3.0);
+  EXPECT_EQ(plan->retry.max_attempts, 5);
+  EXPECT_DOUBLE_EQ(plan->retry.initial_backoff_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(plan->retry.backoff_multiplier, 3.0);
+  EXPECT_DOUBLE_EQ(plan->retry.jitter_fraction, 0.2);
+  EXPECT_EQ(plan->breaker.failure_threshold, 4);
+  EXPECT_DOUBLE_EQ(plan->breaker.cooldown_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(plan->deadline_seconds, 1000.0);
+  ASSERT_EQ(plan->outages.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan->outages[0].start_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(plan->outages[0].duration_seconds, 50.0);
+  EXPECT_EQ(plan->outages[0].side, 0);  // "1" is side index 0
+  EXPECT_EQ(plan->outages[0].op, -1);
+  EXPECT_EQ(plan->outages[1].side, -1);
+  EXPECT_EQ(plan->outages[1].op, static_cast<int32_t>(FaultOp::kQuery));
+  EXPECT_TRUE(plan->HasAnyFaults());
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseFaultPlan("bogus.key=1").ok());
+  EXPECT_FALSE(ParseFaultPlan("extract.error=notanumber").ok());
+  EXPECT_FALSE(ParseFaultPlan("extract.error").ok());
+  EXPECT_FALSE(ParseFaultPlan("outage=abc").ok());
+  EXPECT_FALSE(ParseFaultPlan("outage=1:2:3:4:5").ok());
+}
+
+TEST(FaultPlanTest, ValidateRejectsOutOfRangeRates) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 1.5;
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = FaultPlan();
+  plan.op(FaultOp::kQuery).timeout_rate = -0.1;
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = FaultPlan();
+  plan.deadline_seconds = -1.0;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FaultPlanTest, DescribeRoundTripsThroughParse) {
+  auto plan = ParseFaultPlan("extract.error=0.25,deadline=500,retry.attempts=2");
+  ASSERT_TRUE(plan.ok());
+  const std::string description = DescribeFaultPlan(*plan);
+  EXPECT_NE(description.find("extract"), std::string::npos);
+  EXPECT_NE(description.find("deadline"), std::string::npos);
+}
+
+TEST(OutageWindowTest, CoversMatchingSideOpAndTime) {
+  OutageWindow outage;
+  outage.start_seconds = 100.0;
+  outage.duration_seconds = 50.0;
+  outage.side = 1;
+  outage.op = static_cast<int32_t>(FaultOp::kExtract);
+  EXPECT_TRUE(outage.Covers(1, FaultOp::kExtract, 120.0));
+  EXPECT_FALSE(outage.Covers(0, FaultOp::kExtract, 120.0));   // wrong side
+  EXPECT_FALSE(outage.Covers(1, FaultOp::kRetrieve, 120.0));  // wrong op
+  EXPECT_FALSE(outage.Covers(1, FaultOp::kExtract, 99.0));    // before
+  EXPECT_FALSE(outage.Covers(1, FaultOp::kExtract, 150.0));   // after (exclusive)
+}
+
+// --------------------------------------------------------------------------
+// FaultInjector
+// --------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, ZeroRatePlanAlwaysSucceeds) {
+  FaultInjector injector{FaultPlan()};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(injector.Decide(i % 2, FaultOp::kExtract, 0.0).ok());
+  }
+}
+
+TEST(FaultInjectorTest, CertainErrorAlwaysFails) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 1.0;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 100; ++i) {
+    const FaultInjector::Attempt attempt = injector.Decide(0, FaultOp::kExtract, 0.0);
+    EXPECT_FALSE(attempt.ok());
+    EXPECT_EQ(attempt.status.code(), StatusCode::kUnavailable);
+    EXPECT_DOUBLE_EQ(attempt.penalty_seconds, 0.0);
+  }
+  // Other operations stay healthy.
+  EXPECT_TRUE(injector.Decide(0, FaultOp::kRetrieve, 0.0).ok());
+}
+
+TEST(FaultInjectorTest, TimeoutCarriesPenalty) {
+  FaultPlan plan;
+  plan.op(FaultOp::kQuery).timeout_rate = 1.0;
+  plan.op(FaultOp::kQuery).timeout_seconds = 7.5;
+  FaultInjector injector(plan);
+  const FaultInjector::Attempt attempt = injector.Decide(1, FaultOp::kQuery, 0.0);
+  EXPECT_FALSE(attempt.ok());
+  EXPECT_EQ(attempt.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(attempt.penalty_seconds, 7.5);
+}
+
+TEST(FaultInjectorTest, OutageDominatesInsideWindow) {
+  FaultPlan plan;
+  OutageWindow outage;
+  outage.start_seconds = 10.0;
+  outage.duration_seconds = 5.0;
+  plan.outages.push_back(outage);
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.Decide(0, FaultOp::kExtract, 9.9).ok());
+  EXPECT_FALSE(injector.Decide(0, FaultOp::kExtract, 10.0).ok());
+  EXPECT_FALSE(injector.Decide(1, FaultOp::kQuery, 14.9).ok());
+  EXPECT_TRUE(injector.Decide(0, FaultOp::kExtract, 15.0).ok());
+}
+
+TEST(FaultInjectorTest, SameSeedProducesIdenticalSequences) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.op(FaultOp::kExtract).error_rate = 0.3;
+  plan.op(FaultOp::kRetrieve).timeout_rate = 0.2;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    const FaultOp op = i % 2 == 0 ? FaultOp::kExtract : FaultOp::kRetrieve;
+    const FaultInjector::Attempt x = a.Decide(i % 2, op, 0.0);
+    const FaultInjector::Attempt y = b.Decide(i % 2, op, 0.0);
+    EXPECT_EQ(x.ok(), y.ok()) << "diverged at step " << i;
+    EXPECT_DOUBLE_EQ(x.penalty_seconds, y.penalty_seconds);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsProduceDifferentSequences) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 0.5;
+  plan.seed = 1;
+  FaultInjector a(plan);
+  plan.seed = 2;
+  FaultInjector b(plan);
+  int differences = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a.Decide(0, FaultOp::kExtract, 0.0).ok() !=
+        b.Decide(0, FaultOp::kExtract, 0.0).ok()) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(FaultInjectorTest, PerOpStreamsAreIndependent) {
+  // Drawing from one operation's stream must not perturb another's: the
+  // extract sequence with interleaved retrieve draws equals the extract
+  // sequence without them.
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 0.4;
+  plan.op(FaultOp::kRetrieve).error_rate = 0.4;
+  FaultInjector interleaved(plan);
+  FaultInjector extract_only(plan);
+  for (int i = 0; i < 200; ++i) {
+    (void)interleaved.Decide(0, FaultOp::kRetrieve, 0.0);
+    EXPECT_EQ(interleaved.Decide(0, FaultOp::kExtract, 0.0).ok(),
+              extract_only.Decide(0, FaultOp::kExtract, 0.0).ok())
+        << "streams coupled at step " << i;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Execution-level tests: faults threaded through the join executors.
+// --------------------------------------------------------------------------
+
+class FaultExecutionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec ScanPlan() {
+    JoinPlanSpec plan;
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+    plan.theta1 = plan.theta2 = 0.4;
+    plan.retrieval1 = RetrievalStrategyKind::kScan;
+    plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  static JoinPlanSpec ZgjnPlan() {
+    JoinPlanSpec plan;
+    plan.algorithm = JoinAlgorithmKind::kZigZag;
+    plan.theta1 = plan.theta2 = 0.4;
+    return plan;
+  }
+
+  static Result<JoinExecutionResult> RunWithFaults(const JoinPlanSpec& plan,
+                                                   const FaultPlan* faults) {
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples = 20;
+    options.requirement.max_bad_tuples = 100000;
+    options.fault_plan = faults;
+    return bench().RunPlan(plan, options);
+  }
+
+  static void ExpectIdenticalRuns(const JoinExecutionResult& a,
+                                  const JoinExecutionResult& b) {
+    EXPECT_EQ(a.final_point.docs_retrieved1, b.final_point.docs_retrieved1);
+    EXPECT_EQ(a.final_point.docs_retrieved2, b.final_point.docs_retrieved2);
+    EXPECT_EQ(a.final_point.docs_processed1, b.final_point.docs_processed1);
+    EXPECT_EQ(a.final_point.docs_processed2, b.final_point.docs_processed2);
+    EXPECT_EQ(a.final_point.queries1, b.final_point.queries1);
+    EXPECT_EQ(a.final_point.queries2, b.final_point.queries2);
+    EXPECT_EQ(a.final_point.extracted1, b.final_point.extracted1);
+    EXPECT_EQ(a.final_point.extracted2, b.final_point.extracted2);
+    EXPECT_EQ(a.final_point.docs_dropped1, b.final_point.docs_dropped1);
+    EXPECT_EQ(a.final_point.docs_dropped2, b.final_point.docs_dropped2);
+    EXPECT_EQ(a.final_point.ops_retried1, b.final_point.ops_retried1);
+    EXPECT_EQ(a.final_point.ops_retried2, b.final_point.ops_retried2);
+    EXPECT_EQ(a.final_point.good_join_tuples, b.final_point.good_join_tuples);
+    EXPECT_EQ(a.final_point.bad_join_tuples, b.final_point.bad_join_tuples);
+    EXPECT_DOUBLE_EQ(a.final_point.seconds, b.final_point.seconds);
+    EXPECT_EQ(a.trajectory.size(), b.trajectory.size());
+    EXPECT_EQ(a.degraded, b.degraded);
+    EXPECT_EQ(a.deadline_exceeded, b.deadline_exceeded);
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* FaultExecutionTest::bench_ = nullptr;
+
+// Guard: a zero-rate fault plan must be bit-identical to no plan at all.
+TEST_F(FaultExecutionTest, ZeroRatePlanDoesNotPerturbExecution) {
+  auto plain = RunWithFaults(ScanPlan(), nullptr);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_FALSE(plain->degraded);
+
+  const FaultPlan zero_plan;  // all rates zero, no deadline
+  auto with_plan = RunWithFaults(ScanPlan(), &zero_plan);
+  ASSERT_TRUE(with_plan.ok()) << with_plan.status().ToString();
+  EXPECT_FALSE(with_plan->degraded);
+  ExpectIdenticalRuns(*plain, *with_plan);
+}
+
+// Guard: the same seed + plan reproduces a faulty execution exactly.
+TEST_F(FaultExecutionTest, SameSeedReproducesFaultyRun) {
+  FaultPlan plan;
+  plan.seed = 4242;
+  plan.op(FaultOp::kExtract).error_rate = 0.1;
+  plan.op(FaultOp::kRetrieve).error_rate = 0.05;
+  auto first = RunWithFaults(ScanPlan(), &plan);
+  auto second = RunWithFaults(ScanPlan(), &plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalRuns(*first, *second);
+}
+
+TEST_F(FaultExecutionTest, TransientErrorsAreRetriedAndAbsorbed) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 0.2;
+  plan.retry.max_attempts = 6;  // enough that 0.2^6 drops are ~never seen
+  plan.breaker.failure_threshold = 0;
+  auto faulty = RunWithFaults(ScanPlan(), &plan);
+  ASSERT_TRUE(faulty.ok()) << faulty.status().ToString();
+  EXPECT_GT(faulty->final_point.ops_retried1 + faulty->final_point.ops_retried2, 0);
+  EXPECT_EQ(faulty->final_point.docs_dropped1 + faulty->final_point.docs_dropped2, 0);
+  EXPECT_FALSE(faulty->degraded);
+  // Retries costed simulated time: the faulty run is slower than a clean one.
+  auto clean = RunWithFaults(ScanPlan(), nullptr);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_GT(faulty->final_point.seconds, clean->final_point.seconds);
+  EXPECT_EQ(faulty->final_point.good_join_tuples, clean->final_point.good_join_tuples);
+}
+
+TEST_F(FaultExecutionTest, ExhaustedRetriesDropDocumentsNotRuns) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 1.0;  // every extraction fails
+  plan.retry.max_attempts = 2;
+  plan.breaker.failure_threshold = 0;  // isolate drop accounting from breaker
+  JoinExecutionOptions options;       // run to exhaustion: nothing is fatal
+  options.fault_plan = &plan;
+  auto result = bench().RunPlan(ScanPlan(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_FALSE(result->deadline_exceeded);
+  EXPECT_EQ(result->final_point.docs_processed1, 0);
+  EXPECT_EQ(result->final_point.docs_processed2, 0);
+  EXPECT_EQ(result->final_point.good_join_tuples, 0);
+  // Every retrieved document was dropped.
+  EXPECT_EQ(result->final_point.docs_dropped1, result->final_point.docs_retrieved1);
+  EXPECT_EQ(result->final_point.docs_dropped2, result->final_point.docs_retrieved2);
+  EXPECT_GT(result->final_point.docs_dropped1, 0);
+  EXPECT_GT(result->final_point.ops_failed1, 0);
+}
+
+TEST_F(FaultExecutionTest, BreakerTripsUnderSustainedExtractorFailure) {
+  FaultPlan plan;
+  plan.op(FaultOp::kExtract).error_rate = 1.0;
+  plan.retry.max_attempts = 1;
+  plan.breaker.failure_threshold = 5;
+  plan.breaker.cooldown_seconds = 1e9;  // stays open for the whole run
+  JoinExecutionOptions options;
+  options.fault_plan = &plan;
+  auto result = bench().RunPlan(ScanPlan(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  // The breaker tripped on both sides and then fail-fasted the rest: far
+  // fewer failed operations than documents, but every document dropped.
+  EXPECT_GT(result->final_point.docs_dropped1, 0);
+  EXPECT_GT(result->final_point.docs_dropped2, 0);
+  EXPECT_EQ(result->final_point.ops_failed1, 5);
+  EXPECT_EQ(result->final_point.ops_failed2, 5);
+  EXPECT_EQ(result->final_point.docs_processed1, 0);
+}
+
+TEST_F(FaultExecutionTest, DeadlineReturnsPartialResult) {
+  FaultPlan plan;
+  plan.deadline_seconds = 100.0;
+  JoinExecutionOptions options;  // exhaustion: only the deadline can stop it
+  options.fault_plan = &plan;
+  auto result = bench().RunPlan(ScanPlan(), options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_FALSE(result->exhausted);
+  // The run stopped just past the budget with partial output intact.
+  EXPECT_GE(result->final_point.seconds, 100.0);
+  EXPECT_LT(result->final_point.seconds, 110.0);
+  EXPECT_GT(result->final_point.docs_processed1 +
+                result->final_point.docs_processed2,
+            0);
+  JoinExecutionOptions clean_options;
+  auto clean = bench().RunPlan(ScanPlan(), clean_options);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_TRUE(clean->exhausted);
+  EXPECT_LT(result->final_point.docs_processed1 +
+                result->final_point.docs_processed2,
+            clean->final_point.docs_processed1 +
+                clean->final_point.docs_processed2);
+}
+
+TEST_F(FaultExecutionTest, QueryFaultsDropProbesInZgjn) {
+  FaultPlan plan;
+  plan.op(FaultOp::kQuery).error_rate = 0.5;
+  plan.retry.max_attempts = 1;  // half the probes are lost outright
+  auto result = RunWithFaults(ZgjnPlan(), &plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->final_point.queries_dropped1 +
+                result->final_point.queries_dropped2,
+            0);
+  EXPECT_TRUE(result->degraded);
+}
+
+TEST_F(FaultExecutionTest, OutageWindowDegradesThenRecovers) {
+  FaultPlan plan;
+  // Total outage early in the run; retries are exhausted inside the window
+  // (backoff is too short to escape), so early documents are dropped, then
+  // the run recovers and extracts normally.
+  OutageWindow outage;
+  outage.start_seconds = 10.0;
+  outage.duration_seconds = 30.0;
+  plan.outages.push_back(outage);
+  plan.retry.max_attempts = 2;
+  plan.breaker.failure_threshold = 0;
+  auto result = RunWithFaults(ScanPlan(), &plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->degraded);
+  EXPECT_GT(result->final_point.docs_dropped1 + result->final_point.docs_dropped2,
+            0);
+  // Recovery: documents were still processed after the window.
+  EXPECT_GT(result->final_point.docs_processed1 +
+                result->final_point.docs_processed2,
+            0);
+  EXPECT_GT(result->final_point.good_join_tuples, 0);
+}
+
+// --------------------------------------------------------------------------
+// Adaptive executor under faults.
+// --------------------------------------------------------------------------
+
+TEST_F(FaultExecutionTest, AdaptiveExecutorHonorsDeadline) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok());
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;
+  AdaptiveJoinExecutor adaptive(bench().resources(), *inputs, enum_options);
+
+  AdaptiveOptions options;
+  options.requirement.min_good_tuples = 1000000;  // unreachable: deadline rules
+  options.requirement.max_bad_tuples = std::numeric_limits<int64_t>::max();
+  options.initial_plan = ScanPlan();
+  options.estimator.mixture.max_frequency = 100;
+  FaultPlan faults;
+  faults.deadline_seconds = 200.0;
+  options.fault_plan = &faults;
+
+  auto result = adaptive.Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->deadline_exceeded);
+  EXPECT_TRUE(result->degraded);
+  EXPECT_GE(result->total_seconds, 200.0);
+  EXPECT_LT(result->total_seconds, 220.0);
+}
+
+}  // namespace
+}  // namespace iejoin

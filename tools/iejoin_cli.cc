@@ -8,12 +8,14 @@
 //
 //   iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]
 //       [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 sc|fs|aqg]
-//       [--tau-good N] [--tau-bad N]
+//       [--tau-good N] [--tau-bad N] [--faults SPEC]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
 //       Execute one join plan (oracle stopping when taus given, exhaustion
 //       otherwise) and report output quality and simulated time. The *-out
 //       flags attach the telemetry subsystem (docs/OBSERVABILITY.md) and
 //       dump the metrics snapshot, span tree, or full run report as JSON.
+//       --faults injects deterministic faults (docs/ROBUSTNESS.md), e.g.
+//       "extract.error=0.1,retry.attempts=4,deadline=5000".
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
 //       [--metrics-out FILE] [--trace-out FILE]
@@ -30,6 +32,7 @@
 #include <map>
 #include <string>
 
+#include "fault/fault_plan.h"
 #include "harness/workbench.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -66,7 +69,7 @@ int Usage() {
                "  iejoin_cli inspect --scenario FILE\n"
                "  iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]\n"
                "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
-               "             [--tau-good N] [--tau-bad N]\n"
+               "             [--tau-good N] [--tau-bad N] [--faults SPEC]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
                "             [--metrics-out FILE] [--trace-out FILE]\n");
@@ -197,11 +200,6 @@ int CmdRun(const Args& args) {
   plan.retrieval1 = *x1;
   plan.retrieval2 = *x2;
 
-  auto executor = CreateJoinExecutor(plan, (*bench)->resources());
-  if (!executor.ok()) {
-    std::fprintf(stderr, "executor: %s\n", executor.status().ToString().c_str());
-    return 1;
-  }
   JoinExecutionOptions options;
   if (args.Has("tau-good")) {
     options.stop_rule = StopRule::kOracleQuality;
@@ -209,12 +207,20 @@ int CmdRun(const Args& args) {
     options.requirement.max_bad_tuples =
         args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
   }
-  if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
-    options.seed_values = (*bench)->ZgjnSeeds(4);
+  fault::FaultPlan fault_plan;
+  if (args.Has("faults")) {
+    auto parsed = fault::ParseFaultPlan(args.Get("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "faults: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    fault_plan = *parsed;
+    options.fault_plan = &fault_plan;
+    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
   }
   options.metrics = metrics;
   options.tracer = trace;
-  auto result = (*executor)->Run(options);
+  auto result = (*bench)->RunPlan(plan, options);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;
@@ -231,6 +237,16 @@ int CmdRun(const Args& args) {
               result->final_point.seconds);
   if (options.stop_rule == StopRule::kOracleQuality) {
     std::printf("requirement %s\n", result->requirement_met ? "met" : "missed");
+  }
+  if (result->degraded) {
+    const TrajectoryPoint& fp = result->final_point;
+    std::printf("degraded run: %lld docs dropped, %lld queries dropped, "
+                "%lld ops retried, %lld ops failed%s\n",
+                static_cast<long long>(fp.docs_dropped1 + fp.docs_dropped2),
+                static_cast<long long>(fp.queries_dropped1 + fp.queries_dropped2),
+                static_cast<long long>(fp.ops_retried1 + fp.ops_retried2),
+                static_cast<long long>(fp.ops_failed1 + fp.ops_failed2),
+                result->deadline_exceeded ? "; deadline exceeded" : "");
   }
 
   if (telemetry) {
