@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -140,16 +141,16 @@ void OptimizerSection(bool smoke, const QualityRequirement& req) {
 }
 
 struct FaultVariant {
-  const char* name;
-  const char* spec;  // ParseFaultPlan syntax; nullptr = no injector
+  std::string name;
+  std::string spec;  // ParseFaultPlan syntax; empty = no injector
 };
 
-void FaultSection(bool smoke) {
+void FaultSection(bool smoke, bool hedge) {
   const double deadline = smoke ? 300.0 : 3000.0;
   char deadline_spec[64];
   std::snprintf(deadline_spec, sizeof(deadline_spec), "deadline=%.0f", deadline);
-  const std::vector<FaultVariant> faults = {
-      {"none", nullptr},
+  std::vector<FaultVariant> faults = {
+      {"none", ""},
       {"transient", "extract.error=0.1,retrieve.error=0.05,retry.attempts=4"},
       {"timeouts", "extract.timeout=0.05,extract.timeout-cost=3,retry.attempts=3"},
       {"outage", "outage=50:150,retry.attempts=2"},
@@ -158,6 +159,16 @@ void FaultSection(bool smoke) {
        "breaker.cooldown=50"},
       {"deadline", deadline_spec},
   };
+  if (hedge) {
+    // --hedge: rerun every faulty variant with hedged requests racing a
+    // delayed duplicate instead of sequential backoff.
+    const size_t base_count = faults.size();
+    for (size_t i = 0; i < base_count; ++i) {
+      if (faults[i].spec.empty()) continue;
+      faults.push_back({faults[i].name + "+hedge",
+                        faults[i].spec + ",hedge.max=2,hedge.delay=0.25"});
+    }
+  }
 
   struct PlanVariant {
     const char* name;
@@ -189,28 +200,28 @@ void FaultSection(bool smoke) {
   }
 
   std::printf("\n# Fault-injection sweep (exhaustion runs, docs/ROBUSTNESS.md)\n");
-  std::printf("%-9s %-14s | %7s %7s %9s | %6s %6s %6s %5s | %s\n", "plan",
+  std::printf("%-9s %-20s | %7s %7s %9s | %6s %6s %6s %5s %5s | %s\n", "plan",
               "faults", "good", "bad", "seconds", "drop_d", "drop_q", "retry",
-              "fail", "flags");
+              "fail", "hedge", "flags");
 
   for (const PlanVariant& pv : plans) {
     for (const FaultVariant& fv : faults) {
       fault::FaultPlan fault_plan;
-      if (fv.spec != nullptr) {
+      if (!fv.spec.empty()) {
         auto parsed = fault::ParseFaultPlan(fv.spec);
         if (!parsed.ok()) {
-          std::printf("%-9s %-14s | parse failed: %s\n", pv.name, fv.name,
-                      parsed.status().ToString().c_str());
+          std::printf("%-9s %-20s | parse failed: %s\n", pv.name,
+                      fv.name.c_str(), parsed.status().ToString().c_str());
           continue;
         }
         fault_plan = *parsed;
       }
       JoinExecutionOptions options;
       options.stop_rule = StopRule::kExhaustion;
-      if (fv.spec != nullptr) options.fault_plan = &fault_plan;
+      if (!fv.spec.empty()) options.fault_plan = &fault_plan;
       auto result = (*bench)->RunPlan(pv.plan, options);
       if (!result.ok()) {
-        std::printf("%-9s %-14s | run failed: %s\n", pv.name, fv.name,
+        std::printf("%-9s %-20s | run failed: %s\n", pv.name, fv.name.c_str(),
                     result.status().ToString().c_str());
         continue;
       }
@@ -218,14 +229,105 @@ void FaultSection(bool smoke) {
       char flags[32] = "";
       if (result->degraded) std::strcat(flags, "degraded ");
       if (result->deadline_exceeded) std::strcat(flags, "deadline");
-      std::printf("%-9s %-14s | %7lld %7lld %8.0fs | %6lld %6lld %6lld %5lld | %s\n",
-                  pv.name, fv.name, static_cast<long long>(p.good_join_tuples),
-                  static_cast<long long>(p.bad_join_tuples), p.seconds,
-                  static_cast<long long>(p.docs_dropped1 + p.docs_dropped2),
-                  static_cast<long long>(p.queries_dropped1 + p.queries_dropped2),
-                  static_cast<long long>(p.ops_retried1 + p.ops_retried2),
-                  static_cast<long long>(p.ops_failed1 + p.ops_failed2), flags);
+      std::printf(
+          "%-9s %-20s | %7lld %7lld %8.0fs | %6lld %6lld %6lld %5lld %5lld | %s\n",
+          pv.name, fv.name.c_str(), static_cast<long long>(p.good_join_tuples),
+          static_cast<long long>(p.bad_join_tuples), p.seconds,
+          static_cast<long long>(p.docs_dropped1 + p.docs_dropped2),
+          static_cast<long long>(p.queries_dropped1 + p.queries_dropped2),
+          static_cast<long long>(p.ops_retried1 + p.ops_retried2),
+          static_cast<long long>(p.ops_failed1 + p.ops_failed2),
+          static_cast<long long>(p.hedges1 + p.hedges2), flags);
     }
+  }
+}
+
+// With a heavily side-asymmetric fault profile, folding the profile into
+// plan costing (OptimizerInputs::fault_plan) should steer the optimizer to a
+// different plan than the fault-blind baseline — and that plan should be
+// empirically faster to the requirement when the faults are actually
+// injected. This section runs both choices under injection and compares.
+void FaultAwareOptimizerSection(bool smoke, const QualityRequirement& req) {
+  struct Profile {
+    const char* name;
+    const char* spec;
+  };
+  // Stalling retrieval on one side is the sharpest asymmetry: scan-based
+  // plans pay the stall for every document on the flaky side, while
+  // query-driven plans fetch only the few documents their probes surface.
+  const std::vector<Profile> profiles = {
+      {"r1-stall",
+       "r1.retrieve.timeout=0.3,r1.retrieve.timeout-cost=10,retry.attempts=2"},
+      {"r2-stall",
+       "r2.retrieve.timeout=0.3,r2.retrieve.timeout-cost=10,retry.attempts=2"},
+  };
+
+  WorkbenchConfig config;
+  config.scenario = smoke ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
+  auto bench = Workbench::Create(config);
+  if (!bench.ok()) {
+    std::printf("fault-aware section workbench failed: %s\n",
+                bench.status().ToString().c_str());
+    return;
+  }
+  auto inputs = (*bench)->OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  if (!inputs.ok()) {
+    std::printf("fault-aware section inputs failed: %s\n",
+                inputs.status().ToString().c_str());
+    return;
+  }
+
+  std::printf("\n# Fault-aware vs fault-blind optimizer (runs under injection)\n");
+  std::printf("%-10s | %-34s %9s | %-34s %9s | %s\n", "profile", "blind choice",
+              "t_meet", "aware choice", "t_meet", "verdict");
+
+  for (const Profile& profile : profiles) {
+    auto parsed = fault::ParseFaultPlan(profile.spec);
+    if (!parsed.ok()) {
+      std::printf("%-10s | parse failed: %s\n", profile.name,
+                  parsed.status().ToString().c_str());
+      continue;
+    }
+    const fault::FaultPlan fault_plan = *parsed;
+
+    const PlanEnumerationOptions enum_options;
+    const QualityAwareOptimizer blind(*inputs, enum_options);
+    OptimizerInputs aware_inputs = *inputs;
+    aware_inputs.fault_plan = &fault_plan;
+    const QualityAwareOptimizer aware(aware_inputs, enum_options);
+
+    auto blind_choice = blind.ChoosePlan(req);
+    auto aware_choice = aware.ChoosePlan(req);
+    if (!blind_choice.ok() || !aware_choice.ok()) {
+      std::printf("%-10s | no feasible plan (blind=%d aware=%d)\n", profile.name,
+                  blind_choice.ok() ? 1 : 0, aware_choice.ok() ? 1 : 0);
+      continue;
+    }
+
+    auto measure = [&](const JoinPlanSpec& plan) -> std::optional<double> {
+      JoinExecutionOptions options;
+      options.stop_rule = StopRule::kExhaustion;
+      options.snapshot_every_docs = 4;
+      options.fault_plan = &fault_plan;
+      auto result = (*bench)->RunPlan(plan, options);
+      if (!result.ok()) return std::nullopt;
+      return TimeToMeet(*result, req);
+    };
+    const std::optional<double> blind_time = measure(blind_choice->plan);
+    const std::optional<double> aware_time = measure(aware_choice->plan);
+
+    const bool differs =
+        blind_choice->plan.Describe() != aware_choice->plan.Describe();
+    const char* verdict = !differs                ? "same plan"
+                          : !aware_time           ? "aware missed req"
+                          : !blind_time           ? "aware-only meets"
+                          : *aware_time < *blind_time ? "aware faster"
+                                                      : "blind faster";
+    std::printf("%-10s | %-34s %8.0fs | %-34s %8.0fs | %s\n", profile.name,
+                blind_choice->plan.Describe().c_str(),
+                blind_time.value_or(-1.0),
+                aware_choice->plan.Describe().c_str(),
+                aware_time.value_or(-1.0), verdict);
   }
 }
 
@@ -233,8 +335,10 @@ void FaultSection(bool smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool hedge = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--hedge") == 0) hedge = true;
   }
 
   QualityRequirement req;
@@ -242,6 +346,7 @@ int main(int argc, char** argv) {
   req.max_bad_tuples = smoke ? 100000 : 2000;
 
   OptimizerSection(smoke, req);
-  FaultSection(smoke);
+  FaultSection(smoke, hedge);
+  FaultAwareOptimizerSection(smoke, req);
   return 0;
 }

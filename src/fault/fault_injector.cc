@@ -20,7 +20,10 @@ FaultInjector::FaultInjector(const FaultPlan& plan)
                 MakeStream(plan.seed, 2), MakeStream(plan.seed, 3)},
                {MakeStream(plan.seed, 4), MakeStream(plan.seed, 5),
                 MakeStream(plan.seed, 6), MakeStream(plan.seed, 7)}},
-      backoff_rng_(MakeStream(plan.seed, 8)) {}
+      backoff_streams_{{MakeStream(plan.seed, 16), MakeStream(plan.seed, 17),
+                        MakeStream(plan.seed, 18), MakeStream(plan.seed, 19)},
+                       {MakeStream(plan.seed, 20), MakeStream(plan.seed, 21),
+                        MakeStream(plan.seed, 22), MakeStream(plan.seed, 23)}} {}
 
 FaultInjector::Attempt FaultInjector::Decide(int side, FaultOp op,
                                              double now_seconds) {
@@ -33,7 +36,7 @@ FaultInjector::Attempt FaultInjector::Decide(int side, FaultOp op,
       return attempt;
     }
   }
-  const OpFaultSpec& spec = plan_.op(op);
+  const OpFaultSpec& spec = plan_.op(side, op);
   if (!spec.active()) return attempt;  // fast path: no draw, no state change
   Rng& rng = streams_[side][static_cast<int>(op)];
   if (spec.timeout_rate > 0.0 && rng.Bernoulli(spec.timeout_rate)) {
@@ -49,8 +52,9 @@ FaultInjector::Attempt FaultInjector::Decide(int side, FaultOp op,
   return attempt;
 }
 
-double FaultInjector::BackoffSeconds(int32_t attempt) {
-  return plan_.retry.BackoffSeconds(attempt, &backoff_rng_);
+double FaultInjector::BackoffSeconds(int side, FaultOp op, int32_t attempt) {
+  return plan_.retry.BackoffSeconds(attempt,
+                                    &backoff_streams_[side][static_cast<int>(op)]);
 }
 
 }  // namespace fault

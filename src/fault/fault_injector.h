@@ -13,6 +13,9 @@ namespace fault {
 /// when the interleaving of other operations changes, and keeps the
 /// injector fully independent of every other randomness source in the
 /// library — attaching a zero-rate injector cannot perturb an execution.
+/// Backoff jitter draws come from their own per-(side, operation) streams
+/// for the same reason: one side's retry storm must not reshuffle the
+/// other side's backoff delays.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultPlan& plan);
@@ -32,15 +35,16 @@ class FaultInjector {
   /// time `now_seconds`. Burst outages dominate rates.
   Attempt Decide(int side, FaultOp op, double now_seconds);
 
-  /// Deterministic backoff (plan's retry policy + private jitter stream).
-  double BackoffSeconds(int32_t attempt);
+  /// Deterministic backoff for retrying `op` on `side` after failed attempt
+  /// `attempt` (0-based). Jitter comes from the (side, op) private stream.
+  double BackoffSeconds(int side, FaultOp op, int32_t attempt);
 
   const FaultPlan& plan() const { return plan_; }
 
  private:
   FaultPlan plan_;
-  Rng streams_[2][kNumFaultOps];
-  Rng backoff_rng_;
+  Rng streams_[kNumFaultSides][kNumFaultOps];
+  Rng backoff_streams_[kNumFaultSides][kNumFaultOps];
 };
 
 }  // namespace fault

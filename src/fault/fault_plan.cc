@@ -1,5 +1,6 @@
 #include "fault/fault_plan.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -22,23 +23,27 @@ const char* FaultOpName(FaultOp op) {
 }
 
 bool FaultPlan::HasAnyFaults() const {
-  for (const OpFaultSpec& spec : ops) {
-    if (spec.active()) return true;
+  for (int side = 0; side < kNumFaultSides; ++side) {
+    for (const OpFaultSpec& spec : ops[side]) {
+      if (spec.active()) return true;
+    }
   }
   return !outages.empty() || deadline_seconds > 0.0;
 }
 
 Status FaultPlan::Validate() const {
-  for (int i = 0; i < kNumFaultOps; ++i) {
-    const OpFaultSpec& spec = ops[i];
-    if (spec.error_rate < 0.0 || spec.error_rate > 1.0 ||
-        spec.timeout_rate < 0.0 || spec.timeout_rate > 1.0) {
-      return Status::InvalidArgument(
-          StrFormat("%s fault rates must be in [0, 1]",
-                    FaultOpName(static_cast<FaultOp>(i))));
-    }
-    if (spec.timeout_seconds < 0.0) {
-      return Status::InvalidArgument("timeout-cost must be >= 0");
+  for (int side = 0; side < kNumFaultSides; ++side) {
+    for (int i = 0; i < kNumFaultOps; ++i) {
+      const OpFaultSpec& spec = ops[side][i];
+      if (spec.error_rate < 0.0 || spec.error_rate > 1.0 ||
+          spec.timeout_rate < 0.0 || spec.timeout_rate > 1.0) {
+        return Status::InvalidArgument(
+            StrFormat("r%d %s fault rates must be in [0, 1]", side + 1,
+                      FaultOpName(static_cast<FaultOp>(i))));
+      }
+      if (spec.timeout_seconds < 0.0) {
+        return Status::InvalidArgument("timeout-cost must be >= 0");
+      }
     }
   }
   for (const OutageWindow& w : outages) {
@@ -53,6 +58,7 @@ Status FaultPlan::Validate() const {
     return Status::InvalidArgument("deadline must be >= 0");
   }
   IEJOIN_RETURN_IF_ERROR(retry.Validate());
+  IEJOIN_RETURN_IF_ERROR(hedge.Validate());
   return breaker.Validate();
 }
 
@@ -108,6 +114,34 @@ Result<OutageWindow> ParseOutage(const std::string& text) {
   return window;
 }
 
+/// Assigns one `<op>.<field>` rate key. `side` is 0/1 for r1./r2. scoped
+/// keys, or -1 for unqualified keys (assign both sides).
+Status AssignOpField(FaultPlan* plan, int side, const std::string& op_name,
+                     const std::string& field, const std::string& key,
+                     const std::string& value) {
+  IEJOIN_ASSIGN_OR_RETURN(const int op, ParseOpName(op_name));
+  if (op < 0) {
+    return Status::InvalidArgument("fault plan: rates need a concrete op: " + key);
+  }
+  double parsed = 0.0;
+  IEJOIN_ASSIGN_OR_RETURN(parsed, ParseDouble(key, value));
+  const int first = side < 0 ? 0 : side;
+  const int last = side < 0 ? kNumFaultSides - 1 : side;
+  for (int s = first; s <= last; ++s) {
+    OpFaultSpec& target = plan->ops[s][op];
+    if (field == "error") {
+      target.error_rate = parsed;
+    } else if (field == "timeout") {
+      target.timeout_rate = parsed;
+    } else if (field == "timeout-cost") {
+      target.timeout_seconds = parsed;
+    } else {
+      return Status::InvalidArgument("fault plan: unknown key: " + key);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
@@ -139,6 +173,11 @@ Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
                               ParseDouble(key, value));
     } else if (key == "retry.jitter") {
       IEJOIN_ASSIGN_OR_RETURN(plan.retry.jitter_fraction, ParseDouble(key, value));
+    } else if (key == "hedge.max") {
+      IEJOIN_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
+      plan.hedge.max_hedges = static_cast<int32_t>(v);
+    } else if (key == "hedge.delay") {
+      IEJOIN_ASSIGN_OR_RETURN(plan.hedge.delay_seconds, ParseDouble(key, value));
     } else if (key == "breaker.threshold") {
       IEJOIN_ASSIGN_OR_RETURN(const int64_t v, ParseInt(key, value));
       plan.breaker.failure_threshold = static_cast<int32_t>(v);
@@ -148,23 +187,27 @@ Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
       IEJOIN_ASSIGN_OR_RETURN(const OutageWindow window, ParseOutage(value));
       plan.outages.push_back(window);
     } else {
-      // <op>.error / <op>.timeout / <op>.timeout-cost
-      const size_t dot = key.find('.');
-      if (dot == std::string::npos) {
-        return Status::InvalidArgument("fault plan: unknown key: " + key);
-      }
-      IEJOIN_ASSIGN_OR_RETURN(const int op, ParseOpName(key.substr(0, dot)));
-      if (op < 0) {
-        return Status::InvalidArgument("fault plan: rates need a concrete op: " + key);
-      }
-      const std::string field = key.substr(dot + 1);
-      OpFaultSpec& target = plan.ops[op];
-      if (field == "error") {
-        IEJOIN_ASSIGN_OR_RETURN(target.error_rate, ParseDouble(key, value));
-      } else if (field == "timeout") {
-        IEJOIN_ASSIGN_OR_RETURN(target.timeout_rate, ParseDouble(key, value));
-      } else if (field == "timeout-cost") {
-        IEJOIN_ASSIGN_OR_RETURN(target.timeout_seconds, ParseDouble(key, value));
+      // [rN.]<op>.error / [rN.]<op>.timeout / [rN.]<op>.timeout-cost
+      const std::vector<std::string> segments = Split(key, '.');
+      if (segments.size() == 3) {
+        int side = -1;
+        if (segments[0] == "r1") {
+          side = 0;
+        } else if (segments[0] == "r2") {
+          side = 1;
+        } else {
+          return Status::InvalidArgument(
+              "fault plan: side qualifier must be r1 or r2: " + segments[0]);
+        }
+        IEJOIN_RETURN_IF_ERROR(
+            AssignOpField(&plan, side, segments[1], segments[2], key, value));
+      } else if (segments.size() == 2) {
+        if (segments[0] == "r1" || segments[0] == "r2") {
+          return Status::InvalidArgument(
+              "fault plan: side-qualified key needs <op>.<field>: " + key);
+        }
+        IEJOIN_RETURN_IF_ERROR(
+            AssignOpField(&plan, -1, segments[0], segments[1], key, value));
       } else {
         return Status::InvalidArgument("fault plan: unknown key: " + key);
       }
@@ -174,16 +217,119 @@ Result<FaultPlan> ParseFaultPlan(const std::string& spec) {
   return plan;
 }
 
+namespace {
+
+/// Shortest decimal form that strtod parses back to exactly `value`.
+std::string FormatRoundTripDouble(double value) {
+  char buffer[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void AppendPair(std::string* out, const std::string& key, const std::string& value) {
+  if (!out->empty()) out->push_back(',');
+  out->append(key);
+  out->push_back('=');
+  out->append(value);
+}
+
+void AppendDoubleIf(std::string* out, const std::string& key, double value,
+                    double default_value) {
+  if (value != default_value) AppendPair(out, key, FormatRoundTripDouble(value));
+}
+
+void AppendOpFields(std::string* out, const std::string& prefix,
+                    const OpFaultSpec& spec) {
+  static const OpFaultSpec kDefault;
+  AppendDoubleIf(out, prefix + ".error", spec.error_rate, kDefault.error_rate);
+  AppendDoubleIf(out, prefix + ".timeout", spec.timeout_rate, kDefault.timeout_rate);
+  AppendDoubleIf(out, prefix + ".timeout-cost", spec.timeout_seconds,
+                 kDefault.timeout_seconds);
+}
+
+}  // namespace
+
+std::string FormatFaultPlan(const FaultPlan& plan) {
+  std::string out;
+  AppendPair(&out, "seed",
+             StrFormat("%llu", static_cast<unsigned long long>(plan.seed)));
+  for (int i = 0; i < kNumFaultOps; ++i) {
+    const std::string op_name = FaultOpName(static_cast<FaultOp>(i));
+    if (plan.ops[0][i] == plan.ops[1][i]) {
+      AppendOpFields(&out, op_name, plan.ops[0][i]);
+    } else {
+      AppendOpFields(&out, "r1." + op_name, plan.ops[0][i]);
+      AppendOpFields(&out, "r2." + op_name, plan.ops[1][i]);
+    }
+  }
+  static const RetryPolicy kRetryDefault;
+  if (plan.retry.max_attempts != kRetryDefault.max_attempts) {
+    AppendPair(&out, "retry.attempts", StrFormat("%d", plan.retry.max_attempts));
+  }
+  AppendDoubleIf(&out, "retry.backoff", plan.retry.initial_backoff_seconds,
+                 kRetryDefault.initial_backoff_seconds);
+  AppendDoubleIf(&out, "retry.multiplier", plan.retry.backoff_multiplier,
+                 kRetryDefault.backoff_multiplier);
+  AppendDoubleIf(&out, "retry.max-backoff", plan.retry.max_backoff_seconds,
+                 kRetryDefault.max_backoff_seconds);
+  AppendDoubleIf(&out, "retry.jitter", plan.retry.jitter_fraction,
+                 kRetryDefault.jitter_fraction);
+  static const HedgePolicy kHedgeDefault;
+  if (plan.hedge.max_hedges != kHedgeDefault.max_hedges) {
+    AppendPair(&out, "hedge.max", StrFormat("%d", plan.hedge.max_hedges));
+  }
+  AppendDoubleIf(&out, "hedge.delay", plan.hedge.delay_seconds,
+                 kHedgeDefault.delay_seconds);
+  static const CircuitBreaker::Config kBreakerDefault;
+  if (plan.breaker.failure_threshold != kBreakerDefault.failure_threshold) {
+    AppendPair(&out, "breaker.threshold",
+               StrFormat("%d", plan.breaker.failure_threshold));
+  }
+  AppendDoubleIf(&out, "breaker.cooldown", plan.breaker.cooldown_seconds,
+                 kBreakerDefault.cooldown_seconds);
+  AppendDoubleIf(&out, "deadline", plan.deadline_seconds, 0.0);
+  for (const OutageWindow& w : plan.outages) {
+    std::string text = FormatRoundTripDouble(w.start_seconds) + ":" +
+                       FormatRoundTripDouble(w.duration_seconds);
+    if (w.side >= 0 || w.op >= 0) {
+      text += ":";
+      text += w.side < 0 ? "both" : (w.side == 0 ? "1" : "2");
+      if (w.op >= 0) {
+        text += ":";
+        text += FaultOpName(static_cast<FaultOp>(w.op));
+      }
+    }
+    AppendPair(&out, "outage", text);
+  }
+  return out;
+}
+
 std::string DescribeFaultPlan(const FaultPlan& plan) {
   std::string out = StrFormat("seed=%llu retry=%dx",
                               static_cast<unsigned long long>(plan.seed),
                               plan.retry.max_attempts);
+  if (plan.hedge.enabled()) {
+    out += StrFormat(" hedge=%dx%.2fs", plan.hedge.max_hedges,
+                     plan.hedge.delay_seconds);
+  }
   for (int i = 0; i < kNumFaultOps; ++i) {
-    const OpFaultSpec& spec = plan.ops[i];
-    if (!spec.active()) continue;
-    out += StrFormat(" %s(err=%.2f,to=%.2f)",
-                     FaultOpName(static_cast<FaultOp>(i)), spec.error_rate,
-                     spec.timeout_rate);
+    const char* name = FaultOpName(static_cast<FaultOp>(i));
+    if (plan.ops[0][i] == plan.ops[1][i]) {
+      const OpFaultSpec& spec = plan.ops[0][i];
+      if (!spec.active()) continue;
+      out += StrFormat(" %s(err=%.2f,to=%.2f)", name, spec.error_rate,
+                       spec.timeout_rate);
+    } else {
+      for (int side = 0; side < kNumFaultSides; ++side) {
+        const OpFaultSpec& spec = plan.ops[side][i];
+        if (!spec.active()) continue;
+        out += StrFormat(" r%d.%s(err=%.2f,to=%.2f)", side + 1, name,
+                         spec.error_rate, spec.timeout_rate);
+      }
+    }
   }
   if (!plan.outages.empty()) {
     out += StrFormat(" outages=%zu", plan.outages.size());

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "fault/circuit_breaker.h"
+#include "fault/hedge_policy.h"
 #include "fault/retry_policy.h"
 
 namespace iejoin {
@@ -20,6 +21,7 @@ enum class FaultOp : uint8_t {
   kFilter = 3,    // classifying one document (ZGJN filter)
 };
 inline constexpr int kNumFaultOps = 4;
+inline constexpr int kNumFaultSides = 2;
 
 const char* FaultOpName(FaultOp op);
 
@@ -35,6 +37,12 @@ struct OpFaultSpec {
   double timeout_seconds = 2.0;
 
   bool active() const { return error_rate > 0.0 || timeout_rate > 0.0; }
+
+  bool operator==(const OpFaultSpec& other) const {
+    return error_rate == other.error_rate &&
+           timeout_rate == other.timeout_rate &&
+           timeout_seconds == other.timeout_seconds;
+  }
 };
 
 /// A burst outage: every matching attempt inside the simulated-time window
@@ -61,24 +69,50 @@ struct OutageWindow {
 /// policies that make the run survive them. Deterministic: the same plan
 /// (seed included) against the same scenario produces bit-identical
 /// executions. An all-zero plan injects nothing and perturbs nothing.
+///
+/// Fault rates are per (side, operation): relation R1's extractor can be
+/// flaky while R2's is healthy, which is exactly the asymmetry that makes
+/// fault-aware plan selection interesting — the optimizer can route the
+/// bulk of the work through the reliable side.
 struct FaultPlan {
   /// Seeds the injector's private Rng streams; independent of every other
   /// randomness source in the library.
   uint64_t seed = 20090331;
 
-  /// Indexed by FaultOp; both sides share one spec per operation.
-  OpFaultSpec ops[kNumFaultOps];
+  /// Indexed by [side][FaultOp]; side 0 is relation R1, side 1 is R2.
+  OpFaultSpec ops[kNumFaultSides][kNumFaultOps];
   std::vector<OutageWindow> outages;
 
   RetryPolicy retry;
+  HedgePolicy hedge;
   CircuitBreaker::Config breaker;
 
   /// Per-run simulated-time budget; a run that reaches it stops and returns
   /// its best partial result flagged `degraded`. 0 disables the deadline.
   double deadline_seconds = 0.0;
 
-  const OpFaultSpec& op(FaultOp o) const { return ops[static_cast<int>(o)]; }
-  OpFaultSpec& op(FaultOp o) { return ops[static_cast<int>(o)]; }
+  const OpFaultSpec& op(int side, FaultOp o) const {
+    return ops[side][static_cast<int>(o)];
+  }
+  OpFaultSpec& op(int side, FaultOp o) { return ops[side][static_cast<int>(o)]; }
+
+  /// Sets one operation's spec identically on both sides (the symmetric
+  /// case most tests and simple plans want).
+  void set_op(FaultOp o, const OpFaultSpec& spec) {
+    ops[0][static_cast<int>(o)] = spec;
+    ops[1][static_cast<int>(o)] = spec;
+  }
+  /// Both-side rate shorthands for the symmetric case.
+  void set_error_rate(FaultOp o, double rate) {
+    ops[0][static_cast<int>(o)].error_rate = rate;
+    ops[1][static_cast<int>(o)].error_rate = rate;
+  }
+  void set_timeout(FaultOp o, double rate, double stall_seconds) {
+    for (int side = 0; side < kNumFaultSides; ++side) {
+      ops[side][static_cast<int>(o)].timeout_rate = rate;
+      ops[side][static_cast<int>(o)].timeout_seconds = stall_seconds;
+    }
+  }
 
   /// True when any rate, outage, or deadline can alter an execution.
   bool HasAnyFaults() const;
@@ -90,22 +124,35 @@ struct FaultPlan {
 ///
 ///   seed=N                      injector seed
 ///   deadline=S                  per-run simulated-time budget (seconds)
-///   <op>.error=R                transient-error rate, op in
+///   <op>.error=R                transient-error rate on BOTH sides, op in
 ///                               {retrieve,query,extract,filter}
-///   <op>.timeout=R              timeout rate
+///   <op>.timeout=R              timeout rate (both sides)
 ///   <op>.timeout-cost=S         stall charged per timed-out attempt
+///   r1.<op>.<field>             same fields scoped to relation R1 only
+///   r2.<op>.<field>             ... or to relation R2 only
 ///   retry.attempts=N            total attempts per operation
 ///   retry.backoff=S             initial backoff seconds
 ///   retry.multiplier=X          exponential backoff factor
 ///   retry.max-backoff=S         backoff cap
 ///   retry.jitter=F              +/- jitter fraction
+///   hedge.max=N                 duplicate racers per op (0 = no hedging;
+///                               hedging replaces sequential retries)
+///   hedge.delay=S               stagger between racer launches
 ///   breaker.threshold=N         consecutive failures tripping the breaker
 ///   breaker.cooldown=S          open duration before a half-open trial
 ///   outage=START:DUR[:SIDE[:OP]]  burst outage window (repeatable);
 ///                               SIDE in {1,2,both}, OP an op name or "all"
 ///
-/// e.g. "extract.error=0.1,retry.attempts=4,deadline=5000,outage=100:50:1".
+/// Unqualified `<op>.<field>` keys assign both sides; a later `r1.`/`r2.`
+/// key overrides its side (and vice versa — last write wins per side).
+/// e.g. "r1.extract.error=0.3,retry.attempts=4,hedge.max=2,deadline=5000".
 Result<FaultPlan> ParseFaultPlan(const std::string& spec);
+
+/// Canonical spec string: `ParseFaultPlan(FormatFaultPlan(p))` reproduces
+/// `p` exactly, and formatting is a fixed point (format∘parse∘format ==
+/// format). Symmetric per-op specs collapse to unqualified keys; only
+/// non-default fields are emitted (plus the seed, always).
+std::string FormatFaultPlan(const FaultPlan& plan);
 
 /// Compact human-readable one-line form (CLI/bench banners).
 std::string DescribeFaultPlan(const FaultPlan& plan);

@@ -1,0 +1,17 @@
+#include "fault/hedge_policy.h"
+
+namespace iejoin {
+namespace fault {
+
+Status HedgePolicy::Validate() const {
+  if (max_hedges < 0) {
+    return Status::InvalidArgument("hedge.max must be >= 0");
+  }
+  if (delay_seconds < 0.0) {
+    return Status::InvalidArgument("hedge.delay must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace fault
+}  // namespace iejoin

@@ -1,0 +1,40 @@
+#ifndef IEJOIN_FAULT_HEDGE_POLICY_H_
+#define IEJOIN_FAULT_HEDGE_POLICY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace iejoin {
+namespace fault {
+
+/// Hedged requests: instead of retrying a failed attempt after a backoff
+/// (sequential, latency-additive), launch up to `max_hedges` duplicate
+/// attempts staggered by `delay_seconds` and take the first success —
+/// the classic tail-latency trade of duplicated backend work for waiting
+/// time. In the simulated-time model the first success at (0-based)
+/// attempt k costs the operation's normal charge plus k * delay_seconds
+/// of stagger wait; a failed attempt's work overlaps the racers and is
+/// never charged separately. Only when every racer fails does the
+/// operation pay its own cost (plus the final stall), exactly once.
+///
+/// An enabled hedge policy replaces the retry policy's sequential loop for
+/// injected faults; the retry policy still caps nothing in that case. All
+/// hedge resolutions draw from the injector's per-(side, op) decision
+/// streams, so hedged executions are deterministic in the plan seed.
+struct HedgePolicy {
+  /// Duplicate attempts raced on failure (total attempts = max_hedges + 1).
+  /// 0 disables hedging: the retry policy's sequential loop applies.
+  int32_t max_hedges = 0;
+  /// Stagger between consecutive racer launches (simulated seconds).
+  double delay_seconds = 0.25;
+
+  bool enabled() const { return max_hedges > 0; }
+
+  Status Validate() const;
+};
+
+}  // namespace fault
+}  // namespace iejoin
+
+#endif  // IEJOIN_FAULT_HEDGE_POLICY_H_

@@ -43,6 +43,13 @@ struct TrajectoryPoint {
   int64_t ops_retried2 = 0;
   int64_t ops_failed1 = 0;
   int64_t ops_failed2 = 0;
+  /// Times each side's extractor circuit breaker tripped open so far (the
+  /// adaptive executor's breaker-triggered re-optimization observable).
+  int64_t breaker_trips1 = 0;
+  int64_t breaker_trips2 = 0;
+  /// Duplicate hedged attempts raced (HedgePolicy enabled only).
+  int64_t hedges1 = 0;
+  int64_t hedges2 = 0;
   /// Ground-truth join composition (evaluation-only fields).
   int64_t good_join_tuples = 0;
   int64_t bad_join_tuples = 0;
@@ -70,6 +77,10 @@ struct TrajectoryPoint {
     sample.side2.ops_retried = ops_retried2;
     sample.side1.ops_failed = ops_failed1;
     sample.side2.ops_failed = ops_failed2;
+    sample.side1.breaker_trips = breaker_trips1;
+    sample.side2.breaker_trips = breaker_trips2;
+    sample.side1.hedges_launched = hedges1;
+    sample.side2.hedges_launched = hedges2;
     sample.good_join_tuples = good_join_tuples;
     sample.bad_join_tuples = bad_join_tuples;
     sample.seconds = seconds;
@@ -159,6 +170,10 @@ struct JoinExecutionResult {
   /// True when the run stopped because the fault plan's time budget ran
   /// out (the result is the partial output at that point).
   bool deadline_exceeded = false;
+  /// Simulated seconds lost to injected faults (failed-attempt work,
+  /// timeout stalls, backoff, hedge stagger) summed over both sides — the
+  /// observed counterpart of the fault-adjusted model's overhead term.
+  double fault_seconds = 0.0;
 };
 
 }  // namespace iejoin

@@ -69,6 +69,7 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
       telemetry.docs_dropped = metrics_->counter(prefix + "docs_dropped");
       telemetry.queries_dropped = metrics_->counter(prefix + "queries_dropped");
       telemetry.breaker_trips = metrics_->counter(prefix + "breaker_trips");
+      telemetry.hedges_launched = metrics_->counter(prefix + "hedges_launched");
       sides_[i].meter.AttachTelemetry(telemetry);
     }
     metrics_->counter("join.runs")->Increment();
@@ -118,6 +119,9 @@ bool JoinExecutorBase::DeadlineExceeded() {
 
 bool JoinExecutorBase::SurviveFaults(int side_index, fault::FaultOp op) {
   if (faults_ == nullptr) return true;
+  if (faults_->injector.plan().hedge.enabled()) {
+    return SurviveFaultsHedged(side_index, op, nullptr);
+  }
   ExecutionMeter& meter = sides_[side_index].meter;
   const fault::RetryPolicy& retry = faults_->injector.plan().retry;
   for (int32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
@@ -132,9 +136,48 @@ bool JoinExecutorBase::SurviveFaults(int side_index, fault::FaultOp op) {
                       << attempt + 1 << "/" << retry.max_attempts << ")";
     if (attempt + 1 < retry.max_attempts) {
       meter.RecordRetry();
-      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(attempt));
+      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(side_index, op, attempt));
     }
   }
+  meter.RecordOpFailed();
+  return false;
+}
+
+bool JoinExecutorBase::SurviveFaultsHedged(int side_index, fault::FaultOp op,
+                                           fault::CircuitBreaker* breaker) {
+  ExecutionMeter& meter = sides_[side_index].meter;
+  const fault::HedgePolicy& hedge = faults_->injector.plan().hedge;
+  const int32_t attempts = hedge.max_hedges + 1;
+  double last_penalty = 0.0;
+  for (int32_t attempt = 0; attempt < attempts; ++attempt) {
+    const fault::FaultInjector::Attempt outcome =
+        faults_->injector.Decide(side_index, op, TotalSeconds());
+    if (outcome.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      if (attempt > 0) {
+        // The winner was racer #attempt, launched attempt * delay after the
+        // primary; the losers' wasted work overlapped it and costs nothing
+        // extra. The caller charges the operation's own cost as usual.
+        meter.RecordHedge(attempt);
+        meter.ChargeFaultDelay(static_cast<double>(attempt) * hedge.delay_seconds);
+      }
+      return true;
+    }
+    if (breaker != nullptr) {
+      const int64_t trips_before = breaker->trips();
+      breaker->RecordFailure(TotalSeconds());
+      if (breaker->trips() > trips_before) meter.RecordBreakerTrip();
+    }
+    last_penalty = outcome.penalty_seconds;
+    IEJOIN_LOG(Debug) << "fault: " << outcome.status.ToString() << " (racer "
+                      << attempt + 1 << "/" << attempts << ")";
+  }
+  // Every racer failed: the operation resolves when the last racer —
+  // launched max_hedges * delay in — finishes its (wasted) work and stall.
+  meter.RecordHedge(attempts - 1);
+  meter.ChargeFaultDelay(meter.CostOf(static_cast<int>(op)) +
+                         static_cast<double>(attempts - 1) * hedge.delay_seconds +
+                         last_penalty);
   meter.RecordOpFailed();
   return false;
 }
@@ -148,6 +191,13 @@ std::optional<ExtractionBatch> JoinExecutorBase::TryProcessDocument(int side_ind
     // Breaker open: fail fast without paying the extractor cost.
     meter.RecordDocDropped();
     return std::nullopt;
+  }
+  if (faults_->injector.plan().hedge.enabled()) {
+    if (!SurviveFaultsHedged(side_index, fault::FaultOp::kExtract, &breaker)) {
+      meter.RecordDocDropped();
+      return std::nullopt;
+    }
+    return ProcessDocument(side_index, doc);
   }
   const fault::RetryPolicy& retry = faults_->injector.plan().retry;
   for (int32_t attempt = 0; attempt < retry.max_attempts; ++attempt) {
@@ -167,7 +217,8 @@ std::optional<ExtractionBatch> JoinExecutorBase::TryProcessDocument(int side_ind
     if (attempt + 1 < retry.max_attempts) {
       if (!breaker.AllowRequest(TotalSeconds())) break;  // tripped mid-operation
       meter.RecordRetry();
-      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(attempt));
+      meter.ChargeFaultDelay(faults_->injector.BackoffSeconds(
+          side_index, fault::FaultOp::kExtract, attempt));
     }
   }
   meter.RecordOpFailed();
@@ -265,6 +316,10 @@ TrajectoryPoint JoinExecutorBase::Snapshot() const {
   p.ops_retried2 = c2.ops_retried;
   p.ops_failed1 = c1.ops_failed;
   p.ops_failed2 = c2.ops_failed;
+  p.breaker_trips1 = c1.breaker_trips;
+  p.breaker_trips2 = c2.breaker_trips;
+  p.hedges1 = c1.hedges_launched;
+  p.hedges2 = c2.hedges_launched;
   p.good_join_tuples = state_.good_join_tuples();
   p.bad_join_tuples = state_.bad_join_tuples();
   p.seconds = sides_[0].meter.seconds() + sides_[1].meter.seconds();
@@ -308,6 +363,8 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
   result.requirement_met = options.requirement.MetBy(
       result.final_point.good_join_tuples, result.final_point.bad_join_tuples);
   result.deadline_exceeded = deadline_hit_;
+  result.fault_seconds =
+      sides_[0].meter.fault_seconds() + sides_[1].meter.fault_seconds();
   const obs::SideCounters& fc1 = sides_[0].meter.counters();
   const obs::SideCounters& fc2 = sides_[1].meter.counters();
   result.degraded = deadline_hit_ || fc1.docs_dropped > 0 || fc2.docs_dropped > 0 ||

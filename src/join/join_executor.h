@@ -104,7 +104,18 @@ class JoinExecutorBase {
   /// One injected-fault attempt loop around an abstract operation. Returns
   /// true when an attempt succeeded; false when retries were exhausted.
   /// Charges op costs for failed attempts, timeout penalties, and backoff.
+  /// When the fault plan enables a HedgePolicy, the sequential loop is
+  /// replaced by hedged racing (SurviveFaultsHedged).
   bool SurviveFaults(int side_index, fault::FaultOp op);
+
+  /// Hedged-request resolution: races max_hedges staggered duplicates and
+  /// takes the first success. A success at (0-based) attempt k charges only
+  /// k * delay of stagger wait — the failed racers' work overlaps. Total
+  /// failure charges one op cost + full stagger + the final stall. When
+  /// `breaker` is non-null every racer outcome feeds it (entry gating is
+  /// the caller's job; racers in flight cannot be recalled by a trip).
+  bool SurviveFaultsHedged(int side_index, fault::FaultOp op,
+                           fault::CircuitBreaker* breaker);
 
   /// Total simulated seconds across both sides (the fault session's clock).
   double TotalSeconds() const;

@@ -1,0 +1,214 @@
+#include "model/fault_adjusted_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iejoin {
+
+namespace {
+
+/// Geometric-series mean Σ_{k=1}^{n} f^k = f (1 - f^n) / (1 - f), with the
+/// f → 1 limit handled exactly.
+double GeometricSum(double f, int n) {
+  if (n <= 0) return 0.0;
+  if (f >= 1.0) return static_cast<double>(n);
+  return f * (1.0 - std::pow(f, n)) / (1.0 - f);
+}
+
+bool SideUsesFilter(const JoinPlanSpec& plan_spec, int side) {
+  switch (plan_spec.algorithm) {
+    case JoinAlgorithmKind::kIndependent:
+      return (side == 0 ? plan_spec.retrieval1 : plan_spec.retrieval2) ==
+             RetrievalStrategyKind::kFilteredScan;
+    case JoinAlgorithmKind::kOuterInner: {
+      const int outer = plan_spec.outer_is_relation1 ? 0 : 1;
+      if (side != outer) return false;
+      return (side == 0 ? plan_spec.retrieval1 : plan_spec.retrieval2) ==
+             RetrievalStrategyKind::kFilteredScan;
+    }
+    case JoinAlgorithmKind::kZigZag:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool SideIsQueryDriven(const JoinPlanSpec& plan_spec, int side) {
+  switch (plan_spec.algorithm) {
+    case JoinAlgorithmKind::kIndependent:
+      return (side == 0 ? plan_spec.retrieval1 : plan_spec.retrieval2) ==
+             RetrievalStrategyKind::kAutomaticQueryGeneration;
+    case JoinAlgorithmKind::kOuterInner: {
+      const int outer = plan_spec.outer_is_relation1 ? 0 : 1;
+      if (side != outer) return true;  // inner docs arrive via probes
+      return (side == 0 ? plan_spec.retrieval1 : plan_spec.retrieval2) ==
+             RetrievalStrategyKind::kAutomaticQueryGeneration;
+    }
+    case JoinAlgorithmKind::kZigZag:
+      return true;
+  }
+  return false;
+}
+
+double OpFaultFactors::ExpectedOverheadSeconds(double op_cost_seconds) const {
+  if (hedged) {
+    // Losers overlap the winner; only a total failure pays the op's work.
+    return expected_hedge_seconds + drop_fraction * op_cost_seconds +
+           expected_penalty_seconds;
+  }
+  return expected_failures * op_cost_seconds + expected_penalty_seconds +
+         expected_backoff_seconds;
+}
+
+OpFaultFactors ComputeOpFaultFactors(const FaultModelOptions& options, int side,
+                                     fault::FaultOp op) {
+  OpFaultFactors factors;
+  if (options.plan == nullptr) return factors;
+  const fault::FaultPlan& plan = *options.plan;
+  const fault::OpFaultSpec& spec = plan.op(side, op);
+
+  // Matches FaultInjector::Decide: the timeout die rolls first, then the
+  // error die on the survivors.
+  double f = spec.timeout_rate + (1.0 - spec.timeout_rate) * spec.error_rate;
+  if (op == fault::FaultOp::kExtract && options.side_degraded[side]) {
+    // Breaker feedback: the extra failure mass is error-like (fail fast),
+    // so the timeout share keeps its absolute probability.
+    f = std::max(f, options.degraded_extract_failure);
+  }
+  f = std::min(std::max(f, 0.0), 1.0);
+  if (f <= 0.0) return factors;
+  factors.failure_prob = f;
+  const double timeout_share = spec.timeout_rate / f;
+
+  if (plan.hedge.enabled()) {
+    factors.hedged = true;
+    const int hedges = plan.hedge.max_hedges;
+    factors.drop_fraction = std::pow(f, hedges + 1);
+    factors.expected_failures = GeometricSum(f, hedges + 1);
+    // The op waits at least k * delay iff the first k racers all fail.
+    factors.expected_hedge_seconds =
+        plan.hedge.delay_seconds * GeometricSum(f, hedges);
+    // Only a total failure surfaces a stall (the last racer's).
+    factors.expected_penalty_seconds =
+        factors.drop_fraction * timeout_share * spec.timeout_seconds;
+    return factors;
+  }
+
+  const int attempts = std::max<int32_t>(plan.retry.max_attempts, 1);
+  factors.drop_fraction = std::pow(f, attempts);
+  factors.expected_failures = GeometricSum(f, attempts);
+  factors.expected_penalty_seconds =
+      factors.expected_failures * timeout_share * spec.timeout_seconds;
+  // Backoff precedes attempt k+1 with probability f^{k+1}; the injector's
+  // ±jitter is mean-zero, so the nominal schedule is the expectation.
+  double nominal = plan.retry.initial_backoff_seconds;
+  double chain = f;
+  for (int k = 0; k + 1 < attempts; ++k) {
+    factors.expected_backoff_seconds +=
+        chain * std::min(nominal, plan.retry.max_backoff_seconds);
+    nominal *= plan.retry.backoff_multiplier;
+    chain *= f;
+  }
+  return factors;
+}
+
+FaultAdjustment ComputeFaultAdjustment(const FaultModelOptions& options) {
+  FaultAdjustment adjustment;
+  if (options.plan == nullptr) return adjustment;
+  for (int side = 0; side < 2; ++side) {
+    for (int i = 0; i < fault::kNumFaultOps; ++i) {
+      OpFaultFactors factors =
+          ComputeOpFaultFactors(options, side, static_cast<fault::FaultOp>(i));
+      if (factors.failure_prob > 0.0) adjustment.active = true;
+      adjustment.sides[side].ops[i] = factors;
+    }
+  }
+  return adjustment;
+}
+
+FaultAdjustedEstimate AdjustEstimate(const QualityEstimate& base,
+                                     const JoinPlanSpec& plan_spec,
+                                     const FaultAdjustment& adjustment,
+                                     const CostModel& costs1,
+                                     const CostModel& costs2) {
+  FaultAdjustedEstimate out;
+  out.estimate = base;
+  if (!adjustment.active) return out;
+
+  double coverage[2] = {1.0, 1.0};
+  double seconds_delta = 0.0;
+  for (int side = 0; side < 2; ++side) {
+    const SideFaultModel& m = adjustment.sides[side];
+    const OpFaultFactors& qf = m.op(fault::FaultOp::kQuery);
+    const OpFaultFactors& rf = m.op(fault::FaultOp::kRetrieve);
+    const OpFaultFactors& xf = m.op(fault::FaultOp::kExtract);
+    const OpFaultFactors& ff = m.op(fault::FaultOp::kFilter);
+    const CostModel& costs = side == 0 ? costs1 : costs2;
+
+    const double queries = side == 0 ? base.queries1 : base.queries2;
+    const double retrieved = side == 0 ? base.docs_retrieved1 : base.docs_retrieved2;
+    const double processed = side == 0 ? base.docs_processed1 : base.docs_processed2;
+
+    // Survival chain: a document reaches the extractor only if its probe
+    // went through (query-driven sides), its fetch survived, and then its
+    // extraction survives too.
+    const double query_survival =
+        SideIsQueryDriven(plan_spec, side) ? qf.survival() : 1.0;
+    const double retrieved_att = retrieved * query_survival;
+    const double extract_att = processed * query_survival * rf.survival();
+    const double extract_ok = extract_att * xf.survival();
+    const double queries_ok = queries * qf.survival();
+    const double filter_base = SideUsesFilter(plan_spec, side) ? retrieved : 0.0;
+    const double filter_att = SideUsesFilter(plan_spec, side) ? retrieved_att : 0.0;
+
+    // Delta against the fault-free charges baked into base.seconds:
+    // dropped probes never pay t_Q, thinned fetches/filters/extractions
+    // pay less base cost, and every attempted op gains its expected
+    // retry/stall/backoff/hedge overhead.
+    const double overhead = queries * qf.ExpectedOverheadSeconds(costs.query_seconds) +
+                            retrieved_att * rf.ExpectedOverheadSeconds(costs.retrieve_seconds) +
+                            filter_att * ff.ExpectedOverheadSeconds(costs.filter_seconds) +
+                            extract_att * xf.ExpectedOverheadSeconds(costs.extract_seconds);
+    seconds_delta += overhead;
+    seconds_delta -= queries * (1.0 - qf.survival()) * costs.query_seconds;
+    seconds_delta -= (retrieved - retrieved_att) * costs.retrieve_seconds;
+    seconds_delta -= (filter_base - filter_att) * costs.filter_seconds;
+    seconds_delta -= (processed - extract_ok) * costs.extract_seconds;
+
+    coverage[side] = query_survival * rf.survival() * xf.survival();
+    if (side == 0) {
+      out.estimate.docs_retrieved1 = retrieved_att;
+      out.estimate.docs_processed1 = extract_ok;
+      out.estimate.queries1 = queries_ok;
+      out.expected_docs_dropped1 = retrieved_att * (1.0 - rf.survival()) +
+                                   extract_att * (1.0 - xf.survival());
+      out.expected_queries_dropped1 = queries * (1.0 - qf.survival());
+    } else {
+      out.estimate.docs_retrieved2 = retrieved_att;
+      out.estimate.docs_processed2 = extract_ok;
+      out.estimate.queries2 = queries_ok;
+      out.expected_docs_dropped2 = retrieved_att * (1.0 - rf.survival()) +
+                                   extract_att * (1.0 - xf.survival());
+      out.expected_queries_dropped2 = queries * (1.0 - qf.survival());
+    }
+    out.expected_fault_seconds += overhead;
+  }
+
+  out.estimate.seconds = base.seconds + seconds_delta;
+  // Join output is linear in each side's effective document coverage
+  // (Section V-B composes per-side occurrence probabilities).
+  out.estimate.expected_good = base.expected_good * coverage[0] * coverage[1];
+  out.estimate.expected_bad = base.expected_bad * coverage[0] * coverage[1];
+  return out;
+}
+
+QualityEstimate ApplyFaultAdjustment(const QualityEstimate& base,
+                                     const JoinPlanSpec& plan_spec,
+                                     const FaultAdjustment& adjustment,
+                                     const CostModel& costs1,
+                                     const CostModel& costs2) {
+  return AdjustEstimate(base, plan_spec, adjustment, costs1, costs2).estimate;
+}
+
+}  // namespace iejoin

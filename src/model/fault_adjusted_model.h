@@ -1,0 +1,133 @@
+#ifndef IEJOIN_MODEL_FAULT_ADJUSTED_MODEL_H_
+#define IEJOIN_MODEL_FAULT_ADJUSTED_MODEL_H_
+
+#include "fault/fault_plan.h"
+#include "join/join_types.h"
+#include "model/join_quality_model.h"
+#include "textdb/cost_model.h"
+
+namespace iejoin {
+
+/// Closed-form corrections that fold a fault::FaultPlan into the paper's
+/// time/quality models, so the optimizer ranks plans by their expected
+/// behavior *under* the fault profile instead of the fault-free ideal.
+///
+/// Derivations (per (side, op); f is the per-attempt failure probability,
+/// f = timeout_rate + (1 - timeout_rate) * error_rate, matching the
+/// injector's draw order — the timeout die rolls first):
+///
+/// Sequential retries, A = retry.max_attempts:
+///   drop fraction        f^A
+///   E[failed attempts]   f (1 - f^A) / (1 - f)
+///   E[timeout stalls]    E[failed attempts] * (timeout_rate / f) * stall
+///   E[backoff]           Σ_{k=0}^{A-2} f^{k+1} * b_k   (nominal b_k; the
+///                        injector's ±jitter is mean-zero)
+///   E[overhead]          E[failed attempts] * op_cost + stalls + backoff
+///
+/// Hedged racing, H = hedge.max_hedges, d = hedge.delay_seconds:
+///   drop fraction        f^{H+1}
+///   E[stagger wait]      d * Σ_{k=1}^{H} f^k = d * f (1 - f^H) / (1 - f)
+///                        (the op waits ≥ k*d iff the first k racers fail)
+///   E[overhead]          stagger + drop * (op_cost + (timeout_rate/f)*stall)
+///                        — failed racers' work overlaps the winner and
+///                        costs nothing unless *all* racers fail.
+///
+/// Outage windows, breaker open/half-open dynamics, and the deadline are
+/// deliberately NOT in the closed form: they are time-localized, so their
+/// effect shows up as predicted-vs-observed fault deltas in the RunReport
+/// rather than as a rescaled mean. A tripped breaker instead enters through
+/// FaultModelOptions::side_degraded (executor feedback).
+struct OpFaultFactors {
+  /// Per-attempt failure probability f.
+  double failure_prob = 0.0;
+  /// Probability the operation finally fails (drops its doc/query).
+  double drop_fraction = 0.0;
+  /// Expected failed attempts per operation.
+  double expected_failures = 0.0;
+  /// Expected timeout stall seconds per operation.
+  double expected_penalty_seconds = 0.0;
+  /// Expected retry backoff seconds per operation (0 under hedging).
+  double expected_backoff_seconds = 0.0;
+  /// Expected hedge stagger-wait seconds per operation (0 without hedging).
+  double expected_hedge_seconds = 0.0;
+  /// True when the plan hedges (changes how op_cost enters the overhead).
+  bool hedged = false;
+
+  double survival() const { return 1.0 - drop_fraction; }
+
+  /// Expected extra simulated seconds per attempted operation beyond the
+  /// fault-free charge, given the operation's own cost.
+  double ExpectedOverheadSeconds(double op_cost_seconds) const;
+};
+
+/// Inputs of the adjustment: the plan to model plus executor feedback.
+struct FaultModelOptions {
+  /// Fault profile to fold in (non-owning; null disables the adjustment).
+  const fault::FaultPlan* plan = nullptr;
+  /// Marks a side whose extractor circuit breaker tripped: its extract
+  /// failure probability is floored at `degraded_extract_failure`, so
+  /// re-ranking steers work toward the healthy side.
+  bool side_degraded[2] = {false, false};
+  double degraded_extract_failure = 0.5;
+};
+
+/// Per-(side, op) closed-form factors for one fault plan.
+OpFaultFactors ComputeOpFaultFactors(const FaultModelOptions& options, int side,
+                                     fault::FaultOp op);
+
+struct SideFaultModel {
+  OpFaultFactors ops[fault::kNumFaultOps];
+
+  const OpFaultFactors& op(fault::FaultOp o) const {
+    return ops[static_cast<int>(o)];
+  }
+};
+
+/// The full adjustment, derived once per (plan, feedback) pair.
+struct FaultAdjustment {
+  SideFaultModel sides[2];
+  /// False when the plan is null / fault-free and not degraded: the
+  /// adjustment is then the identity.
+  bool active = false;
+};
+
+FaultAdjustment ComputeFaultAdjustment(const FaultModelOptions& options);
+
+/// A fault-rescaled estimate plus the expectations the RunReport compares
+/// against observation.
+struct FaultAdjustedEstimate {
+  QualityEstimate estimate;
+  double expected_docs_dropped1 = 0.0;
+  double expected_docs_dropped2 = 0.0;
+  double expected_queries_dropped1 = 0.0;
+  double expected_queries_dropped2 = 0.0;
+  /// Total expected fault-time overhead (both sides, seconds).
+  double expected_fault_seconds = 0.0;
+};
+
+/// Rescales a fault-blind estimate for `plan_spec`: document/query counts
+/// thin by the per-op survival chain (query → retrieve → extract), output
+/// tuples scale by both sides' effective document coverage, and seconds
+/// gain the expected retry/stall/backoff/hedge overhead. The rescaling is
+/// monotone in the base effort, so the optimizer's bisection stays valid.
+FaultAdjustedEstimate AdjustEstimate(const QualityEstimate& base,
+                                     const JoinPlanSpec& plan_spec,
+                                     const FaultAdjustment& adjustment,
+                                     const CostModel& costs1,
+                                     const CostModel& costs2);
+
+/// Convenience wrapper returning just the rescaled estimate.
+QualityEstimate ApplyFaultAdjustment(const QualityEstimate& base,
+                                     const JoinPlanSpec& plan_spec,
+                                     const FaultAdjustment& adjustment,
+                                     const CostModel& costs1,
+                                     const CostModel& costs2);
+
+/// Whether a side's documents arrive through keyword probes under this
+/// plan (its doc flow thins with dropped queries): the OIJN inner side,
+/// both ZGJN sides, and any side retrieving via AQG.
+bool SideIsQueryDriven(const JoinPlanSpec& plan_spec, int side);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_MODEL_FAULT_ADJUSTED_MODEL_H_

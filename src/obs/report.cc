@@ -22,6 +22,7 @@ void WriteSideCounters(const SideCounters& side, JsonWriter& json) {
   json.Key("docs_dropped").Value(side.docs_dropped);
   json.Key("queries_dropped").Value(side.queries_dropped);
   json.Key("breaker_trips").Value(side.breaker_trips);
+  json.Key("hedges_launched").Value(side.hedges_launched);
   json.EndObject();
 }
 
@@ -46,6 +47,20 @@ std::string RunReport::ToJson() const {
     json.Key("good_delta").Value(prediction.good_delta());
     json.Key("bad_delta").Value(prediction.bad_delta());
     json.Key("seconds_delta").Value(prediction.seconds_delta());
+  }
+  json.Key("has_fault_prediction").Value(prediction.has_fault_prediction);
+  if (prediction.has_fault_prediction) {
+    json.Key("predicted_docs_dropped").Value(prediction.predicted_docs_dropped);
+    json.Key("observed_docs_dropped").Value(prediction.observed_docs_dropped);
+    json.Key("predicted_queries_dropped")
+        .Value(prediction.predicted_queries_dropped);
+    json.Key("observed_queries_dropped")
+        .Value(prediction.observed_queries_dropped);
+    json.Key("predicted_fault_seconds").Value(prediction.predicted_fault_seconds);
+    json.Key("observed_fault_seconds").Value(prediction.observed_fault_seconds);
+    json.Key("docs_dropped_delta").Value(prediction.docs_dropped_delta());
+    json.Key("queries_dropped_delta").Value(prediction.queries_dropped_delta());
+    json.Key("fault_seconds_delta").Value(prediction.fault_seconds_delta());
   }
   json.EndObject();
 

@@ -36,9 +36,30 @@ struct PredictedVsObserved {
   double observed_bad = 0.0;
   double observed_seconds = 0.0;
 
+  /// Fault-adjusted prediction vs. reality (src/model/fault_adjusted_model):
+  /// expected vs. counted drops across both sides, and the model's expected
+  /// fault-time overhead vs. the meters' charged fault seconds. All zero
+  /// when the run carried no fault plan.
+  bool has_fault_prediction = false;
+  double predicted_docs_dropped = 0.0;
+  double observed_docs_dropped = 0.0;
+  double predicted_queries_dropped = 0.0;
+  double observed_queries_dropped = 0.0;
+  double predicted_fault_seconds = 0.0;
+  double observed_fault_seconds = 0.0;
+
   double good_delta() const { return observed_good - predicted_good; }
   double bad_delta() const { return observed_bad - predicted_bad; }
   double seconds_delta() const { return observed_seconds - predicted_seconds; }
+  double docs_dropped_delta() const {
+    return observed_docs_dropped - predicted_docs_dropped;
+  }
+  double queries_dropped_delta() const {
+    return observed_queries_dropped - predicted_queries_dropped;
+  }
+  double fault_seconds_delta() const {
+    return observed_fault_seconds - predicted_fault_seconds;
+  }
 };
 
 /// Everything one instrumented execution produced, bundled into a single

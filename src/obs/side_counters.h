@@ -40,6 +40,9 @@ struct SideCounters {
   int64_t queries_dropped = 0;
   /// Times this side's extractor circuit breaker tripped open.
   int64_t breaker_trips = 0;
+  /// Duplicate hedged attempts raced after a primary-attempt failure
+  /// (only nonzero when the fault plan enables a HedgePolicy).
+  int64_t hedges_launched = 0;
 };
 
 }  // namespace obs

@@ -135,10 +135,54 @@ QualityEstimate AdaptiveJoinExecutor::EstimateAtCurrentEffort(
   return QualityEstimate{};
 }
 
+namespace {
+
+/// Fault-adjusted prediction contract (docs/ROBUSTNESS.md): given the run's
+/// observed attempt volume, predict how many documents/probes the fault
+/// profile should have dropped and how much fault time it should have
+/// charged. Retrieve attempts are observed directly (docs_retrieved counts
+/// paid fetches, dropped or not); successful extracts/queries are scaled
+/// back up by their survival to recover the attempt count.
+void FillFaultPrediction(const TrajectoryPoint& point,
+                         const FaultAdjustment& adjustment,
+                         const CostModel& costs1, const CostModel& costs2,
+                         obs::PredictedVsObserved* pvo) {
+  pvo->has_fault_prediction = true;
+  for (int side = 0; side < 2; ++side) {
+    const SideFaultModel& m = adjustment.sides[side];
+    const OpFaultFactors& qf = m.op(fault::FaultOp::kQuery);
+    const OpFaultFactors& rf = m.op(fault::FaultOp::kRetrieve);
+    const OpFaultFactors& xf = m.op(fault::FaultOp::kExtract);
+    const CostModel& costs = side == 0 ? costs1 : costs2;
+    const double retrieved =
+        static_cast<double>(side == 0 ? point.docs_retrieved1 : point.docs_retrieved2);
+    const double processed =
+        static_cast<double>(side == 0 ? point.docs_processed1 : point.docs_processed2);
+    const double queries_ok =
+        static_cast<double>(side == 0 ? point.queries1 : point.queries2);
+    const double extract_attempts =
+        xf.survival() > 0.0 ? processed / xf.survival() : processed;
+    const double query_attempts =
+        qf.survival() > 0.0 ? queries_ok / qf.survival() : queries_ok;
+    pvo->predicted_docs_dropped +=
+        retrieved * rf.drop_fraction + extract_attempts * xf.drop_fraction;
+    pvo->predicted_queries_dropped += query_attempts * qf.drop_fraction;
+    pvo->predicted_fault_seconds +=
+        query_attempts * qf.ExpectedOverheadSeconds(costs.query_seconds) +
+        retrieved * rf.ExpectedOverheadSeconds(costs.retrieve_seconds) +
+        extract_attempts * xf.ExpectedOverheadSeconds(costs.extract_seconds);
+  }
+}
+
+}  // namespace
+
 Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options) {
   AdaptiveResult result;
   JoinPlanSpec current_plan = options.initial_plan;
   int32_t switches = 0;
+  // Breaker feedback persists across phases: once a side's extractor has
+  // proven itself flaky, later re-optimizations keep it marked degraded.
+  bool side_degraded[2] = {false, false};
 
   obs::Tracer::Span adaptive_span = obs::StartSpan(options.tracer, "adaptive.run");
   if (adaptive_span) {
@@ -160,6 +204,7 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
 
     // Per-phase adaptive state, owned by the callback.
     int64_t next_estimate_at = options.min_docs_for_estimate;
+    int64_t seen_breaker_trips[2] = {0, 0};
     bool want_switch = false;
     JoinPlanSpec switch_target;
     bool believed_done = false;
@@ -209,8 +254,71 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
         current_plan.algorithm == JoinAlgorithmKind::kIndependent &&
         estimable(current_plan.retrieval1) && estimable(current_plan.retrieval2);
 
+    // Shared re-optimization step: re-rank all plans under the freshest
+    // statistics (online estimate when available, offline otherwise), with
+    // the fault plan and any degraded-side marks folded into plan costing.
+    // Switches away when the best plan beats the current one's predicted
+    // remaining time by the given advantage factor.
+    auto try_reoptimize = [&](double advantage, const char* reason) -> bool {
+      if (switches >= options.max_switches) return false;
+      OptimizerInputs inputs = offline_inputs_;
+      if (result.has_estimate) inputs.base_params = result.final_estimate;
+      inputs.fault_plan = options.fault_plan;
+      inputs.side_degraded[0] = side_degraded[0];
+      inputs.side_degraded[1] = side_degraded[1];
+      inputs.metrics = options.metrics;
+      inputs.tracer = options.tracer;
+      const QualityAwareOptimizer optimizer(inputs, enum_options_);
+      const Result<PlanChoice> best = optimizer.ChoosePlan(options.requirement);
+      if (!best.ok()) return false;
+      const PlanChoice current_choice =
+          optimizer.EvaluatePlan(current_plan, options.requirement);
+      const double current_predicted = current_choice.feasible
+                                           ? current_choice.estimate.seconds
+                                           : std::numeric_limits<double>::infinity();
+      if (best->plan.Describe() != current_plan.Describe() &&
+          best->estimate.seconds < advantage * current_predicted) {
+        want_switch = true;
+        switch_target = best->plan;
+        // Zero-ish-duration event span marking the decision point.
+        obs::Tracer::Span switch_span = obs::StartSpan(options.tracer, "plan.switch");
+        if (switch_span) {
+          switch_span.AddAttribute("from", current_plan.Describe());
+          switch_span.AddAttribute("to", switch_target.Describe());
+          switch_span.AddAttribute("reason", reason);
+          switch_span.AddAttribute("predicted_seconds", best->estimate.seconds);
+          switch_span.AddAttribute("current_predicted_seconds", current_predicted);
+        }
+        if (options.metrics != nullptr) {
+          options.metrics->counter("adaptive.plan_switches")->Increment();
+        }
+        return true;
+      }
+      return false;
+    };
+
     exec_options.stop_callback = [&](const TrajectoryPoint& point,
                                      const JoinState& state) -> bool {
+      // A freshly tripped circuit breaker is direct evidence that a side's
+      // extractor is failing under the current plan: re-rank immediately
+      // with that side marked degraded instead of waiting out the document
+      // cadence. No hysteresis — any plan predicted faster under the
+      // degraded profile wins — but the switch still counts against
+      // max_switches (enforced inside try_reoptimize).
+      if (options.reoptimize_on_breaker_trip && options.fault_plan != nullptr &&
+          (point.breaker_trips1 > seen_breaker_trips[0] ||
+           point.breaker_trips2 > seen_breaker_trips[1])) {
+        side_degraded[0] = side_degraded[0] || point.breaker_trips1 > 0;
+        side_degraded[1] = side_degraded[1] || point.breaker_trips2 > 0;
+        seen_breaker_trips[0] = point.breaker_trips1;
+        seen_breaker_trips[1] = point.breaker_trips2;
+        ++result.breaker_reoptimizations;
+        if (options.metrics != nullptr) {
+          options.metrics->counter("adaptive.breaker_reoptimizations")->Increment();
+        }
+        if (try_reoptimize(/*advantage=*/1.0, "breaker_trip")) return true;
+      }
+
       const int64_t docs = point.docs_processed1 + point.docs_processed2;
       if (docs < next_estimate_at) return false;
       next_estimate_at = docs + options.reestimate_every_docs;
@@ -250,37 +358,7 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       }
 
       // Re-optimize under the fresh statistics.
-      if (switches >= options.max_switches) return false;
-      OptimizerInputs inputs = offline_inputs_;
-      inputs.base_params = result.final_estimate;
-      inputs.metrics = options.metrics;
-      inputs.tracer = options.tracer;
-      const QualityAwareOptimizer optimizer(inputs, enum_options_);
-      const Result<PlanChoice> best = optimizer.ChoosePlan(options.requirement);
-      if (!best.ok()) return false;
-      const PlanChoice current_choice =
-          optimizer.EvaluatePlan(current_plan, options.requirement);
-      const double current_predicted = current_choice.feasible
-                                           ? current_choice.estimate.seconds
-                                           : std::numeric_limits<double>::infinity();
-      if (best->plan.Describe() != current_plan.Describe() &&
-          best->estimate.seconds < options.switch_advantage * current_predicted) {
-        want_switch = true;
-        switch_target = best->plan;
-        // Zero-ish-duration event span marking the decision point.
-        obs::Tracer::Span switch_span = obs::StartSpan(options.tracer, "plan.switch");
-        if (switch_span) {
-          switch_span.AddAttribute("from", current_plan.Describe());
-          switch_span.AddAttribute("to", switch_target.Describe());
-          switch_span.AddAttribute("predicted_seconds", best->estimate.seconds);
-          switch_span.AddAttribute("current_predicted_seconds", current_predicted);
-        }
-        if (options.metrics != nullptr) {
-          options.metrics->counter("adaptive.plan_switches")->Increment();
-        }
-        return true;
-      }
-      return false;
+      return try_reoptimize(options.switch_advantage, "reestimate");
     };
 
     // ZGJN needs seeds; when switching into it, seed with a handful of scan
@@ -389,6 +467,25 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
         pvo.predicted_good = predicted.expected_good;
         pvo.predicted_bad = predicted.expected_bad;
         pvo.predicted_seconds = predicted.seconds;
+      }
+      if (options.fault_plan != nullptr) {
+        // Predicted fault impact uses the plan as configured (no degraded
+        // floor: the floor is a ranking heuristic, not a rate estimate).
+        FaultModelOptions fault_options;
+        fault_options.plan = options.fault_plan;
+        const FaultAdjustment adjustment = ComputeFaultAdjustment(fault_options);
+        if (adjustment.active) {
+          pvo.observed_docs_dropped =
+              static_cast<double>(exec_result.final_point.docs_dropped1 +
+                                  exec_result.final_point.docs_dropped2);
+          pvo.observed_queries_dropped =
+              static_cast<double>(exec_result.final_point.queries_dropped1 +
+                                  exec_result.final_point.queries_dropped2);
+          pvo.observed_fault_seconds = exec_result.fault_seconds;
+          FillFaultPrediction(exec_result.final_point, adjustment,
+                              offline_inputs_.costs1, offline_inputs_.costs2,
+                              &pvo);
+        }
       }
       result.has_report = true;
     }

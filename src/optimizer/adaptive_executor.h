@@ -41,7 +41,17 @@ struct AdaptiveOptions {
   /// whose deadline is the *remaining* budget — time spent by abandoned
   /// phases counts against it. Estimation consumes effective (post-drop)
   /// counts, so dropped documents do not skew the MLE's retrieved fraction.
+  /// Re-optimizations fold the plan into plan costing (fault-adjusted
+  /// model), so switches target the plan that is fastest *under* faults.
   const fault::FaultPlan* fault_plan = nullptr;
+
+  /// Treat a newly tripped per-side circuit breaker as an immediate
+  /// re-optimization trigger: the remaining plans are re-ranked with that
+  /// side's extractor marked degraded (FaultModelOptions::side_degraded),
+  /// without waiting for the document-cadence re-estimation. A switch away
+  /// needs no hysteresis — the trip is direct evidence the current plan's
+  /// extractor is failing — but still counts against max_switches.
+  bool reoptimize_on_breaker_trip = true;
 
   /// Optional telemetry (non-owning; must outlive the run). Forwarded to
   /// every phase's executor and re-optimizer; the adaptive loop adds
@@ -84,6 +94,8 @@ struct AdaptiveResult {
   /// Documents / probes lost to exhausted retries, summed over all phases.
   int64_t docs_dropped = 0;
   int64_t queries_dropped = 0;
+  /// Re-optimizations triggered by a breaker trip (not by doc cadence).
+  int32_t breaker_reoptimizations = 0;
 
   /// Structured run report: final metrics snapshot, span tree, final-phase
   /// trajectory, and the predicted-vs-observed quality/time deltas. Only

@@ -41,10 +41,26 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
   const double tau_g =
       static_cast<double>(requirement.min_good_tuples) * inputs_.good_margin;
 
+  // With an active fault profile, every estimate is rescaled before it is
+  // compared against τ_g / τ_b or ranked: drops thin the effective
+  // documents (so the bisection sizes a larger raw effort) and expected
+  // retry/hedge overhead inflates the predicted seconds. Coverage scaling
+  // is effort-independent, so monotonicity — and the bisection — survive.
+  FaultModelOptions fault_options;
+  fault_options.plan = inputs_.fault_plan;
+  fault_options.side_degraded[0] = inputs_.side_degraded[0];
+  fault_options.side_degraded[1] = inputs_.side_degraded[1];
+  const FaultAdjustment fault_adjustment = ComputeFaultAdjustment(fault_options);
+  choice.fault_adjusted = fault_adjustment.active;
+  auto adjust = [&](const QualityEstimate& base) -> FaultAdjustedEstimate {
+    return AdjustEstimate(base, plan, fault_adjustment, inputs_.costs1,
+                          inputs_.costs2);
+  };
+
   // Estimate at an effort fraction s in (0, 1] of each side's maximum
   // (IDJN additionally applies the current rectangle ratio).
   double idjn_ratio = 1.0;
-  auto estimate_at = [&](double s) -> QualityEstimate {
+  auto base_estimate_at = [&](double s) -> QualityEstimate {
     switch (plan.algorithm) {
       case JoinAlgorithmKind::kIndependent: {
         const double skew = std::sqrt(idjn_ratio);
@@ -73,6 +89,9 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
     }
     return QualityEstimate{};
   };
+  auto estimate_at = [&](double s) -> QualityEstimate {
+    return adjust(base_estimate_at(s)).estimate;
+  };
 
   if (plan.algorithm == JoinAlgorithmKind::kZigZag) {
     // The ZGJN recursion is already incremental: walk its rounds and stop
@@ -80,16 +99,22 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
     const std::vector<ZgjnModelPoint> points = SimulateZgjn(
         params, inputs_.zgjn_seeds, /*max_rounds=*/64, inputs_.costs1, inputs_.costs2);
     for (const ZgjnModelPoint& p : points) {
-      if (p.estimate.expected_good >= tau_g) {
-        choice.feasible = p.estimate.expected_bad <=
+      const FaultAdjustedEstimate adjusted = adjust(p.estimate);
+      if (adjusted.estimate.expected_good >= tau_g) {
+        choice.feasible = adjusted.estimate.expected_bad <=
                           static_cast<double>(requirement.max_bad_tuples);
-        choice.estimate = p.estimate;
+        choice.estimate = adjusted.estimate;
+        choice.fault_expectations = adjusted;
         choice.effort.side1 = static_cast<int64_t>(std::llround(p.queries1));
         choice.effort.side2 = static_cast<int64_t>(std::llround(p.queries2));
         return choice;
       }
     }
-    choice.estimate = points.empty() ? QualityEstimate{} : points.back().estimate;
+    const QualityEstimate last =
+        points.empty() ? QualityEstimate{} : points.back().estimate;
+    const FaultAdjustedEstimate adjusted = adjust(last);
+    choice.estimate = adjusted.estimate;
+    choice.fault_expectations = adjusted;
     choice.feasible = false;
     return choice;
   }
@@ -131,21 +156,26 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
         lo = mid;
       }
     }
-    const QualityEstimate at_min = estimate_at(hi);
-    const bool feasible =
-        at_min.expected_bad <= static_cast<double>(requirement.max_bad_tuples);
+    const QualityEstimate base_at_min = base_estimate_at(hi);
+    const FaultAdjustedEstimate at_min = adjust(base_at_min);
+    const bool feasible = at_min.estimate.expected_bad <=
+                          static_cast<double>(requirement.max_bad_tuples);
     const bool better =
         !have_best ||
         (feasible && !choice.feasible) ||
-        (feasible == choice.feasible && at_min.seconds < choice.estimate.seconds);
+        (feasible == choice.feasible &&
+         at_min.estimate.seconds < choice.estimate.seconds);
     if (better) {
       have_best = true;
-      choice.estimate = at_min;
+      choice.estimate = at_min.estimate;
+      choice.fault_expectations = at_min;
       choice.feasible = feasible;
+      // Effort is the raw (attempted) retrieval budget, read off the
+      // fault-blind estimate: drops thin what survives, not what is paid.
       choice.effort.side1 =
-          static_cast<int64_t>(std::llround(at_min.docs_retrieved1));
+          static_cast<int64_t>(std::llround(base_at_min.docs_retrieved1));
       choice.effort.side2 =
-          static_cast<int64_t>(std::llround(at_min.docs_retrieved2));
+          static_cast<int64_t>(std::llround(base_at_min.docs_retrieved2));
     }
   }
   if (!have_best) {

@@ -5,7 +5,9 @@
 
 #include "common/status.h"
 #include "extraction/extractor_profile.h"
+#include "fault/fault_plan.h"
 #include "join/join_types.h"
+#include "model/fault_adjusted_model.h"
 #include "model/join_models.h"
 #include "model/model_params.h"
 #include "obs/metrics.h"
@@ -38,6 +40,17 @@ struct OptimizerInputs {
   /// scarcer. Each ratio adds one bisection per IDJN plan evaluation.
   std::vector<double> idjn_effort_ratios = {1.0};
 
+  /// Optional fault profile (non-owning; must outlive the optimizer). When
+  /// set and active, every plan estimate is rescaled through the
+  /// fault-adjusted model (src/model/fault_adjusted_model.h) before
+  /// feasibility checks and ranking — so the optimizer sizes efforts for
+  /// the documents that will actually survive, and ranks plans by their
+  /// expected time *under* the profile. Null keeps the fault-blind model.
+  const fault::FaultPlan* fault_plan = nullptr;
+  /// Executor feedback: marks a side whose extractor circuit breaker has
+  /// tripped (see FaultModelOptions::side_degraded).
+  bool side_degraded[2] = {false, false};
+
   /// Optional telemetry (non-owning; must outlive the optimizer). Records
   /// plans evaluated/feasible counters and optimizer.rank_plans /
   /// optimizer.choose spans.
@@ -53,7 +66,13 @@ struct PlanChoice {
   /// Minimal effort at which the predicted good tuples reach τ_g.
   PlanEffort effort;
   /// Model estimate at that effort (seconds is the predicted plan time).
+  /// Fault-adjusted when the optimizer carries an active fault plan.
   QualityEstimate estimate;
+  /// True when `estimate` went through the fault-adjusted model.
+  bool fault_adjusted = false;
+  /// The fault model's expectations at the chosen effort (all zero when
+  /// fault_adjusted is false); RunReport compares them against observation.
+  FaultAdjustedEstimate fault_expectations;
 };
 
 /// The quality-aware join optimizer (Section VI): enumerates the plan

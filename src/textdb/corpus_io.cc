@@ -158,8 +158,10 @@ Result<std::shared_ptr<Corpus>> ReadCorpus(std::istream& in,
       if (m.join_value >= vocab->size() || m.second_value >= vocab->size()) {
         return Status::InvalidArgument("mention value out of vocabulary");
       }
-      if (m.sentence_index < 0) {
-        return Status::InvalidArgument("mention sentence index negative");
+      // sentence_index is unsigned: a negative input wraps to a huge value,
+      // so guard with the same sanity cap used for section counts.
+      if (m.sentence_index >= kMaxSectionCount) {
+        return Status::InvalidArgument("mention sentence index out of range");
       }
       m.is_good = is_good != 0;
     }

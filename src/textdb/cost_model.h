@@ -42,6 +42,7 @@ struct MeterTelemetry {
   obs::Counter* docs_dropped = nullptr;
   obs::Counter* queries_dropped = nullptr;
   obs::Counter* breaker_trips = nullptr;
+  obs::Counter* hedges_launched = nullptr;
 };
 
 /// Charges simulated time and counts operations during a join execution.
@@ -127,6 +128,12 @@ class ExecutionMeter {
   void RecordBreakerTrip() {
     ++counters_.breaker_trips;
     if (telemetry_.breaker_trips != nullptr) telemetry_.breaker_trips->Increment();
+  }
+  void RecordHedge(int64_t hedges = 1) {
+    counters_.hedges_launched += hedges;
+    if (telemetry_.hedges_launched != nullptr) {
+      telemetry_.hedges_launched->Increment(hedges);
+    }
   }
 
   /// Records the extraction yield of one processed document (no time

@@ -1,0 +1,431 @@
+// Monte-Carlo validation of the fault-adjusted model
+// (src/model/fault_adjusted_model.h), mirroring model_montecarlo_test.cc's
+// approach for the Section V models:
+//
+//  1. The per-(side, op) closed forms — drop fraction, expected failed
+//     attempts, expected stall/backoff/hedge overhead — are checked against
+//     a direct simulation of the retry/hedge process.
+//  2. End-to-end: for each join algorithm (IDJN/OIJN/ZGJN), the
+//     fault-adjusted prediction built from one clean run is compared against
+//     the observed mean over >= 200 seeded fault-injected executions; the
+//     predicted time must land within 15% relative error and the predicted
+//     drop counts within tolerance.
+//  3. Optimizer regressions: a zero-rate profile reproduces the fault-blind
+//     ranking bit-identically, and ranking between plans flips once one
+//     side's fault rate crosses the analytic break-even.
+//
+// Registered with the `montecarlo` ctest label: excluded from sanitizer CI
+// jobs and run with --repeat until-pass:2 in the nightly lane.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fault/fault_plan.h"
+#include "harness/workbench.h"
+#include "model/fault_adjusted_model.h"
+#include "optimizer/optimizer.h"
+
+namespace iejoin {
+namespace {
+
+using fault::FaultOp;
+using fault::FaultPlan;
+
+// --------------------------------------------------------------------------
+// 1. Closed forms vs direct simulation of the retry / hedge process.
+// --------------------------------------------------------------------------
+
+/// One attempt of the injector's dice: the timeout die rolls first. Returns
+/// the stall penalty through `penalty` (0 for clean errors) and whether the
+/// attempt succeeded.
+bool AttemptSucceeds(const fault::OpFaultSpec& spec, Rng* rng, double* penalty) {
+  *penalty = 0.0;
+  if (rng->Bernoulli(spec.timeout_rate)) {
+    *penalty = spec.timeout_seconds;
+    return false;
+  }
+  return !rng->Bernoulli(spec.error_rate);
+}
+
+TEST(FaultModelClosedFormTest, SequentialRetriesMatchSimulation) {
+  FaultPlan plan;
+  plan.op(0, FaultOp::kExtract).error_rate = 0.2;
+  plan.op(0, FaultOp::kExtract).timeout_rate = 0.1;
+  plan.op(0, FaultOp::kExtract).timeout_seconds = 3.0;
+  plan.retry.max_attempts = 3;
+  plan.retry.initial_backoff_seconds = 0.05;
+  plan.retry.backoff_multiplier = 2.0;
+  plan.retry.max_backoff_seconds = 5.0;
+  plan.retry.jitter_fraction = 0.0;  // jitter is mean-zero; keep it exact
+
+  FaultModelOptions options;
+  options.plan = &plan;
+  const OpFaultFactors factors =
+      ComputeOpFaultFactors(options, 0, FaultOp::kExtract);
+  const double f = 0.1 + 0.9 * 0.2;
+  EXPECT_NEAR(factors.failure_prob, f, 1e-12);
+
+  const double op_cost = 0.8;
+  Rng rng(20260807);
+  const int kOps = 200000;
+  double drops = 0.0, failures = 0.0, overhead = 0.0;
+  for (int i = 0; i < kOps; ++i) {
+    bool survived = false;
+    for (int attempt = 0; attempt < plan.retry.max_attempts; ++attempt) {
+      double penalty = 0.0;
+      if (AttemptSucceeds(plan.op(0, FaultOp::kExtract), &rng, &penalty)) {
+        survived = true;
+        break;
+      }
+      failures += 1.0;
+      overhead += op_cost + penalty;  // the failed attempt's wasted work
+      if (attempt + 1 < plan.retry.max_attempts) {
+        overhead += std::min(plan.retry.initial_backoff_seconds *
+                                 std::pow(plan.retry.backoff_multiplier, attempt),
+                             plan.retry.max_backoff_seconds);
+      }
+    }
+    if (!survived) drops += 1.0;
+  }
+  EXPECT_NEAR(drops / kOps, factors.drop_fraction,
+              0.05 * factors.drop_fraction);
+  EXPECT_NEAR(failures / kOps, factors.expected_failures,
+              0.02 * factors.expected_failures);
+  const double predicted_overhead = factors.ExpectedOverheadSeconds(op_cost);
+  EXPECT_NEAR(overhead / kOps, predicted_overhead, 0.02 * predicted_overhead);
+}
+
+TEST(FaultModelClosedFormTest, HedgedRacingMatchesSimulation) {
+  FaultPlan plan;
+  plan.op(1, FaultOp::kQuery).error_rate = 0.3;
+  plan.op(1, FaultOp::kQuery).timeout_rate = 0.15;
+  plan.op(1, FaultOp::kQuery).timeout_seconds = 2.0;
+  plan.hedge.max_hedges = 2;
+  plan.hedge.delay_seconds = 0.25;
+
+  FaultModelOptions options;
+  options.plan = &plan;
+  const OpFaultFactors factors = ComputeOpFaultFactors(options, 1, FaultOp::kQuery);
+  ASSERT_TRUE(factors.hedged);
+
+  const double op_cost = 0.5;
+  Rng rng(777);
+  const int kOps = 200000;
+  double drops = 0.0, overhead = 0.0;
+  for (int i = 0; i < kOps; ++i) {
+    const int racers = plan.hedge.max_hedges + 1;
+    bool survived = false;
+    double last_penalty = 0.0;
+    for (int k = 0; k < racers; ++k) {
+      double penalty = 0.0;
+      if (AttemptSucceeds(plan.op(1, FaultOp::kQuery), &rng, &penalty)) {
+        // Racer k completes first; only its launch stagger is extra time.
+        overhead += k * plan.hedge.delay_seconds;
+        survived = true;
+        break;
+      }
+      last_penalty = penalty;
+    }
+    if (!survived) {
+      drops += 1.0;
+      overhead += op_cost + (racers - 1) * plan.hedge.delay_seconds + last_penalty;
+    }
+  }
+  EXPECT_NEAR(drops / kOps, factors.drop_fraction, 0.05 * factors.drop_fraction);
+  const double predicted_overhead = factors.ExpectedOverheadSeconds(op_cost);
+  EXPECT_NEAR(overhead / kOps, predicted_overhead, 0.02 * predicted_overhead);
+}
+
+TEST(FaultModelClosedFormTest, DegradedSideFloorsExtractFailure) {
+  FaultPlan plan;
+  plan.op(0, FaultOp::kExtract).error_rate = 0.05;
+  FaultModelOptions options;
+  options.plan = &plan;
+  options.side_degraded[0] = true;
+  const OpFaultFactors degraded =
+      ComputeOpFaultFactors(options, 0, FaultOp::kExtract);
+  EXPECT_DOUBLE_EQ(degraded.failure_prob, options.degraded_extract_failure);
+  // The floor applies to extract only, and only on the degraded side.
+  EXPECT_DOUBLE_EQ(
+      ComputeOpFaultFactors(options, 0, FaultOp::kRetrieve).failure_prob, 0.0);
+  options.side_degraded[0] = false;
+  EXPECT_DOUBLE_EQ(
+      ComputeOpFaultFactors(options, 0, FaultOp::kExtract).failure_prob, 0.05);
+}
+
+// --------------------------------------------------------------------------
+// 2. End-to-end: adjusted prediction vs observed means over seeded runs.
+// --------------------------------------------------------------------------
+
+class FaultModelMonteCarloTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  /// The moderate-rate profile the predictions are validated under. The
+  /// breaker is disabled and there are no outages or deadline: those are
+  /// deliberately outside the closed form (docs/ROBUSTNESS.md).
+  static FaultPlan MonteCarloPlan() {
+    FaultPlan plan;
+    plan.set_error_rate(FaultOp::kExtract, 0.15);
+    plan.set_error_rate(FaultOp::kRetrieve, 0.1);
+    plan.set_error_rate(FaultOp::kQuery, 0.1);
+    plan.set_timeout(FaultOp::kExtract, 0.05, 2.0);
+    plan.retry.max_attempts = 3;
+    plan.breaker.failure_threshold = 0;
+    return plan;
+  }
+
+  /// Builds the fault-blind base estimate from an observed clean run, so the
+  /// comparison isolates the adjustment layer from the Section V models.
+  static QualityEstimate BaseEstimateFromCleanRun(const JoinPlanSpec& plan) {
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kExhaustion;
+    auto clean = bench().RunPlan(plan, options);
+    EXPECT_TRUE(clean.ok()) << clean.status().ToString();
+    const TrajectoryPoint& p = clean->final_point;
+    QualityEstimate base;
+    base.expected_good = static_cast<double>(p.good_join_tuples);
+    base.expected_bad = static_cast<double>(p.bad_join_tuples);
+    base.seconds = p.seconds;
+    base.docs_retrieved1 = static_cast<double>(p.docs_retrieved1);
+    base.docs_retrieved2 = static_cast<double>(p.docs_retrieved2);
+    base.docs_processed1 = static_cast<double>(p.docs_processed1);
+    base.docs_processed2 = static_cast<double>(p.docs_processed2);
+    base.queries1 = static_cast<double>(p.queries1);
+    base.queries2 = static_cast<double>(p.queries2);
+    return base;
+  }
+
+  static void ValidatePrediction(const JoinPlanSpec& plan_spec,
+                                 const char* label) {
+    const QualityEstimate base = BaseEstimateFromCleanRun(plan_spec);
+
+    FaultPlan fault_plan = MonteCarloPlan();
+    FaultModelOptions model_options;
+    model_options.plan = &fault_plan;
+    const FaultAdjustment adjustment = ComputeFaultAdjustment(model_options);
+    ASSERT_TRUE(adjustment.active);
+    auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+    ASSERT_TRUE(inputs.ok());
+    const FaultAdjustedEstimate predicted =
+        AdjustEstimate(base, plan_spec, adjustment, inputs->costs1, inputs->costs2);
+
+    constexpr int kRuns = 200;
+    double mean_seconds = 0.0;
+    double mean_docs_dropped = 0.0;
+    double mean_queries_dropped = 0.0;
+    for (int run = 0; run < kRuns; ++run) {
+      fault_plan.seed = 50000 + static_cast<uint64_t>(run);
+      JoinExecutionOptions options;
+      options.stop_rule = StopRule::kExhaustion;
+      options.fault_plan = &fault_plan;
+      auto result = bench().RunPlan(plan_spec, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      const TrajectoryPoint& p = result->final_point;
+      mean_seconds += p.seconds / kRuns;
+      mean_docs_dropped +=
+          static_cast<double>(p.docs_dropped1 + p.docs_dropped2) / kRuns;
+      mean_queries_dropped +=
+          static_cast<double>(p.queries_dropped1 + p.queries_dropped2) / kRuns;
+    }
+
+    // ISSUE acceptance bar: predicted execution time within 15% relative
+    // error of the observed mean, for every algorithm.
+    EXPECT_NEAR(predicted.estimate.seconds, mean_seconds, 0.15 * mean_seconds)
+        << label << ": predicted " << predicted.estimate.seconds
+        << "s vs observed mean " << mean_seconds << "s";
+
+    const double predicted_docs_dropped =
+        predicted.expected_docs_dropped1 + predicted.expected_docs_dropped2;
+    EXPECT_NEAR(predicted_docs_dropped, mean_docs_dropped,
+                std::max(0.2 * mean_docs_dropped, 3.0))
+        << label << ": predicted " << predicted_docs_dropped
+        << " dropped docs vs observed mean " << mean_docs_dropped;
+    const double predicted_queries_dropped =
+        predicted.expected_queries_dropped1 + predicted.expected_queries_dropped2;
+    EXPECT_NEAR(predicted_queries_dropped, mean_queries_dropped,
+                std::max(0.2 * mean_queries_dropped, 3.0))
+        << label << ": predicted " << predicted_queries_dropped
+        << " dropped queries vs observed mean " << mean_queries_dropped;
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* FaultModelMonteCarloTest::bench_ = nullptr;
+
+TEST_F(FaultModelMonteCarloTest, IdjnPredictionMatchesObservedMeans) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kIndependent;
+  plan.theta1 = plan.theta2 = 0.4;
+  ValidatePrediction(plan, "idjn-sc/sc");
+}
+
+TEST_F(FaultModelMonteCarloTest, OijnPredictionMatchesObservedMeans) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  plan.theta1 = plan.theta2 = 0.4;
+  ValidatePrediction(plan, "oijn");
+}
+
+TEST_F(FaultModelMonteCarloTest, ZgjnPredictionMatchesObservedMeans) {
+  JoinPlanSpec plan;
+  plan.algorithm = JoinAlgorithmKind::kZigZag;
+  plan.theta1 = plan.theta2 = 0.4;
+  ValidatePrediction(plan, "zgjn");
+}
+
+TEST_F(FaultModelMonteCarloTest, HedgedIdjnPredictionMatchesObservedMeans) {
+  // Hedging swaps the sequential-retry closed forms for the racing ones;
+  // validate the end-to-end prediction under that regime too.
+  JoinPlanSpec plan_spec;
+  plan_spec.algorithm = JoinAlgorithmKind::kIndependent;
+  plan_spec.theta1 = plan_spec.theta2 = 0.4;
+  const QualityEstimate base = BaseEstimateFromCleanRun(plan_spec);
+
+  FaultPlan fault_plan = MonteCarloPlan();
+  fault_plan.hedge.max_hedges = 2;
+  fault_plan.hedge.delay_seconds = 0.25;
+  FaultModelOptions model_options;
+  model_options.plan = &fault_plan;
+  const FaultAdjustment adjustment = ComputeFaultAdjustment(model_options);
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok());
+  const FaultAdjustedEstimate predicted =
+      AdjustEstimate(base, plan_spec, adjustment, inputs->costs1, inputs->costs2);
+
+  constexpr int kRuns = 200;
+  double mean_seconds = 0.0;
+  double mean_docs_dropped = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    fault_plan.seed = 90000 + static_cast<uint64_t>(run);
+    JoinExecutionOptions options;
+    options.stop_rule = StopRule::kExhaustion;
+    options.fault_plan = &fault_plan;
+    auto result = bench().RunPlan(plan_spec, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    mean_seconds += result->final_point.seconds / kRuns;
+    mean_docs_dropped += static_cast<double>(result->final_point.docs_dropped1 +
+                                             result->final_point.docs_dropped2) /
+                         kRuns;
+  }
+  EXPECT_NEAR(predicted.estimate.seconds, mean_seconds, 0.15 * mean_seconds);
+  const double predicted_drops =
+      predicted.expected_docs_dropped1 + predicted.expected_docs_dropped2;
+  EXPECT_NEAR(predicted_drops, mean_docs_dropped,
+              std::max(0.2 * mean_docs_dropped, 3.0));
+}
+
+// --------------------------------------------------------------------------
+// 3. Optimizer regressions: zero-rate identity and break-even ranking flip.
+// --------------------------------------------------------------------------
+
+class FaultAwareOptimizerTest : public FaultModelMonteCarloTest {};
+
+TEST_F(FaultAwareOptimizerTest, ZeroRateProfileReproducesRankingBitIdentically) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(inputs.ok());
+  QualityRequirement req;
+  req.min_good_tuples = 24;
+  req.max_bad_tuples = 100000;
+
+  const QualityAwareOptimizer blind(*inputs, PlanEnumerationOptions());
+  const std::vector<PlanChoice> baseline = blind.RankPlans(req);
+
+  const FaultPlan zero_plan;  // all rates zero
+  OptimizerInputs aware_inputs = *inputs;
+  aware_inputs.fault_plan = &zero_plan;
+  const QualityAwareOptimizer aware(aware_inputs, PlanEnumerationOptions());
+  const std::vector<PlanChoice> adjusted = aware.RankPlans(req);
+
+  ASSERT_EQ(baseline.size(), adjusted.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_EQ(baseline[i].plan.Describe(), adjusted[i].plan.Describe()) << i;
+    EXPECT_EQ(baseline[i].feasible, adjusted[i].feasible) << i;
+    // Bit-identical, not merely close: an inactive adjustment must be the
+    // identity function on every estimate.
+    EXPECT_EQ(baseline[i].estimate.seconds, adjusted[i].estimate.seconds) << i;
+    EXPECT_EQ(baseline[i].estimate.expected_good,
+              adjusted[i].estimate.expected_good)
+        << i;
+    EXPECT_EQ(baseline[i].estimate.expected_bad,
+              adjusted[i].estimate.expected_bad)
+        << i;
+    EXPECT_EQ(baseline[i].effort.side1, adjusted[i].effort.side1) << i;
+    EXPECT_EQ(baseline[i].effort.side2, adjusted[i].effort.side2) << i;
+    EXPECT_FALSE(adjusted[i].fault_adjusted) << i;
+  }
+}
+
+TEST_F(FaultAwareOptimizerTest, RankingFlipsAtTheBreakEvenRate) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(inputs.ok());
+  QualityRequirement req;
+  req.min_good_tuples = 24;
+  req.max_bad_tuples = 100000;
+
+  const QualityAwareOptimizer blind(*inputs, PlanEnumerationOptions());
+  auto blind_choice = blind.ChoosePlan(req);
+  ASSERT_TRUE(blind_choice.ok()) << blind_choice.status().ToString();
+  const std::string blind_plan = blind_choice->plan.Describe();
+
+  // Sweep side 2's retrieve-timeout rate upward; record the chosen plan per
+  // rate. The chosen plan's adjusted prediction must degrade monotonically
+  // in the rate, and at some rate the choice must flip away from the
+  // fault-blind winner (the analytic break-even crossed): on the Small
+  // scenario the fault-blind scan-based plan pays the stall for every R2
+  // document it fetches, so a query-driven plan — which retrieves far fewer
+  // R2 documents — overtakes it.
+  std::vector<std::string> choices;
+  double previous_best_seconds = 0.0;
+  bool flipped = false;
+  double flip_rate = -1.0;
+  for (double rate = 0.0; rate <= 0.42; rate += 0.05) {
+    FaultPlan fault_plan;
+    fault_plan.op(1, FaultOp::kRetrieve).timeout_rate = rate;
+    fault_plan.op(1, FaultOp::kRetrieve).timeout_seconds = 10.0;
+    fault_plan.retry.max_attempts = 2;
+    OptimizerInputs aware_inputs = *inputs;
+    aware_inputs.fault_plan = &fault_plan;
+    const QualityAwareOptimizer aware(aware_inputs, PlanEnumerationOptions());
+    auto choice = aware.ChoosePlan(req);
+    if (!choice.ok()) break;  // requirement infeasible past this rate
+    choices.push_back(choice->plan.Describe());
+    if (rate == 0.0) {
+      EXPECT_EQ(choices.front(), blind_plan);
+    }
+    // The best achievable predicted time can only get worse as the profile
+    // degrades (the zero-rate plan is still in the ranked space).
+    EXPECT_GE(choice->estimate.seconds, previous_best_seconds - 1e-9)
+        << "best predicted time improved when rate rose to " << rate;
+    previous_best_seconds = choice->estimate.seconds;
+    if (!flipped && choice->plan.Describe() != blind_plan) {
+      flipped = true;
+      flip_rate = rate;
+    }
+  }
+  EXPECT_TRUE(flipped)
+      << "optimizer never abandoned the fault-blind plan across the sweep";
+  if (flipped) {
+    EXPECT_GT(flip_rate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace iejoin

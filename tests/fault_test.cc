@@ -177,9 +177,12 @@ TEST(FaultPlanTest, ParsesFullSpec) {
       "outage=100:50:1,outage=200:25:both:query");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 7u);
-  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kExtract).error_rate, 0.1);
-  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kRetrieve).timeout_rate, 0.05);
-  EXPECT_DOUBLE_EQ(plan->op(FaultOp::kRetrieve).timeout_seconds, 3.0);
+  // Unqualified keys assign both sides.
+  for (int side = 0; side < fault::kNumFaultSides; ++side) {
+    EXPECT_DOUBLE_EQ(plan->op(side, FaultOp::kExtract).error_rate, 0.1);
+    EXPECT_DOUBLE_EQ(plan->op(side, FaultOp::kRetrieve).timeout_rate, 0.05);
+    EXPECT_DOUBLE_EQ(plan->op(side, FaultOp::kRetrieve).timeout_seconds, 3.0);
+  }
   EXPECT_EQ(plan->retry.max_attempts, 5);
   EXPECT_DOUBLE_EQ(plan->retry.initial_backoff_seconds, 0.2);
   EXPECT_DOUBLE_EQ(plan->retry.backoff_multiplier, 3.0);
@@ -208,13 +211,16 @@ TEST(FaultPlanTest, RejectsMalformedSpecs) {
 
 TEST(FaultPlanTest, ValidateRejectsOutOfRangeRates) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 1.5;
+  plan.set_error_rate(FaultOp::kExtract, 1.5);
   EXPECT_FALSE(plan.Validate().ok());
   plan = FaultPlan();
-  plan.op(FaultOp::kQuery).timeout_rate = -0.1;
+  plan.op(1, FaultOp::kQuery).timeout_rate = -0.1;  // one bad side suffices
   EXPECT_FALSE(plan.Validate().ok());
   plan = FaultPlan();
   plan.deadline_seconds = -1.0;
+  EXPECT_FALSE(plan.Validate().ok());
+  plan = FaultPlan();
+  plan.hedge.max_hedges = -1;
   EXPECT_FALSE(plan.Validate().ok());
 }
 
@@ -224,6 +230,186 @@ TEST(FaultPlanTest, DescribeRoundTripsThroughParse) {
   const std::string description = DescribeFaultPlan(*plan);
   EXPECT_NE(description.find("extract"), std::string::npos);
   EXPECT_NE(description.find("deadline"), std::string::npos);
+}
+
+TEST(FaultPlanTest, ParsesPerSideAndHedgeKeys) {
+  auto plan = ParseFaultPlan(
+      "r1.extract.error=0.3,r2.extract.error=0.1,retrieve.timeout=0.2,"
+      "r2.retrieve.timeout=0.4,hedge.max=2,hedge.delay=0.5");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_DOUBLE_EQ(plan->op(0, FaultOp::kExtract).error_rate, 0.3);
+  EXPECT_DOUBLE_EQ(plan->op(1, FaultOp::kExtract).error_rate, 0.1);
+  // Last write wins per side: the unqualified retrieve.timeout assigned both
+  // sides, then r2.retrieve.timeout overrode side 2 only.
+  EXPECT_DOUBLE_EQ(plan->op(0, FaultOp::kRetrieve).timeout_rate, 0.2);
+  EXPECT_DOUBLE_EQ(plan->op(1, FaultOp::kRetrieve).timeout_rate, 0.4);
+  EXPECT_EQ(plan->hedge.max_hedges, 2);
+  EXPECT_DOUBLE_EQ(plan->hedge.delay_seconds, 0.5);
+  EXPECT_TRUE(plan->hedge.enabled());
+}
+
+TEST(FaultPlanTest, UnqualifiedKeyOverwritesBothSides) {
+  auto plan = ParseFaultPlan("r1.extract.error=0.3,extract.error=0.05");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->op(0, FaultOp::kExtract).error_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan->op(1, FaultOp::kExtract).error_rate, 0.05);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSideQualifiersWithExactMessages) {
+  auto r3 = ParseFaultPlan("r3.extract.error=0.1");
+  ASSERT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().message(),
+            "fault plan: side qualifier must be r1 or r2: r3");
+
+  auto no_field = ParseFaultPlan("r1.extract=0.1");
+  ASSERT_FALSE(no_field.ok());
+  EXPECT_EQ(no_field.status().message(),
+            "fault plan: side-qualified key needs <op>.<field>: r1.extract");
+
+  auto bad_op = ParseFaultPlan("r1.bogus.error=0.1");
+  ASSERT_FALSE(bad_op.ok());
+  EXPECT_EQ(bad_op.status().message(), "fault plan: unknown operation: bogus");
+
+  auto bad_field = ParseFaultPlan("r1.extract.wibble=0.1");
+  ASSERT_FALSE(bad_field.ok());
+  EXPECT_EQ(bad_field.status().message(),
+            "fault plan: unknown key: r1.extract.wibble");
+
+  auto all_op = ParseFaultPlan("r1.all.error=0.5");
+  ASSERT_FALSE(all_op.ok());
+  EXPECT_EQ(all_op.status().message(),
+            "fault plan: rates need a concrete op: r1.all.error");
+
+  auto bad_hedge = ParseFaultPlan("hedge.max=-1");
+  ASSERT_FALSE(bad_hedge.ok());
+  EXPECT_EQ(bad_hedge.status().message(), "hedge.max must be >= 0");
+}
+
+// --------------------------------------------------------------------------
+// FormatFaultPlan: canonical round-trip.
+// --------------------------------------------------------------------------
+
+void ExpectPlansEqual(const FaultPlan& a, const FaultPlan& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  for (int side = 0; side < fault::kNumFaultSides; ++side) {
+    for (int i = 0; i < fault::kNumFaultOps; ++i) {
+      EXPECT_TRUE(a.ops[side][i] == b.ops[side][i])
+          << "side " << side << " op " << i;
+    }
+  }
+  EXPECT_EQ(a.retry.max_attempts, b.retry.max_attempts);
+  EXPECT_DOUBLE_EQ(a.retry.initial_backoff_seconds, b.retry.initial_backoff_seconds);
+  EXPECT_DOUBLE_EQ(a.retry.backoff_multiplier, b.retry.backoff_multiplier);
+  EXPECT_DOUBLE_EQ(a.retry.max_backoff_seconds, b.retry.max_backoff_seconds);
+  EXPECT_DOUBLE_EQ(a.retry.jitter_fraction, b.retry.jitter_fraction);
+  EXPECT_EQ(a.hedge.max_hedges, b.hedge.max_hedges);
+  EXPECT_DOUBLE_EQ(a.hedge.delay_seconds, b.hedge.delay_seconds);
+  EXPECT_EQ(a.breaker.failure_threshold, b.breaker.failure_threshold);
+  EXPECT_DOUBLE_EQ(a.breaker.cooldown_seconds, b.breaker.cooldown_seconds);
+  EXPECT_DOUBLE_EQ(a.deadline_seconds, b.deadline_seconds);
+  ASSERT_EQ(a.outages.size(), b.outages.size());
+  for (size_t i = 0; i < a.outages.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.outages[i].start_seconds, b.outages[i].start_seconds);
+    EXPECT_DOUBLE_EQ(a.outages[i].duration_seconds, b.outages[i].duration_seconds);
+    EXPECT_EQ(a.outages[i].side, b.outages[i].side);
+    EXPECT_EQ(a.outages[i].op, b.outages[i].op);
+  }
+}
+
+void ExpectFormatRoundTrips(const FaultPlan& plan) {
+  const std::string formatted = fault::FormatFaultPlan(plan);
+  auto reparsed = ParseFaultPlan(formatted);
+  ASSERT_TRUE(reparsed.ok()) << formatted << " -> "
+                             << reparsed.status().ToString();
+  ExpectPlansEqual(plan, *reparsed);
+  // Formatting is a fixed point.
+  EXPECT_EQ(fault::FormatFaultPlan(*reparsed), formatted);
+}
+
+TEST(FaultPlanFormatTest, HandWrittenPlansRoundTrip) {
+  ExpectFormatRoundTrips(FaultPlan());
+
+  FaultPlan asymmetric;
+  asymmetric.op(0, FaultOp::kExtract).error_rate = 0.3;
+  asymmetric.op(1, FaultOp::kExtract).error_rate = 0.1;
+  asymmetric.op(0, FaultOp::kRetrieve).timeout_rate = 1.0 / 3.0;
+  asymmetric.op(0, FaultOp::kRetrieve).timeout_seconds = 7.25;
+  ExpectFormatRoundTrips(asymmetric);
+
+  FaultPlan kitchen_sink;
+  kitchen_sink.seed = 9;
+  kitchen_sink.set_error_rate(FaultOp::kQuery, 0.05);
+  kitchen_sink.retry.max_attempts = 7;
+  kitchen_sink.retry.jitter_fraction = 0.0;
+  kitchen_sink.hedge.max_hedges = 3;
+  kitchen_sink.hedge.delay_seconds = 0.125;
+  kitchen_sink.breaker.failure_threshold = 4;
+  kitchen_sink.breaker.cooldown_seconds = 33.5;
+  kitchen_sink.deadline_seconds = 1234.5;
+  OutageWindow outage;
+  outage.start_seconds = 10.5;
+  outage.duration_seconds = 2.25;
+  outage.side = 1;
+  outage.op = static_cast<int32_t>(FaultOp::kQuery);
+  kitchen_sink.outages.push_back(outage);
+  OutageWindow broad;
+  broad.start_seconds = 100.0;
+  broad.duration_seconds = 50.0;
+  kitchen_sink.outages.push_back(broad);
+  ExpectFormatRoundTrips(kitchen_sink);
+}
+
+TEST(FaultPlanFormatTest, SymmetricSpecsCollapseToUnqualifiedKeys) {
+  FaultPlan plan;
+  plan.set_error_rate(FaultOp::kExtract, 0.2);
+  const std::string formatted = fault::FormatFaultPlan(plan);
+  EXPECT_NE(formatted.find("extract.error=0.2"), std::string::npos) << formatted;
+  EXPECT_EQ(formatted.find("r1."), std::string::npos) << formatted;
+
+  plan.op(1, FaultOp::kExtract).error_rate = 0.4;
+  const std::string split = fault::FormatFaultPlan(plan);
+  EXPECT_NE(split.find("r1.extract.error=0.2"), std::string::npos) << split;
+  EXPECT_NE(split.find("r2.extract.error=0.4"), std::string::npos) << split;
+}
+
+TEST(FaultPlanFormatTest, RandomPlansRoundTrip) {
+  // Property test: random valid plans survive parse(format(plan)) exactly,
+  // including awkward doubles that need full precision to round-trip.
+  Rng rng(20260807);
+  for (int trial = 0; trial < 100; ++trial) {
+    FaultPlan plan;
+    plan.seed = rng.NextU64() % 1000000;
+    for (int side = 0; side < fault::kNumFaultSides; ++side) {
+      for (int i = 0; i < fault::kNumFaultOps; ++i) {
+        if (rng.NextDouble() < 0.5) {
+          plan.ops[side][i].error_rate = rng.NextDouble();
+        }
+        if (rng.NextDouble() < 0.3) {
+          plan.ops[side][i].timeout_rate = rng.NextDouble();
+          plan.ops[side][i].timeout_seconds = rng.NextDouble() * 10.0;
+        }
+      }
+    }
+    if (rng.NextDouble() < 0.5) {
+      plan.retry.max_attempts = 1 + static_cast<int32_t>(rng.NextU64() % 6);
+      plan.retry.initial_backoff_seconds = rng.NextDouble();
+      plan.retry.jitter_fraction = rng.NextDouble() * 0.5;
+    }
+    if (rng.NextDouble() < 0.5) {
+      plan.hedge.max_hedges = static_cast<int32_t>(rng.NextU64() % 4);
+      plan.hedge.delay_seconds = rng.NextDouble();
+    }
+    if (rng.NextDouble() < 0.3) {
+      OutageWindow outage;
+      outage.start_seconds = rng.NextDouble() * 100.0;
+      outage.duration_seconds = rng.NextDouble() * 50.0;
+      outage.side = static_cast<int32_t>(rng.NextU64() % 3) - 1;
+      outage.op = static_cast<int32_t>(rng.NextU64() % 5) - 1;
+      plan.outages.push_back(outage);
+    }
+    ASSERT_TRUE(plan.Validate().ok());
+    ExpectFormatRoundTrips(plan);
+  }
 }
 
 TEST(OutageWindowTest, CoversMatchingSideOpAndTime) {
@@ -252,7 +438,7 @@ TEST(FaultInjectorTest, ZeroRatePlanAlwaysSucceeds) {
 
 TEST(FaultInjectorTest, CertainErrorAlwaysFails) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 1.0;
+  plan.set_error_rate(FaultOp::kExtract, 1.0);
   FaultInjector injector(plan);
   for (int i = 0; i < 100; ++i) {
     const FaultInjector::Attempt attempt = injector.Decide(0, FaultOp::kExtract, 0.0);
@@ -266,8 +452,7 @@ TEST(FaultInjectorTest, CertainErrorAlwaysFails) {
 
 TEST(FaultInjectorTest, TimeoutCarriesPenalty) {
   FaultPlan plan;
-  plan.op(FaultOp::kQuery).timeout_rate = 1.0;
-  plan.op(FaultOp::kQuery).timeout_seconds = 7.5;
+  plan.set_timeout(FaultOp::kQuery, 1.0, 7.5);
   FaultInjector injector(plan);
   const FaultInjector::Attempt attempt = injector.Decide(1, FaultOp::kQuery, 0.0);
   EXPECT_FALSE(attempt.ok());
@@ -291,8 +476,8 @@ TEST(FaultInjectorTest, OutageDominatesInsideWindow) {
 TEST(FaultInjectorTest, SameSeedProducesIdenticalSequences) {
   FaultPlan plan;
   plan.seed = 99;
-  plan.op(FaultOp::kExtract).error_rate = 0.3;
-  plan.op(FaultOp::kRetrieve).timeout_rate = 0.2;
+  plan.set_error_rate(FaultOp::kExtract, 0.3);
+  plan.set_timeout(FaultOp::kRetrieve, 0.2, 2.0);
   FaultInjector a(plan);
   FaultInjector b(plan);
   for (int i = 0; i < 500; ++i) {
@@ -306,7 +491,7 @@ TEST(FaultInjectorTest, SameSeedProducesIdenticalSequences) {
 
 TEST(FaultInjectorTest, DifferentSeedsProduceDifferentSequences) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 0.5;
+  plan.set_error_rate(FaultOp::kExtract, 0.5);
   plan.seed = 1;
   FaultInjector a(plan);
   plan.seed = 2;
@@ -326,8 +511,8 @@ TEST(FaultInjectorTest, PerOpStreamsAreIndependent) {
   // extract sequence with interleaved retrieve draws equals the extract
   // sequence without them.
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 0.4;
-  plan.op(FaultOp::kRetrieve).error_rate = 0.4;
+  plan.set_error_rate(FaultOp::kExtract, 0.4);
+  plan.set_error_rate(FaultOp::kRetrieve, 0.4);
   FaultInjector interleaved(plan);
   FaultInjector extract_only(plan);
   for (int i = 0; i < 200; ++i) {
@@ -336,6 +521,53 @@ TEST(FaultInjectorTest, PerOpStreamsAreIndependent) {
               extract_only.Decide(0, FaultOp::kExtract, 0.0).ok())
         << "streams coupled at step " << i;
   }
+}
+
+TEST(FaultInjectorTest, BackoffStreamsArePerSideAndOp) {
+  // Side 1's backoff sequence must be invariant to side 2's activity and
+  // rates: the regression this guards is a single shared backoff Rng, where
+  // one side's retry storm reshuffled the other side's jitter draws.
+  FaultPlan quiet;
+  quiet.set_error_rate(FaultOp::kExtract, 0.5);
+  FaultPlan stormy = quiet;
+  stormy.op(1, FaultOp::kExtract).error_rate = 0.9;
+  stormy.op(1, FaultOp::kRetrieve).error_rate = 0.9;
+
+  FaultInjector reference(quiet);
+  FaultInjector perturbed(stormy);
+  for (int i = 0; i < 200; ++i) {
+    // Side 2 churns through decisions and backoffs in one injector only.
+    (void)perturbed.Decide(1, FaultOp::kExtract, 0.0);
+    (void)perturbed.BackoffSeconds(1, FaultOp::kExtract, i % 3);
+    (void)perturbed.BackoffSeconds(1, FaultOp::kRetrieve, i % 3);
+    EXPECT_DOUBLE_EQ(reference.BackoffSeconds(0, FaultOp::kExtract, i % 3),
+                     perturbed.BackoffSeconds(0, FaultOp::kExtract, i % 3))
+        << "side-1 backoff perturbed by side-2 activity at step " << i;
+  }
+}
+
+TEST(FaultInjectorTest, BackoffStreamsDifferAcrossSidesAndOps) {
+  // With jitter on (the default), distinct (side, op) pairs draw from
+  // distinct forked streams — their jitter sequences must not coincide.
+  FaultPlan plan;
+  FaultInjector injector(plan);
+  int extract_vs_retrieve = 0;
+  int side1_vs_side2 = 0;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  FaultInjector c(plan);
+  for (int i = 0; i < 50; ++i) {
+    if (a.BackoffSeconds(0, FaultOp::kExtract, 0) !=
+        b.BackoffSeconds(0, FaultOp::kRetrieve, 0)) {
+      ++extract_vs_retrieve;
+    }
+    if (injector.BackoffSeconds(0, FaultOp::kExtract, 0) !=
+        c.BackoffSeconds(1, FaultOp::kExtract, 0)) {
+      ++side1_vs_side2;
+    }
+  }
+  EXPECT_GT(extract_vs_retrieve, 0);
+  EXPECT_GT(side1_vs_side2, 0);
 }
 
 // --------------------------------------------------------------------------
@@ -427,8 +659,8 @@ TEST_F(FaultExecutionTest, ZeroRatePlanDoesNotPerturbExecution) {
 TEST_F(FaultExecutionTest, SameSeedReproducesFaultyRun) {
   FaultPlan plan;
   plan.seed = 4242;
-  plan.op(FaultOp::kExtract).error_rate = 0.1;
-  plan.op(FaultOp::kRetrieve).error_rate = 0.05;
+  plan.set_error_rate(FaultOp::kExtract, 0.1);
+  plan.set_error_rate(FaultOp::kRetrieve, 0.05);
   auto first = RunWithFaults(ScanPlan(), &plan);
   auto second = RunWithFaults(ScanPlan(), &plan);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
@@ -438,7 +670,7 @@ TEST_F(FaultExecutionTest, SameSeedReproducesFaultyRun) {
 
 TEST_F(FaultExecutionTest, TransientErrorsAreRetriedAndAbsorbed) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 0.2;
+  plan.set_error_rate(FaultOp::kExtract, 0.2);
   plan.retry.max_attempts = 6;  // enough that 0.2^6 drops are ~never seen
   plan.breaker.failure_threshold = 0;
   auto faulty = RunWithFaults(ScanPlan(), &plan);
@@ -455,7 +687,7 @@ TEST_F(FaultExecutionTest, TransientErrorsAreRetriedAndAbsorbed) {
 
 TEST_F(FaultExecutionTest, ExhaustedRetriesDropDocumentsNotRuns) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 1.0;  // every extraction fails
+  plan.set_error_rate(FaultOp::kExtract, 1.0);  // every extraction fails
   plan.retry.max_attempts = 2;
   plan.breaker.failure_threshold = 0;  // isolate drop accounting from breaker
   JoinExecutionOptions options;       // run to exhaustion: nothing is fatal
@@ -476,7 +708,7 @@ TEST_F(FaultExecutionTest, ExhaustedRetriesDropDocumentsNotRuns) {
 
 TEST_F(FaultExecutionTest, BreakerTripsUnderSustainedExtractorFailure) {
   FaultPlan plan;
-  plan.op(FaultOp::kExtract).error_rate = 1.0;
+  plan.set_error_rate(FaultOp::kExtract, 1.0);
   plan.retry.max_attempts = 1;
   plan.breaker.failure_threshold = 5;
   plan.breaker.cooldown_seconds = 1e9;  // stays open for the whole run
@@ -522,7 +754,7 @@ TEST_F(FaultExecutionTest, DeadlineReturnsPartialResult) {
 
 TEST_F(FaultExecutionTest, QueryFaultsDropProbesInZgjn) {
   FaultPlan plan;
-  plan.op(FaultOp::kQuery).error_rate = 0.5;
+  plan.set_error_rate(FaultOp::kQuery, 0.5);
   plan.retry.max_attempts = 1;  // half the probes are lost outright
   auto result = RunWithFaults(ZgjnPlan(), &plan);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -556,6 +788,71 @@ TEST_F(FaultExecutionTest, OutageWindowDegradesThenRecovers) {
 }
 
 // --------------------------------------------------------------------------
+// Hedged execution.
+// --------------------------------------------------------------------------
+
+TEST_F(FaultExecutionTest, DisabledHedgeIsIdenticalToSequential) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.set_error_rate(FaultOp::kExtract, 0.15);
+  auto sequential = RunWithFaults(ScanPlan(), &plan);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+
+  FaultPlan zero_hedge = plan;
+  zero_hedge.hedge.max_hedges = 0;     // disabled
+  zero_hedge.hedge.delay_seconds = 9;  // must be inert while disabled
+  auto with_field = RunWithFaults(ScanPlan(), &zero_hedge);
+  ASSERT_TRUE(with_field.ok());
+  ExpectIdenticalRuns(*sequential, *with_field);
+  EXPECT_EQ(with_field->final_point.hedges1 + with_field->final_point.hedges2, 0);
+}
+
+TEST_F(FaultExecutionTest, HedgedRunIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.set_error_rate(FaultOp::kExtract, 0.3);
+  plan.hedge.max_hedges = 2;
+  plan.hedge.delay_seconds = 0.25;
+  auto first = RunWithFaults(ScanPlan(), &plan);
+  auto second = RunWithFaults(ScanPlan(), &plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalRuns(*first, *second);
+  EXPECT_EQ(first->final_point.hedges1 + first->final_point.hedges2,
+            second->final_point.hedges1 + second->final_point.hedges2);
+}
+
+TEST_F(FaultExecutionTest, HedgingLaunchesRacersAndCutsDrops) {
+  // With one attempt and no hedges, failure prob per doc is f; with two
+  // hedged racers it is f^3 — the hedged run must drop far fewer documents.
+  FaultPlan sequential;
+  sequential.set_error_rate(FaultOp::kExtract, 0.4);
+  sequential.retry.max_attempts = 1;
+  sequential.breaker.failure_threshold = 0;
+  JoinExecutionOptions options;  // exhaustion
+  options.fault_plan = &sequential;
+  auto base = bench().RunPlan(ScanPlan(), options);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+
+  FaultPlan hedged = sequential;
+  hedged.hedge.max_hedges = 2;
+  hedged.hedge.delay_seconds = 0.25;
+  JoinExecutionOptions hedged_options;
+  hedged_options.fault_plan = &hedged;
+  auto faster = bench().RunPlan(ScanPlan(), hedged_options);
+  ASSERT_TRUE(faster.ok()) << faster.status().ToString();
+
+  EXPECT_GT(faster->final_point.hedges1 + faster->final_point.hedges2, 0);
+  EXPECT_LT(
+      faster->final_point.docs_dropped1 + faster->final_point.docs_dropped2,
+      base->final_point.docs_dropped1 + base->final_point.docs_dropped2);
+  // More documents survive to be processed under hedging.
+  EXPECT_GT(
+      faster->final_point.docs_processed1 + faster->final_point.docs_processed2,
+      base->final_point.docs_processed1 + base->final_point.docs_processed2);
+}
+
+// --------------------------------------------------------------------------
 // Adaptive executor under faults.
 // --------------------------------------------------------------------------
 
@@ -581,6 +878,52 @@ TEST_F(FaultExecutionTest, AdaptiveExecutorHonorsDeadline) {
   EXPECT_TRUE(result->degraded);
   EXPECT_GE(result->total_seconds, 200.0);
   EXPECT_LT(result->total_seconds, 220.0);
+}
+
+TEST_F(FaultExecutionTest, AdaptiveExecutorReoptimizesOnBreakerTrip) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok());
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;
+  AdaptiveJoinExecutor adaptive(bench().resources(), *inputs, enum_options);
+
+  AdaptiveOptions options;
+  options.requirement.min_good_tuples = 20;
+  options.requirement.max_bad_tuples = std::numeric_limits<int64_t>::max();
+  options.initial_plan = ScanPlan();
+  options.estimator.mixture.max_frequency = 100;
+  // Side 1's extractor fails hard enough to trip the breaker almost
+  // immediately; the breaker path must fire well before the document
+  // cadence (min_docs_for_estimate stays at its 600-doc default).
+  FaultPlan faults;
+  faults.op(0, FaultOp::kExtract).error_rate = 1.0;
+  faults.retry.max_attempts = 1;
+  faults.breaker.failure_threshold = 3;
+  faults.breaker.cooldown_seconds = 1e9;
+  options.fault_plan = &faults;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+
+  auto result = adaptive.Run(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->breaker_reoptimizations, 0);
+
+  // With telemetry attached and a fault plan present, the run report
+  // carries the predicted-vs-observed fault block; every side-1 document
+  // failed extraction, so observed drops are substantial.
+  ASSERT_TRUE(result->has_report);
+  const obs::PredictedVsObserved& pvo = result->report.prediction;
+  EXPECT_TRUE(pvo.has_fault_prediction);
+  EXPECT_GT(pvo.observed_docs_dropped, 0.0);
+  EXPECT_GE(pvo.observed_fault_seconds, 0.0);
+
+  // The same run with the trigger disabled performs no breaker
+  // re-optimizations.
+  AdaptiveOptions disabled = options;
+  disabled.reoptimize_on_breaker_trip = false;
+  auto baseline = adaptive.Run(disabled);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  EXPECT_EQ(baseline->breaker_reoptimizations, 0);
 }
 
 }  // namespace

@@ -15,12 +15,17 @@
 //       flags attach the telemetry subsystem (docs/OBSERVABILITY.md) and
 //       dump the metrics snapshot, span tree, or full run report as JSON.
 //       --faults injects deterministic faults (docs/ROBUSTNESS.md), e.g.
-//       "extract.error=0.1,retry.attempts=4,deadline=5000".
+//       "extract.error=0.1,retry.attempts=4,deadline=5000". Rates may be
+//       side-qualified ("r1.extract.error=0.3") and "hedge.max=2,
+//       hedge.delay=0.25" races delayed duplicates instead of backing off.
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
-//       [--metrics-out FILE] [--trace-out FILE]
+//       [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]
 //       Rank the full plan space for a quality requirement and print the
-//       optimizer's choice.
+//       optimizer's choice. With --faults the ranking runs through the
+//       fault-adjusted model (docs/ROBUSTNESS.md): efforts are sized for
+//       the documents that survive drops and predicted times include the
+//       expected retry/hedge overhead.
 //
 // The tool retrains extractors/classifiers/queries on a freshly generated
 // training scenario seeded from the file's contents, mirroring the
@@ -72,7 +77,7 @@ int Usage() {
                "             [--tau-good N] [--tau-bad N] [--faults SPEC]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
-               "             [--metrics-out FILE] [--trace-out FILE]\n");
+               "             [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -293,6 +298,19 @@ int CmdOptimize(const Args& args) {
   }
   inputs->metrics = metrics;
   inputs->tracer = trace;
+  fault::FaultPlan fault_plan;
+  if (args.Has("faults")) {
+    auto parsed = fault::ParseFaultPlan(args.Get("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "faults: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    fault_plan = *parsed;
+    inputs->fault_plan = &fault_plan;
+    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
+    std::printf("ranking is fault-adjusted: efforts sized for surviving docs, "
+                "times include expected retry/hedge overhead\n");
+  }
   QualityRequirement req;
   req.min_good_tuples = args.GetInt("tau-good", 1);
   req.max_bad_tuples = args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
