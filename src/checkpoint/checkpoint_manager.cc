@@ -1,0 +1,143 @@
+#include "checkpoint/checkpoint_manager.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace iejoin {
+namespace ckpt {
+namespace {
+
+constexpr char kFilePrefix[] = "ckpt-";
+constexpr char kFileSuffix[] = ".iejc";
+
+/// Parses a checkpoint file name back to its sequence; -1 when the name is
+/// not a checkpoint file.
+int64_t SequenceFromFileName(const std::string& name) {
+  const size_t prefix_len = sizeof(kFilePrefix) - 1;
+  const size_t suffix_len = sizeof(kFileSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len) return -1;
+  if (name.compare(0, prefix_len, kFilePrefix) != 0) return -1;
+  if (name.compare(name.size() - suffix_len, suffix_len, kFileSuffix) != 0) {
+    return -1;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() || digits.size() > 18) return -1;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+  }
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string CheckpointFileName(int64_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08lld%s", kFilePrefix,
+                static_cast<long long>(sequence), kFileSuffix);
+  return buf;
+}
+
+Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
+    std::string directory, CheckpointManifest manifest) {
+  if (directory.empty()) {
+    return Status::InvalidArgument("checkpoint directory must not be empty");
+  }
+  struct stat st;
+  if (::stat(directory.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument("checkpoint path is not a directory: " +
+                                     directory);
+    }
+  } else if (::mkdir(directory.c_str(), 0777) != 0) {
+    return Status::Internal("cannot create checkpoint directory " + directory +
+                            ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<CheckpointManager>(
+      new CheckpointManager(std::move(directory), std::move(manifest)));
+}
+
+Status CheckpointManager::WriteSections(int64_t sequence,
+                                        std::vector<SnapshotSection> sections) {
+  const std::string path = directory_ + "/" + CheckpointFileName(sequence);
+  IEJOIN_RETURN_IF_ERROR(WriteSnapshotFile(path, sections));
+  ++written_;
+  last_path_ = path;
+  return Status::Ok();
+}
+
+Status CheckpointManager::Write(const ExecutorCheckpoint& checkpoint) {
+  std::vector<SnapshotSection> sections;
+  AppendManifestSection(manifest_, &sections);
+  AppendExecutorSections(checkpoint, &sections);
+  return WriteSections(checkpoint.sequence, std::move(sections));
+}
+
+Status CheckpointManager::WriteAdaptive(const AdaptiveCheckpoint& checkpoint) {
+  std::vector<SnapshotSection> sections;
+  AppendManifestSection(manifest_, &sections);
+  AppendAdaptiveSections(checkpoint, &sections);
+  return WriteSections(checkpoint.sequence, std::move(sections));
+}
+
+Result<LoadedCheckpoint> LoadCheckpointFile(const std::string& path) {
+  IEJOIN_ASSIGN_OR_RETURN(std::vector<SnapshotSection> sections,
+                          ReadSnapshotFile(path));
+  LoadedCheckpoint loaded;
+  loaded.path = path;
+  IEJOIN_RETURN_IF_ERROR(DecodeManifestSection(sections, &loaded.manifest));
+  loaded.is_adaptive = HasSection(sections, kSectionAdaptive);
+  if (loaded.is_adaptive) {
+    IEJOIN_RETURN_IF_ERROR(DecodeAdaptiveSections(sections, &loaded.adaptive));
+    loaded.sequence = loaded.adaptive.sequence;
+  } else {
+    IEJOIN_RETURN_IF_ERROR(DecodeExecutorSections(sections, &loaded.executor));
+    loaded.sequence = loaded.executor.sequence;
+  }
+  return loaded;
+}
+
+Result<LoadedCheckpoint> LoadLatestValidCheckpoint(const std::string& directory) {
+  DIR* dir = ::opendir(directory.c_str());
+  if (dir == nullptr) {
+    return Status::NotFound("cannot open checkpoint directory " + directory +
+                            ": " + std::strerror(errno));
+  }
+  std::vector<std::pair<int64_t, std::string>> candidates;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    const int64_t sequence = SequenceFromFileName(name);
+    if (sequence >= 0) candidates.emplace_back(sequence, name);
+  }
+  ::closedir(dir);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::string first_error;
+  for (const auto& [sequence, name] : candidates) {
+    (void)sequence;
+    Result<LoadedCheckpoint> loaded = LoadCheckpointFile(directory + "/" + name);
+    if (loaded.ok()) return loaded;
+    if (first_error.empty()) {
+      first_error = name + ": " + loaded.status().ToString();
+    }
+  }
+  if (!first_error.empty()) {
+    return Status::NotFound("no valid checkpoint in " + directory +
+                            " (newest rejected: " + first_error + ")");
+  }
+  return Status::NotFound("no checkpoint files in " + directory);
+}
+
+}  // namespace ckpt
+}  // namespace iejoin

@@ -1,0 +1,80 @@
+#ifndef IEJOIN_CHECKPOINT_CHECKPOINT_MANAGER_H_
+#define IEJOIN_CHECKPOINT_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/join_checkpoint.h"
+#include "checkpoint/snapshot_format.h"
+#include "common/status.h"
+#include "join/executor_checkpoint.h"
+#include "optimizer/adaptive_checkpoint.h"
+
+namespace iejoin {
+namespace ckpt {
+
+/// A checkpoint loaded back from disk: the manifest describing the run plus
+/// either a plain executor checkpoint or an adaptive one.
+struct LoadedCheckpoint {
+  CheckpointManifest manifest;
+  bool is_adaptive = false;
+  ExecutorCheckpoint executor;
+  AdaptiveCheckpoint adaptive;
+  /// The checkpoint's own sequence ordinal (duplicated out of whichever
+  /// payload applies, for callers that only need ordering).
+  int64_t sequence = 0;
+  /// File the checkpoint was loaded from.
+  std::string path;
+};
+
+/// `ckpt-%08d.iejc` — zero-padded so lexicographic directory order matches
+/// sequence order.
+std::string CheckpointFileName(int64_t sequence);
+
+/// Durable checkpoint store over one directory. Each delivered checkpoint
+/// becomes one snapshot file, written crash-consistently (temp + fsync +
+/// atomic rename + directory fsync) and named by its sequence ordinal, so a
+/// kill at any instant leaves the newest complete file valid and a
+/// re-written post-crash snapshot overwrites its stale twin in place.
+class CheckpointManager : public CheckpointSink, public AdaptiveCheckpointSink {
+ public:
+  /// Creates the directory when missing (one level). The manifest is
+  /// embedded in every snapshot file so `iejoin_cli resume` can rebuild the
+  /// execution from the checkpoint alone.
+  static Result<std::unique_ptr<CheckpointManager>> Open(
+      std::string directory, CheckpointManifest manifest);
+
+  Status Write(const ExecutorCheckpoint& checkpoint) override;
+  Status WriteAdaptive(const AdaptiveCheckpoint& checkpoint) override;
+
+  const std::string& directory() const { return directory_; }
+  int64_t checkpoints_written() const { return written_; }
+  const std::string& last_path() const { return last_path_; }
+
+ private:
+  CheckpointManager(std::string directory, CheckpointManifest manifest)
+      : directory_(std::move(directory)), manifest_(std::move(manifest)) {}
+
+  Status WriteSections(int64_t sequence, std::vector<SnapshotSection> sections);
+
+  std::string directory_;
+  CheckpointManifest manifest_;
+  int64_t written_ = 0;
+  std::string last_path_;
+};
+
+/// Loads and fully validates one snapshot file.
+Result<LoadedCheckpoint> LoadCheckpointFile(const std::string& path);
+
+/// Scans `directory` for checkpoint files and loads the newest (highest
+/// sequence) that validates, falling back past corrupt or truncated newer
+/// files (a crash mid-write leaves no readable temp files, but a damaged
+/// disk may). NOT_FOUND when the directory holds no valid checkpoint.
+Result<LoadedCheckpoint> LoadLatestValidCheckpoint(const std::string& directory);
+
+}  // namespace ckpt
+}  // namespace iejoin
+
+#endif  // IEJOIN_CHECKPOINT_CHECKPOINT_MANAGER_H_

@@ -1,0 +1,928 @@
+#include "checkpoint/join_checkpoint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "distributions/generating_function.h"
+#include "fault/fault_plan.h"
+#include "join/join_state.h"
+#include "model/model_params.h"
+
+namespace iejoin {
+namespace {
+
+/// Element-count cap for every variable-length field. Far above any real
+/// execution (2^26 occurrences per side would dwarf the scenario corpora)
+/// but low enough that a corrupt count is rejected before allocation.
+constexpr int64_t kMaxElements = int64_t{1} << 26;
+constexpr uint64_t kMaxNameBytes = 1u << 16;
+constexpr int64_t kMaxPgfCoefficients = int64_t{1} << 22;
+
+Status GetToken(ckpt::BufDecoder* dec, TokenId* out) {
+  int64_t v = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&v));
+  if (v < 0 || v > std::numeric_limits<TokenId>::max()) {
+    return Status::OutOfRange("checkpoint: token id out of range");
+  }
+  *out = static_cast<TokenId>(v);
+  return Status::Ok();
+}
+
+Status GetNonNegative(ckpt::BufDecoder* dec, int64_t* out) {
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(out));
+  if (*out < 0) return Status::OutOfRange("checkpoint: negative count field");
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// Friend of JoinState: encodes/rebuilds its private maps directly (see the
+/// friend note in join_state.h). Hash maps are emitted in sorted key order
+/// so re-encoding a decoded state reproduces the bytes exactly.
+class JoinStateSerializer {
+ public:
+  static void Encode(const JoinState& state, ckpt::BufEncoder* enc) {
+    enc->PutI64(state.max_output_tuples_);
+    enc->PutBool(state.output_truncated_);
+    for (int side = 0; side < 2; ++side) enc->PutI64(state.extracted_[side]);
+    for (int side = 0; side < 2; ++side) enc->PutI64(state.good_extracted_[side]);
+    enc->PutI64(state.good_join_tuples_);
+    enc->PutI64(state.bad_join_tuples_);
+
+    for (int side = 0; side < 2; ++side) {
+      std::vector<std::pair<TokenId, ValueCounts>> counts(
+          state.value_counts_[side].begin(), state.value_counts_[side].end());
+      std::sort(counts.begin(), counts.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      enc->PutU64(counts.size());
+      for (const auto& [value, vc] : counts) {
+        enc->PutI64(static_cast<int64_t>(value));
+        enc->PutI64(vc.good);
+        enc->PutI64(vc.bad);
+      }
+    }
+
+    for (int side = 0; side < 2; ++side) {
+      std::vector<TokenId> keys;
+      keys.reserve(state.occurrences_[side].size());
+      for (const auto& [value, occs] : state.occurrences_[side]) {
+        (void)occs;
+        keys.push_back(value);
+      }
+      std::sort(keys.begin(), keys.end());
+      enc->PutU64(keys.size());
+      for (TokenId value : keys) {
+        const auto& occs = state.occurrences_[side].at(value);
+        enc->PutI64(static_cast<int64_t>(value));
+        enc->PutU64(occs.size());
+        for (const auto& occ : occs) {
+          enc->PutI64(static_cast<int64_t>(occ.second_value));
+          enc->PutBool(occ.is_good);
+          enc->PutDouble(occ.similarity);
+        }
+      }
+    }
+
+    enc->PutU64(state.output_.size());
+    for (const auto& t : state.output_) {
+      enc->PutI64(static_cast<int64_t>(t.join_value));
+      enc->PutI64(static_cast<int64_t>(t.second1));
+      enc->PutI64(static_cast<int64_t>(t.second2));
+      enc->PutBool(t.is_good);
+      enc->PutDouble(t.confidence);
+    }
+  }
+
+  static Status Decode(ckpt::BufDecoder* dec, JoinState* out) {
+    int64_t max_output = 0;
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &max_output));
+    *out = JoinState(max_output);
+    IEJOIN_RETURN_IF_ERROR(dec->GetBool(&out->output_truncated_));
+    for (int side = 0; side < 2; ++side) {
+      IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &out->extracted_[side]));
+    }
+    for (int side = 0; side < 2; ++side) {
+      IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &out->good_extracted_[side]));
+    }
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &out->good_join_tuples_));
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &out->bad_join_tuples_));
+
+    for (int side = 0; side < 2; ++side) {
+      int64_t count = 0;
+      IEJOIN_RETURN_IF_ERROR(dec->GetCount(&count, kMaxElements));
+      out->value_counts_[side].reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        TokenId value = 0;
+        ValueCounts vc;
+        IEJOIN_RETURN_IF_ERROR(GetToken(dec, &value));
+        IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &vc.good));
+        IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &vc.bad));
+        if (!out->value_counts_[side].emplace(value, vc).second) {
+          return Status::OutOfRange("checkpoint: duplicate value count key");
+        }
+      }
+    }
+
+    for (int side = 0; side < 2; ++side) {
+      int64_t count = 0;
+      IEJOIN_RETURN_IF_ERROR(dec->GetCount(&count, kMaxElements));
+      out->occurrences_[side].reserve(static_cast<size_t>(count));
+      for (int64_t i = 0; i < count; ++i) {
+        TokenId value = 0;
+        IEJOIN_RETURN_IF_ERROR(GetToken(dec, &value));
+        int64_t occ_count = 0;
+        IEJOIN_RETURN_IF_ERROR(dec->GetCount(&occ_count, kMaxElements));
+        std::vector<JoinState::StoredOccurrence> occs;
+        occs.reserve(static_cast<size_t>(occ_count));
+        for (int64_t j = 0; j < occ_count; ++j) {
+          JoinState::StoredOccurrence occ;
+          IEJOIN_RETURN_IF_ERROR(GetToken(dec, &occ.second_value));
+          IEJOIN_RETURN_IF_ERROR(dec->GetBool(&occ.is_good));
+          IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&occ.similarity));
+          occs.push_back(occ);
+        }
+        if (!out->occurrences_[side].emplace(value, std::move(occs)).second) {
+          return Status::OutOfRange("checkpoint: duplicate occurrence key");
+        }
+      }
+    }
+
+    int64_t output_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetCount(&output_count, kMaxElements));
+    out->output_.reserve(static_cast<size_t>(output_count));
+    for (int64_t i = 0; i < output_count; ++i) {
+      JoinOutputTuple t;
+      IEJOIN_RETURN_IF_ERROR(GetToken(dec, &t.join_value));
+      IEJOIN_RETURN_IF_ERROR(GetToken(dec, &t.second1));
+      IEJOIN_RETURN_IF_ERROR(GetToken(dec, &t.second2));
+      IEJOIN_RETURN_IF_ERROR(dec->GetBool(&t.is_good));
+      IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&t.confidence));
+      out->output_.push_back(t);
+    }
+    return Status::Ok();
+  }
+};
+
+namespace ckpt {
+namespace {
+
+const SnapshotSection* FindSection(const std::vector<SnapshotSection>& sections,
+                                   uint32_t id) {
+  for (const auto& s : sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Status RequireSection(const std::vector<SnapshotSection>& sections, uint32_t id,
+                      const char* name, const SnapshotSection** out) {
+  *out = FindSection(sections, id);
+  if (*out == nullptr) {
+    return Status::OutOfRange(std::string("checkpoint: missing section ") + name);
+  }
+  return Status::Ok();
+}
+
+// --- trajectory points -----------------------------------------------------
+
+void PutTrajectoryPoint(const TrajectoryPoint& p, BufEncoder* enc) {
+  enc->PutI64(p.docs_retrieved1);
+  enc->PutI64(p.docs_retrieved2);
+  enc->PutI64(p.docs_processed1);
+  enc->PutI64(p.docs_processed2);
+  enc->PutI64(p.queries1);
+  enc->PutI64(p.queries2);
+  enc->PutI64(p.extracted1);
+  enc->PutI64(p.extracted2);
+  enc->PutI64(p.docs_with_extraction1);
+  enc->PutI64(p.docs_with_extraction2);
+  enc->PutI64(p.docs_dropped1);
+  enc->PutI64(p.docs_dropped2);
+  enc->PutI64(p.queries_dropped1);
+  enc->PutI64(p.queries_dropped2);
+  enc->PutI64(p.ops_retried1);
+  enc->PutI64(p.ops_retried2);
+  enc->PutI64(p.ops_failed1);
+  enc->PutI64(p.ops_failed2);
+  enc->PutI64(p.breaker_trips1);
+  enc->PutI64(p.breaker_trips2);
+  enc->PutI64(p.hedges1);
+  enc->PutI64(p.hedges2);
+  enc->PutI64(p.good_join_tuples);
+  enc->PutI64(p.bad_join_tuples);
+  enc->PutDouble(p.seconds);
+}
+
+Status GetTrajectoryPoint(BufDecoder* dec, TrajectoryPoint* p) {
+  int64_t* const fields[] = {
+      &p->docs_retrieved1,      &p->docs_retrieved2,
+      &p->docs_processed1,      &p->docs_processed2,
+      &p->queries1,             &p->queries2,
+      &p->extracted1,           &p->extracted2,
+      &p->docs_with_extraction1, &p->docs_with_extraction2,
+      &p->docs_dropped1,        &p->docs_dropped2,
+      &p->queries_dropped1,     &p->queries_dropped2,
+      &p->ops_retried1,         &p->ops_retried2,
+      &p->ops_failed1,          &p->ops_failed2,
+      &p->breaker_trips1,       &p->breaker_trips2,
+      &p->hedges1,              &p->hedges2,
+      &p->good_join_tuples,     &p->bad_join_tuples,
+  };
+  for (int64_t* field : fields) {
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, field));
+  }
+  return dec->GetDouble(&p->seconds);
+}
+
+// --- per-side executor state -----------------------------------------------
+
+void PutSide(const ExecutorCheckpoint::SideCheckpoint& side, BufEncoder* enc) {
+  const obs::SideCounters& c = side.counters;
+  enc->PutI64(c.docs_retrieved);
+  enc->PutI64(c.docs_processed);
+  enc->PutI64(c.docs_with_extraction);
+  enc->PutI64(c.docs_filtered);
+  enc->PutI64(c.queries_issued);
+  enc->PutI64(c.tuples_extracted);
+  enc->PutI64(c.ops_retried);
+  enc->PutI64(c.ops_failed);
+  enc->PutI64(c.docs_dropped);
+  enc->PutI64(c.queries_dropped);
+  enc->PutI64(c.breaker_trips);
+  enc->PutI64(c.hedges_launched);
+  enc->PutDouble(side.seconds);
+  enc->PutDouble(side.fault_seconds);
+  enc->PutBits(side.retrieved);
+  enc->PutBool(side.has_cursor);
+  if (side.has_cursor) {
+    enc->PutI64(side.cursor.position);
+    enc->PutI64(side.cursor.next_query);
+    enc->PutU64(side.cursor.pending.size());
+    for (DocId doc : side.cursor.pending) enc->PutI64(static_cast<int64_t>(doc));
+    enc->PutI64(side.cursor.pending_pos);
+    enc->PutBits(side.cursor.seen);
+  }
+  enc->PutU64(side.zgjn_queue.size());
+  for (const auto& entry : side.zgjn_queue) {
+    enc->PutI64(static_cast<int64_t>(entry.value));
+    enc->PutDouble(entry.confidence);
+  }
+  enc->PutU64(side.zgjn_enqueued.size());
+  for (TokenId value : side.zgjn_enqueued) enc->PutI64(static_cast<int64_t>(value));
+}
+
+Status GetSide(BufDecoder* dec, ExecutorCheckpoint::SideCheckpoint* side) {
+  obs::SideCounters& c = side->counters;
+  int64_t* const counters[] = {
+      &c.docs_retrieved, &c.docs_processed, &c.docs_with_extraction,
+      &c.docs_filtered,  &c.queries_issued, &c.tuples_extracted,
+      &c.ops_retried,    &c.ops_failed,     &c.docs_dropped,
+      &c.queries_dropped, &c.breaker_trips, &c.hedges_launched,
+  };
+  for (int64_t* counter : counters) {
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, counter));
+  }
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&side->seconds));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&side->fault_seconds));
+  if (side->seconds < 0.0 || side->fault_seconds < 0.0) {
+    return Status::OutOfRange("checkpoint: negative side clock");
+  }
+  IEJOIN_RETURN_IF_ERROR(dec->GetBits(&side->retrieved, kMaxElements));
+  IEJOIN_RETURN_IF_ERROR(dec->GetBool(&side->has_cursor));
+  if (side->has_cursor) {
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &side->cursor.position));
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &side->cursor.next_query));
+    int64_t pending_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetCount(&pending_count, kMaxElements));
+    side->cursor.pending.clear();
+    side->cursor.pending.reserve(static_cast<size_t>(pending_count));
+    for (int64_t i = 0; i < pending_count; ++i) {
+      int64_t doc = 0;
+      IEJOIN_RETURN_IF_ERROR(dec->GetI64(&doc));
+      if (doc < 0 || doc > std::numeric_limits<DocId>::max()) {
+        return Status::OutOfRange("checkpoint: document id out of range");
+      }
+      side->cursor.pending.push_back(static_cast<DocId>(doc));
+    }
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &side->cursor.pending_pos));
+    if (side->cursor.pending_pos >
+        static_cast<int64_t>(side->cursor.pending.size())) {
+      return Status::OutOfRange("checkpoint: pending cursor past pending list");
+    }
+    IEJOIN_RETURN_IF_ERROR(dec->GetBits(&side->cursor.seen, kMaxElements));
+  }
+  int64_t queue_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&queue_count, kMaxElements));
+  side->zgjn_queue.clear();
+  side->zgjn_queue.reserve(static_cast<size_t>(queue_count));
+  for (int64_t i = 0; i < queue_count; ++i) {
+    ZgjnQueueEntry entry;
+    IEJOIN_RETURN_IF_ERROR(GetToken(dec, &entry.value));
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&entry.confidence));
+    side->zgjn_queue.push_back(entry);
+  }
+  int64_t enqueued_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&enqueued_count, kMaxElements));
+  side->zgjn_enqueued.clear();
+  side->zgjn_enqueued.reserve(static_cast<size_t>(enqueued_count));
+  for (int64_t i = 0; i < enqueued_count; ++i) {
+    TokenId value = 0;
+    IEJOIN_RETURN_IF_ERROR(GetToken(dec, &value));
+    side->zgjn_enqueued.push_back(value);
+  }
+  return Status::Ok();
+}
+
+// --- metrics snapshots -----------------------------------------------------
+
+void PutMetricsSnapshot(const obs::MetricsSnapshot& m, BufEncoder* enc) {
+  enc->PutU64(m.counters.size());
+  for (const auto& [name, value] : m.counters) {
+    enc->PutString(name);
+    enc->PutI64(value);
+  }
+  enc->PutU64(m.gauges.size());
+  for (const auto& [name, value] : m.gauges) {
+    enc->PutString(name);
+    enc->PutDouble(value);
+  }
+  enc->PutU64(m.histograms.size());
+  for (const auto& [name, h] : m.histograms) {
+    enc->PutString(name);
+    enc->PutU64(h.upper_bounds.size());
+    for (double bound : h.upper_bounds) enc->PutDouble(bound);
+    enc->PutU64(h.bucket_counts.size());
+    for (int64_t count : h.bucket_counts) enc->PutI64(count);
+    enc->PutI64(h.count);
+    enc->PutDouble(h.sum);
+  }
+}
+
+Status GetMetricsSnapshot(BufDecoder* dec, obs::MetricsSnapshot* out) {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  int64_t counter_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&counter_count, kMaxElements));
+  for (int64_t i = 0; i < counter_count; ++i) {
+    std::string name;
+    int64_t value = 0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetString(&name, kMaxNameBytes));
+    IEJOIN_RETURN_IF_ERROR(dec->GetI64(&value));
+    if (!out->counters.emplace(std::move(name), value).second) {
+      return Status::OutOfRange("checkpoint: duplicate counter name");
+    }
+  }
+  int64_t gauge_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&gauge_count, kMaxElements));
+  for (int64_t i = 0; i < gauge_count; ++i) {
+    std::string name;
+    double value = 0.0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetString(&name, kMaxNameBytes));
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&value));
+    if (!out->gauges.emplace(std::move(name), value).second) {
+      return Status::OutOfRange("checkpoint: duplicate gauge name");
+    }
+  }
+  int64_t histogram_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&histogram_count, kMaxElements));
+  for (int64_t i = 0; i < histogram_count; ++i) {
+    std::string name;
+    IEJOIN_RETURN_IF_ERROR(dec->GetString(&name, kMaxNameBytes));
+    obs::MetricsSnapshot::HistogramData h;
+    int64_t bound_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetCount(&bound_count, kMaxElements));
+    h.upper_bounds.resize(static_cast<size_t>(bound_count));
+    for (double& bound : h.upper_bounds) {
+      IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&bound));
+    }
+    int64_t bucket_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec->GetCount(&bucket_count, kMaxElements));
+    if (bucket_count != bound_count + 1) {
+      return Status::OutOfRange("checkpoint: histogram bucket/bound mismatch");
+    }
+    h.bucket_counts.resize(static_cast<size_t>(bucket_count));
+    for (int64_t& count : h.bucket_counts) {
+      IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &count));
+    }
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, &h.count));
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&h.sum));
+    if (!out->histograms.emplace(std::move(name), std::move(h)).second) {
+      return Status::OutOfRange("checkpoint: duplicate histogram name");
+    }
+  }
+  return Status::Ok();
+}
+
+// --- plans and model parameters --------------------------------------------
+
+void PutPlan(const JoinPlanSpec& plan, BufEncoder* enc) {
+  enc->PutU8(static_cast<uint8_t>(plan.algorithm));
+  enc->PutDouble(plan.theta1);
+  enc->PutDouble(plan.theta2);
+  enc->PutU8(static_cast<uint8_t>(plan.retrieval1));
+  enc->PutU8(static_cast<uint8_t>(plan.retrieval2));
+  enc->PutBool(plan.outer_is_relation1);
+}
+
+Status GetAlgorithm(BufDecoder* dec, JoinAlgorithmKind* out) {
+  uint8_t v = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetU8(&v));
+  if (v > static_cast<uint8_t>(JoinAlgorithmKind::kZigZag)) {
+    return Status::OutOfRange("checkpoint: unknown join algorithm");
+  }
+  *out = static_cast<JoinAlgorithmKind>(v);
+  return Status::Ok();
+}
+
+Status GetRetrievalKind(BufDecoder* dec, RetrievalStrategyKind* out) {
+  uint8_t v = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetU8(&v));
+  if (v > static_cast<uint8_t>(RetrievalStrategyKind::kAutomaticQueryGeneration)) {
+    return Status::OutOfRange("checkpoint: unknown retrieval strategy");
+  }
+  *out = static_cast<RetrievalStrategyKind>(v);
+  return Status::Ok();
+}
+
+Status GetPlan(BufDecoder* dec, JoinPlanSpec* plan) {
+  IEJOIN_RETURN_IF_ERROR(GetAlgorithm(dec, &plan->algorithm));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&plan->theta1));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&plan->theta2));
+  IEJOIN_RETURN_IF_ERROR(GetRetrievalKind(dec, &plan->retrieval1));
+  IEJOIN_RETURN_IF_ERROR(GetRetrievalKind(dec, &plan->retrieval2));
+  return dec->GetBool(&plan->outer_is_relation1);
+}
+
+void PutGeneratingFunction(const GeneratingFunction& pgf, BufEncoder* enc) {
+  enc->PutU64(pgf.coefficients().size());
+  for (double c : pgf.coefficients()) enc->PutDouble(c);
+  enc->PutDouble(pgf.truncated_mass());
+}
+
+Status GetGeneratingFunction(BufDecoder* dec, GeneratingFunction* out) {
+  int64_t count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&count, kMaxPgfCoefficients));
+  std::vector<double> coefficients(static_cast<size_t>(count));
+  for (double& c : coefficients) {
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&c));
+  }
+  double truncated_mass = 0.0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&truncated_mass));
+  *out = GeneratingFunction::FromCheckpoint(std::move(coefficients), truncated_mass);
+  return Status::Ok();
+}
+
+void PutRelationParams(const RelationModelParams& r, BufEncoder* enc) {
+  enc->PutI64(r.num_documents);
+  enc->PutI64(r.num_good_docs);
+  enc->PutI64(r.num_bad_docs);
+  enc->PutI64(r.num_good_values);
+  enc->PutI64(r.num_bad_values);
+  enc->PutDouble(r.good_freq.mean);
+  enc->PutDouble(r.good_freq.second_moment);
+  enc->PutDouble(r.bad_freq.mean);
+  enc->PutDouble(r.bad_freq.second_moment);
+  enc->PutDouble(r.bad_in_good_doc_fraction);
+  enc->PutDouble(r.tp);
+  enc->PutDouble(r.fp);
+  enc->PutDouble(r.classifier_tp);
+  enc->PutDouble(r.classifier_fp);
+  enc->PutDouble(r.classifier_empty);
+  enc->PutDouble(r.classifier_good_occ);
+  enc->PutDouble(r.classifier_bad_occ);
+  enc->PutU64(r.aqg_queries.size());
+  for (const auto& q : r.aqg_queries) {
+    enc->PutDouble(q.precision);
+    enc->PutDouble(q.retrieved_docs);
+  }
+  enc->PutDouble(r.aqg_good_occ_boost);
+  enc->PutDouble(r.aqg_bad_occ_boost);
+  enc->PutDouble(r.mean_query_hits);
+  enc->PutDouble(r.mean_direct_inclusion);
+  PutGeneratingFunction(r.hits_pgf, enc);
+  PutGeneratingFunction(r.generates_pgf, enc);
+}
+
+Status GetRelationParams(BufDecoder* dec, RelationModelParams* r) {
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&r->num_documents));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&r->num_good_docs));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&r->num_bad_docs));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&r->num_good_values));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&r->num_bad_values));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->good_freq.mean));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->good_freq.second_moment));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->bad_freq.mean));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->bad_freq.second_moment));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->bad_in_good_doc_fraction));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->tp));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->fp));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->classifier_tp));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->classifier_fp));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->classifier_empty));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->classifier_good_occ));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->classifier_bad_occ));
+  int64_t query_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&query_count, kMaxElements));
+  r->aqg_queries.resize(static_cast<size_t>(query_count));
+  for (auto& q : r->aqg_queries) {
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&q.precision));
+    IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&q.retrieved_docs));
+  }
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->aqg_good_occ_boost));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->aqg_bad_occ_boost));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->mean_query_hits));
+  IEJOIN_RETURN_IF_ERROR(dec->GetDouble(&r->mean_direct_inclusion));
+  IEJOIN_RETURN_IF_ERROR(GetGeneratingFunction(dec, &r->hits_pgf));
+  return GetGeneratingFunction(dec, &r->generates_pgf);
+}
+
+void PutJoinModelParams(const JoinModelParams& p, BufEncoder* enc) {
+  PutRelationParams(p.relation1, enc);
+  PutRelationParams(p.relation2, enc);
+  enc->PutI64(p.num_agg);
+  enc->PutI64(p.num_agb);
+  enc->PutI64(p.num_abg);
+  enc->PutI64(p.num_abb);
+  enc->PutU8(static_cast<uint8_t>(p.coupling));
+}
+
+Status GetJoinModelParams(BufDecoder* dec, JoinModelParams* p) {
+  IEJOIN_RETURN_IF_ERROR(GetRelationParams(dec, &p->relation1));
+  IEJOIN_RETURN_IF_ERROR(GetRelationParams(dec, &p->relation2));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&p->num_agg));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&p->num_agb));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&p->num_abg));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&p->num_abb));
+  uint8_t coupling = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetU8(&coupling));
+  if (coupling > static_cast<uint8_t>(FrequencyCoupling::kIdentical)) {
+    return Status::OutOfRange("checkpoint: unknown frequency coupling");
+  }
+  p->coupling = static_cast<FrequencyCoupling>(coupling);
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool HasSection(const std::vector<SnapshotSection>& sections, uint32_t id) {
+  return FindSection(sections, id) != nullptr;
+}
+
+void AppendExecutorSections(const ExecutorCheckpoint& checkpoint,
+                            std::vector<SnapshotSection>* out) {
+  {
+    BufEncoder enc;
+    enc.PutU8(static_cast<uint8_t>(checkpoint.algorithm));
+    enc.PutI64(checkpoint.sequence);
+    enc.PutI64(checkpoint.docs_since_snapshot);
+    enc.PutBool(checkpoint.deadline_hit);
+    enc.PutBool(checkpoint.has_faults);
+    enc.PutBool(checkpoint.has_metrics);
+    out->push_back({kSectionExecutorCore, enc.Take()});
+  }
+  {
+    BufEncoder enc;
+    JoinStateSerializer::Encode(checkpoint.state, &enc);
+    out->push_back({kSectionJoinState, enc.Take()});
+  }
+  {
+    BufEncoder enc;
+    for (int side = 0; side < 2; ++side) PutSide(checkpoint.sides[side], &enc);
+    out->push_back({kSectionSides, enc.Take()});
+  }
+  {
+    BufEncoder enc;
+    enc.PutU64(checkpoint.trajectory.size());
+    for (const auto& point : checkpoint.trajectory) PutTrajectoryPoint(point, &enc);
+    out->push_back({kSectionTrajectory, enc.Take()});
+  }
+  {
+    BufEncoder enc;
+    enc.PutU64(checkpoint.oijn_probed_values.size());
+    for (TokenId value : checkpoint.oijn_probed_values) {
+      enc.PutI64(static_cast<int64_t>(value));
+    }
+    out->push_back({kSectionProbed, enc.Take()});
+  }
+  if (checkpoint.has_faults) {
+    BufEncoder enc;
+    enc.PutU32(static_cast<uint32_t>(fault::kNumFaultSides));
+    enc.PutU32(static_cast<uint32_t>(fault::kNumFaultOps));
+    for (int side = 0; side < fault::kNumFaultSides; ++side) {
+      for (int op = 0; op < fault::kNumFaultOps; ++op) {
+        for (uint64_t word : checkpoint.fault_rng.decision[side][op]) {
+          enc.PutU64(word);
+        }
+      }
+    }
+    for (int side = 0; side < fault::kNumFaultSides; ++side) {
+      for (int op = 0; op < fault::kNumFaultOps; ++op) {
+        for (uint64_t word : checkpoint.fault_rng.backoff[side][op]) {
+          enc.PutU64(word);
+        }
+      }
+    }
+    for (int side = 0; side < 2; ++side) {
+      const auto& breaker = checkpoint.breakers[side];
+      enc.PutU8(static_cast<uint8_t>(breaker.state));
+      enc.PutI64(breaker.consecutive_failures);
+      enc.PutDouble(breaker.open_until_seconds);
+      enc.PutI64(breaker.trips);
+    }
+    out->push_back({kSectionFault, enc.Take()});
+  }
+  if (checkpoint.has_metrics) {
+    BufEncoder enc;
+    PutMetricsSnapshot(checkpoint.metrics, &enc);
+    out->push_back({kSectionMetrics, enc.Take()});
+  }
+}
+
+Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
+                              ExecutorCheckpoint* out) {
+  const SnapshotSection* section = nullptr;
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionExecutorCore, "executor core", &section));
+  {
+    BufDecoder dec(section->payload);
+    IEJOIN_RETURN_IF_ERROR(GetAlgorithm(&dec, &out->algorithm));
+    IEJOIN_RETURN_IF_ERROR(dec.GetI64(&out->sequence));
+    if (out->sequence < 1) {
+      return Status::OutOfRange("checkpoint: sequence must be >= 1");
+    }
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->docs_since_snapshot));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->deadline_hit));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_faults));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_metrics));
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionJoinState, "join state", &section));
+  {
+    BufDecoder dec(section->payload);
+    IEJOIN_RETURN_IF_ERROR(JoinStateSerializer::Decode(&dec, &out->state));
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  IEJOIN_RETURN_IF_ERROR(RequireSection(sections, kSectionSides, "sides", &section));
+  {
+    BufDecoder dec(section->payload);
+    for (int side = 0; side < 2; ++side) {
+      IEJOIN_RETURN_IF_ERROR(GetSide(&dec, &out->sides[side]));
+    }
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionTrajectory, "trajectory", &section));
+  {
+    BufDecoder dec(section->payload);
+    int64_t count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetCount(&count, kMaxElements));
+    out->trajectory.clear();
+    out->trajectory.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      TrajectoryPoint point;
+      IEJOIN_RETURN_IF_ERROR(GetTrajectoryPoint(&dec, &point));
+      out->trajectory.push_back(point);
+    }
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionProbed, "probed values", &section));
+  {
+    BufDecoder dec(section->payload);
+    int64_t count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetCount(&count, kMaxElements));
+    out->oijn_probed_values.clear();
+    out->oijn_probed_values.reserve(static_cast<size_t>(count));
+    for (int64_t i = 0; i < count; ++i) {
+      TokenId value = 0;
+      IEJOIN_RETURN_IF_ERROR(GetToken(&dec, &value));
+      out->oijn_probed_values.push_back(value);
+    }
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  const SnapshotSection* fault_section = FindSection(sections, kSectionFault);
+  if (out->has_faults != (fault_section != nullptr)) {
+    return Status::OutOfRange(
+        "checkpoint: fault section presence disagrees with core flags");
+  }
+  if (fault_section != nullptr) {
+    BufDecoder dec(fault_section->payload);
+    uint32_t sides = 0;
+    uint32_t ops = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetU32(&sides));
+    IEJOIN_RETURN_IF_ERROR(dec.GetU32(&ops));
+    if (sides != static_cast<uint32_t>(fault::kNumFaultSides) ||
+        ops != static_cast<uint32_t>(fault::kNumFaultOps)) {
+      return Status::OutOfRange("checkpoint: fault stream dimensions mismatch");
+    }
+    for (int side = 0; side < fault::kNumFaultSides; ++side) {
+      for (int op = 0; op < fault::kNumFaultOps; ++op) {
+        for (uint64_t& word : out->fault_rng.decision[side][op]) {
+          IEJOIN_RETURN_IF_ERROR(dec.GetU64(&word));
+        }
+      }
+    }
+    for (int side = 0; side < fault::kNumFaultSides; ++side) {
+      for (int op = 0; op < fault::kNumFaultOps; ++op) {
+        for (uint64_t& word : out->fault_rng.backoff[side][op]) {
+          IEJOIN_RETURN_IF_ERROR(dec.GetU64(&word));
+        }
+      }
+    }
+    for (int side = 0; side < 2; ++side) {
+      auto& breaker = out->breakers[side];
+      uint8_t state = 0;
+      IEJOIN_RETURN_IF_ERROR(dec.GetU8(&state));
+      if (state > static_cast<uint8_t>(fault::CircuitBreaker::State::kHalfOpen)) {
+        return Status::OutOfRange("checkpoint: unknown breaker state");
+      }
+      breaker.state = static_cast<fault::CircuitBreaker::State>(state);
+      int64_t failures = 0;
+      IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &failures));
+      if (failures > std::numeric_limits<int32_t>::max()) {
+        return Status::OutOfRange("checkpoint: breaker failure count overflow");
+      }
+      breaker.consecutive_failures = static_cast<int32_t>(failures);
+      IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&breaker.open_until_seconds));
+      IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &breaker.trips));
+    }
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  const SnapshotSection* metrics_section = FindSection(sections, kSectionMetrics);
+  if (out->has_metrics != (metrics_section != nullptr)) {
+    return Status::OutOfRange(
+        "checkpoint: metrics section presence disagrees with core flags");
+  }
+  if (metrics_section != nullptr) {
+    BufDecoder dec(metrics_section->payload);
+    IEJOIN_RETURN_IF_ERROR(GetMetricsSnapshot(&dec, &out->metrics));
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+  return Status::Ok();
+}
+
+void AppendAdaptiveSections(const AdaptiveCheckpoint& checkpoint,
+                            std::vector<SnapshotSection>* out) {
+  BufEncoder enc;
+  enc.PutI64(checkpoint.sequence);
+  PutPlan(checkpoint.current_plan, &enc);
+  enc.PutI64(checkpoint.switches);
+  enc.PutBool(checkpoint.side_degraded[0]);
+  enc.PutBool(checkpoint.side_degraded[1]);
+  enc.PutU64(checkpoint.phases.size());
+  for (const auto& phase : checkpoint.phases) {
+    PutPlan(phase.plan, &enc);
+    enc.PutDouble(phase.seconds);
+    PutTrajectoryPoint(phase.end_point, &enc);
+    enc.PutBool(phase.switched_away);
+    enc.PutBool(phase.exhausted);
+    enc.PutBool(phase.degraded);
+  }
+  enc.PutDouble(checkpoint.total_seconds);
+  enc.PutBool(checkpoint.degraded);
+  enc.PutBool(checkpoint.deadline_exceeded);
+  enc.PutI64(checkpoint.docs_dropped);
+  enc.PutI64(checkpoint.queries_dropped);
+  enc.PutI64(checkpoint.breaker_reoptimizations);
+  enc.PutBool(checkpoint.has_estimate);
+  if (checkpoint.has_estimate) PutJoinModelParams(checkpoint.final_estimate, &enc);
+  enc.PutI64(checkpoint.next_estimate_at);
+  enc.PutI64(checkpoint.seen_breaker_trips[0]);
+  enc.PutI64(checkpoint.seen_breaker_trips[1]);
+  enc.PutU64(checkpoint.seed_values.size());
+  for (TokenId value : checkpoint.seed_values) {
+    enc.PutI64(static_cast<int64_t>(value));
+  }
+  enc.PutBool(checkpoint.has_executor);
+  enc.PutBool(checkpoint.has_metrics);
+  if (checkpoint.has_metrics) PutMetricsSnapshot(checkpoint.metrics, &enc);
+  out->push_back({kSectionAdaptive, enc.Take()});
+  if (checkpoint.has_executor) AppendExecutorSections(checkpoint.executor, out);
+}
+
+Status DecodeAdaptiveSections(const std::vector<SnapshotSection>& sections,
+                              AdaptiveCheckpoint* out) {
+  const SnapshotSection* section = nullptr;
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionAdaptive, "adaptive", &section));
+  BufDecoder dec(section->payload);
+  IEJOIN_RETURN_IF_ERROR(dec.GetI64(&out->sequence));
+  if (out->sequence < 1) {
+    return Status::OutOfRange("checkpoint: sequence must be >= 1");
+  }
+  IEJOIN_RETURN_IF_ERROR(GetPlan(&dec, &out->current_plan));
+  int64_t switches = 0;
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &switches));
+  if (switches > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange("checkpoint: switch count overflow");
+  }
+  out->switches = static_cast<int32_t>(switches);
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->side_degraded[0]));
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->side_degraded[1]));
+  int64_t phase_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec.GetCount(&phase_count, kMaxElements));
+  out->phases.clear();
+  out->phases.reserve(static_cast<size_t>(phase_count));
+  for (int64_t i = 0; i < phase_count; ++i) {
+    AdaptivePhase phase;
+    IEJOIN_RETURN_IF_ERROR(GetPlan(&dec, &phase.plan));
+    IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&phase.seconds));
+    IEJOIN_RETURN_IF_ERROR(GetTrajectoryPoint(&dec, &phase.end_point));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&phase.switched_away));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&phase.exhausted));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&phase.degraded));
+    out->phases.push_back(std::move(phase));
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&out->total_seconds));
+  if (out->total_seconds < 0.0) {
+    return Status::OutOfRange("checkpoint: negative adaptive clock");
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->degraded));
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->deadline_exceeded));
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->docs_dropped));
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->queries_dropped));
+  int64_t reoptimizations = 0;
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &reoptimizations));
+  if (reoptimizations > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange("checkpoint: re-optimization count overflow");
+  }
+  out->breaker_reoptimizations = static_cast<int32_t>(reoptimizations);
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_estimate));
+  if (out->has_estimate) {
+    IEJOIN_RETURN_IF_ERROR(GetJoinModelParams(&dec, &out->final_estimate));
+  }
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->next_estimate_at));
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->seen_breaker_trips[0]));
+  IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->seen_breaker_trips[1]));
+  int64_t seed_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec.GetCount(&seed_count, kMaxElements));
+  out->seed_values.clear();
+  out->seed_values.reserve(static_cast<size_t>(seed_count));
+  for (int64_t i = 0; i < seed_count; ++i) {
+    TokenId value = 0;
+    IEJOIN_RETURN_IF_ERROR(GetToken(&dec, &value));
+    out->seed_values.push_back(value);
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_executor));
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_metrics));
+  if (out->has_metrics) {
+    IEJOIN_RETURN_IF_ERROR(GetMetricsSnapshot(&dec, &out->metrics));
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+
+  if (out->has_executor) {
+    IEJOIN_RETURN_IF_ERROR(DecodeExecutorSections(sections, &out->executor));
+  } else if (HasSection(sections, kSectionExecutorCore)) {
+    return Status::OutOfRange(
+        "checkpoint: phase-boundary checkpoint carries executor sections");
+  }
+  return Status::Ok();
+}
+
+void AppendManifestSection(const CheckpointManifest& manifest,
+                           std::vector<SnapshotSection>* out) {
+  BufEncoder enc;
+  enc.PutU64(manifest.size());
+  for (const auto& [key, value] : manifest) {
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+  out->push_back({kSectionManifest, enc.Take()});
+}
+
+Status DecodeManifestSection(const std::vector<SnapshotSection>& sections,
+                             CheckpointManifest* out) {
+  const SnapshotSection* section = nullptr;
+  IEJOIN_RETURN_IF_ERROR(
+      RequireSection(sections, kSectionManifest, "manifest", &section));
+  BufDecoder dec(section->payload);
+  out->clear();
+  int64_t count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec.GetCount(&count, kMaxElements));
+  for (int64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value;
+    IEJOIN_RETURN_IF_ERROR(dec.GetString(&key, kMaxNameBytes));
+    IEJOIN_RETURN_IF_ERROR(dec.GetString(&value, kMaxSectionBytes));
+    if (!out->emplace(std::move(key), std::move(value)).second) {
+      return Status::OutOfRange("checkpoint: duplicate manifest key");
+    }
+  }
+  return dec.ExpectEnd();
+}
+
+}  // namespace ckpt
+}  // namespace iejoin

@@ -1,0 +1,66 @@
+#ifndef IEJOIN_CHECKPOINT_JOIN_CHECKPOINT_H_
+#define IEJOIN_CHECKPOINT_JOIN_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checkpoint/snapshot_format.h"
+#include "common/status.h"
+#include "join/executor_checkpoint.h"
+#include "optimizer/adaptive_checkpoint.h"
+
+namespace iejoin {
+namespace ckpt {
+
+/// Section ids inside a checkpoint snapshot file. A plain executor
+/// checkpoint carries CORE..METRICS; an adaptive checkpoint adds ADAPTIVE
+/// (and omits the executor sections at phase boundaries). MANIFEST is the
+/// manager's run description, present in every file it writes.
+inline constexpr uint32_t kSectionManifest = 1;
+inline constexpr uint32_t kSectionExecutorCore = 2;
+inline constexpr uint32_t kSectionJoinState = 3;
+inline constexpr uint32_t kSectionSides = 4;
+inline constexpr uint32_t kSectionTrajectory = 5;
+inline constexpr uint32_t kSectionProbed = 6;
+inline constexpr uint32_t kSectionFault = 7;
+inline constexpr uint32_t kSectionMetrics = 8;
+inline constexpr uint32_t kSectionAdaptive = 9;
+
+bool HasSection(const std::vector<SnapshotSection>& sections, uint32_t id);
+
+/// Serializes an ExecutorCheckpoint into snapshot sections (appended to
+/// `out`). Encoding is deterministic: hash-map contents are emitted in
+/// sorted order, doubles as raw IEEE-754 images — re-encoding a decoded
+/// checkpoint reproduces the bytes exactly.
+void AppendExecutorSections(const ExecutorCheckpoint& checkpoint,
+                            std::vector<SnapshotSection>* out);
+
+/// Rebuilds an ExecutorCheckpoint from snapshot sections, validating every
+/// count, enum, and cross-section invariant; fails with a clean Status on
+/// any inconsistency.
+Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
+                              ExecutorCheckpoint* out);
+
+/// Adaptive counterparts: the ADAPTIVE section plus — when the checkpoint
+/// carries a running phase — the wrapped executor sections.
+void AppendAdaptiveSections(const AdaptiveCheckpoint& checkpoint,
+                            std::vector<SnapshotSection>* out);
+Status DecodeAdaptiveSections(const std::vector<SnapshotSection>& sections,
+                              AdaptiveCheckpoint* out);
+
+/// Key=value run description stored alongside every checkpoint (scenario
+/// path, plan, stop rule, fault plan, seeds, cadences) so `iejoin_cli
+/// resume` can rebuild the exact execution without the original command
+/// line. Ordered map => deterministic encoding.
+using CheckpointManifest = std::map<std::string, std::string>;
+
+void AppendManifestSection(const CheckpointManifest& manifest,
+                           std::vector<SnapshotSection>* out);
+Status DecodeManifestSection(const std::vector<SnapshotSection>& sections,
+                             CheckpointManifest* out);
+
+}  // namespace ckpt
+}  // namespace iejoin
+
+#endif  // IEJOIN_CHECKPOINT_JOIN_CHECKPOINT_H_

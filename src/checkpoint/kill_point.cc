@@ -1,0 +1,69 @@
+#include "checkpoint/kill_point.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace iejoin {
+namespace ckpt {
+namespace {
+
+struct KillState {
+  bool armed = false;
+  int64_t after_hits = 0;
+  int exit_code = kKillExitCode;
+  std::string site;  // empty = any site
+};
+
+KillState g_state;
+std::atomic<int64_t> g_hits{0};
+
+}  // namespace
+
+void KillPoint(const char* site) {
+  if (!g_state.armed) return;
+  if (!g_state.site.empty() && g_state.site != site) return;
+  const int64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit >= g_state.after_hits) {
+    // Simulated process death: no destructors, no atexit handlers, no
+    // stream flushing — the same abruptness as SIGKILL, minus the signal.
+    std::_Exit(g_state.exit_code);
+  }
+}
+
+void ArmKillPoint(int64_t after_hits, int exit_code) {
+  g_state.armed = true;
+  g_state.after_hits = after_hits;
+  g_state.exit_code = exit_code;
+  g_state.site.clear();
+  g_hits.store(0, std::memory_order_relaxed);
+}
+
+void ArmKillPointAtSite(const char* site, int64_t after_hits, int exit_code) {
+  ArmKillPoint(after_hits, exit_code);
+  g_state.site = site;
+}
+
+void ArmKillPointFromEnv() {
+  const char* after = std::getenv("IEJOIN_KILL_AFTER");
+  if (after == nullptr || *after == '\0') return;
+  const char* site = std::getenv("IEJOIN_KILL_SITE");
+  const char* code = std::getenv("IEJOIN_KILL_EXIT");
+  const int exit_code = code != nullptr ? std::atoi(code) : kKillExitCode;
+  if (site != nullptr && *site != '\0') {
+    ArmKillPointAtSite(site, std::atoll(after), exit_code);
+  } else {
+    ArmKillPoint(std::atoll(after), exit_code);
+  }
+}
+
+void DisarmKillPoint() {
+  g_state = KillState();
+  g_hits.store(0, std::memory_order_relaxed);
+}
+
+int64_t KillPointHits() { return g_hits.load(std::memory_order_relaxed); }
+
+}  // namespace ckpt
+}  // namespace iejoin

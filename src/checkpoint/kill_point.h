@@ -1,0 +1,51 @@
+#ifndef IEJOIN_CHECKPOINT_KILL_POINT_H_
+#define IEJOIN_CHECKPOINT_KILL_POINT_H_
+
+#include <cstdint>
+
+namespace iejoin {
+namespace ckpt {
+
+/// Crash-injection kill points (the checkpoint analogue of the fault
+/// injector): executors call KillPoint(site) at operation and checkpoint
+/// boundaries, and a test (or the IEJOIN_KILL_AFTER environment variable)
+/// arms the process to die — via std::_Exit, no destructors, no atexit, no
+/// flushing, exactly like a SIGKILL — after the N-th matching hit. Unarmed,
+/// a kill point is one relaxed atomic increment.
+///
+/// Sites currently emitted by the executors:
+///   "op.extract"          after a document's extraction was committed
+///   "op.query"            after a keyword probe's documents were fetched
+///   "checkpoint.written"  after a checkpoint sink accepted a snapshot
+///
+/// The arming state is process-global (plain globals, not thread-safe by
+/// design — crash tests are single-threaded by construction).
+void KillPoint(const char* site);
+
+/// Arms death at the `after_hits`-th subsequent KillPoint call at any site.
+/// `exit_code` is what the process exits with (waitpid-visible).
+void ArmKillPoint(int64_t after_hits, int exit_code);
+
+/// Arms death at the `after_hits`-th subsequent hit of one specific site.
+void ArmKillPointAtSite(const char* site, int64_t after_hits, int exit_code);
+
+/// Arms from the environment, for crashing a real binary from a shell:
+///   IEJOIN_KILL_AFTER=N   hits before dying (required to arm)
+///   IEJOIN_KILL_SITE=S    restrict to one site (default: any)
+///   IEJOIN_KILL_EXIT=C    exit code (default 41)
+void ArmKillPointFromEnv();
+
+/// Disarms and resets the hit counter.
+void DisarmKillPoint();
+
+/// Matching hits observed since the last (dis)arm.
+int64_t KillPointHits();
+
+/// The default exit code for an injected kill (distinct from every exit
+/// code the CLI uses, so harnesses can tell an injected death from a bug).
+inline constexpr int kKillExitCode = 41;
+
+}  // namespace ckpt
+}  // namespace iejoin
+
+#endif  // IEJOIN_CHECKPOINT_KILL_POINT_H_

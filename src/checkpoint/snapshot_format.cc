@@ -1,0 +1,394 @@
+#include "checkpoint/snapshot_format.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace iejoin {
+namespace ckpt {
+namespace {
+
+/// Software CRC-32 table (polynomial 0xEDB88320), built once.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 8 + 4;
+constexpr size_t kTableEntryBytes = 4 + 4 + 8 + 8 + 4 + 4;
+
+void PutU32Raw(std::string* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64Raw(std::string* buf, uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+uint32_t ReadU32Raw(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+uint64_t ReadU64Raw(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = Table().entries[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BufEncoder::PutU32(uint32_t v) { PutU32Raw(&buf_, v); }
+
+void BufEncoder::PutU64(uint64_t v) { PutU64Raw(&buf_, v); }
+
+void BufEncoder::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BufEncoder::PutString(const std::string& v) {
+  PutU64(v.size());
+  buf_.append(v);
+}
+
+void BufEncoder::PutBits(const std::vector<bool>& v) {
+  PutU64(v.size());
+  uint8_t byte = 0;
+  int filled = 0;
+  for (bool b : v) {
+    if (b) byte |= static_cast<uint8_t>(1u << filled);
+    if (++filled == 8) {
+      PutU8(byte);
+      byte = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) PutU8(byte);
+}
+
+Status BufDecoder::Take(size_t n, const char** out) {
+  if (n > data_.size() - pos_) {
+    return Status::OutOfRange(
+        StrFormat("snapshot section truncated: need %zu bytes, have %zu", n,
+                  data_.size() - pos_));
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status BufDecoder::GetU8(uint8_t* out) {
+  const char* p;
+  IEJOIN_RETURN_IF_ERROR(Take(1, &p));
+  *out = static_cast<uint8_t>(*p);
+  return Status::Ok();
+}
+
+Status BufDecoder::GetBool(bool* out) {
+  uint8_t v;
+  IEJOIN_RETURN_IF_ERROR(GetU8(&v));
+  if (v > 1) {
+    return Status::InvalidArgument("snapshot bool field out of range");
+  }
+  *out = v != 0;
+  return Status::Ok();
+}
+
+Status BufDecoder::GetU32(uint32_t* out) {
+  const char* p;
+  IEJOIN_RETURN_IF_ERROR(Take(4, &p));
+  *out = ReadU32Raw(p);
+  return Status::Ok();
+}
+
+Status BufDecoder::GetU64(uint64_t* out) {
+  const char* p;
+  IEJOIN_RETURN_IF_ERROR(Take(8, &p));
+  *out = ReadU64Raw(p);
+  return Status::Ok();
+}
+
+Status BufDecoder::GetI64(int64_t* out) {
+  uint64_t v;
+  IEJOIN_RETURN_IF_ERROR(GetU64(&v));
+  *out = static_cast<int64_t>(v);
+  return Status::Ok();
+}
+
+Status BufDecoder::GetDouble(double* out) {
+  uint64_t bits;
+  IEJOIN_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::Ok();
+}
+
+Status BufDecoder::GetString(std::string* out, uint64_t max_len) {
+  uint64_t len;
+  IEJOIN_RETURN_IF_ERROR(GetU64(&len));
+  if (len > max_len || len > data_.size() - pos_) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot string length %llu out of range",
+                  static_cast<unsigned long long>(len)));
+  }
+  const char* p;
+  IEJOIN_RETURN_IF_ERROR(Take(static_cast<size_t>(len), &p));
+  out->assign(p, static_cast<size_t>(len));
+  return Status::Ok();
+}
+
+Status BufDecoder::GetCount(int64_t* out, int64_t max_count) {
+  uint64_t v;
+  IEJOIN_RETURN_IF_ERROR(GetU64(&v));
+  if (v > static_cast<uint64_t>(max_count)) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot count %llu exceeds cap %lld",
+                  static_cast<unsigned long long>(v),
+                  static_cast<long long>(max_count)));
+  }
+  *out = static_cast<int64_t>(v);
+  return Status::Ok();
+}
+
+Status BufDecoder::GetBits(std::vector<bool>* out, int64_t max_count) {
+  int64_t count;
+  IEJOIN_RETURN_IF_ERROR(GetCount(&count, max_count));
+  const size_t bytes = (static_cast<size_t>(count) + 7) / 8;
+  const char* p;
+  IEJOIN_RETURN_IF_ERROR(Take(bytes, &p));
+  out->assign(static_cast<size_t>(count), false);
+  for (int64_t i = 0; i < count; ++i) {
+    const unsigned char byte = static_cast<unsigned char>(p[i / 8]);
+    (*out)[static_cast<size_t>(i)] = (byte >> (i % 8)) & 1;
+  }
+  return Status::Ok();
+}
+
+Status BufDecoder::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot section has %zu trailing bytes", data_.size() - pos_));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeSnapshot(const std::vector<SnapshotSection>& sections) {
+  // Table first (so its CRC covers final offsets), then header, then splice.
+  std::string table;
+  uint64_t offset = kHeaderBytes + kTableEntryBytes * sections.size();
+  for (const SnapshotSection& s : sections) {
+    PutU32Raw(&table, s.id);
+    PutU32Raw(&table, 0);  // flags
+    PutU64Raw(&table, offset);
+    PutU64Raw(&table, s.payload.size());
+    PutU32Raw(&table, Crc32(s.payload.data(), s.payload.size()));
+    PutU32Raw(&table, 0);  // reserved
+    offset += s.payload.size();
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(offset));
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32Raw(&out, kSnapshotVersion);
+  PutU32Raw(&out, static_cast<uint32_t>(sections.size()));
+  PutU64Raw(&out, offset);  // total file size
+  PutU32Raw(&out, Crc32(table.data(), table.size()));
+  out.append(table);
+  for (const SnapshotSection& s : sections) out.append(s.payload);
+  return out;
+}
+
+Result<std::vector<SnapshotSection>> DecodeSnapshot(std::string_view data) {
+  if (data.size() < kHeaderBytes) {
+    return Status::InvalidArgument("snapshot file too small for header");
+  }
+  if (std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad snapshot magic");
+  }
+  const uint32_t version = ReadU32Raw(data.data() + 8);
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot version %u (expected %u)", version,
+                  kSnapshotVersion));
+  }
+  const uint32_t section_count = ReadU32Raw(data.data() + 12);
+  if (section_count > kMaxSnapshotSections) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot section count %u exceeds cap %u", section_count,
+                  kMaxSnapshotSections));
+  }
+  const uint64_t file_size = ReadU64Raw(data.data() + 16);
+  if (file_size != data.size()) {
+    return Status::InvalidArgument(
+        StrFormat("snapshot size mismatch: header says %llu bytes, file has %zu"
+                  " (truncated or trailing garbage)",
+                  static_cast<unsigned long long>(file_size), data.size()));
+  }
+  const uint32_t table_crc = ReadU32Raw(data.data() + 24);
+  const size_t table_bytes = kTableEntryBytes * section_count;
+  if (data.size() < kHeaderBytes + table_bytes) {
+    return Status::InvalidArgument("snapshot section table truncated");
+  }
+  if (Crc32(data.data() + kHeaderBytes, table_bytes) != table_crc) {
+    return Status::InvalidArgument("snapshot section table CRC mismatch");
+  }
+
+  std::vector<SnapshotSection> sections;
+  sections.reserve(section_count);
+  uint64_t expected_offset = kHeaderBytes + table_bytes;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = data.data() + kHeaderBytes + kTableEntryBytes * i;
+    SnapshotSection section;
+    section.id = ReadU32Raw(entry);
+    const uint64_t offset = ReadU64Raw(entry + 8);
+    const uint64_t size = ReadU64Raw(entry + 16);
+    const uint32_t payload_crc = ReadU32Raw(entry + 24);
+    for (const SnapshotSection& prior : sections) {
+      if (prior.id == section.id) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate snapshot section id %u", section.id));
+      }
+    }
+    if (size > kMaxSectionBytes) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot section %u size %llu exceeds cap", section.id,
+                    static_cast<unsigned long long>(size)));
+    }
+    // Payloads must tile the file exactly: contiguous offsets, ending at
+    // file_size. This rejects overlapping sections and trailing garbage.
+    if (offset != expected_offset || offset + size > data.size()) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot section %u has invalid offset/size", section.id));
+    }
+    if (Crc32(data.data() + offset, static_cast<size_t>(size)) != payload_crc) {
+      return Status::InvalidArgument(
+          StrFormat("snapshot section %u payload CRC mismatch", section.id));
+    }
+    section.payload.assign(data.data() + offset, static_cast<size_t>(size));
+    expected_offset = offset + size;
+    sections.push_back(std::move(section));
+  }
+  if (expected_offset != data.size()) {
+    return Status::InvalidArgument("snapshot has trailing garbage after sections");
+  }
+  return sections;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("open %s: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Internal(
+          StrFormat("write %s: %s", tmp.c_str(), std::strerror(err)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Data must be durable before the rename publishes it; otherwise a crash
+  // could leave a fully renamed file with unwritten blocks.
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal(
+        StrFormat("fsync %s: %s", tmp.c_str(), std::strerror(err)));
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal(
+        StrFormat("close %s: %s", tmp.c_str(), std::strerror(err)));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::Internal(StrFormat("rename %s -> %s: %s", tmp.c_str(),
+                                      path.c_str(), std::strerror(err)));
+  }
+  // Make the rename itself durable (the directory entry).
+  std::string dir = ".";
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);  // best effort; some filesystems refuse directory fsync
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound(
+        StrFormat("open %s: %s", path.c_str(), std::strerror(errno)));
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal(
+          StrFormat("read %s: %s", path.c_str(), std::strerror(err)));
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<SnapshotSection>& sections) {
+  return AtomicWriteFile(path, EncodeSnapshot(sections));
+}
+
+Result<std::vector<SnapshotSection>> ReadSnapshotFile(const std::string& path) {
+  IEJOIN_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return DecodeSnapshot(data);
+}
+
+}  // namespace ckpt
+}  // namespace iejoin

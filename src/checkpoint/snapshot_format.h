@@ -1,0 +1,125 @@
+#ifndef IEJOIN_CHECKPOINT_SNAPSHOT_FORMAT_H_
+#define IEJOIN_CHECKPOINT_SNAPSHOT_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iejoin {
+namespace ckpt {
+
+/// Versioned, CRC-checksummed binary container for execution snapshots
+/// (docs/FORMAT.md). A snapshot file is a fixed header, a section table,
+/// and the sections' payloads laid out contiguously:
+///
+///   header:   magic "IEJCKPT\n" (8) | u32 version | u32 section_count
+///             | u64 file_size | u32 table_crc
+///   table:    section_count x { u32 id | u32 flags(0) | u64 offset
+///             | u64 size | u32 payload_crc | u32 reserved(0) }
+///   payloads: concatenated, offsets strictly contiguous from the table's
+///             end through file_size
+///
+/// All integers are little-endian fixed width. Loading is hardened in the
+/// corpus_io tradition: wrong magic/version, a table CRC or payload CRC
+/// mismatch, non-contiguous or out-of-bounds offsets, duplicate section
+/// ids, absurd counts, and trailing garbage all fail with a clean Status —
+/// never a crash, never a partial load.
+
+inline constexpr char kSnapshotMagic[8] = {'I', 'E', 'J', 'C', 'K', 'P', 'T', '\n'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kMaxSnapshotSections = 64;
+/// Per-section payload cap (also bounds total file size via the section
+/// cap); far above any real snapshot, low enough to reject corrupt sizes
+/// before allocating.
+inline constexpr uint64_t kMaxSectionBytes = 1ull << 30;
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte range.
+uint32_t Crc32(const void* data, size_t size);
+
+/// One tagged payload inside a snapshot file.
+struct SnapshotSection {
+  uint32_t id = 0;
+  std::string payload;
+};
+
+/// Little-endian fixed-width encoder for section payloads.
+class BufEncoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Doubles round-trip bit-exactly (raw IEEE-754 image).
+  void PutDouble(double v);
+  /// u64 length prefix + raw bytes.
+  void PutString(const std::string& v);
+  /// u64 count prefix + bit-packed bytes.
+  void PutBits(const std::vector<bool>& v);
+
+  const std::string& buffer() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over one section payload. Every getter fails
+/// with OUT_OF_RANGE instead of reading past the end; counts are validated
+/// against caller-supplied caps before any allocation.
+class BufDecoder {
+ public:
+  explicit BufDecoder(std::string_view data) : data_(data) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetBool(bool* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetI64(int64_t* out);
+  Status GetDouble(double* out);
+  /// Reads a u64 length + bytes; rejects lengths above `max_len`.
+  Status GetString(std::string* out, uint64_t max_len = kMaxSectionBytes);
+  /// Reads a u64 count in [0, max_count] (for subsequent element loops).
+  Status GetCount(int64_t* out, int64_t max_count);
+  Status GetBits(std::vector<bool>* out, int64_t max_count);
+  /// Fails unless the payload was fully consumed (per-section trailing
+  /// garbage detection).
+  Status ExpectEnd() const;
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Status Take(size_t n, const char** out);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes sections into the container layout (header + table + payloads).
+std::string EncodeSnapshot(const std::vector<SnapshotSection>& sections);
+
+/// Parses and fully validates a snapshot image.
+Result<std::vector<SnapshotSection>> DecodeSnapshot(std::string_view data);
+
+/// Crash-consistent file write: write `<path>.tmp`, fsync it, atomically
+/// rename over `path`, then fsync the parent directory — a reader never
+/// observes a torn file, and after the rename the snapshot survives power
+/// loss.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// AtomicWriteFile of EncodeSnapshot.
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<SnapshotSection>& sections);
+
+/// ReadFileToString + DecodeSnapshot.
+Result<std::vector<SnapshotSection>> ReadSnapshotFile(const std::string& path);
+
+}  // namespace ckpt
+}  // namespace iejoin
+
+#endif  // IEJOIN_CHECKPOINT_SNAPSHOT_FORMAT_H_

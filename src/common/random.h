@@ -1,6 +1,7 @@
 #ifndef IEJOIN_COMMON_RANDOM_H_
 #define IEJOIN_COMMON_RANDOM_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -50,6 +51,13 @@ class Rng {
   /// Samples an index from unnormalized non-negative weights.
   /// Returns -1 when all weights are zero.
   int64_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Raw xoshiro256** state, for checkpointing a stream's position:
+  /// RestoreState(SaveState()) makes the generator continue bit-identically.
+  std::array<uint64_t, 4> SaveState() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[static_cast<size_t>(i)];
+  }
 
  private:
   uint64_t s_[4];

@@ -47,6 +47,24 @@ class CircuitBreaker {
   int64_t trips() const { return trips_; }
   int32_t consecutive_failures() const { return consecutive_failures_; }
 
+  /// Full mutable state, for checkpoint/resume (the config is not part of
+  /// it — a resumed run reconstructs the breaker from the same fault plan).
+  struct Snapshot {
+    State state = State::kClosed;
+    int32_t consecutive_failures = 0;
+    double open_until_seconds = 0.0;
+    int64_t trips = 0;
+  };
+  Snapshot Save() const {
+    return {state_, consecutive_failures_, open_until_seconds_, trips_};
+  }
+  void Restore(const Snapshot& snapshot) {
+    state_ = snapshot.state;
+    consecutive_failures_ = snapshot.consecutive_failures;
+    open_until_seconds_ = snapshot.open_until_seconds;
+    trips_ = snapshot.trips;
+  }
+
  private:
   Config config_;
   State state_ = State::kClosed;

@@ -57,5 +57,25 @@ double FaultInjector::BackoffSeconds(int side, FaultOp op, int32_t attempt) {
                                     &backoff_streams_[side][static_cast<int>(op)]);
 }
 
+FaultInjector::RngStates FaultInjector::SaveRngStates() const {
+  RngStates states;
+  for (int side = 0; side < kNumFaultSides; ++side) {
+    for (int op = 0; op < kNumFaultOps; ++op) {
+      states.decision[side][op] = streams_[side][op].SaveState();
+      states.backoff[side][op] = backoff_streams_[side][op].SaveState();
+    }
+  }
+  return states;
+}
+
+void FaultInjector::RestoreRngStates(const RngStates& states) {
+  for (int side = 0; side < kNumFaultSides; ++side) {
+    for (int op = 0; op < kNumFaultOps; ++op) {
+      streams_[side][op].RestoreState(states.decision[side][op]);
+      backoff_streams_[side][op].RestoreState(states.backoff[side][op]);
+    }
+  }
+}
+
 }  // namespace fault
 }  // namespace iejoin

@@ -1,6 +1,8 @@
 #ifndef IEJOIN_FAULT_FAULT_INJECTOR_H_
 #define IEJOIN_FAULT_FAULT_INJECTOR_H_
 
+#include <array>
+
 #include "common/random.h"
 #include "common/status.h"
 #include "fault/fault_plan.h"
@@ -40,6 +42,16 @@ class FaultInjector {
   double BackoffSeconds(int side, FaultOp op, int32_t attempt);
 
   const FaultPlan& plan() const { return plan_; }
+
+  /// Positions of every private Rng stream (decision + backoff, per
+  /// (side, op)), for checkpoint/resume: restoring them makes the injector
+  /// continue its fault sequence bit-identically mid-run.
+  struct RngStates {
+    std::array<uint64_t, 4> decision[kNumFaultSides][kNumFaultOps];
+    std::array<uint64_t, 4> backoff[kNumFaultSides][kNumFaultOps];
+  };
+  RngStates SaveRngStates() const;
+  void RestoreRngStates(const RngStates& states);
 
  private:
   FaultPlan plan_;

@@ -1,0 +1,100 @@
+#ifndef IEJOIN_JOIN_EXECUTOR_CHECKPOINT_H_
+#define IEJOIN_JOIN_EXECUTOR_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/circuit_breaker.h"
+#include "fault/fault_injector.h"
+#include "join/join_execution.h"
+#include "join/join_state.h"
+#include "join/join_types.h"
+#include "obs/metrics.h"
+#include "obs/side_counters.h"
+#include "retrieval/retrieval_strategy.h"
+
+namespace iejoin {
+
+/// One entry of a ZGJN query queue (FIFO order for plain ZGJN, arbitrary
+/// heap order for the confidence-priority variant — the queue restores
+/// either exactly).
+struct ZgjnQueueEntry {
+  TokenId value = 0;
+  double confidence = 0.0;
+};
+
+/// Everything a join executor needs to continue a run from a safe point as
+/// if it had never stopped. Captured at the top of each algorithm's main
+/// loop (where no partially-applied operation is in flight) and restored by
+/// Begin() on a freshly constructed executor of the same algorithm over the
+/// same scenario.
+///
+/// The resume-determinism contract (docs/ROBUSTNESS.md): with the same
+/// scenario, plan, options, and fault seed, resume(checkpoint) followed by
+/// running to completion produces output tuples, trajectory tail, final
+/// metrics, and RunReport quality stats bit-identical to the uninterrupted
+/// run. Everything that can influence a downstream bit lives here —
+/// including SimClock doubles, fault RNG stream positions, and the metrics
+/// snapshot.
+struct ExecutorCheckpoint {
+  /// Must match the resuming executor's kind().
+  JoinAlgorithmKind algorithm = JoinAlgorithmKind::kIndependent;
+  /// Monotone per-run checkpoint ordinal (1-based); resume continues at
+  /// sequence + 1, so re-written post-crash snapshots are idempotent.
+  int64_t sequence = 0;
+
+  /// Ripple-join bookkeeping: stored occurrences, per-value counts, output
+  /// tuples, good/bad totals.
+  JoinState state{0};
+  std::vector<TrajectoryPoint> trajectory;
+  int64_t docs_since_snapshot = 0;
+  bool deadline_hit = false;
+
+  struct SideCheckpoint {
+    obs::SideCounters counters;
+    double seconds = 0.0;
+    double fault_seconds = 0.0;
+    /// Documents fetched through the query interface (dedup bitmap).
+    std::vector<bool> retrieved;
+    /// Retrieval-strategy position; meaningful only when the algorithm
+    /// drives this side through a strategy (IDJN both sides, OIJN outer).
+    bool has_cursor = false;
+    RetrievalCursor cursor;
+    /// ZGJN query queue destined for this side's database, plus the
+    /// already-enqueued dedup set (sorted for deterministic encoding).
+    std::vector<ZgjnQueueEntry> zgjn_queue;
+    std::vector<TokenId> zgjn_enqueued;
+  };
+  SideCheckpoint sides[2];
+
+  /// OIJN: join-attribute values already probed (sorted).
+  std::vector<TokenId> oijn_probed_values;
+
+  /// Fault-session position (present iff the run had a fault plan).
+  bool has_faults = false;
+  fault::FaultInjector::RngStates fault_rng;
+  fault::CircuitBreaker::Snapshot breakers[2];
+
+  /// Full metrics-registry snapshot (present iff the run had a registry
+  /// attached); restored wholesale so a resumed run's final snapshot is
+  /// bit-identical to the uninterrupted run's.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+};
+
+/// Where executors deliver checkpoints. Implementations: the durable
+/// CheckpointManager (src/checkpoint), in-memory test sinks, and the
+/// adaptive executor's wrapping adapter. A sink failure fails the run — a
+/// checkpointed execution that silently stops checkpointing would violate
+/// the durability contract its operator asked for.
+class CheckpointSink {
+ public:
+  virtual ~CheckpointSink() = default;
+  virtual Status Write(const ExecutorCheckpoint& checkpoint) = 0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_EXECUTOR_CHECKPOINT_H_

@@ -15,6 +15,9 @@
 
 namespace iejoin {
 
+class CheckpointSink;
+struct ExecutorCheckpoint;
+
 /// One sampled point of a join execution: cumulative effort and output
 /// composition. The benchmark harnesses replay trajectories to answer
 /// "what had the plan produced after X% of the documents / queries?"
@@ -144,6 +147,18 @@ struct JoinExecutionOptions {
   /// fatal. A plan with all-zero rates and no deadline is bit-identical to
   /// running without one.
   const fault::FaultPlan* fault_plan = nullptr;
+
+  /// --- Checkpoint/resume (optional, non-owning; must outlive the run) ---
+  /// When `checkpoint_sink` is set, the executor captures an
+  /// ExecutorCheckpoint at safe points (top of the algorithm's main loop)
+  /// every `checkpoint_every_docs` processed documents and hands it to the
+  /// sink. A sink write failure fails the run. When `resume_from` is set,
+  /// Begin() restores the executor to that checkpoint instead of starting
+  /// fresh; the scenario, plan, and options must match the original run for
+  /// the resume-determinism contract (docs/ROBUSTNESS.md) to hold.
+  CheckpointSink* checkpoint_sink = nullptr;
+  int64_t checkpoint_every_docs = 256;
+  const ExecutorCheckpoint* resume_from = nullptr;
 
   /// --- Telemetry (optional, non-owning; must outlive the run) ---
   /// When attached, the executor mirrors per-side counters/gauges into the

@@ -1,12 +1,53 @@
 #include "join/join_executor.h"
 
 #include <algorithm>
-#include <queue>
 #include <utility>
 
+#include "checkpoint/kill_point.h"
 #include "common/logging.h"
 
 namespace iejoin {
+
+// ---------------------------------------------------------------------------
+// ZgjnQueryQueue
+// ---------------------------------------------------------------------------
+
+void ZgjnQueryQueue::Reset(bool by_confidence) {
+  by_confidence_ = by_confidence;
+  entries_.clear();
+  head_ = 0;
+}
+
+void ZgjnQueryQueue::Push(TokenId value, double confidence) {
+  entries_.push_back({value, confidence});
+  if (by_confidence_) {
+    std::push_heap(entries_.begin(), entries_.end(), HeapLess);
+  }
+}
+
+TokenId ZgjnQueryQueue::Pop() {
+  IEJOIN_CHECK(!empty());
+  if (by_confidence_) {
+    std::pop_heap(entries_.begin(), entries_.end(), HeapLess);
+    const TokenId v = entries_.back().value;
+    entries_.pop_back();
+    return v;
+  }
+  return entries_[head_++].value;
+}
+
+std::vector<ZgjnQueueEntry> ZgjnQueryQueue::Entries() const {
+  return std::vector<ZgjnQueueEntry>(entries_.begin() +
+                                         static_cast<ptrdiff_t>(head_),
+                                     entries_.end());
+}
+
+void ZgjnQueryQueue::Restore(std::vector<ZgjnQueueEntry> entries) {
+  // A snapshot of a valid heap is a valid heap, so heap mode needs no
+  // re-heapify; FIFO mode restarts with the consumed prefix dropped.
+  entries_ = std::move(entries);
+  head_ = 0;
+}
 
 JoinExecutorBase::JoinExecutorBase(SideConfig side1, SideConfig side2) {
   sides_[0].config = std::move(side1);
@@ -38,10 +79,16 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   if (options.stop_rule == StopRule::kCallback && !options.stop_callback) {
     return Status::InvalidArgument("StopRule::kCallback requires a stop_callback");
   }
+  if (options.checkpoint_sink != nullptr && options.checkpoint_every_docs < 1) {
+    return Status::InvalidArgument("checkpoint_every_docs must be >= 1");
+  }
   state_ = JoinState(options.max_output_tuples);
   trajectory_.clear();
   docs_since_snapshot_ = 0;
   deadline_hit_ = false;
+  checkpoint_sink_ = options.checkpoint_sink;
+  checkpoint_every_docs_ = options.checkpoint_every_docs;
+  docs_since_checkpoint_ = 0;
 
   if (options.fault_plan != nullptr) {
     IEJOIN_RETURN_IF_ERROR(options.fault_plan->Validate());
@@ -82,6 +129,112 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
     run_span_ = tracer_->StartSpan("join.run");
     run_span_.AddAttribute("algorithm", JoinAlgorithmName(kind()));
   }
+  if (options.resume_from != nullptr) {
+    // Restore after the telemetry registrations above so the wholesale
+    // metrics restore lands on the same key set the uninterrupted run has.
+    IEJOIN_RETURN_IF_ERROR(RestoreBase(*options.resume_from));
+    IEJOIN_RETURN_IF_ERROR(RestoreAlgorithmState(*options.resume_from, options));
+  }
+  return Status::Ok();
+}
+
+Status JoinExecutorBase::MaybeCheckpoint(const JoinExecutionOptions& options) {
+  if (checkpoint_sink_ == nullptr ||
+      docs_since_checkpoint_ < checkpoint_every_docs_) {
+    return Status::Ok();
+  }
+  ExecutorCheckpoint checkpoint = CaptureBase();
+  CaptureAlgorithmState(&checkpoint);
+  IEJOIN_RETURN_IF_ERROR(checkpoint_sink_->Write(checkpoint));
+  ckpt::KillPoint("checkpoint.written");
+  docs_since_checkpoint_ = 0;
+  ++checkpoint_sequence_;
+  return Status::Ok();
+}
+
+ExecutorCheckpoint JoinExecutorBase::CaptureBase() const {
+  ExecutorCheckpoint checkpoint;
+  checkpoint.algorithm = kind();
+  checkpoint.sequence = checkpoint_sequence_;
+  checkpoint.state = state_;
+  checkpoint.trajectory = trajectory_;
+  checkpoint.docs_since_snapshot = docs_since_snapshot_;
+  checkpoint.deadline_hit = deadline_hit_;
+  for (int i = 0; i < 2; ++i) {
+    ExecutorCheckpoint::SideCheckpoint& side = checkpoint.sides[i];
+    side.counters = sides_[i].meter.counters();
+    side.seconds = sides_[i].meter.seconds();
+    side.fault_seconds = sides_[i].meter.fault_seconds();
+    side.retrieved = sides_[i].retrieved;
+  }
+  if (faults_ != nullptr) {
+    checkpoint.has_faults = true;
+    checkpoint.fault_rng = faults_->injector.SaveRngStates();
+    checkpoint.breakers[0] = faults_->breakers[0].Save();
+    checkpoint.breakers[1] = faults_->breakers[1].Save();
+  }
+  if (metrics_ != nullptr) {
+    checkpoint.has_metrics = true;
+    checkpoint.metrics = metrics_->Snapshot();
+  }
+  return checkpoint;
+}
+
+void JoinExecutorBase::CaptureAlgorithmState(ExecutorCheckpoint*) const {}
+
+Status JoinExecutorBase::RestoreBase(const ExecutorCheckpoint& checkpoint) {
+  if (checkpoint.algorithm != kind()) {
+    return Status::InvalidArgument(
+        "checkpoint algorithm does not match the resuming executor");
+  }
+  if (checkpoint.sequence < 1) {
+    return Status::InvalidArgument("checkpoint sequence must be >= 1");
+  }
+  if (checkpoint.has_faults != (faults_ != nullptr)) {
+    return Status::InvalidArgument(
+        "checkpoint fault-session presence does not match the run options");
+  }
+  if (metrics_ != nullptr && !checkpoint.has_metrics) {
+    return Status::InvalidArgument(
+        "run has a metrics registry but the checkpoint carries no snapshot");
+  }
+  for (int i = 0; i < 2; ++i) {
+    const ExecutorCheckpoint::SideCheckpoint& side = checkpoint.sides[i];
+    if (side.retrieved.size() != sides_[i].retrieved.size()) {
+      return Status::InvalidArgument(
+          "checkpoint retrieved-bitmap size does not match the database "
+          "(different scenario?)");
+    }
+    if (side.seconds < 0.0 || side.fault_seconds < 0.0) {
+      return Status::InvalidArgument("checkpoint clock is negative");
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    const ExecutorCheckpoint::SideCheckpoint& side = checkpoint.sides[i];
+    sides_[i].meter.RestoreForCheckpoint(side.counters, side.seconds,
+                                         side.fault_seconds);
+    sides_[i].retrieved = side.retrieved;
+  }
+  state_ = checkpoint.state;
+  trajectory_ = checkpoint.trajectory;
+  docs_since_snapshot_ = checkpoint.docs_since_snapshot;
+  deadline_hit_ = checkpoint.deadline_hit;
+  if (faults_ != nullptr) {
+    faults_->injector.RestoreRngStates(checkpoint.fault_rng);
+    faults_->breakers[0].Restore(checkpoint.breakers[0]);
+    faults_->breakers[1].Restore(checkpoint.breakers[1]);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RestoreFromSnapshot(checkpoint.metrics);
+  }
+  checkpoint_sequence_ = checkpoint.sequence + 1;
+  docs_since_checkpoint_ = 0;
+  resumed_ = true;
+  return Status::Ok();
+}
+
+Status JoinExecutorBase::RestoreAlgorithmState(const ExecutorCheckpoint&,
+                                               const JoinExecutionOptions&) {
   return Status::Ok();
 }
 
@@ -91,6 +244,7 @@ ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
   obs::Tracer::Span span = obs::StartSpan(tracer_, "side.extract");
   side.meter.ChargeExtract();
   ++docs_since_snapshot_;
+  ++docs_since_checkpoint_;
   ExtractionBatch batch = side.config.extractor->Process(document);
   side.meter.RecordExtractionYield(static_cast<int64_t>(batch.size()));
   if (tuples_per_doc_ != nullptr) {
@@ -102,6 +256,7 @@ ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
     span.AddAttribute("tuples", static_cast<int64_t>(batch.size()));
   }
   state_.AddBatch(side_index, batch);
+  ckpt::KillPoint("op.extract");
   return batch;
 }
 
@@ -291,6 +446,7 @@ std::vector<DocId> JoinExecutorBase::QueryAndFetch(int side_index, TokenId value
     span.AddAttribute("value", static_cast<int64_t>(value));
     span.AddAttribute("new_docs", static_cast<int64_t>(fresh.size()));
   }
+  ckpt::KillPoint("op.query");
   return fresh;
 }
 
@@ -420,6 +576,7 @@ Result<JoinExecutionResult> IndependentJoin::Run(const JoinExecutionOptions& opt
   bool stopped = false;
   bool exhausted = false;
   while (!stopped && !exhausted) {
+    IEJOIN_RETURN_IF_ERROR(MaybeCheckpoint(options));
     bool progress = false;
     for (int side = 0; side < 2 && !stopped; ++side) {
       for (int64_t k = 0; k < per_round[side]; ++k) {
@@ -444,6 +601,24 @@ Result<JoinExecutionResult> IndependentJoin::Run(const JoinExecutionOptions& opt
   return Finish(options, exhausted);
 }
 
+void IndependentJoin::CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const {
+  for (int i = 0; i < 2; ++i) {
+    checkpoint->sides[i].has_cursor = true;
+    checkpoint->sides[i].cursor = retrieval_[i]->SaveCursor();
+  }
+}
+
+Status IndependentJoin::RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                                              const JoinExecutionOptions&) {
+  for (int i = 0; i < 2; ++i) {
+    if (!checkpoint.sides[i].has_cursor) {
+      return Status::InvalidArgument("IDJN checkpoint is missing a retrieval cursor");
+    }
+    IEJOIN_RETURN_IF_ERROR(retrieval_[i]->RestoreCursor(checkpoint.sides[i].cursor));
+  }
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------------------------
 // OIJN
 // ---------------------------------------------------------------------------
@@ -462,11 +637,11 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
 
   const int outer = outer_is_side1_ ? 0 : 1;
   const int inner = 1 - outer;
-  std::unordered_set<TokenId> probed_values;
 
   bool stopped = false;
   bool exhausted = false;
   while (!stopped) {
+    IEJOIN_RETURN_IF_ERROR(MaybeCheckpoint(options));
     const FetchOutcome fetched = FetchNext(outer, outer_retrieval_.get());
     if (fetched.exhausted) {
       exhausted = true;
@@ -485,7 +660,7 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
 
     // Probe the inner database once per newly seen join-attribute value.
     for (const ExtractedTuple& t : *outer_batch) {
-      if (!probed_values.insert(t.join_value).second) continue;
+      if (!probed_values_.insert(t.join_value).second) continue;
       for (DocId d : QueryAndFetch(inner, t.join_value)) {
         TryProcessDocument(inner, d);
         MaybeSnapshot(options);
@@ -500,6 +675,31 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
   return Finish(options, exhausted);
 }
 
+void OuterInnerJoin::CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const {
+  const int outer = outer_is_side1_ ? 0 : 1;
+  checkpoint->sides[outer].has_cursor = true;
+  checkpoint->sides[outer].cursor = outer_retrieval_->SaveCursor();
+  checkpoint->oijn_probed_values.assign(probed_values_.begin(),
+                                        probed_values_.end());
+  std::sort(checkpoint->oijn_probed_values.begin(),
+            checkpoint->oijn_probed_values.end());
+}
+
+Status OuterInnerJoin::RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                                             const JoinExecutionOptions&) {
+  const int outer = outer_is_side1_ ? 0 : 1;
+  if (!checkpoint.sides[outer].has_cursor) {
+    return Status::InvalidArgument(
+        "OIJN checkpoint is missing the outer retrieval cursor");
+  }
+  IEJOIN_RETURN_IF_ERROR(
+      outer_retrieval_->RestoreCursor(checkpoint.sides[outer].cursor));
+  probed_values_.clear();
+  probed_values_.insert(checkpoint.oijn_probed_values.begin(),
+                        checkpoint.oijn_probed_values.end());
+  return Status::Ok();
+}
+
 // ---------------------------------------------------------------------------
 // ZGJN
 // ---------------------------------------------------------------------------
@@ -511,44 +711,6 @@ ZigZagJoin::ZigZagJoin(SideConfig side1, SideConfig side2,
   classifiers_[0] = classifier1;
   classifiers_[1] = classifier2;
 }
-
-namespace {
-
-/// A query queue that pops FIFO (plain ZGJN) or by descending confidence
-/// (the focused variant). Confidence is the best extraction similarity
-/// that produced the value.
-class ZgjnQueryQueue {
- public:
-  explicit ZgjnQueryQueue(bool by_confidence) : by_confidence_(by_confidence) {}
-
-  bool empty() const { return fifo_.empty() && heap_.empty(); }
-
-  void Push(TokenId value, double confidence) {
-    if (by_confidence_) {
-      heap_.emplace(confidence, value);
-    } else {
-      fifo_.push_back(value);
-    }
-  }
-
-  TokenId Pop() {
-    if (by_confidence_) {
-      const TokenId v = heap_.top().second;
-      heap_.pop();
-      return v;
-    }
-    const TokenId v = fifo_.front();
-    fifo_.pop_front();
-    return v;
-  }
-
- private:
-  bool by_confidence_;
-  std::deque<TokenId> fifo_;
-  std::priority_queue<std::pair<double, TokenId>> heap_;
-};
-
-}  // namespace
 
 Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options) {
   IEJOIN_RETURN_IF_ERROR(Begin(options));
@@ -567,19 +729,22 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
       metrics_ != nullptr ? metrics_->counter("zgjn.docs_rejected_by_classifier")
                           : nullptr;
 
-  // queues[0] holds queries destined for D1, queues[1] for D2.
-  ZgjnQueryQueue queues[2] = {ZgjnQueryQueue(options.zgjn_confidence_priority),
-                              ZgjnQueryQueue(options.zgjn_confidence_priority)};
-  std::unordered_set<TokenId> enqueued[2];
-  for (TokenId v : options.seed_values) {
-    if (enqueued[0].insert(v).second) queues[0].Push(v, /*confidence=*/1.0);
+  if (!resumed_) {
+    // A resumed run already carries the restored zigzag frontier; pushing
+    // the seeds again would replay probes the pre-crash run consumed.
+    queues_[0].Reset(options.zgjn_confidence_priority);
+    queues_[1].Reset(options.zgjn_confidence_priority);
+    for (TokenId v : options.seed_values) {
+      if (enqueued_[0].insert(v).second) queues_[0].Push(v, /*confidence=*/1.0);
+    }
   }
 
   bool stopped = false;
-  while (!stopped && (!queues[0].empty() || !queues[1].empty())) {
+  while (!stopped && (!queues_[0].empty() || !queues_[1].empty())) {
+    IEJOIN_RETURN_IF_ERROR(MaybeCheckpoint(options));
     for (int side = 0; side < 2 && !stopped; ++side) {
-      if (queues[side].empty()) continue;
-      const TokenId value = queues[side].Pop();
+      if (queues_[side].empty()) continue;
+      const TokenId value = queues_[side].Pop();
       const int other = 1 - side;
       for (DocId d : QueryAndFetch(side, value)) {
         if (options.zgjn_classifier_filter &&
@@ -603,8 +768,8 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
         // traversal steers toward values with good-looking contexts.
         for (const ExtractedTuple& t : *batch) {
           if (t.similarity < options.zgjn_min_confidence) continue;
-          if (enqueued[other].insert(t.join_value).second) {
-            queues[other].Push(t.join_value, t.similarity);
+          if (enqueued_[other].insert(t.join_value).second) {
+            queues_[other].Push(t.join_value, t.similarity);
             if (values_enqueued != nullptr) values_enqueued->Increment();
           }
         }
@@ -617,8 +782,36 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
       if (!stopped && CheckStop(options)) stopped = true;
     }
   }
-  const bool exhausted = queues[0].empty() && queues[1].empty();
+  const bool exhausted = queues_[0].empty() && queues_[1].empty();
   return Finish(options, exhausted);
+}
+
+void ZigZagJoin::CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const {
+  for (int i = 0; i < 2; ++i) {
+    checkpoint->sides[i].zgjn_queue = queues_[i].Entries();
+    checkpoint->sides[i].zgjn_enqueued.assign(enqueued_[i].begin(),
+                                              enqueued_[i].end());
+    std::sort(checkpoint->sides[i].zgjn_enqueued.begin(),
+              checkpoint->sides[i].zgjn_enqueued.end());
+  }
+}
+
+Status ZigZagJoin::RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                                         const JoinExecutionOptions& options) {
+  for (int i = 0; i < 2; ++i) {
+    queues_[i].Reset(options.zgjn_confidence_priority);
+    queues_[i].Restore(checkpoint.sides[i].zgjn_queue);
+    enqueued_[i].clear();
+    enqueued_[i].insert(checkpoint.sides[i].zgjn_enqueued.begin(),
+                        checkpoint.sides[i].zgjn_enqueued.end());
+    for (const ZgjnQueueEntry& entry : checkpoint.sides[i].zgjn_queue) {
+      if (enqueued_[i].count(entry.value) == 0) {
+        return Status::InvalidArgument(
+            "ZGJN checkpoint queue holds a value missing from the enqueued set");
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------

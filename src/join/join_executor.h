@@ -1,7 +1,6 @@
 #ifndef IEJOIN_JOIN_JOIN_EXECUTOR_H_
 #define IEJOIN_JOIN_JOIN_EXECUTOR_H_
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -12,6 +11,7 @@
 #include "extraction/extractor.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
+#include "join/executor_checkpoint.h"
 #include "join/join_execution.h"
 #include "join/join_types.h"
 #include "querygen/query_learner.h"
@@ -20,6 +20,38 @@
 #include "textdb/text_database.h"
 
 namespace iejoin {
+
+/// ZGJN query queue: pops FIFO (plain ZGJN) or by descending confidence
+/// (the focused variant). Confidence is the best extraction similarity that
+/// produced the value. Backed by a plain vector (FIFO head index / binary
+/// heap via push_heap-pop_heap) so the pending entries can be checkpointed
+/// and restored exactly: Restore(Entries()) on a Reset queue reproduces the
+/// pop sequence bit-identically. The heap comparator orders by
+/// (confidence, value), matching std::priority_queue<pair<double,TokenId>>.
+class ZgjnQueryQueue {
+ public:
+  /// (Re)configures the ordering and clears all entries.
+  void Reset(bool by_confidence);
+
+  bool empty() const { return head_ >= entries_.size(); }
+  void Push(TokenId value, double confidence);
+  TokenId Pop();
+
+  /// Pending entries for checkpointing: FIFO order, or raw heap-array order
+  /// (which Restore reinstates verbatim — a snapshotted heap is a heap).
+  std::vector<ZgjnQueueEntry> Entries() const;
+  void Restore(std::vector<ZgjnQueueEntry> entries);
+
+ private:
+  static bool HeapLess(const ZgjnQueueEntry& a, const ZgjnQueueEntry& b) {
+    return a.confidence < b.confidence ||
+           (a.confidence == b.confidence && a.value < b.value);
+  }
+
+  bool by_confidence_ = false;
+  std::vector<ZgjnQueueEntry> entries_;
+  size_t head_ = 0;  // FIFO mode: consumed prefix of entries_.
+};
 
 /// Shared machinery of the three join algorithms: per-side meters, document
 /// bookkeeping, ripple-join state updates, trajectory sampling, and
@@ -135,11 +167,42 @@ class JoinExecutorBase {
   /// Common Run epilogue.
   JoinExecutionResult Finish(const JoinExecutionOptions& options, bool exhausted);
 
+  /// --- Checkpoint/resume ---
+  /// Captures/writes a checkpoint when a sink is attached and the cadence
+  /// (checkpoint_every_docs processed documents) has elapsed. Called at the
+  /// top of each algorithm's main loop — the safe points where no operation
+  /// is partially applied. A sink write failure fails the run.
+  Status MaybeCheckpoint(const JoinExecutionOptions& options);
+
+  /// Shared state capture: ripple-join state, trajectory, meters, retrieved
+  /// bitmaps, fault RNG/breaker positions, metrics snapshot.
+  ExecutorCheckpoint CaptureBase() const;
+
+  /// Algorithm-specific additions to a captured checkpoint (cursors,
+  /// queues, probed sets). Base is a no-op.
+  virtual void CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const;
+
+  /// Restores the shared state from a checkpoint (validates the algorithm
+  /// and scenario shape). Sets resumed_ so algorithms skip their fresh-run
+  /// initialization.
+  Status RestoreBase(const ExecutorCheckpoint& checkpoint);
+
+  /// Algorithm-specific restore counterpart of CaptureAlgorithmState.
+  virtual Status RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                                       const JoinExecutionOptions& options);
+
   SideState sides_[2];
   JoinState state_{0};
   std::vector<TrajectoryPoint> trajectory_;
   int64_t docs_since_snapshot_ = 0;
   bool ran_ = false;
+
+  /// Checkpoint bookkeeping (inert when options carry no sink).
+  CheckpointSink* checkpoint_sink_ = nullptr;
+  int64_t checkpoint_every_docs_ = 0;
+  int64_t docs_since_checkpoint_ = 0;
+  int64_t checkpoint_sequence_ = 1;
+  bool resumed_ = false;
 
   /// Armed by Begin when the run options carry a fault plan: the seeded
   /// injector plus one extractor circuit breaker per side. Null otherwise —
@@ -176,6 +239,10 @@ class IndependentJoin : public JoinExecutorBase {
   JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kIndependent; }
 
  private:
+  void CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const override;
+  Status RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                               const JoinExecutionOptions& options) override;
+
   std::unique_ptr<RetrievalStrategy> retrieval_[2];
 };
 
@@ -194,8 +261,15 @@ class OuterInnerJoin : public JoinExecutorBase {
   JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kOuterInner; }
 
  private:
+  void CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const override;
+  Status RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                               const JoinExecutionOptions& options) override;
+
   std::unique_ptr<RetrievalStrategy> outer_retrieval_;
   bool outer_is_side1_;
+  /// Join-attribute values already probed into the inner database
+  /// (member so checkpoints can carry it across a resume).
+  std::unordered_set<TokenId> probed_values_;
 };
 
 /// ZGJN (Section IV-C): fully interleaved querying. Seed values are issued
@@ -217,7 +291,16 @@ class ZigZagJoin : public JoinExecutorBase {
   JoinAlgorithmKind kind() const override { return JoinAlgorithmKind::kZigZag; }
 
  private:
+  void CaptureAlgorithmState(ExecutorCheckpoint* checkpoint) const override;
+  Status RestoreAlgorithmState(const ExecutorCheckpoint& checkpoint,
+                               const JoinExecutionOptions& options) override;
+
   const DocumentClassifier* classifiers_[2];
+  /// queues_[0] holds queries destined for D1, queues_[1] for D2; the
+  /// enqueued_ sets deduplicate values across the whole run (members so
+  /// checkpoints can carry the zigzag frontier across a resume).
+  ZgjnQueryQueue queues_[2];
+  std::unordered_set<TokenId> enqueued_[2];
 };
 
 /// Everything needed to instantiate any plan in the plan space. Extractor

@@ -75,6 +75,11 @@ class JoinState {
   bool output_truncated() const { return output_truncated_; }
 
  private:
+  // The checkpoint codec reads and rebuilds the private maps directly; a
+  // public accessor surface for them would invite estimators to peek at
+  // labeled internals.
+  friend class JoinStateSerializer;
+
   struct StoredOccurrence {
     TokenId second_value;
     bool is_good;

@@ -71,6 +71,30 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   return it->second.get();
 }
 
+void Histogram::RestoreForCheckpoint(const std::vector<int64_t>& bucket_counts,
+                                     int64_t count, double sum) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].store(i < bucket_counts.size() ? bucket_counts[i] : 0,
+                      std::memory_order_relaxed);
+  }
+  count_.store(count, std::memory_order_relaxed);
+  sum_.store(sum, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RestoreFromSnapshot(const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    Counter* c = counter(name);
+    c->Increment(value - c->value());
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauge(name)->Set(value);
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    Histogram* h = histogram(name, data.upper_bounds);
+    h->RestoreForCheckpoint(data.bucket_counts, data.count, data.sum);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;

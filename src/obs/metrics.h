@@ -57,6 +57,13 @@ class Histogram {
   static std::vector<double> ExponentialBounds(double start, double factor,
                                                int count);
 
+  /// Overwrites the histogram's accumulated state (bucket_counts must have
+  /// upper_bounds().size() + 1 entries; extra/missing entries are ignored /
+  /// left at zero). Checkpoint/resume only — an Observe()-based replay
+  /// cannot reproduce `sum` bit-exactly, a wholesale restore can.
+  void RestoreForCheckpoint(const std::vector<int64_t>& bucket_counts,
+                            int64_t count, double sum);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;
@@ -109,6 +116,14 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name, std::vector<double> upper_bounds);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Restores the registry to a checkpointed snapshot: counters are driven
+  /// to the snapshot's absolute values via delta increments (they may have
+  /// been re-registered and partially incremented by a resuming run's
+  /// prologue), gauges are set, histograms are created as needed and
+  /// restored wholesale. After this, Snapshot() == `snapshot` plus any
+  /// metrics the snapshot does not mention.
+  void RestoreFromSnapshot(const MetricsSnapshot& snapshot);
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,67 @@
+#ifndef IEJOIN_OPTIMIZER_ADAPTIVE_CHECKPOINT_H_
+#define IEJOIN_OPTIMIZER_ADAPTIVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "join/executor_checkpoint.h"
+#include "model/model_params.h"
+#include "optimizer/adaptive_executor.h"
+
+namespace iejoin {
+
+/// Resume point of an adaptive execution: the cross-phase loop state
+/// (current plan, switch budget, accumulated result, latest estimate, the
+/// breaker-degradation marks) plus — for checkpoints taken at the inner
+/// executor's doc cadence — the wrapped ExecutorCheckpoint of the running
+/// phase. Checkpoints taken at a re-optimization boundary (plan switch)
+/// have has_executor == false: the next phase starts fresh under the
+/// already-switched current_plan.
+struct AdaptiveCheckpoint {
+  /// Monotone ordinal across the whole adaptive run (phases included);
+  /// resume continues at sequence + 1.
+  int64_t sequence = 0;
+
+  JoinPlanSpec current_plan;
+  int32_t switches = 0;
+  bool side_degraded[2] = {false, false};
+
+  /// Result accumulation over completed phases.
+  std::vector<AdaptivePhase> phases;
+  double total_seconds = 0.0;
+  bool degraded = false;
+  bool deadline_exceeded = false;
+  int64_t docs_dropped = 0;
+  int64_t queries_dropped = 0;
+  int32_t breaker_reoptimizations = 0;
+  bool has_estimate = false;
+  JoinModelParams final_estimate;
+
+  /// Phase-local stop-callback state (meaningful when has_executor).
+  int64_t next_estimate_at = 0;
+  int64_t seen_breaker_trips[2] = {0, 0};
+  /// The running phase's ZGJN seed values (empty for other algorithms and
+  /// for phase-boundary checkpoints, which re-derive seeds on entry).
+  std::vector<TokenId> seed_values;
+
+  /// Mid-phase executor snapshot. Phase-boundary checkpoints instead carry
+  /// the metrics registry snapshot directly (the executor checkpoint has
+  /// one of its own).
+  bool has_executor = false;
+  ExecutorCheckpoint executor;
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+};
+
+/// Where adaptive executions deliver checkpoints (the durable
+/// CheckpointManager implements this alongside the plain CheckpointSink).
+class AdaptiveCheckpointSink {
+ public:
+  virtual ~AdaptiveCheckpointSink() = default;
+  virtual Status WriteAdaptive(const AdaptiveCheckpoint& checkpoint) = 0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_OPTIMIZER_ADAPTIVE_CHECKPOINT_H_

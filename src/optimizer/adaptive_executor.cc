@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "checkpoint/kill_point.h"
 #include "common/logging.h"
+#include "optimizer/adaptive_checkpoint.h"
 
 namespace iejoin {
 
@@ -69,7 +72,15 @@ Result<JoinModelParams> AdaptiveJoinExecutor::EstimateFromState(
     obs.tp = knobs->TruePositiveRate(theta);
     obs.fp = knobs->FalsePositiveRate(theta);
 
-    for (const auto& [value, count] : state.ObservedFrequencies(side)) {
+    // Sort by value before feeding the estimator: hash-map iteration order
+    // is not stable across processes, and resume-determinism needs the MLE
+    // to see the observations in the same order bit-for-bit.
+    const std::unordered_map<TokenId, int64_t> observed =
+        state.ObservedFrequencies(side);
+    std::vector<std::pair<TokenId, int64_t>> frequencies(observed.begin(),
+                                                         observed.end());
+    std::sort(frequencies.begin(), frequencies.end());
+    for (const auto& [value, count] : frequencies) {
       obs.values.push_back(value);
       obs.counts.push_back(count);
     }
@@ -174,6 +185,77 @@ void FillFaultPrediction(const TrajectoryPoint& point,
   }
 }
 
+/// The cross-phase loop state every adaptive checkpoint carries, captured
+/// from the Run loop's locals (sequence and phase-local fields are filled
+/// by the caller).
+AdaptiveCheckpoint CaptureLoopState(const JoinPlanSpec& current_plan,
+                                    int32_t switches, const bool* side_degraded,
+                                    const AdaptiveResult& result) {
+  AdaptiveCheckpoint checkpoint;
+  checkpoint.current_plan = current_plan;
+  checkpoint.switches = switches;
+  checkpoint.side_degraded[0] = side_degraded[0];
+  checkpoint.side_degraded[1] = side_degraded[1];
+  checkpoint.phases = result.phases;
+  checkpoint.total_seconds = result.total_seconds;
+  checkpoint.degraded = result.degraded;
+  checkpoint.deadline_exceeded = result.deadline_exceeded;
+  checkpoint.docs_dropped = result.docs_dropped;
+  checkpoint.queries_dropped = result.queries_dropped;
+  checkpoint.breaker_reoptimizations = result.breaker_reoptimizations;
+  checkpoint.has_estimate = result.has_estimate;
+  checkpoint.final_estimate = result.final_estimate;
+  return checkpoint;
+}
+
+/// Wraps each inner ExecutorCheckpoint with the adaptive loop state and
+/// forwards it to the adaptive sink. Points at Run-loop locals, so it must
+/// not outlive the phase that created it.
+class AdaptiveSinkAdapter final : public CheckpointSink {
+ public:
+  AdaptiveSinkAdapter(AdaptiveCheckpointSink* sink, int64_t* sequence,
+                      const JoinPlanSpec* current_plan, const int32_t* switches,
+                      const bool* side_degraded, const AdaptiveResult* result,
+                      const int64_t* next_estimate_at,
+                      const int64_t* seen_breaker_trips,
+                      const std::vector<TokenId>* seed_values)
+      : sink_(sink),
+        sequence_(sequence),
+        current_plan_(current_plan),
+        switches_(switches),
+        side_degraded_(side_degraded),
+        result_(result),
+        next_estimate_at_(next_estimate_at),
+        seen_breaker_trips_(seen_breaker_trips),
+        seed_values_(seed_values) {}
+
+  Status Write(const ExecutorCheckpoint& inner) override {
+    AdaptiveCheckpoint checkpoint =
+        CaptureLoopState(*current_plan_, *switches_, side_degraded_, *result_);
+    checkpoint.sequence = *sequence_;
+    checkpoint.next_estimate_at = *next_estimate_at_;
+    checkpoint.seen_breaker_trips[0] = seen_breaker_trips_[0];
+    checkpoint.seen_breaker_trips[1] = seen_breaker_trips_[1];
+    checkpoint.seed_values = *seed_values_;
+    checkpoint.has_executor = true;
+    checkpoint.executor = inner;
+    IEJOIN_RETURN_IF_ERROR(sink_->WriteAdaptive(checkpoint));
+    ++*sequence_;
+    return Status::Ok();
+  }
+
+ private:
+  AdaptiveCheckpointSink* sink_;
+  int64_t* sequence_;
+  const JoinPlanSpec* current_plan_;
+  const int32_t* switches_;
+  const bool* side_degraded_;
+  const AdaptiveResult* result_;
+  const int64_t* next_estimate_at_;
+  const int64_t* seen_breaker_trips_;
+  const std::vector<TokenId>* seed_values_;
+};
+
 }  // namespace
 
 Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options) {
@@ -183,6 +265,34 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
   // Breaker feedback persists across phases: once a side's extractor has
   // proven itself flaky, later re-optimizations keep it marked degraded.
   bool side_degraded[2] = {false, false};
+
+  if (options.checkpoint_sink != nullptr && options.checkpoint_every_docs < 1) {
+    return Status::InvalidArgument("checkpoint_every_docs must be >= 1");
+  }
+  int64_t checkpoint_sequence = 1;
+  const AdaptiveCheckpoint* resume = options.resume_from;
+  if (resume != nullptr) {
+    current_plan = resume->current_plan;
+    switches = resume->switches;
+    side_degraded[0] = resume->side_degraded[0];
+    side_degraded[1] = resume->side_degraded[1];
+    result.phases = resume->phases;
+    result.total_seconds = resume->total_seconds;
+    result.degraded = resume->degraded;
+    result.deadline_exceeded = resume->deadline_exceeded;
+    result.docs_dropped = resume->docs_dropped;
+    result.queries_dropped = resume->queries_dropped;
+    result.breaker_reoptimizations = resume->breaker_reoptimizations;
+    result.has_estimate = resume->has_estimate;
+    result.final_estimate = resume->final_estimate;
+    checkpoint_sequence = resume->sequence + 1;
+    // Phase-boundary checkpoints carry the registry snapshot themselves
+    // (mid-phase ones restore it through the inner executor's Begin).
+    if (!resume->has_executor && resume->has_metrics &&
+        options.metrics != nullptr) {
+      options.metrics->RestoreFromSnapshot(resume->metrics);
+    }
+  }
 
   obs::Tracer::Span adaptive_span = obs::StartSpan(options.tracer, "adaptive.run");
   if (adaptive_span) {
@@ -202,9 +312,22 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       options.metrics->counter("adaptive.phases")->Increment();
     }
 
+    // Mid-phase resume: the first loop iteration continues the phase the
+    // checkpoint interrupted. Later iterations — and phase-boundary
+    // resumes — start their phases fresh.
+    const AdaptiveCheckpoint* phase_resume =
+        (resume != nullptr && resume->has_executor) ? resume : nullptr;
+    resume = nullptr;
+
     // Per-phase adaptive state, owned by the callback.
-    int64_t next_estimate_at = options.min_docs_for_estimate;
+    int64_t next_estimate_at = phase_resume != nullptr
+                                   ? phase_resume->next_estimate_at
+                                   : options.min_docs_for_estimate;
     int64_t seen_breaker_trips[2] = {0, 0};
+    if (phase_resume != nullptr) {
+      seen_breaker_trips[0] = phase_resume->seen_breaker_trips[0];
+      seen_breaker_trips[1] = phase_resume->seen_breaker_trips[1];
+    }
     bool want_switch = false;
     JoinPlanSpec switch_target;
     bool believed_done = false;
@@ -362,8 +485,10 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     };
 
     // ZGJN needs seeds; when switching into it, seed with a handful of scan
-    // documents' values by probing the first database's scan order.
-    if (current_plan.algorithm == JoinAlgorithmKind::kZigZag) {
+    // documents' values by probing the first database's scan order. A
+    // resumed phase reuses the checkpointed seeds instead.
+    if (current_plan.algorithm == JoinAlgorithmKind::kZigZag &&
+        phase_resume == nullptr) {
       const int64_t probe_docs = std::min<int64_t>(50, resources_.database1->size());
       const std::unique_ptr<Extractor> probe_extractor =
           resources_.extractor1->WithTheta(current_plan.theta1);
@@ -384,6 +509,19 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       if (exec_options.seed_values.empty()) {
         return Status::FailedPrecondition("could not derive ZGJN seed values");
       }
+    }
+
+    AdaptiveSinkAdapter checkpoint_adapter(
+        options.checkpoint_sink, &checkpoint_sequence, &current_plan, &switches,
+        side_degraded, &result, &next_estimate_at, seen_breaker_trips,
+        &exec_options.seed_values);
+    if (options.checkpoint_sink != nullptr) {
+      exec_options.checkpoint_sink = &checkpoint_adapter;
+      exec_options.checkpoint_every_docs = options.checkpoint_every_docs;
+    }
+    if (phase_resume != nullptr) {
+      exec_options.seed_values = phase_resume->seed_values;
+      exec_options.resume_from = &phase_resume->executor;
     }
 
     IEJOIN_ASSIGN_OR_RETURN(JoinExecutionResult exec_result,
@@ -421,6 +559,21 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     if (want_switch) {
       ++switches;
       current_plan = switch_target;
+      // Re-optimization boundary: checkpoint the switch decision so a crash
+      // between phases resumes into the new plan instead of replaying the
+      // abandoned one.
+      if (options.checkpoint_sink != nullptr) {
+        AdaptiveCheckpoint boundary =
+            CaptureLoopState(current_plan, switches, side_degraded, result);
+        boundary.sequence = checkpoint_sequence;
+        if (options.metrics != nullptr) {
+          boundary.has_metrics = true;
+          boundary.metrics = options.metrics->Snapshot();
+        }
+        IEJOIN_RETURN_IF_ERROR(options.checkpoint_sink->WriteAdaptive(boundary));
+        ckpt::KillPoint("checkpoint.written");
+        ++checkpoint_sequence;
+      }
       continue;
     }
 

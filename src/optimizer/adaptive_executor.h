@@ -12,6 +12,9 @@
 
 namespace iejoin {
 
+struct AdaptiveCheckpoint;
+class AdaptiveCheckpointSink;
+
 struct AdaptiveOptions {
   QualityRequirement requirement;
 
@@ -59,6 +62,18 @@ struct AdaptiveOptions {
   /// adaptive.* counters, and assembles AdaptiveResult::report at the end.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  /// --- Checkpoint/resume (optional, non-owning; must outlive the run) ---
+  /// When `checkpoint_sink` is set, each phase's executor checkpoints at
+  /// the document cadence below (wrapped with the adaptive loop state), and
+  /// every plan switch writes a phase-boundary checkpoint. When
+  /// `resume_from` is set, Run continues that execution: mid-phase when the
+  /// checkpoint carries an executor snapshot, or at the fresh phase the
+  /// switch had chosen. Span trees are not checkpointed — a resumed run's
+  /// report carries only post-resume spans (metrics are bit-identical).
+  AdaptiveCheckpointSink* checkpoint_sink = nullptr;
+  int64_t checkpoint_every_docs = 256;
+  const AdaptiveCheckpoint* resume_from = nullptr;
 };
 
 /// One execution phase (a plan run until it stopped or was abandoned).

@@ -26,6 +26,20 @@ std::optional<DocId> ScanStrategy::Next(ExecutionMeter* meter) {
   return database_->ScanDocument(position_++).id;
 }
 
+RetrievalCursor ScanStrategy::SaveCursor() const {
+  RetrievalCursor cursor;
+  cursor.position = position_;
+  return cursor;
+}
+
+Status ScanStrategy::RestoreCursor(const RetrievalCursor& cursor) {
+  if (cursor.position < 0 || cursor.position > database_->size()) {
+    return Status::InvalidArgument("scan cursor position out of range");
+  }
+  position_ = cursor.position;
+  return Status::Ok();
+}
+
 FilteredScanStrategy::FilteredScanStrategy(const TextDatabase* database,
                                            const DocumentClassifier* classifier)
     : database_(database), classifier_(classifier) {
@@ -41,6 +55,20 @@ std::optional<DocId> FilteredScanStrategy::Next(ExecutionMeter* meter) {
     if (classifier_->IsLikelyGood(doc)) return doc.id;
   }
   return std::nullopt;
+}
+
+RetrievalCursor FilteredScanStrategy::SaveCursor() const {
+  RetrievalCursor cursor;
+  cursor.position = position_;
+  return cursor;
+}
+
+Status FilteredScanStrategy::RestoreCursor(const RetrievalCursor& cursor) {
+  if (cursor.position < 0 || cursor.position > database_->size()) {
+    return Status::InvalidArgument("filtered-scan cursor position out of range");
+  }
+  position_ = cursor.position;
+  return Status::Ok();
 }
 
 AqgStrategy::AqgStrategy(const TextDatabase* database, std::vector<LearnedQuery> queries)
@@ -69,6 +97,39 @@ std::optional<DocId> AqgStrategy::Next(ExecutionMeter* meter) {
       }
     }
   }
+}
+
+RetrievalCursor AqgStrategy::SaveCursor() const {
+  RetrievalCursor cursor;
+  cursor.next_query = static_cast<int64_t>(next_query_);
+  cursor.pending = pending_;
+  cursor.pending_pos = static_cast<int64_t>(pending_pos_);
+  cursor.seen = seen_;
+  return cursor;
+}
+
+Status AqgStrategy::RestoreCursor(const RetrievalCursor& cursor) {
+  if (cursor.next_query < 0 ||
+      cursor.next_query > static_cast<int64_t>(queries_.size())) {
+    return Status::InvalidArgument("AQG cursor query index out of range");
+  }
+  if (cursor.pending_pos < 0 ||
+      cursor.pending_pos > static_cast<int64_t>(cursor.pending.size())) {
+    return Status::InvalidArgument("AQG cursor pending position out of range");
+  }
+  if (cursor.seen.size() != seen_.size()) {
+    return Status::InvalidArgument("AQG cursor seen bitmap size mismatch");
+  }
+  for (DocId d : cursor.pending) {
+    if (d < 0 || static_cast<size_t>(d) >= seen_.size()) {
+      return Status::InvalidArgument("AQG cursor pending doc id out of range");
+    }
+  }
+  next_query_ = static_cast<size_t>(cursor.next_query);
+  pending_ = cursor.pending;
+  pending_pos_ = static_cast<size_t>(cursor.pending_pos);
+  seen_ = cursor.seen;
+  return Status::Ok();
 }
 
 Result<std::unique_ptr<RetrievalStrategy>> CreateRetrievalStrategy(

@@ -23,6 +23,18 @@ enum class RetrievalStrategyKind : uint8_t {
 
 const char* RetrievalStrategyName(RetrievalStrategyKind kind);
 
+/// Serializable position of a retrieval strategy mid-stream, for
+/// checkpoint/resume. Scan-family strategies use only `position`; AQG uses
+/// the query index, the pending result list + position, and the seen
+/// bitmap. Unused fields stay at their defaults.
+struct RetrievalCursor {
+  int64_t position = 0;            // SC / FS scan position
+  int64_t next_query = 0;          // AQG: next learned query index
+  std::vector<DocId> pending;      // AQG: current query's unreturned docs
+  int64_t pending_pos = 0;         // AQG: position inside `pending`
+  std::vector<bool> seen;          // AQG: documents already deduplicated
+};
+
 /// Streams documents from one database for one extraction task, charging
 /// retrieval/filter/query costs to the caller's meter. Each document id is
 /// produced at most once.
@@ -35,6 +47,12 @@ class RetrievalStrategy {
   virtual std::optional<DocId> Next(ExecutionMeter* meter) = 0;
 
   virtual RetrievalStrategyKind kind() const = 0;
+
+  /// Checkpoint/resume of the stream position: RestoreCursor(SaveCursor())
+  /// on a freshly built strategy of the same kind over the same database
+  /// continues the document stream bit-identically.
+  virtual RetrievalCursor SaveCursor() const = 0;
+  virtual Status RestoreCursor(const RetrievalCursor& cursor) = 0;
 };
 
 /// Sequentially retrieves every document in scan order (SC). Guaranteed to
@@ -45,6 +63,8 @@ class ScanStrategy : public RetrievalStrategy {
 
   std::optional<DocId> Next(ExecutionMeter* meter) override;
   RetrievalStrategyKind kind() const override { return RetrievalStrategyKind::kScan; }
+  RetrievalCursor SaveCursor() const override;
+  Status RestoreCursor(const RetrievalCursor& cursor) override;
 
  private:
   const TextDatabase* database_;
@@ -64,6 +84,8 @@ class FilteredScanStrategy : public RetrievalStrategy {
   RetrievalStrategyKind kind() const override {
     return RetrievalStrategyKind::kFilteredScan;
   }
+  RetrievalCursor SaveCursor() const override;
+  Status RestoreCursor(const RetrievalCursor& cursor) override;
 
  private:
   const TextDatabase* database_;
@@ -84,6 +106,8 @@ class AqgStrategy : public RetrievalStrategy {
   }
 
   int64_t queries_issued() const { return next_query_; }
+  RetrievalCursor SaveCursor() const override;
+  Status RestoreCursor(const RetrievalCursor& cursor) override;
 
  private:
   const TextDatabase* database_;

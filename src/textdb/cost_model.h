@@ -167,6 +167,18 @@ class ExecutionMeter {
     fault_seconds_ = 0.0;
   }
 
+  /// Restores a checkpointed meter position exactly: counters, the clock
+  /// (0.0 + s == s, so the restored clock is bit-identical), and the fault
+  /// overhead. Attached telemetry mirrors are NOT replayed — the metrics
+  /// registry is restored wholesale from its own snapshot.
+  void RestoreForCheckpoint(const obs::SideCounters& counters, double seconds,
+                            double fault_seconds) {
+    clock_.Reset();
+    clock_.Advance(seconds);
+    counters_ = counters;
+    fault_seconds_ = fault_seconds;
+  }
+
  private:
   CostModel costs_;
   SimClock clock_;

@@ -1,0 +1,514 @@
+// Crash-consistency tests for checkpoint/resume: for every algorithm, a run
+// resumed from ANY checkpoint must be bit-identical to the uninterrupted
+// run — output tuples, trajectory, final metrics, and every re-written
+// snapshot file. The fork-based matrix kills a real child process at each
+// checkpoint boundary via the kill-point harness and resumes from the
+// durable files it left behind.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_manager.h"
+#include "checkpoint/join_checkpoint.h"
+#include "checkpoint/kill_point.h"
+#include "harness/workbench.h"
+#include "join/executor_checkpoint.h"
+#include "join/join_executor.h"
+#include "optimizer/adaptive_checkpoint.h"
+#include "optimizer/adaptive_executor.h"
+
+namespace iejoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recording sinks: store every checkpoint after a full container + codec
+// round trip, so resume tests exercise the serialized form, and keep the
+// encoded bytes for file-level identity checks.
+// ---------------------------------------------------------------------------
+
+class RecordingSink : public CheckpointSink {
+ public:
+  Status Write(const ExecutorCheckpoint& checkpoint) override {
+    std::vector<ckpt::SnapshotSection> sections;
+    ckpt::AppendExecutorSections(checkpoint, &sections);
+    std::string image = ckpt::EncodeSnapshot(sections);
+    IEJOIN_ASSIGN_OR_RETURN(std::vector<ckpt::SnapshotSection> reread,
+                            ckpt::DecodeSnapshot(image));
+    ExecutorCheckpoint decoded;
+    IEJOIN_RETURN_IF_ERROR(ckpt::DecodeExecutorSections(reread, &decoded));
+    checkpoints.push_back(std::move(decoded));
+    images.push_back(std::move(image));
+    return Status::Ok();
+  }
+
+  std::vector<ExecutorCheckpoint> checkpoints;
+  std::vector<std::string> images;
+};
+
+class AdaptiveRecordingSink : public AdaptiveCheckpointSink {
+ public:
+  Status WriteAdaptive(const AdaptiveCheckpoint& checkpoint) override {
+    std::vector<ckpt::SnapshotSection> sections;
+    ckpt::AppendAdaptiveSections(checkpoint, &sections);
+    std::string image = ckpt::EncodeSnapshot(sections);
+    IEJOIN_ASSIGN_OR_RETURN(std::vector<ckpt::SnapshotSection> reread,
+                            ckpt::DecodeSnapshot(image));
+    AdaptiveCheckpoint decoded;
+    IEJOIN_RETURN_IF_ERROR(ckpt::DecodeAdaptiveSections(reread, &decoded));
+    checkpoints.push_back(std::move(decoded));
+    images.push_back(std::move(image));
+    return Status::Ok();
+  }
+
+  std::vector<AdaptiveCheckpoint> checkpoints;
+  std::vector<std::string> images;
+};
+
+// ---------------------------------------------------------------------------
+// Fingerprints: hexfloat keeps doubles bit-exact, so string equality is
+// bit-identity over everything a run produces.
+// ---------------------------------------------------------------------------
+
+void AppendPoint(const TrajectoryPoint& p, std::ostringstream* out) {
+  *out << p.docs_retrieved1 << ',' << p.docs_retrieved2 << ','
+       << p.docs_processed1 << ',' << p.docs_processed2 << ',' << p.queries1
+       << ',' << p.queries2 << ',' << p.extracted1 << ',' << p.extracted2
+       << ',' << p.docs_with_extraction1 << ',' << p.docs_with_extraction2
+       << ',' << p.docs_dropped1 << ',' << p.docs_dropped2 << ','
+       << p.queries_dropped1 << ',' << p.queries_dropped2 << ','
+       << p.ops_retried1 << ',' << p.ops_retried2 << ',' << p.ops_failed1
+       << ',' << p.ops_failed2 << ',' << p.breaker_trips1 << ','
+       << p.breaker_trips2 << ',' << p.hedges1 << ',' << p.hedges2 << ','
+       << p.good_join_tuples << ',' << p.bad_join_tuples << ',' << p.seconds
+       << ';';
+}
+
+void AppendMetrics(const obs::MetricsSnapshot& m, std::ostringstream* out) {
+  *out << "|counters:";
+  for (const auto& [name, value] : m.counters) *out << name << '=' << value << ';';
+  *out << "|gauges:";
+  for (const auto& [name, value] : m.gauges) *out << name << '=' << value << ';';
+  *out << "|histograms:";
+  for (const auto& [name, h] : m.histograms) {
+    *out << name << '=';
+    for (double b : h.upper_bounds) *out << b << ',';
+    for (int64_t c : h.bucket_counts) *out << c << ',';
+    *out << h.count << ',' << h.sum << ';';
+  }
+}
+
+std::string Fingerprint(const JoinExecutionResult& result,
+                        const obs::MetricsSnapshot* metrics) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "final:";
+  AppendPoint(result.final_point, &out);
+  out << "|traj:" << result.trajectory.size() << ';';
+  for (const auto& p : result.trajectory) AppendPoint(p, &out);
+  out << "|state:" << result.state.good_join_tuples() << ','
+      << result.state.bad_join_tuples() << ','
+      << result.state.extracted_occurrences(0) << ','
+      << result.state.extracted_occurrences(1) << ','
+      << result.state.good_occurrences(0) << ','
+      << result.state.good_occurrences(1) << ','
+      << result.state.output_truncated();
+  out << "|output:" << result.state.output().size() << ';';
+  for (const auto& t : result.state.output()) {
+    out << t.join_value << ',' << t.second1 << ',' << t.second2 << ','
+        << t.is_good << ',' << t.confidence << ';';
+  }
+  out << "|flags:" << result.exhausted << result.requirement_met
+      << result.degraded << result.deadline_exceeded << ','
+      << result.fault_seconds;
+  if (metrics != nullptr) AppendMetrics(*metrics, &out);
+  return out.str();
+}
+
+std::string AdaptiveFingerprint(const AdaptiveResult& result) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "phases:" << result.phases.size() << ';';
+  for (const AdaptivePhase& phase : result.phases) {
+    out << phase.plan.Describe() << ',' << phase.seconds << ','
+        << phase.switched_away << phase.exhausted << phase.degraded << ':';
+    AppendPoint(phase.end_point, &out);
+  }
+  out << "|totals:" << result.total_seconds << ',' << result.good_join_tuples
+      << ',' << result.bad_join_tuples << ',' << result.requirement_met << ','
+      << result.degraded << result.deadline_exceeded << ','
+      << result.docs_dropped << ',' << result.queries_dropped << ','
+      << result.breaker_reoptimizations;
+  out << "|estimate:" << result.has_estimate;
+  if (result.has_estimate) {
+    const JoinModelParams& e = result.final_estimate;
+    out << ',' << e.relation1.num_documents << ',' << e.relation1.num_good_docs
+        << ',' << e.relation1.good_freq.mean << ','
+        << e.relation1.good_freq.second_moment << ','
+        << e.relation2.num_documents << ',' << e.relation2.good_freq.mean
+        << ',' << e.num_agg << ',' << e.num_agb << ',' << e.num_abg << ','
+        << e.num_abb;
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// Fixture
+// ---------------------------------------------------------------------------
+
+class CheckpointCrashTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec PlanFor(JoinAlgorithmKind kind) {
+    JoinPlanSpec plan;
+    plan.algorithm = kind;
+    plan.theta1 = plan.theta2 = 0.4;
+    plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  /// Flaky extractors + occasional query timeouts: enough fault activity to
+  /// exercise the RNG-stream and breaker state in every checkpoint.
+  static fault::FaultPlan TestFaults() {
+    fault::FaultPlan plan;
+    plan.set_error_rate(fault::FaultOp::kExtract, 0.05);
+    plan.set_timeout(fault::FaultOp::kQuery, 0.02, 1.5);
+    return plan;
+  }
+
+  static JoinExecutionOptions BaseOptions(const fault::FaultPlan* faults,
+                                          CheckpointSink* sink) {
+    JoinExecutionOptions options;
+    options.max_output_tuples = 20000;
+    options.fault_plan = faults;
+    options.checkpoint_sink = sink;
+    options.checkpoint_every_docs = 32;
+    return options;
+  }
+
+  static JoinExecutionResult Run(const JoinPlanSpec& plan,
+                                 JoinExecutionOptions options,
+                                 obs::MetricsRegistry* registry) {
+    auto executor = CreateJoinExecutor(plan, bench().resources());
+    EXPECT_TRUE(executor.ok()) << executor.status().ToString();
+    if (plan.algorithm == JoinAlgorithmKind::kZigZag &&
+        options.seed_values.empty()) {
+      options.seed_values = bench().ZgjnSeeds(3);
+    }
+    options.metrics = registry;
+    auto result = (*executor)->Run(options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(result.value());
+  }
+
+  /// Resuming from EVERY checkpoint of a faulted run must reproduce the
+  /// uninterrupted result bit-identically — including every snapshot the
+  /// resumed run re-writes past the resume point.
+  static void RunResumeMatrix(JoinAlgorithmKind kind) {
+    const JoinPlanSpec plan = PlanFor(kind);
+    const fault::FaultPlan faults = TestFaults();
+
+    RecordingSink baseline_sink;
+    obs::MetricsRegistry baseline_registry;
+    const JoinExecutionResult baseline =
+        Run(plan, BaseOptions(&faults, &baseline_sink), &baseline_registry);
+    const obs::MetricsSnapshot baseline_metrics = baseline_registry.Snapshot();
+    const std::string expected = Fingerprint(baseline, &baseline_metrics);
+    ASSERT_GE(baseline_sink.checkpoints.size(), 3u)
+        << "scenario too small to exercise checkpointing";
+
+    for (size_t k = 0; k < baseline_sink.checkpoints.size(); ++k) {
+      RecordingSink resumed_sink;
+      obs::MetricsRegistry resumed_registry;
+      JoinExecutionOptions options = BaseOptions(&faults, &resumed_sink);
+      options.resume_from = &baseline_sink.checkpoints[k];
+      const JoinExecutionResult resumed = Run(plan, options, &resumed_registry);
+      const obs::MetricsSnapshot resumed_metrics = resumed_registry.Snapshot();
+      EXPECT_EQ(Fingerprint(resumed, &resumed_metrics), expected)
+          << JoinAlgorithmName(kind) << " resumed from checkpoint " << k;
+
+      // The resumed run re-emits exactly the post-resume snapshots,
+      // byte-identical to the uninterrupted run's.
+      ASSERT_EQ(resumed_sink.images.size(),
+                baseline_sink.images.size() - (k + 1));
+      for (size_t j = 0; j < resumed_sink.images.size(); ++j) {
+        EXPECT_EQ(resumed_sink.images[j], baseline_sink.images[k + 1 + j])
+            << JoinAlgorithmName(kind) << " checkpoint " << k + 1 + j
+            << " diverged after resume from " << k;
+      }
+    }
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* CheckpointCrashTest::bench_ = nullptr;
+
+TEST_F(CheckpointCrashTest, IdjnResumeIsBitIdentical) {
+  RunResumeMatrix(JoinAlgorithmKind::kIndependent);
+}
+
+TEST_F(CheckpointCrashTest, OijnResumeIsBitIdentical) {
+  RunResumeMatrix(JoinAlgorithmKind::kOuterInner);
+}
+
+TEST_F(CheckpointCrashTest, ZgjnResumeIsBitIdentical) {
+  RunResumeMatrix(JoinAlgorithmKind::kZigZag);
+}
+
+// ---------------------------------------------------------------------------
+// Real-crash matrix: fork a child, let the kill-point harness _Exit(41) it
+// right after the k-th durable snapshot lands, then resume the parent's way —
+// from the files on disk — and require the bit-identical final result. The
+// post-crash redo must also rewrite the remaining snapshot files so the
+// crash directory converges to the uninterrupted directory, byte for byte.
+// ---------------------------------------------------------------------------
+
+class CrashMatrixTest : public CheckpointCrashTest {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/iejoin_crash_matrix";
+    std::system(("rm -rf '" + root_ + "'").c_str());
+    ASSERT_EQ(::mkdir(root_.c_str(), 0777), 0);
+  }
+  void TearDown() override {
+    std::system(("rm -rf '" + root_ + "'").c_str());
+  }
+
+  static ckpt::CheckpointManifest Manifest() {
+    ckpt::CheckpointManifest m;
+    m["test"] = "crash-matrix";
+    return m;
+  }
+
+  /// Runs the plan in a forked child armed to die at `after_hits` of `site`;
+  /// returns the child's exit code.
+  int RunChildToDeath(const JoinPlanSpec& plan, const fault::FaultPlan& faults,
+                      const std::string& dir, const char* site,
+                      int64_t after_hits) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      auto manager = ckpt::CheckpointManager::Open(dir, Manifest());
+      if (!manager.ok()) std::_Exit(90);
+      ckpt::ArmKillPointAtSite(site, after_hits, ckpt::kKillExitCode);
+      JoinExecutionOptions options = BaseOptions(&faults, manager->get());
+      auto executor = CreateJoinExecutor(plan, bench().resources());
+      if (!executor.ok()) std::_Exit(90);
+      auto result = (*executor)->Run(options);
+      // Reaching here means the run finished before the armed kill fired.
+      std::_Exit(result.ok() ? 89 : 90);
+    }
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status));
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  static std::string FileBytes(const std::string& path) {
+    auto contents = ckpt::ReadFileToString(path);
+    EXPECT_TRUE(contents.ok()) << path << ": " << contents.status().ToString();
+    return contents.ok() ? *contents : std::string();
+  }
+
+  std::string root_;
+};
+
+TEST_F(CrashMatrixTest, KillAtEveryCheckpointBoundaryAndResume) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const fault::FaultPlan faults = TestFaults();
+
+  // Uninterrupted reference run with durable snapshots.
+  const std::string base_dir = root_ + "/base";
+  auto base_manager = ckpt::CheckpointManager::Open(base_dir, Manifest());
+  ASSERT_TRUE(base_manager.ok()) << base_manager.status().ToString();
+  const JoinExecutionResult baseline =
+      Run(plan, BaseOptions(&faults, base_manager->get()), nullptr);
+  const std::string expected = Fingerprint(baseline, nullptr);
+  const int64_t total = (*base_manager)->checkpoints_written();
+  ASSERT_GE(total, 3);
+
+  for (int64_t kill = 1; kill <= total; ++kill) {
+    const std::string dir = root_ + "/kill" + std::to_string(kill);
+    ASSERT_EQ(RunChildToDeath(plan, faults, dir, "checkpoint.written", kill),
+              ckpt::kKillExitCode)
+        << "child did not die at checkpoint " << kill;
+
+    // The crash left exactly `kill` durable snapshots; the newest is valid.
+    auto loaded = ckpt::LoadLatestValidCheckpoint(dir);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->sequence, kill);
+    EXPECT_FALSE(loaded->is_adaptive);
+    EXPECT_EQ(loaded->manifest.at("test"), "crash-matrix");
+
+    // Resume from the durable snapshot, re-checkpointing into the same
+    // directory (the post-crash redo path).
+    auto manager = ckpt::CheckpointManager::Open(dir, Manifest());
+    ASSERT_TRUE(manager.ok());
+    JoinExecutionOptions options = BaseOptions(&faults, manager->get());
+    options.resume_from = &loaded->executor;
+    const JoinExecutionResult resumed = Run(plan, options, nullptr);
+    EXPECT_EQ(Fingerprint(resumed, nullptr), expected)
+        << "resume after crash at checkpoint " << kill;
+
+    // Idempotent redo: the crash directory now holds the same snapshot
+    // files as the uninterrupted run, byte for byte.
+    for (int64_t seq = 1; seq <= total; ++seq) {
+      const std::string name = ckpt::CheckpointFileName(seq);
+      EXPECT_EQ(FileBytes(dir + "/" + name), FileBytes(base_dir + "/" + name))
+          << name << " after crash at checkpoint " << kill;
+    }
+  }
+}
+
+TEST_F(CrashMatrixTest, KillMidOperationLosesOnlyTailWork) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const fault::FaultPlan faults = TestFaults();
+
+  const std::string base_dir = root_ + "/base";
+  auto base_manager = ckpt::CheckpointManager::Open(base_dir, Manifest());
+  ASSERT_TRUE(base_manager.ok());
+  const JoinExecutionResult baseline =
+      Run(plan, BaseOptions(&faults, base_manager->get()), nullptr);
+  const std::string expected = Fingerprint(baseline, nullptr);
+  ASSERT_GE((*base_manager)->checkpoints_written(), 2);
+
+  // Die mid-stride after the 40th committed extraction — between
+  // checkpoints, the realistic crash position.
+  const std::string dir = root_ + "/midop";
+  ASSERT_EQ(RunChildToDeath(plan, faults, dir, "op.extract", 40),
+            ckpt::kKillExitCode);
+
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto manager = ckpt::CheckpointManager::Open(dir, Manifest());
+  ASSERT_TRUE(manager.ok());
+  JoinExecutionOptions options = BaseOptions(&faults, manager->get());
+  options.resume_from = &loaded->executor;
+  const JoinExecutionResult resumed = Run(plan, options, nullptr);
+  EXPECT_EQ(Fingerprint(resumed, nullptr), expected);
+}
+
+TEST_F(CrashMatrixTest, ResumeFallsBackPastTornSnapshot) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kOuterInner);
+  const fault::FaultPlan faults = TestFaults();
+
+  const std::string dir = root_ + "/torn";
+  auto manager = ckpt::CheckpointManager::Open(dir, Manifest());
+  ASSERT_TRUE(manager.ok());
+  const JoinExecutionResult baseline =
+      Run(plan, BaseOptions(&faults, manager->get()), nullptr);
+  const std::string expected = Fingerprint(baseline, nullptr);
+  const int64_t total = (*manager)->checkpoints_written();
+  ASSERT_GE(total, 2);
+
+  // Tear the newest snapshot in half (a crash mid-write never produces this
+  // — AtomicWriteFile renames only complete files — but disks rot).
+  const std::string newest = dir + "/" + ckpt::CheckpointFileName(total);
+  const std::string bytes = FileBytes(newest);
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sequence, total - 1);
+
+  JoinExecutionOptions options = BaseOptions(&faults, nullptr);
+  options.checkpoint_sink = nullptr;
+  options.resume_from = &loaded->executor;
+  const JoinExecutionResult resumed = Run(plan, options, nullptr);
+  EXPECT_EQ(Fingerprint(resumed, nullptr), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive executor: resuming from every adaptive checkpoint (mid-phase and
+// phase-boundary alike) reproduces the uninterrupted adaptive result.
+// ---------------------------------------------------------------------------
+
+TEST_F(CheckpointCrashTest, AdaptiveResumeIsBitIdentical) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;
+
+  const fault::FaultPlan faults = TestFaults();
+  AdaptiveOptions options;
+  options.requirement.min_good_tuples = 25;
+  options.requirement.max_bad_tuples = 100000;
+  options.initial_plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  options.reestimate_every_docs = 300;
+  options.min_docs_for_estimate = 600;
+  options.estimator.mixture.max_frequency = 100;
+  options.max_switches = 2;
+  options.fault_plan = &faults;
+  options.checkpoint_every_docs = 64;
+
+  AdaptiveRecordingSink baseline_sink;
+  options.checkpoint_sink = &baseline_sink;
+  AdaptiveJoinExecutor baseline_executor(bench().resources(), *inputs,
+                                         enum_options);
+  auto baseline = baseline_executor.Run(options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected = AdaptiveFingerprint(*baseline);
+  ASSERT_GE(baseline_sink.checkpoints.size(), 2u);
+
+  for (size_t k = 0; k < baseline_sink.checkpoints.size(); ++k) {
+    AdaptiveRecordingSink resumed_sink;
+    AdaptiveOptions resume_options = options;
+    resume_options.checkpoint_sink = &resumed_sink;
+    resume_options.resume_from = &baseline_sink.checkpoints[k];
+    AdaptiveJoinExecutor executor(bench().resources(), *inputs, enum_options);
+    auto resumed = executor.Run(resume_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(AdaptiveFingerprint(*resumed), expected)
+        << "adaptive resume from checkpoint " << k
+        << (baseline_sink.checkpoints[k].has_executor ? " (mid-phase)"
+                                                      : " (phase boundary)");
+    ASSERT_EQ(resumed_sink.images.size(),
+              baseline_sink.images.size() - (k + 1));
+    for (size_t j = 0; j < resumed_sink.images.size(); ++j) {
+      EXPECT_EQ(resumed_sink.images[j], baseline_sink.images[k + 1 + j])
+          << "adaptive checkpoint " << k + 1 + j
+          << " diverged after resume from " << k;
+    }
+  }
+}
+
+// Kill points are inert when unarmed and count hits when armed.
+TEST(KillPointTest, CountsAndDisarms) {
+  ckpt::DisarmKillPoint();
+  ckpt::KillPoint("op.extract");
+  EXPECT_EQ(ckpt::KillPointHits(), 0);  // unarmed: nothing matches
+  ckpt::ArmKillPointAtSite("op.extract", 100, ckpt::kKillExitCode);
+  ckpt::KillPoint("op.query");    // wrong site: not a hit
+  ckpt::KillPoint("op.extract");  // hit 1 of 100: survives
+  EXPECT_EQ(ckpt::KillPointHits(), 1);
+  ckpt::DisarmKillPoint();
+  EXPECT_EQ(ckpt::KillPointHits(), 0);
+}
+
+}  // namespace
+}  // namespace iejoin

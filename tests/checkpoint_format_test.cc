@@ -1,0 +1,546 @@
+// Tests for the checkpoint snapshot container and codecs: buffer encoding,
+// container round-trips, the corrupt-snapshot rejection suite (mirroring
+// corpus_io_test.cc), executor/adaptive checkpoint codec round-trips, and
+// the CheckpointManager's latest-valid-snapshot fallback.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/checkpoint_manager.h"
+#include "checkpoint/join_checkpoint.h"
+#include "checkpoint/snapshot_format.h"
+#include "extraction/extracted_tuple.h"
+#include "join/executor_checkpoint.h"
+#include "optimizer/adaptive_checkpoint.h"
+
+namespace iejoin {
+namespace {
+
+using ckpt::BufDecoder;
+using ckpt::BufEncoder;
+using ckpt::SnapshotSection;
+
+// --------------------------------------------------------------------------
+// Buffer encoding
+// --------------------------------------------------------------------------
+
+TEST(BufCodecTest, RoundTripsScalars) {
+  BufEncoder enc;
+  enc.PutU8(0xab);
+  enc.PutBool(true);
+  enc.PutU32(0xdeadbeef);
+  enc.PutU64(0x0123456789abcdefull);
+  enc.PutI64(-42);
+  enc.PutDouble(3.14159265358979);
+  enc.PutString("hello");
+  enc.PutBits({true, false, true, true, false, false, true, false, true});
+  const std::string buf = enc.buffer();
+
+  BufDecoder dec(buf);
+  uint8_t u8 = 0;
+  bool b = false;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  std::string s;
+  std::vector<bool> bits;
+  ASSERT_TRUE(dec.GetU8(&u8).ok());
+  ASSERT_TRUE(dec.GetBool(&b).ok());
+  ASSERT_TRUE(dec.GetU32(&u32).ok());
+  ASSERT_TRUE(dec.GetU64(&u64).ok());
+  ASSERT_TRUE(dec.GetI64(&i64).ok());
+  ASSERT_TRUE(dec.GetDouble(&d).ok());
+  ASSERT_TRUE(dec.GetString(&s).ok());
+  ASSERT_TRUE(dec.GetBits(&bits, 100).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159265358979);
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(bits, (std::vector<bool>{true, false, true, true, false, false,
+                                     true, false, true}));
+  EXPECT_TRUE(dec.ExpectEnd().ok());
+}
+
+TEST(BufCodecTest, DetectsTruncationAndTrailingBytes) {
+  BufEncoder enc;
+  enc.PutU64(7);
+  const std::string buf = enc.buffer();
+  {
+    BufDecoder dec(std::string_view(buf).substr(0, 5));
+    uint64_t v = 0;
+    EXPECT_FALSE(dec.GetU64(&v).ok());
+  }
+  {
+    BufDecoder dec(buf + "x");
+    uint64_t v = 0;
+    ASSERT_TRUE(dec.GetU64(&v).ok());
+    EXPECT_FALSE(dec.ExpectEnd().ok());
+  }
+}
+
+TEST(BufCodecTest, GetCountEnforcesCap) {
+  BufEncoder enc;
+  enc.PutU64(1000);
+  BufDecoder dec(enc.buffer());
+  int64_t count = 0;
+  EXPECT_FALSE(dec.GetCount(&count, 999).ok());
+}
+
+TEST(BufCodecTest, GetStringEnforcesCap) {
+  BufEncoder enc;
+  enc.PutString("0123456789");
+  BufDecoder dec(enc.buffer());
+  std::string s;
+  EXPECT_FALSE(dec.GetString(&s, 9).ok());
+}
+
+// --------------------------------------------------------------------------
+// Container round-trip + corruption suite
+// --------------------------------------------------------------------------
+
+std::vector<SnapshotSection> TestSections() {
+  std::vector<SnapshotSection> sections;
+  sections.push_back({1, std::string("alpha payload")});
+  sections.push_back({7, std::string("\x00\x01\x02\xff", 4)});
+  sections.push_back({9, std::string()});  // empty payload is legal
+  return sections;
+}
+
+TEST(SnapshotContainerTest, RoundTrips) {
+  const std::string image = ckpt::EncodeSnapshot(TestSections());
+  auto decoded = ckpt::DecodeSnapshot(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[0].id, 1u);
+  EXPECT_EQ((*decoded)[0].payload, "alpha payload");
+  EXPECT_EQ((*decoded)[1].id, 7u);
+  EXPECT_EQ((*decoded)[1].payload, std::string("\x00\x01\x02\xff", 4));
+  EXPECT_EQ((*decoded)[2].payload, "");
+}
+
+TEST(SnapshotContainerTest, RejectsBadMagic) {
+  std::string image = ckpt::EncodeSnapshot(TestSections());
+  image[0] ^= 0x01;
+  EXPECT_FALSE(ckpt::DecodeSnapshot(image).ok());
+}
+
+TEST(SnapshotContainerTest, RejectsWrongVersion) {
+  std::string image = ckpt::EncodeSnapshot(TestSections());
+  image[8] = 99;  // little-endian u32 version field right after the magic
+  EXPECT_FALSE(ckpt::DecodeSnapshot(image).ok());
+}
+
+TEST(SnapshotContainerTest, RejectsAbsurdSectionCount) {
+  std::string image = ckpt::EncodeSnapshot(TestSections());
+  image[12] = static_cast<char>(0xff);  // section_count low byte
+  image[13] = static_cast<char>(0xff);
+  EXPECT_FALSE(ckpt::DecodeSnapshot(image).ok());
+}
+
+TEST(SnapshotContainerTest, RejectsPayloadCorruption) {
+  const std::string image = ckpt::EncodeSnapshot(TestSections());
+  // Flip one bit in every byte position past the header in turn: each must
+  // be caught by the table CRC or a payload CRC, never crash.
+  for (size_t pos = 28; pos < image.size(); ++pos) {
+    std::string corrupt = image;
+    corrupt[pos] ^= 0x40;
+    EXPECT_FALSE(ckpt::DecodeSnapshot(corrupt).ok()) << "byte " << pos;
+  }
+}
+
+TEST(SnapshotContainerTest, RejectsEveryTruncation) {
+  const std::string image = ckpt::EncodeSnapshot(TestSections());
+  for (size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(ckpt::DecodeSnapshot(std::string_view(image).substr(0, len)).ok())
+        << "length " << len;
+  }
+}
+
+TEST(SnapshotContainerTest, RejectsTrailingGarbage) {
+  std::string image = ckpt::EncodeSnapshot(TestSections());
+  image += "garbage";
+  EXPECT_FALSE(ckpt::DecodeSnapshot(image).ok());
+}
+
+TEST(SnapshotContainerTest, RejectsDuplicateSectionIds) {
+  std::vector<SnapshotSection> sections;
+  sections.push_back({3, "one"});
+  sections.push_back({3, "two"});
+  const std::string image = ckpt::EncodeSnapshot(sections);
+  EXPECT_FALSE(ckpt::DecodeSnapshot(image).ok());
+}
+
+// --------------------------------------------------------------------------
+// Executor checkpoint codec
+// --------------------------------------------------------------------------
+
+ExtractedTuple MakeTuple(TokenId join_value, TokenId second, bool good,
+                         double similarity) {
+  ExtractedTuple t;
+  t.join_value = join_value;
+  t.second_value = second;
+  t.ground_truth_good = good;
+  t.similarity = similarity;
+  return t;
+}
+
+ExecutorCheckpoint RichExecutorCheckpoint() {
+  ExecutorCheckpoint c;
+  c.algorithm = JoinAlgorithmKind::kZigZag;
+  c.sequence = 5;
+  c.state = JoinState(100);
+  c.state.AddTuple(0, MakeTuple(11, 21, true, 0.9));
+  c.state.AddTuple(0, MakeTuple(11, 22, false, 0.4));
+  c.state.AddTuple(1, MakeTuple(11, 31, true, 0.8));
+  c.state.AddTuple(1, MakeTuple(12, 32, true, 0.7));
+  TrajectoryPoint point;
+  point.docs_retrieved1 = 40;
+  point.good_join_tuples = 1;
+  point.seconds = 12.5;
+  c.trajectory.push_back(point);
+  c.docs_since_snapshot = 3;
+  c.deadline_hit = false;
+  for (int side = 0; side < 2; ++side) {
+    auto& s = c.sides[side];
+    s.counters.docs_retrieved = 40 + side;
+    s.counters.docs_processed = 38 + side;
+    s.counters.tuples_extracted = 7 * (side + 1);
+    s.seconds = 100.5 + side;
+    s.fault_seconds = 2.25 * side;
+    s.retrieved.assign(50, false);
+    s.retrieved[3] = s.retrieved[17 + side] = true;
+    s.zgjn_queue.push_back({TokenId(11 + side), 0.5});
+    s.zgjn_queue.push_back({TokenId(13 + side), 0.25});
+    s.zgjn_enqueued = {TokenId(11 + side), TokenId(13 + side)};
+  }
+  c.sides[0].has_cursor = true;
+  c.sides[0].cursor.position = 12;
+  c.sides[0].cursor.next_query = 4;
+  c.sides[0].cursor.pending = {DocId(5), DocId(9), DocId(31)};
+  c.sides[0].cursor.pending_pos = 1;
+  c.sides[0].cursor.seen.assign(50, false);
+  c.sides[0].cursor.seen[5] = true;
+  c.oijn_probed_values = {3, 8, 11};
+  c.has_faults = true;
+  for (int side = 0; side < fault::kNumFaultSides; ++side) {
+    for (int op = 0; op < fault::kNumFaultOps; ++op) {
+      for (int w = 0; w < 4; ++w) {
+        c.fault_rng.decision[side][op][w] = 0x1000u * side + 0x100u * op + w + 1;
+        c.fault_rng.backoff[side][op][w] = 0x9000u * side + 0x700u * op + w + 5;
+      }
+    }
+  }
+  c.breakers[0].state = fault::CircuitBreaker::State::kOpen;
+  c.breakers[0].consecutive_failures = 9;
+  c.breakers[0].open_until_seconds = 321.5;
+  c.breakers[0].trips = 2;
+  c.has_metrics = true;
+  c.metrics.counters["join.docs"] = 42;
+  c.metrics.gauges["join.theta1"] = 0.4;
+  obs::MetricsSnapshot::HistogramData h;
+  h.upper_bounds = {1.0, 10.0};
+  h.bucket_counts = {3, 4, 1};
+  h.count = 8;
+  h.sum = 25.75;
+  c.metrics.histograms["join.batch"] = h;
+  return c;
+}
+
+TEST(ExecutorCodecTest, RoundTripsAndReencodesIdentically) {
+  const ExecutorCheckpoint original = RichExecutorCheckpoint();
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendExecutorSections(original, &sections);
+
+  ExecutorCheckpoint decoded;
+  const Status status = ckpt::DecodeExecutorSections(sections, &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(decoded.algorithm, original.algorithm);
+  EXPECT_EQ(decoded.sequence, original.sequence);
+  EXPECT_EQ(decoded.docs_since_snapshot, original.docs_since_snapshot);
+  EXPECT_EQ(decoded.state.good_join_tuples(), original.state.good_join_tuples());
+  EXPECT_EQ(decoded.state.bad_join_tuples(), original.state.bad_join_tuples());
+  EXPECT_EQ(decoded.state.extracted_occurrences(0),
+            original.state.extracted_occurrences(0));
+  EXPECT_EQ(decoded.state.output().size(), original.state.output().size());
+  EXPECT_EQ(decoded.sides[0].counters.docs_retrieved, 40);
+  EXPECT_EQ(decoded.sides[0].cursor.pending, original.sides[0].cursor.pending);
+  EXPECT_EQ(decoded.sides[1].zgjn_enqueued, original.sides[1].zgjn_enqueued);
+  EXPECT_EQ(decoded.oijn_probed_values, original.oijn_probed_values);
+  EXPECT_EQ(decoded.fault_rng.decision[1][2], original.fault_rng.decision[1][2]);
+  EXPECT_EQ(decoded.breakers[0].state, fault::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(decoded.metrics.counters.at("join.docs"), 42);
+  EXPECT_DOUBLE_EQ(decoded.metrics.histograms.at("join.batch").sum, 25.75);
+
+  // Deterministic encoding: re-encoding the decoded checkpoint reproduces
+  // the original bytes exactly (hash maps are emitted sorted).
+  std::vector<SnapshotSection> reencoded;
+  ckpt::AppendExecutorSections(decoded, &reencoded);
+  ASSERT_EQ(reencoded.size(), sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    EXPECT_EQ(reencoded[i].id, sections[i].id);
+    EXPECT_EQ(reencoded[i].payload, sections[i].payload) << "section " << i;
+  }
+}
+
+TEST(ExecutorCodecTest, RejectsMissingSections) {
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendExecutorSections(RichExecutorCheckpoint(), &sections);
+  for (size_t drop = 0; drop < sections.size(); ++drop) {
+    std::vector<SnapshotSection> partial = sections;
+    partial.erase(partial.begin() + static_cast<ptrdiff_t>(drop));
+    ExecutorCheckpoint decoded;
+    EXPECT_FALSE(ckpt::DecodeExecutorSections(partial, &decoded).ok())
+        << "dropped section " << sections[drop].id;
+  }
+}
+
+TEST(ExecutorCodecTest, RejectsPerSectionTrailingGarbage) {
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendExecutorSections(RichExecutorCheckpoint(), &sections);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    std::vector<SnapshotSection> corrupt = sections;
+    corrupt[i].payload += '\x01';
+    ExecutorCheckpoint decoded;
+    EXPECT_FALSE(ckpt::DecodeExecutorSections(corrupt, &decoded).ok())
+        << "section " << sections[i].id;
+  }
+}
+
+TEST(ExecutorCodecTest, RejectsAbsurdElementCounts) {
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendExecutorSections(RichExecutorCheckpoint(), &sections);
+  // The trajectory section starts with its element count: blow it up.
+  for (auto& section : sections) {
+    if (section.id == ckpt::kSectionTrajectory) {
+      BufEncoder enc;
+      enc.PutU64(uint64_t{1} << 40);
+      section.payload = enc.buffer() + section.payload.substr(8);
+    }
+  }
+  ExecutorCheckpoint decoded;
+  EXPECT_FALSE(ckpt::DecodeExecutorSections(sections, &decoded).ok());
+}
+
+TEST(ExecutorCodecTest, RejectsUnknownEnumValues) {
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendExecutorSections(RichExecutorCheckpoint(), &sections);
+  for (auto& section : sections) {
+    if (section.id == ckpt::kSectionExecutorCore) section.payload[0] = 7;
+  }
+  ExecutorCheckpoint decoded;
+  EXPECT_FALSE(ckpt::DecodeExecutorSections(sections, &decoded).ok());
+}
+
+// --------------------------------------------------------------------------
+// Adaptive checkpoint codec
+// --------------------------------------------------------------------------
+
+AdaptiveCheckpoint RichAdaptiveCheckpoint(bool with_executor) {
+  AdaptiveCheckpoint c;
+  c.sequence = 9;
+  c.current_plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  c.current_plan.theta1 = 0.6;
+  c.current_plan.retrieval1 = RetrievalStrategyKind::kFilteredScan;
+  c.current_plan.outer_is_relation1 = false;
+  c.switches = 1;
+  c.side_degraded[1] = true;
+  AdaptivePhase phase;
+  phase.plan.algorithm = JoinAlgorithmKind::kIndependent;
+  phase.seconds = 55.5;
+  phase.end_point.docs_processed1 = 123;
+  phase.switched_away = true;
+  c.phases.push_back(phase);
+  c.total_seconds = 55.5;
+  c.degraded = true;
+  c.docs_dropped = 4;
+  c.breaker_reoptimizations = 1;
+  c.has_estimate = true;
+  c.final_estimate.relation1.num_documents = 1500;
+  c.final_estimate.relation1.good_freq.mean = 2.5;
+  c.final_estimate.relation1.aqg_queries.push_back({0.8, 40.0});
+  c.final_estimate.relation1.hits_pgf =
+      GeneratingFunction::FromCheckpoint({0.5, 0.25, 0.25}, 0.0);
+  c.final_estimate.relation2.num_good_values = 77;
+  c.final_estimate.num_agg = 31;
+  c.final_estimate.coupling = FrequencyCoupling::kIdentical;
+  c.next_estimate_at = 600;
+  c.seen_breaker_trips[0] = 2;
+  c.seed_values = {5, 6};
+  c.has_executor = with_executor;
+  if (with_executor) {
+    c.executor = RichExecutorCheckpoint();
+  } else {
+    c.has_metrics = true;
+    c.metrics.counters["adaptive.phases"] = 2;
+  }
+  return c;
+}
+
+TEST(AdaptiveCodecTest, RoundTripsMidPhaseCheckpoint) {
+  const AdaptiveCheckpoint original = RichAdaptiveCheckpoint(true);
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendAdaptiveSections(original, &sections);
+  AdaptiveCheckpoint decoded;
+  const Status status = ckpt::DecodeAdaptiveSections(sections, &decoded);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(decoded.sequence, 9);
+  EXPECT_EQ(decoded.current_plan.Describe(), original.current_plan.Describe());
+  EXPECT_EQ(decoded.switches, 1);
+  EXPECT_TRUE(decoded.side_degraded[1]);
+  ASSERT_EQ(decoded.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.phases[0].seconds, 55.5);
+  EXPECT_TRUE(decoded.has_estimate);
+  EXPECT_EQ(decoded.final_estimate.relation1.num_documents, 1500);
+  EXPECT_EQ(decoded.final_estimate.relation1.hits_pgf.coefficients(),
+            original.final_estimate.relation1.hits_pgf.coefficients());
+  EXPECT_EQ(decoded.final_estimate.coupling, FrequencyCoupling::kIdentical);
+  EXPECT_EQ(decoded.seed_values, original.seed_values);
+  ASSERT_TRUE(decoded.has_executor);
+  EXPECT_EQ(decoded.executor.sequence, original.executor.sequence);
+
+  std::vector<SnapshotSection> reencoded;
+  ckpt::AppendAdaptiveSections(decoded, &reencoded);
+  ASSERT_EQ(reencoded.size(), sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    EXPECT_EQ(reencoded[i].payload, sections[i].payload) << "section " << i;
+  }
+}
+
+TEST(AdaptiveCodecTest, RoundTripsPhaseBoundaryCheckpoint) {
+  const AdaptiveCheckpoint original = RichAdaptiveCheckpoint(false);
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendAdaptiveSections(original, &sections);
+  EXPECT_EQ(sections.size(), 1u);  // no executor sections at a boundary
+  AdaptiveCheckpoint decoded;
+  ASSERT_TRUE(ckpt::DecodeAdaptiveSections(sections, &decoded).ok());
+  EXPECT_FALSE(decoded.has_executor);
+  ASSERT_TRUE(decoded.has_metrics);
+  EXPECT_EQ(decoded.metrics.counters.at("adaptive.phases"), 2);
+}
+
+// --------------------------------------------------------------------------
+// Manifest + manager
+// --------------------------------------------------------------------------
+
+class CheckpointManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ckpt_mgr_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+  void TearDown() override {
+    // Best-effort cleanup of the small per-test directory.
+    auto listed = ckpt::LoadLatestValidCheckpoint(dir_);
+    (void)listed;
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    std::system(cmd.c_str());
+  }
+
+  ckpt::CheckpointManifest Manifest() {
+    ckpt::CheckpointManifest m;
+    m["scenario"] = "/tmp/x.iejoin";
+    m["algorithm"] = "idjn";
+    return m;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointManagerTest, FileNameIsSequenceOrdered) {
+  EXPECT_EQ(ckpt::CheckpointFileName(7), "ckpt-00000007.iejc");
+  EXPECT_LT(ckpt::CheckpointFileName(99), ckpt::CheckpointFileName(100));
+}
+
+TEST_F(CheckpointManagerTest, WritesAndLoadsLatest) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest());
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  for (int64_t seq = 1; seq <= 3; ++seq) {
+    c.sequence = seq;
+    c.docs_since_snapshot = seq * 10;
+    ASSERT_TRUE((*manager)->Write(c).ok());
+  }
+  EXPECT_EQ((*manager)->checkpoints_written(), 3);
+
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(loaded->is_adaptive);
+  EXPECT_EQ(loaded->sequence, 3);
+  EXPECT_EQ(loaded->executor.docs_since_snapshot, 30);
+  EXPECT_EQ(loaded->manifest.at("algorithm"), "idjn");
+}
+
+TEST_F(CheckpointManagerTest, FallsBackPastCorruptNewestFile) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest());
+  ASSERT_TRUE(manager.ok());
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  c.sequence = 1;
+  ASSERT_TRUE((*manager)->Write(c).ok());
+  c.sequence = 2;
+  ASSERT_TRUE((*manager)->Write(c).ok());
+
+  // Truncate the newest file (simulated torn write on a damaged disk).
+  {
+    std::ofstream out(dir_ + "/" + ckpt::CheckpointFileName(2),
+                      std::ios::binary | std::ios::trunc);
+    out << "IEJCKPT\n";
+  }
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sequence, 1);
+}
+
+TEST_F(CheckpointManagerTest, AllCorruptIsNotFound) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest());
+  ASSERT_TRUE(manager.ok());
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  c.sequence = 1;
+  ASSERT_TRUE((*manager)->Write(c).ok());
+  {
+    std::ofstream out(dir_ + "/" + ckpt::CheckpointFileName(1),
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointManagerTest, EmptyDirectoryIsNotFound) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest());
+  ASSERT_TRUE(manager.ok());
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointManagerTest, MissingDirectoryIsNotFound) {
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_ + "/nope");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointManagerTest, ManifestRoundTrips) {
+  ckpt::CheckpointManifest manifest;
+  manifest["scenario"] = "/data/s.iejoin";
+  manifest["faults"] = "extract.error=0.1";
+  manifest["theta1"] = "0.40000000000000002";
+  std::vector<SnapshotSection> sections;
+  ckpt::AppendManifestSection(manifest, &sections);
+  ckpt::CheckpointManifest decoded;
+  ASSERT_TRUE(ckpt::DecodeManifestSection(sections, &decoded).ok());
+  EXPECT_EQ(decoded, manifest);
+}
+
+}  // namespace
+}  // namespace iejoin

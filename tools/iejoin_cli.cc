@@ -9,6 +9,7 @@
 //   iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]
 //       [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 sc|fs|aqg]
 //       [--tau-good N] [--tau-bad N] [--faults SPEC]
+//       [--checkpoint-dir DIR] [--checkpoint-every-docs N] [--strict]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
 //       Execute one join plan (oracle stopping when taus given, exhaustion
 //       otherwise) and report output quality and simulated time. The *-out
@@ -18,6 +19,18 @@
 //       "extract.error=0.1,retry.attempts=4,deadline=5000". Rates may be
 //       side-qualified ("r1.extract.error=0.3") and "hedge.max=2,
 //       hedge.delay=0.25" races delayed duplicates instead of backing off.
+//       --checkpoint-dir writes crash-consistent snapshots there every
+//       --checkpoint-every-docs processed documents (docs/ROBUSTNESS.md
+//       "Checkpoint & resume"); --strict exits with code 4 when the run
+//       finished degraded (drops, breaker trips, or deadline).
+//
+//   iejoin_cli resume --checkpoint-dir DIR [--strict]
+//       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
+//       Continue a killed `run` from the newest valid snapshot in DIR
+//       (corrupt newer files are skipped). The scenario path, plan, stop
+//       rule, and fault spec are read back from the snapshot's manifest;
+//       with the same seed the resumed execution finishes bit-identically
+//       to the uninterrupted one.
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
 //       [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]
@@ -35,8 +48,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "checkpoint/checkpoint_manager.h"
+#include "checkpoint/kill_point.h"
 #include "fault/fault_plan.h"
 #include "harness/workbench.h"
 #include "obs/metrics.h"
@@ -75,6 +91,9 @@ int Usage() {
                "  iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]\n"
                "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
                "             [--tau-good N] [--tau-bad N] [--faults SPEC]\n"
+               "             [--checkpoint-dir DIR] [--checkpoint-every-docs N] [--strict]\n"
+               "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
+               "  iejoin_cli resume --checkpoint-dir DIR [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
                "             [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]\n");
@@ -171,22 +190,20 @@ bool MaybeDump(const Args& args, const std::string& flag,
   return true;
 }
 
-int CmdRun(const Args& args) {
-  const bool telemetry = args.Has("metrics-out") || args.Has("trace-out") ||
-                         args.Has("report-out");
-  obs::MetricsRegistry registry;
-  obs::Tracer tracer;
-  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
-  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+/// Exit code for a run that completed but finished degraded, under --strict
+/// (distinct from 1 = hard failure and 2 = usage error).
+constexpr int kDegradedExitCode = 4;
 
-  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
-  if (!bench.ok()) {
-    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
-    return 1;
-  }
+std::string FormatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
 
+Result<JoinPlanSpec> PlanFromFields(const std::string& algorithm, double theta1,
+                                    double theta2, const std::string& x1,
+                                    const std::string& x2) {
   JoinPlanSpec plan;
-  const std::string algorithm = args.Get("algorithm", "idjn");
   if (algorithm == "idjn") {
     plan.algorithm = JoinAlgorithmKind::kIndependent;
   } else if (algorithm == "oijn") {
@@ -194,38 +211,22 @@ int CmdRun(const Args& args) {
   } else if (algorithm == "zgjn") {
     plan.algorithm = JoinAlgorithmKind::kZigZag;
   } else {
-    std::fprintf(stderr, "unknown algorithm: %s\n", algorithm.c_str());
-    return 2;
+    return Status::InvalidArgument("unknown algorithm: " + algorithm);
   }
-  plan.theta1 = args.GetDouble("theta1", 0.4);
-  plan.theta2 = args.GetDouble("theta2", 0.4);
-  auto x1 = ParseStrategy(args.Get("x1", "sc"));
-  auto x2 = ParseStrategy(args.Get("x2", "sc"));
-  if (!x1.ok() || !x2.ok()) return 2;
-  plan.retrieval1 = *x1;
-  plan.retrieval2 = *x2;
+  plan.theta1 = theta1;
+  plan.theta2 = theta2;
+  IEJOIN_ASSIGN_OR_RETURN(plan.retrieval1, ParseStrategy(x1));
+  IEJOIN_ASSIGN_OR_RETURN(plan.retrieval2, ParseStrategy(x2));
+  return plan;
+}
 
-  JoinExecutionOptions options;
-  if (args.Has("tau-good")) {
-    options.stop_rule = StopRule::kOracleQuality;
-    options.requirement.min_good_tuples = args.GetInt("tau-good", 1);
-    options.requirement.max_bad_tuples =
-        args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
-  }
-  fault::FaultPlan fault_plan;
-  if (args.Has("faults")) {
-    auto parsed = fault::ParseFaultPlan(args.Get("faults", ""));
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "faults: %s\n", parsed.status().ToString().c_str());
-      return 2;
-    }
-    fault_plan = *parsed;
-    options.fault_plan = &fault_plan;
-    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
-  }
-  options.metrics = metrics;
-  options.tracer = trace;
-  auto result = (*bench)->RunPlan(plan, options);
+/// Shared tail of `run` and `resume`: executes the plan, prints the summary,
+/// dumps telemetry files, and maps --strict + degradation to the exit code.
+int ExecuteAndReport(const Workbench& bench, const JoinPlanSpec& plan,
+                     const JoinExecutionOptions& options, const Args& args,
+                     bool telemetry, obs::MetricsRegistry& registry,
+                     obs::Tracer& tracer) {
+  auto result = bench.RunPlan(plan, options);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
     return 1;
@@ -275,7 +276,184 @@ int CmdRun(const Args& args) {
       if (!MaybeDump(args, "report-out", report.ToJson())) return 1;
     }
   }
+  if (args.Has("strict") && result->degraded) {
+    std::printf("strict: degraded run -> exit %d\n", kDegradedExitCode);
+    return kDegradedExitCode;
+  }
   return 0;
+}
+
+int CmdRun(const Args& args) {
+  const bool telemetry = args.Has("metrics-out") || args.Has("trace-out") ||
+                         args.Has("report-out");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
+  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+
+  auto plan = PlanFromFields(args.Get("algorithm", "idjn"),
+                             args.GetDouble("theta1", 0.4),
+                             args.GetDouble("theta2", 0.4),
+                             args.Get("x1", "sc"), args.Get("x2", "sc"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+
+  JoinExecutionOptions options;
+  if (args.Has("tau-good")) {
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples = args.GetInt("tau-good", 1);
+    options.requirement.max_bad_tuples =
+        args.GetInt("tau-bad", std::numeric_limits<int64_t>::max());
+  }
+  fault::FaultPlan fault_plan;
+  if (args.Has("faults")) {
+    auto parsed = fault::ParseFaultPlan(args.Get("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "faults: %s\n", parsed.status().ToString().c_str());
+      return 2;
+    }
+    fault_plan = *parsed;
+    options.fault_plan = &fault_plan;
+    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
+  }
+  options.metrics = metrics;
+  options.tracer = trace;
+
+  // Durable checkpointing: the manifest embedded in every snapshot records
+  // what `resume` needs to rebuild this exact execution.
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  if (args.Has("checkpoint-dir")) {
+    ckpt::CheckpointManifest manifest;
+    manifest["scenario"] = args.Get("scenario", "");
+    manifest["algorithm"] = args.Get("algorithm", "idjn");
+    manifest["theta1"] = FormatDouble(plan->theta1);
+    manifest["theta2"] = FormatDouble(plan->theta2);
+    manifest["x1"] = args.Get("x1", "sc");
+    manifest["x2"] = args.Get("x2", "sc");
+    if (args.Has("tau-good")) {
+      manifest["tau_good"] = std::to_string(options.requirement.min_good_tuples);
+      manifest["tau_bad"] = std::to_string(options.requirement.max_bad_tuples);
+    }
+    if (args.Has("faults")) manifest["faults"] = args.Get("faults", "");
+    if (telemetry) manifest["telemetry"] = "1";
+    const int64_t every = args.GetInt("checkpoint-every-docs", 256);
+    manifest["checkpoint_every_docs"] = std::to_string(every);
+    auto opened =
+        ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""), manifest);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    manager = std::move(*opened);
+    options.checkpoint_sink = manager.get();
+    options.checkpoint_every_docs = every;
+    std::printf("checkpointing to %s every %lld docs\n",
+                manager->directory().c_str(), static_cast<long long>(every));
+  }
+
+  return ExecuteAndReport(**bench, *plan, options, args, telemetry, registry,
+                          tracer);
+}
+
+int CmdResume(const Args& args) {
+  if (!args.Has("checkpoint-dir")) return Usage();
+  auto loaded = ckpt::LoadLatestValidCheckpoint(args.Get("checkpoint-dir", ""));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "resume: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded->is_adaptive) {
+    std::fprintf(stderr,
+                 "resume: directory holds an adaptive checkpoint; the CLI "
+                 "resumes single-plan runs only\n");
+    return 1;
+  }
+  const ckpt::CheckpointManifest& manifest = loaded->manifest;
+  const auto lookup = [&manifest](const std::string& key,
+                                  const std::string& fallback) {
+    const auto it = manifest.find(key);
+    return it == manifest.end() ? fallback : it->second;
+  };
+  std::printf("resuming from %s (sequence %lld)\n", loaded->path.c_str(),
+              static_cast<long long>(loaded->sequence));
+
+  // The original run's telemetry choice travels in the snapshot: an
+  // executor checkpoint with metrics can only be restored into a run that
+  // has a registry attached, and vice versa.
+  const bool telemetry = loaded->executor.has_metrics;
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
+  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+  if (!telemetry &&
+      (args.Has("metrics-out") || args.Has("trace-out") || args.Has("report-out"))) {
+    std::fprintf(stderr,
+                 "resume: checkpoint was written without telemetry; "
+                 "*-out flags are unavailable\n");
+    return 2;
+  }
+
+  auto bench = WorkbenchForScenario(lookup("scenario", ""), metrics, trace);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+  auto plan = PlanFromFields(lookup("algorithm", "idjn"),
+                             std::atof(lookup("theta1", "0.4").c_str()),
+                             std::atof(lookup("theta2", "0.4").c_str()),
+                             lookup("x1", "sc"), lookup("x2", "sc"));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "manifest: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  JoinExecutionOptions options;
+  if (manifest.count("tau_good") > 0) {
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples =
+        std::atoll(lookup("tau_good", "1").c_str());
+    options.requirement.max_bad_tuples =
+        std::atoll(lookup("tau_bad", "0").c_str());
+  }
+  fault::FaultPlan fault_plan;
+  if (manifest.count("faults") > 0) {
+    auto parsed = fault::ParseFaultPlan(lookup("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "manifest faults: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    fault_plan = *parsed;
+    options.fault_plan = &fault_plan;
+    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
+  }
+  options.metrics = metrics;
+  options.tracer = trace;
+
+  // Keep checkpointing into the same directory under the same cadence; the
+  // resumed run's ordinals continue past the loaded snapshot's, so a
+  // re-written file after a second crash overwrites its stale twin.
+  auto manager =
+      ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""), manifest);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+  options.checkpoint_sink = manager->get();
+  options.checkpoint_every_docs =
+      std::atoll(lookup("checkpoint_every_docs", "256").c_str());
+  options.resume_from = &loaded->executor;
+
+  return ExecuteAndReport(**bench, *plan, options, args, telemetry, registry,
+                          tracer);
 }
 
 int CmdOptimize(const Args& args) {
@@ -339,6 +517,9 @@ int CmdOptimize(const Args& args) {
 }
 
 int Main(int argc, char** argv) {
+  // Crash-harness hook: IEJOIN_KILL_SITE / IEJOIN_KILL_AFTER abort the
+  // process at the configured operation boundary (no-op when unset).
+  ckpt::ArmKillPointFromEnv();
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
@@ -355,6 +536,7 @@ int Main(int argc, char** argv) {
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "run") return CmdRun(args);
+  if (args.command == "resume") return CmdResume(args);
   if (args.command == "optimize") return CmdOptimize(args);
   return Usage();
 }
