@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -49,9 +50,12 @@ std::string CheckpointFileName(int64_t sequence) {
 }
 
 Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
-    std::string directory, CheckpointManifest manifest) {
+    std::string directory, CheckpointManifest manifest, int64_t keep_last) {
   if (directory.empty()) {
     return Status::InvalidArgument("checkpoint directory must not be empty");
+  }
+  if (keep_last < 0) {
+    return Status::InvalidArgument("checkpoint keep_last must be >= 0");
   }
   struct stat st;
   if (::stat(directory.c_str(), &st) == 0) {
@@ -63,8 +67,8 @@ Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
     return Status::Internal("cannot create checkpoint directory " + directory +
                             ": " + std::strerror(errno));
   }
-  return std::unique_ptr<CheckpointManager>(
-      new CheckpointManager(std::move(directory), std::move(manifest)));
+  return std::unique_ptr<CheckpointManager>(new CheckpointManager(
+      std::move(directory), std::move(manifest), keep_last));
 }
 
 Status CheckpointManager::WriteSections(int64_t sequence,
@@ -73,7 +77,31 @@ Status CheckpointManager::WriteSections(int64_t sequence,
   IEJOIN_RETURN_IF_ERROR(WriteSnapshotFile(path, sections));
   ++written_;
   last_path_ = path;
+  // Retention runs only after the new snapshot is durably in place, so a
+  // crash at any instant still leaves the latest valid file on disk; at
+  // worst pruning is deferred to the next successful write.
+  if (keep_last_ > 0) PruneBelow(sequence - keep_last_ + 1);
   return Status::Ok();
+}
+
+void CheckpointManager::PruneBelow(int64_t min_sequence) {
+  DIR* dir = ::opendir(directory_.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::pair<int64_t, std::string>> stale;
+  while (struct dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    const int64_t sequence = SequenceFromFileName(name);
+    if (sequence >= 0 && sequence < min_sequence) {
+      stale.emplace_back(sequence, name);
+    }
+  }
+  ::closedir(dir);
+  // Oldest first, so an interrupted prune leaves a contiguous newest run.
+  std::sort(stale.begin(), stale.end());
+  for (const auto& [sequence, name] : stale) {
+    (void)sequence;
+    if (::unlink((directory_ + "/" + name).c_str()) == 0) ++pruned_;
+  }
 }
 
 Status CheckpointManager::Write(const ExecutorCheckpoint& checkpoint) {

@@ -43,25 +43,45 @@ class CheckpointManager : public CheckpointSink, public AdaptiveCheckpointSink {
   /// Creates the directory when missing (one level). The manifest is
   /// embedded in every snapshot file so `iejoin_cli resume` can rebuild the
   /// execution from the checkpoint alone.
+  ///
+  /// `keep_last` bounds on-disk retention: after each successful write, all
+  /// but the `keep_last` highest-sequence snapshot files are deleted, oldest
+  /// first (0 = keep everything). The just-written file is never deleted, so
+  /// the latest valid snapshot always survives pruning. Use keep_last >= 2
+  /// so LoadLatestValidCheckpoint can still fall back past a newest file
+  /// torn after the fact (e.g. by disk damage).
   static Result<std::unique_ptr<CheckpointManager>> Open(
-      std::string directory, CheckpointManifest manifest);
+      std::string directory, CheckpointManifest manifest,
+      int64_t keep_last = 0);
 
   Status Write(const ExecutorCheckpoint& checkpoint) override;
   Status WriteAdaptive(const AdaptiveCheckpoint& checkpoint) override;
 
   const std::string& directory() const { return directory_; }
   int64_t checkpoints_written() const { return written_; }
+  int64_t keep_last() const { return keep_last_; }
+  /// Snapshot files deleted by retention so far (best effort: an unlinkable
+  /// file is skipped, not an error).
+  int64_t checkpoints_pruned() const { return pruned_; }
   const std::string& last_path() const { return last_path_; }
 
  private:
-  CheckpointManager(std::string directory, CheckpointManifest manifest)
-      : directory_(std::move(directory)), manifest_(std::move(manifest)) {}
+  CheckpointManager(std::string directory, CheckpointManifest manifest,
+                    int64_t keep_last)
+      : directory_(std::move(directory)),
+        manifest_(std::move(manifest)),
+        keep_last_(keep_last) {}
 
   Status WriteSections(int64_t sequence, std::vector<SnapshotSection> sections);
 
+  /// Deletes snapshot files with sequence < `min_sequence`, oldest first.
+  void PruneBelow(int64_t min_sequence);
+
   std::string directory_;
   CheckpointManifest manifest_;
+  int64_t keep_last_ = 0;
   int64_t written_ = 0;
+  int64_t pruned_ = 0;
   std::string last_path_;
 };
 

@@ -255,6 +255,8 @@ void PutSide(const ExecutorCheckpoint::SideCheckpoint& side, BufEncoder* enc) {
   enc->PutI64(c.queries_dropped);
   enc->PutI64(c.breaker_trips);
   enc->PutI64(c.hedges_launched);
+  enc->PutI64(c.cache_hits);
+  enc->PutI64(c.cache_misses);
   enc->PutDouble(side.seconds);
   enc->PutDouble(side.fault_seconds);
   enc->PutBits(side.retrieved);
@@ -283,6 +285,7 @@ Status GetSide(BufDecoder* dec, ExecutorCheckpoint::SideCheckpoint* side) {
       &c.docs_filtered,  &c.queries_issued, &c.tuples_extracted,
       &c.ops_retried,    &c.ops_failed,     &c.docs_dropped,
       &c.queries_dropped, &c.breaker_trips, &c.hedges_launched,
+      &c.cache_hits,      &c.cache_misses,
   };
   for (int64_t* counter : counters) {
     IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, counter));

@@ -29,7 +29,9 @@ namespace ckpt {
 /// never a crash, never a partial load.
 
 inline constexpr char kSnapshotMagic[8] = {'I', 'E', 'J', 'C', 'K', 'P', 'T', '\n'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Version history: 1 = initial layout; 2 = cache_hits/cache_misses appended
+/// to the per-side counter block.
+inline constexpr uint32_t kSnapshotVersion = 2;
 inline constexpr uint32_t kMaxSnapshotSections = 64;
 /// Per-section payload cap (also bounds total file size via the section
 /// cap); far above any real snapshot, low enough to reject corrupt sizes

@@ -7,14 +7,16 @@
 namespace iejoin {
 namespace {
 
-/// Unique non-punctuation tokens of a document.
-std::vector<TokenId> UniqueTokens(const Document& doc) {
-  std::vector<TokenId> tokens = doc.tokens;
-  std::sort(tokens.begin(), tokens.end());
-  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-  tokens.erase(std::remove(tokens.begin(), tokens.end(), Vocabulary::kSentenceEnd),
-               tokens.end());
-  return tokens;
+/// Unique non-punctuation tokens of a document, written into `out`. Takes a
+/// caller-owned scratch vector so loops over a corpus (and the per-document
+/// classify hot path) reuse one allocation instead of copying every
+/// document's token payload.
+void UniqueTokens(const Document& doc, std::vector<TokenId>* out) {
+  out->assign(doc.tokens.begin(), doc.tokens.end());
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  out->erase(std::remove(out->begin(), out->end(), Vocabulary::kSentenceEnd),
+             out->end());
 }
 
 }  // namespace
@@ -33,6 +35,7 @@ Result<std::unique_ptr<NaiveBayesClassifier>> NaiveBayesClassifier::Train(
   std::unordered_map<TokenId, int64_t> pos_docs_with;
   std::unordered_map<TokenId, int64_t> neg_docs_with;
 
+  std::vector<TokenId> unique;
   for (const Document& doc : training_corpus.documents()) {
     const bool positive = ClassifyByGroundTruth(doc) == DocumentClass::kGood;
     if (positive) {
@@ -40,7 +43,8 @@ Result<std::unique_ptr<NaiveBayesClassifier>> NaiveBayesClassifier::Train(
     } else {
       ++num_neg;
     }
-    for (TokenId t : UniqueTokens(doc)) {
+    UniqueTokens(doc, &unique);
+    for (TokenId t : unique) {
       if (positive) {
         ++pos_docs_with[t];
       } else {
@@ -122,7 +126,8 @@ Result<std::unique_ptr<NaiveBayesClassifier>> NaiveBayesClassifier::Train(
 
 double NaiveBayesClassifier::Score(const Document& doc) const {
   double score = prior_log_odds_;
-  for (TokenId t : UniqueTokens(doc)) {
+  UniqueTokens(doc, &scratch_);
+  for (TokenId t : scratch_) {
     const auto it = token_log_odds_.find(t);
     if (it != token_log_odds_.end()) score += it->second;
   }

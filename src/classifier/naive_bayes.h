@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "classifier/document_classifier.h"
 #include "common/status.h"
@@ -39,6 +40,12 @@ class NaiveBayesClassifier : public DocumentClassifier {
   double bias_;
   /// Per-token contribution for tokens *present* in a document.
   std::unordered_map<TokenId, double> token_log_odds_;
+  /// Scoring scratch (the document's unique tokens), reused across calls so
+  /// the hot classify path allocates only when a document outgrows it. This
+  /// makes Score non-reentrant per instance; scoring always happens on one
+  /// thread at a time (the execution driver, or one wiring worker that owns
+  /// the instance).
+  mutable std::vector<TokenId> scratch_;
 };
 
 /// Measures C_tp / C_fp of any classifier on a labeled corpus.

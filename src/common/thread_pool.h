@@ -1,0 +1,99 @@
+#ifndef IEJOIN_COMMON_THREAD_POOL_H_
+#define IEJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace iejoin {
+
+/// A fixed-size worker pool with a FIFO task queue.
+///
+/// The pool exists to run *pure* work off the driver thread: tasks must not
+/// mutate shared executor state. All join-engine bookkeeping (meter charges,
+/// fault RNG draws, JoinState commits) stays on the thread that owns the
+/// executor, which is how parallel runs remain bit-identical to sequential
+/// ones. Submitted tasks are executed in submission order by whichever worker
+/// frees up first; completion order is unspecified — callers that need
+/// ordering wait on the returned futures in their own order.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers. `num_threads` must be >= 1; callers that
+  /// want a sequential path should not construct a pool at all (pass a null
+  /// ThreadPool* through the options structs instead).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue: blocks until every already-submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a fire-and-forget task.
+  void Submit(std::function<void()> task);
+
+  /// Enqueues `task` and returns a future for its result. The future's
+  /// exceptions (if the callable throws) surface at `get()`.
+  template <typename Fn>
+  auto SubmitTask(Fn&& task) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto packaged =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(task));
+    std::future<R> future = packaged->get_future();
+    Submit([packaged]() { (*packaged)(); });
+    return future;
+  }
+
+  /// Number of worker threads.
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Best-effort hardware concurrency, never less than 1.
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, n) and returns the results indexed by i.
+///
+/// When `pool` is null or `n` <= 1 the calls run inline on the caller's
+/// thread; otherwise each index is a pool task. Either way the result vector
+/// is ordered by index, so downstream code (plan ranking, scenario wiring)
+/// sees the same sequence regardless of thread count.
+template <typename Fn>
+auto ParallelMap(ThreadPool* pool, int64_t n, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn, int64_t>> {
+  using R = std::invoke_result_t<Fn, int64_t>;
+  std::vector<R> results;
+  if (n <= 0) return results;
+  if (pool == nullptr || n == 1) {
+    results.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  std::vector<std::future<R>> futures;
+  futures.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    futures.push_back(pool->SubmitTask([&fn, i]() { return fn(i); }));
+  }
+  results.reserve(static_cast<size_t>(n));
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_COMMON_THREAD_POOL_H_

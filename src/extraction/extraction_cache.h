@@ -1,0 +1,104 @@
+#ifndef IEJOIN_EXTRACTION_EXTRACTION_CACHE_H_
+#define IEJOIN_EXTRACTION_EXTRACTION_CACHE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "extraction/extracted_tuple.h"
+#include "textdb/document.h"
+
+namespace iejoin {
+
+/// Memoizes extraction output per (side, document, extractor θ).
+///
+/// OIJN/ZGJN keyword probes return overlapping document lists, and the
+/// adaptive executor's re-optimization phases re-run extraction over
+/// documents an earlier phase already processed — with a deterministic
+/// extractor the batch is identical every time, so re-extracting is pure
+/// wall-clock waste. θ is part of the key (bit-exact double), so re-tuning
+/// an extractor naturally invalidates its entries instead of serving stale
+/// batches.
+///
+/// Simulated results stay cache-invariant by design: the executor charges
+/// the simulated extract cost on a hit exactly as on a miss, and only
+/// hit/miss counters (wall-clock observability) record the difference.
+///
+/// Thread safety: Lookup/Insert/Contains are mutex-guarded so speculative
+/// pipeline workers may *probe* concurrently, but by convention only the
+/// executor driver thread inserts — workers hand results back via futures.
+/// Contents are in-memory only and are NOT checkpointed; a resumed run
+/// starts cold (see docs/ROBUSTNESS.md for the counter implications).
+class ExtractionCache {
+ public:
+  struct Key {
+    int32_t side = 0;  // 0-based database side
+    DocId doc = -1;
+    double theta = 0.0;
+
+    bool operator==(const Key& other) const {
+      // Compare θ by bit pattern: the key must distinguish settings that
+      // differ only past double rounding, and NaN never occurs.
+      uint64_t a = 0, b = 0;
+      std::memcpy(&a, &theta, sizeof(a));
+      std::memcpy(&b, &other.theta, sizeof(b));
+      return side == other.side && doc == other.doc && a == b;
+    }
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &key.theta, sizeof(bits));
+      uint64_t h = 0x9e3779b97f4a7c15ull;
+      const auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      };
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(key.side)));
+      mix(static_cast<uint64_t>(static_cast<uint32_t>(key.doc)));
+      mix(bits);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Copy-out lookup (the caller mutates its batch downstream).
+  std::optional<ExtractionBatch> Lookup(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Cheap presence probe (used by the pipeline to skip speculating on
+  /// documents that would hit anyway).
+  bool Contains(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.find(key) != entries_.end();
+  }
+
+  /// Inserts (or overwrites — idempotent for a deterministic extractor).
+  void Insert(const Key& key, const ExtractionBatch& batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = batch;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(entries_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Key, ExtractionBatch, KeyHash> entries_;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_EXTRACTION_EXTRACTION_CACHE_H_

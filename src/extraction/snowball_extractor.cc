@@ -69,12 +69,17 @@ double SnowballExtractor::Similarity(const std::vector<TokenId>& context) const 
 
 ExtractionBatch SnowballExtractor::Process(const Document& doc) const {
   ExtractionBatch batch;
+  // Each tuple stems from a planted mention's sentence, so the mention
+  // count bounds the expected batch size.
+  batch.reserve(doc.mentions.size());
   uint32_t sentence_index = 0;
   size_t start = 0;
   const auto& tokens = doc.tokens;
 
-  // Reused per sentence.
+  // Reused per sentence; sized once for the whole document so the
+  // per-sentence clear()/push_back cycle never reallocates.
   std::vector<TokenId> context;
+  context.reserve(tokens.size());
 
   for (size_t i = 0; i <= tokens.size(); ++i) {
     const bool at_end = (i == tokens.size());

@@ -27,34 +27,80 @@ Result<std::unique_ptr<MultiWorkbench>> MultiWorkbench::Create(
     IEJOIN_ASSIGN_OR_RETURN(bench->scenario_, generator.Generate(vocabulary));
   }
 
+  if (config.threads < 0) {
+    return Status::InvalidArgument("MultiWorkbenchConfig.threads must be >= 0");
+  }
+  if (config.threads > 0) {
+    bench->pool_ = std::make_unique<ThreadPool>(config.threads);
+  }
+
   const size_t k = bench->scenario_.corpora.size();
   const std::vector<double> grid = UniformThetaGrid(config.knob_grid_points);
-  for (size_t r = 0; r < k; ++r) {
-    bench->databases_.push_back(std::make_unique<TextDatabase>(
-        bench->scenario_.corpora[r],
-        config.spec.seed ^ (0x9e3779b97f4a7c15ULL + r), config.max_results_per_query));
 
-    IEJOIN_ASSIGN_OR_RETURN(
-        std::unique_ptr<SnowballExtractor> extractor,
-        SnowballExtractor::Train(*bench->training_.corpora[r], config.snowball));
-    IEJOIN_ASSIGN_OR_RETURN(
-        KnobCharacterization knobs,
-        CharacterizeExtractor(*extractor, *bench->training_.corpora[r], grid));
-    bench->knobs_.push_back(
-        std::make_unique<KnobCharacterization>(std::move(knobs)));
-    bench->extractors_.push_back(std::move(extractor));
-
-    IEJOIN_ASSIGN_OR_RETURN(
-        std::unique_ptr<NaiveBayesClassifier> classifier,
-        NaiveBayesClassifier::Train(*bench->training_.corpora[r]));
-    bench->cls_chars_.push_back(
-        CharacterizeClassifier(*classifier, *bench->validation_.corpora[r]));
-    bench->classifiers_.push_back(std::move(classifier));
-
-    IEJOIN_ASSIGN_OR_RETURN(
-        std::vector<LearnedQuery> queries,
-        QueryLearner::Learn(*bench->training_.corpora[r], config.aqg_max_queries));
-    bench->queries_.push_back(std::move(queries));
+  // Per-relation wiring (index building, extractor/classifier training,
+  // knob/classifier characterization, query learning) only reads the shared
+  // immutable corpora and vocabulary, so the relations fan out across the
+  // pool; ParallelMap returns them in relation order, and the seeded
+  // components are identical to sequential wiring.
+  struct RelationBuild {
+    std::unique_ptr<TextDatabase> database;
+    std::unique_ptr<SnowballExtractor> extractor;
+    std::unique_ptr<KnobCharacterization> knobs;
+    std::unique_ptr<NaiveBayesClassifier> classifier;
+    ClassifierCharacterization cls_char;
+    std::vector<LearnedQuery> queries;
+    Status status;
+  };
+  const MultiWorkbench* wb = bench.get();
+  std::vector<RelationBuild> built = ParallelMap(
+      bench->pool_.get(), static_cast<int64_t>(k), [&config, &grid, wb](int64_t i) {
+        const size_t r = static_cast<size_t>(i);
+        RelationBuild out;
+        out.database = std::make_unique<TextDatabase>(
+            wb->scenario_.corpora[r],
+            config.spec.seed ^ (0x9e3779b97f4a7c15ULL + r),
+            config.max_results_per_query);
+        Result<std::unique_ptr<SnowballExtractor>> extractor =
+            SnowballExtractor::Train(*wb->training_.corpora[r], config.snowball);
+        if (!extractor.ok()) {
+          out.status = extractor.status();
+          return out;
+        }
+        out.extractor = std::move(extractor).value();
+        Result<KnobCharacterization> knobs =
+            CharacterizeExtractor(*out.extractor, *wb->training_.corpora[r], grid);
+        if (!knobs.ok()) {
+          out.status = knobs.status();
+          return out;
+        }
+        out.knobs =
+            std::make_unique<KnobCharacterization>(std::move(knobs).value());
+        Result<std::unique_ptr<NaiveBayesClassifier>> classifier =
+            NaiveBayesClassifier::Train(*wb->training_.corpora[r]);
+        if (!classifier.ok()) {
+          out.status = classifier.status();
+          return out;
+        }
+        out.classifier = std::move(classifier).value();
+        out.cls_char =
+            CharacterizeClassifier(*out.classifier, *wb->validation_.corpora[r]);
+        Result<std::vector<LearnedQuery>> queries =
+            QueryLearner::Learn(*wb->training_.corpora[r], config.aqg_max_queries);
+        if (!queries.ok()) {
+          out.status = queries.status();
+          return out;
+        }
+        out.queries = std::move(queries).value();
+        return out;
+      });
+  for (RelationBuild& b : built) {
+    IEJOIN_RETURN_IF_ERROR(b.status);
+    bench->databases_.push_back(std::move(b.database));
+    bench->extractors_.push_back(std::move(b.extractor));
+    bench->knobs_.push_back(std::move(b.knobs));
+    bench->classifiers_.push_back(std::move(b.classifier));
+    bench->cls_chars_.push_back(std::move(b.cls_char));
+    bench->queries_.push_back(std::move(b.queries));
   }
   return bench;
 }
@@ -107,6 +153,7 @@ Result<OptimizerInputs> MultiWorkbench::PairOptimizerInputs(
   inputs.knobs2 = knobs_[b].get();
   inputs.costs1 = config_.costs;
   inputs.costs2 = config_.costs;
+  inputs.pool = pool_.get();
   return inputs;
 }
 

@@ -24,6 +24,11 @@ struct MultiWorkbenchConfig {
   int32_t aqg_max_queries = 60;
   int32_t knob_grid_points = 21;
   CostModel costs;
+  /// Worker threads for wiring the per-relation components (index/train/
+  /// characterize/learn fan out per relation — they only read the shared
+  /// immutable corpora) and for executions run against this workbench.
+  /// 0 = sequential. The wired components are identical either way.
+  int32_t threads = 0;
 };
 
 /// The K-relation analogue of Workbench: one generated evaluation scenario
@@ -47,6 +52,9 @@ class MultiWorkbench {
   }
   const std::vector<LearnedQuery>& queries(size_t r) const { return queries_[r]; }
   const CostModel& costs() const { return config_.costs; }
+
+  /// The workbench's worker pool (null when config.threads == 0).
+  ThreadPool* pool() const { return pool_.get(); }
 
   /// Join resources for the task R_a ⋈ R_b (a is side 1).
   JoinResources PairResources(size_t a, size_t b) const;
@@ -78,6 +86,7 @@ class MultiWorkbench {
   std::vector<std::unique_ptr<NaiveBayesClassifier>> classifiers_;
   std::vector<ClassifierCharacterization> cls_chars_;
   std::vector<std::vector<LearnedQuery>> queries_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace iejoin

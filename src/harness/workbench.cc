@@ -73,6 +73,15 @@ Result<std::unique_ptr<Workbench>> Workbench::CreateForScenario(
 Result<std::unique_ptr<Workbench>> Workbench::Wire(std::unique_ptr<Workbench> bench,
                                                    const WorkbenchConfig& config) {
   obs::Tracer::Span wire_span = obs::StartSpan(config.tracer, "workbench.wire");
+  if (config.threads < 0) {
+    return Status::InvalidArgument("WorkbenchConfig.threads must be >= 0");
+  }
+  if (config.threads > 0) {
+    bench->pool_ = std::make_unique<ThreadPool>(config.threads);
+  }
+  if (config.extraction_cache) {
+    bench->cache_ = std::make_unique<ExtractionCache>();
+  }
   bench->database1_ = std::make_unique<TextDatabase>(
       bench->scenario_.corpus1, config.scenario.seed ^ 0x5bd1e995,
       config.max_results_per_query);
@@ -183,6 +192,7 @@ Result<OptimizerInputs> Workbench::OracleOptimizerInputs(
   inputs.knobs2 = knobs2_.get();
   inputs.costs1 = config_.costs;
   inputs.costs2 = config_.costs;
+  inputs.pool = pool_.get();
   return inputs;
 }
 
@@ -204,6 +214,10 @@ Result<JoinExecutionResult> Workbench::RunPlan(const JoinPlanSpec& plan,
   }
   if (options.fault_plan == nullptr && config_.fault_plan != nullptr) {
     options.fault_plan = config_.fault_plan;
+  }
+  if (options.pool == nullptr) options.pool = pool_.get();
+  if (options.extraction_cache == nullptr) {
+    options.extraction_cache = cache_.get();
   }
   return executor->Run(options);
 }

@@ -33,6 +33,17 @@ struct WorkbenchConfig {
   /// ZGJN seed count used by RunPlan when the caller supplies none.
   int32_t zgjn_seed_count = 4;
 
+  /// Worker threads for parallel execution: 0 = sequential (no pool, the
+  /// library default), N > 0 = a pool of N shared by RunPlan executions and
+  /// optimizer plan scoring. Parallel runs are bit-identical to sequential
+  /// ones — the pool only accelerates wall clock.
+  int32_t threads = 0;
+  /// Memoize extraction batches per (side, doc, θ) across this workbench's
+  /// runs. Off by default: hit/miss counters land in side counters (and so
+  /// in checkpoint bytes), and a resumed run's cache starts cold — see
+  /// docs/ROBUSTNESS.md before combining with checkpoints.
+  bool extraction_cache = false;
+
   /// Optional default fault plan (non-owning; must outlive the workbench).
   /// RunPlan attaches it to every execution whose options do not carry
   /// their own plan — one switch turns a whole experiment fault-injected.
@@ -81,6 +92,11 @@ class Workbench {
   /// Join resources for executing any plan on the evaluation databases.
   JoinResources resources() const;
 
+  /// The workbench's worker pool (null when config.threads == 0).
+  ThreadPool* pool() const { return pool_.get(); }
+  /// The workbench's extraction cache (null unless config.extraction_cache).
+  ExtractionCache* extraction_cache() const { return cache_.get(); }
+
   /// One-call plan execution: builds the executor, auto-seeds ZGJN plans
   /// when the options carry no seed values, attaches the config's default
   /// fault plan when the options carry none, and runs. The convenience
@@ -124,6 +140,8 @@ class Workbench {
   ClassifierCharacterization cls_char2_;
   std::vector<LearnedQuery> queries1_;
   std::vector<LearnedQuery> queries2_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ExtractionCache> cache_;
 };
 
 }  // namespace iejoin

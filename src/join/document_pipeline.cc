@@ -1,0 +1,85 @@
+#include "join/document_pipeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include "common/logging.h"
+
+namespace iejoin {
+
+DocumentPipeline::DocumentPipeline(ThreadPool* pool, ExtractionCache* cache)
+    : pool_(pool), cache_(cache) {}
+
+DocumentPipeline::~DocumentPipeline() {
+  if (::getenv("IEJOIN_PIPELINE_DEBUG") != nullptr) {
+    std::fprintf(stderr, "pipeline: speculated=%lld used=%lld zombies=%zu\n",
+                 static_cast<long long>(speculated_),
+                 static_cast<long long>(speculation_used_), inflight_.size());
+  }
+  // Zombie speculation (documents dropped by faults, rejected by a
+  // classifier, or abandoned by an early stop) still references the
+  // extractors and corpus; wait it out before they go away.
+  for (auto& [key, future] : inflight_) {
+    if (future.valid()) future.wait();
+  }
+}
+
+void DocumentPipeline::ConfigureSide(int side, const Extractor* extractor,
+                                     const Corpus* corpus) {
+  IEJOIN_CHECK(side == 0 || side == 1);
+  IEJOIN_CHECK(extractor != nullptr && corpus != nullptr);
+  sides_[side].extractor = extractor;
+  sides_[side].corpus = corpus;
+}
+
+ExtractionCache::Key DocumentPipeline::CacheKey(int side, DocId doc) const {
+  ExtractionCache::Key key;
+  key.side = side;
+  key.doc = doc;
+  key.theta = sides_[side].extractor->theta();
+  return key;
+}
+
+void DocumentPipeline::Prefetch(int side, const std::vector<DocId>& docs) {
+  if (pool_ == nullptr) return;
+  const SideInputs& inputs = sides_[side];
+  IEJOIN_CHECK(inputs.extractor != nullptr) << "Prefetch before ConfigureSide";
+  for (DocId doc : docs) {
+    const InflightKey key{side, doc};
+    if (inflight_.find(key) != inflight_.end()) continue;
+    // Read-only probe: a memoized document would be pure wasted speculation.
+    if (cache_ != nullptr && cache_->Contains(CacheKey(side, doc))) continue;
+    const Extractor* extractor = inputs.extractor;
+    const Document* document = &inputs.corpus->document(doc);
+    inflight_.emplace(key, pool_->SubmitTask([extractor, document]() {
+      return extractor->Process(*document);
+    }));
+    ++speculated_;
+  }
+}
+
+DocumentPipeline::TakeResult DocumentPipeline::Take(int side, DocId doc) {
+  const SideInputs& inputs = sides_[side];
+  IEJOIN_CHECK(inputs.extractor != nullptr) << "Take before ConfigureSide";
+  TakeResult result;
+  if (cache_ != nullptr) {
+    if (std::optional<ExtractionBatch> hit = cache_->Lookup(CacheKey(side, doc))) {
+      result.batch = std::move(*hit);
+      result.cache_hit = true;
+      return result;
+    }
+  }
+  const auto it = inflight_.find(InflightKey{side, doc});
+  if (it != inflight_.end()) {
+    result.batch = it->second.get();
+    inflight_.erase(it);
+    ++speculation_used_;
+  } else {
+    result.batch = inputs.extractor->Process(inputs.corpus->document(doc));
+  }
+  if (cache_ != nullptr) {
+    cache_->Insert(CacheKey(side, doc), result.batch);
+  }
+  return result;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,120 @@
+#ifndef IEJOIN_JOIN_DOCUMENT_PIPELINE_H_
+#define IEJOIN_JOIN_DOCUMENT_PIPELINE_H_
+
+#include <cstdint>
+#include <future>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "extraction/extraction_cache.h"
+#include "extraction/extractor.h"
+#include "textdb/corpus.h"
+
+namespace iejoin {
+
+/// Speculative per-document extraction pipeline for one join execution.
+///
+/// The join executors are driver-threaded state machines: every meter
+/// charge, fault-RNG draw, and JoinState commit happens on the thread that
+/// runs the algorithm, in retrieval order. What dominates wall time is the
+/// one *pure* step — Extractor::Process over an immutable document — so
+/// that is the only thing this pipeline moves off the driver:
+///
+///   * Prefetch(side, docs) speculatively submits Process() calls for
+///     documents the retrieval strategy is about to yield, tagged with a
+///     per-side sequence number (submission order == expected take order,
+///     so workers drain the queue in the order results are needed).
+///   * Take(side, doc) is the ordered-merge point: it blocks on the
+///     speculated future if one is in flight, or computes inline when the
+///     document was never speculated (or there is no pool at all).
+///
+/// Because speculation only ever *computes* — it never touches meters,
+/// RNGs, the cache, or join state — the committed execution is bit-identical
+/// to the sequential run at any thread count, including thread count zero.
+/// A speculated document the driver ends up dropping (injected fault,
+/// classifier rejection, early stop) simply leaves a zombie future that the
+/// destructor drains.
+///
+/// The optional ExtractionCache is consulted and populated exclusively from
+/// the driver thread inside Take, so hit/miss counters are deterministic
+/// too; Prefetch only probes it read-only to avoid speculating on documents
+/// that would hit anyway.
+class DocumentPipeline {
+ public:
+  /// Both pointers may be null (null pool = inline extraction, null cache =
+  /// no memoization). Everything configured must outlive the pipeline.
+  DocumentPipeline(ThreadPool* pool, ExtractionCache* cache);
+
+  /// Drains all in-flight speculation before members the tasks reference
+  /// (extractors, corpora) can be destroyed.
+  ~DocumentPipeline();
+
+  DocumentPipeline(const DocumentPipeline&) = delete;
+  DocumentPipeline& operator=(const DocumentPipeline&) = delete;
+
+  /// Registers one side's immutable extraction inputs.
+  void ConfigureSide(int side, const Extractor* extractor, const Corpus* corpus);
+
+  /// Whether Prefetch does anything — callers skip assembling peek lists
+  /// when it does not.
+  bool speculative() const { return pool_ != nullptr; }
+
+  /// Suggested number of documents to keep speculated ahead of the driver:
+  /// enough to keep every worker busy plus a queued batch each.
+  int64_t lookahead() const {
+    return pool_ == nullptr ? 0 : static_cast<int64_t>(pool_->size()) * 2;
+  }
+
+  /// Speculatively submits extraction for documents expected to be taken
+  /// soon, in the given order. Documents already in flight or already
+  /// memoized are skipped, so overlapping windows are cheap to re-submit.
+  void Prefetch(int side, const std::vector<DocId>& docs);
+
+  /// The ordered-merge point: the extraction batch for `doc`, plus whether
+  /// it was served from the cache. Runs on the driver thread only.
+  struct TakeResult {
+    ExtractionBatch batch;
+    bool cache_hit = false;
+  };
+  TakeResult Take(int side, DocId doc);
+
+  /// Documents submitted to workers so far (observability/testing).
+  int64_t speculated() const { return speculated_; }
+  /// Speculated results that were actually consumed by Take.
+  int64_t speculation_used() const { return speculation_used_; }
+
+ private:
+  struct SideInputs {
+    const Extractor* extractor = nullptr;
+    const Corpus* corpus = nullptr;
+  };
+  struct InflightKey {
+    int32_t side;
+    DocId doc;
+    bool operator==(const InflightKey& other) const {
+      return side == other.side && doc == other.doc;
+    }
+  };
+  struct InflightKeyHash {
+    size_t operator()(const InflightKey& key) const {
+      return (static_cast<size_t>(static_cast<uint32_t>(key.side)) << 32) ^
+             static_cast<size_t>(static_cast<uint32_t>(key.doc));
+    }
+  };
+
+  ExtractionCache::Key CacheKey(int side, DocId doc) const;
+
+  ThreadPool* pool_;
+  ExtractionCache* cache_;
+  SideInputs sides_[2];
+  /// Driver-thread-only: futures are the sole cross-thread handoff.
+  std::unordered_map<InflightKey, std::future<ExtractionBatch>, InflightKeyHash>
+      inflight_;
+  int64_t speculated_ = 0;
+  int64_t speculation_used_ = 0;
+};
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_JOIN_DOCUMENT_PIPELINE_H_

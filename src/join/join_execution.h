@@ -17,6 +17,8 @@ namespace iejoin {
 
 class CheckpointSink;
 struct ExecutorCheckpoint;
+class ExtractionCache;
+class ThreadPool;
 
 /// One sampled point of a join execution: cumulative effort and output
 /// composition. The benchmark harnesses replay trajectories to answer
@@ -167,6 +169,19 @@ struct JoinExecutionOptions {
   /// execution is bit-identical either way.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  /// --- Parallel execution (optional, non-owning; must outlive the run) ---
+  /// Worker pool for speculative per-document extraction. Null = the
+  /// sequential legacy path. Because workers only run the pure extraction
+  /// step and the driver thread commits results in retrieval order, output
+  /// tuples, trajectory, metrics, fault-RNG consumption, and checkpoint
+  /// bytes are bit-identical at any pool size — including no pool.
+  ThreadPool* pool = nullptr;
+  /// Extraction memoization keyed (side, doc, θ). Shared across runs (the
+  /// adaptive executor's phases, repeated Workbench plans) to skip
+  /// re-extracting documents; simulated time is charged on hits too, so
+  /// simulated results are cache-invariant. Null = no memoization.
+  ExtractionCache* extraction_cache = nullptr;
 };
 
 struct JoinExecutionResult {

@@ -117,6 +117,10 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
       telemetry.queries_dropped = metrics_->counter(prefix + "queries_dropped");
       telemetry.breaker_trips = metrics_->counter(prefix + "breaker_trips");
       telemetry.hedges_launched = metrics_->counter(prefix + "hedges_launched");
+      // Cache counters likewise register unconditionally so metric
+      // snapshots stay key-identical whether or not a cache is attached.
+      telemetry.cache_hits = metrics_->counter(prefix + "cache_hits");
+      telemetry.cache_misses = metrics_->counter(prefix + "cache_misses");
       sides_[i].meter.AttachTelemetry(telemetry);
     }
     metrics_->counter("join.runs")->Increment();
@@ -128,6 +132,16 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
         [this] { return sides_[0].meter.seconds() + sides_[1].meter.seconds(); });
     run_span_ = tracer_->StartSpan("join.run");
     run_span_.AddAttribute("algorithm", JoinAlgorithmName(kind()));
+  }
+  // The pipeline is rebuilt fresh on every run (and resume): speculation
+  // and memoization are wall-clock accelerators with no committed state of
+  // their own, so there is nothing to restore.
+  pipeline_ = std::make_unique<DocumentPipeline>(options.pool,
+                                                 options.extraction_cache);
+  cache_attached_ = options.extraction_cache != nullptr;
+  for (int i = 0; i < 2; ++i) {
+    pipeline_->ConfigureSide(i, sides_[i].config.extractor.get(),
+                             &sides_[i].config.database->corpus());
   }
   if (options.resume_from != nullptr) {
     // Restore after the telemetry registrations above so the wholesale
@@ -240,12 +254,22 @@ Status JoinExecutorBase::RestoreAlgorithmState(const ExecutorCheckpoint&,
 
 ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
   SideState& side = sides_[side_index];
-  const Document& document = side.config.database->corpus().document(doc);
   obs::Tracer::Span span = obs::StartSpan(tracer_, "side.extract");
+  // The simulated extract cost is charged on cache hits and speculated
+  // results alike: the cache and the pool change wall time, never the
+  // simulated execution.
   side.meter.ChargeExtract();
   ++docs_since_snapshot_;
   ++docs_since_checkpoint_;
-  ExtractionBatch batch = side.config.extractor->Process(document);
+  DocumentPipeline::TakeResult taken = pipeline_->Take(side_index, doc);
+  ExtractionBatch batch = std::move(taken.batch);
+  if (cache_attached_) {
+    if (taken.cache_hit) {
+      side.meter.RecordCacheHit();
+    } else {
+      side.meter.RecordCacheMiss();
+    }
+  }
   side.meter.RecordExtractionYield(static_cast<int64_t>(batch.size()));
   if (tuples_per_doc_ != nullptr) {
     tuples_per_doc_->Observe(static_cast<double>(batch.size()));
@@ -577,6 +601,16 @@ Result<JoinExecutionResult> IndependentJoin::Run(const JoinExecutionOptions& opt
   bool exhausted = false;
   while (!stopped && !exhausted) {
     IEJOIN_RETURN_IF_ERROR(MaybeCheckpoint(options));
+    if (pipeline_->speculative()) {
+      // Keep the workers ahead of the ripple: speculate at least a full
+      // round per side, widened to the pipeline's lookahead so rounds
+      // smaller than the pool (per_round = 1 is the default) still expose
+      // cross-round parallelism.
+      for (int side = 0; side < 2; ++side) {
+        pipeline_->Prefetch(side, retrieval_[side]->PeekUpcoming(std::max(
+                                      per_round[side], pipeline_->lookahead())));
+      }
+    }
     bool progress = false;
     for (int side = 0; side < 2 && !stopped; ++side) {
       for (int64_t k = 0; k < per_round[side]; ++k) {
@@ -642,6 +676,10 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
   bool exhausted = false;
   while (!stopped) {
     IEJOIN_RETURN_IF_ERROR(MaybeCheckpoint(options));
+    if (pipeline_->speculative()) {
+      pipeline_->Prefetch(outer,
+                          outer_retrieval_->PeekUpcoming(pipeline_->lookahead()));
+    }
     const FetchOutcome fetched = FetchNext(outer, outer_retrieval_.get());
     if (fetched.exhausted) {
       exhausted = true;
@@ -661,7 +699,11 @@ Result<JoinExecutionResult> OuterInnerJoin::Run(const JoinExecutionOptions& opti
     // Probe the inner database once per newly seen join-attribute value.
     for (const ExtractedTuple& t : *outer_batch) {
       if (!probed_values_.insert(t.join_value).second) continue;
-      for (DocId d : QueryAndFetch(inner, t.join_value)) {
+      const std::vector<DocId> fresh = QueryAndFetch(inner, t.join_value);
+      // A probe's whole result list is known up front — the ideal batch to
+      // fan across the pool while the driver commits in list order.
+      if (pipeline_->speculative()) pipeline_->Prefetch(inner, fresh);
+      for (DocId d : fresh) {
         TryProcessDocument(inner, d);
         MaybeSnapshot(options);
         if (CheckStop(options)) {
@@ -746,7 +788,9 @@ Result<JoinExecutionResult> ZigZagJoin::Run(const JoinExecutionOptions& options)
       if (queues_[side].empty()) continue;
       const TokenId value = queues_[side].Pop();
       const int other = 1 - side;
-      for (DocId d : QueryAndFetch(side, value)) {
+      const std::vector<DocId> fetched = QueryAndFetch(side, value);
+      if (pipeline_->speculative()) pipeline_->Prefetch(side, fetched);
+      for (DocId d : fetched) {
         if (options.zgjn_classifier_filter &&
             !FilterAccepts(side, d, classifiers_[side])) {
           if (docs_rejected != nullptr) docs_rejected->Increment();

@@ -11,6 +11,7 @@
 #include "extraction/extractor.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
+#include "join/document_pipeline.h"
 #include "join/executor_checkpoint.h"
 #include "join/join_execution.h"
 #include "join/join_types.h"
@@ -224,6 +225,13 @@ class JoinExecutorBase {
   obs::Tracer* tracer_ = nullptr;
   obs::Histogram* tuples_per_doc_ = nullptr;
   obs::Tracer::Span run_span_;
+
+  /// Speculative extraction pipeline, built by Begin from the run options'
+  /// pool/cache (inert — inline extraction, no memoization — when both are
+  /// null). Declared after sides_ so its destructor drains in-flight worker
+  /// tasks before the extractors they reference are destroyed.
+  std::unique_ptr<DocumentPipeline> pipeline_;
+  bool cache_attached_ = false;
 };
 
 /// IDJN (Section IV-A): extracts both relations independently, retrieving

@@ -23,6 +23,8 @@ void WriteSideCounters(const SideCounters& side, JsonWriter& json) {
   json.Key("queries_dropped").Value(side.queries_dropped);
   json.Key("breaker_trips").Value(side.breaker_trips);
   json.Key("hedges_launched").Value(side.hedges_launched);
+  json.Key("cache_hits").Value(side.cache_hits);
+  json.Key("cache_misses").Value(side.cache_misses);
   json.EndObject();
 }
 

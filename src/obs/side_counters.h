@@ -43,6 +43,15 @@ struct SideCounters {
   /// Duplicate hedged attempts raced after a primary-attempt failure
   /// (only nonzero when the fault plan enables a HedgePolicy).
   int64_t hedges_launched = 0;
+
+  /// --- Extraction memoization (wall-clock accounting only; a cache hit
+  /// still charges the simulated extract cost, so simulated results are
+  /// cache-invariant). Both stay zero unless an ExtractionCache is
+  /// attached. ---
+  /// Documents whose extraction batch was served from the cache.
+  int64_t cache_hits = 0;
+  /// Documents extracted fresh while a cache was attached.
+  int64_t cache_misses = 0;
 };
 
 }  // namespace obs

@@ -337,6 +337,8 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     exec_options.requirement = options.requirement;
     exec_options.metrics = options.metrics;
     exec_options.tracer = options.tracer;
+    exec_options.pool = options.pool;
+    exec_options.extraction_cache = options.extraction_cache;
 
     // Each phase runs under its own fault-plan copy: the seed is salted by
     // the phase index (a restarted plan must not replay the previous
@@ -391,6 +393,7 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
       inputs.side_degraded[1] = side_degraded[1];
       inputs.metrics = options.metrics;
       inputs.tracer = options.tracer;
+      inputs.pool = options.pool;
       const QualityAwareOptimizer optimizer(inputs, enum_options_);
       const Result<PlanChoice> best = optimizer.ChoosePlan(options.requirement);
       if (!best.ok()) return false;

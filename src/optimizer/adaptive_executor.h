@@ -74,6 +74,14 @@ struct AdaptiveOptions {
   AdaptiveCheckpointSink* checkpoint_sink = nullptr;
   int64_t checkpoint_every_docs = 256;
   const AdaptiveCheckpoint* resume_from = nullptr;
+
+  /// --- Parallel execution (optional, non-owning; must outlive the run) ---
+  /// Forwarded to every phase's executor (speculative extraction) and to
+  /// the re-optimizer (parallel plan scoring). The extraction cache pays
+  /// off here in simulated-wall-clock terms: a post-switch phase re-reads
+  /// documents the abandoned phase already extracted at the same θ.
+  ThreadPool* pool = nullptr;
+  ExtractionCache* extraction_cache = nullptr;
 };
 
 /// One execution phase (a plan run until it stopped or was abandoned).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace iejoin {
 namespace {
@@ -188,10 +189,16 @@ PlanChoice QualityAwareOptimizer::EvaluatePlan(
 std::vector<PlanChoice> QualityAwareOptimizer::RankPlans(
     const QualityRequirement& requirement) const {
   obs::Tracer::Span span = obs::StartSpan(inputs_.tracer, "optimizer.rank_plans");
-  std::vector<PlanChoice> choices;
-  for (const JoinPlanSpec& plan : EnumeratePlans(enum_options_)) {
-    choices.push_back(EvaluatePlan(plan, requirement));
-  }
+  // Plan evaluations are pure (the one shared touch, the plans_evaluated
+  // counter, is atomic), so they fan across the pool; ParallelMap returns
+  // them in enumeration order, which keeps the stable sort — and thus the
+  // ranking — bit-identical to the sequential path.
+  const std::vector<JoinPlanSpec> plans = EnumeratePlans(enum_options_);
+  std::vector<PlanChoice> choices =
+      ParallelMap(inputs_.pool, static_cast<int64_t>(plans.size()),
+                  [&](int64_t i) {
+                    return EvaluatePlan(plans[static_cast<size_t>(i)], requirement);
+                  });
   std::stable_sort(choices.begin(), choices.end(),
                    [](const PlanChoice& a, const PlanChoice& b) {
                      if (a.feasible != b.feasible) return a.feasible;

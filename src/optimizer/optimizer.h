@@ -17,6 +17,8 @@
 
 namespace iejoin {
 
+class ThreadPool;
+
 /// Everything the optimizer needs to cost plans: the database-specific and
 /// strategy/join-specific model parameters (ground truth or estimates; the
 /// per-plan tp/fp fields are overwritten from the knob characterizations),
@@ -56,6 +58,12 @@ struct OptimizerInputs {
   /// optimizer.choose spans.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+
+  /// Optional worker pool (non-owning; must outlive the optimizer). Plan
+  /// evaluations are independent, so RankPlans scores the plan space in
+  /// parallel; results keep enumeration order and the sort is stable, so
+  /// the ranking is identical with or without a pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// The optimizer's verdict on one candidate plan for one requirement.

@@ -1,5 +1,7 @@
 #include "retrieval/retrieval_strategy.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace iejoin {
@@ -24,6 +26,16 @@ std::optional<DocId> ScanStrategy::Next(ExecutionMeter* meter) {
   if (position_ >= database_->size()) return std::nullopt;
   meter->ChargeRetrieve();
   return database_->ScanDocument(position_++).id;
+}
+
+std::vector<DocId> ScanStrategy::PeekUpcoming(int64_t limit) const {
+  std::vector<DocId> upcoming;
+  const int64_t end = std::min(position_ + limit, database_->size());
+  upcoming.reserve(static_cast<size_t>(std::max<int64_t>(end - position_, 0)));
+  for (int64_t pos = position_; pos < end; ++pos) {
+    upcoming.push_back(database_->ScanDocument(pos).id);
+  }
+  return upcoming;
 }
 
 RetrievalCursor ScanStrategy::SaveCursor() const {
@@ -55,6 +67,19 @@ std::optional<DocId> FilteredScanStrategy::Next(ExecutionMeter* meter) {
     if (classifier_->IsLikelyGood(doc)) return doc.id;
   }
   return std::nullopt;
+}
+
+std::vector<DocId> FilteredScanStrategy::PeekUpcoming(int64_t limit) const {
+  // Peeks the raw scan tail without consulting the classifier: running it
+  // here would be wasted real work (Next() pays it anyway), so speculation
+  // on a rejected document is the accepted cost of a cheap peek.
+  std::vector<DocId> upcoming;
+  const int64_t end = std::min(position_ + limit, database_->size());
+  upcoming.reserve(static_cast<size_t>(std::max<int64_t>(end - position_, 0)));
+  for (int64_t pos = position_; pos < end; ++pos) {
+    upcoming.push_back(database_->ScanDocument(pos).id);
+  }
+  return upcoming;
 }
 
 RetrievalCursor FilteredScanStrategy::SaveCursor() const {
@@ -97,6 +122,19 @@ std::optional<DocId> AqgStrategy::Next(ExecutionMeter* meter) {
       }
     }
   }
+}
+
+std::vector<DocId> AqgStrategy::PeekUpcoming(int64_t limit) const {
+  // Only the current query's unreturned results are safe to peek: issuing
+  // the next query mutates the seen bitmap and charges t_Q.
+  std::vector<DocId> upcoming;
+  const size_t end = std::min(pending_pos_ + static_cast<size_t>(std::max<int64_t>(limit, 0)),
+                              pending_.size());
+  upcoming.reserve(end - std::min(pending_pos_, end));
+  for (size_t pos = pending_pos_; pos < end; ++pos) {
+    upcoming.push_back(pending_[pos]);
+  }
+  return upcoming;
 }
 
 RetrievalCursor AqgStrategy::SaveCursor() const {

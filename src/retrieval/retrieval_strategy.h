@@ -46,6 +46,18 @@ class RetrievalStrategy {
   /// exhausted (whole database scanned, or all queries spent).
   virtual std::optional<DocId> Next(ExecutionMeter* meter) = 0;
 
+  /// Documents that upcoming Next() calls may yield, without advancing the
+  /// stream or charging anything — the speculation feed for the parallel
+  /// document pipeline. The list is best-effort: it may be a superset of
+  /// what Next() actually yields (Filtered Scan peeks past its classifier)
+  /// and may be shorter than `limit` (AQG only peeks inside the current
+  /// query's pending results — issuing the next query has side effects).
+  /// The default conservatively peeks nothing.
+  virtual std::vector<DocId> PeekUpcoming(int64_t limit) const {
+    (void)limit;
+    return {};
+  }
+
   virtual RetrievalStrategyKind kind() const = 0;
 
   /// Checkpoint/resume of the stream position: RestoreCursor(SaveCursor())
@@ -62,6 +74,7 @@ class ScanStrategy : public RetrievalStrategy {
   explicit ScanStrategy(const TextDatabase* database);
 
   std::optional<DocId> Next(ExecutionMeter* meter) override;
+  std::vector<DocId> PeekUpcoming(int64_t limit) const override;
   RetrievalStrategyKind kind() const override { return RetrievalStrategyKind::kScan; }
   RetrievalCursor SaveCursor() const override;
   Status RestoreCursor(const RetrievalCursor& cursor) override;
@@ -81,6 +94,7 @@ class FilteredScanStrategy : public RetrievalStrategy {
                        const DocumentClassifier* classifier);
 
   std::optional<DocId> Next(ExecutionMeter* meter) override;
+  std::vector<DocId> PeekUpcoming(int64_t limit) const override;
   RetrievalStrategyKind kind() const override {
     return RetrievalStrategyKind::kFilteredScan;
   }
@@ -101,6 +115,7 @@ class AqgStrategy : public RetrievalStrategy {
   AqgStrategy(const TextDatabase* database, std::vector<LearnedQuery> queries);
 
   std::optional<DocId> Next(ExecutionMeter* meter) override;
+  std::vector<DocId> PeekUpcoming(int64_t limit) const override;
   RetrievalStrategyKind kind() const override {
     return RetrievalStrategyKind::kAutomaticQueryGeneration;
   }

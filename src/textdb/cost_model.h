@@ -43,6 +43,8 @@ struct MeterTelemetry {
   obs::Counter* queries_dropped = nullptr;
   obs::Counter* breaker_trips = nullptr;
   obs::Counter* hedges_launched = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* cache_misses = nullptr;
 };
 
 /// Charges simulated time and counts operations during a join execution.
@@ -129,6 +131,18 @@ class ExecutionMeter {
     ++counters_.breaker_trips;
     if (telemetry_.breaker_trips != nullptr) telemetry_.breaker_trips->Increment();
   }
+  /// --- Extraction-cache bookkeeping. Hits/misses never touch the
+  /// simulated clock (ChargeExtract is charged either way so cached and
+  /// uncached runs agree on simulated time). ---
+  void RecordCacheHit() {
+    ++counters_.cache_hits;
+    if (telemetry_.cache_hits != nullptr) telemetry_.cache_hits->Increment();
+  }
+  void RecordCacheMiss() {
+    ++counters_.cache_misses;
+    if (telemetry_.cache_misses != nullptr) telemetry_.cache_misses->Increment();
+  }
+
   void RecordHedge(int64_t hedges = 1) {
     counters_.hedges_launched += hedges;
     if (telemetry_.hedges_launched != nullptr) {

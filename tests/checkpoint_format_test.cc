@@ -530,6 +530,86 @@ TEST_F(CheckpointManagerTest, MissingDirectoryIsNotFound) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
+// --------------------------------------------------------------------------
+// Keep-last-N retention
+// --------------------------------------------------------------------------
+
+bool CheckpointFileExists(const std::string& dir, int64_t sequence) {
+  std::ifstream in(dir + "/" + ckpt::CheckpointFileName(sequence),
+                   std::ios::binary);
+  return in.good();
+}
+
+TEST_F(CheckpointManagerTest, RetentionDeletesOldestFirst) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest(), /*keep_last=*/2);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_EQ((*manager)->keep_last(), 2);
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  for (int64_t seq = 1; seq <= 5; ++seq) {
+    c.sequence = seq;
+    ASSERT_TRUE((*manager)->Write(c).ok());
+    // After every write exactly the two newest survive: the retention pass
+    // removes the oldest files, never the one just written.
+    for (int64_t old = 1; old <= seq; ++old) {
+      EXPECT_EQ(CheckpointFileExists(dir_, old), old >= seq - 1)
+          << "after writing " << seq << ", sequence " << old;
+    }
+  }
+  EXPECT_EQ((*manager)->checkpoints_pruned(), 3);
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sequence, 5);
+}
+
+TEST_F(CheckpointManagerTest, KeepZeroRetainsEverything) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest(), /*keep_last=*/0);
+  ASSERT_TRUE(manager.ok());
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  for (int64_t seq = 1; seq <= 4; ++seq) {
+    c.sequence = seq;
+    ASSERT_TRUE((*manager)->Write(c).ok());
+  }
+  for (int64_t seq = 1; seq <= 4; ++seq) {
+    EXPECT_TRUE(CheckpointFileExists(dir_, seq)) << seq;
+  }
+  EXPECT_EQ((*manager)->checkpoints_pruned(), 0);
+}
+
+TEST_F(CheckpointManagerTest, RetentionPreservesFallbackPastTornNewest) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest(), /*keep_last=*/2);
+  ASSERT_TRUE(manager.ok());
+  ExecutorCheckpoint c = RichExecutorCheckpoint();
+  for (int64_t seq = 1; seq <= 3; ++seq) {
+    c.sequence = seq;
+    ASSERT_TRUE((*manager)->Write(c).ok());
+  }
+  // keep_last=2 left sequences 2 and 3; tear the newest (simulated disk
+  // damage after the write) — resume must still find sequence 2.
+  {
+    std::ofstream out(dir_ + "/" + ckpt::CheckpointFileName(3),
+                      std::ios::binary | std::ios::trunc);
+    out << "IEJCKPT\n";
+  }
+  auto loaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->sequence, 2);
+
+  // The run continues: the next write prunes the torn file's predecessor
+  // but the just-written snapshot immediately becomes the newest valid one.
+  c.sequence = 4;
+  ASSERT_TRUE((*manager)->Write(c).ok());
+  EXPECT_FALSE(CheckpointFileExists(dir_, 2));
+  auto reloaded = ckpt::LoadLatestValidCheckpoint(dir_);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->sequence, 4);
+}
+
+TEST_F(CheckpointManagerTest, RejectsNegativeKeepLast) {
+  auto manager = ckpt::CheckpointManager::Open(dir_, Manifest(), /*keep_last=*/-1);
+  ASSERT_FALSE(manager.ok());
+  EXPECT_EQ(manager.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(CheckpointManagerTest, ManifestRoundTrips) {
   ckpt::CheckpointManifest manifest;
   manifest["scenario"] = "/data/s.iejoin";

@@ -1,0 +1,409 @@
+// Parallel execution determinism suite: the worker-pool document pipeline
+// must produce byte-identical results, metrics, and checkpoint images at
+// every thread count (the pool accelerates wall clock, nothing else), the
+// extraction cache must leave results untouched while its hit/miss counters
+// stay thread-count-invariant, and the ThreadPool/ParallelMap primitives
+// must preserve submission order. Runs unlabeled so the TSan lane covers it.
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/join_checkpoint.h"
+#include "checkpoint/snapshot_format.h"
+#include "common/thread_pool.h"
+#include "extraction/extraction_cache.h"
+#include "fault/fault_plan.h"
+#include "harness/workbench.h"
+#include "obs/metrics.h"
+
+namespace iejoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool / ParallelMap primitives
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SubmitTaskReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::future<int64_t>> futures;
+  for (int64_t i = 0; i < 100; ++i) {
+    futures.push_back(pool.SubmitTask([i]() { return i * i; }));
+  }
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int64_t> ran{0};
+  std::vector<std::future<int64_t>> futures;
+  {
+    ThreadPool pool(2);
+    for (int64_t i = 0; i < 64; ++i) {
+      futures.push_back(pool.SubmitTask([&ran, i]() {
+        ran.fetch_add(1);
+        return i;
+      }));
+    }
+  }  // Destructor joins only after every queued task ran.
+  EXPECT_EQ(ran.load(), 64);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(3);
+  const std::vector<int64_t> mapped =
+      ParallelMap(&pool, 50, [](int64_t i) { return i * 3; });
+  ASSERT_EQ(mapped.size(), 50u);
+  for (int64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(mapped[static_cast<size_t>(i)], i * 3);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelMapRunsInlineWithoutPool) {
+  const std::vector<int64_t> mapped =
+      ParallelMap(nullptr, 5, [](int64_t i) { return i + 1; });
+  EXPECT_EQ(mapped, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints: hexfloat keeps doubles bit-exact, so string equality is
+// bit-identity over everything a run produces (mirrors the crash suite).
+// ---------------------------------------------------------------------------
+
+void AppendPoint(const TrajectoryPoint& p, std::ostringstream* out) {
+  *out << p.docs_retrieved1 << ',' << p.docs_retrieved2 << ','
+       << p.docs_processed1 << ',' << p.docs_processed2 << ',' << p.queries1
+       << ',' << p.queries2 << ',' << p.extracted1 << ',' << p.extracted2
+       << ',' << p.docs_with_extraction1 << ',' << p.docs_with_extraction2
+       << ',' << p.docs_dropped1 << ',' << p.docs_dropped2 << ','
+       << p.queries_dropped1 << ',' << p.queries_dropped2 << ','
+       << p.ops_retried1 << ',' << p.ops_retried2 << ',' << p.ops_failed1
+       << ',' << p.ops_failed2 << ',' << p.breaker_trips1 << ','
+       << p.breaker_trips2 << ',' << p.hedges1 << ',' << p.hedges2 << ','
+       << p.good_join_tuples << ',' << p.bad_join_tuples << ',' << p.seconds
+       << ';';
+}
+
+void AppendMetrics(const obs::MetricsSnapshot& m, std::ostringstream* out) {
+  *out << "|counters:";
+  for (const auto& [name, value] : m.counters) *out << name << '=' << value << ';';
+  *out << "|gauges:";
+  for (const auto& [name, value] : m.gauges) *out << name << '=' << value << ';';
+  *out << "|histograms:";
+  for (const auto& [name, h] : m.histograms) {
+    *out << name << '=';
+    for (double b : h.upper_bounds) *out << b << ',';
+    for (int64_t c : h.bucket_counts) *out << c << ',';
+    *out << h.count << ',' << h.sum << ';';
+  }
+}
+
+std::string Fingerprint(const JoinExecutionResult& result,
+                        const obs::MetricsSnapshot* metrics) {
+  std::ostringstream out;
+  out << std::hexfloat;
+  out << "final:";
+  AppendPoint(result.final_point, &out);
+  out << "|traj:" << result.trajectory.size() << ';';
+  for (const auto& p : result.trajectory) AppendPoint(p, &out);
+  out << "|state:" << result.state.good_join_tuples() << ','
+      << result.state.bad_join_tuples() << ','
+      << result.state.extracted_occurrences(0) << ','
+      << result.state.extracted_occurrences(1) << ','
+      << result.state.good_occurrences(0) << ','
+      << result.state.good_occurrences(1) << ','
+      << result.state.output_truncated();
+  out << "|output:" << result.state.output().size() << ';';
+  for (const auto& t : result.state.output()) {
+    out << t.join_value << ',' << t.second1 << ',' << t.second2 << ','
+        << t.is_good << ',' << t.confidence << ';';
+  }
+  out << "|flags:" << result.exhausted << result.requirement_met
+      << result.degraded << result.deadline_exceeded << ','
+      << result.fault_seconds;
+  if (metrics != nullptr) AppendMetrics(*metrics, &out);
+  return out.str();
+}
+
+/// Captures every delivered checkpoint as encoded snapshot bytes, so two
+/// runs' checkpoint streams can be compared image by image.
+class ImageSink : public CheckpointSink {
+ public:
+  Status Write(const ExecutorCheckpoint& checkpoint) override {
+    std::vector<ckpt::SnapshotSection> sections;
+    ckpt::AppendExecutorSections(checkpoint, &sections);
+    images.push_back(ckpt::EncodeSnapshot(sections));
+    return Status::Ok();
+  }
+  std::vector<std::string> images;
+};
+
+// ---------------------------------------------------------------------------
+// Fixture: one small workbench shared by every determinism case. Pools are
+// attached per run through JoinExecutionOptions, so a single bench serves
+// every thread count.
+// ---------------------------------------------------------------------------
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec PlanFor(JoinAlgorithmKind kind) {
+    JoinPlanSpec plan;
+    plan.algorithm = kind;
+    plan.theta1 = plan.theta2 = 0.4;
+    plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  static fault::FaultPlan TestFaults() {
+    fault::FaultPlan plan;
+    plan.set_error_rate(fault::FaultOp::kExtract, 0.05);
+    plan.set_timeout(fault::FaultOp::kQuery, 0.02, 1.5);
+    return plan;
+  }
+
+  struct RunCapture {
+    std::string fingerprint;
+    std::vector<std::string> checkpoint_images;
+  };
+
+  /// Runs the plan with the given pool (null = sequential) and returns the
+  /// full bit-identity capture: result + metrics fingerprint and the byte
+  /// images of every emitted checkpoint.
+  static RunCapture Run(const JoinPlanSpec& plan, const fault::FaultPlan* faults,
+                        ThreadPool* pool) {
+    ImageSink sink;
+    obs::MetricsRegistry registry;
+    JoinExecutionOptions options;
+    options.max_output_tuples = 20000;
+    options.fault_plan = faults;
+    options.checkpoint_sink = &sink;
+    options.checkpoint_every_docs = 32;
+    options.metrics = &registry;
+    options.pool = pool;
+    auto result = bench().RunPlan(plan, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    RunCapture capture;
+    if (result.ok()) {
+      const obs::MetricsSnapshot snapshot = registry.Snapshot();
+      capture.fingerprint = Fingerprint(*result, &snapshot);
+      capture.checkpoint_images = std::move(sink.images);
+    }
+    return capture;
+  }
+
+  /// threads=0 is the sequential legacy path; every parallel run must match
+  /// it byte for byte.
+  static void RunMatrix(JoinAlgorithmKind kind, const fault::FaultPlan* faults) {
+    const JoinPlanSpec plan = PlanFor(kind);
+    const RunCapture expected = Run(plan, faults, nullptr);
+    ASSERT_FALSE(expected.fingerprint.empty());
+    ASSERT_GE(expected.checkpoint_images.size(), 1u)
+        << "scenario too small to exercise checkpointing";
+
+    for (int threads : {1, 2, 8}) {
+      ThreadPool pool(threads);
+      const RunCapture parallel = Run(plan, faults, &pool);
+      EXPECT_EQ(parallel.fingerprint, expected.fingerprint)
+          << JoinAlgorithmName(kind) << " diverged at threads=" << threads;
+      ASSERT_EQ(parallel.checkpoint_images.size(),
+                expected.checkpoint_images.size())
+          << JoinAlgorithmName(kind) << " threads=" << threads;
+      for (size_t i = 0; i < expected.checkpoint_images.size(); ++i) {
+        EXPECT_EQ(parallel.checkpoint_images[i], expected.checkpoint_images[i])
+            << JoinAlgorithmName(kind) << " checkpoint " << i
+            << " diverged at threads=" << threads;
+      }
+    }
+  }
+
+ private:
+  static const Workbench* bench_;
+};
+
+const Workbench* ParallelDeterminismTest::bench_ = nullptr;
+
+TEST_F(ParallelDeterminismTest, IdjnMatchesSequential) {
+  RunMatrix(JoinAlgorithmKind::kIndependent, nullptr);
+}
+
+TEST_F(ParallelDeterminismTest, OijnMatchesSequential) {
+  RunMatrix(JoinAlgorithmKind::kOuterInner, nullptr);
+}
+
+TEST_F(ParallelDeterminismTest, ZgjnMatchesSequential) {
+  RunMatrix(JoinAlgorithmKind::kZigZag, nullptr);
+}
+
+TEST_F(ParallelDeterminismTest, IdjnMatchesSequentialUnderFaults) {
+  const fault::FaultPlan faults = TestFaults();
+  RunMatrix(JoinAlgorithmKind::kIndependent, &faults);
+}
+
+TEST_F(ParallelDeterminismTest, OijnMatchesSequentialUnderFaults) {
+  const fault::FaultPlan faults = TestFaults();
+  RunMatrix(JoinAlgorithmKind::kOuterInner, &faults);
+}
+
+TEST_F(ParallelDeterminismTest, ZgjnMatchesSequentialUnderFaults) {
+  const fault::FaultPlan faults = TestFaults();
+  RunMatrix(JoinAlgorithmKind::kZigZag, &faults);
+}
+
+// ---------------------------------------------------------------------------
+// Extraction cache: results cache-invariant, counters thread-invariant,
+// θ change invalidates by construction (new key).
+// ---------------------------------------------------------------------------
+
+class ExtractionCacheTest : public ParallelDeterminismTest {
+ protected:
+  struct CachedRun {
+    std::string result_fingerprint;  // result only — no metrics
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  static CachedRun RunWithCache(const JoinPlanSpec& plan, ExtractionCache* cache,
+                                ThreadPool* pool) {
+    obs::MetricsRegistry registry;
+    JoinExecutionOptions options;
+    options.max_output_tuples = 20000;
+    options.metrics = &registry;
+    options.pool = pool;
+    options.extraction_cache = cache;
+    auto result = bench().RunPlan(plan, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    CachedRun run;
+    if (result.ok()) {
+      run.result_fingerprint = Fingerprint(*result, nullptr);
+      const obs::MetricsSnapshot snapshot = registry.Snapshot();
+      for (const auto& [name, value] : snapshot.counters) {
+        if (name == "side1.cache_hits" || name == "side2.cache_hits") {
+          run.hits += value;
+        } else if (name == "side1.cache_misses" ||
+                   name == "side2.cache_misses") {
+          run.misses += value;
+        }
+      }
+    }
+    return run;
+  }
+};
+
+TEST_F(ExtractionCacheTest, RepeatRunsHitAndResultsAreCacheInvariant) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const std::string uncached =
+      RunWithCache(plan, nullptr, nullptr).result_fingerprint;
+
+  ExtractionCache cache;
+  const CachedRun first = RunWithCache(plan, &cache, nullptr);
+  EXPECT_EQ(first.hits, 0) << "each doc is extracted at most once per run";
+  EXPECT_GT(first.misses, 0);
+  EXPECT_GT(cache.size(), 0);
+  // The simulated execution is cache-invariant: same bytes with and without.
+  EXPECT_EQ(first.result_fingerprint, uncached);
+
+  const CachedRun second = RunWithCache(plan, &cache, nullptr);
+  EXPECT_GT(second.hits, 0) << "second run over the same docs must hit";
+  EXPECT_EQ(second.hits, first.misses)
+      << "every insert from run 1 is re-read in run 2";
+  EXPECT_EQ(second.misses, 0);
+  EXPECT_EQ(second.result_fingerprint, uncached);
+}
+
+TEST_F(ExtractionCacheTest, ThetaChangeMissesThenHitsAtThatTheta) {
+  ExtractionCache cache;
+  JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const CachedRun at_04 = RunWithCache(plan, &cache, nullptr);
+  EXPECT_GT(at_04.misses, 0);
+
+  // θ is part of the cache key, so changing it invalidates by construction.
+  plan.theta1 = plan.theta2 = 0.6;
+  const CachedRun at_06 = RunWithCache(plan, &cache, nullptr);
+  EXPECT_EQ(at_06.hits, 0) << "entries at θ=0.4 must not serve θ=0.6";
+  EXPECT_GT(at_06.misses, 0);
+
+  const CachedRun at_06_again = RunWithCache(plan, &cache, nullptr);
+  EXPECT_EQ(at_06_again.hits, at_06.misses);
+  EXPECT_EQ(at_06_again.misses, 0);
+}
+
+TEST_F(ExtractionCacheTest, HitCountersAreThreadCountInvariant) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kOuterInner);
+
+  ExtractionCache sequential_cache;
+  const CachedRun seq1 = RunWithCache(plan, &sequential_cache, nullptr);
+  const CachedRun seq2 = RunWithCache(plan, &sequential_cache, nullptr);
+
+  ThreadPool pool(4);
+  ExtractionCache parallel_cache;
+  const CachedRun par1 = RunWithCache(plan, &parallel_cache, &pool);
+  const CachedRun par2 = RunWithCache(plan, &parallel_cache, &pool);
+
+  EXPECT_EQ(par1.hits, seq1.hits);
+  EXPECT_EQ(par1.misses, seq1.misses);
+  EXPECT_EQ(par2.hits, seq2.hits);
+  EXPECT_EQ(par2.misses, seq2.misses);
+  EXPECT_EQ(parallel_cache.size(), sequential_cache.size());
+  EXPECT_EQ(par1.result_fingerprint, seq1.result_fingerprint);
+  EXPECT_EQ(par2.result_fingerprint, seq2.result_fingerprint);
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer plan scoring fans out over the same pool; the ranking must be
+// identical to the sequential one (enumeration order + stable sort).
+// ---------------------------------------------------------------------------
+
+TEST_F(ParallelDeterminismTest, OptimizerRankingIsThreadCountInvariant) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  QualityRequirement req;
+  req.min_good_tuples = 50;
+  req.max_bad_tuples = 100000;
+
+  const auto describe = [&req](const OptimizerInputs& in) {
+    const QualityAwareOptimizer optimizer(in, PlanEnumerationOptions());
+    std::ostringstream out;
+    out << std::hexfloat;
+    for (const PlanChoice& c : optimizer.RankPlans(req)) {
+      out << c.plan.Describe() << ',' << c.feasible << ','
+          << c.estimate.expected_good << ',' << c.estimate.expected_bad << ','
+          << c.estimate.seconds << ';';
+    }
+    return out.str();
+  };
+
+  OptimizerInputs sequential = *inputs;
+  sequential.pool = nullptr;
+  const std::string expected = describe(sequential);
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    OptimizerInputs parallel = *inputs;
+    parallel.pool = &pool;
+    EXPECT_EQ(describe(parallel), expected) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace iejoin

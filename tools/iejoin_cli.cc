@@ -21,8 +21,14 @@
 //       hedge.delay=0.25" races delayed duplicates instead of backing off.
 //       --checkpoint-dir writes crash-consistent snapshots there every
 //       --checkpoint-every-docs processed documents (docs/ROBUSTNESS.md
-//       "Checkpoint & resume"); --strict exits with code 4 when the run
-//       finished degraded (drops, breaker trips, or deadline).
+//       "Checkpoint & resume"); --checkpoint-keep N retains only the N
+//       newest snapshots (delete oldest first; use N >= 2 to preserve the
+//       fallback past a torn newest file); --strict exits with code 4 when
+//       the run finished degraded (drops, breaker trips, or deadline).
+//       --threads N fans document processing across N workers (default:
+//       hardware concurrency; 0 = sequential) — output bytes are identical
+//       at any thread count. --extraction-cache memoizes extraction per
+//       (doc, θ) across the workbench's runs.
 //
 //   iejoin_cli resume --checkpoint-dir DIR [--strict]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
@@ -53,6 +59,7 @@
 
 #include "checkpoint/checkpoint_manager.h"
 #include "checkpoint/kill_point.h"
+#include "common/thread_pool.h"
 #include "fault/fault_plan.h"
 #include "harness/workbench.h"
 #include "obs/metrics.h"
@@ -91,12 +98,16 @@ int Usage() {
                "  iejoin_cli run --scenario FILE [--algorithm idjn|oijn|zgjn]\n"
                "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
                "             [--tau-good N] [--tau-bad N] [--faults SPEC]\n"
-               "             [--checkpoint-dir DIR] [--checkpoint-every-docs N] [--strict]\n"
+               "             [--threads N] [--extraction-cache]\n"
+               "             [--checkpoint-dir DIR] [--checkpoint-every-docs N]\n"
+               "             [--checkpoint-keep N] [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
-               "  iejoin_cli resume --checkpoint-dir DIR [--strict]\n"
+               "  iejoin_cli resume --checkpoint-dir DIR [--threads N]\n"
+               "             [--checkpoint-keep N] [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
-               "             [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]\n");
+               "             [--threads N] [--faults SPEC]\n"
+               "             [--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -158,12 +169,21 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+/// Worker threads for a command: `--threads N` when given, otherwise the
+/// machine's hardware concurrency (0 = sequential legacy path). Parallel
+/// runs are bit-identical to sequential ones, so the default is safe.
+int64_t ThreadsFromArgs(const Args& args) {
+  return args.GetInt("threads",
+                     static_cast<int64_t>(ThreadPool::HardwareConcurrency()));
+}
+
 /// Builds a Workbench whose evaluation scenario was loaded from disk: the
 /// training/validation draws are regenerated from a spec matching the
 /// loaded corpora's sizes. Telemetry pointers may be null.
 Result<std::unique_ptr<Workbench>> WorkbenchForScenario(
     const std::string& path, obs::MetricsRegistry* metrics = nullptr,
-    obs::Tracer* tracer = nullptr) {
+    obs::Tracer* tracer = nullptr, int64_t threads = 0,
+    bool extraction_cache = false) {
   IEJOIN_ASSIGN_OR_RETURN(JoinScenario scenario, LoadScenario(path));
   WorkbenchConfig config;
   // Match the default spec shape to the loaded sizes so the training draw
@@ -172,6 +192,8 @@ Result<std::unique_ptr<Workbench>> WorkbenchForScenario(
       scenario.corpus1->size() <= 2000 ? ScenarioSpec::Small() : ScenarioSpec::PaperLike();
   config.metrics = metrics;
   config.tracer = tracer;
+  config.threads = static_cast<int32_t>(threads);
+  config.extraction_cache = extraction_cache;
   return Workbench::CreateForScenario(config, std::move(scenario));
 }
 
@@ -291,7 +313,9 @@ int CmdRun(const Args& args) {
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
   obs::Tracer* trace = telemetry ? &tracer : nullptr;
 
-  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace,
+                                    ThreadsFromArgs(args),
+                                    args.Has("extraction-cache"));
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -346,8 +370,12 @@ int CmdRun(const Args& args) {
     if (telemetry) manifest["telemetry"] = "1";
     const int64_t every = args.GetInt("checkpoint-every-docs", 256);
     manifest["checkpoint_every_docs"] = std::to_string(every);
-    auto opened =
-        ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""), manifest);
+    // Retention travels in the manifest so a resumed run keeps pruning
+    // under the same policy. 0 = keep every snapshot.
+    const int64_t keep = args.GetInt("checkpoint-keep", 0);
+    if (keep > 0) manifest["checkpoint_keep"] = std::to_string(keep);
+    auto opened = ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""),
+                                                manifest, keep);
     if (!opened.ok()) {
       std::fprintf(stderr, "checkpoint: %s\n", opened.status().ToString().c_str());
       return 1;
@@ -355,8 +383,10 @@ int CmdRun(const Args& args) {
     manager = std::move(*opened);
     options.checkpoint_sink = manager.get();
     options.checkpoint_every_docs = every;
-    std::printf("checkpointing to %s every %lld docs\n",
-                manager->directory().c_str(), static_cast<long long>(every));
+    std::printf("checkpointing to %s every %lld docs%s\n",
+                manager->directory().c_str(), static_cast<long long>(every),
+                keep > 0 ? (", keeping last " + std::to_string(keep)).c_str()
+                         : "");
   }
 
   return ExecuteAndReport(**bench, *plan, options, args, telemetry, registry,
@@ -401,7 +431,12 @@ int CmdResume(const Args& args) {
     return 2;
   }
 
-  auto bench = WorkbenchForScenario(lookup("scenario", ""), metrics, trace);
+  // Thread count is free to differ from the original run: parallel
+  // execution is bit-identical to sequential, so the resumed bytes match
+  // the uninterrupted run's regardless. The extraction cache stays off on
+  // resume (its contents are not checkpointed; see docs/ROBUSTNESS.md).
+  auto bench = WorkbenchForScenario(lookup("scenario", ""), metrics, trace,
+                                    ThreadsFromArgs(args));
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -438,11 +473,15 @@ int CmdResume(const Args& args) {
   options.metrics = metrics;
   options.tracer = trace;
 
-  // Keep checkpointing into the same directory under the same cadence; the
-  // resumed run's ordinals continue past the loaded snapshot's, so a
-  // re-written file after a second crash overwrites its stale twin.
-  auto manager =
-      ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""), manifest);
+  // Keep checkpointing into the same directory under the same cadence and
+  // retention policy; the resumed run's ordinals continue past the loaded
+  // snapshot's, so a re-written file after a second crash overwrites its
+  // stale twin. --checkpoint-keep overrides the manifest's policy.
+  const int64_t keep =
+      args.GetInt("checkpoint-keep",
+                  std::atoll(lookup("checkpoint_keep", "0").c_str()));
+  auto manager = ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""),
+                                               manifest, keep);
   if (!manager.ok()) {
     std::fprintf(stderr, "checkpoint: %s\n", manager.status().ToString().c_str());
     return 1;
@@ -464,7 +503,8 @@ int CmdOptimize(const Args& args) {
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
   obs::Tracer* trace = telemetry ? &tracer : nullptr;
 
-  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace);
+  auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace,
+                                    ThreadsFromArgs(args));
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
