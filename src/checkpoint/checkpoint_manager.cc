@@ -74,7 +74,12 @@ Result<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
 Status CheckpointManager::WriteSections(int64_t sequence,
                                         std::vector<SnapshotSection> sections) {
   const std::string path = directory_ + "/" + CheckpointFileName(sequence);
-  IEJOIN_RETURN_IF_ERROR(WriteSnapshotFile(path, sections));
+  // Encode here (rather than WriteSnapshotFile) so the image size is known:
+  // executors accumulate it into the checkpoint-bytes telemetry series, and
+  // atomic whole-image writes make file size == encoded size.
+  const std::string image = EncodeSnapshot(sections);
+  IEJOIN_RETURN_IF_ERROR(AtomicWriteFile(path, image));
+  last_write_bytes_ = static_cast<int64_t>(image.size());
   ++written_;
   last_path_ = path;
   // Retention runs only after the new snapshot is durably in place, so a
@@ -119,10 +124,12 @@ Status CheckpointManager::WriteAdaptive(const AdaptiveCheckpoint& checkpoint) {
 }
 
 Result<LoadedCheckpoint> LoadCheckpointFile(const std::string& path) {
+  IEJOIN_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
   IEJOIN_ASSIGN_OR_RETURN(std::vector<SnapshotSection> sections,
-                          ReadSnapshotFile(path));
+                          DecodeSnapshot(raw));
   LoadedCheckpoint loaded;
   loaded.path = path;
+  loaded.file_bytes = static_cast<int64_t>(raw.size());
   IEJOIN_RETURN_IF_ERROR(DecodeManifestSection(sections, &loaded.manifest));
   loaded.is_adaptive = HasSection(sections, kSectionAdaptive);
   if (loaded.is_adaptive) {

@@ -27,6 +27,11 @@ struct LoadedCheckpoint {
   int64_t sequence = 0;
   /// File the checkpoint was loaded from.
   std::string path;
+  /// Size of that file in bytes. A resume seeds its checkpoint-bytes
+  /// telemetry accumulator with `executor.checkpoint_bytes_written +
+  /// file_bytes` — the loaded image's predecessors plus the image itself —
+  /// so the series continues exactly where the crashed run left it.
+  int64_t file_bytes = 0;
 };
 
 /// `ckpt-%08d.iejc` — zero-padded so lexicographic directory order matches
@@ -64,6 +69,9 @@ class CheckpointManager : public CheckpointSink, public AdaptiveCheckpointSink {
   /// file is skipped, not an error).
   int64_t checkpoints_pruned() const { return pruned_; }
   const std::string& last_path() const { return last_path_; }
+  /// Size in bytes of the most recent snapshot image (CheckpointSink
+  /// override; 0 before the first write).
+  int64_t last_write_bytes() const override { return last_write_bytes_; }
 
  private:
   CheckpointManager(std::string directory, CheckpointManifest manifest,
@@ -82,6 +90,7 @@ class CheckpointManager : public CheckpointSink, public AdaptiveCheckpointSink {
   int64_t keep_last_ = 0;
   int64_t written_ = 0;
   int64_t pruned_ = 0;
+  int64_t last_write_bytes_ = 0;
   std::string last_path_;
 };
 

@@ -587,6 +587,12 @@ void AppendExecutorSections(const ExecutorCheckpoint& checkpoint,
     enc.PutBool(checkpoint.deadline_hit);
     enc.PutBool(checkpoint.has_faults);
     enc.PutBool(checkpoint.has_metrics);
+    // Telemetry cursor + durable-bytes accounting (container version 3).
+    enc.PutBool(checkpoint.has_telemetry);
+    enc.PutI64(checkpoint.telemetry_frames_emitted);
+    enc.PutI64(checkpoint.telemetry_docs_at_last_sample);
+    enc.PutDouble(checkpoint.telemetry_seconds_at_last_sample);
+    enc.PutI64(checkpoint.checkpoint_bytes_written);
     out->push_back({kSectionExecutorCore, enc.Take()});
   }
   {
@@ -663,6 +669,13 @@ Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
     IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->deadline_hit));
     IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_faults));
     IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_metrics));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_telemetry));
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->telemetry_frames_emitted));
+    IEJOIN_RETURN_IF_ERROR(
+        GetNonNegative(&dec, &out->telemetry_docs_at_last_sample));
+    IEJOIN_RETURN_IF_ERROR(
+        dec.GetDouble(&out->telemetry_seconds_at_last_sample));
+    IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->checkpoint_bytes_written));
     IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
   }
 

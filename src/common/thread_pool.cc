@@ -42,7 +42,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

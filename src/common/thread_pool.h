@@ -1,6 +1,7 @@
 #ifndef IEJOIN_COMMON_THREAD_POOL_H_
 #define IEJOIN_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,16 +55,30 @@ class ThreadPool {
   /// Number of worker threads.
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks submitted but not yet picked up by a worker. Instantaneous and
+  /// racy by nature — an observability reading (the `wall.*` gauges), never
+  /// something to branch execution on.
+  int64_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(queue_.size());
+  }
+
+  /// Workers currently executing a task (same caveat as queue_depth).
+  int64_t active_count() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// Best-effort hardware concurrency, never less than 1.
   static int HardwareConcurrency();
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool shutting_down_ = false;
+  std::atomic<int64_t> active_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -11,9 +11,12 @@ DocumentPipeline::DocumentPipeline(ThreadPool* pool, ExtractionCache* cache)
 
 DocumentPipeline::~DocumentPipeline() {
   if (::getenv("IEJOIN_PIPELINE_DEBUG") != nullptr) {
-    std::fprintf(stderr, "pipeline: speculated=%lld used=%lld zombies=%zu\n",
-                 static_cast<long long>(speculated_),
-                 static_cast<long long>(speculation_used_), inflight_.size());
+    // Through the mutex-guarded log sink (not raw stderr) so teardown
+    // stats interleave cleanly with other logs and reach SetLogSink
+    // captures; IEJOIN_LOG_LEVEL gates it like any Info message.
+    IEJOIN_LOG(Info) << "pipeline: speculated=" << speculated_
+                     << " used=" << speculation_used_
+                     << " zombies=" << inflight_.size();
   }
   // Zombie speculation (documents dropped by faults, rejected by a
   // classifier, or abandoned by an early stop) still references the

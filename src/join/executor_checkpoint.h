@@ -79,9 +79,28 @@ struct ExecutorCheckpoint {
 
   /// Full metrics-registry snapshot (present iff the run had a registry
   /// attached); restored wholesale so a resumed run's final snapshot is
-  /// bit-identical to the uninterrupted run's.
+  /// bit-identical to the uninterrupted run's. Wall-clock `wall.*` metrics
+  /// are excluded at capture: they are legitimately nondeterministic, and
+  /// snapshot bytes must be identical at any thread count.
   bool has_metrics = false;
   obs::MetricsSnapshot metrics;
+
+  /// Streaming-telemetry sampling position (present iff the run had a
+  /// TimeSeriesRecorder attached). Restoring it lets a resumed run emit
+  /// exactly the frames the uninterrupted run would have emitted after
+  /// this checkpoint, byte for byte: same sequence numbers, same cadence
+  /// anchors.
+  bool has_telemetry = false;
+  int64_t telemetry_frames_emitted = 0;
+  int64_t telemetry_docs_at_last_sample = 0;
+  double telemetry_seconds_at_last_sample = 0.0;
+
+  /// Cumulative durable checkpoint bytes written *before* this checkpoint
+  /// was captured (capture precedes the write, so checkpoint K carries the
+  /// bytes of images 1..K-1). Telemetry frames report this plus the bytes
+  /// of images written since; a resumed run adds the loaded image's own
+  /// size to line the series back up.
+  int64_t checkpoint_bytes_written = 0;
 };
 
 /// Where executors deliver checkpoints. Implementations: the durable
@@ -93,6 +112,12 @@ class CheckpointSink {
  public:
   virtual ~CheckpointSink() = default;
   virtual Status Write(const ExecutorCheckpoint& checkpoint) = 0;
+
+  /// Size in bytes of the image the last successful Write produced (0 for
+  /// sinks with no durable representation — in-memory test sinks, the
+  /// adaptive wrapper). Executors accumulate this into the
+  /// `checkpoint.bytes_written` telemetry gauge.
+  virtual int64_t last_write_bytes() const { return 0; }
 };
 
 }  // namespace iejoin

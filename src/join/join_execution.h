@@ -10,6 +10,7 @@
 #include "join/join_types.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "textdb/vocabulary.h"
 
@@ -161,6 +162,10 @@ struct JoinExecutionOptions {
   CheckpointSink* checkpoint_sink = nullptr;
   int64_t checkpoint_every_docs = 256;
   const ExecutorCheckpoint* resume_from = nullptr;
+  /// Durable bytes already on disk when resuming (the resumed-from image's
+  /// accumulated predecessors plus its own size), so the telemetry series'
+  /// `checkpoint_bytes` continues exactly where the crashed run left it.
+  int64_t resume_checkpoint_bytes = 0;
 
   /// --- Telemetry (optional, non-owning; must outlive the run) ---
   /// When attached, the executor mirrors per-side counters/gauges into the
@@ -169,6 +174,11 @@ struct JoinExecutionOptions {
   /// execution is bit-identical either way.
   obs::MetricsRegistry* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  /// Streaming telemetry: JSONL frames on the recorder's document/time
+  /// cadence plus one final frame at Finish. Requires `metrics` (frames
+  /// embed the registry's deterministic counters/gauges); attaching a
+  /// recorder without a registry is a run-setup error.
+  obs::TimeSeriesRecorder* telemetry = nullptr;
 
   /// --- Parallel execution (optional, non-owning; must outlive the run) ---
   /// Worker pool for speculative per-document extraction. Null = the

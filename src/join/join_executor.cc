@@ -97,6 +97,14 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
 
   metrics_ = options.metrics;
   tracer_ = options.tracer;
+  telemetry_ = options.telemetry;
+  pool_ = options.pool;
+  checkpoint_bytes_written_ = options.resume_checkpoint_bytes;
+  if (telemetry_ != nullptr && metrics_ == nullptr) {
+    return Status::InvalidArgument(
+        "a telemetry recorder requires a metrics registry (frames embed the "
+        "registry's counters and gauges)");
+  }
   if (metrics_ != nullptr) {
     for (int i = 0; i < 2; ++i) {
       const std::string prefix = i == 0 ? "side1." : "side2.";
@@ -152,7 +160,7 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   return Status::Ok();
 }
 
-Status JoinExecutorBase::MaybeCheckpoint(const JoinExecutionOptions& options) {
+Status JoinExecutorBase::MaybeCheckpoint(const JoinExecutionOptions& /*options*/) {
   if (checkpoint_sink_ == nullptr ||
       docs_since_checkpoint_ < checkpoint_every_docs_) {
     return Status::Ok();
@@ -160,6 +168,9 @@ Status JoinExecutorBase::MaybeCheckpoint(const JoinExecutionOptions& options) {
   ExecutorCheckpoint checkpoint = CaptureBase();
   CaptureAlgorithmState(&checkpoint);
   IEJOIN_RETURN_IF_ERROR(checkpoint_sink_->Write(checkpoint));
+  // Accumulate before the kill point: a run killed here already has the
+  // image on disk, and the resume seed (resume_checkpoint_bytes) counts it.
+  checkpoint_bytes_written_ += checkpoint_sink_->last_write_bytes();
   ckpt::KillPoint("checkpoint.written");
   docs_since_checkpoint_ = 0;
   ++checkpoint_sequence_;
@@ -189,8 +200,19 @@ ExecutorCheckpoint JoinExecutorBase::CaptureBase() const {
   }
   if (metrics_ != nullptr) {
     checkpoint.has_metrics = true;
-    checkpoint.metrics = metrics_->Snapshot();
+    // Strip the wall-clock namespace: snapshot bytes are part of the
+    // any-thread-count bit-identity contract, and wall.* gauges are the
+    // one legitimately nondeterministic corner of the registry.
+    checkpoint.metrics = metrics_->Snapshot().WithoutPrefix("wall.");
   }
+  if (telemetry_ != nullptr) {
+    checkpoint.has_telemetry = true;
+    const obs::TimeSeriesRecorder::Cursor& cursor = telemetry_->cursor();
+    checkpoint.telemetry_frames_emitted = cursor.frames_emitted;
+    checkpoint.telemetry_docs_at_last_sample = cursor.docs_at_last_sample;
+    checkpoint.telemetry_seconds_at_last_sample = cursor.seconds_at_last_sample;
+  }
+  checkpoint.checkpoint_bytes_written = checkpoint_bytes_written_;
   return checkpoint;
 }
 
@@ -240,6 +262,16 @@ Status JoinExecutorBase::RestoreBase(const ExecutorCheckpoint& checkpoint) {
   }
   if (metrics_ != nullptr) {
     metrics_->RestoreFromSnapshot(checkpoint.metrics);
+  }
+  if (telemetry_ != nullptr && checkpoint.has_telemetry) {
+    // Continue the series where the checkpoint left it: same next sequence
+    // number, same cadence anchors — the resumed run emits exactly the
+    // frames the uninterrupted run emitted after this point.
+    obs::TimeSeriesRecorder::Cursor cursor;
+    cursor.frames_emitted = checkpoint.telemetry_frames_emitted;
+    cursor.docs_at_last_sample = checkpoint.telemetry_docs_at_last_sample;
+    cursor.seconds_at_last_sample = checkpoint.telemetry_seconds_at_last_sample;
+    telemetry_->RestoreCursor(cursor);
   }
   checkpoint_sequence_ = checkpoint.sequence + 1;
   docs_since_checkpoint_ = 0;
@@ -511,6 +543,64 @@ void JoinExecutorBase::MaybeSnapshot(const JoinExecutionOptions& options) {
     trajectory_.push_back(Snapshot());
     docs_since_snapshot_ = 0;
   }
+  if (telemetry_ != nullptr) {
+    const int64_t docs_retrieved = sides_[0].meter.counters().docs_retrieved +
+                                   sides_[1].meter.counters().docs_retrieved;
+    if (telemetry_->ShouldSample(docs_retrieved, TotalSeconds())) {
+      EmitTelemetryFrame(/*final_frame=*/false);
+    }
+  }
+}
+
+void JoinExecutorBase::EmitTelemetryFrame(bool final_frame) {
+  if (telemetry_ == nullptr) return;
+  obs::TelemetryFrame frame;
+  frame.final_frame = final_frame;
+  frame.sample.side1 = sides_[0].meter.counters();
+  frame.sample.side2 = sides_[1].meter.counters();
+  frame.sample.good_join_tuples = state_.good_join_tuples();
+  frame.sample.bad_join_tuples = state_.bad_join_tuples();
+  frame.sample.seconds = TotalSeconds();
+  if (faults_ != nullptr) {
+    frame.breaker_state1 = static_cast<int>(faults_->breakers[0].state());
+    frame.breaker_state2 = static_cast<int>(faults_->breakers[1].state());
+  }
+  frame.checkpoint_bytes = checkpoint_bytes_written_;
+  const obs::SideCounters& c1 = frame.sample.side1;
+  const obs::SideCounters& c2 = frame.sample.side2;
+  frame.degraded = deadline_hit_ || c1.docs_dropped > 0 || c2.docs_dropped > 0 ||
+                   c1.queries_dropped > 0 || c2.queries_dropped > 0 ||
+                   c1.breaker_trips > 0 || c2.breaker_trips > 0;
+  frame.deadline_exceeded = deadline_hit_;
+
+  // Refresh the derived gauges so frames, --metrics-out dumps, and the
+  // Prometheus exposition all agree at sample time. Everything here except
+  // the wall.* namespace is a pure function of driver-committed state.
+  const auto hit_rate = [](const obs::SideCounters& c) {
+    const int64_t lookups = c.cache_hits + c.cache_misses;
+    return lookups > 0
+               ? static_cast<double>(c.cache_hits) / static_cast<double>(lookups)
+               : 0.0;
+  };
+  metrics_->gauge("side1.cache_hit_rate")->Set(hit_rate(c1));
+  metrics_->gauge("side2.cache_hit_rate")->Set(hit_rate(c2));
+  metrics_->gauge("side1.breaker_state")
+      ->Set(frame.breaker_state1 >= 0 ? frame.breaker_state1 : 0.0);
+  metrics_->gauge("side2.breaker_state")
+      ->Set(frame.breaker_state2 >= 0 ? frame.breaker_state2 : 0.0);
+  metrics_->gauge("checkpoint.bytes_written")
+      ->Set(static_cast<double>(checkpoint_bytes_written_));
+  // Wall-clock pool occupancy: real observability for a live run, but
+  // nondeterministic by nature — the wall. prefix keeps it out of frames,
+  // checkpoint images, and the fingerprint tests.
+  metrics_->gauge("wall.pool.threads")
+      ->Set(pool_ != nullptr ? pool_->size() : 0.0);
+  metrics_->gauge("wall.pool.queue_depth")
+      ->Set(pool_ != nullptr ? static_cast<double>(pool_->queue_depth()) : 0.0);
+  metrics_->gauge("wall.pool.active_workers")
+      ->Set(pool_ != nullptr ? static_cast<double>(pool_->active_count()) : 0.0);
+  frame.metrics = metrics_->Snapshot().WithoutPrefix("wall.");
+  telemetry_->Record(frame);
 }
 
 bool JoinExecutorBase::CheckStop(const JoinExecutionOptions& options) {
@@ -537,8 +627,6 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
   JoinExecutionResult result;
   result.final_point = Snapshot();
   trajectory_.push_back(result.final_point);
-  result.trajectory = std::move(trajectory_);
-  result.state = std::move(state_);
   result.exhausted = exhausted;
   result.requirement_met = options.requirement.MetBy(
       result.final_point.good_join_tuples, result.final_point.bad_join_tuples);
@@ -558,11 +646,17 @@ JoinExecutionResult JoinExecutorBase::Finish(const JoinExecutionOptions& options
         ->Set(static_cast<double>(result.final_point.bad_join_tuples));
     metrics_->gauge("join.sim_seconds")->Set(result.final_point.seconds);
     metrics_->counter("join.trajectory_points")
-        ->Increment(static_cast<int64_t>(result.trajectory.size()));
+        ->Increment(static_cast<int64_t>(trajectory_.size()));
     metrics_->gauge("join.degraded")->Set(result.degraded ? 1.0 : 0.0);
     metrics_->gauge("join.deadline_exceeded")
         ->Set(result.deadline_exceeded ? 1.0 : 0.0);
   }
+  // The closing frame goes out after the join.* gauges above land, so its
+  // gauge section reflects the finished run ("final": true stops a
+  // following tail).
+  EmitTelemetryFrame(/*final_frame=*/true);
+  result.trajectory = std::move(trajectory_);
+  result.state = std::move(state_);
   if (run_span_) {
     run_span_.AddAttribute("good_tuples", result.final_point.good_join_tuples);
     run_span_.AddAttribute("bad_tuples", result.final_point.bad_join_tuples);

@@ -159,8 +159,14 @@ class JoinExecutorBase {
 
   TrajectoryPoint Snapshot() const;
 
-  /// Appends a trajectory point when the sampling cadence says so.
+  /// Appends a trajectory point when the sampling cadence says so, and
+  /// emits a telemetry frame when the recorder's cadence says so.
   void MaybeSnapshot(const JoinExecutionOptions& options);
+
+  /// Assembles and records one telemetry frame from current driver state
+  /// (per-side counters, breaker states, checkpoint bytes, wall-filtered
+  /// registry snapshot, live residual). No-op without a recorder.
+  void EmitTelemetryFrame(bool final_frame);
 
   /// True when the configured stop rule fires.
   bool CheckStop(const JoinExecutionOptions& options);
@@ -204,6 +210,10 @@ class JoinExecutorBase {
   int64_t docs_since_checkpoint_ = 0;
   int64_t checkpoint_sequence_ = 1;
   bool resumed_ = false;
+  /// Cumulative bytes of durable checkpoint images this run has written
+  /// (seeded by options.resume_checkpoint_bytes on a resume); surfaced as
+  /// the `checkpoint.bytes_written` gauge and in telemetry frames.
+  int64_t checkpoint_bytes_written_ = 0;
 
   /// Armed by Begin when the run options carry a fault plan: the seeded
   /// injector plus one extractor circuit breaker per side. Null otherwise —
@@ -223,8 +233,12 @@ class JoinExecutorBase {
   /// Telemetry attachment (null unless the run options carry them).
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
+  obs::TimeSeriesRecorder* telemetry_ = nullptr;
   obs::Histogram* tuples_per_doc_ = nullptr;
   obs::Tracer::Span run_span_;
+  /// Worker pool the run options carried (nondeterministic wall-clock
+  /// gauges only; execution goes through pipeline_).
+  ThreadPool* pool_ = nullptr;
 
   /// Speculative extraction pipeline, built by Begin from the run options'
   /// pool/cache (inert — inline extraction, no memoization — when both are

@@ -141,6 +141,23 @@ MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& earlier) const
   return diff;
 }
 
+MetricsSnapshot MetricsSnapshot::WithoutPrefix(std::string_view prefix) const {
+  const auto keeps = [prefix](const std::string& name) {
+    return name.compare(0, prefix.size(), prefix) != 0;
+  };
+  MetricsSnapshot filtered;
+  for (const auto& [name, value] : counters) {
+    if (keeps(name)) filtered.counters[name] = value;
+  }
+  for (const auto& [name, value] : gauges) {
+    if (keeps(name)) filtered.gauges[name] = value;
+  }
+  for (const auto& [name, data] : histograms) {
+    if (keeps(name)) filtered.histograms[name] = data;
+  }
+  return filtered;
+}
+
 std::string MetricsSnapshot::ToJson() const {
   JsonWriter json;
   json.BeginObject();
@@ -166,6 +183,66 @@ std::string MetricsSnapshot::ToJson() const {
   json.EndObject();
   json.EndObject();
   return json.TakeString();
+}
+
+namespace {
+
+/// Prometheus metric-name charset is [a-zA-Z0-9_:]; everything else (the
+/// registry's '.' separators, mostly) maps to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "iejoin_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(valid ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusValue(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendPrometheusValue(&out, value);
+    out += "\n";
+  }
+  for (const auto& [name, data] : histograms) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < data.upper_bounds.size(); ++i) {
+      cumulative += i < data.bucket_counts.size() ? data.bucket_counts[i] : 0;
+      out += prom + "_bucket{le=\"";
+      AppendPrometheusValue(&out, data.upper_bounds[i]);
+      out += "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(data.count) + "\n";
+    out += prom + "_sum ";
+    AppendPrometheusValue(&out, data.sum);
+    out += "\n";
+    out += prom + "_count " + std::to_string(data.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteExposition(std::string* out) const {
+  *out += Snapshot().ToPrometheus();
 }
 
 std::string MetricsSnapshot::ToCsv() const {

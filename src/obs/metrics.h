@@ -95,9 +95,22 @@ struct MetricsSnapshot {
   /// gauges keep this snapshot's value.
   MetricsSnapshot DiffSince(const MetricsSnapshot& earlier) const;
 
+  /// Returns a copy without the metrics whose name starts with `prefix`.
+  /// The `wall.` namespace holds wall-clock observables (pool queue depth,
+  /// worker occupancy) that are *expected* to vary run to run; stripping
+  /// them is how deterministic consumers (telemetry frames, checkpoint
+  /// images, fingerprint tests) stay byte-identical at any thread count.
+  MetricsSnapshot WithoutPrefix(std::string_view prefix) const;
+
   std::string ToJson() const;
   /// One line per metric: kind,name,value,count,sum.
   std::string ToCsv() const;
+  /// Prometheus text exposition format (version 0.0.4): one `# TYPE` line
+  /// per metric, names prefixed `iejoin_` with non-[a-zA-Z0-9_:] bytes
+  /// mapped to '_', histograms as cumulative `_bucket{le="..."}` series
+  /// plus `_sum`/`_count`. Includes the wall-clock metrics — this is the
+  /// scrape surface for the future server mode, not a determinism surface.
+  std::string ToPrometheus() const;
 };
 
 /// Named metric registry. Lookup/creation takes a mutex; the returned
@@ -116,6 +129,10 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name, std::vector<double> upper_bounds);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Appends the registry's current contents to `out` in Prometheus text
+  /// exposition format (Snapshot().ToPrometheus()).
+  void WriteExposition(std::string* out) const;
 
   /// Restores the registry to a checkpointed snapshot: counters are driven
   /// to the snapshot's absolute values via delta increments (they may have

@@ -1,0 +1,159 @@
+#include "obs/telemetry.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/json_writer.h"
+
+namespace iejoin {
+namespace obs {
+
+namespace {
+
+void AppendSide(JsonWriter& json, const char* key, const SideCounters& side,
+                int breaker_state) {
+  json.Key(key).BeginObject();
+  json.Key("docs_retrieved").Value(side.docs_retrieved);
+  json.Key("docs_processed").Value(side.docs_processed);
+  json.Key("docs_with_extraction").Value(side.docs_with_extraction);
+  json.Key("docs_filtered").Value(side.docs_filtered);
+  json.Key("queries_issued").Value(side.queries_issued);
+  json.Key("tuples_extracted").Value(side.tuples_extracted);
+  json.Key("ops_retried").Value(side.ops_retried);
+  json.Key("ops_failed").Value(side.ops_failed);
+  json.Key("docs_dropped").Value(side.docs_dropped);
+  json.Key("queries_dropped").Value(side.queries_dropped);
+  json.Key("breaker_trips").Value(side.breaker_trips);
+  json.Key("hedges_launched").Value(side.hedges_launched);
+  json.Key("cache_hits").Value(side.cache_hits);
+  json.Key("cache_misses").Value(side.cache_misses);
+  const int64_t lookups = side.cache_hits + side.cache_misses;
+  json.Key("cache_hit_rate")
+      .Value(lookups > 0 ? static_cast<double>(side.cache_hits) /
+                               static_cast<double>(lookups)
+                         : 0.0);
+  if (breaker_state >= 0) {
+    json.Key("breaker_state").Value(static_cast<int64_t>(breaker_state));
+  } else {
+    json.Key("breaker_state").Null();
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(Options options)
+    : options_(options) {}
+
+TimeSeriesRecorder::~TimeSeriesRecorder() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status TimeSeriesRecorder::OpenFile(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("telemetry file already open: " + path_);
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::Unavailable("open " + path + ": " + std::strerror(errno));
+  }
+  file_ = file;
+  path_ = path;
+  return Status::Ok();
+}
+
+void TimeSeriesRecorder::SetPrediction(double good, double bad,
+                                       double seconds) {
+  has_prediction_ = true;
+  predicted_good_ = good;
+  predicted_bad_ = bad;
+  predicted_seconds_ = seconds;
+}
+
+bool TimeSeriesRecorder::ShouldSample(int64_t docs_retrieved,
+                                      double sim_seconds) const {
+  if (options_.sample_every_docs > 0 &&
+      docs_retrieved - cursor_.docs_at_last_sample >=
+          options_.sample_every_docs) {
+    return true;
+  }
+  if (options_.sample_every_seconds > 0.0 &&
+      sim_seconds - cursor_.seconds_at_last_sample >=
+          options_.sample_every_seconds) {
+    return true;
+  }
+  return false;
+}
+
+void TimeSeriesRecorder::Record(const TelemetryFrame& frame) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("seq").Value(cursor_.frames_emitted);
+  json.Key("final").Value(frame.final_frame);
+  const int64_t docs_retrieved =
+      frame.sample.side1.docs_retrieved + frame.sample.side2.docs_retrieved;
+  json.Key("docs_retrieved").Value(docs_retrieved);
+  json.Key("sim_seconds").Value(frame.sample.seconds);
+  AppendSide(json, "side1", frame.sample.side1, frame.breaker_state1);
+  AppendSide(json, "side2", frame.sample.side2, frame.breaker_state2);
+  json.Key("good_tuples").Value(frame.sample.good_join_tuples);
+  json.Key("bad_tuples").Value(frame.sample.bad_join_tuples);
+  json.Key("checkpoint_bytes").Value(frame.checkpoint_bytes);
+  json.Key("degraded").Value(frame.degraded);
+  json.Key("deadline_exceeded").Value(frame.deadline_exceeded);
+  // Estimator drift as a plotted series: predicted final outcome, what has
+  // materialized so far, and the live remaining-output residual.
+  json.Key("residual");
+  if (has_prediction_) {
+    json.BeginObject();
+    json.Key("predicted_good").Value(predicted_good_);
+    json.Key("predicted_bad").Value(predicted_bad_);
+    json.Key("predicted_seconds").Value(predicted_seconds_);
+    json.Key("remaining_good")
+        .Value(predicted_good_ -
+               static_cast<double>(frame.sample.good_join_tuples));
+    json.Key("remaining_bad")
+        .Value(predicted_bad_ -
+               static_cast<double>(frame.sample.bad_join_tuples));
+    json.Key("remaining_seconds")
+        .Value(predicted_seconds_ - frame.sample.seconds);
+    json.EndObject();
+  } else {
+    json.Null();
+  }
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : frame.metrics.counters) {
+    json.Key(name).Value(value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : frame.metrics.gauges) {
+    json.Key(name).Value(value);
+  }
+  json.EndObject();
+  json.EndObject();
+
+  std::string line = json.TakeString();
+  line.push_back('\n');
+  if (file_ != nullptr) {
+    // One write + flush per frame: a kill-point _Exit (which skips stdio
+    // teardown) can lose at most the frame being written, never a flushed
+    // one — the crash smoke test concatenates crashed + resumed series.
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+      if (status_.ok()) {
+        status_ = Status::Unavailable("telemetry write to " + path_ + ": " +
+                                      std::strerror(errno));
+      }
+    }
+  } else {
+    frames_.push_back(std::move(line));
+  }
+
+  ++cursor_.frames_emitted;
+  cursor_.docs_at_last_sample = docs_retrieved;
+  cursor_.seconds_at_last_sample = frame.sample.seconds;
+}
+
+}  // namespace obs
+}  // namespace iejoin

@@ -1,0 +1,124 @@
+#ifndef IEJOIN_OBS_TELEMETRY_H_
+#define IEJOIN_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace iejoin {
+namespace obs {
+
+/// One sampled instant of a running join execution, assembled by the
+/// executor and serialized by the TimeSeriesRecorder as a single JSONL
+/// frame. Everything in here is derived from driver-thread state committed
+/// in retrieval order, so a frame's bytes are identical at any thread
+/// count (the wall-clock `wall.*` registry metrics are excluded for
+/// exactly that reason).
+struct TelemetryFrame {
+  /// True for the one closing frame emitted at Finish regardless of
+  /// cadence (carries the run's final state; `tail --follow` stops on it).
+  bool final_frame = false;
+  /// Cumulative per-side counters + join composition + simulated time.
+  TrajectorySample sample;
+  /// Circuit-breaker state per side: 0 closed, 1 open, 2 half-open;
+  /// -1 when the run carries no breaker (no fault plan).
+  int breaker_state1 = -1;
+  int breaker_state2 = -1;
+  /// Cumulative bytes of durable checkpoint images written so far.
+  int64_t checkpoint_bytes = 0;
+  bool degraded = false;
+  bool deadline_exceeded = false;
+  /// Registry counters and gauges at sample time, already filtered of
+  /// nondeterministic wall-clock metrics (MetricsSnapshot::WithoutPrefix).
+  MetricsSnapshot metrics;
+};
+
+/// Appends deterministic JSONL telemetry frames on a cadence keyed to both
+/// documents retrieved and simulated seconds. The recorder either owns an
+/// output file (one fflush'd line per frame, so frames survive a
+/// std::_Exit kill) or collects serialized frames in memory for tests.
+///
+/// Determinism contract: with the same scenario, plan, seed, and cadence,
+/// the emitted byte stream is identical at any thread count; and a run
+/// resumed from checkpoint K emits exactly the frames the uninterrupted
+/// run emitted after K, byte for byte — the sampling cursor (frame count
+/// and cadence anchors) is checkpointed and restored via cursor() /
+/// RestoreCursor(). Estimator drift is a first-class series: when a
+/// prediction is set, every frame carries the live residual between the
+/// optimizer's predicted trajectory and the actual output so far.
+class TimeSeriesRecorder {
+ public:
+  struct Options {
+    /// Emit a frame every N documents retrieved across both sides
+    /// (0 disables the document cadence).
+    int64_t sample_every_docs = 64;
+    /// Emit a frame every S simulated seconds (0 disables the time
+    /// cadence). Both cadences may be active; a frame resets both anchors.
+    double sample_every_seconds = 0.0;
+  };
+
+  /// Resumable sampling position. Checkpointed alongside the executor
+  /// state so a resumed run continues the series instead of restarting it.
+  struct Cursor {
+    int64_t frames_emitted = 0;
+    int64_t docs_at_last_sample = 0;
+    double seconds_at_last_sample = 0.0;
+  };
+
+  explicit TimeSeriesRecorder(Options options);
+  ~TimeSeriesRecorder();
+
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  /// Switches from in-memory collection to appending to `path` (truncates
+  /// any existing file — a run's series starts fresh; a *resumed* run
+  /// writes its remaining frames to its own file).
+  Status OpenFile(const std::string& path);
+
+  /// Attaches the optimizer's predicted outcome; every subsequent frame
+  /// carries the predicted-vs-observed residual block.
+  void SetPrediction(double good, double bad, double seconds);
+  bool has_prediction() const { return has_prediction_; }
+
+  const Options& options() const { return options_; }
+
+  /// True when the cadence calls for a frame at this progress point.
+  bool ShouldSample(int64_t docs_retrieved, double sim_seconds) const;
+
+  /// Serializes and emits one frame, assigns its sequence number, and
+  /// advances the cursor. Write errors latch into status() (the run
+  /// finishes; callers check after).
+  void Record(const TelemetryFrame& frame);
+
+  const Cursor& cursor() const { return cursor_; }
+  void RestoreCursor(const Cursor& cursor) { cursor_ = cursor; }
+
+  /// Serialized frames when no file is attached (test mode).
+  const std::vector<std::string>& frames() const { return frames_; }
+
+  /// First write error, if any (kOk otherwise).
+  const Status& status() const { return status_; }
+
+ private:
+  Options options_;
+  Cursor cursor_;
+  bool has_prediction_ = false;
+  double predicted_good_ = 0.0;
+  double predicted_bad_ = 0.0;
+  double predicted_seconds_ = 0.0;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::vector<std::string> frames_;
+  Status status_;
+};
+
+}  // namespace obs
+}  // namespace iejoin
+
+#endif  // IEJOIN_OBS_TELEMETRY_H_

@@ -363,11 +363,15 @@ TEST_F(CrashMatrixTest, KillAtEveryCheckpointBoundaryAndResume) {
     EXPECT_EQ(loaded->manifest.at("test"), "crash-matrix");
 
     // Resume from the durable snapshot, re-checkpointing into the same
-    // directory (the post-crash redo path).
+    // directory (the post-crash redo path). The durable-bytes accumulator
+    // must be seeded (see ckpt::LoadedCheckpoint) or the re-written images
+    // embed a diverged checkpoint_bytes_written.
     auto manager = ckpt::CheckpointManager::Open(dir, Manifest());
     ASSERT_TRUE(manager.ok());
     JoinExecutionOptions options = BaseOptions(&faults, manager->get());
     options.resume_from = &loaded->executor;
+    options.resume_checkpoint_bytes =
+        loaded->executor.checkpoint_bytes_written + loaded->file_bytes;
     const JoinExecutionResult resumed = Run(plan, options, nullptr);
     EXPECT_EQ(Fingerprint(resumed, nullptr), expected)
         << "resume after crash at checkpoint " << kill;
@@ -406,6 +410,8 @@ TEST_F(CrashMatrixTest, KillMidOperationLosesOnlyTailWork) {
   ASSERT_TRUE(manager.ok());
   JoinExecutionOptions options = BaseOptions(&faults, manager->get());
   options.resume_from = &loaded->executor;
+  options.resume_checkpoint_bytes =
+      loaded->executor.checkpoint_bytes_written + loaded->file_bytes;
   const JoinExecutionResult resumed = Run(plan, options, nullptr);
   EXPECT_EQ(Fingerprint(resumed, nullptr), expected);
 }

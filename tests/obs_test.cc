@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -171,6 +172,37 @@ TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   EXPECT_EQ(json.str(), "[null,null]");
 }
 
+TEST(JsonWriterTest, EveryControlCharacterEscapes) {
+  // All of C0 must come out as an escape (named or \u00XX) — a raw control
+  // byte would break line-oriented consumers like `iejoin_cli tail`.
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) raw.push_back(c);
+  obs::JsonWriter json;
+  json.BeginArray();
+  json.Value(raw);
+  json.EndArray();
+  const std::string& out = json.str();
+  for (char c = 1; c < 0x20; ++c) {
+    EXPECT_EQ(out.find(c), std::string::npos)
+        << "control byte " << static_cast<int>(c) << " emitted raw";
+  }
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\u001f"), std::string::npos);
+  EXPECT_TRUE(IsValidJson(out)) << out;
+}
+
+TEST(JsonWriterTest, Utf8MultibytePassesThroughVerbatim) {
+  // High bytes are not control characters; UTF-8 sequences must survive
+  // untouched (JSON strings are Unicode text, no escaping required).
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x8b\x88 \xf0\x9f\x94\x8d";
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("s").Value(utf8);
+  json.EndObject();
+  EXPECT_EQ(json.str(), "{\"s\":\"" + utf8 + "\"}");
+  EXPECT_TRUE(IsValidJson(json.str()));
+}
+
 // --------------------------------------------------------------------------
 // Metrics
 // --------------------------------------------------------------------------
@@ -275,6 +307,111 @@ TEST(MetricsTest, JsonAndCsvSerialization) {
   EXPECT_NE(csv.find("counter,join.runs,1"), std::string::npos);
   EXPECT_NE(csv.find("gauge,sim,"), std::string::npos);
   EXPECT_NE(csv.find("histogram,lat,"), std::string::npos);
+}
+
+TEST(MetricsTest, HistogramAcceptsNanAndInfObservations) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("h", {1.0, 2.0});
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  h->Observe(std::nan(""));
+  h->Observe(1.5);
+  EXPECT_EQ(h->count(), 4);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  int64_t bucketed = 0;
+  for (const int64_t c : snap.histograms.at("h").bucket_counts) bucketed += c;
+  EXPECT_EQ(bucketed, 4) << "every observation lands in some bucket";
+  // The poisoned sum serializes as null, never as a bare nan/inf token.
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"sum\":null"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotAndDiffUnderConcurrentUpdates) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int64_t kIncrements = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t]() {
+      obs::Counter* c = registry.counter("shared");
+      obs::Histogram* h = registry.histogram("lat", {1.0, 4.0});
+      for (int64_t i = 0; i < kIncrements; ++i) {
+        c->Increment();
+        registry.counter("own." + std::to_string(t))->Increment();
+        h->Observe(static_cast<double>(i % 8));
+        registry.gauge("g")->Set(static_cast<double>(i));
+      }
+    });
+  }
+  // Race snapshots against the writers: totals must be internally
+  // consistent (monotone counters, no torn histogram bucket vectors).
+  obs::MetricsSnapshot earlier = registry.Snapshot();
+  for (int i = 0; i < 50; ++i) {
+    const obs::MetricsSnapshot now = registry.Snapshot();
+    const obs::MetricsSnapshot diff = now.DiffSince(earlier);
+    for (const auto& [name, value] : diff.counters) {
+      EXPECT_GE(value, 0) << name << " went backwards";
+    }
+    const auto it = now.histograms.find("lat");
+    if (it != now.histograms.end()) {
+      EXPECT_EQ(it->second.bucket_counts.size(), 3u);
+    }
+    earlier = now;
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const obs::MetricsSnapshot final_snap = registry.Snapshot();
+  EXPECT_EQ(final_snap.counters.at("shared"), kThreads * kIncrements);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(final_snap.counters.at("own." + std::to_string(t)), kIncrements);
+  }
+  EXPECT_EQ(final_snap.histograms.at("lat").count, kThreads * kIncrements);
+}
+
+TEST(MetricsTest, WithoutPrefixDropsWallClockMetrics) {
+  obs::MetricsRegistry registry;
+  registry.counter("side1.docs_retrieved")->Increment(3);
+  registry.gauge("wall.pool.queue_depth")->Set(7.0);
+  registry.gauge("checkpoint.bytes_written")->Set(100.0);
+  registry.histogram("wall.latency", {1.0})->Observe(0.5);
+
+  const obs::MetricsSnapshot filtered =
+      registry.Snapshot().WithoutPrefix("wall.");
+  EXPECT_EQ(filtered.counters.count("side1.docs_retrieved"), 1u);
+  EXPECT_EQ(filtered.gauges.count("checkpoint.bytes_written"), 1u);
+  EXPECT_EQ(filtered.gauges.count("wall.pool.queue_depth"), 0u);
+  EXPECT_EQ(filtered.histograms.count("wall.latency"), 0u);
+}
+
+TEST(MetricsTest, PrometheusExpositionFormat) {
+  obs::MetricsRegistry registry;
+  registry.counter("join.runs")->Increment(2);
+  registry.gauge("join.sim_seconds")->Set(12.5);
+  obs::Histogram* h = registry.histogram("lat", {1.0, 2.0});
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+
+  const std::string text = registry.Snapshot().ToPrometheus();
+  // Dotted registry names map into the Prometheus charset under one prefix.
+  EXPECT_NE(text.find("# TYPE iejoin_join_runs counter\niejoin_join_runs 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE iejoin_join_sim_seconds gauge\n"
+                      "iejoin_join_sim_seconds 12.5\n"),
+            std::string::npos)
+      << text;
+  // Histogram buckets are cumulative and close with +Inf == count.
+  EXPECT_NE(text.find("iejoin_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("iejoin_lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("iejoin_lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("iejoin_lat_sum 11\n"), std::string::npos);
+  EXPECT_NE(text.find("iejoin_lat_count 3\n"), std::string::npos);
+
+  std::string appended = "# preamble\n";
+  registry.WriteExposition(&appended);
+  EXPECT_EQ(appended, "# preamble\n" + text);
 }
 
 // --------------------------------------------------------------------------

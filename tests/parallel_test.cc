@@ -93,11 +93,23 @@ void AppendPoint(const TrajectoryPoint& p, std::ostringstream* out) {
        << ';';
 }
 
+bool IsWallClock(const std::string& name) {
+  // `wall.`-prefixed metrics are the documented nondeterminism carve-out
+  // (live thread-pool introspection); they never participate in bit-identity.
+  return name.compare(0, 5, "wall.") == 0;
+}
+
 void AppendMetrics(const obs::MetricsSnapshot& m, std::ostringstream* out) {
   *out << "|counters:";
-  for (const auto& [name, value] : m.counters) *out << name << '=' << value << ';';
+  for (const auto& [name, value] : m.counters) {
+    if (IsWallClock(name)) continue;
+    *out << name << '=' << value << ';';
+  }
   *out << "|gauges:";
-  for (const auto& [name, value] : m.gauges) *out << name << '=' << value << ';';
+  for (const auto& [name, value] : m.gauges) {
+    if (IsWallClock(name)) continue;
+    *out << name << '=' << value << ';';
+  }
   *out << "|histograms:";
   for (const auto& [name, h] : m.histograms) {
     *out << name << '=';

@@ -1,0 +1,327 @@
+// Streaming-telemetry determinism suite: the TimeSeriesRecorder's frame
+// stream must be byte-identical at every thread count for all three join
+// algorithms, and a run resumed from checkpoint K must emit exactly the
+// frames the uninterrupted run emitted after K (concatenation property) —
+// including the checkpoint-bytes series, which a resume seeds from the
+// loaded image's predecessors plus the image itself. Runs unlabeled so the
+// TSan lane covers it.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/join_checkpoint.h"
+#include "checkpoint/snapshot_format.h"
+#include "common/thread_pool.h"
+#include "fault/fault_plan.h"
+#include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace iejoin {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TimeSeriesRecorder unit behavior
+// ---------------------------------------------------------------------------
+
+obs::TelemetryFrame FrameAt(int64_t docs1, int64_t docs2, double seconds) {
+  obs::TelemetryFrame frame;
+  frame.sample.side1.docs_retrieved = docs1;
+  frame.sample.side2.docs_retrieved = docs2;
+  frame.sample.seconds = seconds;
+  return frame;
+}
+
+TEST(TimeSeriesRecorderTest, DocsCadenceAnchorsAtLastSample) {
+  obs::TimeSeriesRecorder::Options options;
+  options.sample_every_docs = 10;
+  obs::TimeSeriesRecorder recorder(options);
+  EXPECT_FALSE(recorder.ShouldSample(9, 0.0));
+  EXPECT_TRUE(recorder.ShouldSample(10, 0.0));
+  recorder.Record(FrameAt(7, 6, 1.0));  // anchor moves to 13 docs
+  EXPECT_FALSE(recorder.ShouldSample(22, 0.0));
+  EXPECT_TRUE(recorder.ShouldSample(23, 0.0));
+}
+
+TEST(TimeSeriesRecorderTest, TimeCadenceIndependentOfDocs) {
+  obs::TimeSeriesRecorder::Options options;
+  options.sample_every_docs = 0;  // docs cadence off
+  options.sample_every_seconds = 5.0;
+  obs::TimeSeriesRecorder recorder(options);
+  EXPECT_FALSE(recorder.ShouldSample(1000000, 4.9));
+  EXPECT_TRUE(recorder.ShouldSample(0, 5.0));
+  recorder.Record(FrameAt(0, 0, 7.5));
+  EXPECT_FALSE(recorder.ShouldSample(0, 12.4));
+  EXPECT_TRUE(recorder.ShouldSample(0, 12.5));
+}
+
+TEST(TimeSeriesRecorderTest, SequenceNumbersAdvanceAndCursorRestores) {
+  obs::TimeSeriesRecorder::Options options;
+  obs::TimeSeriesRecorder first(options);
+  first.Record(FrameAt(1, 1, 1.0));
+  first.Record(FrameAt(2, 2, 2.0));
+  ASSERT_EQ(first.frames().size(), 2u);
+  EXPECT_NE(first.frames()[0].find("\"seq\":0,"), std::string::npos);
+  EXPECT_NE(first.frames()[1].find("\"seq\":1,"), std::string::npos);
+  EXPECT_EQ(first.cursor().frames_emitted, 2);
+  EXPECT_EQ(first.cursor().docs_at_last_sample, 4);
+
+  // A restored recorder continues the sequence instead of restarting it.
+  obs::TimeSeriesRecorder resumed(options);
+  resumed.RestoreCursor(first.cursor());
+  resumed.Record(FrameAt(3, 3, 3.0));
+  ASSERT_EQ(resumed.frames().size(), 1u);
+  EXPECT_NE(resumed.frames()[0].find("\"seq\":2,"), std::string::npos);
+}
+
+TEST(TimeSeriesRecorderTest, ResidualOnlyWithPrediction) {
+  obs::TimeSeriesRecorder::Options options;
+  obs::TimeSeriesRecorder recorder(options);
+  obs::TelemetryFrame frame = FrameAt(1, 1, 10.0);
+  frame.sample.good_join_tuples = 40;
+  frame.sample.bad_join_tuples = 5;
+  recorder.Record(frame);
+  EXPECT_NE(recorder.frames()[0].find("\"residual\":null"), std::string::npos);
+
+  recorder.SetPrediction(/*good=*/100.0, /*bad=*/20.0, /*seconds=*/50.0);
+  recorder.Record(frame);
+  const std::string& with = recorder.frames()[1];
+  EXPECT_EQ(with.find("\"residual\":null"), std::string::npos);
+  EXPECT_NE(with.find("\"predicted_good\":100"), std::string::npos);
+  EXPECT_NE(with.find("\"remaining_good\":60"), std::string::npos);
+  EXPECT_NE(with.find("\"remaining_bad\":15"), std::string::npos);
+  EXPECT_NE(with.find("\"remaining_seconds\":40"), std::string::npos);
+}
+
+TEST(TimeSeriesRecorderTest, FileModeAppendsOneLinePerFrame) {
+  const std::string path = ::testing::TempDir() + "/telemetry_unit.jsonl";
+  obs::TimeSeriesRecorder::Options options;
+  obs::TimeSeriesRecorder recorder(options);
+  ASSERT_TRUE(recorder.OpenFile(path).ok());
+  recorder.Record(FrameAt(1, 0, 1.0));
+  recorder.Record(FrameAt(2, 0, 2.0));
+  EXPECT_TRUE(recorder.status().ok());
+  EXPECT_TRUE(recorder.frames().empty()) << "file mode must not buffer";
+
+  auto contents = ckpt::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  int64_t lines = 0;
+  for (const char c : *contents) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 2);
+  EXPECT_NE(contents->find("\"seq\":0,"), std::string::npos);
+  EXPECT_NE(contents->find("\"seq\":1,"), std::string::npos);
+}
+
+TEST(TimeSeriesRecorderTest, TelemetryCursorSurvivesCheckpointCodec) {
+  ExecutorCheckpoint checkpoint;
+  checkpoint.sequence = 3;  // the codec rejects sequence < 1
+  checkpoint.has_telemetry = true;
+  checkpoint.telemetry_frames_emitted = 17;
+  checkpoint.telemetry_docs_at_last_sample = 1088;
+  checkpoint.telemetry_seconds_at_last_sample = 123.25;
+  checkpoint.checkpoint_bytes_written = 65536;
+
+  std::vector<ckpt::SnapshotSection> sections;
+  ckpt::AppendExecutorSections(checkpoint, &sections);
+  auto decoded_sections = ckpt::DecodeSnapshot(ckpt::EncodeSnapshot(sections));
+  ASSERT_TRUE(decoded_sections.ok()) << decoded_sections.status().ToString();
+  ExecutorCheckpoint decoded;
+  ASSERT_TRUE(ckpt::DecodeExecutorSections(*decoded_sections, &decoded).ok());
+  EXPECT_TRUE(decoded.has_telemetry);
+  EXPECT_EQ(decoded.telemetry_frames_emitted, 17);
+  EXPECT_EQ(decoded.telemetry_docs_at_last_sample, 1088);
+  EXPECT_DOUBLE_EQ(decoded.telemetry_seconds_at_last_sample, 123.25);
+  EXPECT_EQ(decoded.checkpoint_bytes_written, 65536);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism over real executions
+// ---------------------------------------------------------------------------
+
+/// Captures delivered checkpoints both decoded (for resume) and as encoded
+/// images, and reports each image's size like the durable CheckpointManager
+/// does — the executor accumulates it into the checkpoint-bytes series.
+class ByteCountingSink : public CheckpointSink {
+ public:
+  Status Write(const ExecutorCheckpoint& checkpoint) override {
+    std::vector<ckpt::SnapshotSection> sections;
+    ckpt::AppendExecutorSections(checkpoint, &sections);
+    images.push_back(ckpt::EncodeSnapshot(sections));
+    checkpoints.push_back(checkpoint);
+    return Status::Ok();
+  }
+  int64_t last_write_bytes() const override {
+    return images.empty() ? 0 : static_cast<int64_t>(images.back().size());
+  }
+
+  std::vector<ExecutorCheckpoint> checkpoints;
+  std::vector<std::string> images;
+};
+
+class TelemetryDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  static JoinPlanSpec PlanFor(JoinAlgorithmKind kind) {
+    JoinPlanSpec plan;
+    plan.algorithm = kind;
+    plan.theta1 = plan.theta2 = 0.4;
+    plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+    return plan;
+  }
+
+  static fault::FaultPlan TestFaults() {
+    fault::FaultPlan plan;
+    plan.set_error_rate(fault::FaultOp::kExtract, 0.05);
+    plan.set_timeout(fault::FaultOp::kQuery, 0.02, 1.5);
+    return plan;
+  }
+
+  struct Capture {
+    std::vector<std::string> frames;
+    std::vector<ExecutorCheckpoint> checkpoints;
+    std::vector<std::string> images;
+  };
+
+  /// One instrumented run: metrics + in-memory telemetry + byte-counting
+  /// checkpoint sink, optionally resumed and optionally pooled. The
+  /// prediction is fixed so the residual block participates in the
+  /// byte-identity comparison.
+  static Capture Run(const JoinPlanSpec& plan, const fault::FaultPlan* faults,
+                     ThreadPool* pool,
+                     const ExecutorCheckpoint* resume_from = nullptr,
+                     int64_t resume_bytes = 0) {
+    ByteCountingSink sink;
+    obs::MetricsRegistry registry;
+    obs::TimeSeriesRecorder::Options recorder_options;
+    recorder_options.sample_every_docs = 48;
+    obs::TimeSeriesRecorder recorder(recorder_options);
+    recorder.SetPrediction(/*good=*/120.0, /*bad=*/30.0, /*seconds=*/5000.0);
+
+    JoinExecutionOptions options;
+    options.max_output_tuples = 20000;
+    options.fault_plan = faults;
+    options.checkpoint_sink = &sink;
+    options.checkpoint_every_docs = 32;
+    options.metrics = &registry;
+    options.pool = pool;
+    options.telemetry = &recorder;
+    options.resume_from = resume_from;
+    options.resume_checkpoint_bytes = resume_bytes;
+    auto result = bench().RunPlan(plan, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(recorder.status().ok());
+
+    Capture capture;
+    capture.frames = recorder.frames();
+    capture.checkpoints = std::move(sink.checkpoints);
+    capture.images = std::move(sink.images);
+    return capture;
+  }
+
+  /// Frames must be byte-identical between the sequential run and every
+  /// thread count — telemetry is driver-thread state in retrieval order.
+  static void CheckThreadInvariance(JoinAlgorithmKind kind,
+                                    const fault::FaultPlan* faults) {
+    const JoinPlanSpec plan = PlanFor(kind);
+    const Capture expected = Run(plan, faults, nullptr);
+    ASSERT_GE(expected.frames.size(), 2u)
+        << "scenario too small to emit telemetry frames";
+    EXPECT_NE(expected.frames.back().find("\"final\":true"), std::string::npos);
+    for (size_t i = 0; i + 1 < expected.frames.size(); ++i) {
+      EXPECT_NE(expected.frames[i].find("\"final\":false"), std::string::npos);
+    }
+
+    for (int threads : {1, 8}) {
+      ThreadPool pool(threads);
+      const Capture parallel = Run(plan, faults, &pool);
+      ASSERT_EQ(parallel.frames.size(), expected.frames.size())
+          << JoinAlgorithmName(kind) << " threads=" << threads;
+      for (size_t i = 0; i < expected.frames.size(); ++i) {
+        EXPECT_EQ(parallel.frames[i], expected.frames[i])
+            << JoinAlgorithmName(kind) << " frame " << i
+            << " diverged at threads=" << threads;
+      }
+    }
+  }
+
+ private:
+  static const Workbench* bench_;
+};
+
+const Workbench* TelemetryDeterminismTest::bench_ = nullptr;
+
+TEST_F(TelemetryDeterminismTest, IdjnFramesAreThreadCountInvariant) {
+  CheckThreadInvariance(JoinAlgorithmKind::kIndependent, nullptr);
+}
+
+TEST_F(TelemetryDeterminismTest, OijnFramesAreThreadCountInvariant) {
+  const fault::FaultPlan faults = TestFaults();
+  CheckThreadInvariance(JoinAlgorithmKind::kOuterInner, &faults);
+}
+
+TEST_F(TelemetryDeterminismTest, ZgjnFramesAreThreadCountInvariant) {
+  const fault::FaultPlan faults = TestFaults();
+  CheckThreadInvariance(JoinAlgorithmKind::kZigZag, &faults);
+}
+
+TEST_F(TelemetryDeterminismTest, FinalFrameCarriesCumulativeCheckpointBytes) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const Capture capture = Run(plan, nullptr, nullptr);
+  ASSERT_GE(capture.images.size(), 1u);
+  int64_t total = 0;
+  for (const std::string& image : capture.images) {
+    total += static_cast<int64_t>(image.size());
+  }
+  EXPECT_NE(capture.frames.back().find("\"checkpoint_bytes\":" +
+                                       std::to_string(total) + ","),
+            std::string::npos);
+}
+
+TEST_F(TelemetryDeterminismTest, ResumedRunContinuesSeriesByteIdentically) {
+  const fault::FaultPlan faults = TestFaults();
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kOuterInner);
+  const Capture full = Run(plan, &faults, nullptr);
+  ASSERT_GE(full.checkpoints.size(), 2u)
+      << "scenario too small to exercise checkpointing";
+
+  for (size_t k = 0; k < full.checkpoints.size(); ++k) {
+    const ExecutorCheckpoint& checkpoint = full.checkpoints[k];
+    ASSERT_TRUE(checkpoint.has_telemetry);
+    // Capture precedes write: checkpoint K stores the bytes of images
+    // 1..K-1, so a resume adds the loaded image's own size.
+    const int64_t resume_bytes =
+        checkpoint.checkpoint_bytes_written +
+        static_cast<int64_t>(full.images[k].size());
+    const Capture resumed =
+        Run(plan, &faults, nullptr, &checkpoint, resume_bytes);
+
+    // The resumed run emits exactly the frames after the checkpoint's
+    // cursor: crashed-file frames + resumed-file frames == full series.
+    const size_t already =
+        static_cast<size_t>(checkpoint.telemetry_frames_emitted);
+    ASSERT_LE(already, full.frames.size());
+    ASSERT_EQ(resumed.frames.size(), full.frames.size() - already)
+        << "resume from checkpoint " << k;
+    for (size_t i = 0; i < resumed.frames.size(); ++i) {
+      EXPECT_EQ(resumed.frames[i], full.frames[already + i])
+          << "resume from checkpoint " << k << " frame " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iejoin

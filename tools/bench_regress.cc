@@ -1,0 +1,238 @@
+// bench_regress: CI perf-regression gate over bench_throughput JSON.
+//
+//   bench_regress --baseline FILE --candidate FILE [--tolerance R]
+//
+// Diffs a freshly measured BENCH_throughput.json against the committed
+// docs/BENCH_baseline.json and exits non-zero when the candidate regresses.
+// The gate is host-independent by construction:
+//
+//   * Deterministic fields (docs, good/bad tuples, cache hits/misses) are
+//     simulated work — identical on any machine — and must match exactly.
+//     A mismatch means the engine's behavior changed, not the hardware.
+//   * Wall-clock throughput is machine-dependent, so absolute docs/sec is
+//     never compared across files. Instead each row is normalized against
+//     the same file's IDJN row at the same (threads, cache) — a relative
+//     shape ("OIJN runs at 0.8x IDJN") that transfers across hosts — and
+//     the candidate's shape must stay within --tolerance (default 0.35)
+//     of the baseline's.
+//
+// Rows are matched by (algorithm, threads, cache); a baseline row missing
+// from the candidate fails the gate. Exit codes: 0 pass, 1 regression or
+// bad input, 2 usage.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  std::string algorithm;
+  long long threads = 0;
+  std::string cache;
+  long long docs = 0;
+  double docs_per_sec = 0.0;
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long good_tuples = 0;
+  long long bad_tuples = 0;
+
+  std::string Key() const {
+    return algorithm + "/t" + std::to_string(threads) + "/" + cache;
+  }
+};
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *ok = false;
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  *ok = true;
+  return out;
+}
+
+/// Raw token after `"key":` (tolerating spaces) inside one row object;
+/// empty when absent.
+std::string Token(const std::string& row, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  size_t pos = row.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  while (pos < row.size() && row[pos] == ' ') ++pos;
+  size_t end = pos;
+  while (end < row.size() && row[end] != ',' && row[end] != '}') ++end;
+  std::string token = row.substr(pos, end - pos);
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+    token = token.substr(1, token.size() - 2);
+  }
+  return token;
+}
+
+/// Extracts every `{"algorithm": ...}` row object from a bench JSON file.
+std::vector<Row> ParseRows(const std::string& json) {
+  std::vector<Row> rows;
+  size_t pos = 0;
+  while ((pos = json.find("{\"algorithm\"", pos)) != std::string::npos) {
+    const size_t end = json.find('}', pos);
+    if (end == std::string::npos) break;
+    const std::string object = json.substr(pos, end - pos + 1);
+    Row row;
+    row.algorithm = Token(object, "algorithm");
+    row.threads = std::atoll(Token(object, "threads").c_str());
+    row.cache = Token(object, "cache");
+    row.docs = std::atoll(Token(object, "docs").c_str());
+    row.docs_per_sec = std::atof(Token(object, "docs_per_sec").c_str());
+    row.cache_hits = std::atoll(Token(object, "cache_hits").c_str());
+    row.cache_misses = std::atoll(Token(object, "cache_misses").c_str());
+    row.good_tuples = std::atoll(Token(object, "good_tuples").c_str());
+    row.bad_tuples = std::atoll(Token(object, "bad_tuples").c_str());
+    rows.push_back(row);
+    pos = end + 1;
+  }
+  return rows;
+}
+
+const Row* Find(const std::vector<Row>& rows, const std::string& key) {
+  for (const Row& row : rows) {
+    if (row.Key() == key) return &row;
+  }
+  return nullptr;
+}
+
+/// docs/sec of a row relative to the same file's IDJN row at the same
+/// (threads, cache); 0 when the reference is missing or degenerate.
+double RelativeThroughput(const std::vector<Row>& rows, const Row& row) {
+  const Row* reference =
+      Find(rows, "idjn/t" + std::to_string(row.threads) + "/" + row.cache);
+  if (reference == nullptr || reference->docs_per_sec <= 0.0) return 0.0;
+  return row.docs_per_sec / reference->docs_per_sec;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_regress --baseline FILE --candidate FILE"
+               " [--tolerance R]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, candidate_path;
+  double tolerance = 0.35;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--candidate") == 0 && i + 1 < argc) {
+      candidate_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) return Usage();
+  if (tolerance <= 0.0 || tolerance >= 1.0) {
+    std::fprintf(stderr, "bench_regress: --tolerance must be in (0, 1)\n");
+    return 2;
+  }
+
+  bool ok = false;
+  const std::string baseline_json = ReadFile(baseline_path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "bench_regress: cannot read %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  const std::string candidate_json = ReadFile(candidate_path, &ok);
+  if (!ok) {
+    std::fprintf(stderr, "bench_regress: cannot read %s\n",
+                 candidate_path.c_str());
+    return 1;
+  }
+  const std::vector<Row> baseline = ParseRows(baseline_json);
+  const std::vector<Row> candidate = ParseRows(candidate_json);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_regress: no rows in baseline %s\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  if (candidate.empty()) {
+    std::fprintf(stderr, "bench_regress: no rows in candidate %s\n",
+                 candidate_path.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  const auto fail = [&failures](const Row& row, const char* field,
+                                double expected, double got) {
+    std::fprintf(stderr, "FAIL %-16s %-13s baseline=%g candidate=%g\n",
+                 row.Key().c_str(), field, expected, got);
+    ++failures;
+  };
+
+  for (const Row& base : baseline) {
+    const Row* cand = Find(candidate, base.Key());
+    if (cand == nullptr) {
+      std::fprintf(stderr, "FAIL %-16s missing from candidate\n",
+                   base.Key().c_str());
+      ++failures;
+      continue;
+    }
+    // Deterministic simulated work: any drift is a behavior change.
+    if (cand->docs != base.docs) {
+      fail(base, "docs", static_cast<double>(base.docs),
+           static_cast<double>(cand->docs));
+    }
+    if (cand->good_tuples != base.good_tuples) {
+      fail(base, "good_tuples", static_cast<double>(base.good_tuples),
+           static_cast<double>(cand->good_tuples));
+    }
+    if (cand->bad_tuples != base.bad_tuples) {
+      fail(base, "bad_tuples", static_cast<double>(base.bad_tuples),
+           static_cast<double>(cand->bad_tuples));
+    }
+    if (cand->cache_hits != base.cache_hits) {
+      fail(base, "cache_hits", static_cast<double>(base.cache_hits),
+           static_cast<double>(cand->cache_hits));
+    }
+    if (cand->cache_misses != base.cache_misses) {
+      fail(base, "cache_misses", static_cast<double>(base.cache_misses),
+           static_cast<double>(cand->cache_misses));
+    }
+    // Relative throughput shape (normalized within each file, so absolute
+    // host speed cancels out). The IDJN reference rows are identically 1.0
+    // on both sides and act as pure anchors.
+    const double base_rel = RelativeThroughput(baseline, base);
+    const double cand_rel = RelativeThroughput(candidate, *cand);
+    if (base_rel > 0.0 && cand_rel > 0.0) {
+      const double ratio = cand_rel / base_rel;
+      if (ratio < 1.0 - tolerance || ratio > 1.0 / (1.0 - tolerance)) {
+        fail(base, "rel_throughput", base_rel, cand_rel);
+      } else {
+        std::printf("ok   %-16s rel=%0.3f (baseline %0.3f)\n",
+                    base.Key().c_str(), cand_rel, base_rel);
+      }
+    } else if (base_rel > 0.0) {
+      fail(base, "rel_throughput", base_rel, cand_rel);
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "bench_regress: %d regression%s against %s\n",
+                 failures, failures == 1 ? "" : "s", baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench_regress: %zu rows match %s within tolerance %0.2f\n",
+              baseline.size(), baseline_path.c_str(), tolerance);
+  return 0;
+}

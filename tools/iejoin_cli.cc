@@ -11,10 +11,17 @@
 //       [--tau-good N] [--tau-bad N] [--faults SPEC]
 //       [--checkpoint-dir DIR] [--checkpoint-every-docs N] [--strict]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
+//       [--telemetry-out FILE] [--telemetry-every-docs N]
+//       [--telemetry-every-seconds S]
 //       Execute one join plan (oracle stopping when taus given, exhaustion
 //       otherwise) and report output quality and simulated time. The *-out
-//       flags attach the telemetry subsystem (docs/OBSERVABILITY.md) and
-//       dump the metrics snapshot, span tree, or full run report as JSON.
+//       flags attach the observability subsystem (docs/OBSERVABILITY.md)
+//       and dump the metrics snapshot, span tree, or full run report as
+//       JSON. --telemetry-out streams deterministic JSONL frames during
+//       the run (one per --telemetry-every-docs retrieved documents and/or
+//       --telemetry-every-seconds simulated seconds); when taus are given
+//       each frame also carries the predicted-vs-observed residual against
+//       the optimizer's estimate for this plan.
 //       --faults injects deterministic faults (docs/ROBUSTNESS.md), e.g.
 //       "extract.error=0.1,retry.attempts=4,deadline=5000". Rates may be
 //       side-qualified ("r1.extract.error=0.3") and "hedge.max=2,
@@ -32,11 +39,23 @@
 //
 //   iejoin_cli resume --checkpoint-dir DIR [--strict]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
+//       [--telemetry-out FILE]
 //       Continue a killed `run` from the newest valid snapshot in DIR
 //       (corrupt newer files are skipped). The scenario path, plan, stop
-//       rule, and fault spec are read back from the snapshot's manifest;
-//       with the same seed the resumed execution finishes bit-identically
-//       to the uninterrupted one.
+//       rule, fault spec, telemetry cadence, and optimizer prediction are
+//       read back from the snapshot's manifest; with the same seed the
+//       resumed execution finishes bit-identically to the uninterrupted
+//       one. --telemetry-out continues the frame series exactly where the
+//       crashed run left it: concatenating the crashed run's telemetry
+//       file with the resumed one reproduces the uninterrupted series byte
+//       for byte.
+//
+//   iejoin_cli tail FILE [--follow]
+//       Render a telemetry JSONL file as a live terminal view: one line
+//       per frame (simulated time, docs retrieved, docs/sec, good/bad
+//       tuples, cache hit rates, residual, degradation flags). --follow
+//       polls a file that is still being appended and exits when the
+//       run's closing frame ("final": true) arrives.
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
 //       [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]
@@ -50,9 +69,12 @@
 // training scenario seeded from the file's contents, mirroring the
 // Workbench pipeline but over a persisted evaluation scenario.
 
+#include <sys/types.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <map>
 #include <memory>
 #include <string>
@@ -64,6 +86,7 @@
 #include "harness/workbench.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "textdb/corpus_io.h"
@@ -102,9 +125,13 @@ int Usage() {
                "             [--checkpoint-dir DIR] [--checkpoint-every-docs N]\n"
                "             [--checkpoint-keep N] [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
+               "             [--telemetry-out FILE] [--telemetry-every-docs N]\n"
+               "             [--telemetry-every-seconds S] [--exposition-out FILE]\n"
                "  iejoin_cli resume --checkpoint-dir DIR [--threads N]\n"
                "             [--checkpoint-keep N] [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
+               "             [--telemetry-out FILE] [--exposition-out FILE]\n"
+               "  iejoin_cli tail FILE [--follow]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
                "             [--threads N] [--faults SPEC]\n"
                "             [--metrics-out FILE] [--trace-out FILE]\n");
@@ -243,11 +270,13 @@ Result<JoinPlanSpec> PlanFromFields(const std::string& algorithm, double theta1,
 }
 
 /// Shared tail of `run` and `resume`: executes the plan, prints the summary,
-/// dumps telemetry files, and maps --strict + degradation to the exit code.
+/// dumps observability files, and maps --strict + degradation to the exit
+/// code. `recorder` (nullable) is checked for latched telemetry write errors
+/// after the run.
 int ExecuteAndReport(const Workbench& bench, const JoinPlanSpec& plan,
                      const JoinExecutionOptions& options, const Args& args,
                      bool telemetry, obs::MetricsRegistry& registry,
-                     obs::Tracer& tracer) {
+                     obs::Tracer& tracer, obs::TimeSeriesRecorder* recorder) {
   auto result = bench.RunPlan(plan, options);
   if (!result.ok()) {
     std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
@@ -277,9 +306,22 @@ int ExecuteAndReport(const Workbench& bench, const JoinPlanSpec& plan,
                 result->deadline_exceeded ? "; deadline exceeded" : "");
   }
 
+  if (recorder != nullptr) {
+    if (!recorder->status().ok()) {
+      std::fprintf(stderr, "telemetry: %s\n",
+                   recorder->status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%lld telemetry frames)\n",
+                args.Get("telemetry-out", "").c_str(),
+                static_cast<long long>(recorder->cursor().frames_emitted));
+  }
   if (telemetry) {
     if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
     if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+    if (!MaybeDump(args, "exposition-out", registry.Snapshot().ToPrometheus())) {
+      return 1;
+    }
     if (args.Has("report-out")) {
       obs::RunReport report;
       report.label = plan.Describe();
@@ -307,7 +349,8 @@ int ExecuteAndReport(const Workbench& bench, const JoinPlanSpec& plan,
 
 int CmdRun(const Args& args) {
   const bool telemetry = args.Has("metrics-out") || args.Has("trace-out") ||
-                         args.Has("report-out");
+                         args.Has("report-out") || args.Has("exposition-out") ||
+                         args.Has("telemetry-out");
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
@@ -351,6 +394,48 @@ int CmdRun(const Args& args) {
   options.metrics = metrics;
   options.tracer = trace;
 
+  // Streaming telemetry: the recorder needs the registry (frames embed its
+  // counters/gauges), which `telemetry` above already guarantees.
+  obs::TimeSeriesRecorder::Options recorder_options;
+  recorder_options.sample_every_docs = args.GetInt("telemetry-every-docs", 64);
+  recorder_options.sample_every_seconds =
+      args.GetDouble("telemetry-every-seconds", 0.0);
+  obs::TimeSeriesRecorder recorder(recorder_options);
+  obs::TimeSeriesRecorder* recorder_ptr = nullptr;
+  double predicted_good = 0.0, predicted_bad = 0.0, predicted_seconds = 0.0;
+  bool have_prediction = false;
+  if (args.Has("telemetry-out")) {
+    const Status opened = recorder.OpenFile(args.Get("telemetry-out", ""));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", opened.ToString().c_str());
+      return 1;
+    }
+    // Estimator-drift tracking: when the run has a quality requirement,
+    // score this exact plan through the optimizer's model so every frame
+    // carries the predicted-vs-observed residual.
+    if (args.Has("tau-good")) {
+      auto inputs = (*bench)->OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+      if (!inputs.ok()) {
+        std::fprintf(stderr, "prediction: %s\n",
+                     inputs.status().ToString().c_str());
+        return 1;
+      }
+      inputs->fault_plan = options.fault_plan;
+      const QualityAwareOptimizer optimizer(*inputs, PlanEnumerationOptions());
+      const PlanChoice choice =
+          optimizer.EvaluatePlan(*plan, options.requirement);
+      predicted_good = choice.estimate.expected_good;
+      predicted_bad = choice.estimate.expected_bad;
+      predicted_seconds = choice.estimate.seconds;
+      have_prediction = true;
+      recorder.SetPrediction(predicted_good, predicted_bad, predicted_seconds);
+      std::printf("prediction: %.0f good / %.0f bad in %.0f simulated s\n",
+                  predicted_good, predicted_bad, predicted_seconds);
+    }
+    options.telemetry = &recorder;
+    recorder_ptr = &recorder;
+  }
+
   // Durable checkpointing: the manifest embedded in every snapshot records
   // what `resume` needs to rebuild this exact execution.
   std::unique_ptr<ckpt::CheckpointManager> manager;
@@ -368,6 +453,20 @@ int CmdRun(const Args& args) {
     }
     if (args.Has("faults")) manifest["faults"] = args.Get("faults", "");
     if (telemetry) manifest["telemetry"] = "1";
+    // The telemetry cadence and the optimizer's prediction travel in the
+    // manifest so a resumed run continues the exact same series: same
+    // sampling knobs, same residual baseline.
+    if (recorder_ptr != nullptr) {
+      manifest["telemetry_every_docs"] =
+          std::to_string(recorder_options.sample_every_docs);
+      manifest["telemetry_every_seconds"] =
+          FormatDouble(recorder_options.sample_every_seconds);
+      if (have_prediction) {
+        manifest["predicted_good"] = FormatDouble(predicted_good);
+        manifest["predicted_bad"] = FormatDouble(predicted_bad);
+        manifest["predicted_seconds"] = FormatDouble(predicted_seconds);
+      }
+    }
     const int64_t every = args.GetInt("checkpoint-every-docs", 256);
     manifest["checkpoint_every_docs"] = std::to_string(every);
     // Retention travels in the manifest so a resumed run keeps pruning
@@ -390,7 +489,7 @@ int CmdRun(const Args& args) {
   }
 
   return ExecuteAndReport(**bench, *plan, options, args, telemetry, registry,
-                          tracer);
+                          tracer, recorder_ptr);
 }
 
 int CmdResume(const Args& args) {
@@ -424,9 +523,11 @@ int CmdResume(const Args& args) {
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
   obs::Tracer* trace = telemetry ? &tracer : nullptr;
   if (!telemetry &&
-      (args.Has("metrics-out") || args.Has("trace-out") || args.Has("report-out"))) {
+      (args.Has("metrics-out") || args.Has("trace-out") ||
+       args.Has("report-out") || args.Has("exposition-out") ||
+       args.Has("telemetry-out"))) {
     std::fprintf(stderr,
-                 "resume: checkpoint was written without telemetry; "
+                 "resume: checkpoint was written without observability; "
                  "*-out flags are unavailable\n");
     return 2;
   }
@@ -473,6 +574,34 @@ int CmdResume(const Args& args) {
   options.metrics = metrics;
   options.tracer = trace;
 
+  // Continue the telemetry series where the crashed run left it: cadence
+  // and prediction come back from the manifest, the sampling cursor from
+  // the snapshot itself (restored inside the executor), and the
+  // checkpoint-bytes accumulator is seeded below. The resumed run writes
+  // its frames to its own file; concatenated with the crashed run's file
+  // the series is byte-identical to an uninterrupted run's.
+  obs::TimeSeriesRecorder::Options recorder_options;
+  recorder_options.sample_every_docs =
+      std::atoll(lookup("telemetry_every_docs", "64").c_str());
+  recorder_options.sample_every_seconds =
+      std::atof(lookup("telemetry_every_seconds", "0").c_str());
+  obs::TimeSeriesRecorder recorder(recorder_options);
+  obs::TimeSeriesRecorder* recorder_ptr = nullptr;
+  if (args.Has("telemetry-out")) {
+    const Status opened = recorder.OpenFile(args.Get("telemetry-out", ""));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", opened.ToString().c_str());
+      return 1;
+    }
+    if (manifest.count("predicted_good") > 0) {
+      recorder.SetPrediction(std::atof(lookup("predicted_good", "0").c_str()),
+                             std::atof(lookup("predicted_bad", "0").c_str()),
+                             std::atof(lookup("predicted_seconds", "0").c_str()));
+    }
+    options.telemetry = &recorder;
+    recorder_ptr = &recorder;
+  }
+
   // Keep checkpointing into the same directory under the same cadence and
   // retention policy; the resumed run's ordinals continue past the loaded
   // snapshot's, so a re-written file after a second crash overwrites its
@@ -490,9 +619,14 @@ int CmdResume(const Args& args) {
   options.checkpoint_every_docs =
       std::atoll(lookup("checkpoint_every_docs", "256").c_str());
   options.resume_from = &loaded->executor;
+  // The loaded image's predecessors plus the image itself: the resumed
+  // run's checkpoint-bytes series continues exactly where the crashed
+  // run's left off.
+  options.resume_checkpoint_bytes =
+      loaded->executor.checkpoint_bytes_written + loaded->file_bytes;
 
   return ExecuteAndReport(**bench, *plan, options, args, telemetry, registry,
-                          tracer);
+                          tracer, recorder_ptr);
 }
 
 int CmdOptimize(const Args& args) {
@@ -556,6 +690,114 @@ int CmdOptimize(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// `tail`: live terminal view over a telemetry JSONL file.
+// ---------------------------------------------------------------------------
+
+/// Raw JSON token following the `skip`-th occurrence of `"key":` in a
+/// frame line (number, true/false, or the opening of a nested value);
+/// empty when absent. Good enough for self-produced telemetry frames: the
+/// quoted needle cannot match dotted metric names like "side1.docs_retrieved".
+std::string JsonToken(const std::string& line, const std::string& key,
+                      int skip = 0) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = 0;
+  for (;;) {
+    pos = line.find(needle, pos);
+    if (pos == std::string::npos) return "";
+    pos += needle.size();
+    if (skip-- == 0) break;
+  }
+  size_t end = line.find_first_of(",}", pos);
+  if (end == std::string::npos) end = line.size();
+  return line.substr(pos, end - pos);
+}
+
+double JsonNumber(const std::string& line, const std::string& key,
+                  int skip = 0) {
+  const std::string token = JsonToken(line, key, skip);
+  return token.empty() ? 0.0 : std::atof(token.c_str());
+}
+
+bool JsonTrue(const std::string& line, const std::string& key) {
+  return JsonToken(line, key) == "true";
+}
+
+/// Renders one frame as one terminal line; docs/sec is the simulated rate
+/// since the previous frame.
+void PrintFrameLine(const std::string& line, double prev_docs,
+                    double prev_seconds) {
+  const bool final_frame = JsonTrue(line, "final");
+  const double docs = JsonNumber(line, "docs_retrieved");
+  const double seconds = JsonNumber(line, "sim_seconds");
+  const double dt = seconds - prev_seconds;
+  const double rate = dt > 0 ? (docs - prev_docs) / dt : 0.0;
+  std::printf("[%4lld] %-7s t=%7.0fs docs=%6.0f (%6.1f docs/s) "
+              "good=%5.0f bad=%5.0f hit=%.2f/%.2f ckpt=%.0fB",
+              static_cast<long long>(JsonNumber(line, "seq")),
+              final_frame ? "final" : "running", seconds, docs, rate,
+              JsonNumber(line, "good_tuples"), JsonNumber(line, "bad_tuples"),
+              JsonNumber(line, "cache_hit_rate", 0),
+              JsonNumber(line, "cache_hit_rate", 1),
+              JsonNumber(line, "checkpoint_bytes"));
+  if (line.find("\"residual\":null") == std::string::npos &&
+      line.find("\"residual\":") != std::string::npos) {
+    std::printf(" resid=%+.0fg/%+.0fb", JsonNumber(line, "remaining_good"),
+                JsonNumber(line, "remaining_bad"));
+  }
+  if (JsonTrue(line, "degraded")) std::printf(" DEGRADED");
+  if (JsonTrue(line, "deadline_exceeded")) std::printf(" DEADLINE");
+  std::printf("\n");
+}
+
+int CmdTail(const Args& args) {
+  if (!args.Has("file")) return Usage();
+  const std::string path = args.Get("file", "");
+  const bool follow = args.Has("follow");
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr && !follow) {
+    std::fprintf(stderr, "tail: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  double prev_docs = 0.0, prev_seconds = 0.0;
+  char* buf = nullptr;
+  size_t cap = 0;
+  int64_t frames = 0;
+  for (;;) {
+    if (file == nullptr) file = std::fopen(path.c_str(), "rb");
+    ssize_t len = -1;
+    if (file != nullptr) len = ::getline(&buf, &cap, file);
+    if (len > 0 && buf[len - 1] == '\n') {
+      const std::string line(buf, static_cast<size_t>(len - 1));
+      PrintFrameLine(line, prev_docs, prev_seconds);
+      std::fflush(stdout);
+      prev_docs = JsonNumber(line, "docs_retrieved");
+      prev_seconds = JsonNumber(line, "sim_seconds");
+      ++frames;
+      if (JsonTrue(line, "final")) break;  // run closed its series
+      continue;
+    }
+    // EOF or a line still being written: rewind past the partial read and
+    // either stop (plain tail) or poll (--follow).
+    if (len > 0 && file != nullptr) {
+      std::fseek(file, -static_cast<long>(len), SEEK_CUR);
+    }
+    if (!follow) break;
+    if (file != nullptr) std::clearerr(file);
+    struct timespec pause = {0, 200 * 1000 * 1000};  // 200ms
+    ::nanosleep(&pause, nullptr);
+  }
+  std::free(buf);
+  if (file != nullptr) std::fclose(file);
+  if (frames == 0) {
+    std::fprintf(stderr, "tail: no telemetry frames in %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("%lld frames from %s\n", static_cast<long long>(frames),
+              path.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   // Crash-harness hook: IEJOIN_KILL_SITE / IEJOIN_KILL_AFTER abort the
   // process at the configured operation boundary (no-op when unset).
@@ -565,7 +807,14 @@ int Main(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) return Usage();
+    if (arg.rfind("--", 0) != 0) {
+      // `tail` takes its input file as a positional operand.
+      if (args.command == "tail" && !args.Has("file")) {
+        args.flags["file"] = arg;
+        continue;
+      }
+      return Usage();
+    }
     arg = arg.substr(2);
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.flags[arg] = argv[++i];
@@ -577,6 +826,7 @@ int Main(int argc, char** argv) {
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "run") return CmdRun(args);
   if (args.command == "resume") return CmdResume(args);
+  if (args.command == "tail") return CmdTail(args);
   if (args.command == "optimize") return CmdOptimize(args);
   return Usage();
 }
