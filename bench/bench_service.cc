@@ -1,0 +1,215 @@
+// Service-mode baseline: end-to-end requests/second through JoinService —
+// parse, admission, per-request execution, response serialization — across
+// worker counts, with the shared extraction cache cold and warm, plus a
+// deliberate overload pass (tiny queue, large burst) measuring the shed
+// rate and that delivered throughput holds up while the excess is refused.
+// Writes BENCH_service.json (consumed by the CI service-smoke lane as an
+// artifact).
+//
+// `--smoke` shrinks the corpus, request counts, and worker sweep for CI;
+// `--out FILE` overrides the JSON path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "service/join_service.h"
+
+using namespace iejoin;  // NOLINT — benchmark binary
+
+namespace {
+
+struct ServiceRow {
+  std::string mode;  // "sweep" or "overload"
+  int workers = 0;
+  bool cache_warm = false;
+  int max_queue = 0;
+  int64_t offered = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double shed_rate = 0.0;
+};
+
+WorkbenchConfig ServiceConfigFor(bool smoke) {
+  WorkbenchConfig config;
+  ScenarioSpec spec = ScenarioSpec::Small();
+  const int64_t docs = smoke ? 800 : 1500;
+  spec.relation1.num_documents = docs;
+  spec.relation2.num_documents = docs;
+  config.scenario = spec;
+  // Service wiring: no workbench pool (the service's workers are the
+  // request drivers) and a bounded shared cache.
+  config.threads = 0;
+  config.extraction_cache = true;
+  config.extraction_cache_bytes = 64 << 20;
+  return config;
+}
+
+/// The request mix one sweep pass offers: the three algorithms at modest
+/// quality targets, seeds pinned so every pass does identical work.
+std::vector<std::string> RequestMix(int64_t count) {
+  static const char* kTemplates[3] = {
+      R"({"algorithm":"idjn","x1":"fs","tau_good":10,"tau_bad":100000,"seed":%lld})",
+      R"({"algorithm":"oijn","tau_good":10,"tau_bad":100000,"seed":%lld})",
+      R"({"algorithm":"zgjn","tau_good":10,"tau_bad":100000,"seed":%lld})",
+  };
+  std::vector<std::string> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), kTemplates[i % 3],
+                  static_cast<long long>(1000 + i % 7));
+    requests.push_back(buf);
+  }
+  return requests;
+}
+
+ServiceRow MeasurePass(const Workbench& bench, int workers, int max_queue,
+                       const std::vector<std::string>& requests,
+                       bool cache_warm, const std::string& mode) {
+  service::ServiceConfig config;
+  config.workers = workers;
+  config.max_queue = max_queue;
+  service::JoinService svc(&bench, config);
+
+  std::mutex mu;
+  int64_t shed = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& request : requests) {
+    svc.Serve(request, [&](std::string response) {
+      if (response.find("\"status\":\"unavailable\"") != std::string::npos) {
+        std::lock_guard<std::mutex> lock(mu);
+        ++shed;
+      }
+    });
+  }
+  svc.Drain();
+  const auto stop = std::chrono::steady_clock::now();
+
+  ServiceRow row;
+  row.mode = mode;
+  row.workers = workers;
+  row.cache_warm = cache_warm;
+  row.max_queue = max_queue;
+  row.offered = static_cast<int64_t>(requests.size());
+  row.completed = svc.completed_requests();
+  row.shed = shed;
+  row.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  row.requests_per_sec =
+      row.wall_seconds > 0.0
+          ? static_cast<double>(row.completed) / row.wall_seconds
+          : 0.0;
+  row.shed_rate = row.offered > 0
+                      ? static_cast<double>(shed) / static_cast<double>(row.offered)
+                      : 0.0;
+  return row;
+}
+
+std::string ToJson(const std::vector<ServiceRow>& rows, bool smoke) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed;
+  out << "{\n  \"bench\": \"service\",\n  \"smoke\": "
+      << (smoke ? "true" : "false")
+      << ",\n  \"hardware_concurrency\": " << ThreadPool::HardwareConcurrency()
+      << ",\n  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ServiceRow& r = rows[i];
+    out << "    {\"mode\": \"" << r.mode << "\", \"workers\": " << r.workers
+        << ", \"cache\": " << (r.cache_warm ? "\"warm\"" : "\"cold\"")
+        << ", \"max_queue\": " << r.max_queue << ", \"offered\": " << r.offered
+        << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+        << ", \"wall_seconds\": " << r.wall_seconds
+        << ", \"requests_per_sec\": " << r.requests_per_sec
+        << ", \"shed_rate\": " << r.shed_rate << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_service.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    }
+  }
+
+  std::printf("building service workbench (%s, %d hardware threads)...\n",
+              smoke ? "smoke" : "full", ThreadPool::HardwareConcurrency());
+  auto bench = Workbench::Create(ServiceConfigFor(smoke));
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<int> worker_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const int64_t sweep_requests = smoke ? 48 : 240;
+  const std::vector<std::string> mix = RequestMix(sweep_requests);
+
+  std::vector<ServiceRow> rows;
+  std::printf("%-9s %8s %6s %8s %10s %12s %10s\n", "mode", "workers", "cache",
+              "offered", "completed", "req/sec", "shed");
+  const auto print_row = [](const ServiceRow& r) {
+    std::printf("%-9s %8d %6s %8lld %10lld %12.1f %10lld\n", r.mode.c_str(),
+                r.workers, r.cache_warm ? "warm" : "cold",
+                static_cast<long long>(r.offered),
+                static_cast<long long>(r.completed), r.requests_per_sec,
+                static_cast<long long>(r.shed));
+  };
+
+  for (int workers : worker_counts) {
+    // Cold pass: empty shared cache. The queue is sized to admit the whole
+    // sweep — this measures throughput, not shedding.
+    (*bench)->extraction_cache()->Clear();
+    rows.push_back(MeasurePass(**bench, workers,
+                               static_cast<int>(sweep_requests), mix,
+                               /*cache_warm=*/false, "sweep"));
+    print_row(rows.back());
+    // Warm pass: same mix against the cache the cold pass filled.
+    rows.push_back(MeasurePass(**bench, workers,
+                               static_cast<int>(sweep_requests), mix,
+                               /*cache_warm=*/true, "sweep"));
+    print_row(rows.back());
+  }
+
+  // Overload pass: a burst far past the queue bound. Admission must shed
+  // the excess (shed_rate > 0) while every offered request still gets a
+  // response — Drain() returning proves none were dropped silently.
+  (*bench)->extraction_cache()->Clear();
+  const std::vector<std::string> burst = RequestMix(smoke ? 96 : 400);
+  rows.push_back(MeasurePass(**bench, /*workers=*/2, /*max_queue=*/4, burst,
+                             /*cache_warm=*/false, "overload"));
+  print_row(rows.back());
+  if (rows.back().shed == 0) {
+    std::printf("note: overload pass shed nothing — workers drained the "
+                "burst faster than it was offered\n");
+  }
+
+  const Status written = obs::WriteFile(out_path, ToJson(rows, smoke));
+  if (!written.ok()) {
+    std::fprintf(stderr, "write %s: %s\n", out_path.c_str(),
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -257,6 +257,7 @@ void PutSide(const ExecutorCheckpoint::SideCheckpoint& side, BufEncoder* enc) {
   enc->PutI64(c.hedges_launched);
   enc->PutI64(c.cache_hits);
   enc->PutI64(c.cache_misses);
+  enc->PutI64(c.cache_evictions);
   enc->PutDouble(side.seconds);
   enc->PutDouble(side.fault_seconds);
   enc->PutBits(side.retrieved);
@@ -285,7 +286,7 @@ Status GetSide(BufDecoder* dec, ExecutorCheckpoint::SideCheckpoint* side) {
       &c.docs_filtered,  &c.queries_issued, &c.tuples_extracted,
       &c.ops_retried,    &c.ops_failed,     &c.docs_dropped,
       &c.queries_dropped, &c.breaker_trips, &c.hedges_launched,
-      &c.cache_hits,      &c.cache_misses,
+      &c.cache_hits,      &c.cache_misses,  &c.cache_evictions,
   };
   for (int64_t* counter : counters) {
     IEJOIN_RETURN_IF_ERROR(GetNonNegative(dec, counter));
@@ -593,6 +594,8 @@ void AppendExecutorSections(const ExecutorCheckpoint& checkpoint,
     enc.PutI64(checkpoint.telemetry_docs_at_last_sample);
     enc.PutDouble(checkpoint.telemetry_seconds_at_last_sample);
     enc.PutI64(checkpoint.checkpoint_bytes_written);
+    // Extraction-cache image flag (container version 4).
+    enc.PutBool(checkpoint.has_extraction_cache);
     out->push_back({kSectionExecutorCore, enc.Take()});
   }
   {
@@ -651,6 +654,28 @@ void AppendExecutorSections(const ExecutorCheckpoint& checkpoint,
     PutMetricsSnapshot(checkpoint.metrics, &enc);
     out->push_back({kSectionMetrics, enc.Take()});
   }
+  if (checkpoint.has_extraction_cache) {
+    // Entries are emitted in the cache's eviction (LRU→MRU) order — the
+    // order IS the replacement state, so it must survive the round trip.
+    BufEncoder enc;
+    enc.PutU64(checkpoint.extraction_cache_entries.size());
+    for (const ExtractionCache::Entry& entry :
+         checkpoint.extraction_cache_entries) {
+      enc.PutU8(static_cast<uint8_t>(entry.key.side));
+      enc.PutI64(static_cast<int64_t>(entry.key.doc));
+      enc.PutDouble(entry.key.theta);
+      enc.PutU64(entry.batch.size());
+      for (const ExtractedTuple& tuple : entry.batch) {
+        enc.PutI64(static_cast<int64_t>(tuple.join_value));
+        enc.PutI64(static_cast<int64_t>(tuple.second_value));
+        enc.PutI64(static_cast<int64_t>(tuple.doc_id));
+        enc.PutU32(tuple.sentence_index);
+        enc.PutDouble(tuple.similarity);
+        enc.PutBool(tuple.ground_truth_good);
+      }
+    }
+    out->push_back({kSectionExtractionCache, enc.Take()});
+  }
 }
 
 Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
@@ -676,6 +701,7 @@ Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
     IEJOIN_RETURN_IF_ERROR(
         dec.GetDouble(&out->telemetry_seconds_at_last_sample));
     IEJOIN_RETURN_IF_ERROR(GetNonNegative(&dec, &out->checkpoint_bytes_written));
+    IEJOIN_RETURN_IF_ERROR(dec.GetBool(&out->has_extraction_cache));
     IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
   }
 
@@ -785,6 +811,57 @@ Status DecodeExecutorSections(const std::vector<SnapshotSection>& sections,
   if (metrics_section != nullptr) {
     BufDecoder dec(metrics_section->payload);
     IEJOIN_RETURN_IF_ERROR(GetMetricsSnapshot(&dec, &out->metrics));
+    IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  }
+
+  const SnapshotSection* cache_section =
+      FindSection(sections, kSectionExtractionCache);
+  if (out->has_extraction_cache != (cache_section != nullptr)) {
+    return Status::OutOfRange(
+        "checkpoint: extraction-cache section presence disagrees with core "
+        "flags");
+  }
+  if (cache_section != nullptr) {
+    BufDecoder dec(cache_section->payload);
+    int64_t entry_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetCount(&entry_count, kMaxElements));
+    out->extraction_cache_entries.clear();
+    out->extraction_cache_entries.reserve(static_cast<size_t>(entry_count));
+    for (int64_t i = 0; i < entry_count; ++i) {
+      ExtractionCache::Entry entry;
+      uint8_t side = 0;
+      IEJOIN_RETURN_IF_ERROR(dec.GetU8(&side));
+      if (side > 1) {
+        return Status::OutOfRange("checkpoint: cache entry side out of range");
+      }
+      entry.key.side = static_cast<int32_t>(side);
+      int64_t doc = 0;
+      IEJOIN_RETURN_IF_ERROR(dec.GetI64(&doc));
+      if (doc < 0 || doc > std::numeric_limits<DocId>::max()) {
+        return Status::OutOfRange("checkpoint: cache entry doc out of range");
+      }
+      entry.key.doc = static_cast<DocId>(doc);
+      IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&entry.key.theta));
+      int64_t tuple_count = 0;
+      IEJOIN_RETURN_IF_ERROR(dec.GetCount(&tuple_count, kMaxElements));
+      entry.batch.reserve(static_cast<size_t>(tuple_count));
+      for (int64_t j = 0; j < tuple_count; ++j) {
+        ExtractedTuple tuple;
+        IEJOIN_RETURN_IF_ERROR(GetToken(&dec, &tuple.join_value));
+        IEJOIN_RETURN_IF_ERROR(GetToken(&dec, &tuple.second_value));
+        int64_t tuple_doc = 0;
+        IEJOIN_RETURN_IF_ERROR(dec.GetI64(&tuple_doc));
+        if (tuple_doc < 0 || tuple_doc > std::numeric_limits<DocId>::max()) {
+          return Status::OutOfRange("checkpoint: cache tuple doc out of range");
+        }
+        tuple.doc_id = static_cast<DocId>(tuple_doc);
+        IEJOIN_RETURN_IF_ERROR(dec.GetU32(&tuple.sentence_index));
+        IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&tuple.similarity));
+        IEJOIN_RETURN_IF_ERROR(dec.GetBool(&tuple.ground_truth_good));
+        entry.batch.push_back(tuple);
+      }
+      out->extraction_cache_entries.push_back(std::move(entry));
+    }
     IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
   }
   return Status::Ok();

@@ -26,6 +26,7 @@ inline constexpr uint32_t kSectionProbed = 6;
 inline constexpr uint32_t kSectionFault = 7;
 inline constexpr uint32_t kSectionMetrics = 8;
 inline constexpr uint32_t kSectionAdaptive = 9;
+inline constexpr uint32_t kSectionExtractionCache = 10;
 
 bool HasSection(const std::vector<SnapshotSection>& sections, uint32_t id);
 

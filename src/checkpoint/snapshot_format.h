@@ -32,8 +32,10 @@ inline constexpr char kSnapshotMagic[8] = {'I', 'E', 'J', 'C', 'K', 'P', 'T', '\
 /// Version history: 1 = initial layout; 2 = cache_hits/cache_misses appended
 /// to the per-side counter block; 3 = telemetry cursor (frame count +
 /// cadence anchors) and cumulative checkpoint bytes appended to the
-/// executor-core section.
-inline constexpr uint32_t kSnapshotVersion = 3;
+/// executor-core section; 4 = cache_evictions appended to the per-side
+/// counter block, has_extraction_cache flag appended to the executor-core
+/// section, and the extraction-cache image section (id 10).
+inline constexpr uint32_t kSnapshotVersion = 4;
 inline constexpr uint32_t kMaxSnapshotSections = 64;
 /// Per-section payload cap (also bounds total file size via the section
 /// cap); far above any real snapshot, low enough to reject corrupt sizes

@@ -21,13 +21,14 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    IEJOIN_CHECK(!shutting_down_) << "Submit on a shutting-down ThreadPool";
+    if (shutting_down_) return false;
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::WorkerLoop() {

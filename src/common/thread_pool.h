@@ -37,18 +37,24 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a fire-and-forget task.
-  void Submit(std::function<void()> task);
+  /// Enqueues a fire-and-forget task. Returns false — and drops the task —
+  /// when the pool is already shutting down: a drain-then-exit sequence may
+  /// race late submitters (a speculative prefetch, a request admitted just
+  /// before SIGTERM), and those must see a clean rejection, not a crash or a
+  /// task that silently never runs.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
   /// Enqueues `task` and returns a future for its result. The future's
-  /// exceptions (if the callable throws) surface at `get()`.
+  /// exceptions (if the callable throws) surface at `get()`. When the pool
+  /// is shutting down the task runs inline on the caller's thread instead of
+  /// being dropped, so the returned future is always satisfied.
   template <typename Fn>
   auto SubmitTask(Fn&& task) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto packaged =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(task));
     std::future<R> future = packaged->get_future();
-    Submit([packaged]() { (*packaged)(); });
+    if (!Submit([packaged]() { (*packaged)(); })) (*packaged)();
     return future;
   }
 

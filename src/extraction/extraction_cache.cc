@@ -1,0 +1,102 @@
+#include "extraction/extraction_cache.h"
+
+#include <utility>
+
+namespace iejoin {
+
+std::optional<ExtractionBatch> ExtractionCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  // Refresh recency: splice the entry to the MRU end without reallocating.
+  lru_.splice(lru_.end(), lru_, it->second);
+  return it->second->batch;
+}
+
+bool ExtractionCache::Contains(const Key& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+ExtractionCache::InsertOutcome ExtractionCache::Insert(
+    const Key& key, const ExtractionBatch& batch) {
+  InsertOutcome outcome;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= CostOf(it->second->batch);
+    it->second->batch = batch;
+    bytes_ += CostOf(batch);
+    lru_.splice(lru_.end(), lru_, it->second);
+  } else {
+    lru_.push_back(Entry{key, batch});
+    index_[key] = std::prev(lru_.end());
+    bytes_ += CostOf(batch);
+  }
+  EvictOverBudgetLocked(&outcome);
+  return outcome;
+}
+
+void ExtractionCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+int64_t ExtractionCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t ExtractionCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t ExtractionCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::vector<ExtractionCache::Entry> ExtractionCache::SnapshotEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Entry>(lru_.begin(), lru_.end());
+}
+
+void ExtractionCache::RestoreEntries(const std::vector<Entry>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  InsertOutcome outcome;
+  for (const Entry& entry : entries) {
+    const auto it = index_.find(entry.key);
+    if (it != index_.end()) {
+      bytes_ -= CostOf(it->second->batch);
+      it->second->batch = entry.batch;
+      bytes_ += CostOf(entry.batch);
+      lru_.splice(lru_.end(), lru_, it->second);
+    } else {
+      lru_.push_back(entry);
+      index_[entry.key] = std::prev(lru_.end());
+      bytes_ += CostOf(entry.batch);
+    }
+    EvictOverBudgetLocked(&outcome);
+  }
+}
+
+void ExtractionCache::EvictOverBudgetLocked(InsertOutcome* outcome) {
+  if (max_bytes_ <= 0) return;
+  while (bytes_ > max_bytes_ && lru_.size() > 1) {
+    Entry& victim = lru_.front();
+    const int side = victim.key.side == 0 ? 0 : 1;
+    outcome->evicted[side] += 1;
+    ++evictions_;
+    bytes_ -= CostOf(victim.batch);
+    index_.erase(victim.key);
+    lru_.pop_front();
+  }
+}
+
+}  // namespace iejoin

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "extraction/extracted_tuple.h"
 #include "textdb/document.h"
@@ -24,13 +26,23 @@ namespace iejoin {
 ///
 /// Simulated results stay cache-invariant by design: the executor charges
 /// the simulated extract cost on a hit exactly as on a miss, and only
-/// hit/miss counters (wall-clock observability) record the difference.
+/// hit/miss/eviction counters (wall-clock observability) record the
+/// difference.
+///
+/// Memory is bounded: construct with `max_bytes` > 0 and the cache evicts
+/// least-recently-used entries once its accounted footprint exceeds the
+/// budget (0 keeps the legacy unbounded behavior). Eviction happens inside
+/// Insert and is reported per evicted entry's side, so the driver can charge
+/// `sideN.cache_evictions` deterministically. A Lookup hit refreshes the
+/// entry's recency; on the single-driver path that makes eviction order a
+/// pure function of the retrieval sequence.
 ///
 /// Thread safety: Lookup/Insert/Contains are mutex-guarded so speculative
 /// pipeline workers may *probe* concurrently, but by convention only the
 /// executor driver thread inserts — workers hand results back via futures.
-/// Contents are in-memory only and are NOT checkpointed; a resumed run
-/// starts cold (see docs/ROBUSTNESS.md for the counter implications).
+/// Contents can be checkpointed: SnapshotEntries() exposes the entries in
+/// eviction (LRU→MRU) order and RestoreEntries() reproduces that exact
+/// state, which is how the CLI keeps a resumed run's cache warm.
 class ExtractionCache {
  public:
   struct Key {
@@ -63,40 +75,75 @@ class ExtractionCache {
     }
   };
 
-  /// Copy-out lookup (the caller mutates its batch downstream).
-  std::optional<ExtractionBatch> Lookup(const Key& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = entries_.find(key);
-    if (it == entries_.end()) return std::nullopt;
-    return it->second;
-  }
+  /// One cached entry; also the checkpoint serialization unit.
+  struct Entry {
+    Key key;
+    ExtractionBatch batch;
+  };
+
+  /// Entries evicted by one Insert, indexed by the *evicted* entry's side.
+  struct InsertOutcome {
+    int64_t evicted[2] = {0, 0};
+  };
+
+  /// `max_bytes` == 0 means unbounded (no eviction ever).
+  explicit ExtractionCache(int64_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Copy-out lookup (the caller mutates its batch downstream). A hit moves
+  /// the entry to most-recently-used.
+  std::optional<ExtractionBatch> Lookup(const Key& key);
 
   /// Cheap presence probe (used by the pipeline to skip speculating on
-  /// documents that would hit anyway).
-  bool Contains(const Key& key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.find(key) != entries_.end();
+  /// documents that would hit anyway). Does not refresh recency.
+  bool Contains(const Key& key) const;
+
+  /// Inserts (or overwrites — idempotent for a deterministic extractor),
+  /// then evicts LRU entries until the byte budget holds again. The entry
+  /// just inserted is never evicted, even when it alone exceeds the budget.
+  InsertOutcome Insert(const Key& key, const ExtractionBatch& batch);
+
+  void Clear();
+
+  int64_t size() const;
+  /// Accounted footprint of the current contents (see CostOf).
+  int64_t bytes() const;
+  int64_t max_bytes() const { return max_bytes_; }
+  /// Lifetime evictions across both sides.
+  int64_t evictions() const;
+
+  /// Deterministic per-entry byte charge: a fixed bookkeeping overhead plus
+  /// the batch's tuple payload. Deliberately platform-stable arithmetic so
+  /// eviction points are identical across builds.
+  static int64_t CostOf(const ExtractionBatch& batch) {
+    return kEntryOverheadBytes +
+           static_cast<int64_t>(batch.size()) * kTupleBytes;
   }
 
-  /// Inserts (or overwrites — idempotent for a deterministic extractor).
-  void Insert(const Key& key, const ExtractionBatch& batch) {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_[key] = batch;
-  }
+  /// Contents in eviction (LRU→MRU) order; feeding them back through
+  /// RestoreEntries reproduces this cache's exact replacement state.
+  std::vector<Entry> SnapshotEntries() const;
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
-    entries_.clear();
-  }
-
-  int64_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<int64_t>(entries_.size());
-  }
+  /// Replaces the contents with `entries`, oldest first. Restored entries
+  /// honor the budget (a snapshot captured under the same `max_bytes` fits
+  /// by construction); evictions triggered here count toward evictions().
+  void RestoreEntries(const std::vector<Entry>& entries);
 
  private:
+  static constexpr int64_t kEntryOverheadBytes = 64;
+  static constexpr int64_t kTupleBytes =
+      static_cast<int64_t>(sizeof(ExtractedTuple));
+
+  // Requires mu_ held. Evicts from the LRU end until the budget holds,
+  // never touching the MRU entry.
+  void EvictOverBudgetLocked(InsertOutcome* outcome);
+
+  const int64_t max_bytes_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, ExtractionBatch, KeyHash> entries_;
+  // Front = least recently used, back = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
 };
 
 }  // namespace iejoin

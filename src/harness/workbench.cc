@@ -79,8 +79,13 @@ Result<std::unique_ptr<Workbench>> Workbench::Wire(std::unique_ptr<Workbench> be
   if (config.threads > 0) {
     bench->pool_ = std::make_unique<ThreadPool>(config.threads);
   }
+  if (config.extraction_cache_bytes < 0) {
+    return Status::InvalidArgument(
+        "WorkbenchConfig.extraction_cache_bytes must be >= 0");
+  }
   if (config.extraction_cache) {
-    bench->cache_ = std::make_unique<ExtractionCache>();
+    bench->cache_ =
+        std::make_unique<ExtractionCache>(config.extraction_cache_bytes);
   }
   bench->database1_ = std::make_unique<TextDatabase>(
       bench->scenario_.corpus1, config.scenario.seed ^ 0x5bd1e995,

@@ -40,9 +40,12 @@ struct WorkbenchConfig {
   int32_t threads = 0;
   /// Memoize extraction batches per (side, doc, θ) across this workbench's
   /// runs. Off by default: hit/miss counters land in side counters (and so
-  /// in checkpoint bytes), and a resumed run's cache starts cold — see
-  /// docs/ROBUSTNESS.md before combining with checkpoints.
+  /// in checkpoint bytes) — see docs/ROBUSTNESS.md before combining with
+  /// checkpoints.
   bool extraction_cache = false;
+  /// LRU byte budget for the cache (0 = unbounded). Evictions are charged
+  /// to the `sideN.cache_evictions` counters.
+  int64_t extraction_cache_bytes = 0;
 
   /// Optional default fault plan (non-owning; must outlive the workbench).
   /// RunPlan attaches it to every execution whose options do not carry

@@ -80,7 +80,10 @@ DocumentPipeline::TakeResult DocumentPipeline::Take(int side, DocId doc) {
     result.batch = inputs.extractor->Process(inputs.corpus->document(doc));
   }
   if (cache_ != nullptr) {
-    cache_->Insert(CacheKey(side, doc), result.batch);
+    const ExtractionCache::InsertOutcome outcome =
+        cache_->Insert(CacheKey(side, doc), result.batch);
+    result.cache_evicted[0] = outcome.evicted[0];
+    result.cache_evicted[1] = outcome.evicted[1];
   }
   return result;
 }

@@ -72,10 +72,13 @@ class DocumentPipeline {
   void Prefetch(int side, const std::vector<DocId>& docs);
 
   /// The ordered-merge point: the extraction batch for `doc`, plus whether
-  /// it was served from the cache. Runs on the driver thread only.
+  /// it was served from the cache and how many entries the resulting cache
+  /// insert evicted (by evicted entry's side — a bounded cache only). Runs
+  /// on the driver thread only.
   struct TakeResult {
     ExtractionBatch batch;
     bool cache_hit = false;
+    int64_t cache_evicted[2] = {0, 0};
   };
   TakeResult Take(int side, DocId doc);
 

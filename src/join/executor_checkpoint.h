@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "extraction/extraction_cache.h"
 #include "fault/circuit_breaker.h"
 #include "fault/fault_injector.h"
 #include "join/join_execution.h"
@@ -94,6 +95,13 @@ struct ExecutorCheckpoint {
   int64_t telemetry_frames_emitted = 0;
   int64_t telemetry_docs_at_last_sample = 0;
   double telemetry_seconds_at_last_sample = 0.0;
+
+  /// Extraction-cache image (present iff the run set
+  /// options.checkpoint_extraction_cache): the cache's entries in eviction
+  /// (LRU→MRU) order, so a resumed run restores the exact replacement state
+  /// and replays the identical hit/miss/eviction sequence.
+  bool has_extraction_cache = false;
+  std::vector<ExtractionCache::Entry> extraction_cache_entries;
 
   /// Cumulative durable checkpoint bytes written *before* this checkpoint
   /// was captured (capture precedes the write, so checkpoint K carries the

@@ -192,6 +192,13 @@ struct JoinExecutionOptions {
   /// re-extracting documents; simulated time is charged on hits too, so
   /// simulated results are cache-invariant. Null = no memoization.
   ExtractionCache* extraction_cache = nullptr;
+  /// Embed the cache's contents (and LRU order) in every checkpoint image
+  /// and restore them on resume, so a resumed run's cache is warm and its
+  /// hit/miss/eviction counters replay exactly. Requires extraction_cache;
+  /// meant for a run-private cache (the CLI path) — never set it for a
+  /// cache shared by concurrent executions, whose contents are not a
+  /// function of this run alone.
+  bool checkpoint_extraction_cache = false;
 };
 
 struct JoinExecutionResult {

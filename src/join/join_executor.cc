@@ -129,6 +129,7 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
       // snapshots stay key-identical whether or not a cache is attached.
       telemetry.cache_hits = metrics_->counter(prefix + "cache_hits");
       telemetry.cache_misses = metrics_->counter(prefix + "cache_misses");
+      telemetry.cache_evictions = metrics_->counter(prefix + "cache_evictions");
       sides_[i].meter.AttachTelemetry(telemetry);
     }
     metrics_->counter("join.runs")->Increment();
@@ -146,7 +147,13 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
   // their own, so there is nothing to restore.
   pipeline_ = std::make_unique<DocumentPipeline>(options.pool,
                                                  options.extraction_cache);
+  extraction_cache_ = options.extraction_cache;
   cache_attached_ = options.extraction_cache != nullptr;
+  checkpoint_cache_ = options.checkpoint_extraction_cache;
+  if (checkpoint_cache_ && !cache_attached_) {
+    return Status::InvalidArgument(
+        "checkpoint_extraction_cache requires an extraction cache");
+  }
   for (int i = 0; i < 2; ++i) {
     pipeline_->ConfigureSide(i, sides_[i].config.extractor.get(),
                              &sides_[i].config.database->corpus());
@@ -212,6 +219,14 @@ ExecutorCheckpoint JoinExecutorBase::CaptureBase() const {
     checkpoint.telemetry_docs_at_last_sample = cursor.docs_at_last_sample;
     checkpoint.telemetry_seconds_at_last_sample = cursor.seconds_at_last_sample;
   }
+  if (checkpoint_cache_ && extraction_cache_ != nullptr) {
+    // Captured at the same safe point as everything else, on the driver
+    // thread: the image holds the exact contents *and* LRU order, so a
+    // resumed run replays the identical hit/miss/eviction sequence instead
+    // of starting cold.
+    checkpoint.has_extraction_cache = true;
+    checkpoint.extraction_cache_entries = extraction_cache_->SnapshotEntries();
+  }
   checkpoint.checkpoint_bytes_written = checkpoint_bytes_written_;
   return checkpoint;
 }
@@ -263,6 +278,14 @@ Status JoinExecutorBase::RestoreBase(const ExecutorCheckpoint& checkpoint) {
   if (metrics_ != nullptr) {
     metrics_->RestoreFromSnapshot(checkpoint.metrics);
   }
+  if (checkpoint_cache_) {
+    if (!checkpoint.has_extraction_cache) {
+      return Status::InvalidArgument(
+          "run persists the extraction cache but the checkpoint carries no "
+          "cache image (was it written without --extraction-cache?)");
+    }
+    extraction_cache_->RestoreEntries(checkpoint.extraction_cache_entries);
+  }
   if (telemetry_ != nullptr && checkpoint.has_telemetry) {
     // Continue the series where the checkpoint left it: same next sequence
     // number, same cadence anchors — the resumed run emits exactly the
@@ -301,6 +324,11 @@ ExtractionBatch JoinExecutorBase::ProcessDocument(int side_index, DocId doc) {
     } else {
       side.meter.RecordCacheMiss();
     }
+    // Evictions are charged to the side whose entries were pushed out, on
+    // the driver thread, in take order — deterministic like every other
+    // counter.
+    sides_[0].meter.RecordCacheEvictions(taken.cache_evicted[0]);
+    sides_[1].meter.RecordCacheEvictions(taken.cache_evicted[1]);
   }
   side.meter.RecordExtractionYield(static_cast<int64_t>(batch.size()));
   if (tuples_per_doc_ != nullptr) {

@@ -246,6 +246,10 @@ class JoinExecutorBase {
   /// tasks before the extractors they reference are destroyed.
   std::unique_ptr<DocumentPipeline> pipeline_;
   bool cache_attached_ = false;
+  /// The run options' cache (null when none) and whether checkpoints embed
+  /// its contents (options.checkpoint_extraction_cache).
+  ExtractionCache* extraction_cache_ = nullptr;
+  bool checkpoint_cache_ = false;
 };
 
 /// IDJN (Section IV-A): extracts both relations independently, retrieving

@@ -114,5 +114,12 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  Prefix();
+  out_ += json;
+  comma_ = true;
+  return *this;
+}
+
 }  // namespace obs
 }  // namespace iejoin

@@ -30,6 +30,10 @@ class JsonWriter {
   JsonWriter& Value(double value);
   JsonWriter& Value(bool value);
   JsonWriter& Null();
+  /// Splices pre-serialized JSON in value position verbatim (e.g. a
+  /// MetricsSnapshot::ToJson object embedded in a larger document). The
+  /// caller owns its well-formedness.
+  JsonWriter& Raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string TakeString() { return std::move(out_); }

@@ -52,6 +52,9 @@ struct SideCounters {
   int64_t cache_hits = 0;
   /// Documents extracted fresh while a cache was attached.
   int64_t cache_misses = 0;
+  /// This side's entries pushed out of a *bounded* cache by LRU eviction
+  /// (zero for an unbounded cache).
+  int64_t cache_evictions = 0;
 };
 
 }  // namespace obs

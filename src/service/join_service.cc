@@ -1,0 +1,300 @@
+#include "service/join_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "fault/fault_plan.h"
+#include "obs/json_writer.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+/// Response metrics must be byte-identical under any concurrency, so the
+/// wall-clock namespace and the shared-cache observables (whose values
+/// depend on which requests raced this one) are stripped.
+obs::MetricsSnapshot DeterministicSnapshot(const obs::MetricsRegistry& registry) {
+  obs::MetricsSnapshot snapshot = registry.Snapshot().WithoutPrefix("wall.");
+  for (const char* key :
+       {"side1.cache_hits", "side1.cache_misses", "side1.cache_evictions",
+        "side2.cache_hits", "side2.cache_misses", "side2.cache_evictions"}) {
+    snapshot.counters.erase(key);
+  }
+  return snapshot;
+}
+
+void BeginResponse(obs::JsonWriter* json, const ServiceRequest& request,
+                   const char* status) {
+  json->BeginObject();
+  if (!request.id.empty()) json->Key("id").Value(request.id);
+  json->Key("status").Value(status);
+}
+
+}  // namespace
+
+JoinService::JoinService(const Workbench* bench, ServiceConfig config)
+    : bench_(bench),
+      config_(config),
+      requests_total_(stats_.counter("service.requests")),
+      rejected_total_(stats_.counter("service.rejected")),
+      shed_total_(stats_.counter("service.shed")),
+      ok_total_(stats_.counter("service.ok")),
+      degraded_total_(stats_.counter("service.degraded")),
+      error_total_(stats_.counter("service.errors")),
+      queue_depth_(stats_.gauge("service.queue_depth")),
+      active_requests_(stats_.gauge("service.active_requests")),
+      pool_(std::make_unique<ThreadPool>(config.workers > 0 ? config.workers : 1)) {}
+
+JoinService::~JoinService() {
+  Drain();
+  pool_.reset();
+}
+
+void JoinService::Serve(const std::string& line, Respond respond) {
+  requests_total_->Increment();
+  auto parsed = ParseServiceRequest(line);
+  if (!parsed.ok()) {
+    rejected_total_->Increment();
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.Key("status").Value("invalid");
+    json.Key("error").Value(parsed.status().message());
+    json.EndObject();
+    respond(json.TakeString());
+    return;
+  }
+  const ServiceRequest request = *std::move(parsed);
+
+  if (request.kind == ServiceRequest::Kind::kHealth) {
+    std::lock_guard<std::mutex> lock(mu_);
+    obs::JsonWriter json;
+    BeginResponse(&json, request, draining_ ? "draining" : "ok");
+    json.Key("queued").Value(queued_);
+    json.Key("active").Value(active_);
+    json.Key("completed").Value(completed_);
+    json.EndObject();
+    respond(json.TakeString());
+    return;
+  }
+  if (request.kind == ServiceRequest::Kind::kStats) {
+    respond(StatsJson());
+    return;
+  }
+
+  // Validate the plan and fault spec *before* admission so malformed
+  // requests never consume a queue slot.
+  {
+    auto plan = PlanFromRequest(request);
+    Status faults_ok = Status::Ok();
+    if (!request.faults.empty()) {
+      faults_ok = fault::ParseFaultPlan(request.faults).status();
+    }
+    const Status bad = !plan.ok() ? plan.status() : faults_ok;
+    if (!bad.ok()) {
+      rejected_total_->Increment();
+      obs::JsonWriter json;
+      BeginResponse(&json, request, "invalid");
+      json.Key("error").Value(bad.message());
+      json.EndObject();
+      respond(json.TakeString());
+      return;
+    }
+  }
+
+  // Admission control: bounded queue, shed on overflow. The worker-slot
+  // count is not part of the bound — `queued_` only counts requests no
+  // worker has picked up yet.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      respond(ShedResponse(request, "draining"));
+      return;
+    }
+    if (queued_ >= config_.max_queue) {
+      respond(ShedResponse(request, "overloaded"));
+      return;
+    }
+    ++queued_;
+    queue_depth_->Set(static_cast<double>(queued_));
+  }
+
+  const bool submitted = pool_->Submit([this, request, respond]() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+      ++active_;
+      queue_depth_->Set(static_cast<double>(queued_));
+      active_requests_->Set(static_cast<double>(active_));
+    }
+    std::string response = Execute(request);
+    // Respond before releasing the slot: Drain() returning guarantees every
+    // admitted request's response has been delivered.
+    respond(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++completed_;
+      active_requests_->Set(static_cast<double>(active_));
+      RecordTelemetryFrame();
+    }
+    idle_cv_.notify_all();
+  });
+  if (!submitted) {
+    // The pool refused (destruction already started): undo the admission
+    // and shed cleanly instead of racing the teardown.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+      queue_depth_->Set(static_cast<double>(queued_));
+    }
+    respond(ShedResponse(request, "draining"));
+    idle_cv_.notify_all();
+  }
+}
+
+std::string JoinService::ShedResponse(const ServiceRequest& request,
+                                      const char* reason) const {
+  shed_total_->Increment();
+  obs::JsonWriter json;
+  BeginResponse(&json, request, "unavailable");
+  json.Key("reason").Value(reason);
+  json.Key("retry_after_ms").Value(config_.retry_after_ms);
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string JoinService::Execute(const ServiceRequest& request) const {
+  // Per-request mutable state: the executor, meters, fault RNG, and metrics
+  // registry live here; only the workbench (immutable) and the extraction
+  // cache (internally locked, response-invisible) are shared.
+  obs::MetricsRegistry registry;
+  JoinExecutionOptions options;
+  options.metrics = &registry;
+  if (request.has_requirement) {
+    options.stop_rule = StopRule::kOracleQuality;
+    options.requirement.min_good_tuples = request.tau_good;
+    options.requirement.max_bad_tuples = request.tau_bad;
+  }
+
+  fault::FaultPlan fault_plan;
+  bool have_faults = false;
+  if (!request.faults.empty()) {
+    auto parsed = fault::ParseFaultPlan(request.faults);
+    if (!parsed.ok()) {  // validated at admission; defensive only
+      error_total_->Increment();
+      obs::JsonWriter json;
+      BeginResponse(&json, request, "error");
+      json.Key("error").Value(parsed.status().message());
+      json.EndObject();
+      return json.TakeString();
+    }
+    fault_plan = *parsed;
+    have_faults = true;
+  }
+  const double deadline = request.deadline_seconds > 0.0
+                              ? request.deadline_seconds
+                              : config_.default_deadline_seconds;
+  if (deadline > 0.0) {
+    fault_plan.deadline_seconds = deadline;
+    have_faults = true;
+  }
+  if (request.has_seed) {
+    fault_plan.seed = request.seed;
+    have_faults = true;
+  }
+  if (have_faults) options.fault_plan = &fault_plan;
+
+  auto plan = PlanFromRequest(request);
+  IEJOIN_CHECK(plan.ok());  // validated at admission
+  auto result = bench_->RunPlan(*plan, options);
+  if (!result.ok()) {
+    error_total_->Increment();
+    obs::JsonWriter json;
+    BeginResponse(&json, request, "error");
+    json.Key("error").Value(result.status().ToString());
+    json.EndObject();
+    return json.TakeString();
+  }
+
+  (result->degraded ? degraded_total_ : ok_total_)->Increment();
+  const TrajectoryPoint& fp = result->final_point;
+  obs::JsonWriter json;
+  BeginResponse(&json, request, result->degraded ? "degraded" : "ok");
+  json.Key("plan").Value(plan->Describe());
+  json.Key("exhausted").Value(result->exhausted);
+  if (request.has_requirement) {
+    json.Key("requirement_met").Value(result->requirement_met);
+  }
+  json.Key("degraded").Value(result->degraded);
+  json.Key("deadline_exceeded").Value(result->deadline_exceeded);
+  json.Key("good_tuples").Value(fp.good_join_tuples);
+  json.Key("bad_tuples").Value(fp.bad_join_tuples);
+  json.Key("seconds").Value(fp.seconds);
+  json.Key("docs_retrieved1").Value(fp.docs_retrieved1);
+  json.Key("docs_retrieved2").Value(fp.docs_retrieved2);
+  json.Key("docs_processed1").Value(fp.docs_processed1);
+  json.Key("docs_processed2").Value(fp.docs_processed2);
+  json.Key("queries1").Value(fp.queries1);
+  json.Key("queries2").Value(fp.queries2);
+  json.Key("docs_dropped").Value(fp.docs_dropped1 + fp.docs_dropped2);
+  json.Key("queries_dropped").Value(fp.queries_dropped1 + fp.queries_dropped2);
+  json.Key("ops_retried").Value(fp.ops_retried1 + fp.ops_retried2);
+  json.Key("ops_failed").Value(fp.ops_failed1 + fp.ops_failed2);
+  json.Key("fault_seconds").Value(result->fault_seconds);
+  if (request.include_metrics) {
+    json.Key("metrics").Raw(DeterministicSnapshot(registry).ToJson());
+  }
+  if (request.include_trajectory) {
+    json.Key("trajectory").BeginArray();
+    for (const TrajectoryPoint& p : result->trajectory) {
+      json.BeginObject();
+      json.Key("seconds").Value(p.seconds);
+      json.Key("docs1").Value(p.docs_processed1);
+      json.Key("docs2").Value(p.docs_processed2);
+      json.Key("good").Value(p.good_join_tuples);
+      json.Key("bad").Value(p.bad_join_tuples);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+  return json.TakeString();
+}
+
+std::string JoinService::StatsJson() const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("status").Value("ok");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    json.Key("draining").Value(draining_);
+    json.Key("queued").Value(queued_);
+    json.Key("active").Value(active_);
+    json.Key("completed").Value(completed_);
+  }
+  json.Key("metrics").Raw(stats_.Snapshot().ToJson());
+  json.EndObject();
+  return json.TakeString();
+}
+
+void JoinService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+int64_t JoinService::completed_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void JoinService::RecordTelemetryFrame() {
+  if (recorder_ == nullptr || config_.telemetry_every_requests <= 0) return;
+  if (completed_ % config_.telemetry_every_requests != 0) return;
+  obs::TelemetryFrame frame;
+  frame.metrics = stats_.Snapshot();
+  recorder_->Record(frame);
+}
+
+}  // namespace service
+}  // namespace iejoin

@@ -1,0 +1,133 @@
+#ifndef IEJOIN_SERVICE_JOIN_SERVICE_H_
+#define IEJOIN_SERVICE_JOIN_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "harness/workbench.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "service/service_protocol.h"
+
+namespace iejoin {
+namespace service {
+
+/// Service tuning knobs (docs/SERVICE.md "Admission control").
+struct ServiceConfig {
+  /// Request-driver worker threads. Each admitted join request runs
+  /// sequentially on one worker (options.pool stays null), so concurrency
+  /// lives *between* requests and every response is bit-identical to the
+  /// same request served alone.
+  int32_t workers = 4;
+  /// Admitted-but-not-yet-running bound. A request arriving with the queue
+  /// full is shed with status "unavailable" + retry_after_ms — never
+  /// crashed, never buffered without bound.
+  int32_t max_queue = 32;
+  /// Retry hint carried by shed responses.
+  int64_t retry_after_ms = 50;
+  /// Deadline applied to requests that carry none (simulated seconds;
+  /// 0 = unbounded).
+  double default_deadline_seconds = 0.0;
+  /// Emit one telemetry frame (server-stats snapshot) to the attached
+  /// recorder every N completed requests (0 = off).
+  int64_t telemetry_every_requests = 0;
+};
+
+/// Long-lived join service over one immutable Workbench: corpus, indexes,
+/// trained extractor/classifier profiles, and the shared bounded
+/// ExtractionCache are wired once and shared by every request; everything
+/// mutable (executor state, meters, fault RNG, metrics registry) is
+/// per-request. Thread-safe; owns its worker pool.
+///
+/// Determinism contract: a join response's bytes are a pure function of the
+/// request (plan, SLOs, fault spec, seed) and the workbench — identical
+/// whether the request is served alone or races 15 others. The shared
+/// extraction cache cannot leak cross-request state into a response: cached
+/// batches equal fresh extraction output, cache hits charge full simulated
+/// extraction cost, and the wall-clock-ish cache hit/miss/eviction counters
+/// are stripped from response metrics along with the `wall.*` namespace.
+class JoinService {
+ public:
+  /// `bench` must outlive the service and should be created with
+  /// config.threads == 0 (request drivers are the service's own workers; a
+  /// workbench pool would nest parallelism without benefit).
+  JoinService(const Workbench* bench, ServiceConfig config);
+  /// Drains before destruction.
+  ~JoinService();
+
+  JoinService(const JoinService&) = delete;
+  JoinService& operator=(const JoinService&) = delete;
+
+  /// Response consumer. Invoked exactly once per Serve call: synchronously
+  /// on the caller's thread for rejected/shed/introspection requests, from
+  /// a worker thread for admitted joins. May be called concurrently from
+  /// different workers — serialize externally when writing to one stream.
+  using Respond = std::function<void(std::string)>;
+
+  /// Parses and serves one request line (no trailing newline).
+  void Serve(const std::string& line, Respond respond);
+
+  /// Stops admission (subsequent Serve calls shed with reason "draining")
+  /// and blocks until every admitted request has responded. Idempotent.
+  void Drain();
+
+  /// Server-global service.* metrics (live; counters are atomic).
+  const obs::MetricsRegistry& stats() const { return stats_; }
+  /// One-line JSON stats snapshot (same payload a {"stats":true} request
+  /// receives).
+  std::string StatsJson() const;
+  /// Prometheus text exposition of the server-global metrics.
+  std::string PrometheusExposition() const { return stats_.Snapshot().ToPrometheus(); }
+
+  /// Attaches a telemetry recorder fed one frame of server stats every
+  /// config.telemetry_every_requests completed requests (non-owning; call
+  /// before the first Serve).
+  void AttachTelemetry(obs::TimeSeriesRecorder* recorder) { recorder_ = recorder; }
+
+  int64_t completed_requests() const;
+
+ private:
+  /// Runs one admitted join request and returns its serialized response.
+  std::string Execute(const ServiceRequest& request) const;
+
+  std::string ShedResponse(const ServiceRequest& request,
+                           const char* reason) const;
+
+  void RecordTelemetryFrame();
+
+  const Workbench* bench_;
+  const ServiceConfig config_;
+
+  obs::MetricsRegistry stats_;
+  obs::Counter* requests_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* ok_total_;
+  obs::Counter* degraded_total_;
+  obs::Counter* error_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* active_requests_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  int64_t queued_ = 0;
+  int64_t active_ = 0;
+  int64_t completed_ = 0;
+  bool draining_ = false;
+  obs::TimeSeriesRecorder* recorder_ = nullptr;
+
+  /// Last member: destroyed first, so workers finish before the state above
+  /// goes away.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_JOIN_SERVICE_H_

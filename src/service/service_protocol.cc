@@ -1,0 +1,242 @@
+#include "service/service_protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace iejoin {
+namespace service {
+namespace {
+
+/// Minimal recursive-descent scanner for the service's flat request
+/// objects. The repo deliberately carries no general JSON dependency; this
+/// handles exactly the subset the schema uses — one object of string /
+/// number / boolean members — and rejects everything else with a clean
+/// Status.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(std::string("expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Status GetString(std::string* out) {
+    IEJOIN_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unsupported escape \\") + e);
+      }
+    }
+    return Status::InvalidArgument("unterminated string");
+  }
+
+  Status GetNumber(double* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      if (std::isdigit(static_cast<unsigned char>(text_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) {
+      return Status::InvalidArgument("expected a number at offset " +
+                                     std::to_string(start));
+    }
+    *out = std::atof(text_.substr(start, pos_ - start).c_str());
+    return Status::Ok();
+  }
+
+  Status GetLiteral(const char* word) {
+    SkipSpace();
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Status::InvalidArgument(std::string("expected ") + word);
+    }
+    pos_ += len;
+    return Status::Ok();
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Status TypeError(const std::string& key, const char* want) {
+  return Status::InvalidArgument("field \"" + key + "\" must be a " + want);
+}
+
+}  // namespace
+
+Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
+  ServiceRequest request;
+  JsonScanner scanner(line);
+  IEJOIN_RETURN_IF_ERROR(scanner.Expect('{'));
+  bool first = true;
+  while (!scanner.Peek('}')) {
+    if (!first) IEJOIN_RETURN_IF_ERROR(scanner.Expect(','));
+    first = false;
+    std::string key;
+    IEJOIN_RETURN_IF_ERROR(scanner.GetString(&key));
+    IEJOIN_RETURN_IF_ERROR(scanner.Expect(':'));
+
+    const bool is_string = scanner.Peek('"');
+    const bool is_true = scanner.Peek('t');
+    const bool is_false = scanner.Peek('f');
+    std::string str;
+    double num = 0.0;
+    bool flag = false;
+    if (is_string) {
+      IEJOIN_RETURN_IF_ERROR(scanner.GetString(&str));
+    } else if (is_true) {
+      IEJOIN_RETURN_IF_ERROR(scanner.GetLiteral("true"));
+      flag = true;
+    } else if (is_false) {
+      IEJOIN_RETURN_IF_ERROR(scanner.GetLiteral("false"));
+    } else {
+      IEJOIN_RETURN_IF_ERROR(scanner.GetNumber(&num));
+    }
+
+    if (key == "id") {
+      if (!is_string) return TypeError(key, "string");
+      request.id = str;
+    } else if (key == "stats") {
+      if (!is_true && !is_false) return TypeError(key, "boolean");
+      if (flag) request.kind = ServiceRequest::Kind::kStats;
+    } else if (key == "health") {
+      if (!is_true && !is_false) return TypeError(key, "boolean");
+      if (flag) request.kind = ServiceRequest::Kind::kHealth;
+    } else if (key == "algorithm") {
+      if (!is_string) return TypeError(key, "string");
+      request.algorithm = str;
+    } else if (key == "theta1" || key == "theta2") {
+      if (is_string || is_true || is_false) return TypeError(key, "number");
+      if (num < 0.0 || num > 1.0) {
+        return Status::InvalidArgument("field \"" + key +
+                                       "\" must be in [0, 1]");
+      }
+      (key == "theta1" ? request.theta1 : request.theta2) = num;
+    } else if (key == "x1") {
+      if (!is_string) return TypeError(key, "string");
+      request.x1 = str;
+    } else if (key == "x2") {
+      if (!is_string) return TypeError(key, "string");
+      request.x2 = str;
+    } else if (key == "tau_good") {
+      if (is_string || is_true || is_false) return TypeError(key, "number");
+      if (num < 0) return Status::InvalidArgument("tau_good must be >= 0");
+      request.has_requirement = true;
+      request.tau_good = static_cast<int64_t>(num);
+    } else if (key == "tau_bad") {
+      if (is_string || is_true || is_false) return TypeError(key, "number");
+      if (num < 0) return Status::InvalidArgument("tau_bad must be >= 0");
+      request.has_requirement = true;
+      request.tau_bad = static_cast<int64_t>(num);
+    } else if (key == "deadline_seconds") {
+      if (is_string || is_true || is_false) return TypeError(key, "number");
+      if (num < 0) {
+        return Status::InvalidArgument("deadline_seconds must be >= 0");
+      }
+      request.deadline_seconds = num;
+    } else if (key == "faults") {
+      if (!is_string) return TypeError(key, "string");
+      request.faults = str;
+    } else if (key == "seed") {
+      if (is_string || is_true || is_false) return TypeError(key, "number");
+      if (num < 0) return Status::InvalidArgument("seed must be >= 0");
+      request.has_seed = true;
+      request.seed = static_cast<uint64_t>(num);
+    } else if (key == "metrics") {
+      if (!is_true && !is_false) return TypeError(key, "boolean");
+      request.include_metrics = flag;
+    } else if (key == "trajectory") {
+      if (!is_true && !is_false) return TypeError(key, "boolean");
+      request.include_trajectory = flag;
+    } else {
+      return Status::InvalidArgument("unknown request field \"" + key + "\"");
+    }
+  }
+  IEJOIN_RETURN_IF_ERROR(scanner.Expect('}'));
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument("trailing garbage after request object");
+  }
+  return request;
+}
+
+Result<JoinPlanSpec> PlanFromRequest(const ServiceRequest& request) {
+  JoinPlanSpec plan;
+  if (request.algorithm == "idjn") {
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+  } else if (request.algorithm == "oijn") {
+    plan.algorithm = JoinAlgorithmKind::kOuterInner;
+  } else if (request.algorithm == "zgjn") {
+    plan.algorithm = JoinAlgorithmKind::kZigZag;
+  } else {
+    return Status::InvalidArgument("unknown algorithm: " + request.algorithm);
+  }
+  plan.theta1 = request.theta1;
+  plan.theta2 = request.theta2;
+  const auto strategy = [](const std::string& name)
+      -> Result<RetrievalStrategyKind> {
+    if (name == "sc") return RetrievalStrategyKind::kScan;
+    if (name == "fs") return RetrievalStrategyKind::kFilteredScan;
+    if (name == "aqg") return RetrievalStrategyKind::kAutomaticQueryGeneration;
+    return Status::InvalidArgument("unknown retrieval strategy: " + name);
+  };
+  IEJOIN_ASSIGN_OR_RETURN(plan.retrieval1, strategy(request.x1));
+  IEJOIN_ASSIGN_OR_RETURN(plan.retrieval2, strategy(request.x2));
+  return plan;
+}
+
+}  // namespace service
+}  // namespace iejoin

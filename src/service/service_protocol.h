@@ -1,0 +1,69 @@
+#ifndef IEJOIN_SERVICE_SERVICE_PROTOCOL_H_
+#define IEJOIN_SERVICE_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+#include "join/join_types.h"
+
+namespace iejoin {
+namespace service {
+
+/// One line-delimited JSON request to the join service (docs/SERVICE.md).
+/// The schema is a single flat object; unknown keys are rejected so a
+/// misspelled SLO field fails loudly instead of silently running with
+/// defaults. Examples:
+///
+///   {"id":"r1","algorithm":"oijn","theta1":0.5,"tau_good":100,"tau_bad":40}
+///   {"id":"r2","deadline_seconds":250,"faults":"extract.error=0.1","seed":7}
+///   {"stats":true}
+///   {"health":true}
+struct ServiceRequest {
+  enum class Kind { kJoin, kStats, kHealth };
+
+  Kind kind = Kind::kJoin;
+  /// Echoed verbatim in the response so clients can match out-of-order
+  /// completions (empty when the request carried none).
+  std::string id;
+
+  // --- Plan ---
+  std::string algorithm = "idjn";  // idjn | oijn | zgjn
+  double theta1 = 0.4;
+  double theta2 = 0.4;
+  std::string x1 = "sc";  // sc | fs | aqg
+  std::string x2 = "sc";
+
+  // --- Quality SLO: stop once tau_good good tuples are reached (or the
+  // bad-tuple ceiling forces a stop), otherwise run to exhaustion ---
+  bool has_requirement = false;
+  int64_t tau_good = 1;
+  int64_t tau_bad = std::numeric_limits<int64_t>::max();
+
+  // --- Deadline SLO (simulated seconds; 0 = none). A deadline-cut request
+  // still returns its partial output, flagged degraded ---
+  double deadline_seconds = 0.0;
+
+  // --- Fault isolation: per-request fault spec + RNG seed ---
+  std::string faults;  // fault::ParseFaultPlan grammar; empty = none
+  bool has_seed = false;
+  uint64_t seed = 0;
+
+  // --- Response shaping ---
+  bool include_metrics = false;
+  bool include_trajectory = false;
+};
+
+/// Parses one request line. Any malformed JSON, unknown key, or
+/// wrongly-typed value fails with INVALID_ARGUMENT (the service answers
+/// with a "rejected" response, never by dying).
+Result<ServiceRequest> ParseServiceRequest(const std::string& line);
+
+/// Join plan described by a request (validates algorithm / strategy names).
+Result<JoinPlanSpec> PlanFromRequest(const ServiceRequest& request);
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_SERVICE_PROTOCOL_H_

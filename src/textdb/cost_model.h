@@ -45,6 +45,7 @@ struct MeterTelemetry {
   obs::Counter* hedges_launched = nullptr;
   obs::Counter* cache_hits = nullptr;
   obs::Counter* cache_misses = nullptr;
+  obs::Counter* cache_evictions = nullptr;
 };
 
 /// Charges simulated time and counts operations during a join execution.
@@ -141,6 +142,14 @@ class ExecutionMeter {
   void RecordCacheMiss() {
     ++counters_.cache_misses;
     if (telemetry_.cache_misses != nullptr) telemetry_.cache_misses->Increment();
+  }
+  /// Entries of this side pushed out of a bounded cache by LRU eviction.
+  void RecordCacheEvictions(int64_t evicted) {
+    if (evicted <= 0) return;
+    counters_.cache_evictions += evicted;
+    if (telemetry_.cache_evictions != nullptr) {
+      telemetry_.cache_evictions->Increment(evicted);
+    }
   }
 
   void RecordHedge(int64_t hedges = 1) {

@@ -252,6 +252,18 @@ ExecutorCheckpoint RichExecutorCheckpoint() {
   h.count = 8;
   h.sum = 25.75;
   c.metrics.histograms["join.batch"] = h;
+  // v4 extraction-cache image: entries in eviction (LRU→MRU) order.
+  c.has_extraction_cache = true;
+  for (DocId doc = 0; doc < 3; ++doc) {
+    ExtractionCache::Entry entry;
+    entry.key.side = static_cast<int32_t>(doc % 2);
+    entry.key.doc = doc;
+    entry.key.theta = 0.4;
+    ExtractedTuple tuple = MakeTuple(100 + doc, 200 + doc, doc != 1, 0.25 * (doc + 1));
+    tuple.doc_id = doc;
+    entry.batch.push_back(tuple);
+    c.extraction_cache_entries.push_back(std::move(entry));
+  }
   return c;
 }
 
@@ -280,6 +292,18 @@ TEST(ExecutorCodecTest, RoundTripsAndReencodesIdentically) {
   EXPECT_EQ(decoded.breakers[0].state, fault::CircuitBreaker::State::kOpen);
   EXPECT_EQ(decoded.metrics.counters.at("join.docs"), 42);
   EXPECT_DOUBLE_EQ(decoded.metrics.histograms.at("join.batch").sum, 25.75);
+  ASSERT_TRUE(decoded.has_extraction_cache);
+  ASSERT_EQ(decoded.extraction_cache_entries.size(),
+            original.extraction_cache_entries.size());
+  for (size_t i = 0; i < original.extraction_cache_entries.size(); ++i) {
+    const auto& got = decoded.extraction_cache_entries[i];
+    const auto& want = original.extraction_cache_entries[i];
+    EXPECT_TRUE(got.key == want.key) << "cache entry " << i;
+    ASSERT_EQ(got.batch.size(), want.batch.size());
+    EXPECT_EQ(got.batch[0].join_value, want.batch[0].join_value);
+    EXPECT_EQ(got.batch[0].ground_truth_good, want.batch[0].ground_truth_good);
+    EXPECT_DOUBLE_EQ(got.batch[0].similarity, want.batch[0].similarity);
+  }
 
   // Deterministic encoding: re-encoding the decoded checkpoint reproduces
   // the original bytes exactly (hash maps are emitted sorted).

@@ -74,6 +74,176 @@ TEST(ThreadPoolTest, ParallelMapRunsInlineWithoutPool) {
   EXPECT_EQ(mapped, (std::vector<int64_t>{1, 2, 3, 4, 5}));
 }
 
+// Shutdown-ordering regression: a Submit racing the destructor's
+// shutting_down_ flip must either be accepted (and drained before join) or
+// refused with `false` — never enqueued-but-lost and never a condvar race.
+// Nested submits come from worker threads, so the pool object is still
+// alive while its destructor runs; TSan watches the handoff.
+TEST(ThreadPoolTest, SubmitRacingShutdownIsRefusedNotLost) {
+  std::atomic<int64_t> nested_ran{0};
+  std::atomic<int64_t> nested_accepted{0};
+  std::atomic<int64_t> nested_refused{0};
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(pool.Submit([&]() {
+        while (!release.load()) std::this_thread::yield();
+        if (pool.Submit([&]() { nested_ran.fetch_add(1); })) {
+          nested_accepted.fetch_add(1);
+        } else {
+          nested_refused.fetch_add(1);
+        }
+      }));
+    }
+    release.store(true);
+    // Destructor runs here, racing the nested submits from the workers.
+  }
+  EXPECT_EQ(nested_accepted.load() + nested_refused.load(), 16);
+  EXPECT_EQ(nested_ran.load(), nested_accepted.load())
+      << "accepted tasks must drain before the workers join";
+}
+
+TEST(ThreadPoolTest, SubmitTaskFuturesSatisfiedAcrossShutdown) {
+  std::mutex mu;
+  std::vector<std::future<int64_t>> futures;
+  {
+    ThreadPool pool(2);
+    std::atomic<bool> release{false};
+    for (int64_t i = 0; i < 16; ++i) {
+      ASSERT_TRUE(pool.Submit([&, i]() {
+        while (!release.load()) std::this_thread::yield();
+        // Refused packaged tasks run inline, so the future is always
+        // satisfied no matter where this lands relative to shutdown.
+        auto future = pool.SubmitTask([i]() { return i; });
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(future));
+      }));
+    }
+    release.store(true);
+  }
+  ASSERT_EQ(futures.size(), 16u);
+  int64_t sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 16 * 15 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded ExtractionCache: LRU replacement as a unit
+// ---------------------------------------------------------------------------
+
+ExtractionCache::Key CacheKey(int32_t side, DocId doc, double theta = 0.4) {
+  ExtractionCache::Key key;
+  key.side = side;
+  key.doc = doc;
+  key.theta = theta;
+  return key;
+}
+
+ExtractionBatch CacheBatch(size_t tuples, TokenId value) {
+  ExtractionBatch batch;
+  for (size_t i = 0; i < tuples; ++i) {
+    ExtractedTuple t;
+    t.join_value = value;
+    t.second_value = static_cast<TokenId>(i);
+    t.ground_truth_good = true;
+    t.similarity = 0.5;
+    batch.push_back(t);
+  }
+  return batch;
+}
+
+TEST(ExtractionCacheLruTest, EvictsLeastRecentlyUsedAtByteBudget) {
+  const int64_t one = ExtractionCache::CostOf(CacheBatch(1, 7));
+  ExtractionCache cache(3 * one);
+  for (DocId doc = 0; doc < 3; ++doc) {
+    const auto outcome = cache.Insert(CacheKey(0, doc), CacheBatch(1, 7));
+    EXPECT_EQ(outcome.evicted[0] + outcome.evicted[1], 0);
+  }
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.bytes(), 3 * one);
+
+  const auto outcome = cache.Insert(CacheKey(0, 3), CacheBatch(1, 7));
+  EXPECT_EQ(outcome.evicted[0], 1) << "oldest entry (doc 0) must go";
+  EXPECT_FALSE(cache.Contains(CacheKey(0, 0)));
+  for (DocId doc = 1; doc <= 3; ++doc) {
+    EXPECT_TRUE(cache.Contains(CacheKey(0, doc))) << "doc " << doc;
+  }
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_LE(cache.bytes(), cache.max_bytes());
+}
+
+TEST(ExtractionCacheLruTest, LookupHitRefreshesRecency) {
+  const int64_t one = ExtractionCache::CostOf(CacheBatch(1, 7));
+  ExtractionCache cache(3 * one);
+  for (DocId doc = 0; doc < 3; ++doc) {
+    (void)cache.Insert(CacheKey(0, doc), CacheBatch(1, 7));
+  }
+  ASSERT_TRUE(cache.Lookup(CacheKey(0, 0)).has_value());  // doc 0 → MRU
+  (void)cache.Insert(CacheKey(0, 3), CacheBatch(1, 7));
+  EXPECT_TRUE(cache.Contains(CacheKey(0, 0))) << "refreshed entry survives";
+  EXPECT_FALSE(cache.Contains(CacheKey(0, 1))) << "doc 1 became the LRU";
+}
+
+TEST(ExtractionCacheLruTest, NewestEntrySurvivesEvenAloneOverBudget) {
+  ExtractionCache cache(1);  // absurdly small budget
+  (void)cache.Insert(CacheKey(0, 0), CacheBatch(4, 7));
+  EXPECT_EQ(cache.size(), 1) << "the entry just inserted is never evicted";
+  const auto outcome = cache.Insert(CacheKey(1, 1), CacheBatch(4, 7));
+  EXPECT_EQ(outcome.evicted[0], 1);
+  EXPECT_EQ(cache.size(), 1);
+  EXPECT_TRUE(cache.Contains(CacheKey(1, 1)));
+}
+
+TEST(ExtractionCacheLruTest, EvictionsIndexedByEvictedSide) {
+  const int64_t one = ExtractionCache::CostOf(CacheBatch(1, 7));
+  ExtractionCache cache(2 * one);
+  (void)cache.Insert(CacheKey(1, 0), CacheBatch(1, 7));  // side 1 oldest
+  (void)cache.Insert(CacheKey(0, 1), CacheBatch(1, 7));
+  const auto outcome = cache.Insert(CacheKey(0, 2), CacheBatch(1, 7));
+  EXPECT_EQ(outcome.evicted[1], 1) << "charge lands on the evicted side";
+  EXPECT_EQ(outcome.evicted[0], 0);
+}
+
+TEST(ExtractionCacheLruTest, UnboundedCacheNeverEvicts) {
+  ExtractionCache cache;  // max_bytes == 0
+  for (DocId doc = 0; doc < 200; ++doc) {
+    const auto outcome = cache.Insert(CacheKey(0, doc), CacheBatch(3, 7));
+    EXPECT_EQ(outcome.evicted[0] + outcome.evicted[1], 0);
+  }
+  EXPECT_EQ(cache.size(), 200);
+  EXPECT_EQ(cache.evictions(), 0);
+}
+
+TEST(ExtractionCacheLruTest, SnapshotRestoreReproducesReplacementState) {
+  const int64_t one = ExtractionCache::CostOf(CacheBatch(1, 7));
+  ExtractionCache cache(3 * one);
+  for (DocId doc = 0; doc < 3; ++doc) {
+    (void)cache.Insert(CacheKey(0, doc), CacheBatch(1, static_cast<TokenId>(doc)));
+  }
+  ASSERT_TRUE(cache.Lookup(CacheKey(0, 0)).has_value());  // order: 1, 2, 0
+
+  const std::vector<ExtractionCache::Entry> entries = cache.SnapshotEntries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries.front().key.doc, 1) << "snapshot is LRU→MRU";
+  EXPECT_EQ(entries.back().key.doc, 0);
+
+  ExtractionCache restored(3 * one);
+  restored.RestoreEntries(entries);
+  EXPECT_EQ(restored.size(), cache.size());
+  EXPECT_EQ(restored.bytes(), cache.bytes());
+
+  // Same replacement state: the next insert evicts the same victim.
+  (void)cache.Insert(CacheKey(0, 9), CacheBatch(1, 9));
+  (void)restored.Insert(CacheKey(0, 9), CacheBatch(1, 9));
+  for (DocId doc : {DocId(0), DocId(1), DocId(2), DocId(9)}) {
+    EXPECT_EQ(restored.Contains(CacheKey(0, doc)),
+              cache.Contains(CacheKey(0, doc)))
+        << "doc " << doc;
+  }
+  EXPECT_FALSE(restored.Contains(CacheKey(0, 1)));
+}
+
 // ---------------------------------------------------------------------------
 // Fingerprints: hexfloat keeps doubles bit-exact, so string equality is
 // bit-identity over everything a run produces (mirrors the crash suite).
@@ -359,6 +529,53 @@ TEST_F(ExtractionCacheTest, ThetaChangeMissesThenHitsAtThatTheta) {
   const CachedRun at_06_again = RunWithCache(plan, &cache, nullptr);
   EXPECT_EQ(at_06_again.hits, at_06.misses);
   EXPECT_EQ(at_06_again.misses, 0);
+}
+
+TEST_F(ExtractionCacheTest, BoundedCacheEvictsWithoutChangingResults) {
+  const JoinPlanSpec plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  const std::string uncached =
+      RunWithCache(plan, nullptr, nullptr).result_fingerprint;
+
+  const auto run_bounded = [&](ThreadPool* pool, ExtractionCache* cache,
+                               obs::MetricsRegistry* registry) {
+    JoinExecutionOptions options;
+    options.max_output_tuples = 20000;
+    options.metrics = registry;
+    options.pool = pool;
+    options.extraction_cache = cache;
+    auto result = bench().RunPlan(plan, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? Fingerprint(*result, nullptr) : std::string();
+  };
+  const auto counter = [](const obs::MetricsRegistry& registry,
+                          const std::string& name) {
+    const auto counters = registry.Snapshot().counters;
+    const auto it = counters.find(name);
+    return it == counters.end() ? int64_t{0} : it->second;
+  };
+
+  ExtractionCache small(16 * 1024);
+  obs::MetricsRegistry registry;
+  EXPECT_EQ(run_bounded(nullptr, &small, &registry), uncached)
+      << "eviction churn must not change simulated results";
+  EXPECT_GT(small.evictions(), 0) << "budget chosen to force evictions";
+  EXPECT_LE(small.bytes(), small.max_bytes());
+  EXPECT_EQ(counter(registry, "side1.cache_evictions") +
+                counter(registry, "side2.cache_evictions"),
+            small.evictions())
+      << "driver charges every eviction to the evicted entry's side";
+
+  // Replacement decisions happen on the driver in retrieval order, so the
+  // eviction series is thread-count-invariant too.
+  ThreadPool pool(4);
+  ExtractionCache small_parallel(16 * 1024);
+  obs::MetricsRegistry parallel_registry;
+  EXPECT_EQ(run_bounded(&pool, &small_parallel, &parallel_registry), uncached);
+  EXPECT_EQ(small_parallel.evictions(), small.evictions());
+  EXPECT_EQ(counter(parallel_registry, "side1.cache_evictions"),
+            counter(registry, "side1.cache_evictions"));
+  EXPECT_EQ(counter(parallel_registry, "side2.cache_evictions"),
+            counter(registry, "side2.cache_evictions"));
 }
 
 TEST_F(ExtractionCacheTest, HitCountersAreThreadCountInvariant) {

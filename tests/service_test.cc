@@ -1,0 +1,379 @@
+// Service-mode suite: protocol parsing, admission control and overload
+// shedding, per-request SLOs and deadlines, drain semantics, and the
+// determinism contract — the same request must produce byte-identical
+// responses served alone, repeated against a warm shared cache, or racing
+// fifteen copies of itself. Runs unlabeled so the TSan lane covers the
+// service's worker handoffs and the shared-cache locking.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/workbench.h"
+#include "obs/telemetry.h"
+#include "service/join_service.h"
+#include "service/service_protocol.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol: ParseServiceRequest / PlanFromRequest
+// ---------------------------------------------------------------------------
+
+TEST(ServiceProtocolTest, ParsesFullJoinRequest) {
+  auto parsed = ParseServiceRequest(
+      R"({"id":"r-1","algorithm":"zgjn","theta1":0.3,"theta2":0.5,)"
+      R"("x1":"fs","x2":"aqg","tau_good":25,"tau_bad":4000,)"
+      R"("deadline_seconds":90.5,"faults":"extract.error=0.1","seed":42,)"
+      R"("metrics":true,"trajectory":true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const ServiceRequest& request = *parsed;
+  EXPECT_EQ(request.kind, ServiceRequest::Kind::kJoin);
+  EXPECT_EQ(request.id, "r-1");
+  EXPECT_EQ(request.algorithm, "zgjn");
+  EXPECT_DOUBLE_EQ(request.theta1, 0.3);
+  EXPECT_DOUBLE_EQ(request.theta2, 0.5);
+  EXPECT_EQ(request.x1, "fs");
+  EXPECT_EQ(request.x2, "aqg");
+  EXPECT_TRUE(request.has_requirement);
+  EXPECT_EQ(request.tau_good, 25);
+  EXPECT_EQ(request.tau_bad, 4000);
+  EXPECT_DOUBLE_EQ(request.deadline_seconds, 90.5);
+  EXPECT_EQ(request.faults, "extract.error=0.1");
+  EXPECT_TRUE(request.has_seed);
+  EXPECT_EQ(request.seed, 42u);
+  EXPECT_TRUE(request.include_metrics);
+  EXPECT_TRUE(request.include_trajectory);
+}
+
+TEST(ServiceProtocolTest, DefaultsMatchSchema) {
+  auto parsed = ParseServiceRequest("{}");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, ServiceRequest::Kind::kJoin);
+  EXPECT_EQ(parsed->algorithm, "idjn");
+  EXPECT_DOUBLE_EQ(parsed->theta1, 0.4);
+  EXPECT_EQ(parsed->x1, "sc");
+  EXPECT_FALSE(parsed->has_requirement);
+  EXPECT_FALSE(parsed->has_seed);
+  EXPECT_FALSE(parsed->include_metrics);
+}
+
+TEST(ServiceProtocolTest, ParsesIntrospectionKinds) {
+  auto stats = ParseServiceRequest(R"({"stats":true})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->kind, ServiceRequest::Kind::kStats);
+  auto health = ParseServiceRequest(R"({"health":true,"id":"h"})");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->kind, ServiceRequest::Kind::kHealth);
+  EXPECT_EQ(health->id, "h");
+}
+
+TEST(ServiceProtocolTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseServiceRequest("").ok());
+  EXPECT_FALSE(ParseServiceRequest("not json").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":"x")").ok());        // unterminated
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":"x"} extra)").ok());  // trailing
+  EXPECT_FALSE(ParseServiceRequest(R"({"frobnicate":1})").ok());  // unknown key
+  EXPECT_FALSE(ParseServiceRequest(R"({"theta1":1.5})").ok());    // range
+  EXPECT_FALSE(ParseServiceRequest(R"({"theta1":"hi"})").ok());   // type
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":-5})").ok());   // sign
+  EXPECT_FALSE(ParseServiceRequest(R"({"metrics":1})").ok());     // bool field
+  EXPECT_FALSE(ParseServiceRequest(R"({"id":"a\u0041"})").ok());  // unsupported \u escape
+}
+
+TEST(ServiceProtocolTest, PlanFromRequestMapsAlgorithmsAndStrategies) {
+  ServiceRequest request;
+  request.algorithm = "oijn";
+  request.x1 = "aqg";
+  request.x2 = "fs";
+  request.theta1 = 0.6;
+  auto plan = PlanFromRequest(request);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->algorithm, JoinAlgorithmKind::kOuterInner);
+  EXPECT_EQ(plan->retrieval1, RetrievalStrategyKind::kAutomaticQueryGeneration);
+  EXPECT_EQ(plan->retrieval2, RetrievalStrategyKind::kFilteredScan);
+  EXPECT_DOUBLE_EQ(plan->theta1, 0.6);
+
+  request.algorithm = "quantum";
+  EXPECT_FALSE(PlanFromRequest(request).ok());
+  request.algorithm = "idjn";
+  request.x2 = "bm25";
+  EXPECT_FALSE(PlanFromRequest(request).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Service behavior over a shared workbench
+// ---------------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchConfig config;
+    config.scenario = ScenarioSpec::Small();
+    // Service-mode wiring: no workbench pool (the service's workers are the
+    // request drivers) and a shared bounded extraction cache.
+    config.threads = 0;
+    config.extraction_cache = true;
+    config.extraction_cache_bytes = 8 << 20;
+    auto bench = Workbench::Create(config);
+    ASSERT_TRUE(bench.ok()) << bench.status().ToString();
+    bench_ = bench.value().release();
+  }
+  static void TearDownTestSuite() {
+    delete bench_;
+    bench_ = nullptr;
+  }
+  static const Workbench& bench() { return *bench_; }
+
+  /// Serves one line and blocks until its response arrives.
+  static std::string ServeAndWait(JoinService* svc, const std::string& line) {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string response;
+    bool done = false;
+    svc->Serve(line, [&](std::string r) {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(r);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return response;
+  }
+
+  static bool Contains(const std::string& text, const std::string& needle) {
+    return text.find(needle) != std::string::npos;
+  }
+
+  static Workbench* bench_;
+};
+
+Workbench* ServiceTest::bench_ = nullptr;
+
+TEST_F(ServiceTest, ServesJoinRequest) {
+  ServiceConfig config;
+  config.workers = 2;
+  JoinService svc(bench_, config);
+  const std::string response = ServeAndWait(
+      &svc, R"({"id":"j1","algorithm":"idjn","x1":"fs","tau_good":5,)"
+            R"("tau_bad":100000})");
+  EXPECT_TRUE(Contains(response, "\"id\":\"j1\"")) << response;
+  EXPECT_TRUE(Contains(response, "\"status\":\"ok\"")) << response;
+  EXPECT_TRUE(Contains(response, "\"requirement_met\":true")) << response;
+  EXPECT_TRUE(Contains(response, "\"good_tuples\":")) << response;
+  svc.Drain();
+  EXPECT_EQ(svc.completed_requests(), 1);
+}
+
+TEST_F(ServiceTest, MalformedRequestsRejectedWithoutAdmission) {
+  JoinService svc(bench_, ServiceConfig{});
+  for (const char* bad :
+       {"garbage", R"({"algorithm":"quantum"})", R"({"x1":"bm25"})",
+        R"({"faults":"bogus.knob=1"})", R"({"unknown_field":true})"}) {
+    const std::string response = ServeAndWait(&svc, bad);
+    EXPECT_TRUE(Contains(response, "\"status\":\"invalid\"")) << response;
+    EXPECT_TRUE(Contains(response, "\"error\":")) << response;
+  }
+  // Rejections never consume queue slots or workers.
+  EXPECT_EQ(svc.completed_requests(), 0);
+  EXPECT_EQ(svc.stats().Snapshot().counters.at("service.rejected"), 5);
+  // The service still serves joins afterwards.
+  const std::string ok = ServeAndWait(&svc, R"({"tau_good":5})");
+  EXPECT_TRUE(Contains(ok, "\"status\":\"ok\"")) << ok;
+}
+
+TEST_F(ServiceTest, HealthAndStatsAnswerSynchronously) {
+  JoinService svc(bench_, ServiceConfig{});
+  const std::string health = ServeAndWait(&svc, R"({"health":true,"id":"h"})");
+  EXPECT_TRUE(Contains(health, "\"id\":\"h\"")) << health;
+  EXPECT_TRUE(Contains(health, "\"status\":\"ok\"")) << health;
+  EXPECT_TRUE(Contains(health, "\"completed\":0")) << health;
+  const std::string stats = ServeAndWait(&svc, R"({"stats":true})");
+  EXPECT_TRUE(Contains(stats, "\"service.requests\"")) << stats;
+  EXPECT_TRUE(Contains(stats, "\"metrics\":{")) << stats;
+  EXPECT_FALSE(svc.PrometheusExposition().empty());
+}
+
+TEST_F(ServiceTest, DeadlineCutsRunsDegraded) {
+  ServiceConfig config;
+  config.workers = 1;
+  JoinService svc(bench_, config);
+  // An impossible quality target under a tight simulated deadline: the run
+  // must come back flagged degraded with partial results, not hang or error.
+  const std::string response = ServeAndWait(
+      &svc, R"({"tau_good":1000000,"tau_bad":100000000,)"
+            R"("deadline_seconds":40})");
+  EXPECT_TRUE(Contains(response, "\"status\":\"degraded\"")) << response;
+  EXPECT_TRUE(Contains(response, "\"deadline_exceeded\":true")) << response;
+  EXPECT_TRUE(Contains(response, "\"requirement_met\":false")) << response;
+  EXPECT_EQ(svc.stats().Snapshot().counters.at("service.degraded"), 1);
+}
+
+TEST_F(ServiceTest, ConfigDefaultDeadlineAppliesWhenRequestCarriesNone) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_deadline_seconds = 40.0;
+  JoinService svc(bench_, config);
+  const std::string response =
+      ServeAndWait(&svc, R"({"tau_good":1000000,"tau_bad":100000000})");
+  EXPECT_TRUE(Contains(response, "\"deadline_exceeded\":true")) << response;
+}
+
+TEST_F(ServiceTest, QueueFullShedsWithRetryHint) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.max_queue = 1;
+  config.retry_after_ms = 125;
+  JoinService svc(bench_, config);
+
+  // Occupy the lone worker: its respond callback blocks until released, so
+  // the worker holds its slot (responses precede slot release by design).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool worker_busy = false;
+  bool release = false;
+  svc.Serve(R"({"id":"slow","tau_good":5})", [&](std::string) {
+    std::unique_lock<std::mutex> lock(mu);
+    worker_busy = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_busy; });
+  }
+
+  // Queue slot 1 of 1: admitted, waits for the busy worker.
+  std::atomic<bool> queued_answered{false};
+  svc.Serve(R"({"id":"queued","tau_good":5})",
+            [&](std::string) { queued_answered = true; });
+
+  // Queue full: shed synchronously, never crash or buffer without bound.
+  for (int i = 0; i < 3; ++i) {
+    std::string shed;
+    svc.Serve(R"({"id":"burst"})", [&](std::string r) { shed = std::move(r); });
+    EXPECT_TRUE(Contains(shed, "\"status\":\"unavailable\"")) << shed;
+    EXPECT_TRUE(Contains(shed, "\"reason\":\"overloaded\"")) << shed;
+    EXPECT_TRUE(Contains(shed, "\"retry_after_ms\":125")) << shed;
+  }
+  EXPECT_EQ(svc.stats().Snapshot().counters.at("service.shed"), 3);
+  EXPECT_FALSE(queued_answered.load());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  svc.Drain();
+  // Every admitted request responded; shed ones never became completions.
+  EXPECT_TRUE(queued_answered.load());
+  EXPECT_EQ(svc.completed_requests(), 2);
+}
+
+TEST_F(ServiceTest, DrainDeliversAdmittedThenShedsNewArrivals) {
+  ServiceConfig config;
+  config.workers = 2;
+  JoinService svc(bench_, config);
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 6; ++i) {
+    svc.Serve(R"({"tau_good":5})", [&](std::string r) {
+      EXPECT_TRUE(Contains(r, "\"status\":\"ok\"")) << r;
+      answered.fetch_add(1);
+    });
+  }
+  svc.Drain();
+  // Drain() returning guarantees every admitted response was delivered.
+  EXPECT_EQ(answered.load(), 6);
+  EXPECT_EQ(svc.completed_requests(), 6);
+
+  // Post-drain arrivals shed with reason "draining"; health reports it.
+  const std::string shed = ServeAndWait(&svc, R"({"tau_good":5})");
+  EXPECT_TRUE(Contains(shed, "\"status\":\"unavailable\"")) << shed;
+  EXPECT_TRUE(Contains(shed, "\"reason\":\"draining\"")) << shed;
+  const std::string health = ServeAndWait(&svc, R"({"health":true})");
+  EXPECT_TRUE(Contains(health, "\"status\":\"draining\"")) << health;
+  svc.Drain();  // idempotent
+}
+
+// The tentpole's core claim: a join response's bytes are a pure function of
+// the request and the workbench. The same request — full SLOs, fault plan,
+// pinned seed, metrics and trajectory attached — must serialize identically
+// served alone on a cold-ish cache, repeated against a warm shared cache,
+// and racing 15 copies of itself across 16 workers.
+TEST_F(ServiceTest, ResponsesByteIdenticalAloneAndUnderConcurrency) {
+  const std::string request =
+      R"({"id":"det","algorithm":"zgjn","theta1":0.4,"theta2":0.4,)"
+      R"("x1":"sc","x2":"sc","tau_good":20,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.05,retry.attempts=3","seed":1234,)"
+      R"("metrics":true,"trajectory":true})";
+
+  std::string solo;
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    JoinService svc(bench_, config);
+    solo = ServeAndWait(&svc, request);
+  }
+  ASSERT_TRUE(Contains(solo, "\"status\":")) << solo;
+  ASSERT_FALSE(Contains(solo, "wall.")) << "wall-clock metrics leaked: " << solo;
+  ASSERT_FALSE(Contains(solo, "cache_hits"))
+      << "shared-cache observables leaked: " << solo;
+
+  // Warm shared cache, sequential repeat.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    JoinService svc(bench_, config);
+    EXPECT_EQ(ServeAndWait(&svc, request), solo);
+  }
+
+  // 16 concurrent copies.
+  {
+    ServiceConfig config;
+    config.workers = 16;
+    config.max_queue = 64;
+    JoinService svc(bench_, config);
+    std::mutex mu;
+    std::vector<std::string> responses;
+    for (int i = 0; i < 16; ++i) {
+      svc.Serve(request, [&](std::string r) {
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(std::move(r));
+      });
+    }
+    svc.Drain();
+    ASSERT_EQ(responses.size(), 16u);
+    for (const std::string& r : responses) EXPECT_EQ(r, solo);
+  }
+}
+
+TEST_F(ServiceTest, TelemetryFramesRecordServerStats) {
+  obs::TimeSeriesRecorder recorder({/*sample_every_docs=*/0});
+  ServiceConfig config;
+  config.workers = 2;
+  config.telemetry_every_requests = 2;
+  JoinService svc(bench_, config);
+  svc.AttachTelemetry(&recorder);
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 4; ++i) {
+    svc.Serve(R"({"tau_good":5})", [&](std::string) { answered.fetch_add(1); });
+  }
+  svc.Drain();
+  EXPECT_EQ(answered.load(), 4);
+  ASSERT_EQ(recorder.frames().size(), 2u);  // every 2nd completion
+  EXPECT_TRUE(Contains(recorder.frames()[0], "service.ok"))
+      << recorder.frames()[0];
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace iejoin

@@ -35,7 +35,11 @@
 //       --threads N fans document processing across N workers (default:
 //       hardware concurrency; 0 = sequential) — output bytes are identical
 //       at any thread count. --extraction-cache memoizes extraction per
-//       (doc, θ) across the workbench's runs.
+//       (doc, θ) across the workbench's runs; --extraction-cache-mb N
+//       bounds it to N MiB with LRU eviction (implies --extraction-cache;
+//       evictions land in the sideN.cache_evictions counters). When
+//       checkpointing, the cache image rides in every snapshot so `resume`
+//       restarts warm.
 //
 //   iejoin_cli resume --checkpoint-dir DIR [--strict]
 //       [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]
@@ -45,10 +49,14 @@
 //       rule, fault spec, telemetry cadence, and optimizer prediction are
 //       read back from the snapshot's manifest; with the same seed the
 //       resumed execution finishes bit-identically to the uninterrupted
-//       one. --telemetry-out continues the frame series exactly where the
-//       crashed run left it: concatenating the crashed run's telemetry
-//       file with the resumed one reproduces the uninterrupted series byte
-//       for byte.
+//       one. A run checkpointed with --extraction-cache resumes with the
+//       cache warm (the LRU image travels in the snapshot). Directories
+//       written by `optimize --execute` resume the adaptive execution:
+//       mid-phase from an executor snapshot, or at the fresh phase a plan
+//       switch had chosen. --telemetry-out continues the frame series
+//       exactly where the crashed run left it: concatenating the crashed
+//       run's telemetry file with the resumed one reproduces the
+//       uninterrupted series byte for byte.
 //
 //   iejoin_cli tail FILE [--follow]
 //       Render a telemetry JSONL file as a live terminal view: one line
@@ -58,12 +66,16 @@
 //       run's closing frame ("final": true) arrives.
 //
 //   iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N
-//       [--faults SPEC] [--metrics-out FILE] [--trace-out FILE]
+//       [--faults SPEC] [--execute] [--metrics-out FILE] [--trace-out FILE]
 //       Rank the full plan space for a quality requirement and print the
 //       optimizer's choice. With --faults the ranking runs through the
 //       fault-adjusted model (docs/ROBUSTNESS.md): efforts are sized for
 //       the documents that survive drops and predicted times include the
-//       expected retry/hedge overhead.
+//       expected retry/hedge overhead. --execute then runs the adaptive
+//       executor from the chosen plan (online re-estimation + plan
+//       switching, Section VI); with --checkpoint-dir the adaptive loop
+//       state checkpoints alongside the running phase and `resume`
+//       continues it.
 //
 // The tool retrains extractors/classifiers/queries on a freshly generated
 // training scenario seeded from the file's contents, mirroring the
@@ -88,6 +100,8 @@
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "optimizer/adaptive_checkpoint.h"
+#include "optimizer/adaptive_executor.h"
 #include "optimizer/optimizer.h"
 #include "textdb/corpus_io.h"
 
@@ -122,6 +136,7 @@ int Usage() {
                "             [--theta1 X] [--theta2 X] [--x1 sc|fs|aqg] [--x2 ...]\n"
                "             [--tau-good N] [--tau-bad N] [--faults SPEC]\n"
                "             [--threads N] [--extraction-cache]\n"
+               "             [--extraction-cache-mb N]\n"
                "             [--checkpoint-dir DIR] [--checkpoint-every-docs N]\n"
                "             [--checkpoint-keep N] [--strict]\n"
                "             [--metrics-out FILE] [--trace-out FILE] [--report-out FILE]\n"
@@ -133,7 +148,10 @@ int Usage() {
                "             [--telemetry-out FILE] [--exposition-out FILE]\n"
                "  iejoin_cli tail FILE [--follow]\n"
                "  iejoin_cli optimize --scenario FILE --tau-good N --tau-bad N\n"
-               "             [--threads N] [--faults SPEC]\n"
+               "             [--threads N] [--faults SPEC] [--execute] [--strict]\n"
+               "             [--extraction-cache] [--extraction-cache-mb N]\n"
+               "             [--checkpoint-dir DIR] [--checkpoint-every-docs N]\n"
+               "             [--checkpoint-keep N]\n"
                "             [--metrics-out FILE] [--trace-out FILE]\n");
   return 2;
 }
@@ -210,7 +228,7 @@ int64_t ThreadsFromArgs(const Args& args) {
 Result<std::unique_ptr<Workbench>> WorkbenchForScenario(
     const std::string& path, obs::MetricsRegistry* metrics = nullptr,
     obs::Tracer* tracer = nullptr, int64_t threads = 0,
-    bool extraction_cache = false) {
+    bool extraction_cache = false, int64_t extraction_cache_bytes = 0) {
   IEJOIN_ASSIGN_OR_RETURN(JoinScenario scenario, LoadScenario(path));
   WorkbenchConfig config;
   // Match the default spec shape to the loaded sizes so the training draw
@@ -221,7 +239,14 @@ Result<std::unique_ptr<Workbench>> WorkbenchForScenario(
   config.tracer = tracer;
   config.threads = static_cast<int32_t>(threads);
   config.extraction_cache = extraction_cache;
+  config.extraction_cache_bytes = extraction_cache_bytes;
   return Workbench::CreateForScenario(config, std::move(scenario));
+}
+
+/// `--extraction-cache-mb N` implies the cache itself; 0 = unbounded.
+bool CacheFromArgs(const Args& args, int64_t* cache_bytes) {
+  *cache_bytes = args.GetInt("extraction-cache-mb", 0) * (1 << 20);
+  return args.Has("extraction-cache") || *cache_bytes > 0;
 }
 
 /// Writes `contents` to the path under `flag` when present; returns false
@@ -347,6 +372,44 @@ int ExecuteAndReport(const Workbench& bench, const JoinPlanSpec& plan,
   return 0;
 }
 
+/// Shared tail of `optimize --execute` and adaptive `resume`: prints the
+/// phase log and totals, dumps observability files, and maps --strict +
+/// degradation to the exit code.
+int ReportAdaptive(const AdaptiveResult& result, const Args& args,
+                   bool telemetry, obs::MetricsRegistry& registry,
+                   obs::Tracer& tracer) {
+  for (size_t i = 0; i < result.phases.size(); ++i) {
+    const AdaptivePhase& p = result.phases[i];
+    std::printf("phase %zu: %s — %.0f simulated s%s%s%s\n", i,
+                p.plan.Describe().c_str(), p.seconds,
+                p.switched_away ? " (switched away)" : "",
+                p.exhausted ? " (exhausted)" : "",
+                p.degraded ? " (degraded)" : "");
+  }
+  std::printf("output: %lld good / %lld bad join tuples in %.0f simulated s\n",
+              static_cast<long long>(result.good_join_tuples),
+              static_cast<long long>(result.bad_join_tuples),
+              result.total_seconds);
+  std::printf("requirement %s\n", result.requirement_met ? "met" : "missed");
+  if (result.degraded) {
+    std::printf("degraded run: %lld docs dropped, %lld queries dropped, "
+                "%d breaker re-optimizations%s\n",
+                static_cast<long long>(result.docs_dropped),
+                static_cast<long long>(result.queries_dropped),
+                result.breaker_reoptimizations,
+                result.deadline_exceeded ? "; deadline exceeded" : "");
+  }
+  if (telemetry) {
+    if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
+    if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+  }
+  if (args.Has("strict") && result.degraded) {
+    std::printf("strict: degraded run -> exit %d\n", kDegradedExitCode);
+    return kDegradedExitCode;
+  }
+  return 0;
+}
+
 int CmdRun(const Args& args) {
   const bool telemetry = args.Has("metrics-out") || args.Has("trace-out") ||
                          args.Has("report-out") || args.Has("exposition-out") ||
@@ -356,9 +419,11 @@ int CmdRun(const Args& args) {
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
   obs::Tracer* trace = telemetry ? &tracer : nullptr;
 
+  int64_t cache_bytes = 0;
+  const bool extraction_cache = CacheFromArgs(args, &cache_bytes);
   auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace,
-                                    ThreadsFromArgs(args),
-                                    args.Has("extraction-cache"));
+                                    ThreadsFromArgs(args), extraction_cache,
+                                    cache_bytes);
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -453,6 +518,16 @@ int CmdRun(const Args& args) {
     }
     if (args.Has("faults")) manifest["faults"] = args.Get("faults", "");
     if (telemetry) manifest["telemetry"] = "1";
+    // The cache setting travels in the manifest and its LRU image rides in
+    // every snapshot, so a resumed run restarts warm with the same budget.
+    if (extraction_cache) {
+      manifest["extraction_cache"] = "1";
+      if (cache_bytes > 0) {
+        manifest["extraction_cache_mb"] =
+            std::to_string(args.GetInt("extraction-cache-mb", 0));
+      }
+      options.checkpoint_extraction_cache = true;
+    }
     // The telemetry cadence and the optimizer's prediction travel in the
     // manifest so a resumed run continues the exact same series: same
     // sampling knobs, same residual baseline.
@@ -492,6 +567,115 @@ int CmdRun(const Args& args) {
                           tracer, recorder_ptr);
 }
 
+/// `resume` over a directory written by `optimize --execute`: rebuilds the
+/// adaptive execution from the manifest and continues it from the loaded
+/// AdaptiveCheckpoint — mid-phase when it wraps an executor snapshot, or at
+/// the fresh phase a plan switch had chosen.
+int CmdResumeAdaptive(const Args& args, const ckpt::LoadedCheckpoint& loaded) {
+  const ckpt::CheckpointManifest& manifest = loaded.manifest;
+  const auto lookup = [&manifest](const std::string& key,
+                                  const std::string& fallback) {
+    const auto it = manifest.find(key);
+    return it == manifest.end() ? fallback : it->second;
+  };
+  std::printf("resuming adaptive run from %s (sequence %lld, %zu phases done)\n",
+              loaded.path.c_str(), static_cast<long long>(loaded.sequence),
+              loaded.adaptive.phases.size());
+
+  // A mid-phase checkpoint records its telemetry choice inside the wrapped
+  // executor snapshot; a phase-boundary one carries the registry snapshot
+  // directly.
+  const bool telemetry = loaded.adaptive.has_executor
+                             ? loaded.adaptive.executor.has_metrics
+                             : loaded.adaptive.has_metrics;
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
+  obs::Tracer* trace = telemetry ? &tracer : nullptr;
+  if (args.Has("telemetry-out") || args.Has("report-out") ||
+      args.Has("exposition-out")) {
+    std::fprintf(stderr,
+                 "resume: adaptive runs support --metrics-out/--trace-out "
+                 "only\n");
+    return 2;
+  }
+  if (!telemetry && (args.Has("metrics-out") || args.Has("trace-out"))) {
+    std::fprintf(stderr,
+                 "resume: checkpoint was written without observability; "
+                 "*-out flags are unavailable\n");
+    return 2;
+  }
+
+  // The cache setting comes back from the manifest; adaptive snapshots do
+  // not carry the LRU image, so a resumed adaptive run restarts cold.
+  const bool extraction_cache = manifest.count("extraction_cache") > 0;
+  const int64_t cache_bytes =
+      std::atoll(lookup("extraction_cache_mb", "0").c_str()) * (1 << 20);
+  auto bench = WorkbenchForScenario(lookup("scenario", ""), metrics, trace,
+                                    ThreadsFromArgs(args), extraction_cache,
+                                    cache_bytes);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
+    return 1;
+  }
+
+  AdaptiveOptions adaptive;
+  adaptive.requirement.min_good_tuples =
+      std::atoll(lookup("tau_good", "1").c_str());
+  adaptive.requirement.max_bad_tuples =
+      std::atoll(lookup("tau_bad", "0").c_str());
+  adaptive.initial_plan = loaded.adaptive.current_plan;
+  fault::FaultPlan fault_plan;
+  if (manifest.count("faults") > 0) {
+    auto parsed = fault::ParseFaultPlan(lookup("faults", ""));
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "manifest faults: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    fault_plan = *parsed;
+    adaptive.fault_plan = &fault_plan;
+    std::printf("faults: %s\n", fault::DescribeFaultPlan(fault_plan).c_str());
+  }
+  adaptive.metrics = metrics;
+  adaptive.tracer = trace;
+  adaptive.pool = (*bench)->pool();
+  adaptive.extraction_cache = (*bench)->extraction_cache();
+
+  // Keep checkpointing into the same directory under the same cadence and
+  // retention policy; --checkpoint-keep overrides the manifest's policy.
+  const int64_t keep =
+      args.GetInt("checkpoint-keep",
+                  std::atoll(lookup("checkpoint_keep", "0").c_str()));
+  auto manager = ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""),
+                                               manifest, keep);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "checkpoint: %s\n", manager.status().ToString().c_str());
+    return 1;
+  }
+  adaptive.checkpoint_sink = manager->get();
+  adaptive.checkpoint_every_docs =
+      std::atoll(lookup("checkpoint_every_docs", "256").c_str());
+  adaptive.resume_from = &loaded.adaptive;
+
+  auto inputs = (*bench)->OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+  if (!inputs.ok()) {
+    std::fprintf(stderr, "inputs: %s\n", inputs.status().ToString().c_str());
+    return 1;
+  }
+  inputs->metrics = metrics;
+  inputs->tracer = trace;
+  inputs->fault_plan = adaptive.fault_plan;
+  AdaptiveJoinExecutor executor((*bench)->resources(), *inputs,
+                                PlanEnumerationOptions());
+  auto result = executor.Run(adaptive);
+  if (!result.ok()) {
+    std::fprintf(stderr, "resume: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return ReportAdaptive(*result, args, telemetry, registry, tracer);
+}
+
 int CmdResume(const Args& args) {
   if (!args.Has("checkpoint-dir")) return Usage();
   auto loaded = ckpt::LoadLatestValidCheckpoint(args.Get("checkpoint-dir", ""));
@@ -499,12 +683,7 @@ int CmdResume(const Args& args) {
     std::fprintf(stderr, "resume: %s\n", loaded.status().ToString().c_str());
     return 1;
   }
-  if (loaded->is_adaptive) {
-    std::fprintf(stderr,
-                 "resume: directory holds an adaptive checkpoint; the CLI "
-                 "resumes single-plan runs only\n");
-    return 1;
-  }
+  if (loaded->is_adaptive) return CmdResumeAdaptive(args, *loaded);
   const ckpt::CheckpointManifest& manifest = loaded->manifest;
   const auto lookup = [&manifest](const std::string& key,
                                   const std::string& fallback) {
@@ -534,10 +713,15 @@ int CmdResume(const Args& args) {
 
   // Thread count is free to differ from the original run: parallel
   // execution is bit-identical to sequential, so the resumed bytes match
-  // the uninterrupted run's regardless. The extraction cache stays off on
-  // resume (its contents are not checkpointed; see docs/ROBUSTNESS.md).
+  // the uninterrupted run's regardless. The extraction cache comes back
+  // from the manifest and its LRU image from the snapshot, so a resumed
+  // run restarts warm with the original byte budget.
+  const bool extraction_cache = manifest.count("extraction_cache") > 0;
+  const int64_t cache_bytes =
+      std::atoll(lookup("extraction_cache_mb", "0").c_str()) * (1 << 20);
   auto bench = WorkbenchForScenario(lookup("scenario", ""), metrics, trace,
-                                    ThreadsFromArgs(args));
+                                    ThreadsFromArgs(args), extraction_cache,
+                                    cache_bytes);
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -619,6 +803,7 @@ int CmdResume(const Args& args) {
   options.checkpoint_every_docs =
       std::atoll(lookup("checkpoint_every_docs", "256").c_str());
   options.resume_from = &loaded->executor;
+  options.checkpoint_extraction_cache = extraction_cache;
   // The loaded image's predecessors plus the image itself: the resumed
   // run's checkpoint-bytes series continues exactly where the crashed
   // run's left off.
@@ -637,8 +822,11 @@ int CmdOptimize(const Args& args) {
   obs::MetricsRegistry* metrics = telemetry ? &registry : nullptr;
   obs::Tracer* trace = telemetry ? &tracer : nullptr;
 
+  int64_t cache_bytes = 0;
+  const bool extraction_cache = CacheFromArgs(args, &cache_bytes);
   auto bench = WorkbenchForScenario(args.Get("scenario", ""), metrics, trace,
-                                    ThreadsFromArgs(args));
+                                    ThreadsFromArgs(args), extraction_cache,
+                                    cache_bytes);
   if (!bench.ok()) {
     std::fprintf(stderr, "workbench: %s\n", bench.status().ToString().c_str());
     return 1;
@@ -683,11 +871,75 @@ int CmdOptimize(const Args& args) {
   } else {
     std::printf("\nno feasible plan for this requirement\n");
   }
-  if (telemetry) {
-    if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
-    if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+  if (!args.Has("execute")) {
+    if (telemetry) {
+      if (!MaybeDump(args, "metrics-out", registry.Snapshot().ToJson())) return 1;
+      if (!MaybeDump(args, "trace-out", tracer.ToJson())) return 1;
+    }
+    return 0;
   }
-  return 0;
+
+  // --execute: run the adaptive executor from the chosen plan (online
+  // re-estimation + plan switching; Section VI "Putting It All Together").
+  if (!choice.ok()) {
+    std::fprintf(stderr, "execute: no feasible plan to start from\n");
+    return 1;
+  }
+  AdaptiveOptions adaptive;
+  adaptive.requirement = req;
+  adaptive.initial_plan = choice->plan;
+  if (args.Has("faults")) adaptive.fault_plan = &fault_plan;
+  adaptive.metrics = metrics;
+  adaptive.tracer = trace;
+  adaptive.pool = (*bench)->pool();
+  adaptive.extraction_cache = (*bench)->extraction_cache();
+
+  // Durable checkpointing: manifest["adaptive"] marks the directory so
+  // `resume` takes the adaptive path. The initial plan is not recorded —
+  // resume continues from the checkpoint's own current_plan.
+  std::unique_ptr<ckpt::CheckpointManager> manager;
+  if (args.Has("checkpoint-dir")) {
+    ckpt::CheckpointManifest manifest;
+    manifest["adaptive"] = "1";
+    manifest["scenario"] = args.Get("scenario", "");
+    manifest["tau_good"] = std::to_string(req.min_good_tuples);
+    manifest["tau_bad"] = std::to_string(req.max_bad_tuples);
+    if (args.Has("faults")) manifest["faults"] = args.Get("faults", "");
+    if (telemetry) manifest["telemetry"] = "1";
+    if (extraction_cache) {
+      manifest["extraction_cache"] = "1";
+      if (cache_bytes > 0) {
+        manifest["extraction_cache_mb"] =
+            std::to_string(args.GetInt("extraction-cache-mb", 0));
+      }
+    }
+    const int64_t every = args.GetInt("checkpoint-every-docs", 256);
+    manifest["checkpoint_every_docs"] = std::to_string(every);
+    const int64_t keep = args.GetInt("checkpoint-keep", 0);
+    if (keep > 0) manifest["checkpoint_keep"] = std::to_string(keep);
+    auto opened = ckpt::CheckpointManager::Open(args.Get("checkpoint-dir", ""),
+                                                manifest, keep);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "checkpoint: %s\n", opened.status().ToString().c_str());
+      return 1;
+    }
+    manager = std::move(*opened);
+    adaptive.checkpoint_sink = manager.get();
+    adaptive.checkpoint_every_docs = every;
+    std::printf("checkpointing to %s every %lld docs%s\n",
+                manager->directory().c_str(), static_cast<long long>(every),
+                keep > 0 ? (", keeping last " + std::to_string(keep)).c_str()
+                         : "");
+  }
+
+  AdaptiveJoinExecutor executor((*bench)->resources(), *inputs,
+                                PlanEnumerationOptions());
+  auto result = executor.Run(adaptive);
+  if (!result.ok()) {
+    std::fprintf(stderr, "execute: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  return ReportAdaptive(*result, args, telemetry, registry, tracer);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,339 @@
+// Long-lived join service (docs/SERVICE.md).
+//
+//   iejoin_server --scenario FILE [--workers N] [--max-queue N]
+//       [--retry-after-ms MS] [--deadline-seconds S]
+//       [--extraction-cache-mb N] [--socket PATH]
+//       [--telemetry-out FILE] [--telemetry-every-requests N]
+//       [--exposition-out FILE]
+//
+// Serves line-delimited JSON join requests (schema in docs/SERVICE.md) over
+// stdin/stdout by default, or over a unix stream socket with --socket. The
+// workbench — corpus, indexes, trained extractors/classifiers, the shared
+// bounded extraction cache — is built once at startup and shared immutably
+// by every request; per-request state (executor, meters, fault RNG,
+// metrics) is private, so one request's faults can never corrupt another.
+//
+// Admission is bounded (--max-queue): overload sheds requests with status
+// "unavailable" + retry_after_ms instead of queueing without bound or
+// dying. SIGTERM/SIGINT stop admission, drain every admitted request, write
+// the Prometheus exposition (--exposition-out), and exit 0.
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/workbench.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
+#include "service/join_service.h"
+#include "textdb/corpus_io.h"
+
+namespace iejoin {
+namespace {
+
+volatile sig_atomic_t g_shutdown = 0;
+
+void HandleShutdownSignal(int) { g_shutdown = 1; }
+
+/// Requests longer than this are rejected outright — a client writing an
+/// unterminated line cannot grow server memory without bound.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: iejoin_server --scenario FILE [--workers N] [--max-queue N]\n"
+      "           [--retry-after-ms MS] [--deadline-seconds S]\n"
+      "           [--extraction-cache-mb N] [--socket PATH]\n"
+      "           [--telemetry-out FILE] [--telemetry-every-requests N]\n"
+      "           [--exposition-out FILE]\n");
+  return 2;
+}
+
+/// Splits completed lines out of `buffer`, serving each. Returns false when
+/// the connection exceeded the line-length bound (caller should drop it).
+bool DrainLines(std::string* buffer, service::JoinService* service,
+                const service::JoinService::Respond& respond) {
+  size_t start = 0;
+  for (;;) {
+    const size_t newline = buffer->find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = buffer->substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    service->Serve(line, respond);
+  }
+  buffer->erase(0, start);
+  if (buffer->size() > kMaxLineBytes) {
+    respond("{\"status\":\"invalid\",\"error\":\"request line exceeds 1 MiB\"}");
+    buffer->clear();
+    return false;
+  }
+  return true;
+}
+
+/// stdin/stdout pipe mode: one request per stdin line, one response per
+/// stdout line (responses may interleave out of request order; match by
+/// id). EOF or SIGTERM/SIGINT drains and exits.
+int ServeStdin(service::JoinService* service) {
+  std::mutex write_mu;
+  const auto respond = [&write_mu](std::string response) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    response += '\n';
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fflush(stdout);
+  };
+  std::string buffer;
+  char chunk[4096];
+  while (g_shutdown == 0) {
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks g_shutdown
+      std::fprintf(stderr, "iejoin_server: stdin read: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    if (n == 0) break;  // EOF: client closed the pipe
+    buffer.append(chunk, static_cast<size_t>(n));
+    DrainLines(&buffer, service, respond);
+  }
+  return 0;
+}
+
+/// One accepted unix-socket connection. Worker threads respond through the
+/// shared_ptr while the poll loop owns reads; the fd closes when the last
+/// holder lets go, so a response racing a disconnect writes into a closed
+/// (never a reused) descriptor.
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() { ::close(fd); }
+
+  void Write(std::string response) {
+    response += '\n';
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed.load()) return;
+    size_t off = 0;
+    while (off < response.size()) {
+      const ssize_t n =
+          ::write(fd, response.data() + off, response.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        closed.store(true);  // EPIPE etc.: client went away
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+  std::string buffer;
+};
+
+/// Unix stream socket mode: accepts any number of clients, one JSON line
+/// per request. SIGTERM/SIGINT stops accepting, drains, and exits.
+int ServeSocket(service::JoinService* service, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "iejoin_server: socket: %s\n", std::strerror(errno));
+    return 1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "iejoin_server: socket path too long\n");
+    ::close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 64) < 0) {
+    std::fprintf(stderr, "iejoin_server: bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "iejoin_server: listening on %s\n", path.c_str());
+
+  std::vector<std::shared_ptr<Connection>> clients;
+  while (g_shutdown == 0) {
+    std::vector<pollfd> fds;
+    fds.push_back({listener, POLLIN, 0});
+    for (const auto& client : clients) {
+      fds.push_back({client->fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "iejoin_server: poll: %s\n", std::strerror(errno));
+      break;
+    }
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) clients.push_back(std::make_shared<Connection>(fd));
+    }
+    for (size_t i = 0; i < clients.size(); ++i) {
+      if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      auto client = clients[i];
+      char chunk[4096];
+      const ssize_t n = ::read(client->fd, chunk, sizeof(chunk));
+      if (n <= 0 && !(n < 0 && errno == EINTR)) {
+        client->closed.store(true);
+        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i--));
+        continue;
+      }
+      if (n <= 0) continue;
+      client->buffer.append(chunk, static_cast<size_t>(n));
+      const bool keep = DrainLines(
+          &client->buffer, service,
+          [client](std::string response) { client->Write(std::move(response)); });
+      if (!keep) {
+        client->closed.store(true);
+        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i--));
+      }
+    }
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  // Drain before dropping connections so every admitted request's response
+  // still reaches its client.
+  service->Drain();
+  for (auto& client : clients) client->closed.store(true);
+  clients.clear();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage();
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[arg] = argv[++i];
+    } else {
+      args.flags[arg] = "1";
+    }
+  }
+  if (!args.Has("scenario")) return Usage();
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleShutdownSignal;  // no SA_RESTART: reads EINTR out
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  // Shared-immutable state, built once: scenario, databases, trained
+  // extractors/classifiers/queries, and the bounded extraction cache.
+  // threads stays 0 — request drivers are the service's own workers.
+  auto scenario = LoadScenario(args.Get("scenario", ""));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "iejoin_server: load: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  WorkbenchConfig config;
+  config.scenario = scenario->corpus1->size() <= 2000 ? ScenarioSpec::Small()
+                                                      : ScenarioSpec::PaperLike();
+  config.extraction_cache = true;
+  config.extraction_cache_bytes =
+      args.GetInt("extraction-cache-mb", 64) * (1 << 20);
+  auto bench = Workbench::CreateForScenario(config, *std::move(scenario));
+  if (!bench.ok()) {
+    std::fprintf(stderr, "iejoin_server: workbench: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+
+  service::ServiceConfig service_config;
+  service_config.workers = static_cast<int32_t>(
+      args.GetInt("workers", static_cast<int64_t>(
+                                 ThreadPool::HardwareConcurrency())));
+  service_config.max_queue =
+      static_cast<int32_t>(args.GetInt("max-queue", 32));
+  service_config.retry_after_ms = args.GetInt("retry-after-ms", 50);
+  service_config.default_deadline_seconds =
+      args.GetDouble("deadline-seconds", 0.0);
+  service_config.telemetry_every_requests =
+      args.GetInt("telemetry-every-requests", 16);
+
+  service::JoinService service(bench->get(), service_config);
+
+  obs::TimeSeriesRecorder::Options recorder_options;
+  recorder_options.sample_every_docs = 0;  // frames keyed to requests, not docs
+  obs::TimeSeriesRecorder recorder(recorder_options);
+  if (args.Has("telemetry-out")) {
+    const Status opened = recorder.OpenFile(args.Get("telemetry-out", ""));
+    if (!opened.ok()) {
+      std::fprintf(stderr, "iejoin_server: telemetry: %s\n",
+                   opened.ToString().c_str());
+      return 1;
+    }
+    service.AttachTelemetry(&recorder);
+  }
+
+  std::fprintf(stderr,
+               "iejoin_server: ready (%d workers, queue %d, cache %lld MiB)\n",
+               service_config.workers, service_config.max_queue,
+               static_cast<long long>(args.GetInt("extraction-cache-mb", 64)));
+
+  const int exit_code = args.Has("socket")
+                            ? ServeSocket(&service, args.Get("socket", ""))
+                            : ServeStdin(&service);
+
+  // Graceful shutdown: admitted requests finish and respond, then the
+  // server-global stats land in the exposition file.
+  service.Drain();
+  if (args.Has("exposition-out")) {
+    const Status wrote = obs::WriteFile(args.Get("exposition-out", ""),
+                                        service.PrometheusExposition());
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "iejoin_server: exposition: %s\n",
+                   wrote.ToString().c_str());
+    }
+  }
+  std::fprintf(stderr, "iejoin_server: drained, %lld requests completed\n",
+               static_cast<long long>(service.completed_requests()));
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace iejoin
+
+int main(int argc, char** argv) { return iejoin::Main(argc, argv); }
