@@ -77,7 +77,7 @@ void JoinService::Serve(const std::string& line, Respond respond) {
     return;
   }
   if (request.kind == ServiceRequest::Kind::kStats) {
-    respond(StatsJson());
+    respond(StatsJson(request.id));
     return;
   }
 
@@ -261,9 +261,10 @@ std::string JoinService::Execute(const ServiceRequest& request) const {
   return json.TakeString();
 }
 
-std::string JoinService::StatsJson() const {
+std::string JoinService::StatsJson(const std::string& id) const {
   obs::JsonWriter json;
   json.BeginObject();
+  if (!id.empty()) json.Key("id").Value(id);
   json.Key("status").Value("ok");
   {
     std::lock_guard<std::mutex> lock(mu_);

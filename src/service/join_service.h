@@ -80,8 +80,9 @@ class JoinService {
   /// Server-global service.* metrics (live; counters are atomic).
   const obs::MetricsRegistry& stats() const { return stats_; }
   /// One-line JSON stats snapshot (same payload a {"stats":true} request
-  /// receives).
-  std::string StatsJson() const;
+  /// receives). A non-empty `id` is echoed so pipelined clients can match
+  /// the response, exactly like join and health responses.
+  std::string StatsJson(const std::string& id = std::string()) const;
   /// Prometheus text exposition of the server-global metrics.
   std::string PrometheusExposition() const { return stats_.Snapshot().ToPrometheus(); }
 

@@ -116,6 +116,13 @@ Status TypeError(const std::string& key, const char* want) {
   return Status::InvalidArgument("field \"" + key + "\" must be a " + want);
 }
 
+/// Casting a double outside the destination's range to an integer type is
+/// UB, so numeric fields are bounds-checked against the first double that
+/// does NOT fit (2^63 resp. 2^64 — both exactly representable) before the
+/// cast. Infinity from an overflowing literal like 1e999 fails this too.
+constexpr double kInt64Bound = 9223372036854775808.0;    // 2^63
+constexpr double kUint64Bound = 18446744073709551616.0;  // 2^64
+
 }  // namespace
 
 Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
@@ -172,16 +179,15 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
     } else if (key == "x2") {
       if (!is_string) return TypeError(key, "string");
       request.x2 = str;
-    } else if (key == "tau_good") {
+    } else if (key == "tau_good" || key == "tau_bad") {
       if (is_string || is_true || is_false) return TypeError(key, "number");
-      if (num < 0) return Status::InvalidArgument("tau_good must be >= 0");
+      if (num < 0 || num >= kInt64Bound) {
+        return Status::InvalidArgument("field \"" + key +
+                                       "\" must be in [0, 2^63)");
+      }
       request.has_requirement = true;
-      request.tau_good = static_cast<int64_t>(num);
-    } else if (key == "tau_bad") {
-      if (is_string || is_true || is_false) return TypeError(key, "number");
-      if (num < 0) return Status::InvalidArgument("tau_bad must be >= 0");
-      request.has_requirement = true;
-      request.tau_bad = static_cast<int64_t>(num);
+      (key == "tau_good" ? request.tau_good : request.tau_bad) =
+          static_cast<int64_t>(num);
     } else if (key == "deadline_seconds") {
       if (is_string || is_true || is_false) return TypeError(key, "number");
       if (num < 0) {
@@ -193,7 +199,9 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
       request.faults = str;
     } else if (key == "seed") {
       if (is_string || is_true || is_false) return TypeError(key, "number");
-      if (num < 0) return Status::InvalidArgument("seed must be >= 0");
+      if (num < 0 || num >= kUint64Bound) {
+        return Status::InvalidArgument("seed must be in [0, 2^64)");
+      }
       request.has_seed = true;
       request.seed = static_cast<uint64_t>(num);
     } else if (key == "metrics") {

@@ -85,6 +85,11 @@ TEST(ServiceProtocolTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseServiceRequest(R"({"theta1":1.5})").ok());    // range
   EXPECT_FALSE(ParseServiceRequest(R"({"theta1":"hi"})").ok());   // type
   EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":-5})").ok());   // sign
+  // Doubles past the destination integer range would be UB to cast.
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":1e30})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_bad":9.3e18})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"seed":1.9e19})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"seed":1e999})").ok());    // infinity
   EXPECT_FALSE(ParseServiceRequest(R"({"metrics":1})").ok());     // bool field
   EXPECT_FALSE(ParseServiceRequest(R"({"id":"a\u0041"})").ok());  // unsupported \u escape
 }
@@ -197,7 +202,8 @@ TEST_F(ServiceTest, HealthAndStatsAnswerSynchronously) {
   EXPECT_TRUE(Contains(health, "\"id\":\"h\"")) << health;
   EXPECT_TRUE(Contains(health, "\"status\":\"ok\"")) << health;
   EXPECT_TRUE(Contains(health, "\"completed\":0")) << health;
-  const std::string stats = ServeAndWait(&svc, R"({"stats":true})");
+  const std::string stats = ServeAndWait(&svc, R"({"stats":true,"id":"s"})");
+  EXPECT_TRUE(Contains(stats, "\"id\":\"s\"")) << stats;
   EXPECT_TRUE(Contains(stats, "\"service.requests\"")) << stats;
   EXPECT_TRUE(Contains(stats, "\"metrics\":{")) << stats;
   EXPECT_FALSE(svc.PrometheusExposition().empty());

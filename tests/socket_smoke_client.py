@@ -1,0 +1,65 @@
+# Socket-mode smoke client for cli_server_socket_smoke (tests/CMakeLists.txt).
+#
+# Exercises the poll-loop paths stdin pipe mode cannot reach: the very first
+# accepted connection (the pollfd set must track the grown client list), a
+# second client served while the first sits idle, an over-long line dropping
+# only its own connection, and earlier clients staying correctly mapped to
+# their pollfd entries after a disconnect compacts the client list.
+import socket
+import sys
+import time
+
+SOCK_PATH = sys.argv[1]
+
+
+def connect():
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(SOCK_PATH)
+    return s
+
+
+def recv_line(s):
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = s.recv(4096)
+        if not chunk:
+            break
+        buf += chunk
+    return buf.decode()
+
+
+# First connection: first poll iteration after an accept.
+c1 = connect()
+c1.sendall(b'{"id":"c1","tau_good":5,"tau_bad":100000,"seed":1}\n')
+r = recv_line(c1)
+assert '"id":"c1"' in r and '"status":"ok"' in r, r
+
+# Second client answered while the first stays connected but idle.
+c2 = connect()
+c2.sendall(b'{"id":"c2","health":true}\n')
+r = recv_line(c2)
+assert '"id":"c2"' in r and '"status":"ok"' in r, r
+
+# An over-long line kills its own connection (the server may respond with
+# "invalid" first or a racing sendall may see EPIPE) and nothing else.
+c3 = connect()
+try:
+    c3.sendall(b'{"id":"big","x1":"' + b"a" * (2 << 20) + b'"}\n')
+    r = recv_line(c3)
+    assert r == "" or "exceeds 1 MiB" in r, r
+except BrokenPipeError:
+    pass
+c3.close()
+
+# Abrupt disconnect compacts the client list; c1 (an earlier index) must
+# still be served afterwards, and the stats response must echo its id.
+c2.close()
+time.sleep(0.3)
+c1.sendall(b'{"id":"c1b","stats":true}\n')
+r = recv_line(c1)
+assert '"id":"c1b"' in r and '"service.requests"' in r, r
+c1.sendall(b'{"id":"c1c","algorithm":"oijn","tau_good":5,"tau_bad":100000}\n')
+r = recv_line(c1)
+assert '"id":"c1c"' in r and '"status":"ok"' in r, r
+c1.close()
+print("socket smoke ok")

@@ -25,6 +25,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -116,6 +117,7 @@ int ServeStdin(service::JoinService* service) {
     std::fflush(stdout);
   };
   std::string buffer;
+  bool skipping = false;  // discarding the tail of a rejected over-long line
   char chunk[4096];
   while (g_shutdown == 0) {
     const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
@@ -126,8 +128,18 @@ int ServeStdin(service::JoinService* service) {
       break;
     }
     if (n == 0) break;  // EOF: client closed the pipe
-    buffer.append(chunk, static_cast<size_t>(n));
-    DrainLines(&buffer, service, respond);
+    size_t offset = 0;
+    if (skipping) {
+      // DrainLines rejected an over-long line mid-stream; its remaining
+      // bytes must not be parsed as fresh requests, so discard up to and
+      // including the next newline before resuming.
+      const void* newline = std::memchr(chunk, '\n', static_cast<size_t>(n));
+      if (newline == nullptr) continue;
+      offset = static_cast<size_t>(static_cast<const char*>(newline) - chunk) + 1;
+      skipping = false;
+    }
+    buffer.append(chunk + offset, static_cast<size_t>(n) - offset);
+    if (!DrainLines(&buffer, service, respond)) skipping = true;
   }
   return 0;
 }
@@ -203,30 +215,37 @@ int ServeSocket(service::JoinService* service, const std::string& path) {
       std::fprintf(stderr, "iejoin_server: poll: %s\n", std::strerror(errno));
       break;
     }
+    // fds[1..polled] map 1:1 onto the first `polled` clients. The accept
+    // below may grow `clients` past that, and erasing mid-loop would shift
+    // later clients off their pollfd entries — so the loop only walks the
+    // snapshot and marks dead clients, which are compacted afterwards.
+    const size_t polled = clients.size();
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd >= 0) clients.push_back(std::make_shared<Connection>(fd));
     }
-    for (size_t i = 0; i < clients.size(); ++i) {
+    for (size_t i = 0; i < polled; ++i) {
+      const std::shared_ptr<Connection>& client = clients[i];
+      if (client->closed.load()) continue;  // writer saw EPIPE
       if ((fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      auto client = clients[i];
       char chunk[4096];
       const ssize_t n = ::read(client->fd, chunk, sizeof(chunk));
-      if (n <= 0 && !(n < 0 && errno == EINTR)) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
         client->closed.store(true);
-        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i--));
         continue;
       }
-      if (n <= 0) continue;
       client->buffer.append(chunk, static_cast<size_t>(n));
       const bool keep = DrainLines(
           &client->buffer, service,
           [client](std::string response) { client->Write(std::move(response)); });
-      if (!keep) {
-        client->closed.store(true);
-        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i--));
-      }
+      if (!keep) client->closed.store(true);
     }
+    clients.erase(std::remove_if(clients.begin(), clients.end(),
+                                 [](const std::shared_ptr<Connection>& c) {
+                                   return c->closed.load();
+                                 }),
+                  clients.end());
   }
   ::close(listener);
   ::unlink(path.c_str());
