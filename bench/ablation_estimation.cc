@@ -1,11 +1,15 @@
 // Ablation: convergence of the Section VI MLE parameter estimates as the
-// probing sample grows. Runs an IDJN Scan/Scan execution, re-estimating
-// the database-specific parameters at increasing document fractions, and
-// reports estimates against ground truth.
+// probing sample grows, swept over the golden-harness corpus shapes
+// (bench_util.h EstimationShapes — the same corpora behind
+// tests/golden/estimation). For every shape it reports the overlap-class /
+// skew metadata, then re-estimates the database-specific parameters at
+// increasing document fractions against ground truth, including the
+// mention-level join size implied by the MLE vs the sketch bounds.
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/estimation_golden.h"
 #include "estimation/join_estimator.h"
 #include "estimation/relation_estimator.h"
 #include "join/join_executor.h"
@@ -13,96 +17,99 @@
 using namespace iejoin;  // NOLINT — benchmark binary
 
 int main() {
-  auto bench = bench::MakePaperWorkbench();
-
-  JoinPlanSpec plan;
-  plan.algorithm = JoinAlgorithmKind::kIndependent;
-  plan.theta1 = plan.theta2 = 0.4;
-  plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
-
-  const auto& truth = bench->scenario().corpus1->ground_truth();
-  std::printf("# MLE convergence, relation HQ. Ground truth: |Ag|=%lld |Ab|=%lld "
-              "|Dg|=%zu |Agg|=%zu\n",
-              static_cast<long long>(truth.num_good_values),
-              static_cast<long long>(truth.num_bad_values), truth.good_docs.size(),
-              bench->scenario().values_gg.size());
-  std::printf("%8s | %8s %8s %8s | %8s | %8s\n", "pct_docs", "est_Ag", "est_Ab",
-              "est_Dg", "est_Agg", "post_sep");
-
-  for (int pct : {10, 20, 40, 60, 80, 100}) {
-    auto executor = CreateJoinExecutor(plan, bench->resources());
-    if (!executor.ok()) return 1;
-    JoinExecutionOptions options;
-    options.stop_rule = StopRule::kCallback;
-    const int64_t target1 = bench->database1().size() * pct / 100;
-    options.stop_callback = [&](const TrajectoryPoint& p, const JoinState&) {
-      return p.docs_processed1 >= target1;
-    };
-    auto result = (*executor)->Run(options);
-    if (!result.ok()) return 1;
-
-    RelationParamsEstimate estimates[2];
-    std::vector<TokenId> values[2];
-    bool ok = true;
-    for (int side = 0; side < 2 && ok; ++side) {
-      RelationObservation obs;
-      const TextDatabase* db =
-          side == 0 ? &bench->database1() : &bench->database2();
-      obs.num_documents = db->size();
-      obs.docs_processed = side == 0 ? result->final_point.docs_processed1
-                                     : result->final_point.docs_processed2;
-      obs.docs_with_extraction = side == 0
-                                     ? result->final_point.docs_with_extraction1
-                                     : result->final_point.docs_with_extraction2;
-      const double incl = static_cast<double>(obs.docs_processed) /
-                          static_cast<double>(obs.num_documents);
-      obs.good_inclusion = incl;
-      obs.bad_inclusion = incl;
-      const auto& knobs = side == 0 ? bench->knobs1() : bench->knobs2();
-      obs.tp = knobs.TruePositiveRate(0.4);
-      obs.fp = knobs.FalsePositiveRate(0.4);
-      for (const auto& [value, count] : result->state.ObservedFrequencies(side)) {
-        obs.values.push_back(value);
-        obs.counts.push_back(count);
-      }
-      values[side] = obs.values;
-      auto est = EstimateRelationParams(obs, RelationEstimatorOptions());
-      if (!est.ok()) {
-        std::printf("%7d%% | estimation failed: %s\n", pct,
-                    est.status().ToString().c_str());
-        ok = false;
-        break;
-      }
-      estimates[side] = std::move(est.value());
+  for (const bench::EstimationShape& shape : bench::EstimationShapes()) {
+    WorkbenchConfig config;
+    config.scenario = shape.spec;
+    auto bench_or = Workbench::Create(config);
+    if (!bench_or.ok()) {
+      std::fprintf(stderr, "workbench for shape %s failed: %s\n",
+                   shape.name.c_str(), bench_or.status().ToString().c_str());
+      return 1;
     }
-    if (!ok) continue;
-    auto join_params = EstimateJoinParams(estimates[0], estimates[1], values[0],
-                                          values[1], FrequencyCoupling::kIndependent);
-    if (!join_params.ok()) continue;
+    const std::unique_ptr<Workbench>& bench = *bench_or;
 
-    // Posterior separation diagnostic: mean posterior over the most
-    // frequent observed half vs the rest.
-    double sep = 0.0;
-    {
-      const auto& fit = estimates[0].fit;
-      double hi = 0.0, lo = 0.0;
-      int64_t nh = 0, nl = 0;
-      for (double r : fit.posterior_good) {
-        if (r >= 0.5) {
-          hi += r;
-          ++nh;
-        } else {
-          lo += r;
-          ++nl;
+    JoinPlanSpec plan;
+    plan.algorithm = JoinAlgorithmKind::kIndependent;
+    plan.theta1 = plan.theta2 = golden::kProbeTheta;
+    plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+
+    const auto& truth = bench->scenario().corpus1->ground_truth();
+    const int64_t actual_join = golden::GroundTruthJoinSize(bench->scenario());
+    std::printf("# shape=%s overlap_class=%s\n", shape.name.c_str(),
+                shape.overlap_class.c_str());
+    std::printf("# skew: %s\n", shape.skew.c_str());
+    std::printf("# ground truth: |Ag|=%lld |Ab|=%lld |Dg|=%zu |Agg|=%zu "
+                "join_size=%lld\n",
+                static_cast<long long>(truth.num_good_values),
+                static_cast<long long>(truth.num_bad_values),
+                truth.good_docs.size(), bench->scenario().values_gg.size(),
+                static_cast<long long>(actual_join));
+    std::printf("%8s | %8s %8s %8s | %8s | %10s %10s %10s\n", "pct_docs",
+                "est_Ag", "est_Ab", "est_Dg", "est_Agg", "mle_join",
+                "skt_lower", "skt_upper");
+
+    for (int pct : {20, 40, 60, 100}) {
+      auto executor = CreateJoinExecutor(plan, bench->resources());
+      if (!executor.ok()) return 1;
+      JoinExecutionOptions options;
+      options.stop_rule = StopRule::kCallback;
+      const int64_t target1 = bench->database1().size() * pct / 100;
+      options.stop_callback = [&](const TrajectoryPoint& p, const JoinState&) {
+        return p.docs_processed1 >= target1;
+      };
+      auto result = (*executor)->Run(options);
+      if (!result.ok()) return 1;
+
+      RelationParamsEstimate estimates[2];
+      RelationObservation observations[2];
+      bool ok = true;
+      for (int side = 0; side < 2 && ok; ++side) {
+        RelationObservation& obs = observations[side];
+        const TextDatabase* db =
+            side == 0 ? &bench->database1() : &bench->database2();
+        obs.num_documents = db->size();
+        obs.docs_processed = side == 0 ? result->final_point.docs_processed1
+                                       : result->final_point.docs_processed2;
+        obs.docs_with_extraction =
+            side == 0 ? result->final_point.docs_with_extraction1
+                      : result->final_point.docs_with_extraction2;
+        const double incl = static_cast<double>(obs.docs_processed) /
+                            static_cast<double>(obs.num_documents);
+        obs.good_inclusion = incl;
+        obs.bad_inclusion = incl;
+        const auto& knobs = side == 0 ? bench->knobs1() : bench->knobs2();
+        obs.tp = knobs.TruePositiveRate(golden::kProbeTheta);
+        obs.fp = knobs.FalsePositiveRate(golden::kProbeTheta);
+        for (const auto& [value, count] :
+             result->state.ObservedFrequencies(side)) {
+          obs.values.push_back(value);
+          obs.counts.push_back(count);
         }
+        auto est = EstimateRelationParams(obs, RelationEstimatorOptions());
+        if (!est.ok()) {
+          std::printf("%7d%% | estimation failed: %s\n", pct,
+                      est.status().ToString().c_str());
+          ok = false;
+          break;
+        }
+        estimates[side] = std::move(est.value());
       }
-      sep = (nh > 0 ? hi / nh : 0.0) - (nl > 0 ? lo / nl : 0.0);
+      if (!ok) continue;
+      auto calibrated = EstimateJoinParamsCalibrated(
+          estimates[0], estimates[1], observations[0], observations[1],
+          FrequencyCoupling::kIndependent, CalibrationOptions());
+      if (!calibrated.ok()) continue;
+
+      std::printf("%7d%% | %8lld %8lld %8lld | %8lld | %10.1f %10.1f %10.1f\n",
+                  pct,
+                  static_cast<long long>(estimates[0].params.num_good_values),
+                  static_cast<long long>(estimates[0].params.num_bad_values),
+                  static_cast<long long>(estimates[0].params.num_good_docs),
+                  static_cast<long long>(calibrated->params.num_agg),
+                  calibrated->implied, calibrated->bounds.lower,
+                  calibrated->bounds.upper);
     }
-    std::printf("%7d%% | %8lld %8lld %8lld | %8lld | %8.2f\n", pct,
-                static_cast<long long>(estimates[0].params.num_good_values),
-                static_cast<long long>(estimates[0].params.num_bad_values),
-                static_cast<long long>(estimates[0].params.num_good_docs),
-                static_cast<long long>(join_params->num_agg), sep);
+    std::printf("\n");
   }
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "harness/workbench.h"
 #include "obs/metrics.h"
@@ -12,6 +13,145 @@
 
 namespace iejoin {
 namespace bench {
+
+/// One named corpus shape for estimation experiments: a ScenarioSpec
+/// variant plus the overlap-class / skew metadata recorded by the
+/// estimation goldens (tests/golden/estimation) and the estimation
+/// ablation. Shared so the golden harness and bench/ablation_estimation
+/// measure the same corpora.
+struct EstimationShape {
+  /// Shape name; also the golden file stem (<name>.md).
+  std::string name;
+  /// Overlap class of the shared join values: "one-to-one", "one-to-many",
+  /// "many-to-many", or "skewed-zipf".
+  std::string overlap_class;
+  /// Human description of the frequency skew and cross-side coupling.
+  std::string skew;
+  ScenarioSpec spec;
+};
+
+/// The golden-harness shape sweep. All shapes derive from
+/// ScenarioSpec::Small() (1000 docs/side here) and differ only in the
+/// per-value frequency laws and overlap-class sizes:
+///  - one-to-one: every shared value occurs once per side (frequency caps
+///    at 1); join size ~= overlap size, any estimator should nail it.
+///  - one-to-many: side 1 keeps unit frequencies, side 2 is heavy-tailed.
+///  - many-to-many: both sides heavy-tailed AND the shared good values'
+///    frequencies are correlated across sides
+///    (correlate_shared_good_frequencies) — the shape that breaks the
+///    Section VI MLE under the default independence coupling, since the
+///    true join mass is E[f^2]-like while the model computes E[f]^2.
+///  - skewed-zipf: near-zipf(1) tails drawn independently per side, plus
+///    frequent-but-unextractable outlier values.
+inline std::vector<EstimationShape> EstimationShapes() {
+  std::vector<EstimationShape> shapes;
+
+  const auto base = [] {
+    ScenarioSpec spec = ScenarioSpec::Small();
+    spec.relation1.num_documents = 1000;
+    spec.relation2.num_documents = 1000;
+    return spec;
+  };
+
+  {
+    EstimationShape shape;
+    shape.name = "one_to_one";
+    shape.overlap_class = "one-to-one";
+    shape.skew = "uniform; every join value occurs once per side";
+    shape.spec = base();
+    for (RelationSpec* rel : {&shape.spec.relation1, &shape.spec.relation2}) {
+      rel->max_good_frequency = 1;
+      rel->max_bad_frequency = 1;
+    }
+    shape.spec.num_shared_gg = 120;
+    shape.spec.num_shared_gb = 60;
+    shape.spec.num_shared_bg = 60;
+    shape.spec.num_shared_bb = 160;
+    shape.spec.num_outlier_values = 0;
+    shapes.push_back(std::move(shape));
+  }
+
+  {
+    EstimationShape shape;
+    shape.name = "one_to_many";
+    shape.overlap_class = "one-to-many";
+    shape.skew = "side 1 unit frequencies; side 2 power-law (exp 1.3, cap 40)";
+    shape.spec = base();
+    shape.spec.relation1.max_good_frequency = 1;
+    shape.spec.relation1.max_bad_frequency = 2;
+    shape.spec.relation2.good_freq_exponent = 1.3;
+    shape.spec.relation2.max_good_frequency = 40;
+    shape.spec.relation2.max_bad_frequency = 60;
+    shape.spec.num_shared_gg = 100;
+    shape.spec.num_shared_gb = 60;
+    shape.spec.num_shared_bg = 60;
+    shape.spec.num_shared_bb = 200;
+    shape.spec.num_outlier_values = 0;
+    shapes.push_back(std::move(shape));
+  }
+
+  {
+    EstimationShape shape;
+    shape.name = "many_to_many";
+    shape.overlap_class = "many-to-many";
+    shape.skew =
+        "both sides power-law (exp 2.0, cap 400): a heavy tail whose join "
+        "mass is E[f^2]-dominated; shared good frequencies correlated across "
+        "sides";
+    shape.spec = base();
+    for (RelationSpec* rel : {&shape.spec.relation1, &shape.spec.relation2}) {
+      rel->good_freq_exponent = 2.0;
+      rel->max_good_frequency = 400;
+      rel->bad_freq_exponent = 1.6;
+      rel->max_bad_frequency = 6;
+    }
+    shape.spec.correlate_shared_good_frequencies = true;
+    shape.spec.num_shared_gg = 100;
+    shape.spec.num_shared_gb = 40;
+    shape.spec.num_shared_bg = 40;
+    shape.spec.num_shared_bb = 80;
+    shape.spec.num_exclusive_good1 = 100;
+    shape.spec.num_exclusive_good2 = 100;
+    shape.spec.num_exclusive_bad1 = 150;
+    shape.spec.num_exclusive_bad2 = 150;
+    shape.spec.num_outlier_values = 0;
+    shapes.push_back(std::move(shape));
+  }
+
+  {
+    EstimationShape shape;
+    shape.name = "skewed_zipf";
+    shape.overlap_class = "skewed-zipf";
+    shape.skew =
+        "near-zipf(1.1) tails drawn independently per side; 4 outlier values "
+        "at frequency 120";
+    shape.spec = base();
+    for (RelationSpec* rel : {&shape.spec.relation1, &shape.spec.relation2}) {
+      rel->good_freq_exponent = 1.1;
+      rel->max_good_frequency = 60;
+      rel->bad_freq_exponent = 1.2;
+      rel->max_bad_frequency = 150;
+    }
+    shape.spec.num_outlier_values = 4;
+    shape.spec.outlier_frequency = 120;
+    shapes.push_back(std::move(shape));
+  }
+
+  return shapes;
+}
+
+/// Finds a shape by name; exits with a message listing the known names
+/// when absent (bench/tool binaries have no recovery path).
+inline EstimationShape FindEstimationShapeOrDie(const std::string& name) {
+  std::string known;
+  for (EstimationShape& shape : EstimationShapes()) {
+    if (shape.name == name) return std::move(shape);
+    known += known.empty() ? shape.name : ", " + shape.name;
+  }
+  std::fprintf(stderr, "unknown estimation shape '%s' (known: %s)\n",
+               name.c_str(), known.c_str());
+  std::exit(2);
+}
 
 /// Builds the paper-like HQ ⋈ EX workbench every experiment binary uses;
 /// aborts with a message on failure (bench binaries have no recovery path).

@@ -1,0 +1,435 @@
+#ifndef IEJOIN_BENCH_ESTIMATION_GOLDEN_H_
+#define IEJOIN_BENCH_ESTIMATION_GOLDEN_H_
+
+/// Golden estimation harness: for one corpus shape (bench_util.h's
+/// EstimationShape sweep), probe the databases, run the Section VI MLE and
+/// the sketch-bounded estimator on the identical sample, execute every join
+/// algorithm to exhaustion, and render estimated-vs-actual cardinalities as
+/// a deterministic markdown golden (tests/golden/estimation/<shape>.md).
+///
+/// Tolerance policy (CompareGolden): realized counts (`actual_*`) and
+/// containment flags compare exactly — the whole pipeline is seeded and
+/// deterministic; model estimates compare under a relative tolerance that
+/// absorbs cross-platform floating-point drift (libm differences shift the
+/// EM fit slightly) while still failing on real estimator regressions.
+/// Regenerate with `estimation_golden --bless` after intentional changes.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "estimation/join_estimator.h"
+#include "estimation/relation_estimator.h"
+#include "estimation/sketch_bounds.h"
+#include "model/join_models.h"
+
+namespace iejoin {
+namespace golden {
+
+/// One (algorithm x estimator) golden cell: the realized good/bad join
+/// tuples of an exhaustive run vs the model estimate at the realized final
+/// effort under that estimator's parameters.
+struct GoldenCell {
+  std::string algorithm;  // "idjn" | "oijn" | "zgjn"
+  std::string estimator;  // "mle" | "sketch"
+  int64_t actual_good = 0;
+  int64_t actual_bad = 0;
+  double est_good = 0.0;
+  double est_bad = 0.0;
+};
+
+struct ShapeReport {
+  std::string shape;
+  std::string overlap_class;
+  std::string skew;
+
+  /// Ground-truth database mention-level join size
+  /// sum_a f1(a) * f2(a) over shared values (good + bad occurrences).
+  int64_t actual_join_size = 0;
+  /// Join size implied by the raw MLE estimate (before clamping).
+  double mle_implied_size = 0.0;
+  /// max(actual/mle, mle/actual).
+  double mle_error_ratio = 0.0;
+  double sketch_lower = 0.0;
+  double sketch_upper = 0.0;
+  double sketch_estimate = 0.0;
+  bool bounds_contain_actual = false;
+  bool mle_within_bounds = false;
+
+  std::vector<GoldenCell> cells;
+};
+
+/// Fraction of side-1 documents consumed by the estimation probe.
+inline constexpr double kProbeDocFraction = 0.6;
+inline constexpr double kProbeTheta = 0.4;
+
+/// Model estimate of what `plan` produced at the effort `point` realized —
+/// the same dispatch the adaptive executor's stopping rule uses.
+inline QualityEstimate EstimateAtEffort(const JoinPlanSpec& plan,
+                                        const JoinModelParams& params,
+                                        const TrajectoryPoint& point,
+                                        const OptimizerInputs& inputs) {
+  switch (plan.algorithm) {
+    case JoinAlgorithmKind::kIndependent: {
+      PlanEffort effort;
+      effort.side1 =
+          plan.retrieval1 == RetrievalStrategyKind::kAutomaticQueryGeneration
+              ? point.queries1
+              : point.docs_retrieved1;
+      effort.side2 =
+          plan.retrieval2 == RetrievalStrategyKind::kAutomaticQueryGeneration
+              ? point.queries2
+              : point.docs_retrieved2;
+      return EstimateIdjn(params, plan.retrieval1, plan.retrieval2, effort,
+                          inputs.costs1, inputs.costs2);
+    }
+    case JoinAlgorithmKind::kOuterInner: {
+      const bool outer1 = plan.outer_is_relation1;
+      const RetrievalStrategyKind outer_strategy =
+          outer1 ? plan.retrieval1 : plan.retrieval2;
+      const int64_t outer_effort =
+          outer_strategy == RetrievalStrategyKind::kAutomaticQueryGeneration
+              ? (outer1 ? point.queries1 : point.queries2)
+              : (outer1 ? point.docs_retrieved1 : point.docs_retrieved2);
+      return EstimateOijn(params, outer1, outer_strategy, outer_effort,
+                          inputs.costs1, inputs.costs2);
+    }
+    case JoinAlgorithmKind::kZigZag:
+      return EstimateZgjn(params, inputs.zgjn_seeds,
+                          point.queries1 + point.queries2, inputs.costs1,
+                          inputs.costs2);
+  }
+  return QualityEstimate{};
+}
+
+/// Ground-truth mention-level join size from the two corpora's realized
+/// value frequencies (evaluation-side only; estimators never see this).
+inline int64_t GroundTruthJoinSize(const JoinScenario& scenario) {
+  const auto& gt1 = scenario.corpus1->ground_truth();
+  const auto& gt2 = scenario.corpus2->ground_truth();
+  int64_t total = 0;
+  for (const auto& [value, f1] : gt1.value_frequencies) {
+    const auto it = gt2.value_frequencies.find(value);
+    if (it == gt2.value_frequencies.end()) continue;
+    total += (f1.good + f1.bad) * (it->second.good + it->second.bad);
+  }
+  return total;
+}
+
+/// Builds the full report for one shape: workbench, probe, both estimators,
+/// and one exhaustive execution per algorithm.
+inline Result<ShapeReport> BuildShapeReport(const bench::EstimationShape& shape) {
+  WorkbenchConfig config;
+  config.scenario = shape.spec;
+  IEJOIN_ASSIGN_OR_RETURN(std::unique_ptr<Workbench> bench,
+                          Workbench::Create(config));
+
+  ShapeReport report;
+  report.shape = shape.name;
+  report.overlap_class = shape.overlap_class;
+  report.skew = shape.skew;
+  report.actual_join_size = GroundTruthJoinSize(bench->scenario());
+
+  // --- Probe: IDJN Scan/Scan at theta 0.4 over 60% of side-1 documents,
+  // the adaptive executor's mid-execution estimation sample.
+  JoinPlanSpec probe;
+  probe.algorithm = JoinAlgorithmKind::kIndependent;
+  probe.theta1 = probe.theta2 = kProbeTheta;
+  probe.retrieval1 = probe.retrieval2 = RetrievalStrategyKind::kScan;
+
+  JoinExecutionOptions probe_options;
+  probe_options.stop_rule = StopRule::kCallback;
+  const int64_t target1 = static_cast<int64_t>(
+      static_cast<double>(bench->database1().size()) * kProbeDocFraction);
+  probe_options.stop_callback = [&](const TrajectoryPoint& p, const JoinState&) {
+    return p.docs_processed1 >= target1;
+  };
+  IEJOIN_ASSIGN_OR_RETURN(JoinExecutionResult probe_result,
+                          bench->RunPlan(probe, std::move(probe_options)));
+
+  RelationParamsEstimate estimates[2];
+  RelationObservation observations[2];
+  for (int side = 0; side < 2; ++side) {
+    RelationObservation& obs = observations[side];
+    const TextDatabase* db = side == 0 ? &bench->database1() : &bench->database2();
+    obs.num_documents = db->size();
+    obs.docs_processed = side == 0 ? probe_result.final_point.docs_processed1
+                                   : probe_result.final_point.docs_processed2;
+    obs.docs_with_extraction =
+        side == 0 ? probe_result.final_point.docs_with_extraction1
+                  : probe_result.final_point.docs_with_extraction2;
+    const double inclusion = static_cast<double>(obs.docs_processed) /
+                             static_cast<double>(obs.num_documents);
+    obs.good_inclusion = inclusion;
+    obs.bad_inclusion = inclusion;
+    const auto& knobs = side == 0 ? bench->knobs1() : bench->knobs2();
+    obs.tp = knobs.TruePositiveRate(kProbeTheta);
+    obs.fp = knobs.FalsePositiveRate(kProbeTheta);
+    for (const auto& [value, count] : probe_result.state.ObservedFrequencies(side)) {
+      obs.values.push_back(value);
+      obs.counts.push_back(count);
+    }
+    IEJOIN_ASSIGN_OR_RETURN(estimates[side],
+                            EstimateRelationParams(obs, RelationEstimatorOptions()));
+  }
+
+  // --- MLE estimator (the paper's default independence coupling) and the
+  // sketch-calibrated estimator, from the identical sample.
+  IEJOIN_ASSIGN_OR_RETURN(
+      JoinModelParams mle_params,
+      EstimateJoinParams(estimates[0], estimates[1], observations[0].values,
+                         observations[1].values, FrequencyCoupling::kIndependent));
+  IEJOIN_ASSIGN_OR_RETURN(
+      CalibratedJoinParams calibrated,
+      EstimateJoinParamsCalibrated(estimates[0], estimates[1], observations[0],
+                                   observations[1],
+                                   FrequencyCoupling::kIndependent,
+                                   CalibrationOptions()));
+
+  report.mle_implied_size = ImpliedJoinSize(mle_params);
+  const double actual = static_cast<double>(report.actual_join_size);
+  report.mle_error_ratio =
+      report.mle_implied_size > 0.0 && actual > 0.0
+          ? std::max(actual / report.mle_implied_size,
+                     report.mle_implied_size / actual)
+          : 0.0;
+  report.sketch_lower = calibrated.bounds.lower;
+  report.sketch_upper = calibrated.bounds.upper;
+  report.sketch_estimate = calibrated.bounds.estimate;
+  report.bounds_contain_actual = calibrated.bounds.Contains(actual);
+  report.mle_within_bounds = calibrated.bounds.Contains(report.mle_implied_size);
+
+  // --- Per-algorithm cells: run each plan to exhaustion, then estimate the
+  // run's output at its realized effort under both parameter sets. The
+  // strategy-specific fields (classifier rates, AQG stats, ZGJN PGFs) come
+  // from the offline oracle characterization, exactly as the adaptive
+  // executor overlays them onto online estimates.
+  IEJOIN_ASSIGN_OR_RETURN(OptimizerInputs inputs, bench->OracleOptimizerInputs(true));
+  JoinModelParams sketch_params = calibrated.params;
+  for (JoinModelParams* params : {&mle_params, &sketch_params}) {
+    OverlayStrategyParams(&params->relation1, inputs.base_params.relation1);
+    OverlayStrategyParams(&params->relation2, inputs.base_params.relation2);
+  }
+
+  for (const char* algorithm : {"idjn", "oijn", "zgjn"}) {
+    JoinPlanSpec plan;
+    plan.theta1 = plan.theta2 = kProbeTheta;
+    plan.retrieval1 = plan.retrieval2 = RetrievalStrategyKind::kScan;
+    const std::string name = algorithm;
+    if (name == "idjn") {
+      plan.algorithm = JoinAlgorithmKind::kIndependent;
+    } else if (name == "oijn") {
+      plan.algorithm = JoinAlgorithmKind::kOuterInner;
+      plan.outer_is_relation1 = true;
+    } else {
+      plan.algorithm = JoinAlgorithmKind::kZigZag;
+    }
+    IEJOIN_ASSIGN_OR_RETURN(JoinExecutionResult result,
+                            bench->RunPlan(plan, JoinExecutionOptions()));
+    for (const char* estimator : {"mle", "sketch"}) {
+      const JoinModelParams& params =
+          std::string(estimator) == "mle" ? mle_params : sketch_params;
+      const QualityEstimate estimate =
+          EstimateAtEffort(plan, params, result.final_point, inputs);
+      GoldenCell cell;
+      cell.algorithm = name;
+      cell.estimator = estimator;
+      cell.actual_good = result.final_point.good_join_tuples;
+      cell.actual_bad = result.final_point.bad_join_tuples;
+      cell.est_good = estimate.expected_good;
+      cell.est_bad = estimate.expected_bad;
+      report.cells.push_back(std::move(cell));
+    }
+  }
+  return report;
+}
+
+// --- Markdown golden rendering / parsing / comparison -----------------------
+
+inline std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+inline std::string RenderGolden(const ShapeReport& report) {
+  std::string out;
+  out += "# Estimation golden: " + report.shape + "\n\n";
+  out += "- overlap_class: " + report.overlap_class + "\n";
+  out += "- skew: " + report.skew + "\n";
+  out += "- probe: idjn scan/scan theta=" + FormatDouble(kProbeTheta) +
+         " over " + FormatDouble(kProbeDocFraction * 100.0) +
+         "% of side-1 documents\n\n";
+  out += "## Join size (database mention pairs)\n\n";
+  out += "| metric | value |\n| --- | --- |\n";
+  const auto row = [&out](const std::string& key, const std::string& value) {
+    out += "| " + key + " | " + value + " |\n";
+  };
+  row("actual_join_size", std::to_string(report.actual_join_size));
+  row("mle_implied_size", FormatDouble(report.mle_implied_size));
+  row("mle_error_ratio", FormatDouble(report.mle_error_ratio));
+  row("sketch_lower", FormatDouble(report.sketch_lower));
+  row("sketch_upper", FormatDouble(report.sketch_upper));
+  row("sketch_estimate", FormatDouble(report.sketch_estimate));
+  row("bounds_contain_actual", report.bounds_contain_actual ? "yes" : "no");
+  row("mle_within_bounds", report.mle_within_bounds ? "yes" : "no");
+  out += "\n## Tuples at plan exhaustion (theta=" + FormatDouble(kProbeTheta) +
+         ")\n\n";
+  out += "| algorithm | estimator | actual_good | actual_bad | est_good | "
+         "est_bad |\n";
+  out += "| --- | --- | --- | --- | --- | --- |\n";
+  for (const GoldenCell& cell : report.cells) {
+    out += "| " + cell.algorithm + " | " + cell.estimator + " | " +
+           std::to_string(cell.actual_good) + " | " +
+           std::to_string(cell.actual_bad) + " | " + FormatDouble(cell.est_good) +
+           " | " + FormatDouble(cell.est_bad) + " |\n";
+  }
+  return out;
+}
+
+/// A parsed golden: scalar fields keyed "metric" or "- key", cell fields
+/// keyed "<algorithm>/<estimator>/<column>". Everything stays a string;
+/// CompareGolden decides which keys are numeric.
+struct ParsedGolden {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  const std::string* Find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+/// Splits a markdown table row into trimmed cells ("| a | b |" -> {a, b}).
+inline std::vector<std::string> SplitRow(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string current;
+  bool in_cell = false;
+  for (char c : line) {
+    if (c == '|') {
+      if (in_cell) cells.push_back(current);
+      current.clear();
+      in_cell = true;
+      continue;
+    }
+    if (in_cell) current += c;
+  }
+  for (std::string& cell : cells) {
+    const size_t begin = cell.find_first_not_of(" \t");
+    const size_t end = cell.find_last_not_of(" \t");
+    cell = begin == std::string::npos ? "" : cell.substr(begin, end - begin + 1);
+  }
+  return cells;
+}
+
+inline ParsedGolden ParseGolden(const std::string& text) {
+  ParsedGolden parsed;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+
+    if (line.rfind("- ", 0) == 0) {
+      const size_t colon = line.find(": ");
+      if (colon != std::string::npos) {
+        parsed.fields.emplace_back(line.substr(2, colon - 2),
+                                   line.substr(colon + 2));
+      }
+      continue;
+    }
+    if (line.rfind("|", 0) != 0) continue;
+    const std::vector<std::string> cells = SplitRow(line);
+    if (cells.size() == 2 && cells[0] != "metric" && cells[0] != "---") {
+      parsed.fields.emplace_back(cells[0], cells[1]);
+    } else if (cells.size() == 6 && cells[0] != "algorithm" && cells[0] != "---") {
+      const std::string prefix = cells[0] + "/" + cells[1] + "/";
+      parsed.fields.emplace_back(prefix + "actual_good", cells[2]);
+      parsed.fields.emplace_back(prefix + "actual_bad", cells[3]);
+      parsed.fields.emplace_back(prefix + "est_good", cells[4]);
+      parsed.fields.emplace_back(prefix + "est_bad", cells[5]);
+    }
+  }
+  return parsed;
+}
+
+/// Relative tolerance for a field, or 0 for exact string comparison.
+/// Realized counts and containment flags are deterministic -> exact;
+/// model estimates carry cross-platform FP drift -> banded.
+inline double FieldTolerance(const std::string& key) {
+  const auto ends_with = [&key](const char* suffix) {
+    const std::string s = suffix;
+    return key.size() >= s.size() && key.compare(key.size() - s.size(), s.size(), s) == 0;
+  };
+  if (ends_with("actual_join_size") || ends_with("actual_good") ||
+      ends_with("actual_bad") || ends_with("bounds_contain_actual") ||
+      ends_with("mle_within_bounds")) {
+    return 0.0;
+  }
+  if (ends_with("mle_error_ratio")) return 0.15;
+  if (ends_with("est_good") || ends_with("est_bad") ||
+      ends_with("mle_implied_size") || ends_with("sketch_lower") ||
+      ends_with("sketch_upper") || ends_with("sketch_estimate")) {
+    return 0.10;
+  }
+  return 0.0;  // metadata: exact
+}
+
+/// Compares a fresh rendering against the committed golden. Returns
+/// bench_regress-style failure lines, empty when the golden holds.
+inline std::vector<std::string> CompareGolden(const std::string& golden_text,
+                                              const std::string& fresh_text) {
+  std::vector<std::string> failures;
+  const ParsedGolden golden = ParseGolden(golden_text);
+  const ParsedGolden fresh = ParseGolden(fresh_text);
+  if (golden.fields.empty()) {
+    failures.push_back("FAIL golden: no parseable fields (empty or corrupt file)");
+    return failures;
+  }
+  for (const auto& [key, expected] : golden.fields) {
+    const std::string* actual = fresh.Find(key);
+    if (actual == nullptr) {
+      failures.push_back("FAIL " + key + ": missing from fresh report");
+      continue;
+    }
+    const double tolerance = FieldTolerance(key);
+    if (tolerance == 0.0) {
+      if (*actual != expected) {
+        failures.push_back("FAIL " + key + ": expected '" + expected + "' got '" +
+                           *actual + "'");
+      }
+      continue;
+    }
+    char* end = nullptr;
+    const double want = std::strtod(expected.c_str(), &end);
+    const double got = std::strtod(actual->c_str(), nullptr);
+    if (end == expected.c_str()) {
+      failures.push_back("FAIL " + key + ": golden value '" + expected +
+                         "' is not numeric");
+      continue;
+    }
+    const double scale = std::max(std::abs(want), std::abs(got));
+    if (std::abs(want - got) > tolerance * std::max(scale, 1e-9)) {
+      failures.push_back("FAIL " + key + ": expected " + expected + " got " +
+                         *actual + " (tolerance " + FormatDouble(tolerance * 100.0) +
+                         "%)");
+    }
+  }
+  for (const auto& [key, value] : fresh.fields) {
+    (void)value;
+    if (golden.Find(key) == nullptr) {
+      failures.push_back("FAIL " + key + ": new field absent from golden (re-bless)");
+    }
+  }
+  return failures;
+}
+
+}  // namespace golden
+}  // namespace iejoin
+
+#endif  // IEJOIN_BENCH_ESTIMATION_GOLDEN_H_

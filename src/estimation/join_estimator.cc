@@ -69,4 +69,39 @@ Result<JoinModelParams> EstimateJoinParams(const RelationParamsEstimate& side1,
   return params;
 }
 
+Result<CalibratedJoinParams> EstimateJoinParamsCalibrated(
+    const RelationParamsEstimate& side1, const RelationParamsEstimate& side2,
+    const RelationObservation& obs1, const RelationObservation& obs2,
+    FrequencyCoupling coupling, const CalibrationOptions& options) {
+  IEJOIN_ASSIGN_OR_RETURN(
+      JoinModelParams params,
+      EstimateJoinParams(side1, side2, obs1.values, obs2.values, coupling));
+  const RelationDegreeSummary summary1 = BuildDegreeSummary(obs1, options.sketch);
+  const RelationDegreeSummary summary2 = BuildDegreeSummary(obs2, options.sketch);
+  const CalibrationResult calibration =
+      CalibrateJoinEstimate(params, summary1, summary2, options);
+  CalibratedJoinParams result;
+  result.params = calibration.params;
+  result.bounds = calibration.bounds;
+  result.implied = calibration.implied;
+  result.ratio = calibration.ratio;
+  result.clamped = calibration.clamped;
+  result.out_of_bounds = calibration.out_of_bounds;
+  return result;
+}
+
+void OverlayStrategyParams(RelationModelParams* dst,
+                           const RelationModelParams& offline) {
+  dst->classifier_tp = offline.classifier_tp;
+  dst->classifier_fp = offline.classifier_fp;
+  dst->classifier_empty = offline.classifier_empty;
+  dst->classifier_good_occ = offline.classifier_good_occ;
+  dst->classifier_bad_occ = offline.classifier_bad_occ;
+  dst->aqg_queries = offline.aqg_queries;
+  dst->mean_query_hits = offline.mean_query_hits;
+  dst->mean_direct_inclusion = offline.mean_direct_inclusion;
+  dst->hits_pgf = offline.hits_pgf;
+  dst->generates_pgf = offline.generates_pgf;
+}
+
 }  // namespace iejoin

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "estimation/relation_estimator.h"
+#include "estimation/sketch_bounds.h"
 #include "model/model_params.h"
 #include "textdb/vocabulary.h"
 
@@ -27,6 +28,40 @@ Result<JoinModelParams> EstimateJoinParams(const RelationParamsEstimate& side1,
                                            const std::vector<TokenId>& values1,
                                            const std::vector<TokenId>& values2,
                                            FrequencyCoupling coupling);
+
+/// An MLE join-parameter estimate cross-checked against the sketch bounds
+/// of estimation/sketch_bounds.h.
+struct CalibratedJoinParams {
+  /// The estimate, clamped onto the bounds when its implied join size fell
+  /// outside them (CalibrationOptions::clamp).
+  JoinModelParams params;
+  JoinSizeBounds bounds;
+  /// Implied mention-level join size of the raw MLE estimate.
+  double implied = 0.0;
+  /// Disagreement ratio against the violated bound (1 inside the bounds).
+  double ratio = 1.0;
+  bool clamped = false;
+  /// ratio > CalibrationOptions::max_ratio — the parametric fit and the
+  /// non-parametric bounds disagree badly; callers surface this as the
+  /// `estimator.out_of_bounds` metric and may re-estimate sooner.
+  bool out_of_bounds = false;
+};
+
+/// EstimateJoinParams plus the sketch-bounds calibration cross-check: the
+/// degree summaries are built from the same two observations the MLE
+/// consumed, so disagreement measures model error, not sample mismatch.
+Result<CalibratedJoinParams> EstimateJoinParamsCalibrated(
+    const RelationParamsEstimate& side1, const RelationParamsEstimate& side2,
+    const RelationObservation& obs1, const RelationObservation& obs2,
+    FrequencyCoupling coupling, const CalibrationOptions& options);
+
+/// Copies the retrieval-strategy- and join-algorithm-specific fields
+/// (classifier rates, AQG query stats, value-query reach, ZGJN PGFs) from an
+/// offline characterization onto an online estimate, which only fills the
+/// database-specific fields. Shared by the adaptive executor and the
+/// estimation golden harness.
+void OverlayStrategyParams(RelationModelParams* dst,
+                           const RelationModelParams& offline);
 
 }  // namespace iejoin
 

@@ -1,0 +1,301 @@
+#include "estimation/sketch_bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace iejoin {
+namespace {
+
+/// splitmix64 finalizer: a fixed, process-independent 64-bit mix. The KMV
+/// estimate must be deterministic across runs and platforms, so no seeding.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double ClampProb(double p) { return std::clamp(p, 1e-9, 1.0); }
+
+}  // namespace
+
+KmvSketch::KmvSketch(int32_t k) : k_(std::max(k, 1)) {}
+
+void KmvSketch::Add(TokenId value) {
+  ++inserted_;
+  const uint64_t h = MixHash(static_cast<uint64_t>(value));
+  const auto it = std::lower_bound(hashes_.begin(), hashes_.end(), h);
+  if (it != hashes_.end() && *it == h) return;  // duplicate value
+  if (hashes_.size() < static_cast<size_t>(k_)) {
+    hashes_.insert(it, h);
+    return;
+  }
+  if (h >= hashes_.back()) return;  // larger than the kth minimum
+  hashes_.insert(it, h);
+  hashes_.pop_back();
+}
+
+double KmvSketch::EstimateDistinct() const {
+  if (hashes_.size() < static_cast<size_t>(k_)) {
+    return static_cast<double>(hashes_.size());
+  }
+  // (k-1) / normalized kth minimum.
+  const double kth = static_cast<double>(hashes_.back()) /
+                     static_cast<double>(UINT64_MAX);
+  if (kth <= 0.0) return static_cast<double>(hashes_.size());
+  return static_cast<double>(k_ - 1) / kth;
+}
+
+double KmvSketch::EstimateIntersection(const KmvSketch& a, const KmvSketch& b) {
+  if (a.hashes_.empty() || b.hashes_.empty()) return 0.0;
+  // Merge into the union sketch of size k = min(|a|, |b|) and count how
+  // many of its entries appear in both sketches (the standard KMV Jaccard
+  // estimator); |A ∩ B| ≈ J * |A ∪ B|.
+  const size_t k = std::min(a.hashes_.size(), b.hashes_.size());
+  std::vector<uint64_t> merged;
+  merged.reserve(a.hashes_.size() + b.hashes_.size());
+  std::merge(a.hashes_.begin(), a.hashes_.end(), b.hashes_.begin(),
+             b.hashes_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > k) merged.resize(k);
+  size_t in_both = 0;
+  for (const uint64_t h : merged) {
+    const bool in_a = std::binary_search(a.hashes_.begin(), a.hashes_.end(), h);
+    const bool in_b = std::binary_search(b.hashes_.begin(), b.hashes_.end(), h);
+    if (in_a && in_b) ++in_both;
+  }
+  const double jaccard =
+      static_cast<double>(in_both) / static_cast<double>(merged.size());
+  // Union estimate from the merged sketch.
+  double union_est;
+  if (merged.size() < k || merged.size() < 2) {
+    union_est = static_cast<double>(merged.size());
+  } else {
+    const double kth = static_cast<double>(merged.back()) /
+                       static_cast<double>(UINT64_MAX);
+    union_est = kth > 0.0 ? static_cast<double>(merged.size() - 1) / kth
+                          : static_cast<double>(merged.size());
+  }
+  return jaccard * union_est;
+}
+
+RelationDegreeSummary BuildDegreeSummary(const RelationObservation& observation,
+                                         const SketchOptions& options) {
+  RelationDegreeSummary summary;
+  summary.kmv = KmvSketch(options.kmv_size);
+
+  // Per-occurrence observation probability under each label hypothesis:
+  // inclusion (document sampling) times the knob's extraction rate.
+  const double p_good = ClampProb(observation.good_inclusion * observation.tp);
+  const double p_bad = ClampProb(observation.bad_inclusion * observation.fp);
+  summary.p_lo = std::min(p_good, p_bad);
+  summary.p_mid = ClampProb(0.5 * (p_good + p_bad));
+
+  summary.observed.reserve(observation.values.size());
+  int64_t singletons = 0;
+  int64_t doubletons = 0;
+  for (size_t i = 0; i < observation.values.size(); ++i) {
+    const int64_t count = observation.counts[i];
+    if (count <= 0) continue;
+    summary.observed.emplace_back(observation.values[i], count);
+    summary.kmv.Add(observation.values[i]);
+    summary.observed_mass += static_cast<double>(count);
+    if (count == 1) ++singletons;
+    if (count == 2) ++doubletons;
+  }
+  std::sort(summary.observed.begin(), summary.observed.end());
+  summary.observed_distinct = static_cast<int64_t>(summary.observed.size());
+  summary.estimated_mass = summary.observed_mass / summary.p_mid;
+
+  // Chao1: unseen ≈ f1^2 / (2 f2); the standard f2 = 0 correction keeps it
+  // finite on samples with no doubletons. Capped by an occurrence-count
+  // argument: every unseen value holds at least one database occurrence, so
+  // the value universe cannot exceed the estimated total occurrence mass —
+  // without the cap, a singleton-dominated sample (every value extracted
+  // once) sends Chao1 quadratic and the upper bound with it.
+  const double chao1 =
+      doubletons > 0 ? static_cast<double>(singletons) * singletons /
+                           (2.0 * static_cast<double>(doubletons))
+                     : static_cast<double>(singletons) * (singletons - 1) / 2.0;
+  const double universe_cap = std::max(
+      summary.estimated_mass - static_cast<double>(summary.observed_distinct), 0.0);
+  summary.unseen_values = std::min(chao1, universe_cap);
+
+  // Inflated degree sequence (upper-bound scale), descending, extended with
+  // the unseen pad at the detection-threshold degree.
+  summary.inflated_degrees.reserve(summary.observed.size() +
+                                   static_cast<size_t>(summary.unseen_values));
+  for (const auto& [value, count] : summary.observed) {
+    (void)value;
+    summary.inflated_degrees.push_back(
+        std::max(static_cast<double>(count) / summary.p_lo,
+                 static_cast<double>(count)));
+  }
+  const double unseen_degree = options.unseen_degree_factor / summary.p_lo;
+  const int64_t unseen = static_cast<int64_t>(std::llround(summary.unseen_values));
+  for (int64_t i = 0; i < unseen; ++i) {
+    summary.inflated_degrees.push_back(unseen_degree);
+  }
+  std::sort(summary.inflated_degrees.begin(), summary.inflated_degrees.end(),
+            std::greater<double>());
+
+  // Equi-depth histogram over point-scale degrees, heaviest bucket first.
+  std::vector<double> point_degrees;
+  point_degrees.reserve(summary.observed.size());
+  for (const auto& [value, count] : summary.observed) {
+    (void)value;
+    point_degrees.push_back(static_cast<double>(count) / summary.p_mid);
+  }
+  std::sort(point_degrees.begin(), point_degrees.end(), std::greater<double>());
+  const int32_t buckets =
+      std::max(1, std::min<int32_t>(options.histogram_buckets,
+                                    static_cast<int32_t>(point_degrees.size())));
+  if (!point_degrees.empty()) {
+    summary.bucket_mean_degree.reserve(buckets);
+    const size_t n = point_degrees.size();
+    for (int32_t b = 0; b < buckets; ++b) {
+      const size_t begin = n * b / buckets;
+      const size_t end = n * (b + 1) / buckets;
+      if (begin >= end) continue;
+      double sum = 0.0;
+      for (size_t i = begin; i < end; ++i) sum += point_degrees[i];
+      summary.bucket_mean_degree.push_back(sum /
+                                           static_cast<double>(end - begin));
+    }
+  }
+  return summary;
+}
+
+JoinSizeBounds EstimateJoinSizeBounds(const RelationDegreeSummary& side1,
+                                      const RelationDegreeSummary& side2,
+                                      const SketchOptions& options) {
+  JoinSizeBounds bounds;
+
+  // Certified lower bound: observed co-occurrence mass. Both observed
+  // vectors are sorted by value id, so one linear merge suffices.
+  size_t i = 0;
+  size_t j = 0;
+  double observed_overlap = 0.0;
+  while (i < side1.observed.size() && j < side2.observed.size()) {
+    if (side1.observed[i].first < side2.observed[j].first) {
+      ++i;
+    } else if (side2.observed[j].first < side1.observed[i].first) {
+      ++j;
+    } else {
+      bounds.lower += static_cast<double>(side1.observed[i].second) *
+                      static_cast<double>(side2.observed[j].second);
+      observed_overlap += 1.0;
+      ++i;
+      ++j;
+    }
+  }
+
+  // Rearrangement upper bound: pair the two inflated sequences sorted
+  // descending — by the rearrangement inequality no overlap assignment can
+  // produce more join mass from these degrees.
+  const size_t pairs =
+      std::min(side1.inflated_degrees.size(), side2.inflated_degrees.size());
+  for (size_t k = 0; k < pairs; ++k) {
+    bounds.upper += side1.inflated_degrees[k] * side2.inflated_degrees[k];
+  }
+  bounds.upper *= options.upper_slack;
+  bounds.upper = std::max(bounds.upper, bounds.lower);
+
+  // Overlap distinct count: KMV intersection of the observed sets, scaled
+  // up by each side's unseen fraction (a value unseen on one side can still
+  // overlap).
+  const double kmv_overlap =
+      KmvSketch::EstimateIntersection(side1.kmv, side2.kmv);
+  // The KMV estimate has sampling noise; we know the true observed
+  // intersection exactly (the merge above), so use the sketch only when the
+  // sets overflow it.
+  const bool saturated =
+      side1.kmv.inserted() > options.kmv_size ||
+      side2.kmv.inserted() > options.kmv_size;
+  const double base_overlap = saturated ? kmv_overlap : observed_overlap;
+  const double seen_frac1 =
+      static_cast<double>(side1.observed_distinct) /
+      std::max(static_cast<double>(side1.observed_distinct) + side1.unseen_values,
+               1.0);
+  const double seen_frac2 =
+      static_cast<double>(side2.observed_distinct) /
+      std::max(static_cast<double>(side2.observed_distinct) + side2.unseen_values,
+               1.0);
+  bounds.overlap_distinct =
+      base_overlap / std::max(seen_frac1 * seen_frac2, 1e-9);
+
+  // Histogram selectivity point estimate: rank-paired bucket mean-degree
+  // products — between the independence product (shuffled pairing) and the
+  // rearrangement bound (per-value pairing).
+  const size_t nb = std::min(side1.bucket_mean_degree.size(),
+                             side2.bucket_mean_degree.size());
+  if (nb > 0) {
+    double per_value = 0.0;
+    for (size_t b = 0; b < nb; ++b) {
+      per_value += side1.bucket_mean_degree[b] * side2.bucket_mean_degree[b];
+    }
+    per_value /= static_cast<double>(nb);
+    bounds.estimate = bounds.overlap_distinct * per_value;
+  }
+  bounds.estimate = std::clamp(bounds.estimate, bounds.lower, bounds.upper);
+  return bounds;
+}
+
+double ImpliedJoinSize(const JoinModelParams& params) {
+  const FrequencyMoments& g1 = params.relation1.good_freq;
+  const FrequencyMoments& b1 = params.relation1.bad_freq;
+  const FrequencyMoments& g2 = params.relation2.good_freq;
+  const FrequencyMoments& b2 = params.relation2.bad_freq;
+  // Under kIdentical the shared good frequencies are correlated
+  // (E[f1 f2] ≈ E[f^2], taken as the geometric mean of the two sides'
+  // second moments); every other class pairs independently.
+  const double gg_product =
+      params.coupling == FrequencyCoupling::kIdentical
+          ? std::sqrt(std::max(g1.second_moment, 0.0) *
+                      std::max(g2.second_moment, 0.0))
+          : g1.mean * g2.mean;
+  return static_cast<double>(params.num_agg) * gg_product +
+         static_cast<double>(params.num_agb) * g1.mean * b2.mean +
+         static_cast<double>(params.num_abg) * b1.mean * g2.mean +
+         static_cast<double>(params.num_abb) * b1.mean * b2.mean;
+}
+
+CalibrationResult CalibrateJoinEstimate(const JoinModelParams& params,
+                                        const RelationDegreeSummary& side1,
+                                        const RelationDegreeSummary& side2,
+                                        const CalibrationOptions& options) {
+  CalibrationResult result;
+  result.params = params;
+  result.bounds = EstimateJoinSizeBounds(side1, side2, options.sketch);
+  result.implied = ImpliedJoinSize(params);
+
+  double target = result.implied;
+  if (result.implied > result.bounds.upper) {
+    target = result.bounds.upper;
+    result.ratio = result.bounds.upper > 0.0
+                       ? result.implied / result.bounds.upper
+                       : std::numeric_limits<double>::infinity();
+  } else if (result.implied < result.bounds.lower) {
+    target = result.bounds.lower;
+    result.ratio = result.implied > 0.0
+                       ? result.bounds.lower / result.implied
+                       : std::numeric_limits<double>::infinity();
+  }
+  result.out_of_bounds = result.ratio > options.max_ratio;
+
+  if (options.clamp && target != result.implied && result.implied > 0.0) {
+    const double scale = target / result.implied;
+    auto rescale = [scale](int64_t count) {
+      return static_cast<int64_t>(std::llround(static_cast<double>(count) * scale));
+    };
+    result.params.num_agg = rescale(params.num_agg);
+    result.params.num_agb = rescale(params.num_agb);
+    result.params.num_abg = rescale(params.num_abg);
+    result.params.num_abb = rescale(params.num_abb);
+    result.clamped = true;
+  }
+  return result;
+}
+
+}  // namespace iejoin

@@ -1,0 +1,160 @@
+#ifndef IEJOIN_ESTIMATION_SKETCH_BOUNDS_H_
+#define IEJOIN_ESTIMATION_SKETCH_BOUNDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimation/relation_estimator.h"
+#include "model/model_params.h"
+#include "textdb/vocabulary.h"
+
+namespace iejoin {
+
+/// Sketch-based join-size bounds, following the degree-sequence idea of
+/// "Instance Optimal Join Size Estimation" (PAPERS.md): instead of trusting
+/// a parametric frequency model, summarize each side's *observed* per-value
+/// extraction counts (its degree sequence) plus a distinct-value sketch,
+/// and derive join-size bounds that stay calibrated where the Section VI
+/// mixture MLE breaks (skewed or cross-side-correlated overlap shapes).
+///
+/// The bounds are estimated, not certified: the lower bound is certified
+/// (observed co-occurrence mass only grows as the sample grows), while the
+/// upper bound inflates observed degrees by the inverse observation
+/// probability, pads with a Chao1 unseen-value estimate, and pairs the two
+/// sorted sequences by the rearrangement inequality — the maximal pairing
+/// over any overlap assignment.
+struct SketchOptions {
+  /// k for the k-minimum-values distinct sketch.
+  int32_t kmv_size = 256;
+  /// Equi-depth buckets of the degree histogram behind the selectivity
+  /// point estimate.
+  int32_t histogram_buckets = 8;
+  /// An unseen value's degree is assumed at most this many times the
+  /// detection scale 1/p (a value with degree >> 1/p would almost surely
+  /// have been observed).
+  double unseen_degree_factor = 2.0;
+  /// Multiplicative pad on the upper bound absorbing the estimation error
+  /// of the degree inflation itself.
+  double upper_slack = 1.10;
+};
+
+/// Bounded-memory distinct-value sketch: keeps the k smallest 64-bit hash
+/// values of the inserted set. Deterministic (fixed mix hash, no RNG).
+class KmvSketch {
+ public:
+  explicit KmvSketch(int32_t k = 256);
+
+  void Add(TokenId value);
+
+  /// Estimated distinct count: exact while unsaturated, (k-1)/kth_min once
+  /// the sketch is full.
+  double EstimateDistinct() const;
+
+  /// Estimated |A ∩ B| via the Jaccard estimate over the merged sketch.
+  static double EstimateIntersection(const KmvSketch& a, const KmvSketch& b);
+
+  int64_t inserted() const { return inserted_; }
+
+ private:
+  /// Sorted ascending; size <= k_.
+  std::vector<uint64_t> hashes_;
+  int32_t k_ = 256;
+  int64_t inserted_ = 0;
+};
+
+/// Per-side degree-sequence summary computed from one RelationObservation
+/// (the same sample the MLE consumes — no ground truth).
+struct RelationDegreeSummary {
+  /// Observed (value, extraction count) pairs, sorted by value id.
+  std::vector<std::pair<TokenId, int64_t>> observed;
+  /// Observed degrees inflated to database scale (s(a) / p_lo, >= s(a)),
+  /// sorted descending, then extended with `unseen_values` entries at the
+  /// detection-threshold degree. Feeds the rearrangement upper bound.
+  std::vector<double> inflated_degrees;
+  /// Equi-depth histogram over the *point-scale* degrees (s(a) / p_mid):
+  /// mean degree per bucket, heaviest bucket first.
+  std::vector<double> bucket_mean_degree;
+
+  int64_t observed_distinct = 0;
+  /// Chao1 unseen-value estimate from singleton/doubleton counts.
+  double unseen_values = 0.0;
+  /// Smallest / midpoint per-occurrence observation probabilities
+  /// (inclusion x knob rate) across the good/bad hypotheses.
+  double p_lo = 1.0;
+  double p_mid = 1.0;
+  /// Total observed extraction count and its point-scale inflation.
+  double observed_mass = 0.0;
+  double estimated_mass = 0.0;
+
+  KmvSketch kmv;
+};
+
+RelationDegreeSummary BuildDegreeSummary(const RelationObservation& observation,
+                                         const SketchOptions& options);
+
+/// Join-size bounds over the database mention-level join
+/// sum_a f1(a) * f2(a) (all shared values, good and bad occurrences alike).
+struct JoinSizeBounds {
+  /// Certified: observed co-occurrence mass sum s1(a) * s2(a) over values
+  /// seen on both sides. Monotone in the sample.
+  double lower = 0.0;
+  /// Rearrangement-inequality pairing of the two inflated degree
+  /// sequences (plus unseen pad and slack).
+  double upper = 0.0;
+  /// Histogram selectivity point estimate: estimated overlap distinct
+  /// count times rank-paired bucket mean-degree products.
+  double estimate = 0.0;
+  /// Sketch-estimated number of distinct values observed on both sides,
+  /// scaled up for unseen values.
+  double overlap_distinct = 0.0;
+
+  bool Contains(double join_size) const {
+    return join_size >= lower && join_size <= upper;
+  }
+};
+
+JoinSizeBounds EstimateJoinSizeBounds(const RelationDegreeSummary& side1,
+                                      const RelationDegreeSummary& side2,
+                                      const SketchOptions& options);
+
+/// The mention-level join size implied by a parameter estimate: overlap
+/// class sizes times mean-frequency products (second moments under the
+/// kIdentical coupling, which correlates shared good frequencies).
+double ImpliedJoinSize(const JoinModelParams& params);
+
+/// Cross-check knobs for CalibrateJoinEstimate.
+struct CalibrationOptions {
+  SketchOptions sketch;
+  /// Clamp the MLE estimate's overlap classes so its implied join size
+  /// falls inside the sketch bounds.
+  bool clamp = true;
+  /// Disagreement beyond this ratio (implied vs nearest bound) flags the
+  /// estimate as out-of-bounds (`estimator.out_of_bounds` metric; optional
+  /// re-estimation trigger in the adaptive executor).
+  double max_ratio = 2.0;
+};
+
+struct CalibrationResult {
+  /// The (possibly clamped) parameters.
+  JoinModelParams params;
+  JoinSizeBounds bounds;
+  /// Implied join size of the *input* params, before any clamping.
+  double implied = 0.0;
+  /// implied / upper when above, lower / implied when below, 1 inside.
+  double ratio = 1.0;
+  bool clamped = false;
+  /// ratio > options.max_ratio.
+  bool out_of_bounds = false;
+};
+
+/// Clamps an MLE parameter estimate against the sketch bounds: when the
+/// implied join size falls outside [lower, upper], the four overlap-class
+/// cardinalities are rescaled proportionally onto the violated bound.
+CalibrationResult CalibrateJoinEstimate(const JoinModelParams& params,
+                                        const RelationDegreeSummary& side1,
+                                        const RelationDegreeSummary& side2,
+                                        const CalibrationOptions& options);
+
+}  // namespace iejoin
+
+#endif  // IEJOIN_ESTIMATION_SKETCH_BOUNDS_H_

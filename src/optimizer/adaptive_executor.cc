@@ -22,11 +22,11 @@ AdaptiveJoinExecutor::AdaptiveJoinExecutor(JoinResources resources,
 
 Result<JoinModelParams> AdaptiveJoinExecutor::EstimateFromState(
     const JoinPlanSpec& plan, const TrajectoryPoint& point, const JoinState& state,
-    const AdaptiveOptions& options) const {
-  std::vector<TokenId> values[2];
+    const AdaptiveOptions& options, CalibratedJoinParams* calibration) const {
+  RelationObservation observations[2];
   RelationParamsEstimate estimates[2];
   for (int side = 0; side < 2; ++side) {
-    RelationObservation obs;
+    RelationObservation& obs = observations[side];
     const TextDatabase* db = side == 0 ? resources_.database1 : resources_.database2;
     obs.num_documents = db->size();
     obs.docs_processed = side == 0 ? point.docs_processed1 : point.docs_processed2;
@@ -84,31 +84,33 @@ Result<JoinModelParams> AdaptiveJoinExecutor::EstimateFromState(
       obs.values.push_back(value);
       obs.counts.push_back(count);
     }
-    values[side] = obs.values;
     IEJOIN_ASSIGN_OR_RETURN(estimates[side],
                             EstimateRelationParams(obs, options.estimator));
   }
 
-  IEJOIN_ASSIGN_OR_RETURN(
-      JoinModelParams params,
-      EstimateJoinParams(estimates[0], estimates[1], values[0], values[1],
-                         options.coupling));
+  // Sketch-bounds calibration cross-check: clamp the MLE's overlap classes
+  // onto non-parametric join-size bounds built from the same sample, and
+  // report disagreement to the caller.
+  JoinModelParams params;
+  if (options.calibrate_estimates) {
+    IEJOIN_ASSIGN_OR_RETURN(
+        CalibratedJoinParams calibrated,
+        EstimateJoinParamsCalibrated(estimates[0], estimates[1], observations[0],
+                                     observations[1], options.coupling,
+                                     options.calibration));
+    params = calibrated.params;
+    if (calibration != nullptr) *calibration = calibrated;
+  } else {
+    IEJOIN_ASSIGN_OR_RETURN(
+        params, EstimateJoinParams(estimates[0], estimates[1],
+                                   observations[0].values, observations[1].values,
+                                   options.coupling));
+    if (calibration != nullptr) *calibration = CalibratedJoinParams{};
+  }
 
   // Overlay the offline-characterized strategy/join-specific parameters.
-  auto overlay = [](RelationModelParams* dst, const RelationModelParams& offline) {
-    dst->classifier_tp = offline.classifier_tp;
-    dst->classifier_fp = offline.classifier_fp;
-    dst->classifier_empty = offline.classifier_empty;
-    dst->classifier_good_occ = offline.classifier_good_occ;
-    dst->classifier_bad_occ = offline.classifier_bad_occ;
-    dst->aqg_queries = offline.aqg_queries;
-    dst->mean_query_hits = offline.mean_query_hits;
-    dst->mean_direct_inclusion = offline.mean_direct_inclusion;
-    dst->hits_pgf = offline.hits_pgf;
-    dst->generates_pgf = offline.generates_pgf;
-  };
-  overlay(&params.relation1, offline_inputs_.base_params.relation1);
-  overlay(&params.relation2, offline_inputs_.base_params.relation2);
+  OverlayStrategyParams(&params.relation1, offline_inputs_.base_params.relation1);
+  OverlayStrategyParams(&params.relation2, offline_inputs_.base_params.relation2);
   return params;
 }
 
@@ -339,6 +341,11 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
     exec_options.tracer = options.tracer;
     exec_options.pool = options.pool;
     exec_options.extraction_cache = options.extraction_cache;
+    // Warm-resume support: every mid-phase checkpoint then carries the
+    // cache's LRU image (and a mid-phase resume restores it) through the
+    // wrapped ExecutorCheckpoint, exactly like single-plan runs.
+    exec_options.checkpoint_extraction_cache =
+        options.checkpoint_extraction_cache && options.extraction_cache != nullptr;
 
     // Each phase runs under its own fault-plan copy: the seed is salted by
     // the phase index (a restarted plan must not replay the previous
@@ -454,8 +461,9 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
         if (options.metrics != nullptr) {
           options.metrics->counter("adaptive.reestimates")->Increment();
         }
+        CalibratedJoinParams calibration;
         Result<JoinModelParams> estimated =
-            EstimateFromState(current_plan, point, state, options);
+            EstimateFromState(current_plan, point, state, options, &calibration);
         if (mle_span) {
           mle_span.AddAttribute("docs_processed", docs);
           mle_span.AddAttribute("ok", estimated.ok() ? 1 : 0);
@@ -464,11 +472,29 @@ Result<AdaptiveResult> AdaptiveJoinExecutor::Run(const AdaptiveOptions& options)
             mle_span.AddAttribute("bad_values1", estimated->relation1.num_bad_values);
             mle_span.AddAttribute("good_values2", estimated->relation2.num_good_values);
             mle_span.AddAttribute("bad_values2", estimated->relation2.num_bad_values);
+            if (options.calibrate_estimates) {
+              mle_span.AddAttribute("implied_join_size", calibration.implied);
+              mle_span.AddAttribute("bound_lower", calibration.bounds.lower);
+              mle_span.AddAttribute("bound_upper", calibration.bounds.upper);
+              if (calibration.clamped) mle_span.AddAttribute("clamped", 1);
+            }
           }
         }
         if (!estimated.ok()) return false;  // sample still too thin
         result.final_estimate = estimated.value();
         result.has_estimate = true;
+        if (options.calibrate_estimates && calibration.out_of_bounds) {
+          // The parametric fit and the sketch bounds disagree badly:
+          // surface it, and distrust the cadence — re-check on a fresher
+          // sample well before the next scheduled re-estimate.
+          if (options.metrics != nullptr) {
+            options.metrics->counter("estimator.out_of_bounds")->Increment();
+          }
+          if (options.reestimate_on_out_of_bounds) {
+            next_estimate_at =
+                docs + std::max<int64_t>(options.reestimate_every_docs / 4, 1);
+          }
+        }
       }
       if (!result.has_estimate) return false;
 

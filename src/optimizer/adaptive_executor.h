@@ -38,6 +38,19 @@ struct AdaptiveOptions {
   FrequencyCoupling coupling = FrequencyCoupling::kIndependent;
   RelationEstimatorOptions estimator;
 
+  /// --- Sketch-bounds calibration cross-check (estimation/sketch_bounds) ---
+  /// Every online re-estimate is checked against non-parametric join-size
+  /// bounds built from the same sample: the MLE's overlap classes are
+  /// clamped onto the bounds, and disagreement beyond
+  /// `calibration.max_ratio` increments the `estimator.out_of_bounds`
+  /// metric. Disable to run the raw Section VI estimator.
+  bool calibrate_estimates = true;
+  CalibrationOptions calibration;
+  /// When a re-estimate lands out of bounds, distrust the cadence: pull the
+  /// next re-estimation forward to a quarter of reestimate_every_docs so
+  /// the estimator re-checks on a fresher sample.
+  bool reestimate_on_out_of_bounds = true;
+
   /// Optional fault plan (non-owning; must outlive the run). Each phase
   /// executes under a copy whose seed is salted by the phase index (a
   /// restarted plan should not replay the identical fault sequence) and
@@ -82,6 +95,12 @@ struct AdaptiveOptions {
   /// documents the abandoned phase already extracted at the same θ.
   ThreadPool* pool = nullptr;
   ExtractionCache* extraction_cache = nullptr;
+  /// Embed the extraction cache's LRU image in every mid-phase checkpoint
+  /// (requires `extraction_cache`), so a resumed `optimize --execute` run
+  /// restarts cache-warm exactly like single-plan runs. Phase-boundary
+  /// checkpoints carry no executor snapshot and hence no image — a resume
+  /// landing exactly on a switch restarts the cache cold.
+  bool checkpoint_extraction_cache = false;
 };
 
 /// One execution phase (a plan run until it stopped or was abandoned).
@@ -148,11 +167,14 @@ class AdaptiveJoinExecutor {
 
  private:
   /// Builds online parameter estimates from a running execution's state;
-  /// returns nullopt when the sample is still too thin.
+  /// returns an error when the sample is still too thin. When the options
+  /// enable calibration, `calibration` (optional) receives the sketch-bounds
+  /// cross-check diagnostics and the returned params are the clamped ones.
   Result<JoinModelParams> EstimateFromState(const JoinPlanSpec& plan,
                                             const TrajectoryPoint& point,
                                             const JoinState& state,
-                                            const AdaptiveOptions& options) const;
+                                            const AdaptiveOptions& options,
+                                            CalibratedJoinParams* calibration) const;
 
   /// Model estimate of what the *current* plan has produced so far, at its
   /// observed effort, under the given parameters (this is the estimate the

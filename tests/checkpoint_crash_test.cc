@@ -22,6 +22,7 @@
 #include "checkpoint/checkpoint_manager.h"
 #include "checkpoint/join_checkpoint.h"
 #include "checkpoint/kill_point.h"
+#include "extraction/extraction_cache.h"
 #include "harness/workbench.h"
 #include "join/executor_checkpoint.h"
 #include "join/join_executor.h"
@@ -501,6 +502,74 @@ TEST_F(CheckpointCrashTest, AdaptiveResumeIsBitIdentical) {
           << " diverged after resume from " << k;
     }
   }
+}
+
+// Adaptive executor with AdaptiveOptions::checkpoint_extraction_cache: every
+// mid-phase checkpoint embeds the extraction cache's LRU image, and resuming
+// from one into a FRESH cache restores it — the continuation (whose cache
+// hit/miss counters land in the side counters, and whose hits change
+// simulated time) must be bit-identical to the uninterrupted cached run,
+// including every re-written snapshot image. Phase-boundary checkpoints
+// carry no executor snapshot and hence no image (documented cold restart),
+// so only mid-phase checkpoints are resumed here.
+TEST_F(CheckpointCrashTest, AdaptiveWarmCacheResumeIsBitIdentical) {
+  auto inputs = bench().OracleOptimizerInputs(/*include_zgjn_pgfs=*/false);
+  ASSERT_TRUE(inputs.ok()) << inputs.status().ToString();
+  PlanEnumerationOptions enum_options;
+  enum_options.include_zgjn = false;
+
+  AdaptiveOptions options;
+  options.requirement.min_good_tuples = 25;
+  options.requirement.max_bad_tuples = 100000;
+  options.initial_plan = PlanFor(JoinAlgorithmKind::kIndependent);
+  options.reestimate_every_docs = 300;
+  options.min_docs_for_estimate = 600;
+  options.estimator.mixture.max_frequency = 100;
+  options.max_switches = 2;
+  options.checkpoint_every_docs = 64;
+  options.checkpoint_extraction_cache = true;
+
+  AdaptiveRecordingSink baseline_sink;
+  options.checkpoint_sink = &baseline_sink;
+  ExtractionCache baseline_cache(8 << 20);
+  options.extraction_cache = &baseline_cache;
+  AdaptiveJoinExecutor baseline_executor(bench().resources(), *inputs,
+                                         enum_options);
+  auto baseline = baseline_executor.Run(options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::string expected = AdaptiveFingerprint(*baseline);
+
+  size_t mid_phase = 0;
+  size_t with_image = 0;
+  for (size_t k = 0; k < baseline_sink.checkpoints.size(); ++k) {
+    const AdaptiveCheckpoint& checkpoint = baseline_sink.checkpoints[k];
+    if (!checkpoint.has_executor) continue;
+    ++mid_phase;
+    EXPECT_TRUE(checkpoint.executor.has_extraction_cache)
+        << "mid-phase checkpoint " << k << " lost the cache image";
+    with_image += checkpoint.executor.extraction_cache_entries.empty() ? 0 : 1;
+
+    AdaptiveRecordingSink resumed_sink;
+    ExtractionCache fresh_cache(8 << 20);
+    AdaptiveOptions resume_options = options;
+    resume_options.checkpoint_sink = &resumed_sink;
+    resume_options.extraction_cache = &fresh_cache;
+    resume_options.resume_from = &checkpoint;
+    AdaptiveJoinExecutor executor(bench().resources(), *inputs, enum_options);
+    auto resumed = executor.Run(resume_options);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    EXPECT_EQ(AdaptiveFingerprint(*resumed), expected)
+        << "warm-cache adaptive resume from checkpoint " << k;
+    ASSERT_EQ(resumed_sink.images.size(),
+              baseline_sink.images.size() - (k + 1));
+    for (size_t j = 0; j < resumed_sink.images.size(); ++j) {
+      EXPECT_EQ(resumed_sink.images[j], baseline_sink.images[k + 1 + j])
+          << "adaptive checkpoint " << k + 1 + j
+          << " diverged after warm resume from " << k;
+    }
+  }
+  ASSERT_GE(mid_phase, 2u);
+  EXPECT_GE(with_image, 1u) << "no checkpoint ever carried cache entries";
 }
 
 // Kill points are inert when unarmed and count hits when armed.

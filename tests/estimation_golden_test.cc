@@ -1,0 +1,268 @@
+// Tests for the sketch-based join-size bounds (estimation/sketch_bounds)
+// and the golden estimation harness (bench/estimation_golden.h), including
+// the committed-golden drift gate: every tests/golden/estimation/<shape>.md
+// must match a freshly built report within the per-cell tolerances.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "bench/estimation_golden.h"
+#include "estimation/sketch_bounds.h"
+
+namespace iejoin {
+namespace {
+
+#ifndef IEJOIN_GOLDEN_DIR
+#define IEJOIN_GOLDEN_DIR "tests/golden/estimation"
+#endif
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A fully observed sample (inclusion = tp = fp = 1): every database
+/// occurrence was extracted, so the sketch sees the exact degree sequences.
+RelationObservation FullObservation(std::vector<TokenId> values,
+                                    std::vector<int64_t> counts) {
+  RelationObservation obs;
+  obs.num_documents = 100;
+  obs.docs_processed = 100;
+  obs.docs_with_extraction = 50;
+  obs.values = std::move(values);
+  obs.counts = std::move(counts);
+  obs.good_inclusion = 1.0;
+  obs.bad_inclusion = 1.0;
+  obs.tp = 1.0;
+  obs.fp = 1.0;
+  return obs;
+}
+
+TEST(KmvSketchTest, ExactWhileUnsaturated) {
+  KmvSketch sketch(64);
+  for (TokenId v = 1; v <= 40; ++v) sketch.Add(v);
+  for (TokenId v = 1; v <= 40; ++v) sketch.Add(v);  // duplicates ignored
+  EXPECT_DOUBLE_EQ(sketch.EstimateDistinct(), 40.0);
+}
+
+TEST(KmvSketchTest, SaturatedEstimateWithinTolerance) {
+  KmvSketch sketch(256);
+  const int64_t distinct = 20000;
+  for (TokenId v = 1; v <= distinct; ++v) sketch.Add(v);
+  const double estimate = sketch.EstimateDistinct();
+  EXPECT_GT(estimate, distinct * 0.75);
+  EXPECT_LT(estimate, distinct * 1.25);
+}
+
+TEST(KmvSketchTest, IntersectionTracksOverlap) {
+  KmvSketch a(256);
+  KmvSketch b(256);
+  // |A| = |B| = 4000, |A ∩ B| = 2000.
+  for (TokenId v = 1; v <= 4000; ++v) a.Add(v);
+  for (TokenId v = 2001; v <= 6000; ++v) b.Add(v);
+  const double inter = KmvSketch::EstimateIntersection(a, b);
+  EXPECT_GT(inter, 2000 * 0.6);
+  EXPECT_LT(inter, 2000 * 1.4);
+}
+
+TEST(DegreeSummaryTest, FullObservationIsNotInflated) {
+  const RelationDegreeSummary summary = BuildDegreeSummary(
+      FullObservation({1, 2, 3}, {4, 3, 3}), SketchOptions());
+  EXPECT_EQ(summary.observed_distinct, 3);
+  EXPECT_DOUBLE_EQ(summary.p_lo, 1.0);
+  // No singletons -> Chao1 sees no unseen values.
+  EXPECT_DOUBLE_EQ(summary.unseen_values, 0.0);
+  ASSERT_EQ(summary.inflated_degrees.size(), 3u);
+  EXPECT_DOUBLE_EQ(summary.inflated_degrees[0], 4.0);  // descending, s/p = s
+}
+
+TEST(DegreeSummaryTest, UnseenEstimateCappedByOccurrenceMass) {
+  // Every observed value is a singleton: raw Chao1 would be quadratic in
+  // the number of singletons (here 45·44/2 = 990 with no doubletons), but
+  // the estimated total occurrence mass only leaves room for
+  // observed_mass / p_mid - distinct values.
+  std::vector<TokenId> values;
+  std::vector<int64_t> counts;
+  for (TokenId v = 1; v <= 45; ++v) {
+    values.push_back(v);
+    counts.push_back(1);
+  }
+  RelationObservation obs = FullObservation(values, counts);
+  obs.good_inclusion = obs.bad_inclusion = 0.5;
+  obs.tp = obs.fp = 0.5;  // p_mid = 0.25 -> estimated mass 180
+  const RelationDegreeSummary summary = BuildDegreeSummary(obs, SketchOptions());
+  EXPECT_LE(summary.unseen_values, 180.0 - 45.0 + 1e-9);
+  EXPECT_GT(summary.unseen_values, 0.0);
+}
+
+TEST(SketchBoundsTest, FullObservationLowerBoundIsExact) {
+  // Shared values {2, 3}: exact join size 3*5 + 3*3 = 24.
+  const RelationDegreeSummary s1 = BuildDegreeSummary(
+      FullObservation({1, 2, 3}, {4, 3, 3}), SketchOptions());
+  const RelationDegreeSummary s2 = BuildDegreeSummary(
+      FullObservation({2, 3, 5}, {5, 3, 4}), SketchOptions());
+  const JoinSizeBounds bounds = EstimateJoinSizeBounds(s1, s2, SketchOptions());
+  EXPECT_DOUBLE_EQ(bounds.lower, 24.0);
+  EXPECT_TRUE(bounds.Contains(24.0));
+  // Rearrangement pairing of [4,3,3] and [5,4,3] caps any overlap
+  // assignment: 4*5 + 3*4 + 3*3 = 41, plus the 10% slack.
+  EXPECT_LE(bounds.upper, 41.0 * 1.10 + 1e-9);
+  EXPECT_GE(bounds.estimate, bounds.lower);
+  EXPECT_LE(bounds.estimate, bounds.upper);
+}
+
+TEST(SketchBoundsTest, DisjointSidesHaveZeroLowerBound) {
+  const RelationDegreeSummary s1 =
+      BuildDegreeSummary(FullObservation({1, 2}, {3, 3}), SketchOptions());
+  const RelationDegreeSummary s2 =
+      BuildDegreeSummary(FullObservation({8, 9}, {3, 3}), SketchOptions());
+  const JoinSizeBounds bounds = EstimateJoinSizeBounds(s1, s2, SketchOptions());
+  EXPECT_DOUBLE_EQ(bounds.lower, 0.0);
+}
+
+TEST(CalibrationTest, OverestimateClampedOntoUpperBound) {
+  const RelationDegreeSummary s1 = BuildDegreeSummary(
+      FullObservation({1, 2, 3}, {4, 3, 3}), SketchOptions());
+  const RelationDegreeSummary s2 = BuildDegreeSummary(
+      FullObservation({2, 3, 5}, {5, 3, 4}), SketchOptions());
+
+  JoinModelParams params;
+  params.coupling = FrequencyCoupling::kIndependent;
+  params.num_agg = 1000;
+  params.relation1.good_freq.mean = 10.0;
+  params.relation2.good_freq.mean = 10.0;
+  // Implied size 1000 * 10 * 10 = 100000 >> upper (~45).
+  const CalibrationResult result =
+      CalibrateJoinEstimate(params, s1, s2, CalibrationOptions());
+  EXPECT_TRUE(result.clamped);
+  EXPECT_TRUE(result.out_of_bounds);
+  EXPECT_GT(result.ratio, 2.0);
+  EXPECT_DOUBLE_EQ(result.implied, 100000.0);
+  EXPECT_LE(ImpliedJoinSize(result.params), result.bounds.upper * 1.01);
+  EXPECT_LT(result.params.num_agg, params.num_agg);
+}
+
+TEST(CalibrationTest, InBoundsEstimateIsUntouched) {
+  const RelationDegreeSummary s1 = BuildDegreeSummary(
+      FullObservation({1, 2, 3}, {4, 3, 3}), SketchOptions());
+  const RelationDegreeSummary s2 = BuildDegreeSummary(
+      FullObservation({2, 3, 5}, {5, 3, 4}), SketchOptions());
+  JoinModelParams params;
+  params.num_agg = 3;
+  params.relation1.good_freq.mean = 3.0;
+  params.relation2.good_freq.mean = 3.0;  // implied 27, inside [24, ~45]
+  const CalibrationResult result =
+      CalibrateJoinEstimate(params, s1, s2, CalibrationOptions());
+  EXPECT_FALSE(result.clamped);
+  EXPECT_FALSE(result.out_of_bounds);
+  EXPECT_DOUBLE_EQ(result.ratio, 1.0);
+  EXPECT_EQ(result.params.num_agg, 3);
+}
+
+TEST(GoldenFormatTest, RenderParseRoundTrip) {
+  golden::ShapeReport report;
+  report.shape = "unit";
+  report.overlap_class = "one-to-one";
+  report.skew = "flat";
+  report.actual_join_size = 42;
+  report.mle_implied_size = 40.5;
+  report.mle_error_ratio = 1.04;
+  report.sketch_lower = 30.0;
+  report.sketch_upper = 60.0;
+  report.sketch_estimate = 45.0;
+  report.bounds_contain_actual = true;
+  report.mle_within_bounds = true;
+  golden::GoldenCell cell;
+  cell.algorithm = "idjn";
+  cell.estimator = "mle";
+  cell.actual_good = 7;
+  cell.actual_bad = 2;
+  cell.est_good = 6.5;
+  cell.est_bad = 2.5;
+  report.cells.push_back(cell);
+
+  const std::string text = golden::RenderGolden(report);
+  const golden::ParsedGolden parsed = golden::ParseGolden(text);
+  ASSERT_NE(parsed.Find("actual_join_size"), nullptr);
+  EXPECT_EQ(*parsed.Find("actual_join_size"), "42");
+  ASSERT_NE(parsed.Find("idjn/mle/est_good"), nullptr);
+  EXPECT_EQ(*parsed.Find("idjn/mle/est_good"), "6.50");
+  ASSERT_NE(parsed.Find("overlap_class"), nullptr);
+  EXPECT_EQ(*parsed.Find("overlap_class"), "one-to-one");
+
+  // Identity comparison holds; small drift within tolerance holds; drift
+  // beyond the band and exact-field changes fail.
+  EXPECT_TRUE(golden::CompareGolden(text, text).empty());
+  golden::ShapeReport drifted = report;
+  drifted.mle_implied_size = 43.0;  // ~6% off, inside the 10% band
+  EXPECT_TRUE(golden::CompareGolden(text, golden::RenderGolden(drifted)).empty());
+  drifted.mle_implied_size = 80.0;  // way outside
+  EXPECT_FALSE(golden::CompareGolden(text, golden::RenderGolden(drifted)).empty());
+  drifted = report;
+  drifted.actual_join_size = 43;  // exact field -> any change fails
+  EXPECT_FALSE(golden::CompareGolden(text, golden::RenderGolden(drifted)).empty());
+  drifted = report;
+  drifted.bounds_contain_actual = false;
+  EXPECT_FALSE(golden::CompareGolden(text, golden::RenderGolden(drifted)).empty());
+}
+
+TEST(GoldenFormatTest, MissingAndExtraFieldsFail) {
+  golden::ShapeReport report;
+  report.shape = "unit";
+  report.overlap_class = "one-to-one";
+  report.skew = "flat";
+  const std::string text = golden::RenderGolden(report);
+  golden::ShapeReport with_cell = report;
+  golden::GoldenCell cell;
+  cell.algorithm = "idjn";
+  cell.estimator = "mle";
+  with_cell.cells.push_back(cell);
+  // Fresh report grew a cell the golden lacks -> must demand a re-bless.
+  EXPECT_FALSE(golden::CompareGolden(text, golden::RenderGolden(with_cell)).empty());
+  // Golden has a cell the fresh report lost -> fails too.
+  EXPECT_FALSE(golden::CompareGolden(golden::RenderGolden(with_cell), text).empty());
+}
+
+/// The drift gate proper: every committed golden must match a freshly
+/// built report. Builds each shape's workbench once; ~1s/shape in release.
+TEST(GoldenDriftTest, CommittedGoldensMatchFreshReports) {
+  const std::vector<bench::EstimationShape> shapes = bench::EstimationShapes();
+  ASSERT_GE(shapes.size(), 4u);
+  std::set<std::string> overlap_classes;
+  for (const bench::EstimationShape& shape : shapes) {
+    overlap_classes.insert(shape.overlap_class);
+    SCOPED_TRACE(shape.name);
+    const std::string path =
+        std::string(IEJOIN_GOLDEN_DIR) + "/" + shape.name + ".md";
+    const std::string committed = ReadFileOrEmpty(path);
+    ASSERT_FALSE(committed.empty()) << "missing golden " << path;
+    auto report = golden::BuildShapeReport(shape);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    const std::vector<std::string> failures =
+        golden::CompareGolden(committed, golden::RenderGolden(*report));
+    for (const std::string& failure : failures) ADD_FAILURE() << failure;
+
+    // Headline properties the goldens exist to document: the sketch bounds
+    // contain the true join size on every shape, and the many-to-many
+    // shape breaks the independence-coupling MLE by over an order of
+    // magnitude while the bounds stay calibrated.
+    EXPECT_TRUE(report->bounds_contain_actual);
+    EXPECT_EQ(report->cells.size(), 6u) << "3 algorithms x 2 estimators";
+    if (shape.overlap_class == "many-to-many") {
+      EXPECT_GT(report->mle_error_ratio, 10.0);
+      EXPECT_FALSE(report->mle_within_bounds);
+    }
+  }
+  EXPECT_EQ(overlap_classes.size(), 4u);
+}
+
+}  // namespace
+}  // namespace iejoin

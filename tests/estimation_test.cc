@@ -341,5 +341,100 @@ TEST(JoinEstimatorTest, RejectsMisalignedPosteriors) {
                    .ok());
 }
 
+// --------------------------------------------------------------------------
+// Edge cases: degenerate corpora, knob extremes, fault-thinned samples
+// --------------------------------------------------------------------------
+
+TEST(JoinEstimatorEdgeTest, EmptyOverlapCalibratesToZeroLowerBound) {
+  // Two healthy sides whose observed value sets are disjoint: the MLE's
+  // overlap classes and the sketch's certified lower bound must both be
+  // zero, and calibration must not flag or clamp anything upward.
+  const RelationObservation obs1 = MakeObservation(21, 0.5);
+  RelationObservation obs2 = MakeObservation(22, 0.5);
+  TokenId shift = 100000;
+  for (TokenId& value : obs2.values) value += shift;
+  RelationEstimatorOptions options;
+  options.mixture.max_frequency = 120;
+  auto est1 = EstimateRelationParams(obs1, options);
+  auto est2 = EstimateRelationParams(obs2, options);
+  ASSERT_TRUE(est1.ok() && est2.ok());
+  auto calibrated = EstimateJoinParamsCalibrated(
+      *est1, *est2, obs1, obs2, FrequencyCoupling::kIndependent,
+      CalibrationOptions());
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status().ToString();
+  EXPECT_EQ(calibrated->params.num_agg, 0);
+  EXPECT_EQ(calibrated->params.num_abb, 0);
+  EXPECT_DOUBLE_EQ(calibrated->bounds.lower, 0.0);
+  EXPECT_DOUBLE_EQ(calibrated->implied, 0.0);
+  EXPECT_FALSE(calibrated->out_of_bounds);
+}
+
+TEST(RelationEstimatorEdgeTest, SingleDocumentCorpus) {
+  // A one-document database, fully processed: everything observable was
+  // observed. The estimator must stay finite and keep its document counts
+  // within the database size.
+  RelationObservation obs;
+  obs.num_documents = 1;
+  obs.docs_processed = 1;
+  obs.docs_with_extraction = 1;
+  obs.values = {1, 2, 3};
+  obs.counts = {3, 1, 1};
+  obs.good_inclusion = 1.0;
+  obs.bad_inclusion = 1.0;
+  obs.tp = 0.8;
+  obs.fp = 0.3;
+  auto est = EstimateRelationParams(obs, RelationEstimatorOptions());
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_GE(est->params.num_good_values + est->params.num_bad_values, 3);
+  EXPECT_LE(est->params.num_good_docs, 1);
+  EXPECT_LE(est->params.num_good_docs + est->params.num_bad_docs, 1);
+  EXPECT_TRUE(std::isfinite(est->params.good_freq.mean));
+  EXPECT_TRUE(std::isfinite(est->params.bad_freq.mean));
+}
+
+TEST(RelationEstimatorEdgeTest, ThetaExtremesStayFinite) {
+  // θ -> 1: the knob extracts almost nothing (tp, fp ~ 0); the per-
+  // occurrence observation probability hits the estimator's 1e-6 clamp.
+  // θ -> 0: everything is emitted (tp = fp = 1). Both ends must produce
+  // finite, in-range estimates rather than dividing by zero.
+  for (const double rate : {1e-9, 1.0}) {
+    RelationObservation obs = MakeObservation(33, 0.5);
+    obs.tp = rate;
+    obs.fp = rate;
+    auto est = EstimateRelationParams(obs, RelationEstimatorOptions());
+    ASSERT_TRUE(est.ok()) << "rate=" << rate << ": " << est.status().ToString();
+    EXPECT_TRUE(std::isfinite(
+        static_cast<double>(est->params.num_good_values)));
+    EXPECT_GE(est->params.num_good_values, 0);
+    EXPECT_GE(est->params.num_bad_values, 0);
+    EXPECT_LE(est->params.num_good_docs + est->params.num_bad_docs,
+              est->params.num_documents);
+    EXPECT_TRUE(std::isfinite(est->params.good_freq.second_moment));
+  }
+}
+
+TEST(RelationEstimatorEdgeTest, EffectiveCountsAfterFaultDrops) {
+  // PR-2 regression: when faults drop documents, estimation must consume
+  // effective (post-drop) counts — inclusion derives from the documents
+  // that actually contributed extractions, not from the attempt volume.
+  // With identical observed counts, claiming the *attempted* (higher)
+  // inclusion says "we probed more and still saw this little", deflating
+  // the population estimate; the effective inclusion must not estimate
+  // fewer values than the attempted one.
+  const RelationObservation base = MakeObservation(44, 0.3);
+  RelationObservation attempted = base;  // pretends all 60% were processed
+  attempted.docs_processed = static_cast<int64_t>(0.6 * 5000);
+  attempted.good_inclusion = attempted.bad_inclusion = 0.6;
+  RelationEstimatorOptions options;
+  options.mixture.max_frequency = 120;
+  auto effective_est = EstimateRelationParams(base, options);
+  auto attempted_est = EstimateRelationParams(attempted, options);
+  ASSERT_TRUE(effective_est.ok() && attempted_est.ok());
+  EXPECT_GE(effective_est->params.num_good_values +
+                effective_est->params.num_bad_values,
+            attempted_est->params.num_good_values +
+                attempted_est->params.num_bad_values);
+}
+
 }  // namespace
 }  // namespace iejoin

@@ -5,6 +5,7 @@
 # second client served while the first sits idle, an over-long line dropping
 # only its own connection, and earlier clients staying correctly mapped to
 # their pollfd entries after a disconnect compacts the client list.
+import json
 import socket
 import sys
 import time
@@ -61,5 +62,40 @@ assert '"id":"c1b"' in r and '"service.requests"' in r, r
 c1.sendall(b'{"id":"c1c","algorithm":"oijn","tau_good":5,"tau_bad":100000}\n')
 r = recv_line(c1)
 assert '"id":"c1c"' in r and '"status":"ok"' in r, r
+
+
+# Stats after a burst: the service counters must advance by exactly the
+# per-request sums the client observed. service.requests counts every
+# served line (the closing stats read included), while service.ok /
+# service.degraded and the completed gauge only count executed joins.
+def counter(snapshot, name):
+    return snapshot["metrics"]["counters"].get(name, 0)
+
+
+c1.sendall(b'{"id":"s1","stats":true}\n')
+s1 = json.loads(recv_line(c1))
+BURST = 4
+ok_seen = 0
+degraded_seen = 0
+for i in range(BURST):
+    req = {"id": "b%d" % i, "tau_good": 5, "tau_bad": 100000, "seed": i + 2}
+    c1.sendall((json.dumps(req) + "\n").encode())
+    resp = json.loads(recv_line(c1))
+    assert resp["id"] == req["id"], resp
+    if resp["status"] == "ok":
+        ok_seen += 1
+    elif resp["status"] == "degraded":
+        degraded_seen += 1
+    else:
+        raise AssertionError(resp)
+c1.sendall(b'{"id":"s2","stats":true}\n')
+s2 = json.loads(recv_line(c1))
+requests_delta = counter(s2, "service.requests") - counter(s1, "service.requests")
+assert requests_delta == BURST + 1, (requests_delta, s1, s2)  # s2 counts itself
+ok_delta = counter(s2, "service.ok") - counter(s1, "service.ok")
+assert ok_delta == ok_seen, (ok_delta, ok_seen, s1, s2)
+degraded_delta = counter(s2, "service.degraded") - counter(s1, "service.degraded")
+assert degraded_delta == degraded_seen, (degraded_delta, degraded_seen, s1, s2)
+assert s2["completed"] - s1["completed"] == BURST, (s1, s2)
 c1.close()
 print("socket smoke ok")

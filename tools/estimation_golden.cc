@@ -1,0 +1,121 @@
+// Golden estimation harness driver (bench/estimation_golden.h): sweeps the
+// EstimationShapes corpora, compares estimated-vs-actual join cardinalities
+// against the committed goldens in tests/golden/estimation, and regenerates
+// them under --bless.
+//
+// Usage:
+//   estimation_golden --dir <golden-dir> [--bless] [--shape <name>] [--list]
+//
+// Default mode checks every shape against <golden-dir>/<shape>.md and
+// prints bench_regress-style FAIL lines to stderr on drift. Exit codes:
+// 0 = goldens hold (or blessed), 1 = drift / missing golden, 2 = usage or
+// harness error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/estimation_golden.h"
+
+using namespace iejoin;  // NOLINT — tool binary
+
+namespace {
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string only_shape;
+  bool bless = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (arg == "--shape" && i + 1 < argc) {
+      only_shape = argv[++i];
+    } else if (arg == "--bless") {
+      bless = true;
+    } else if (arg == "--list") {
+      for (const bench::EstimationShape& shape : bench::EstimationShapes()) {
+        std::printf("%s (%s)\n", shape.name.c_str(), shape.overlap_class.c_str());
+      }
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: estimation_golden --dir <golden-dir> [--bless] "
+                   "[--shape <name>] [--list]\n");
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "estimation_golden: --dir is required\n");
+    return 2;
+  }
+
+  bool drift = false;
+  int shapes_run = 0;
+  for (const bench::EstimationShape& shape : bench::EstimationShapes()) {
+    if (!only_shape.empty() && shape.name != only_shape) continue;
+    ++shapes_run;
+    auto report = golden::BuildShapeReport(shape);
+    if (!report.ok()) {
+      std::fprintf(stderr, "estimation_golden: shape %s failed: %s\n",
+                   shape.name.c_str(), report.status().ToString().c_str());
+      return 2;
+    }
+    const std::string fresh = golden::RenderGolden(*report);
+    const std::string path = dir + "/" + shape.name + ".md";
+    if (bless) {
+      if (!WriteStringToFile(path, fresh)) {
+        std::fprintf(stderr, "estimation_golden: cannot write %s\n", path.c_str());
+        return 2;
+      }
+      std::printf("blessed %s\n", path.c_str());
+      continue;
+    }
+    std::string committed;
+    if (!ReadFileToString(path, &committed)) {
+      std::fprintf(stderr, "FAIL %s: missing golden %s (run with --bless)\n",
+                   shape.name.c_str(), path.c_str());
+      drift = true;
+      continue;
+    }
+    const std::vector<std::string> failures =
+        golden::CompareGolden(committed, fresh);
+    for (const std::string& failure : failures) {
+      std::fprintf(stderr, "[%s] %s\n", shape.name.c_str(), failure.c_str());
+    }
+    if (failures.empty()) {
+      std::printf("OK %s (%zu fields)\n", shape.name.c_str(),
+                  golden::ParseGolden(committed).fields.size());
+    } else {
+      drift = true;
+    }
+  }
+  if (shapes_run == 0) {
+    std::fprintf(stderr, "estimation_golden: no shape matched '%s'\n",
+                 only_shape.c_str());
+    return 2;
+  }
+  return drift ? 1 : 0;
+}

@@ -606,8 +606,10 @@ int CmdResumeAdaptive(const Args& args, const ckpt::LoadedCheckpoint& loaded) {
     return 2;
   }
 
-  // The cache setting comes back from the manifest; adaptive snapshots do
-  // not carry the LRU image, so a resumed adaptive run restarts cold.
+  // The cache setting comes back from the manifest; mid-phase snapshots
+  // carry the LRU image inside the wrapped executor checkpoint, so the
+  // resumed run restarts warm (a resume landing exactly on a phase boundary
+  // restarts the cache cold — boundary checkpoints have no executor image).
   const bool extraction_cache = manifest.count("extraction_cache") > 0;
   const int64_t cache_bytes =
       std::atoll(lookup("extraction_cache_mb", "0").c_str()) * (1 << 20);
@@ -641,6 +643,7 @@ int CmdResumeAdaptive(const Args& args, const ckpt::LoadedCheckpoint& loaded) {
   adaptive.tracer = trace;
   adaptive.pool = (*bench)->pool();
   adaptive.extraction_cache = (*bench)->extraction_cache();
+  adaptive.checkpoint_extraction_cache = extraction_cache;
 
   // Keep checkpointing into the same directory under the same cadence and
   // retention policy; --checkpoint-keep overrides the manifest's policy.
@@ -912,6 +915,10 @@ int CmdOptimize(const Args& args) {
         manifest["extraction_cache_mb"] =
             std::to_string(args.GetInt("extraction-cache-mb", 0));
       }
+      // Mid-phase snapshots carry the LRU image inside the wrapped executor
+      // checkpoint, so a resumed adaptive run restarts cache-warm exactly
+      // like single-plan runs.
+      adaptive.checkpoint_extraction_cache = true;
     }
     const int64_t every = args.GetInt("checkpoint-every-docs", 256);
     manifest["checkpoint_every_docs"] = std::to_string(every);
