@@ -3,12 +3,21 @@
 // worker counts, with the shared extraction cache cold and warm, plus a
 // deliberate overload pass (tiny queue, large burst) measuring the shed
 // rate and that delivered throughput holds up while the excess is refused.
+// With `--server PATH` it also spawns the real iejoin_server binary over a
+// saved copy of the same scenario and measures the process boundary:
+// single-process rows and supervised multi-process rows (frame relay +
+// routing + one workbench replica per worker) across worker counts, clock
+// started at the ready banner so build time stays out of the serving rate.
 // Writes BENCH_service.json (consumed by the CI service-smoke lane as an
 // artifact).
 //
 // `--smoke` shrinks the corpus, request counts, and worker sweep for CI;
 // `--out FILE` overrides the JSON path.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -21,6 +30,7 @@
 #include "harness/workbench.h"
 #include "obs/metrics.h"
 #include "service/join_service.h"
+#include "textdb/corpus_io.h"
 
 using namespace iejoin;  // NOLINT — benchmark binary
 
@@ -116,6 +126,110 @@ ServiceRow MeasurePass(const Workbench& bench, int workers, int max_queue,
   return row;
 }
 
+/// Spawns the real server binary over the saved scenario and measures
+/// requests/second through the process boundary. The clock starts once the
+/// ready banner appears on the child's stderr, so the workbench build (N
+/// replicas in supervised mode) stays out of the serving rate; it stops at
+/// stdout EOF, which the server only reaches after draining every admitted
+/// request.
+ServiceRow MeasureProcessPass(const std::string& server,
+                              const std::string& scenario_path, int workers,
+                              bool supervise,
+                              const std::vector<std::string>& requests) {
+  ServiceRow row;
+  row.mode = supervise ? "supervised" : "process";
+  row.workers = workers;
+  row.max_queue = static_cast<int>(requests.size());
+  row.offered = static_cast<int64_t>(requests.size());
+
+  int in_pipe[2], out_pipe[2], err_pipe[2];
+  if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0 || pipe(err_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return row;
+  }
+  const std::string workers_str = std::to_string(workers);
+  const std::string queue_str = std::to_string(requests.size());
+  std::vector<const char*> argv = {
+      server.c_str(),       "--scenario",  scenario_path.c_str(),
+      "--workers",          workers_str.c_str(),
+      "--max-queue",        queue_str.c_str(),
+      "--extraction-cache-mb", "64"};
+  if (supervise) argv.push_back("--supervise");
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+    return row;
+  }
+  if (pid == 0) {
+    dup2(in_pipe[0], 0);
+    dup2(out_pipe[1], 1);
+    dup2(err_pipe[1], 2);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1],
+                   err_pipe[0], err_pipe[1]}) {
+      close(fd);
+    }
+    execv(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+
+  std::string banner;
+  char c = 0;
+  while (banner.find("ready") == std::string::npos &&
+         read(err_pipe[0], &c, 1) == 1) {
+    banner.push_back(c);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& request : requests) {
+    const std::string line = request + "\n";
+    size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = write(in_pipe[1], line.data() + off, line.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+  }
+  close(in_pipe[1]);
+
+  std::string output;
+  char buf[65536];
+  ssize_t n;
+  while ((n = read(out_pipe[0], buf, sizeof(buf))) > 0) {
+    output.append(buf, static_cast<size_t>(n));
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  close(out_pipe[0]);
+  close(err_pipe[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+
+  for (size_t at = 0; (at = output.find('\n', at)) != std::string::npos; ++at) {
+    ++row.completed;
+  }
+  for (size_t at = 0;
+       (at = output.find("\"status\":\"unavailable\"", at)) != std::string::npos;
+       ++at) {
+    ++row.shed;
+  }
+  row.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+          .count();
+  row.requests_per_sec =
+      row.wall_seconds > 0.0
+          ? static_cast<double>(row.completed) / row.wall_seconds
+          : 0.0;
+  row.shed_rate = row.offered > 0
+                      ? static_cast<double>(row.shed) /
+                            static_cast<double>(row.offered)
+                      : 0.0;
+  return row;
+}
+
 std::string ToJson(const std::vector<ServiceRow>& rows, bool smoke) {
   std::ostringstream out;
   out.precision(6);
@@ -144,11 +258,14 @@ std::string ToJson(const std::vector<ServiceRow>& rows, bool smoke) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path = "BENCH_service.json";
+  std::string server_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server_path = argv[++i];
     }
   }
 
@@ -202,6 +319,31 @@ int main(int argc, char** argv) {
   if (rows.back().shed == 0) {
     std::printf("note: overload pass shed nothing — workers drained the "
                 "burst faster than it was offered\n");
+  }
+
+  // Process-boundary rows: the same mix through the real binary, single
+  // process and supervised. Each pass boots fresh (cold cache), so these
+  // compare against the cold in-process sweep rows; the supervised rows
+  // price frame relay, routing, and the per-worker workbench replicas.
+  if (!server_path.empty()) {
+    const std::string scenario_path = out_path + ".scenario";
+    const Status saved = SaveScenario((*bench)->scenario(), scenario_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save scenario: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    struct ProcessPass {
+      int workers;
+      bool supervise;
+    };
+    const std::vector<ProcessPass> passes =
+        smoke ? std::vector<ProcessPass>{{2, false}, {3, true}}
+              : std::vector<ProcessPass>{{2, false}, {2, true}, {4, true}};
+    for (const ProcessPass& pass : passes) {
+      rows.push_back(MeasureProcessPass(server_path, scenario_path,
+                                        pass.workers, pass.supervise, mix));
+      print_row(rows.back());
+    }
   }
 
   const Status written = obs::WriteFile(out_path, ToJson(rows, smoke));

@@ -1,5 +1,7 @@
 #include "service/join_service.h"
 
+#include <unistd.h>
+
 #include <utility>
 
 #include "common/logging.h"
@@ -30,11 +32,18 @@ void BeginResponse(obs::JsonWriter* json, const ServiceRequest& request,
   json->Key("status").Value(status);
 }
 
+int64_t UptimeMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 JoinService::JoinService(const Workbench* bench, ServiceConfig config)
     : bench_(bench),
       config_(config),
+      start_time_(std::chrono::steady_clock::now()),
       requests_total_(stats_.counter("service.requests")),
       rejected_total_(stats_.counter("service.rejected")),
       shed_total_(stats_.counter("service.shed")),
@@ -69,6 +78,8 @@ void JoinService::Serve(const std::string& line, Respond respond) {
     std::lock_guard<std::mutex> lock(mu_);
     obs::JsonWriter json;
     BeginResponse(&json, request, draining_ ? "draining" : "ok");
+    json.Key("pid").Value(static_cast<int64_t>(::getpid()));
+    json.Key("uptime_ms").Value(UptimeMs(start_time_));
     json.Key("queued").Value(queued_);
     json.Key("active").Value(active_);
     json.Key("completed").Value(completed_);
@@ -84,12 +95,7 @@ void JoinService::Serve(const std::string& line, Respond respond) {
   // Validate the plan and fault spec *before* admission so malformed
   // requests never consume a queue slot.
   {
-    auto plan = PlanFromRequest(request);
-    Status faults_ok = Status::Ok();
-    if (!request.faults.empty()) {
-      faults_ok = fault::ParseFaultPlan(request.faults).status();
-    }
-    const Status bad = !plan.ok() ? plan.status() : faults_ok;
+    const Status bad = ValidateJoinRequest(request);
     if (!bad.ok()) {
       rejected_total_->Increment();
       obs::JsonWriter json;
@@ -158,7 +164,10 @@ std::string JoinService::ShedResponse(const ServiceRequest& request,
   obs::JsonWriter json;
   BeginResponse(&json, request, "unavailable");
   json.Key("reason").Value(reason);
-  json.Key("retry_after_ms").Value(config_.retry_after_ms);
+  json.Key("retry_after_ms")
+      .Value(JitteredRetryAfterMs(
+          config_.retry_after_ms, config_.shed_jitter_seed,
+          shed_ordinal_.fetch_add(1, std::memory_order_relaxed)));
   json.EndObject();
   return json.TakeString();
 }
@@ -266,6 +275,8 @@ std::string JoinService::StatsJson(const std::string& id) const {
   json.BeginObject();
   if (!id.empty()) json.Key("id").Value(id);
   json.Key("status").Value("ok");
+  json.Key("pid").Value(static_cast<int64_t>(::getpid()));
+  json.Key("uptime_ms").Value(UptimeMs(start_time_));
   {
     std::lock_guard<std::mutex> lock(mu_);
     json.Key("draining").Value(draining_);

@@ -1,6 +1,8 @@
 #ifndef IEJOIN_SERVICE_JOIN_SERVICE_H_
 #define IEJOIN_SERVICE_JOIN_SERVICE_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -13,6 +15,7 @@
 #include "harness/workbench.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "service/request_server.h"
 #include "service/service_protocol.h"
 
 namespace iejoin {
@@ -29,8 +32,11 @@ struct ServiceConfig {
   /// full is shed with status "unavailable" + retry_after_ms — never
   /// crashed, never buffered without bound.
   int32_t max_queue = 32;
-  /// Retry hint carried by shed responses.
+  /// Base retry hint carried by shed responses. The emitted hint is
+  /// deterministically jittered into [retry_after_ms, 2*retry_after_ms)
+  /// keyed by (shed_jitter_seed, shed ordinal) — see JitteredRetryAfterMs.
   int64_t retry_after_ms = 50;
+  uint64_t shed_jitter_seed = 1;
   /// Deadline applied to requests that carry none (simulated seconds;
   /// 0 = unbounded).
   double default_deadline_seconds = 0.0;
@@ -52,14 +58,14 @@ struct ServiceConfig {
 /// batches equal fresh extraction output, cache hits charge full simulated
 /// extraction cost, and the wall-clock-ish cache hit/miss/eviction counters
 /// are stripped from response metrics along with the `wall.*` namespace.
-class JoinService {
+class JoinService : public RequestServer {
  public:
   /// `bench` must outlive the service and should be created with
   /// config.threads == 0 (request drivers are the service's own workers; a
   /// workbench pool would nest parallelism without benefit).
   JoinService(const Workbench* bench, ServiceConfig config);
   /// Drains before destruction.
-  ~JoinService();
+  ~JoinService() override;
 
   JoinService(const JoinService&) = delete;
   JoinService& operator=(const JoinService&) = delete;
@@ -68,14 +74,14 @@ class JoinService {
   /// on the caller's thread for rejected/shed/introspection requests, from
   /// a worker thread for admitted joins. May be called concurrently from
   /// different workers — serialize externally when writing to one stream.
-  using Respond = std::function<void(std::string)>;
+  using Respond = RequestServer::Respond;
 
   /// Parses and serves one request line (no trailing newline).
-  void Serve(const std::string& line, Respond respond);
+  void Serve(const std::string& line, Respond respond) override;
 
   /// Stops admission (subsequent Serve calls shed with reason "draining")
   /// and blocks until every admitted request has responded. Idempotent.
-  void Drain();
+  void Drain() override;
 
   /// Server-global service.* metrics (live; counters are atomic).
   const obs::MetricsRegistry& stats() const { return stats_; }
@@ -84,14 +90,16 @@ class JoinService {
   /// the response, exactly like join and health responses.
   std::string StatsJson(const std::string& id = std::string()) const;
   /// Prometheus text exposition of the server-global metrics.
-  std::string PrometheusExposition() const { return stats_.Snapshot().ToPrometheus(); }
+  std::string PrometheusExposition() const override {
+    return stats_.Snapshot().ToPrometheus();
+  }
 
   /// Attaches a telemetry recorder fed one frame of server stats every
   /// config.telemetry_every_requests completed requests (non-owning; call
   /// before the first Serve).
   void AttachTelemetry(obs::TimeSeriesRecorder* recorder) { recorder_ = recorder; }
 
-  int64_t completed_requests() const;
+  int64_t completed_requests() const override;
 
  private:
   /// Runs one admitted join request and returns its serialized response.
@@ -104,6 +112,10 @@ class JoinService {
 
   const Workbench* bench_;
   const ServiceConfig config_;
+  const std::chrono::steady_clock::time_point start_time_;
+  /// Shed ordinal feeding the jittered retry hint; atomic because sheds can
+  /// fire from admission (locked) and from the pool-refused path (not).
+  mutable std::atomic<uint64_t> shed_ordinal_{0};
 
   obs::MetricsRegistry stats_;
   obs::Counter* requests_total_;

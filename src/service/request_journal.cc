@@ -1,0 +1,148 @@
+#include "service/request_journal.h"
+
+#include <algorithm>
+#include <set>
+
+#include "checkpoint/snapshot_format.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Journal ids come from clients; cap what one record may carry so a
+/// hostile id cannot make the reader allocate without bound.
+constexpr uint64_t kMaxJournalIdBytes = 4096;
+constexpr uint64_t kMaxJournalRecordBytes = kMaxJournalIdBytes + 64;
+
+}  // namespace
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  ckpt::BufEncoder payload;
+  payload.PutU8(static_cast<uint8_t>(record.event));
+  payload.PutU64(record.seq);
+  payload.PutU32(record.worker);
+  payload.PutString(record.id.size() > kMaxJournalIdBytes
+                        ? record.id.substr(0, kMaxJournalIdBytes)
+                        : record.id);
+  const std::string& body = payload.buffer();
+  std::string out;
+  out.reserve(8 + body.size());
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, ckpt::Crc32(body.data(), body.size()));
+  out.append(body);
+  return out;
+}
+
+std::vector<JournalRecord> ParseJournalRecords(std::string_view data,
+                                               size_t* torn_tail_bytes) {
+  std::vector<JournalRecord> records;
+  size_t pos = 0;
+  const auto get_u32 = [&data](size_t at) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  while (data.size() - pos >= 8) {
+    const uint32_t len = get_u32(pos);
+    const uint32_t crc = get_u32(pos + 4);
+    if (len > kMaxJournalRecordBytes || data.size() - pos - 8 < len) break;
+    const std::string_view body = data.substr(pos + 8, len);
+    if (ckpt::Crc32(body.data(), body.size()) != crc) break;
+    ckpt::BufDecoder decoder(body);
+    JournalRecord record;
+    uint8_t event = 0;
+    uint64_t seq = 0;
+    uint32_t worker = 0;
+    if (!decoder.GetU8(&event).ok() || !decoder.GetU64(&seq).ok() ||
+        !decoder.GetU32(&worker).ok() ||
+        !decoder.GetString(&record.id, kMaxJournalIdBytes).ok() ||
+        !decoder.ExpectEnd().ok() ||
+        event < static_cast<uint8_t>(JournalEvent::kEpoch) ||
+        event > static_cast<uint8_t>(JournalEvent::kAbandon)) {
+      break;
+    }
+    record.event = static_cast<JournalEvent>(event);
+    record.seq = seq;
+    record.worker = worker;
+    records.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  if (torn_tail_bytes != nullptr) *torn_tail_bytes = data.size() - pos;
+  return records;
+}
+
+JournalSummary SummarizeJournal(const std::vector<JournalRecord>& records) {
+  JournalSummary summary;
+  std::set<uint64_t> admitted;
+  std::set<uint64_t> answered;
+  for (const JournalRecord& record : records) {
+    summary.max_seq = std::max(summary.max_seq, record.seq);
+    switch (record.event) {
+      case JournalEvent::kAdmit:
+        admitted.insert(record.seq);
+        break;
+      case JournalEvent::kRespond:
+      case JournalEvent::kAbandon:
+        answered.insert(record.seq);
+        break;
+      case JournalEvent::kReplay:
+        ++summary.replays;
+        break;
+      case JournalEvent::kEpoch:
+      case JournalEvent::kDispatch:
+        break;
+    }
+  }
+  summary.admitted = static_cast<int64_t>(admitted.size());
+  summary.responded = static_cast<int64_t>(answered.size());
+  for (uint64_t seq : admitted) {
+    if (answered.count(seq) == 0) summary.unanswered.push_back(seq);
+  }
+  return summary;
+}
+
+RequestJournal::~RequestJournal() { Close(); }
+
+Status RequestJournal::Open(const std::string& path) {
+  Close();
+  std::lock_guard<std::mutex> lock(mu_);
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Internal("journal open failed: " + path);
+  }
+  return Status::Ok();
+}
+
+void RequestJournal::Append(const JournalRecord& record) {
+  const std::string wire = EncodeJournalRecord(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(wire.data(), 1, wire.size(), file_);
+  std::fflush(file_);
+}
+
+void RequestJournal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<JournalSummary> ReadJournalSummary(const std::string& path) {
+  IEJOIN_ASSIGN_OR_RETURN(const std::string data,
+                          ckpt::ReadFileToString(path));
+  return SummarizeJournal(ParseJournalRecords(data));
+}
+
+}  // namespace service
+}  // namespace iejoin

@@ -1,0 +1,105 @@
+#ifndef IEJOIN_SERVICE_REQUEST_JOURNAL_H_
+#define IEJOIN_SERVICE_REQUEST_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace iejoin {
+namespace service {
+
+/// Compact append-only journal of the supervisor's request lifecycle
+/// (docs/SERVICE.md "Request journal"). Each record is CRC-framed in the
+/// snapshot_format tradition:
+///
+///   u32 record_len | u32 record_crc | payload
+///   payload: u8 event | u64 seq | u32 worker | u64-len-prefixed id bytes
+///
+/// Records are fwrite+fflush'd one at a time, so after a supervisor crash
+/// the file is a valid prefix plus at most one torn tail record — the
+/// reader stops cleanly at the first torn/corrupt record and reports how
+/// many bytes it ignored. Replaying the journal tells a restarted
+/// supervisor exactly which admitted requests were answered and which were
+/// in flight when it died.
+enum class JournalEvent : uint8_t {
+  /// A new supervisor lifetime began appending to this file. seq carries
+  /// the epoch's first unused request seq.
+  kEpoch = 1,
+  /// The request was admitted (queue slot granted). worker is unset.
+  kAdmit = 2,
+  /// The request was handed to `worker`.
+  kDispatch = 3,
+  /// The request's response was delivered to the client.
+  kRespond = 4,
+  /// `worker` died with the request in flight; it was re-queued for a
+  /// healthy worker (the response had not been delivered, so the replay
+  /// preserves at-most-once response semantics).
+  kReplay = 5,
+  /// The request exhausted its replay budget and was answered with an
+  /// error response (counted as responded: the client did hear back).
+  kAbandon = 6,
+};
+
+struct JournalRecord {
+  JournalEvent event = JournalEvent::kAdmit;
+  uint64_t seq = 0;
+  uint32_t worker = 0;
+  std::string id;  // client-supplied request id, possibly empty
+};
+
+/// Serializes one CRC-framed record (pure; fuzz-testable).
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// Parses a journal image. Never fails: a torn or corrupt tail simply stops
+/// the scan, with the unconsumed byte count reported in *torn_tail_bytes
+/// (optional). Fuzz-safe: arbitrary bytes yield records-until-garbage.
+std::vector<JournalRecord> ParseJournalRecords(std::string_view data,
+                                               size_t* torn_tail_bytes = nullptr);
+
+/// What a journal says happened, for the restart report and the chaos
+/// harness's exactly-one-response assertion.
+struct JournalSummary {
+  int64_t admitted = 0;
+  int64_t responded = 0;  // kRespond + kAbandon
+  int64_t replays = 0;
+  uint64_t max_seq = 0;
+  /// Admitted seqs with no kRespond/kAbandon — in flight at crash time.
+  std::vector<uint64_t> unanswered;
+};
+
+JournalSummary SummarizeJournal(const std::vector<JournalRecord>& records);
+
+/// Append-mode writer. Thread-safe; one flushed write per record.
+class RequestJournal {
+ public:
+  RequestJournal() = default;
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Opens `path` for append (creating it). Idempotent close-and-reopen.
+  Status Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+
+  void Append(const JournalRecord& record);
+
+  void Close();
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Reads and summarizes an existing journal file; NotFound if absent.
+Result<JournalSummary> ReadJournalSummary(const std::string& path);
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_REQUEST_JOURNAL_H_

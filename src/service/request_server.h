@@ -1,0 +1,40 @@
+#ifndef IEJOIN_SERVICE_REQUEST_SERVER_H_
+#define IEJOIN_SERVICE_REQUEST_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace iejoin {
+namespace service {
+
+/// What the server front-ends (stdin pipe loop, unix-socket poll loop) need
+/// from a request sink. Implemented by the single-process JoinService and
+/// by the multi-process Supervisor, so `iejoin_server` picks the execution
+/// model without the I/O loops caring.
+class RequestServer {
+ public:
+  virtual ~RequestServer() = default;
+
+  /// Response consumer. Invoked exactly once per Serve call; possibly from
+  /// another thread, possibly concurrently — serialize externally when
+  /// writing to one stream.
+  using Respond = std::function<void(std::string)>;
+
+  /// Parses and serves one request line (no trailing newline).
+  virtual void Serve(const std::string& line, Respond respond) = 0;
+
+  /// Stops admission (subsequent Serve calls shed with reason "draining")
+  /// and blocks until every admitted request has responded. Idempotent.
+  virtual void Drain() = 0;
+
+  virtual int64_t completed_requests() const = 0;
+
+  /// Prometheus text exposition of the server-global metrics.
+  virtual std::string PrometheusExposition() const = 0;
+};
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_REQUEST_SERVER_H_

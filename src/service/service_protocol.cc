@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/random.h"
+#include "fault/fault_plan.h"
+
 namespace iejoin {
 namespace service {
 namespace {
@@ -244,6 +247,23 @@ Result<JoinPlanSpec> PlanFromRequest(const ServiceRequest& request) {
   IEJOIN_ASSIGN_OR_RETURN(plan.retrieval1, strategy(request.x1));
   IEJOIN_ASSIGN_OR_RETURN(plan.retrieval2, strategy(request.x2));
   return plan;
+}
+
+Status ValidateJoinRequest(const ServiceRequest& request) {
+  IEJOIN_RETURN_IF_ERROR(PlanFromRequest(request).status());
+  if (!request.faults.empty()) {
+    IEJOIN_RETURN_IF_ERROR(fault::ParseFaultPlan(request.faults).status());
+  }
+  return Status::Ok();
+}
+
+int64_t JitteredRetryAfterMs(int64_t base_ms, uint64_t seed, uint64_t ordinal) {
+  if (base_ms <= 1) return base_ms;
+  // Decorrelate the per-shed streams with a golden-ratio stride, the same
+  // trick the workbench uses for per-request RNG forks.
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (ordinal + 1)));
+  return base_ms + static_cast<int64_t>(rng.NextU64() %
+                                        static_cast<uint64_t>(base_ms));
 }
 
 }  // namespace service

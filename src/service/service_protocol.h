@@ -63,6 +63,17 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line);
 /// Join plan described by a request (validates algorithm / strategy names).
 Result<JoinPlanSpec> PlanFromRequest(const ServiceRequest& request);
 
+/// Full pre-admission validation of a join request: plan names plus the
+/// fault-spec grammar. Shared by the single-process service and the
+/// supervisor so both reject exactly the same requests.
+Status ValidateJoinRequest(const ServiceRequest& request);
+
+/// Deterministically jittered shed hint: uniform in [base, 2*base) keyed by
+/// (seed, ordinal), so simultaneous shed victims spread their retries
+/// instead of stampeding back together, yet a fixed seed reproduces the
+/// exact hint sequence (docs/SERVICE.md "Admission control").
+int64_t JitteredRetryAfterMs(int64_t base_ms, uint64_t seed, uint64_t ordinal);
+
 }  // namespace service
 }  // namespace iejoin
 

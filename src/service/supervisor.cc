@@ -1,0 +1,729 @@
+#include "service/supervisor.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "harness/workbench.h"
+#include "obs/json_writer.h"
+#include "service/join_service.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+/// How a dead child's wait status reads in stats and logs.
+std::string DescribeWaitStatus(int status) {
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  if (WIFEXITED(status)) {
+    return "exit " + std::to_string(WEXITSTATUS(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+void BeginResponse(obs::JsonWriter* json, const std::string& id,
+                   const char* status) {
+  json->BeginObject();
+  if (!id.empty()) json->Key("id").Value(id);
+  json->Key("status").Value(status);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CrashLoopBreaker
+// ---------------------------------------------------------------------------
+
+bool CrashLoopBreaker::RecordCrash(double now_seconds) {
+  if (open_ || config_.max_crashes <= 0) return false;
+  crashes_.push_back(now_seconds);
+  while (!crashes_.empty() &&
+         now_seconds - crashes_.front() > config_.window_seconds) {
+    crashes_.pop_front();
+  }
+  if (static_cast<int32_t>(crashes_.size()) >= config_.max_crashes) {
+    open_ = true;
+  }
+  return open_;
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+Supervisor::Supervisor(SupervisorConfig config)
+    : config_(std::move(config)),
+      start_time_(std::chrono::steady_clock::now()),
+      requests_total_(stats_.counter("supervisor.requests")),
+      rejected_total_(stats_.counter("supervisor.rejected")),
+      shed_total_(stats_.counter("supervisor.shed")),
+      ok_total_(stats_.counter("supervisor.ok")),
+      degraded_total_(stats_.counter("supervisor.degraded")),
+      error_total_(stats_.counter("supervisor.errors")),
+      replays_total_(stats_.counter("supervisor.replays")),
+      abandoned_total_(stats_.counter("supervisor.abandoned")),
+      crashes_total_(stats_.counter("supervisor.worker_crashes")),
+      restarts_total_(stats_.counter("supervisor.worker_restarts")),
+      queue_depth_(stats_.gauge("supervisor.queue_depth")),
+      active_requests_(stats_.gauge("supervisor.active_requests")),
+      workers_live_(stats_.gauge("supervisor.workers_live")),
+      workers_down_(stats_.gauge("supervisor.workers_down")) {}
+
+Supervisor::~Supervisor() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& slot : slots_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+Status Supervisor::Start() {
+  if (config_.workers < 1) {
+    return Status::InvalidArgument("supervisor needs at least one worker");
+  }
+  if (config_.worker_command.empty()) {
+    return Status::InvalidArgument("supervisor worker command is empty");
+  }
+  if (!config_.journal_path.empty()) {
+    auto previous = ReadJournalSummary(config_.journal_path);
+    if (previous.ok()) {
+      previous_journal_ = *previous;
+      next_seq_ = previous_journal_.max_seq + 1;
+      IEJOIN_LOG(Info) << "supervisor journal " << config_.journal_path << ": "
+                       << previous_journal_.admitted << " admitted, "
+                       << previous_journal_.responded << " responded, "
+                       << previous_journal_.replays << " replays, "
+                       << previous_journal_.unanswered.size()
+                       << " unanswered from a previous run";
+    }
+    IEJOIN_RETURN_IF_ERROR(journal_.Open(config_.journal_path));
+    Journal(JournalEvent::kEpoch, next_seq_, 0, std::string());
+  }
+  workers_live_->Set(0.0);
+  workers_down_->Set(0.0);
+  for (int32_t i = 0; i < config_.workers; ++i) {
+    auto slot = std::make_unique<WorkerSlot>();
+    slot->index = i;
+    slot->breaker = CrashLoopBreaker(config_.breaker);
+    slots_.push_back(std::move(slot));
+  }
+  for (auto& slot : slots_) {
+    WorkerSlot* raw = slot.get();
+    slot->thread = std::thread([this, raw] { SlotThread(raw); });
+  }
+  return Status::Ok();
+}
+
+double Supervisor::NowSeconds() const {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void Supervisor::Journal(JournalEvent event, uint64_t seq, uint32_t worker,
+                         const std::string& id) {
+  if (!journal_.is_open()) return;
+  JournalRecord record;
+  record.event = event;
+  record.seq = seq;
+  record.worker = worker;
+  record.id = id;
+  journal_.Append(record);
+}
+
+obs::Gauge* Supervisor::WorkerGauge(int32_t index, const char* field) {
+  return stats_.gauge("supervisor.worker" + std::to_string(index) + "." + field);
+}
+
+void Supervisor::PublishWorkerStatsLocked(WorkerSlot* slot) {
+  WorkerGauge(slot->index, "pid")->Set(static_cast<double>(slot->pid));
+  WorkerGauge(slot->index, "restarts")->Set(static_cast<double>(slot->restarts));
+  WorkerGauge(slot->index, "crashes")->Set(static_cast<double>(slot->crashes));
+  WorkerGauge(slot->index, "replays")->Set(static_cast<double>(slot->replays_served));
+  WorkerGauge(slot->index, "breaker_open")
+      ->Set(slot->breaker.open() ? 1.0 : 0.0);
+  int32_t live = 0;
+  int32_t down = 0;
+  for (const auto& other : slots_) {
+    if (other->state == "down") {
+      ++down;
+    } else {
+      ++live;
+    }
+  }
+  workers_live_->Set(static_cast<double>(live));
+  workers_down_->Set(static_cast<double>(down));
+}
+
+int32_t Supervisor::live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int32_t live = 0;
+  for (const auto& slot : slots_) {
+    if (slot->state != "down") ++live;
+  }
+  return live;
+}
+
+Status Supervisor::SpawnWorker(WorkerSlot* slot,
+                               std::unique_ptr<WorkerChannel>* channel) {
+  int supervisor_fd = -1;
+  int worker_fd = -1;
+  IEJOIN_RETURN_IF_ERROR(CreateChannelPair(&supervisor_fd, &worker_fd));
+
+  // argv must be fully materialized before fork: between fork and exec only
+  // async-signal-safe calls are allowed in a multithreaded parent.
+  std::vector<std::string> args = config_.worker_command;
+  args.push_back("--worker-channel-fd");
+  args.push_back(std::to_string(worker_fd));
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(supervisor_fd);
+    ::close(worker_fd);
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: become a fresh worker process. The exec resets the address
+    // space, so a crashed predecessor can never corrupt this one.
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the supervisor sees "exit 127"
+  }
+  ::close(worker_fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->pid = pid;
+    PublishWorkerStatsLocked(slot);
+  }
+  *channel = std::make_unique<WorkerChannel>(supervisor_fd);
+  return Status::Ok();
+}
+
+Status Supervisor::AwaitReady(WorkerSlot* slot, WorkerChannel* channel) {
+  // Workbench construction takes a while (seconds under sanitizers); poll
+  // so supervisor shutdown and a build-time death both cut the wait short.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_) return Status::Unavailable("supervisor shutting down");
+    }
+    pollfd pfd{channel->fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+    IEJOIN_ASSIGN_OR_RETURN(const Frame frame, channel->Recv());
+    if (frame.type != static_cast<uint8_t>(FrameType::kReady)) {
+      return Status::Unavailable("worker sent an unexpected first frame");
+    }
+    return Status::Ok();
+  }
+}
+
+bool Supervisor::HandleWorkerDeath(WorkerSlot* slot, const char* why) {
+  // Reap the child. The channel broke (or WNOHANG saw the exit), so a
+  // blocking waitpid returns promptly. pid <= 0 means the idle-death probe
+  // already reaped it and classified slot->last_death.
+  int status = 0;
+  std::string death;
+  if (slot->pid > 0 && ::waitpid(slot->pid, &status, 0) == slot->pid) {
+    death = DescribeWaitStatus(status);
+  }
+  crashes_total_->Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!death.empty()) slot->last_death = death;
+  if (slot->last_death.empty()) slot->last_death = "unknown";
+  death = slot->last_death;
+  slot->crashes += 1;
+  slot->consecutive_crashes += 1;
+  slot->pid = -1;
+  const bool tripped = slot->breaker.RecordCrash(NowSeconds());
+  IEJOIN_LOG(Warning) << "supervisor: worker " << slot->index << " died (" << death
+                   << ", " << why << ")"
+                   << (tripped ? "; crash-loop breaker tripped, slot stays down"
+                               : "");
+  if (tripped) slot->state = "down";
+  PublishWorkerStatsLocked(slot);
+  return tripped;
+}
+
+void Supervisor::RequeueInFlight(WorkerSlot* slot, PendingRequest request) {
+  if (request.replays < config_.max_request_replays) {
+    request.replays += 1;
+    replays_total_->Increment();
+    Journal(JournalEvent::kReplay, request.seq,
+            static_cast<uint32_t>(slot->index), request.id);
+    IEJOIN_LOG(Warning) << "supervisor: replaying request '" << request.id
+                     << "' (seq " << request.seq << ", replay "
+                     << request.replays << ") after worker " << slot->index
+                     << " death";
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->replays_served += 1;
+    // Front of the queue: the replayed request was admitted first, and a
+    // healthy worker should answer it before new arrivals.
+    queue_.push_front(std::move(request));
+    ++queued_;
+    --active_;
+    queue_depth_->Set(static_cast<double>(queued_));
+    active_requests_->Set(static_cast<double>(active_));
+    PublishWorkerStatsLocked(slot);
+    queue_cv_.notify_one();
+    return;
+  }
+  // Replay budget exhausted: answer with an error so the client still hears
+  // back exactly once, and journal the abandonment.
+  abandoned_total_->Increment();
+  error_total_->Increment();
+  Journal(JournalEvent::kAbandon, request.seq,
+          static_cast<uint32_t>(slot->index), request.id);
+  IEJOIN_LOG(Warning) << "supervisor: abandoning request '" << request.id
+                   << "' (seq " << request.seq << ") after "
+                   << (request.replays + 1) << " worker crashes";
+  obs::JsonWriter json;
+  BeginResponse(&json, request.id, "error");
+  json.Key("error").Value("request crashed " +
+                          std::to_string(request.replays + 1) +
+                          " workers; giving up");
+  json.EndObject();
+  request.respond(json.TakeString());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    ++completed_;
+    active_requests_->Set(static_cast<double>(active_));
+    RecordTelemetryFrameLocked();
+  }
+  idle_cv_.notify_all();
+}
+
+void Supervisor::FlushQueueNoWorkersLocked(std::unique_lock<std::mutex>* lock) {
+  std::deque<PendingRequest> orphans;
+  orphans.swap(queue_);
+  queued_ = 0;
+  queue_depth_->Set(0.0);
+  lock->unlock();
+  for (PendingRequest& request : orphans) {
+    error_total_->Increment();
+    Journal(JournalEvent::kAbandon, request.seq, 0, request.id);
+    obs::JsonWriter json;
+    BeginResponse(&json, request.id, "error");
+    json.Key("error").Value("no healthy workers remain");
+    json.EndObject();
+    request.respond(json.TakeString());
+    std::lock_guard<std::mutex> relock(mu_);
+    ++completed_;
+  }
+  idle_cv_.notify_all();
+  lock->lock();
+}
+
+void Supervisor::SlotThread(WorkerSlot* slot) {
+  Rng backoff_rng(config_.shed_jitter_seed ^
+                  (0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(slot->index) + 1)));
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_ || slot->breaker.open()) {
+        slot->state = "down";
+        PublishWorkerStatsLocked(slot);
+        break;
+      }
+      slot->state = "starting";
+    }
+    std::unique_ptr<WorkerChannel> channel;
+    Status up = SpawnWorker(slot, &channel);
+    if (up.ok()) up = AwaitReady(slot, channel.get());
+    if (!up.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (shutting_down_) {
+          // Shutdown interrupted the spawn; reap and leave quietly.
+          if (slot->pid > 0) {
+            ::kill(slot->pid, SIGKILL);
+            ::waitpid(slot->pid, nullptr, 0);
+            slot->pid = -1;
+          }
+          slot->state = "down";
+          break;
+        }
+      }
+      // Fall through to the shared breaker/backoff block below.
+      HandleWorkerDeath(slot, up.message().c_str());
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot->state = "idle";
+        if (slot->crashes > 0) {
+          // Every spawn after a death is a restart.
+          restarts_total_->Increment();
+          slot->restarts += 1;
+        }
+        PublishWorkerStatsLocked(slot);
+      }
+
+      // Serve until the worker dies or the supervisor shuts down.
+      bool worker_alive = true;
+      bool idle_death = false;
+      while (worker_alive) {
+        PendingRequest request;
+        bool have_request = false;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          while (queue_.empty() && !shutting_down_) {
+            // Bounded wait so a worker killed while idle is noticed and
+            // replaced promptly, not at the next dispatch.
+            queue_cv_.wait_for(lock, std::chrono::milliseconds(100));
+            int status = 0;
+            if (slot->pid > 0 &&
+                ::waitpid(slot->pid, &status, WNOHANG) == slot->pid) {
+              slot->last_death = DescribeWaitStatus(status);
+              slot->pid = 0;  // reaped; HandleWorkerDeath skips waitpid
+              worker_alive = false;
+              idle_death = true;
+              break;
+            }
+          }
+          if (!worker_alive) break;
+          if (queue_.empty() && shutting_down_) {
+            channel->Send(FrameType::kShutdown, std::string_view());
+            if (slot->pid > 0) ::waitpid(slot->pid, nullptr, 0);
+            slot->pid = -1;
+            slot->state = "down";
+            PublishWorkerStatsLocked(slot);
+            return;
+          }
+          request = std::move(queue_.front());
+          queue_.pop_front();
+          --queued_;
+          ++active_;
+          slot->state = "busy";
+          queue_depth_->Set(static_cast<double>(queued_));
+          active_requests_->Set(static_cast<double>(active_));
+          have_request = true;
+        }
+        if (!have_request) break;
+
+        Journal(JournalEvent::kDispatch, request.seq,
+                static_cast<uint32_t>(slot->index), request.id);
+        Status sent = channel->Send(FrameType::kRequest, request.line);
+        Result<Frame> response =
+            sent.ok() ? channel->Recv() : Result<Frame>(sent);
+        if (response.ok() &&
+            response->type == static_cast<uint8_t>(FrameType::kResponse)) {
+          Journal(JournalEvent::kRespond, request.seq,
+                  static_cast<uint32_t>(slot->index), request.id);
+          NoteResponseStatus(response->payload);
+          request.respond(std::move(response->payload));
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+            ++completed_;
+            slot->completed += 1;
+            slot->consecutive_crashes = 0;
+            slot->state = "idle";
+            active_requests_->Set(static_cast<double>(active_));
+            RecordTelemetryFrameLocked();
+          }
+          idle_cv_.notify_all();
+          continue;
+        }
+        // The worker died (or tore the frame) with this request in flight:
+        // its response never reached the client, so replaying it on a
+        // healthy worker keeps at-most-once response semantics — and the
+        // determinism contract makes the replayed bytes identical.
+        const std::string why = response.ok()
+                                    ? std::string("unexpected frame type")
+                                    : response.status().message();
+        worker_alive = false;
+        HandleWorkerDeath(slot, why.c_str());
+        RequeueInFlight(slot, std::move(request));
+      }
+      if (idle_death) HandleWorkerDeath(slot, "died while idle");
+      channel.reset();
+    }
+
+    // Breaker check + capacity accounting before a restart attempt.
+    bool all_down;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (slot->breaker.open() || shutting_down_) {
+        slot->state = "down";
+        PublishWorkerStatsLocked(slot);
+        all_down = true;
+        for (const auto& other : slots_) {
+          if (other.get() != slot && other->state != "down") all_down = false;
+        }
+        if (all_down && !queue_.empty()) FlushQueueNoWorkersLocked(&lock);
+        if (shutting_down_) break;
+        // Slot stays down; thread parks until shutdown so Drain/destructor
+        // semantics stay uniform.
+        queue_cv_.wait(lock, [this] { return shutting_down_; });
+        break;
+      }
+      slot->state = "backoff";
+      PublishWorkerStatsLocked(slot);
+    }
+    // Exponential backoff between restarts, indexed by the consecutive
+    // crash streak; a successfully served request resets the streak.
+    const int32_t attempt =
+        std::max<int32_t>(0, slot->consecutive_crashes - 1);
+    const double delay_seconds =
+        config_.restart_backoff.BackoffSeconds(attempt, &backoff_rng);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(delay_seconds);
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_cv_.wait_until(lock, deadline, [this] { return shutting_down_; });
+  }
+}
+
+void Supervisor::Serve(const std::string& line, Respond respond) {
+  requests_total_->Increment();
+  auto parsed = ParseServiceRequest(line);
+  if (!parsed.ok()) {
+    rejected_total_->Increment();
+    obs::JsonWriter json;
+    json.BeginObject();
+    json.Key("status").Value("invalid");
+    json.Key("error").Value(parsed.status().message());
+    json.EndObject();
+    respond(json.TakeString());
+    return;
+  }
+  const ServiceRequest request = *std::move(parsed);
+
+  if (request.kind == ServiceRequest::Kind::kHealth) {
+    obs::JsonWriter json;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      BeginResponse(&json, request.id, draining_ ? "draining" : "ok");
+      json.Key("supervisor").Value(true);
+      json.Key("pid").Value(static_cast<int64_t>(::getpid()));
+      json.Key("uptime_ms").Value(static_cast<int64_t>(NowSeconds() * 1000.0));
+      json.Key("queued").Value(queued_);
+      json.Key("active").Value(active_);
+      json.Key("completed").Value(completed_);
+      json.Key("workers").BeginArray();
+      for (const auto& slot : slots_) {
+        json.BeginObject();
+        json.Key("worker").Value(static_cast<int64_t>(slot->index));
+        json.Key("pid").Value(static_cast<int64_t>(slot->pid));
+        json.Key("state").Value(slot->state);
+        json.EndObject();
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+    respond(json.TakeString());
+    return;
+  }
+  if (request.kind == ServiceRequest::Kind::kStats) {
+    respond(StatsJson(request.id));
+    return;
+  }
+
+  // Validate before admission, exactly like the single-process service.
+  {
+    const Status valid = ValidateJoinRequest(request);
+    if (!valid.ok()) {
+      rejected_total_->Increment();
+      obs::JsonWriter json;
+      BeginResponse(&json, request.id, "invalid");
+      json.Key("error").Value(valid.message());
+      json.EndObject();
+      respond(json.TakeString());
+      return;
+    }
+  }
+
+  PendingRequest pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      respond(ShedResponse(request, "draining"));
+      return;
+    }
+    bool any_live = false;
+    for (const auto& slot : slots_) {
+      if (slot->state != "down") any_live = true;
+    }
+    if (!any_live) {
+      respond(ShedResponse(request, "no_workers"));
+      return;
+    }
+    if (queued_ >= config_.max_queue) {
+      respond(ShedResponse(request, "overloaded"));
+      return;
+    }
+    pending.seq = next_seq_++;
+    pending.id = request.id;
+    pending.line = line;
+    pending.respond = std::move(respond);
+    ++queued_;
+    queue_depth_->Set(static_cast<double>(queued_));
+  }
+  Journal(JournalEvent::kAdmit, pending.seq, 0, pending.id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+}
+
+std::string Supervisor::ShedResponse(const ServiceRequest& request,
+                                     const char* reason) {
+  shed_total_->Increment();
+  // All callers hold mu_, which guards shed_ordinal_.
+  const uint64_t ordinal = shed_ordinal_++;
+  obs::JsonWriter json;
+  BeginResponse(&json, request.id, "unavailable");
+  json.Key("reason").Value(reason);
+  json.Key("retry_after_ms")
+      .Value(JitteredRetryAfterMs(config_.retry_after_ms,
+                                  config_.shed_jitter_seed, ordinal));
+  json.EndObject();
+  return json.TakeString();
+}
+
+void Supervisor::NoteResponseStatus(const std::string& response) {
+  if (response.find("\"status\":\"degraded\"") != std::string::npos) {
+    degraded_total_->Increment();
+  } else if (response.find("\"status\":\"error\"") != std::string::npos) {
+    error_total_->Increment();
+  } else {
+    ok_total_->Increment();
+  }
+}
+
+std::string Supervisor::StatsJson(const std::string& id) const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  if (!id.empty()) json.Key("id").Value(id);
+  json.Key("status").Value("ok");
+  json.Key("supervisor").Value(true);
+  json.Key("pid").Value(static_cast<int64_t>(::getpid()));
+  json.Key("uptime_ms").Value(static_cast<int64_t>(NowSeconds() * 1000.0));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    json.Key("draining").Value(draining_);
+    json.Key("queued").Value(queued_);
+    json.Key("active").Value(active_);
+    json.Key("completed").Value(completed_);
+    json.Key("workers").BeginArray();
+    for (const auto& slot : slots_) {
+      json.BeginObject();
+      json.Key("worker").Value(static_cast<int64_t>(slot->index));
+      json.Key("pid").Value(static_cast<int64_t>(slot->pid));
+      json.Key("state").Value(slot->state);
+      json.Key("restarts").Value(slot->restarts);
+      json.Key("crashes").Value(slot->crashes);
+      json.Key("replays").Value(slot->replays_served);
+      json.Key("completed").Value(slot->completed);
+      json.Key("breaker_state")
+          .Value(slot->breaker.open() ? "open" : "closed");
+      if (!slot->last_death.empty()) {
+        json.Key("last_death").Value(slot->last_death);
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.Key("metrics").Raw(stats_.Snapshot().ToJson());
+  json.EndObject();
+  return json.TakeString();
+}
+
+void Supervisor::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  idle_cv_.wait(lock, [this] {
+    if (queued_ == 0 && active_ == 0) return true;
+    // All slots down with work still queued: flush so drain terminates and
+    // every admitted request is answered.
+    bool any_live = false;
+    for (const auto& slot : slots_) {
+      if (slot->state != "down") any_live = true;
+    }
+    return !any_live && active_ == 0 && queued_ == 0;
+  });
+}
+
+int64_t Supervisor::completed_requests() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void Supervisor::RecordTelemetryFrameLocked() {
+  if (recorder_ == nullptr || config_.telemetry_every_requests <= 0) return;
+  if (completed_ % config_.telemetry_every_requests != 0) return;
+  obs::TelemetryFrame frame;
+  frame.metrics = stats_.Snapshot();
+  recorder_->Record(frame);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-process side
+// ---------------------------------------------------------------------------
+
+int RunWorkerLoop(int channel_fd, const Workbench* bench) {
+  WorkerChannel channel(channel_fd);
+  ServiceConfig config;
+  // One request at a time: the supervisor is the concurrency layer, the
+  // worker is a deterministic request executor.
+  config.workers = 1;
+  config.max_queue = 4;
+  JoinService service(bench, config);
+
+  const Status ready =
+      channel.Send(FrameType::kReady, std::to_string(::getpid()));
+  if (!ready.ok()) return 1;
+
+  for (;;) {
+    auto frame = channel.Recv();
+    if (!frame.ok()) return 0;  // supervisor went away
+    if (frame->type == static_cast<uint8_t>(FrameType::kShutdown)) {
+      service.Drain();
+      return 0;
+    }
+    if (frame->type != static_cast<uint8_t>(FrameType::kRequest)) continue;
+
+    // Serve synchronously: exactly one response per request frame.
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string response;
+    bool done = false;
+    service.Serve(frame->payload, [&](std::string r) {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(r);
+      done = true;
+      cv.notify_one();
+    });
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+    }
+    const Status sent = channel.Send(FrameType::kResponse, response);
+    if (!sent.ok()) return 0;
+  }
+}
+
+}  // namespace service
+}  // namespace iejoin

@@ -1,0 +1,246 @@
+#ifndef IEJOIN_SERVICE_SUPERVISOR_H_
+#define IEJOIN_SERVICE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/retry_policy.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+#include "service/request_journal.h"
+#include "service/request_server.h"
+#include "service/service_protocol.h"
+#include "service/worker_channel.h"
+
+namespace iejoin {
+class Workbench;
+
+namespace service {
+
+/// Crash-loop detector: K worker deaths inside a sliding window open the
+/// breaker, and an open breaker never closes — the slot stays down and the
+/// supervisor's capacity shrinks (reported in stats) instead of respawning
+/// a doomed worker forever. Time is caller-supplied seconds (steady clock
+/// in production, fake in tests).
+class CrashLoopBreaker {
+ public:
+  struct Config {
+    /// Deaths inside the window that trip the breaker. <= 0 disables it.
+    int32_t max_crashes = 5;
+    double window_seconds = 30.0;
+  };
+
+  CrashLoopBreaker() = default;
+  explicit CrashLoopBreaker(Config config) : config_(config) {}
+
+  /// Records a death at `now_seconds`; returns true when this death tripped
+  /// the breaker open.
+  bool RecordCrash(double now_seconds);
+
+  bool open() const { return open_; }
+  /// Deaths still inside the window as of the last RecordCrash.
+  int32_t recent_crashes() const { return static_cast<int32_t>(crashes_.size()); }
+
+ private:
+  Config config_;
+  std::deque<double> crashes_;
+  bool open_ = false;
+};
+
+/// Supervisor tuning knobs (docs/SERVICE.md "Supervised multi-process
+/// mode").
+struct SupervisorConfig {
+  /// Worker processes to keep alive. Each holds its own workbench replica
+  /// and serves one request at a time.
+  int32_t workers = 3;
+  /// Admitted-but-not-yet-dispatched bound, as in ServiceConfig.
+  int32_t max_queue = 32;
+  /// Base retry hint carried by shed responses (jittered; see
+  /// JitteredRetryAfterMs).
+  int64_t retry_after_ms = 50;
+  uint64_t shed_jitter_seed = 1;
+  /// A request whose worker dies mid-flight is replayed on a healthy worker
+  /// (responses are deterministic, so the replayed bytes are identical and
+  /// at-most-once response semantics hold). After this many replays the
+  /// request is answered with status "error" instead of riding another
+  /// worker down.
+  int32_t max_request_replays = 3;
+  /// Crash-loop circuit breaker per worker slot.
+  CrashLoopBreaker::Config breaker;
+  /// Restart pacing between a worker death and its respawn, reusing the
+  /// fault layer's exponential-backoff policy over *real* seconds, indexed
+  /// by the slot's consecutive-crash count (reset by a served request).
+  fault::RetryPolicy restart_backoff;
+  /// argv of the worker process (the server binary re-invoked with
+  /// --worker-channel-fd appended; see tools/iejoin_server.cc).
+  std::vector<std::string> worker_command;
+  /// Append-only request journal path (empty = no journal).
+  std::string journal_path;
+  /// Emit one telemetry frame (supervisor-stats snapshot) every N completed
+  /// requests (0 = off).
+  int64_t telemetry_every_requests = 0;
+};
+
+/// Multi-process front-end: forks N worker processes (fork+exec of
+/// config.worker_command, so a replacement worker is always a fresh
+/// address space), owns all client I/O, routes join requests to idle
+/// workers over length-prefixed CRC-framed socketpairs, and supervises the
+/// fleet:
+///
+///  - Worker death (signal, abort, nonzero exit, torn frame) is detected by
+///    waitpid and the broken channel; an in-flight request is replayed on a
+///    healthy worker. Responses are a pure function of (request, workbench),
+///    so a replayed response is byte-identical to what the dead worker
+///    would have sent — the client sees exactly one response either way.
+///  - Dead workers restart with exponential backoff; K deaths in a window
+///    trip the slot's crash-loop breaker and it stays down (capacity
+///    shrinks, stats say so) rather than respawning forever.
+///  - Every admit/dispatch/respond/replay is journaled (CRC-framed,
+///    flushed), so a restarted supervisor reports exactly which requests
+///    were answered and which were in flight when it died.
+///
+/// Health/stats requests are answered by the supervisor itself (they bypass
+/// admission and the workers) and carry per-worker pid/state/restart/crash/
+/// replay/breaker fields; the same fields flow into the Prometheus
+/// exposition and telemetry frames as supervisor.* metrics.
+class Supervisor : public RequestServer {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+  ~Supervisor() override;
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Reads and reports any existing journal, then spawns the worker fleet.
+  /// Serve may be called as soon as this returns (requests queue until a
+  /// worker is ready).
+  Status Start();
+
+  void Serve(const std::string& line, Respond respond) override;
+  void Drain() override;
+  int64_t completed_requests() const override;
+  std::string PrometheusExposition() const override {
+    return stats_.Snapshot().ToPrometheus();
+  }
+
+  std::string StatsJson(const std::string& id = std::string()) const;
+
+  /// Summary of the journal found at config.journal_path when Start ran
+  /// (empty summary when there was none) — what a restarted supervisor
+  /// knows about its predecessor.
+  const JournalSummary& previous_journal() const { return previous_journal_; }
+
+  void AttachTelemetry(obs::TimeSeriesRecorder* recorder) { recorder_ = recorder; }
+
+  const obs::MetricsRegistry& stats() const { return stats_; }
+
+  /// Live worker count (slots not down/broken); exposed for tests.
+  int32_t live_workers() const;
+
+ private:
+  struct PendingRequest {
+    uint64_t seq = 0;
+    std::string id;
+    std::string line;
+    Respond respond;
+    int32_t replays = 0;
+  };
+
+  struct WorkerSlot {
+    int32_t index = 0;
+    std::thread thread;
+    // Everything below is guarded by Supervisor::mu_.
+    pid_t pid = -1;
+    std::string state = "starting";  // starting|idle|busy|backoff|down
+    int64_t restarts = 0;
+    int64_t crashes = 0;
+    int64_t replays_served = 0;
+    int64_t completed = 0;
+    int32_t consecutive_crashes = 0;
+    std::string last_death;
+    CrashLoopBreaker breaker;
+  };
+
+  void SlotThread(WorkerSlot* slot);
+  /// fork+exec of config.worker_command; on success fills *channel and the
+  /// slot's pid.
+  Status SpawnWorker(WorkerSlot* slot, std::unique_ptr<WorkerChannel>* channel);
+  /// Waits for the worker's kReady frame, polling so shutdown and a death
+  /// during workbench build both interrupt the wait.
+  Status AwaitReady(WorkerSlot* slot, WorkerChannel* channel);
+  /// Reaps the dead worker, classifies the death ("signal 9", "exit 41"),
+  /// records breaker/backoff state, and updates stats. Returns true when
+  /// the slot's breaker tripped (slot must stay down).
+  bool HandleWorkerDeath(WorkerSlot* slot, const char* why);
+  /// Re-queues or abandons a request whose worker died mid-flight.
+  void RequeueInFlight(WorkerSlot* slot, PendingRequest request);
+  /// Answers every queued request with an error once no worker can ever
+  /// serve it (all breakers open).
+  void FlushQueueNoWorkersLocked(std::unique_lock<std::mutex>* lock);
+  std::string ShedResponse(const ServiceRequest& request, const char* reason);
+  void NoteResponseStatus(const std::string& response);
+  void RecordTelemetryFrameLocked();
+  double NowSeconds() const;
+  void Journal(JournalEvent event, uint64_t seq, uint32_t worker,
+               const std::string& id);
+  obs::Gauge* WorkerGauge(int32_t index, const char* field);
+  void PublishWorkerStatsLocked(WorkerSlot* slot);
+
+  const SupervisorConfig config_;
+  const std::chrono::steady_clock::time_point start_time_;
+
+  obs::MetricsRegistry stats_;
+  obs::Counter* requests_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* shed_total_;
+  obs::Counter* ok_total_;
+  obs::Counter* degraded_total_;
+  obs::Counter* error_total_;
+  obs::Counter* replays_total_;
+  obs::Counter* abandoned_total_;
+  obs::Counter* crashes_total_;
+  obs::Counter* restarts_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* active_requests_;
+  obs::Gauge* workers_live_;
+  obs::Gauge* workers_down_;
+
+  RequestJournal journal_;
+  JournalSummary previous_journal_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingRequest> queue_;
+  uint64_t next_seq_ = 1;
+  uint64_t shed_ordinal_ = 0;
+  int64_t queued_ = 0;
+  int64_t active_ = 0;
+  int64_t completed_ = 0;
+  bool draining_ = false;
+  bool shutting_down_ = false;
+  obs::TimeSeriesRecorder* recorder_ = nullptr;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+};
+
+/// Worker-process side of the channel: announces readiness, then serves
+/// kRequest frames through a single-threaded JoinService over `bench` until
+/// a kShutdown frame or supervisor death (channel EOF). Returns the worker
+/// process's exit code.
+int RunWorkerLoop(int channel_fd, const Workbench* bench);
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_SUPERVISOR_H_

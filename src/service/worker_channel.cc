@@ -1,0 +1,149 @@
+#include "service/worker_channel.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <cstring>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "checkpoint/snapshot_format.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrameHeader(uint8_t type, std::string_view payload) {
+  std::string header;
+  header.reserve(kFrameHeaderBytes);
+  PutU32(&header, kFrameMagic);
+  header.push_back(static_cast<char>(type));
+  PutU32(&header, static_cast<uint32_t>(payload.size()));
+  PutU32(&header, ckpt::Crc32(payload.data(), payload.size()));
+  return header;
+}
+
+Result<FrameHeader> ParseFrameHeader(std::string_view data) {
+  if (data.size() != kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header must be " +
+                                   std::to_string(kFrameHeaderBytes) +
+                                   " bytes, got " + std::to_string(data.size()));
+  }
+  if (GetU32(data.data()) != kFrameMagic) {
+    return Status::Unavailable("torn frame: bad magic");
+  }
+  FrameHeader header;
+  header.type = static_cast<uint8_t>(data[4]);
+  header.payload_len = GetU32(data.data() + 5);
+  header.payload_crc = GetU32(data.data() + 9);
+  if (header.payload_len > kMaxFramePayloadBytes) {
+    return Status::Unavailable("torn frame: payload length " +
+                               std::to_string(header.payload_len) +
+                               " exceeds the frame cap");
+  }
+  return header;
+}
+
+Status ValidateFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::Unavailable("torn frame: short payload");
+  }
+  if (ckpt::Crc32(payload.data(), payload.size()) != header.payload_crc) {
+    return Status::Unavailable("torn frame: payload CRC mismatch");
+  }
+  return Status::Ok();
+}
+
+Status WorkerChannel::Send(FrameType type, std::string_view payload) {
+  if (fd_ < 0) return Status::Unavailable("channel closed");
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload exceeds the frame cap");
+  }
+  std::string wire = EncodeFrameHeader(static_cast<uint8_t>(type), payload);
+  wire.append(payload);
+  size_t off = 0;
+  while (off < wire.size()) {
+    const ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("channel send: ") +
+                                 std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WorkerChannel::ReadExact(char* buf, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t got = ::read(fd_, buf + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("channel read: ") +
+                                 std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::Unavailable(off == 0 ? "channel closed by peer"
+                                          : "torn frame: EOF mid-frame");
+    }
+    off += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+Result<Frame> WorkerChannel::Recv() {
+  if (fd_ < 0) return Status::Unavailable("channel closed");
+  char header_bytes[kFrameHeaderBytes];
+  IEJOIN_RETURN_IF_ERROR(ReadExact(header_bytes, sizeof(header_bytes)));
+  IEJOIN_ASSIGN_OR_RETURN(
+      const FrameHeader header,
+      ParseFrameHeader(std::string_view(header_bytes, sizeof(header_bytes))));
+  Frame frame;
+  frame.type = header.type;
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    IEJOIN_RETURN_IF_ERROR(ReadExact(&frame.payload[0], header.payload_len));
+  }
+  IEJOIN_RETURN_IF_ERROR(ValidateFramePayload(header, frame.payload));
+  return frame;
+}
+
+void WorkerChannel::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status CreateChannelPair(int* supervisor_fd, int* worker_fd) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+    return Status::Internal(std::string("socketpair: ") + std::strerror(errno));
+  }
+  // The supervisor's end must not leak into workers exec'd later; the
+  // worker's end must survive exec (no CLOEXEC).
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  *supervisor_fd = fds[0];
+  *worker_fd = fds[1];
+  return Status::Ok();
+}
+
+}  // namespace service
+}  // namespace iejoin

@@ -1,0 +1,99 @@
+#ifndef IEJOIN_SERVICE_WORKER_CHANNEL_H_
+#define IEJOIN_SERVICE_WORKER_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace iejoin {
+namespace service {
+
+/// Length-prefixed, CRC-checked framing over the supervisor <-> worker
+/// socketpair (docs/SERVICE.md "Supervised multi-process mode"). One frame
+/// is a fixed 13-byte little-endian header followed by the payload:
+///
+///   u32 magic "IEJF" | u8 type | u32 payload_len | u32 payload_crc
+///
+/// The CRC is snapshot_format's CRC-32 over the payload bytes. A worker
+/// dying mid-write leaves the reader a short read or a CRC mismatch — both
+/// surface as a clean non-OK Status (never a crash, never a half-parsed
+/// request), which the supervisor treats exactly like a worker death: the
+/// in-flight request is replayed on a healthy worker.
+enum class FrameType : uint8_t {
+  /// Worker -> supervisor, once, after its workbench replica is built and
+  /// it is ready to serve. Payload: decimal pid.
+  kReady = 1,
+  /// Supervisor -> worker. Payload: one raw request line (pre-validated by
+  /// the supervisor; the worker still re-parses defensively).
+  kRequest = 2,
+  /// Worker -> supervisor. Payload: one response line.
+  kResponse = 3,
+  /// Supervisor -> worker: finish up and exit 0. No payload.
+  kShutdown = 4,
+};
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+inline constexpr uint32_t kFrameMagic = 0x464A4549;  // "IEJF" little-endian
+inline constexpr size_t kFrameHeaderBytes = 13;
+/// Far above any request (1 MiB line cap) or response (trajectories of the
+/// longest runs); low enough to reject a corrupt length before allocating.
+inline constexpr uint32_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Serializes the header for `payload` (pure; unit- and fuzz-testable).
+std::string EncodeFrameHeader(uint8_t type, std::string_view payload);
+
+/// Parsed-but-unverified header fields.
+struct FrameHeader {
+  uint8_t type = 0;
+  uint32_t payload_len = 0;
+  uint32_t payload_crc = 0;
+};
+
+/// Validates magic and length bounds. `data` must be exactly
+/// kFrameHeaderBytes (the caller reads fixed-size headers).
+Result<FrameHeader> ParseFrameHeader(std::string_view data);
+
+/// CRC check of a received payload against its header.
+Status ValidateFramePayload(const FrameHeader& header, std::string_view payload);
+
+/// Blocking frame I/O over one socket fd. Writes use send(MSG_NOSIGNAL) so
+/// a dead peer yields EPIPE instead of SIGPIPE; reads retry EINTR and
+/// return kUnavailable on EOF or a torn/corrupt frame.
+class WorkerChannel {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit WorkerChannel(int fd) : fd_(fd) {}
+  ~WorkerChannel() { Close(); }
+
+  WorkerChannel(const WorkerChannel&) = delete;
+  WorkerChannel& operator=(const WorkerChannel&) = delete;
+
+  Status Send(FrameType type, std::string_view payload);
+  /// Blocks for one full frame. EOF, a short read, a bad magic/length, and
+  /// a CRC mismatch all return kUnavailable with a message naming which.
+  Result<Frame> Recv();
+
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  Status ReadExact(char* buf, size_t n);
+
+  int fd_ = -1;
+};
+
+/// socketpair(AF_UNIX, SOCK_STREAM) wrapped in Status handling; `first`
+/// stays in the supervisor (close-on-exec), `second` is inherited by the
+/// exec'd worker.
+Status CreateChannelPair(int* supervisor_fd, int* worker_fd);
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_WORKER_CHANNEL_H_

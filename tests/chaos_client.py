@@ -1,0 +1,511 @@
+# Process-level chaos harness for the supervised service (ctest label
+# "chaos"; see docs/SERVICE.md "Supervised multi-process mode").
+#
+# Usage: chaos_client.py SERVER_BIN SCENARIO WORKDIR [SEED]
+#
+# Four scenarios, all against real iejoin_server processes:
+#
+#  1. Failover burst: a 64-request mixed join burst through `--supervise
+#     --workers 3` while a seeded killer SIGKILLs/SIGABRTs busy and idle
+#     workers. Every request must get exactly one response, byte-identical
+#     to an uninterrupted single-process run of the same requests.
+#  2. Kill-point burst: workers armed via IEJOIN_KILL_AFTER die abruptly
+#     (std::_Exit inside an extraction/query op — mid-request by
+#     construction). Same exactly-one-response + byte-identity assertions.
+#  3. Crash-loop breaker: killing one slot's worker repeatedly must trip
+#     its breaker (slot reported "down", capacity shrinks) while the
+#     remaining workers keep serving.
+#  4. Journal restart report: SIGKILL the supervisor itself mid-request;
+#     a restarted supervisor must report the predecessor's admitted /
+#     responded / unanswered tally from the journal.
+import atexit
+import json
+import os
+import random
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+SERVER = sys.argv[1]
+SCENARIO = sys.argv[2]
+WORKDIR = sys.argv[3]
+SEED = int(sys.argv[4]) if len(sys.argv) > 4 else 1234
+
+rng = random.Random(SEED)
+
+# Every supervisor this harness spawns. A failed assertion must not leak
+# them: a leaked supervisor holds the inherited stdout pipe open and hangs
+# ctest forever. SIGKILL on exit reaps the supervisor; orphaned workers see
+# EOF on their channel and exit on their own.
+SPAWNED = []
+
+
+def kill_spawned():
+    for proc in SPAWNED:
+        if proc.poll() is None:
+            try:
+                proc.kill()
+                proc.wait(timeout=10)
+            except Exception:
+                pass
+
+
+atexit.register(kill_spawned)
+
+
+def fail(msg):
+    print("chaos: FAIL:", msg)
+    sys.exit(1)
+
+
+def make_requests():
+    """64 mixed joins: every algorithm, strategy mix, SLO shape, and a few
+    fault specs, each with a unique id and a fixed seed so responses are
+    reproducible."""
+    reqs = []
+    algos = ["idjn", "oijn", "zgjn"]
+    strategies = ["sc", "fs", "aqg"]
+    for i in range(64):
+        req = {"id": "r%02d" % i, "algorithm": algos[i % 3], "seed": i + 1}
+        if i % 4 != 3:
+            req["tau_good"] = [5, 20, 60][i % 3]
+            req["tau_bad"] = 100000
+        if i % 5 == 0:
+            req["x1"] = strategies[i % 3]
+        if i % 7 == 0:
+            req["faults"] = "extract.error=0.05"
+        if i % 9 == 0:
+            req["deadline_seconds"] = 150
+        if i % 6 == 0:
+            req["metrics"] = True
+        reqs.append(json.dumps(req, sort_keys=True))
+    return reqs
+
+
+REQUESTS = make_requests()
+
+# The slowest request shape this scenario offers (full-corpus zigzag with a
+# trajectory). Used by the targeted mid-request kill step: sent one at a
+# time, so any busy worker must be serving it.
+TARGETED = [
+    json.dumps({"id": "t%d" % k, "algorithm": "zgjn", "tau_good": 100000,
+                "tau_bad": 10000000, "seed": 50 + k, "trajectory": True},
+               sort_keys=True)
+    for k in range(6)
+]
+
+
+def run_baseline():
+    """Uninterrupted single-process run: the byte-level ground truth. The
+    queue must hold the whole pipelined burst (same bound as the chaos
+    runs) or the baseline itself sheds."""
+    everything = REQUESTS + TARGETED
+    payload = ("\n".join(everything) + "\n").encode()
+    proc = subprocess.run(
+        [SERVER, "--scenario", SCENARIO, "--workers", "2",
+         "--max-queue", "128", "--extraction-cache-mb", "8"],
+        input=payload, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        timeout=600)
+    if proc.returncode != 0:
+        fail("baseline server exited %d" % proc.returncode)
+    responses = {}
+    for line in proc.stdout.decode().splitlines():
+        rid = json.loads(line)["id"]
+        if rid in responses:
+            fail("baseline duplicated response for %s" % rid)
+        responses[rid] = line
+    if len(responses) != len(everything):
+        fail("baseline answered %d of %d" % (len(responses), len(everything)))
+    return responses
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.buf = b""
+
+    def send_line(self, line):
+        self.sock.sendall(line.encode() + b"\n")
+
+    def recv_line(self, timeout=300.0):
+        self.sock.settimeout(timeout)
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection")
+            self.buf += chunk
+        line, _, self.buf = self.buf.partition(b"\n")
+        return line.decode()
+
+    def request(self, obj_line, timeout=300.0):
+        self.send_line(obj_line)
+        return json.loads(self.recv_line(timeout))
+
+    def close(self):
+        self.sock.close()
+
+
+def start_server(name, extra_flags, env_extra=None):
+    sock_path = os.path.join(WORKDIR, name + ".sock")
+    err_path = os.path.join(WORKDIR, name + ".err")
+    if os.path.exists(sock_path):
+        os.unlink(sock_path)
+    env = dict(os.environ)
+    env.pop("IEJOIN_KILL_AFTER", None)
+    env.pop("IEJOIN_KILL_SITE", None)
+    if env_extra:
+        env.update(env_extra)
+    proc = subprocess.Popen(
+        [SERVER, "--scenario", SCENARIO, "--supervise", "--socket", sock_path,
+         "--extraction-cache-mb", "8", "--restart-backoff-ms", "20"]
+        + extra_flags,
+        stdout=subprocess.DEVNULL, stderr=open(err_path, "wb"), env=env)
+    SPAWNED.append(proc)
+    for _ in range(600):
+        if os.path.exists(sock_path):
+            return proc, sock_path, err_path
+        if proc.poll() is not None:
+            fail("%s server died at startup (exit %s); see %s"
+                 % (name, proc.returncode, err_path))
+        time.sleep(0.1)
+    proc.kill()
+    fail("%s server never created its socket" % name)
+
+
+def stop_server(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        return proc.wait(timeout=300)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("server did not drain within timeout after SIGTERM")
+
+
+def get_stats(client):
+    resp = client.request('{"id":"__stats","stats":true}', timeout=60.0)
+    if resp.get("id") != "__stats":
+        fail("stats response mismatched: %s" % resp)
+    return resp
+
+
+def wait_workers_idle(client, want, timeout=120.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        st = get_stats(client)
+        idle = [w for w in st["workers"] if w["state"] == "idle"]
+        if len(idle) >= want:
+            return st
+        time.sleep(0.2)
+    fail("workers never became idle")
+
+
+def check_responses(got, baseline, context):
+    if len(got) != len(REQUESTS):
+        missing = sorted(set(json.loads(r)["id"] for r in REQUESTS)
+                         - set(got.keys()))
+        fail("%s: %d responses for %d requests (missing %s)"
+             % (context, len(got), len(REQUESTS), missing[:8]))
+    mismatched = [rid for rid, line in got.items() if baseline[rid] != line]
+    if mismatched:
+        rid = mismatched[0]
+        fail("%s: %d responses differ from baseline, e.g. %s:\n  sup: %s\n  one: %s"
+             % (context, len(mismatched), rid, got[rid], baseline[rid]))
+
+
+def drive_burst(sock_path, baseline, context="burst"):
+    """Sends all requests pipelined on one connection, reading responses as
+    they come."""
+    data = Client(sock_path)
+    ctl = Client(sock_path)
+    for req in REQUESTS:
+        data.send_line(req)
+    got = {}
+    while len(got) < len(REQUESTS):
+        line = data.recv_line()
+        resp = json.loads(line)
+        rid = resp.get("id")
+        if rid in got:
+            fail("%s: duplicate response for %s" % (context, rid))
+        if resp.get("status") not in ("ok", "degraded"):
+            fail("%s: unexpected status for %s: %s" % (context, rid, line))
+        got[rid] = line
+    # Nothing extra may trail the final response.
+    data.sock.settimeout(0.5)
+    try:
+        extra = data.sock.recv(4096)
+        if extra:
+            fail("%s: unexpected trailing bytes: %r" % (context, extra[:80]))
+    except socket.timeout:
+        pass
+    st = get_stats(ctl)
+    data.close()
+    ctl.close()
+    check_responses(got, baseline, context)
+    return st
+
+
+def scenario_signal_chaos(baseline):
+    """Seeded SIGKILL/SIGABRT storm against busy and idle workers."""
+    proc, sock_path, err_path = start_server(
+        "chaos_signals",
+        ["--workers", "3", "--max-queue", "128",
+         "--journal", os.path.join(WORKDIR, "chaos_signals.journal"),
+         "--breaker-max-crashes", "1000"])
+    boot = Client(sock_path)
+    wait_workers_idle(boot, want=3)
+    boot.close()
+
+    state = {"kills": 0}
+    stop_evt = threading.Event()
+
+    def killer_loop():
+        # Own thread at a fixed cadence, so kills land while the main
+        # thread is blocked reading responses.
+        ctl = Client(sock_path)
+        while not stop_evt.is_set() and state["kills"] < 6:
+            try:
+                st = get_stats(ctl)
+            except Exception:
+                break
+            live = [w for w in st["workers"]
+                    if w["pid"] > 0 and w["state"] in ("busy", "idle")]
+            if live:
+                # Seeded choice of victim and signal; busy workers preferred
+                # so most kills land mid-request.
+                busy = [w for w in live if w["state"] == "busy"]
+                victim = rng.choice(busy or live)
+                sig = rng.choice([signal.SIGKILL, signal.SIGABRT])
+                try:
+                    os.kill(victim["pid"], sig)
+                    state["kills"] += 1
+                except ProcessLookupError:
+                    pass
+            stop_evt.wait(0.1)
+        ctl.close()
+
+    killer = threading.Thread(target=killer_loop)
+    killer.start()
+    try:
+        st = drive_burst(sock_path, baseline, context="signal-chaos")
+    finally:
+        stop_evt.set()
+        killer.join()
+    crashes = st["metrics"]["counters"]["supervisor.worker_crashes"]
+    if state["kills"] == 0:
+        fail("signal-chaos: killer never fired")
+    if crashes < 1:
+        fail("signal-chaos: no worker crash recorded despite %d kills"
+             % state["kills"])
+
+    # Targeted mid-request kills: the burst's requests are fast enough that
+    # the storm above mostly catches idle workers, so this step sends one
+    # slow request at a time — any busy worker must be serving it — and
+    # SIGKILLs the first busy sighting. At least one of the tries must land
+    # mid-request (replay counter advances), and every response, replayed or
+    # not, must still match the baseline bytes.
+    data = Client(sock_path)
+    ctl = Client(sock_path)
+    wait_workers_idle(ctl, want=1)
+    replays_before = get_stats(ctl)["metrics"]["counters"][
+        "supervisor.replays"]
+    landed = False
+    for line in TARGETED:
+        done = threading.Event()
+
+        def spin_kill():
+            while not done.is_set():
+                try:
+                    s = get_stats(ctl)
+                except Exception:
+                    return
+                busy = [w for w in s["workers"]
+                        if w["state"] == "busy" and w["pid"] > 0]
+                if busy:
+                    try:
+                        os.kill(busy[0]["pid"], signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                    return  # one kill per try; a stale hit just retries
+                time.sleep(0.004)
+
+        spinner = threading.Thread(target=spin_kill)
+        data.send_line(line)
+        spinner.start()
+        resp_line = data.recv_line()
+        done.set()
+        spinner.join()
+        rid = json.loads(resp_line)["id"]
+        if baseline[rid] != resp_line:
+            fail("signal-chaos: targeted response differs from baseline:\n"
+                 "  sup: %s\n  one: %s" % (resp_line, baseline[rid]))
+        if get_stats(ctl)["metrics"]["counters"][
+                "supervisor.replays"] > replays_before:
+            landed = True
+            break
+    if not landed:
+        fail("signal-chaos: no targeted kill landed mid-request in %d tries"
+             % len(TARGETED))
+    final = get_stats(ctl)
+    data.close()
+    ctl.close()
+    stop_server(proc)
+    print("chaos: signal scenario ok (%d burst kills, %d crashes, "
+          "%d replays)"
+          % (state["kills"],
+             final["metrics"]["counters"]["supervisor.worker_crashes"],
+             final["metrics"]["counters"]["supervisor.replays"]))
+
+
+def scenario_kill_points(baseline):
+    """Workers self-destruct mid-operation via the kill-point hook: the
+    death lands inside an extraction/query op, strictly mid-request."""
+    # The budget must exceed the heaviest single request's op count (the
+    # no-tau exhaustion joins make ~3-4k extract hits): a fresh worker must
+    # always be able to finish any one request, otherwise that request
+    # deterministically kills every replacement and the supervisor rightly
+    # abandons it — which is the breaker scenario's job to cover, not this
+    # one. 6000 sits above any request and far below the burst total, so
+    # several workers still die mid-request.
+    proc, sock_path, err_path = start_server(
+        "chaos_killpoint",
+        ["--workers", "3", "--max-queue", "128", "--max-replays", "8",
+         "--breaker-max-crashes", "1000"],
+        env_extra={"IEJOIN_KILL_AFTER": "6000", "IEJOIN_KILL_SITE": "op.extract"})
+    boot = Client(sock_path)
+    wait_workers_idle(boot, want=3)
+    boot.close()
+    st = drive_burst(sock_path, baseline, context="kill-point")
+    crashes = st["metrics"]["counters"]["supervisor.worker_crashes"]
+    if crashes < 1:
+        fail("kill-point: no worker died; IEJOIN_KILL_AFTER did not arm?")
+    stop_server(proc)
+    print("chaos: kill-point scenario ok (%d crashes, %d replays)"
+          % (crashes, st["metrics"]["counters"]["supervisor.replays"]))
+
+
+def scenario_breaker():
+    """Two kills inside the window must park the slot for good."""
+    proc, sock_path, err_path = start_server(
+        "chaos_breaker",
+        ["--workers", "2", "--breaker-max-crashes", "2",
+         "--breaker-window-seconds", "600"])
+    ctl = Client(sock_path)
+    wait_workers_idle(ctl, want=2)
+
+    target = 0
+    for round_no in range(2):
+        # Wait for the slot to hold a live worker, then kill it.
+        deadline = time.time() + 120
+        pid = -1
+        while time.time() < deadline:
+            st = get_stats(ctl)
+            w = st["workers"][target]
+            if w["pid"] > 0 and w["state"] in ("idle", "busy"):
+                pid = w["pid"]
+                break
+            time.sleep(0.2)
+        if pid <= 0:
+            fail("breaker: slot %d never came (back) up" % target)
+        os.kill(pid, signal.SIGKILL)
+        time.sleep(0.3)
+
+    deadline = time.time() + 120
+    parked = False
+    while time.time() < deadline:
+        st = get_stats(ctl)
+        w = st["workers"][target]
+        if w["state"] == "down" and w["breaker_state"] == "open":
+            parked = True
+            break
+        time.sleep(0.2)
+    if not parked:
+        fail("breaker: slot %d never parked: %s" % (target, st["workers"]))
+    if st["metrics"]["gauges"]["supervisor.workers_down"] < 1:
+        fail("breaker: workers_down gauge not raised: %s" % st["metrics"])
+
+    # Shrunken capacity still serves.
+    resp = ctl.request('{"id":"after","tau_good":5,"tau_bad":100000,"seed":1}')
+    if resp.get("status") not in ("ok", "degraded"):
+        fail("breaker: surviving worker failed to serve: %s" % resp)
+    ctl.close()
+    stop_server(proc)
+    print("chaos: breaker scenario ok (slot %d parked after 2 crashes)" % target)
+
+
+def scenario_journal_restart():
+    """SIGKILL the supervisor mid-request; the successor must report the
+    journal's admitted/responded/unanswered tally."""
+    journal = os.path.join(WORKDIR, "chaos_journal.bin")
+    if os.path.exists(journal):
+        os.unlink(journal)
+    proc, sock_path, err_path = start_server(
+        "chaos_journal1", ["--workers", "1", "--journal", journal])
+    ctl = Client(sock_path)
+    wait_workers_idle(ctl, want=1)
+    resp = ctl.request('{"id":"j1","tau_good":5,"tau_bad":100000,"seed":1}')
+    if resp.get("status") != "ok":
+        fail("journal: warmup join failed: %s" % resp)
+    # Pipeline a backlog of slow requests on a separate data connection (the
+    # single worker needs ~100ms+ to drain it), confirm the backlog is
+    # visible, then SIGKILL the supervisor with work still outstanding.
+    data = Client(sock_path)
+    for k in range(8):
+        data.send_line(json.dumps(
+            {"id": "q%d" % k, "algorithm": "zgjn", "tau_good": 100000,
+             "tau_bad": 10000000, "seed": 60 + k, "trajectory": True},
+            sort_keys=True))
+    saw_backlog = False
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        st = get_stats(ctl)
+        if st["queued"] + st["active"] >= 1:
+            saw_backlog = True
+            break
+        time.sleep(0.005)
+    if not saw_backlog:
+        fail("journal: backlog never became visible")
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=60)
+    ctl.close()
+    data.close()
+
+    proc2, sock2, err2 = start_server(
+        "chaos_journal2", ["--workers", "1", "--journal", journal])
+    stop_server(proc2)
+    report = open(err2).read()
+    if "from a previous run" not in report:
+        fail("journal: restarted supervisor printed no journal report:\n%s"
+             % report)
+    line = [l for l in report.splitlines() if "from a previous run" in l][0]
+    m = re.search(r"(\d+) admitted, (\d+) responded, (\d+) replays, "
+                  r"(\d+) unanswered", line)
+    if not m:
+        fail("journal: unparseable report line: %s" % line)
+    admitted, responded, replays, unanswered = map(int, m.groups())
+    if admitted < 2 or responded < 1 or unanswered < 1:
+        fail("journal: tally does not show interrupted work: %s" % line)
+    if responded + unanswered != admitted:
+        fail("journal: tally does not add up: %s" % line)
+    print("chaos: journal scenario ok (%s)" % line.split("] ")[-1])
+
+
+def main():
+    os.makedirs(WORKDIR, exist_ok=True)
+    t0 = time.time()
+    baseline = run_baseline()
+    print("chaos: baseline captured (%d responses, %.1fs)"
+          % (len(baseline), time.time() - t0))
+    scenario_signal_chaos(baseline)
+    scenario_kill_points(baseline)
+    scenario_breaker()
+    scenario_journal_restart()
+    print("chaos: all scenarios ok (%.1fs, seed %d)" % (time.time() - t0, SEED))
+
+
+if __name__ == "__main__":
+    main()

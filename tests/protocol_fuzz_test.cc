@@ -1,0 +1,215 @@
+// Seeded robustness fuzz over every parser that consumes bytes from
+// outside the process: the service request parser (client-controlled JSON
+// lines), the worker-channel frame codec (bytes off a socketpair a worker
+// may die mid-write on), and the request journal reader (a file a crashed
+// supervisor left torn). Runs under the ASan/UBSan CI lane; the invariants
+// are "never crash, never read out of bounds, and strictly reject what the
+// grammar forbids" — not any particular parse result.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "service/request_journal.h"
+#include "service/service_protocol.h"
+#include "service/worker_channel.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+constexpr uint64_t kFuzzSeed = 0xF0221ED5;
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+  }
+  return out;
+}
+
+/// Bytes that look more like JSON than uniform noise, so the scanner's
+/// deeper states get exercised too.
+std::string RandomJsonish(Rng* rng, size_t max_len) {
+  static const char kAlphabet[] =
+      "{}[]\":,.-+eE0123456789truefalsenull \\tau_good idbad stats health "
+      "algorithm theta seed faults metrics trajectory deadline_seconds\n\r";
+  const size_t len = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(
+        kAlphabet[rng->UniformInt(0, sizeof(kAlphabet) - 2)]);
+  }
+  return out;
+}
+
+const char* const kValidRequests[] = {
+    R"({"id":"a","tau_good":5,"tau_bad":100000,"seed":1,"metrics":true})",
+    R"({"algorithm":"oijn","theta1":0.5,"theta2":0.25,"x1":"fs","x2":"aqg"})",
+    R"({"id":"d","deadline_seconds":250,"faults":"extract.error=0.1","seed":7})",
+    R"({"stats":true})",
+    R"({"health":true})",
+    R"({"id":"t","algorithm":"zgjn","tau_good":20,"trajectory":true})",
+};
+
+std::string Mutate(const std::string& base, Rng* rng) {
+  std::string out = base;
+  const int op = static_cast<int>(rng->UniformInt(0, 3));
+  if (out.empty()) return RandomBytes(rng, 64);
+  const size_t at = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+  switch (op) {
+    case 0:  // flip a byte
+      out[at] = static_cast<char>(rng->UniformInt(0, 255));
+      break;
+    case 1:  // truncate
+      out.resize(at);
+      break;
+    case 2:  // duplicate a span (repeated keys, nested garbage)
+      out.insert(at, out.substr(at / 2, 16));
+      break;
+    case 3:  // splice noise
+      out.insert(at, RandomJsonish(rng, 24));
+      break;
+  }
+  return out;
+}
+
+TEST(ProtocolFuzzTest, ParseServiceRequestNeverCrashes) {
+  Rng rng(kFuzzSeed);
+  for (int i = 0; i < 20000; ++i) {
+    std::string line;
+    switch (i % 3) {
+      case 0:
+        line = RandomBytes(&rng, 256);
+        break;
+      case 1:
+        line = RandomJsonish(&rng, 256);
+        break;
+      default:
+        line = Mutate(kValidRequests[i % 6], &rng);
+        break;
+    }
+    const auto parsed = ParseServiceRequest(line);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << line;
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, AcceptedRequestsSurviveRevalidation) {
+  // Anything the parser accepts must be servable: plan construction and
+  // fault-spec validation may reject it (that is a clean "invalid"
+  // response), but never crash.
+  Rng rng(kFuzzSeed ^ 0xA5A5);
+  int accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::string line = Mutate(kValidRequests[i % 6], &rng);
+    const auto parsed = ParseServiceRequest(line);
+    if (!parsed.ok()) continue;
+    ++accepted;
+    if (parsed->kind != ServiceRequest::Kind::kJoin) continue;
+    (void)ValidateJoinRequest(*parsed);
+  }
+  // The corpus mutates lightly, so a healthy fraction must still parse —
+  // otherwise this test silently stopped covering the accept path.
+  EXPECT_GT(accepted, 100);
+}
+
+TEST(ProtocolFuzzTest, StrictRejectInvariants) {
+  // The properties the service's security posture leans on, pinned exactly.
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":5} trailing)").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"unknown_key":1})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":"five"})").ok());
+  EXPECT_FALSE(ParseServiceRequest(R"({"tau_good":5,)").ok());
+  EXPECT_FALSE(ParseServiceRequest("").ok());
+  EXPECT_FALSE(ParseServiceRequest("[]").ok());
+  EXPECT_FALSE(ParseServiceRequest(std::string(1, '\0')).ok());
+}
+
+TEST(ProtocolFuzzTest, FrameHeaderFuzzNeverCrashes) {
+  Rng rng(kFuzzSeed ^ 0x0F0F);
+  // Exact-size random headers: parse must bound payload_len or reject.
+  for (int i = 0; i < 20000; ++i) {
+    std::string header = RandomBytes(&rng, kFrameHeaderBytes);
+    header.resize(kFrameHeaderBytes, '\0');
+    const auto parsed = ParseFrameHeader(header);
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->payload_len, kMaxFramePayloadBytes);
+    }
+  }
+  // Mutated real headers: single-bit damage must never yield an oversize
+  // accepted length.
+  for (int i = 0; i < 20000; ++i) {
+    std::string header = EncodeFrameHeader(
+        static_cast<uint8_t>(FrameType::kResponse), "payload bytes here");
+    const size_t at = static_cast<size_t>(rng.UniformInt(0, kFrameHeaderBytes - 1));
+    header[at] = static_cast<char>(header[at] ^ (1u << rng.UniformInt(0, 7)));
+    const auto parsed = ParseFrameHeader(header);
+    if (parsed.ok()) {
+      EXPECT_LE(parsed->payload_len, kMaxFramePayloadBytes);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, FramePayloadCrcCatchesMutations) {
+  Rng rng(kFuzzSeed ^ 0x3C3C);
+  const std::string payload(200, 'j');
+  const std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kResponse), payload);
+  const auto parsed = ParseFrameHeader(header);
+  ASSERT_TRUE(parsed.ok());
+  for (int i = 0; i < 5000; ++i) {
+    std::string mutated = payload;
+    const size_t at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+    const char bit = static_cast<char>(1u << rng.UniformInt(0, 7));
+    mutated[at] = static_cast<char>(mutated[at] ^ bit);
+    EXPECT_FALSE(ValidateFramePayload(*parsed, mutated).ok());
+  }
+}
+
+TEST(ProtocolFuzzTest, JournalReaderFuzzNeverCrashes) {
+  Rng rng(kFuzzSeed ^ 0x7777);
+  // A valid journal with mutations sprayed over it: the reader must stop at
+  // the damage, never crash or report more records than the file held.
+  std::string image;
+  for (uint64_t seq = 1; seq <= 64; ++seq) {
+    JournalRecord record;
+    record.event = JournalEvent::kAdmit;
+    record.seq = seq;
+    record.worker = static_cast<uint32_t>(seq % 4);
+    record.id = "req-" + std::to_string(seq);
+    image += EncodeJournalRecord(record);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    std::string mutated = image;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t at = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[at] = static_cast<char>(rng.UniformInt(0, 255));
+    }
+    size_t torn = 0;
+    const auto records = ParseJournalRecords(mutated, &torn);
+    EXPECT_LE(records.size(), 64u);
+    EXPECT_LE(torn, mutated.size());
+    (void)SummarizeJournal(records);
+  }
+  // Pure noise as well.
+  for (int i = 0; i < 2000; ++i) {
+    const std::string noise = RandomBytes(&rng, 512);
+    size_t torn = 0;
+    (void)ParseJournalRecords(noise, &torn);
+    EXPECT_LE(torn, noise.size());
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace iejoin

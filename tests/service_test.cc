@@ -264,12 +264,19 @@ TEST_F(ServiceTest, QueueFullShedsWithRetryHint) {
             [&](std::string) { queued_answered = true; });
 
   // Queue full: shed synchronously, never crash or buffer without bound.
+  // The retry hint is jittered into [base, 2*base) deterministically per
+  // (seed, shed ordinal), so expect exactly what the helper computes.
   for (int i = 0; i < 3; ++i) {
     std::string shed;
     svc.Serve(R"({"id":"burst"})", [&](std::string r) { shed = std::move(r); });
     EXPECT_TRUE(Contains(shed, "\"status\":\"unavailable\"")) << shed;
     EXPECT_TRUE(Contains(shed, "\"reason\":\"overloaded\"")) << shed;
-    EXPECT_TRUE(Contains(shed, "\"retry_after_ms\":125")) << shed;
+    const int64_t expected = JitteredRetryAfterMs(
+        config.retry_after_ms, config.shed_jitter_seed, static_cast<uint64_t>(i));
+    EXPECT_GE(expected, config.retry_after_ms);
+    EXPECT_LT(expected, 2 * config.retry_after_ms);
+    EXPECT_TRUE(Contains(shed, "\"retry_after_ms\":" + std::to_string(expected)))
+        << shed;
   }
   EXPECT_EQ(svc.stats().Snapshot().counters.at("service.shed"), 3);
   EXPECT_FALSE(queued_answered.load());

@@ -35,11 +35,15 @@ c1.sendall(b'{"id":"c1","tau_good":5,"tau_bad":100000,"seed":1}\n')
 r = recv_line(c1)
 assert '"id":"c1"' in r and '"status":"ok"' in r, r
 
-# Second client answered while the first stays connected but idle.
+# Second client answered while the first stays connected but idle. Health
+# must carry the serving pid and a sane uptime.
 c2 = connect()
 c2.sendall(b'{"id":"c2","health":true}\n')
 r = recv_line(c2)
 assert '"id":"c2"' in r and '"status":"ok"' in r, r
+health = json.loads(r)
+assert health["pid"] > 0, r
+assert health["uptime_ms"] >= 0, r
 
 # An over-long line kills its own connection (the server may respond with
 # "invalid" first or a racing sendall may see EPIPE) and nothing else.
@@ -52,6 +56,15 @@ except BrokenPipeError:
     pass
 c3.close()
 
+# Disconnect mid-response: admit a join, then vanish before the response
+# can be written. The worker's send must surface as EPIPE on the dead
+# connection (MSG_NOSIGNAL — never a process-wide SIGPIPE) and the server
+# keeps serving everyone else. The join still runs to completion, so the
+# drain count at shutdown includes it.
+cdm = connect()
+cdm.sendall(b'{"id":"dm","algorithm":"zgjn","tau_good":20,"tau_bad":100000}\n')
+cdm.close()
+
 # Abrupt disconnect compacts the client list; c1 (an earlier index) must
 # still be served afterwards, and the stats response must echo its id.
 c2.close()
@@ -59,6 +72,8 @@ time.sleep(0.3)
 c1.sendall(b'{"id":"c1b","stats":true}\n')
 r = recv_line(c1)
 assert '"id":"c1b"' in r and '"service.requests"' in r, r
+stats = json.loads(r)
+assert stats["pid"] > 0 and stats["uptime_ms"] >= 0, r
 c1.sendall(b'{"id":"c1c","algorithm":"oijn","tau_good":5,"tau_bad":100000}\n')
 r = recv_line(c1)
 assert '"id":"c1c"' in r and '"status":"ok"' in r, r
@@ -72,8 +87,23 @@ def counter(snapshot, name):
     return snapshot["metrics"]["counters"].get(name, 0)
 
 
-c1.sendall(b'{"id":"s1","stats":true}\n')
-s1 = json.loads(recv_line(c1))
+def stats_when_idle(sock, rid):
+    # Joins respond before their slot is released (that ordering is what
+    # lets Drain() guarantee delivery), so counters can lag the last-read
+    # response by up to --workers requests. Poll until nothing is in
+    # flight so the snapshot is exact.
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        sock.sendall(('{"id":"%s","stats":true}\n' % rid).encode())
+        snap = json.loads(recv_line(sock))
+        assert snap["id"] == rid, snap
+        if snap["queued"] == 0 and snap["active"] == 0:
+            return snap
+        time.sleep(0.01)
+    raise AssertionError("service never went idle for %s" % rid)
+
+
+s1 = stats_when_idle(c1, "s1")
 BURST = 4
 ok_seen = 0
 degraded_seen = 0
@@ -88,10 +118,10 @@ for i in range(BURST):
         degraded_seen += 1
     else:
         raise AssertionError(resp)
-c1.sendall(b'{"id":"s2","stats":true}\n')
-s2 = json.loads(recv_line(c1))
+s2 = stats_when_idle(c1, "s2")
 requests_delta = counter(s2, "service.requests") - counter(s1, "service.requests")
-assert requests_delta == BURST + 1, (requests_delta, s1, s2)  # s2 counts itself
+# Every burst line plus however many stats polls s2 itself took.
+assert requests_delta > BURST, (requests_delta, s1, s2)
 ok_delta = counter(s2, "service.ok") - counter(s1, "service.ok")
 assert ok_delta == ok_seen, (ok_delta, ok_seen, s1, s2)
 degraded_delta = counter(s2, "service.degraded") - counter(s1, "service.degraded")

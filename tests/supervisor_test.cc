@@ -1,0 +1,280 @@
+// Unit coverage for the supervisor's pure building blocks: the crash-loop
+// breaker, the worker-channel frame codec, the request journal, and the
+// jittered shed hint. Process-level failover itself is exercised end to end
+// by the chaos harness (tests/chaos_client.py, label "chaos").
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/request_journal.h"
+#include "service/service_protocol.h"
+#include "service/supervisor.h"
+#include "service/worker_channel.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+// --------------------------------------------------------------------------
+// CrashLoopBreaker
+// --------------------------------------------------------------------------
+
+TEST(CrashLoopBreakerTest, TripsOnKCrashesInsideWindow) {
+  CrashLoopBreaker::Config config;
+  config.max_crashes = 3;
+  config.window_seconds = 10.0;
+  CrashLoopBreaker breaker(config);
+
+  EXPECT_FALSE(breaker.RecordCrash(1.0));
+  EXPECT_FALSE(breaker.RecordCrash(2.0));
+  EXPECT_FALSE(breaker.open());
+  EXPECT_TRUE(breaker.RecordCrash(3.0));
+  EXPECT_TRUE(breaker.open());
+}
+
+TEST(CrashLoopBreakerTest, WindowSlidesOldCrashesOut) {
+  CrashLoopBreaker::Config config;
+  config.max_crashes = 3;
+  config.window_seconds = 10.0;
+  CrashLoopBreaker breaker(config);
+
+  EXPECT_FALSE(breaker.RecordCrash(0.0));
+  EXPECT_FALSE(breaker.RecordCrash(5.0));
+  // 20s later the first two crashes have aged out: this is crash 1 of a
+  // fresh window, not crash 3 of the old one.
+  EXPECT_FALSE(breaker.RecordCrash(20.0));
+  EXPECT_EQ(breaker.recent_crashes(), 1);
+  EXPECT_FALSE(breaker.open());
+}
+
+TEST(CrashLoopBreakerTest, OpenIsTerminal) {
+  CrashLoopBreaker::Config config;
+  config.max_crashes = 1;
+  config.window_seconds = 1.0;
+  CrashLoopBreaker breaker(config);
+  EXPECT_TRUE(breaker.RecordCrash(0.0));
+  // Later crashes (any distance out) report "already open", never re-trip.
+  EXPECT_FALSE(breaker.RecordCrash(100.0));
+  EXPECT_TRUE(breaker.open());
+}
+
+TEST(CrashLoopBreakerTest, NonPositiveLimitDisables) {
+  CrashLoopBreaker::Config config;
+  config.max_crashes = 0;
+  CrashLoopBreaker breaker(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(breaker.RecordCrash(static_cast<double>(i)));
+  }
+  EXPECT_FALSE(breaker.open());
+}
+
+// --------------------------------------------------------------------------
+// Worker-channel frame codec
+// --------------------------------------------------------------------------
+
+TEST(WorkerChannelFrameTest, HeaderRoundTrips) {
+  const std::string payload = "{\"id\":\"r1\",\"tau_good\":5}";
+  const std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kRequest), payload);
+  ASSERT_EQ(header.size(), kFrameHeaderBytes);
+
+  auto parsed = ParseFrameHeader(header);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->type, static_cast<uint8_t>(FrameType::kRequest));
+  EXPECT_EQ(parsed->payload_len, payload.size());
+  EXPECT_TRUE(ValidateFramePayload(*parsed, payload).ok());
+}
+
+TEST(WorkerChannelFrameTest, EmptyPayloadRoundTrips) {
+  const std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kShutdown), "");
+  auto parsed = ParseFrameHeader(header);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->payload_len, 0u);
+  EXPECT_TRUE(ValidateFramePayload(*parsed, "").ok());
+}
+
+TEST(WorkerChannelFrameTest, BadMagicIsTornFrame) {
+  std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kResponse), "x");
+  header[0] ^= 0x5A;
+  const auto parsed = ParseFrameHeader(header);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(WorkerChannelFrameTest, OversizeLengthRejectedBeforeAllocation) {
+  std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kResponse), "x");
+  // Overwrite payload_len (bytes 5..8) with a length beyond the frame cap.
+  const uint32_t huge = kMaxFramePayloadBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    header[5 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  }
+  const auto parsed = ParseFrameHeader(header);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(WorkerChannelFrameTest, CorruptPayloadFailsCrc) {
+  const std::string payload = "response bytes";
+  const std::string header =
+      EncodeFrameHeader(static_cast<uint8_t>(FrameType::kResponse), payload);
+  auto parsed = ParseFrameHeader(header);
+  ASSERT_TRUE(parsed.ok());
+  std::string corrupted = payload;
+  corrupted[3] ^= 0x01;
+  EXPECT_FALSE(ValidateFramePayload(*parsed, corrupted).ok());
+  EXPECT_FALSE(ValidateFramePayload(*parsed, payload.substr(1)).ok());
+}
+
+TEST(WorkerChannelFrameTest, WrongSizeHeaderRejected) {
+  EXPECT_FALSE(ParseFrameHeader("short").ok());
+  EXPECT_FALSE(ParseFrameHeader(std::string(kFrameHeaderBytes + 1, 'x')).ok());
+}
+
+// --------------------------------------------------------------------------
+// Request journal
+// --------------------------------------------------------------------------
+
+JournalRecord MakeRecord(JournalEvent event, uint64_t seq, uint32_t worker,
+                         std::string id = std::string()) {
+  JournalRecord record;
+  record.event = event;
+  record.seq = seq;
+  record.worker = worker;
+  record.id = std::move(id);
+  return record;
+}
+
+TEST(RequestJournalTest, RecordsRoundTrip) {
+  std::string image;
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kEpoch, 1, 0));
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kAdmit, 1, 0, "r1"));
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kDispatch, 1, 2, "r1"));
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kRespond, 1, 2, "r1"));
+
+  size_t torn = 99;
+  const auto records = ParseJournalRecords(image, &torn);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(torn, 0u);
+  EXPECT_EQ(records[1].event, JournalEvent::kAdmit);
+  EXPECT_EQ(records[1].seq, 1u);
+  EXPECT_EQ(records[1].id, "r1");
+  EXPECT_EQ(records[2].worker, 2u);
+}
+
+TEST(RequestJournalTest, TornTailStopsCleanly) {
+  std::string image;
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kAdmit, 1, 0, "a"));
+  const std::string full =
+      EncodeJournalRecord(MakeRecord(JournalEvent::kRespond, 1, 1, "a"));
+  // A crash mid-append leaves a prefix of the last record.
+  image += full.substr(0, full.size() - 3);
+
+  size_t torn = 0;
+  const auto records = ParseJournalRecords(image, &torn);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(torn, full.size() - 3);
+}
+
+TEST(RequestJournalTest, CorruptRecordStopsScan) {
+  std::string image;
+  image += EncodeJournalRecord(MakeRecord(JournalEvent::kAdmit, 1, 0, "a"));
+  std::string second =
+      EncodeJournalRecord(MakeRecord(JournalEvent::kRespond, 1, 1, "a"));
+  second[second.size() - 1] ^= 0x40;  // flip a payload bit: CRC mismatch
+  image += second;
+
+  const auto records = ParseJournalRecords(image);
+  EXPECT_EQ(records.size(), 1u);
+}
+
+TEST(RequestJournalTest, ArbitraryBytesNeverCrash) {
+  // Deterministic pseudo-garbage; the parser must stop, not throw or scan
+  // out of bounds.
+  std::string garbage;
+  uint32_t x = 0x12345678;
+  for (int i = 0; i < 4096; ++i) {
+    x = x * 1664525u + 1013904223u;
+    garbage.push_back(static_cast<char>(x >> 24));
+  }
+  size_t torn = 0;
+  const auto records = ParseJournalRecords(garbage, &torn);
+  EXPECT_LE(records.size(), garbage.size() / 8);
+  EXPECT_LE(torn, garbage.size());
+}
+
+TEST(RequestJournalTest, SummaryFindsUnansweredAndReplays) {
+  std::vector<JournalRecord> records;
+  records.push_back(MakeRecord(JournalEvent::kEpoch, 1, 0));
+  records.push_back(MakeRecord(JournalEvent::kAdmit, 1, 0, "a"));
+  records.push_back(MakeRecord(JournalEvent::kAdmit, 2, 0, "b"));
+  records.push_back(MakeRecord(JournalEvent::kAdmit, 3, 0, "c"));
+  records.push_back(MakeRecord(JournalEvent::kDispatch, 1, 0, "a"));
+  records.push_back(MakeRecord(JournalEvent::kReplay, 1, 0, "a"));
+  records.push_back(MakeRecord(JournalEvent::kRespond, 1, 1, "a"));
+  records.push_back(MakeRecord(JournalEvent::kAbandon, 2, 1, "b"));
+  // seq 3 was in flight when the supervisor died: admitted, never answered.
+
+  const JournalSummary summary = SummarizeJournal(records);
+  EXPECT_EQ(summary.admitted, 3);
+  EXPECT_EQ(summary.responded, 2);  // kRespond + kAbandon both answer
+  EXPECT_EQ(summary.replays, 1);
+  EXPECT_EQ(summary.max_seq, 3u);
+  ASSERT_EQ(summary.unanswered.size(), 1u);
+  EXPECT_EQ(summary.unanswered[0], 3u);
+}
+
+TEST(RequestJournalTest, FileRoundTripThroughWriter) {
+  const std::string path = ::testing::TempDir() + "/journal_roundtrip.bin";
+  std::remove(path.c_str());
+  {
+    RequestJournal journal;
+    ASSERT_TRUE(journal.Open(path).ok());
+    journal.Append(MakeRecord(JournalEvent::kEpoch, 1, 0));
+    journal.Append(MakeRecord(JournalEvent::kAdmit, 1, 0, "x"));
+    journal.Append(MakeRecord(JournalEvent::kRespond, 1, 0, "x"));
+  }
+  auto summary = ReadJournalSummary(path);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->admitted, 1);
+  EXPECT_EQ(summary->responded, 1);
+  EXPECT_TRUE(summary->unanswered.empty());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Jittered shed hint
+// --------------------------------------------------------------------------
+
+TEST(JitteredRetryAfterMsTest, StaysInHalfOpenRange) {
+  for (uint64_t ordinal = 0; ordinal < 256; ++ordinal) {
+    const int64_t hint = JitteredRetryAfterMs(50, 1, ordinal);
+    EXPECT_GE(hint, 50);
+    EXPECT_LT(hint, 100);
+  }
+}
+
+TEST(JitteredRetryAfterMsTest, DeterministicPerSeedAndOrdinal) {
+  EXPECT_EQ(JitteredRetryAfterMs(50, 7, 3), JitteredRetryAfterMs(50, 7, 3));
+  // Different ordinals must not all collapse to one value.
+  bool varied = false;
+  const int64_t first = JitteredRetryAfterMs(1000, 7, 0);
+  for (uint64_t ordinal = 1; ordinal < 32 && !varied; ++ordinal) {
+    varied = JitteredRetryAfterMs(1000, 7, ordinal) != first;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(JitteredRetryAfterMsTest, TinyBasePassesThrough) {
+  EXPECT_EQ(JitteredRetryAfterMs(0, 1, 0), 0);
+  EXPECT_EQ(JitteredRetryAfterMs(1, 1, 0), 1);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace iejoin

@@ -4,7 +4,10 @@
 //       [--retry-after-ms MS] [--deadline-seconds S]
 //       [--extraction-cache-mb N] [--socket PATH]
 //       [--telemetry-out FILE] [--telemetry-every-requests N]
-//       [--exposition-out FILE]
+//       [--exposition-out FILE] [--shed-jitter-seed N]
+//       [--supervise] [--journal FILE] [--max-replays N]
+//       [--breaker-max-crashes N] [--breaker-window-seconds S]
+//       [--restart-backoff-ms MS]
 //
 // Serves line-delimited JSON join requests (schema in docs/SERVICE.md) over
 // stdin/stdout by default, or over a unix stream socket with --socket. The
@@ -17,6 +20,15 @@
 // "unavailable" + retry_after_ms instead of queueing without bound or
 // dying. SIGTERM/SIGINT stop admission, drain every admitted request, write
 // the Prometheus exposition (--exposition-out), and exit 0.
+//
+// With --supervise the process becomes a supervisor that fork+execs
+// --workers worker processes (this same binary, re-invoked with
+// --worker-channel-fd), each holding its own workbench replica and serving
+// one request at a time. A worker death — crash, kill, abort, torn frame —
+// is isolated: the in-flight request is replayed on a healthy worker (the
+// determinism contract makes the replayed response byte-identical) and the
+// dead worker is restarted with exponential backoff until its crash-loop
+// breaker trips. See docs/SERVICE.md "Supervised multi-process mode".
 
 #include <errno.h>
 #include <poll.h>
@@ -36,10 +48,12 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/kill_point.h"
 #include "harness/workbench.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "service/join_service.h"
+#include "service/supervisor.h"
 #include "textdb/corpus_io.h"
 
 namespace iejoin {
@@ -78,14 +92,17 @@ int Usage() {
       "           [--retry-after-ms MS] [--deadline-seconds S]\n"
       "           [--extraction-cache-mb N] [--socket PATH]\n"
       "           [--telemetry-out FILE] [--telemetry-every-requests N]\n"
-      "           [--exposition-out FILE]\n");
+      "           [--exposition-out FILE] [--shed-jitter-seed N]\n"
+      "           [--supervise] [--journal FILE] [--max-replays N]\n"
+      "           [--breaker-max-crashes N] [--breaker-window-seconds S]\n"
+      "           [--restart-backoff-ms MS]\n");
   return 2;
 }
 
 /// Splits completed lines out of `buffer`, serving each. Returns false when
 /// the connection exceeded the line-length bound (caller should drop it).
-bool DrainLines(std::string* buffer, service::JoinService* service,
-                const service::JoinService::Respond& respond) {
+bool DrainLines(std::string* buffer, service::RequestServer* service,
+                const service::RequestServer::Respond& respond) {
   size_t start = 0;
   for (;;) {
     const size_t newline = buffer->find('\n', start);
@@ -108,7 +125,7 @@ bool DrainLines(std::string* buffer, service::JoinService* service,
 /// stdin/stdout pipe mode: one request per stdin line, one response per
 /// stdout line (responses may interleave out of request order; match by
 /// id). EOF or SIGTERM/SIGINT drains and exits.
-int ServeStdin(service::JoinService* service) {
+int ServeStdin(service::RequestServer* service) {
   std::mutex write_mu;
   const auto respond = [&write_mu](std::string response) {
     std::lock_guard<std::mutex> lock(write_mu);
@@ -158,8 +175,12 @@ struct Connection {
     if (closed.load()) return;
     size_t off = 0;
     while (off < response.size()) {
-      const ssize_t n =
-          ::write(fd, response.data() + off, response.size() - off);
+      // MSG_NOSIGNAL: a client that disconnected mid-response must surface
+      // as EPIPE here, never as a process-wide SIGPIPE (belt to the
+      // signal(SIGPIPE, SIG_IGN) suspenders — a library or a future
+      // refactor resetting the disposition cannot reintroduce the kill).
+      const ssize_t n = ::send(fd, response.data() + off,
+                               response.size() - off, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         closed.store(true);  // EPIPE etc.: client went away
@@ -177,8 +198,8 @@ struct Connection {
 
 /// Unix stream socket mode: accepts any number of clients, one JSON line
 /// per request. SIGTERM/SIGINT stops accepting, drains, and exits.
-int ServeSocket(service::JoinService* service, const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+int ServeSocket(service::RequestServer* service, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listener < 0) {
     std::fprintf(stderr, "iejoin_server: socket: %s\n", std::strerror(errno));
     return 1;
@@ -257,6 +278,44 @@ int ServeSocket(service::JoinService* service, const std::string& path) {
   return 0;
 }
 
+Result<std::unique_ptr<Workbench>> BuildWorkbench(const Args& args) {
+  // Shared-immutable state, built once: scenario, databases, trained
+  // extractors/classifiers/queries, and the bounded extraction cache.
+  // threads stays 0 — request drivers are the service's own workers. A
+  // supervised worker runs the identical build from the identical flags, so
+  // every replica answers with identical bytes.
+  IEJOIN_ASSIGN_OR_RETURN(JoinScenario scenario,
+                          LoadScenario(args.Get("scenario", "")));
+  WorkbenchConfig config;
+  config.scenario = scenario.corpus1->size() <= 2000 ? ScenarioSpec::Small()
+                                                     : ScenarioSpec::PaperLike();
+  config.extraction_cache = true;
+  config.extraction_cache_bytes =
+      args.GetInt("extraction-cache-mb", 64) * (1 << 20);
+  return Workbench::CreateForScenario(config, std::move(scenario));
+}
+
+/// Supervised worker process: build the workbench replica, announce
+/// readiness on the inherited channel fd, serve until told to stop. Chaos
+/// kill points (IEJOIN_KILL_AFTER / IEJOIN_KILL_SITE) arm after the build
+/// so injected deaths land mid-request, where failover must handle them.
+int WorkerMain(const Args& args) {
+  // The supervisor drives worker lifetime through kShutdown frames and
+  // channel EOF; a terminal's SIGINT broadcast to the process group must
+  // not tear workers down mid-request underneath it.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_IGN);
+  auto bench = BuildWorkbench(args);
+  if (!bench.ok()) {
+    std::fprintf(stderr, "iejoin_server[worker]: workbench: %s\n",
+                 bench.status().ToString().c_str());
+    return 1;
+  }
+  ckpt::ArmKillPointFromEnv();
+  return service::RunWorkerLoop(
+      static_cast<int>(args.GetInt("worker-channel-fd", -1)), bench->get());
+}
+
 int Main(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
@@ -271,48 +330,77 @@ int Main(int argc, char** argv) {
   }
   if (!args.Has("scenario")) return Usage();
 
+  ::signal(SIGPIPE, SIG_IGN);
+  if (args.Has("worker-channel-fd")) return WorkerMain(args);
+
   struct sigaction action;
   std::memset(&action, 0, sizeof(action));
   action.sa_handler = HandleShutdownSignal;  // no SA_RESTART: reads EINTR out
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
-  ::signal(SIGPIPE, SIG_IGN);
 
-  // Shared-immutable state, built once: scenario, databases, trained
-  // extractors/classifiers/queries, and the bounded extraction cache.
-  // threads stays 0 — request drivers are the service's own workers.
-  auto scenario = LoadScenario(args.Get("scenario", ""));
-  if (!scenario.ok()) {
-    std::fprintf(stderr, "iejoin_server: load: %s\n",
-                 scenario.status().ToString().c_str());
-    return 1;
+  std::unique_ptr<Workbench> bench;
+  std::unique_ptr<service::JoinService> join_service;
+  std::unique_ptr<service::Supervisor> supervisor;
+  service::RequestServer* server = nullptr;
+
+  const bool supervise = args.Has("supervise");
+  if (supervise) {
+    // The supervisor holds no workbench: workers own the replicas, the
+    // parent only validates, routes, and supervises.
+    service::SupervisorConfig config;
+    config.workers = static_cast<int32_t>(args.GetInt("workers", 3));
+    config.max_queue = static_cast<int32_t>(args.GetInt("max-queue", 32));
+    config.retry_after_ms = args.GetInt("retry-after-ms", 50);
+    config.shed_jitter_seed =
+        static_cast<uint64_t>(args.GetInt("shed-jitter-seed", 1));
+    config.max_request_replays =
+        static_cast<int32_t>(args.GetInt("max-replays", 3));
+    config.breaker.max_crashes =
+        static_cast<int32_t>(args.GetInt("breaker-max-crashes", 5));
+    config.breaker.window_seconds = args.GetDouble("breaker-window-seconds", 30.0);
+    config.restart_backoff.initial_backoff_seconds =
+        static_cast<double>(args.GetInt("restart-backoff-ms", 50)) / 1000.0;
+    config.restart_backoff.max_backoff_seconds = 2.0;
+    config.journal_path = args.Get("journal", "");
+    config.telemetry_every_requests = args.GetInt("telemetry-every-requests", 16);
+    config.worker_command = {argv[0], "--scenario", args.Get("scenario", ""),
+                             "--extraction-cache-mb",
+                             std::to_string(args.GetInt("extraction-cache-mb", 64))};
+    supervisor = std::make_unique<service::Supervisor>(config);
+    const Status started = supervisor->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "iejoin_server: supervisor: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    server = supervisor.get();
+  } else {
+    auto built = BuildWorkbench(args);
+    if (!built.ok()) {
+      std::fprintf(stderr, "iejoin_server: workbench: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    bench = std::move(built).value();
+
+    service::ServiceConfig service_config;
+    service_config.workers = static_cast<int32_t>(
+        args.GetInt("workers", static_cast<int64_t>(
+                                   ThreadPool::HardwareConcurrency())));
+    service_config.max_queue =
+        static_cast<int32_t>(args.GetInt("max-queue", 32));
+    service_config.retry_after_ms = args.GetInt("retry-after-ms", 50);
+    service_config.shed_jitter_seed =
+        static_cast<uint64_t>(args.GetInt("shed-jitter-seed", 1));
+    service_config.default_deadline_seconds =
+        args.GetDouble("deadline-seconds", 0.0);
+    service_config.telemetry_every_requests =
+        args.GetInt("telemetry-every-requests", 16);
+    join_service =
+        std::make_unique<service::JoinService>(bench.get(), service_config);
+    server = join_service.get();
   }
-  WorkbenchConfig config;
-  config.scenario = scenario->corpus1->size() <= 2000 ? ScenarioSpec::Small()
-                                                      : ScenarioSpec::PaperLike();
-  config.extraction_cache = true;
-  config.extraction_cache_bytes =
-      args.GetInt("extraction-cache-mb", 64) * (1 << 20);
-  auto bench = Workbench::CreateForScenario(config, *std::move(scenario));
-  if (!bench.ok()) {
-    std::fprintf(stderr, "iejoin_server: workbench: %s\n",
-                 bench.status().ToString().c_str());
-    return 1;
-  }
-
-  service::ServiceConfig service_config;
-  service_config.workers = static_cast<int32_t>(
-      args.GetInt("workers", static_cast<int64_t>(
-                                 ThreadPool::HardwareConcurrency())));
-  service_config.max_queue =
-      static_cast<int32_t>(args.GetInt("max-queue", 32));
-  service_config.retry_after_ms = args.GetInt("retry-after-ms", 50);
-  service_config.default_deadline_seconds =
-      args.GetDouble("deadline-seconds", 0.0);
-  service_config.telemetry_every_requests =
-      args.GetInt("telemetry-every-requests", 16);
-
-  service::JoinService service(bench->get(), service_config);
 
   obs::TimeSeriesRecorder::Options recorder_options;
   recorder_options.sample_every_docs = 0;  // frames keyed to requests, not docs
@@ -324,31 +412,45 @@ int Main(int argc, char** argv) {
                    opened.ToString().c_str());
       return 1;
     }
-    service.AttachTelemetry(&recorder);
+    if (supervisor != nullptr) {
+      supervisor->AttachTelemetry(&recorder);
+    } else {
+      join_service->AttachTelemetry(&recorder);
+    }
   }
 
-  std::fprintf(stderr,
-               "iejoin_server: ready (%d workers, queue %d, cache %lld MiB)\n",
-               service_config.workers, service_config.max_queue,
-               static_cast<long long>(args.GetInt("extraction-cache-mb", 64)));
+  if (supervise) {
+    std::fprintf(stderr,
+                 "iejoin_server: ready (supervised, %lld worker processes, "
+                 "queue %lld)\n",
+                 static_cast<long long>(args.GetInt("workers", 3)),
+                 static_cast<long long>(args.GetInt("max-queue", 32)));
+  } else {
+    std::fprintf(
+        stderr, "iejoin_server: ready (%lld workers, queue %lld, cache %lld MiB)\n",
+        static_cast<long long>(args.GetInt(
+            "workers", static_cast<int64_t>(ThreadPool::HardwareConcurrency()))),
+        static_cast<long long>(args.GetInt("max-queue", 32)),
+        static_cast<long long>(args.GetInt("extraction-cache-mb", 64)));
+  }
 
   const int exit_code = args.Has("socket")
-                            ? ServeSocket(&service, args.Get("socket", ""))
-                            : ServeStdin(&service);
+                            ? ServeSocket(server, args.Get("socket", ""))
+                            : ServeStdin(server);
 
   // Graceful shutdown: admitted requests finish and respond, then the
   // server-global stats land in the exposition file.
-  service.Drain();
+  server->Drain();
   if (args.Has("exposition-out")) {
     const Status wrote = obs::WriteFile(args.Get("exposition-out", ""),
-                                        service.PrometheusExposition());
+                                        server->PrometheusExposition());
     if (!wrote.ok()) {
       std::fprintf(stderr, "iejoin_server: exposition: %s\n",
                    wrote.ToString().c_str());
     }
   }
   std::fprintf(stderr, "iejoin_server: drained, %lld requests completed\n",
-               static_cast<long long>(service.completed_requests()));
+               static_cast<long long>(server->completed_requests()));
   return exit_code;
 }
 
