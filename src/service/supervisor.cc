@@ -1,6 +1,7 @@
 #include "service/supervisor.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <cstring>
@@ -202,7 +203,12 @@ Status Supervisor::SpawnWorker(WorkerSlot* slot,
   }
   if (pid == 0) {
     // Child: become a fresh worker process. The exec resets the address
-    // space, so a crashed predecessor can never corrupt this one.
+    // space, so a crashed predecessor can never corrupt this one. Both
+    // channel ends were created close-on-exec (so concurrent forks in other
+    // slot threads can't leak them); hand this worker its own end by
+    // clearing the flag here — fcntl is async-signal-safe, so it is legal
+    // between fork and exec in a multithreaded parent.
+    ::fcntl(worker_fd, F_SETFD, 0);
     ::execv(argv[0], argv.data());
     ::_exit(127);  // exec failed; the supervisor sees "exit 127"
   }
@@ -554,31 +560,37 @@ void Supervisor::Serve(const std::string& line, Respond respond) {
     }
   }
 
+  // Shed responses are built under mu_ (shed_ordinal_ needs it) but sent
+  // after releasing it: in socket mode respond() is a blocking write, and a
+  // stalled client must not hold the whole supervisor — slot threads,
+  // admission, health/stats — behind the global lock. The health path does
+  // the same.
   PendingRequest pending;
+  std::string shed;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (draining_) {
-      respond(ShedResponse(request, "draining"));
-      return;
-    }
     bool any_live = false;
     for (const auto& slot : slots_) {
       if (slot->state != "down") any_live = true;
     }
-    if (!any_live) {
-      respond(ShedResponse(request, "no_workers"));
-      return;
+    if (draining_) {
+      shed = ShedResponse(request, "draining");
+    } else if (!any_live) {
+      shed = ShedResponse(request, "no_workers");
+    } else if (queued_ >= config_.max_queue) {
+      shed = ShedResponse(request, "overloaded");
+    } else {
+      pending.seq = next_seq_++;
+      pending.id = request.id;
+      pending.line = line;
+      pending.respond = std::move(respond);
+      ++queued_;
+      queue_depth_->Set(static_cast<double>(queued_));
     }
-    if (queued_ >= config_.max_queue) {
-      respond(ShedResponse(request, "overloaded"));
-      return;
-    }
-    pending.seq = next_seq_++;
-    pending.id = request.id;
-    pending.line = line;
-    pending.respond = std::move(respond);
-    ++queued_;
-    queue_depth_->Set(static_cast<double>(queued_));
+  }
+  if (!shed.empty()) {
+    respond(std::move(shed));
+    return;
   }
   Journal(JournalEvent::kAdmit, pending.seq, 0, pending.id);
   {
@@ -683,13 +695,15 @@ void Supervisor::RecordTelemetryFrameLocked() {
 // Worker-process side
 // ---------------------------------------------------------------------------
 
-int RunWorkerLoop(int channel_fd, const Workbench* bench) {
+int RunWorkerLoop(int channel_fd, const Workbench* bench,
+                  double default_deadline_seconds) {
   WorkerChannel channel(channel_fd);
   ServiceConfig config;
   // One request at a time: the supervisor is the concurrency layer, the
   // worker is a deterministic request executor.
   config.workers = 1;
   config.max_queue = 4;
+  config.default_deadline_seconds = default_deadline_seconds;
   JoinService service(bench, config);
 
   const Status ready =

@@ -237,8 +237,11 @@ class Supervisor : public RequestServer {
 /// Worker-process side of the channel: announces readiness, then serves
 /// kRequest frames through a single-threaded JoinService over `bench` until
 /// a kShutdown frame or supervisor death (channel EOF). Returns the worker
-/// process's exit code.
-int RunWorkerLoop(int channel_fd, const Workbench* bench);
+/// process's exit code. `default_deadline_seconds` mirrors the server's
+/// --deadline-seconds so supervised workers apply the same per-request SLO
+/// default as single-process mode (0 = unbounded).
+int RunWorkerLoop(int channel_fd, const Workbench* bench,
+                  double default_deadline_seconds = 0.0);
 
 }  // namespace service
 }  // namespace iejoin

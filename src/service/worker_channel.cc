@@ -1,7 +1,6 @@
 #include "service/worker_channel.h"
 
 #include <errno.h>
-#include <fcntl.h>
 #include <cstring>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -134,12 +133,16 @@ void WorkerChannel::Close() {
 
 Status CreateChannelPair(int* supervisor_fd, int* worker_fd) {
   int fds[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) {
+  // SOCK_CLOEXEC marks BOTH ends close-on-exec atomically: slot threads
+  // fork concurrently, and a sibling's fork+exec between socketpair and any
+  // later fcntl would inherit a copy of these fds. A leaked worker_fd keeps
+  // the channel's write end open in an unrelated worker, so the supervisor
+  // would never see EOF when this slot's worker dies — the in-flight
+  // request would hang instead of being replayed. The forking slot clears
+  // FD_CLOEXEC on worker_fd in its own child, after fork, before exec.
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, fds) < 0) {
     return Status::Internal(std::string("socketpair: ") + std::strerror(errno));
   }
-  // The supervisor's end must not leak into workers exec'd later; the
-  // worker's end must survive exec (no CLOEXEC).
-  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
   *supervisor_fd = fds[0];
   *worker_fd = fds[1];
   return Status::Ok();

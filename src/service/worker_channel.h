@@ -88,9 +88,12 @@ class WorkerChannel {
   int fd_ = -1;
 };
 
-/// socketpair(AF_UNIX, SOCK_STREAM) wrapped in Status handling; `first`
-/// stays in the supervisor (close-on-exec), `second` is inherited by the
-/// exec'd worker.
+/// socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC) wrapped in Status
+/// handling. Both ends are atomically close-on-exec so a concurrent fork in
+/// another slot thread can never leak either fd into an unrelated worker
+/// (which would defeat EOF-based death detection). The spawning child must
+/// clear FD_CLOEXEC on `worker_fd` between fork and exec to hand it to the
+/// worker; the supervisor's end always stays private.
 Status CreateChannelPair(int* supervisor_fd, int* worker_fd);
 
 }  // namespace service

@@ -242,7 +242,12 @@ int ServeSocket(service::RequestServer* service, const std::string& path) {
     // snapshot and marks dead clients, which are compacted afterwards.
     const size_t polled = clients.size();
     if (fds[0].revents & POLLIN) {
-      const int fd = ::accept(listener, nullptr, nullptr);
+      // SOCK_CLOEXEC atomically, like the listener: in --supervise mode a
+      // worker fork+exec'd after this accept (crash restarts) must not
+      // inherit the client fd, or the connection never fully closes toward
+      // the client when the supervisor drops it — a client waiting for EOF
+      // after drain/disconnect would hang until the workers exit.
+      const int fd = ::accept4(listener, nullptr, nullptr, SOCK_CLOEXEC);
       if (fd >= 0) clients.push_back(std::make_shared<Connection>(fd));
     }
     for (size_t i = 0; i < polled; ++i) {
@@ -313,7 +318,8 @@ int WorkerMain(const Args& args) {
   }
   ckpt::ArmKillPointFromEnv();
   return service::RunWorkerLoop(
-      static_cast<int>(args.GetInt("worker-channel-fd", -1)), bench->get());
+      static_cast<int>(args.GetInt("worker-channel-fd", -1)), bench->get(),
+      args.GetDouble("deadline-seconds", 0.0));
 }
 
 int Main(int argc, char** argv) {
@@ -364,9 +370,20 @@ int Main(int argc, char** argv) {
     config.restart_backoff.max_backoff_seconds = 2.0;
     config.journal_path = args.Get("journal", "");
     config.telemetry_every_requests = args.GetInt("telemetry-every-requests", 16);
-    config.worker_command = {argv[0], "--scenario", args.Get("scenario", ""),
+    // Workers exec via execv (no PATH search), but argv[0] may be a bare
+    // name if this server was itself launched through PATH — resolve the
+    // running image instead so every spawn (including crash restarts, where
+    // cwd may have changed) execs the exact same binary.
+    std::string self_exe = argv[0];
+    char exe_buf[4096];
+    const ssize_t exe_len =
+        ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+    if (exe_len > 0) self_exe.assign(exe_buf, static_cast<size_t>(exe_len));
+    config.worker_command = {self_exe, "--scenario", args.Get("scenario", ""),
                              "--extraction-cache-mb",
-                             std::to_string(args.GetInt("extraction-cache-mb", 64))};
+                             std::to_string(args.GetInt("extraction-cache-mb", 64)),
+                             "--deadline-seconds",
+                             args.Get("deadline-seconds", "0")};
     supervisor = std::make_unique<service::Supervisor>(config);
     const Status started = supervisor->Start();
     if (!started.ok()) {
