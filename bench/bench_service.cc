@@ -230,6 +230,149 @@ ServiceRow MeasureProcessPass(const std::string& server,
   return row;
 }
 
+/// Line-buffered reader over a pipe fd (readiness polling needs to consume
+/// exactly one response per probe without eating burst responses).
+struct LineReader {
+  int fd;
+  std::string buf;
+
+  /// Returns false at EOF with no complete line left.
+  bool ReadLine(std::string* line) {
+    size_t at;
+    while ((at = buf.find('\n')) == std::string::npos) {
+      char chunk[65536];
+      const ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buf.append(chunk, static_cast<size_t>(n));
+    }
+    line->assign(buf, 0, at);
+    buf.erase(0, at + 1);
+    return true;
+  }
+};
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Sharded scatter/gather pass: boots `--supervise --shard --workers N`,
+/// waits until every worker replica reports idle (scatter only engages once
+/// the partitions are live — before that the supervisor extracts inline and
+/// the row would price the wrong machinery), then times the same mix twice
+/// through the running process: a cold burst against empty worker caches and
+/// a warm repeat. Returns {cold row, warm row}.
+std::vector<ServiceRow> MeasureShardedPass(
+    const std::string& server, const std::string& scenario_path, int workers,
+    const std::vector<std::string>& requests) {
+  std::vector<ServiceRow> rows(2);
+  for (int i = 0; i < 2; ++i) {
+    rows[i].mode = "sharded";
+    rows[i].workers = workers;
+    rows[i].cache_warm = i == 1;
+    rows[i].max_queue = static_cast<int>(requests.size());
+    rows[i].offered = static_cast<int64_t>(requests.size());
+  }
+
+  int in_pipe[2], out_pipe[2], err_pipe[2];
+  if (pipe(in_pipe) != 0 || pipe(out_pipe) != 0 || pipe(err_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return rows;
+  }
+  const std::string workers_str = std::to_string(workers);
+  const std::string queue_str = std::to_string(requests.size());
+  std::vector<const char*> argv = {
+      server.c_str(),       "--scenario",  scenario_path.c_str(),
+      "--workers",          workers_str.c_str(),
+      "--max-queue",        queue_str.c_str(),
+      "--extraction-cache-mb", "64",
+      "--supervise",        "--shard"};
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+    return rows;
+  }
+  if (pid == 0) {
+    dup2(in_pipe[0], 0);
+    dup2(out_pipe[1], 1);
+    dup2(err_pipe[1], 2);
+    for (int fd : {in_pipe[0], in_pipe[1], out_pipe[0], out_pipe[1],
+                   err_pipe[0], err_pipe[1]}) {
+      close(fd);
+    }
+    execv(argv[0], const_cast<char* const*>(argv.data()));
+    _exit(127);
+  }
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  close(err_pipe[1]);
+
+  std::string banner;
+  char c = 0;
+  while (banner.find("ready") == std::string::npos &&
+         read(err_pipe[0], &c, 1) == 1) {
+    banner.push_back(c);
+  }
+
+  LineReader reader{out_pipe[0], std::string()};
+  // Readiness: one stats probe at a time until all worker replicas are idle.
+  for (int attempt = 0; attempt < 600; ++attempt) {
+    if (!WriteAll(in_pipe[1], "{\"stats\":true}\n")) break;
+    std::string line;
+    if (!reader.ReadLine(&line)) break;
+    int idle = 0;
+    for (size_t at = 0;
+         (at = line.find("\"state\":\"idle\"", at)) != std::string::npos;
+         ++at) {
+      ++idle;
+    }
+    if (idle >= workers) break;
+    usleep(100 * 1000);
+  }
+
+  std::string burst;
+  for (const std::string& request : requests) burst += request + "\n";
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!WriteAll(in_pipe[1], burst)) break;
+    if (pass == 1) close(in_pipe[1]);
+    std::string line;
+    while (rows[pass].completed < rows[pass].offered &&
+           reader.ReadLine(&line)) {
+      ++rows[pass].completed;
+      if (line.find("\"status\":\"unavailable\"") != std::string::npos) {
+        ++rows[pass].shed;
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    rows[pass].wall_seconds =
+        std::chrono::duration_cast<std::chrono::duration<double>>(stop - start)
+            .count();
+    rows[pass].requests_per_sec =
+        rows[pass].wall_seconds > 0.0
+            ? static_cast<double>(rows[pass].completed) /
+                  rows[pass].wall_seconds
+            : 0.0;
+    rows[pass].shed_rate =
+        rows[pass].offered > 0
+            ? static_cast<double>(rows[pass].shed) /
+                  static_cast<double>(rows[pass].offered)
+            : 0.0;
+  }
+  close(out_pipe[0]);
+  close(err_pipe[0]);
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  return rows;
+}
+
 std::string ToJson(const std::vector<ServiceRow>& rows, bool smoke) {
   std::ostringstream out;
   out.precision(6);
@@ -343,6 +486,21 @@ int main(int argc, char** argv) {
       rows.push_back(MeasureProcessPass(server_path, scenario_path,
                                         pass.workers, pass.supervise, mix));
       print_row(rows.back());
+    }
+
+    // Sharded rows: the same mix through `--supervise --shard` across shard
+    // counts, cold and warm (second identical burst through the running
+    // process, worker extraction caches and the plan cache primed). Each
+    // worker owns a fixed document partition; merged responses stay
+    // byte-identical to the single-process rows above, so these rows price
+    // exactly the scatter/gather machinery. Parallel speedup only shows on
+    // a multi-core host — on one core the rows measure scatter overhead.
+    for (int shards : {1, 2, 4}) {
+      for (const ServiceRow& row :
+           MeasureShardedPass(server_path, scenario_path, shards, mix)) {
+        rows.push_back(row);
+        print_row(row);
+      }
     }
   }
 

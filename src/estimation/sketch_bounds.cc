@@ -36,6 +36,30 @@ void KmvSketch::Add(TokenId value) {
   hashes_.pop_back();
 }
 
+void KmvSketch::Merge(const KmvSketch& other) {
+  if (other.hashes_.empty()) {
+    inserted_ += other.inserted_;
+    return;
+  }
+  std::vector<uint64_t> merged;
+  merged.reserve(hashes_.size() + other.hashes_.size());
+  std::merge(hashes_.begin(), hashes_.end(), other.hashes_.begin(),
+             other.hashes_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > static_cast<size_t>(k_)) merged.resize(k_);
+  hashes_ = std::move(merged);
+  inserted_ += other.inserted_;
+}
+
+KmvSketch KmvSketch::FromParts(int32_t k, std::vector<uint64_t> hashes,
+                               int64_t inserted) {
+  KmvSketch sketch(k);
+  if (hashes.size() > static_cast<size_t>(sketch.k_)) hashes.resize(sketch.k_);
+  sketch.hashes_ = std::move(hashes);
+  sketch.inserted_ = inserted;
+  return sketch;
+}
+
 double KmvSketch::EstimateDistinct() const {
   if (hashes_.size() < static_cast<size_t>(k_)) {
     return static_cast<double>(hashes_.size());

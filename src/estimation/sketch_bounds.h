@@ -53,7 +53,22 @@ class KmvSketch {
   /// Estimated |A ∩ B| via the Jaccard estimate over the merged sketch.
   static double EstimateIntersection(const KmvSketch& a, const KmvSketch& b);
 
+  /// Folds another sketch into this one. KMV sketches are mergeable: the k
+  /// smallest hashes of a union are a subset of the two sides' k smallest
+  /// hashes, so merging per-shard sketches yields exactly the sketch a
+  /// single pass over the union would have built (same k). `inserted`
+  /// becomes the sum of both sides' insertion counts.
+  void Merge(const KmvSketch& other);
+
   int64_t inserted() const { return inserted_; }
+  int32_t k() const { return k_; }
+  /// Retained hashes, sorted ascending (wire serialization; see
+  /// FromParts).
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+  /// Rebuilds a sketch from serialized parts. `hashes` must be sorted
+  /// ascending and unique with size <= k (excess entries are dropped).
+  static KmvSketch FromParts(int32_t k, std::vector<uint64_t> hashes,
+                             int64_t inserted);
 
  private:
   /// Sorted ascending; size <= k_.

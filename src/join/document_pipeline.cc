@@ -43,7 +43,7 @@ ExtractionCache::Key DocumentPipeline::CacheKey(int side, DocId doc) const {
 }
 
 void DocumentPipeline::Prefetch(int side, const std::vector<DocId>& docs) {
-  if (pool_ == nullptr) return;
+  if (pool_ == nullptr || source_ != nullptr) return;
   const SideInputs& inputs = sides_[side];
   IEJOIN_CHECK(inputs.extractor != nullptr) << "Prefetch before ConfigureSide";
   for (DocId doc : docs) {
@@ -71,13 +71,19 @@ DocumentPipeline::TakeResult DocumentPipeline::Take(int side, DocId doc) {
       return result;
     }
   }
-  const auto it = inflight_.find(InflightKey{side, doc});
-  if (it != inflight_.end()) {
-    result.batch = it->second.get();
-    inflight_.erase(it);
-    ++speculation_used_;
+  std::optional<ExtractionBatch> sourced;
+  if (source_ != nullptr) sourced = source_->Fetch(side, doc);
+  if (sourced.has_value()) {
+    result.batch = std::move(*sourced);
   } else {
-    result.batch = inputs.extractor->Process(inputs.corpus->document(doc));
+    const auto it = inflight_.find(InflightKey{side, doc});
+    if (it != inflight_.end()) {
+      result.batch = it->second.get();
+      inflight_.erase(it);
+      ++speculation_used_;
+    } else {
+      result.batch = inputs.extractor->Process(inputs.corpus->document(doc));
+    }
   }
   if (cache_ != nullptr) {
     const ExtractionCache::InsertOutcome outcome =

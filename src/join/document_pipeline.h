@@ -13,6 +13,26 @@
 
 namespace iejoin {
 
+/// A remote (or otherwise precomputed) supplier of extraction batches,
+/// consulted by DocumentPipeline::Take between the cache and local
+/// extraction. The contract that keeps execution bit-identical: a batch
+/// returned for (side, doc) must equal what the side's configured extractor
+/// would produce locally — a source is a wall-clock accelerator, never an
+/// alternative answer. Returning nullopt (the source does not cover the
+/// document, or its supplier failed) falls back to local extraction.
+///
+/// Fetch runs on the driver thread and may block while the supplier
+/// streams; implementations must eventually return for every call (e.g.
+/// time out and return nullopt when a supplier dies for good).
+class ExtractionSource {
+ public:
+  virtual ~ExtractionSource() = default;
+
+  /// The batch for document `doc` on 0-based side `side`, or nullopt to
+  /// make the caller extract locally.
+  virtual std::optional<ExtractionBatch> Fetch(int side, DocId doc) = 0;
+};
+
 /// Speculative per-document extraction pipeline for one join execution.
 ///
 /// The join executors are driver-threaded state machines: every meter
@@ -55,6 +75,12 @@ class DocumentPipeline {
 
   /// Registers one side's immutable extraction inputs.
   void ConfigureSide(int side, const Extractor* extractor, const Corpus* corpus);
+
+  /// Attaches an extraction source consulted by Take after the cache and
+  /// before local extraction (null detaches). A source replaces
+  /// speculation: Prefetch becomes a no-op while one is attached, so the
+  /// supplier's work is never duplicated by local workers.
+  void AttachSource(ExtractionSource* source) { source_ = source; }
 
   /// Whether Prefetch does anything — callers skip assembling peek lists
   /// when it does not.
@@ -110,6 +136,7 @@ class DocumentPipeline {
 
   ThreadPool* pool_;
   ExtractionCache* cache_;
+  ExtractionSource* source_ = nullptr;
   SideInputs sides_[2];
   /// Driver-thread-only: futures are the sole cross-thread handoff.
   std::unordered_map<InflightKey, std::future<ExtractionBatch>, InflightKeyHash>

@@ -19,6 +19,7 @@ namespace iejoin {
 class CheckpointSink;
 struct ExecutorCheckpoint;
 class ExtractionCache;
+class ExtractionSource;
 class ThreadPool;
 
 /// One sampled point of a join execution: cumulative effort and output
@@ -192,6 +193,12 @@ struct JoinExecutionOptions {
   /// re-extracting documents; simulated time is charged on hits too, so
   /// simulated results are cache-invariant. Null = no memoization.
   ExtractionCache* extraction_cache = nullptr;
+  /// Remote supplier of extraction batches (sharded scatter/gather), tried
+  /// by the pipeline between the cache and local extraction. Batches must
+  /// equal local extractor output (see ExtractionSource), so execution is
+  /// bit-identical with or without one; a source suppresses speculative
+  /// Prefetch so the pool never duplicates the supplier's work.
+  ExtractionSource* extraction_source = nullptr;
   /// Embed the cache's contents (and LRU order) in every checkpoint image
   /// and restore them on resume, so a resumed run's cache is warm and its
   /// hit/miss/eviction counters replay exactly. Requires extraction_cache;

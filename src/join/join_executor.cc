@@ -158,6 +158,7 @@ Status JoinExecutorBase::Begin(const JoinExecutionOptions& options) {
     pipeline_->ConfigureSide(i, sides_[i].config.extractor.get(),
                              &sides_[i].config.database->corpus());
   }
+  pipeline_->AttachSource(options.extraction_source);
   if (options.resume_from != nullptr) {
     // Restore after the telemetry registrations above so the wholesale
     // metrics restore lands on the same key set the uninterrupted run has.

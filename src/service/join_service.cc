@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "fault/fault_plan.h"
 #include "obs/json_writer.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_space.h"
 
 namespace iejoin {
 namespace service {
@@ -50,8 +52,12 @@ JoinService::JoinService(const Workbench* bench, ServiceConfig config)
       ok_total_(stats_.counter("service.ok")),
       degraded_total_(stats_.counter("service.degraded")),
       error_total_(stats_.counter("service.errors")),
+      plan_cache_hits_(stats_.counter("plan_cache.hits")),
+      plan_cache_misses_(stats_.counter("plan_cache.misses")),
+      plan_cache_evictions_(stats_.counter("plan_cache.evictions")),
       queue_depth_(stats_.gauge("service.queue_depth")),
       active_requests_(stats_.gauge("service.active_requests")),
+      plan_cache_(std::make_unique<PlanCache>(config.plan_cache_capacity)),
       pool_(std::make_unique<ThreadPool>(config.workers > 0 ? config.workers : 1)) {}
 
 JoinService::~JoinService() {
@@ -213,9 +219,84 @@ std::string JoinService::Execute(const ServiceRequest& request) const {
   }
   if (have_faults) options.fault_plan = &fault_plan;
 
-  auto plan = PlanFromRequest(request);
-  IEJOIN_CHECK(plan.ok());  // validated at admission
-  auto result = bench_->RunPlan(*plan, options);
+  // Plan resolution: explicit plan fields, or — for "optimize":true — the
+  // quality-aware optimizer's predicted-fastest feasible plan, memoized in
+  // the (SLO, canonical fault plan)-keyed LRU cache. A hit skips plan
+  // enumeration entirely; the decision (and therefore the response bytes)
+  // is identical either way because the optimizer is a pure function of
+  // (workbench, SLO, fault plan).
+  JoinPlanSpec plan;
+  bool optimized = false;
+  double predicted_seconds = 0.0;
+  if (request.optimize) {
+    const std::string key = PlanCacheKey(request.tau_good, request.tau_bad,
+                                         have_faults ? &fault_plan : nullptr);
+    std::optional<CachedPlanChoice> cached = plan_cache_->Lookup(key);
+    if (cached.has_value()) {
+      plan_cache_hits_->Increment();
+    } else {
+      plan_cache_misses_->Increment();
+      const int64_t evictions_before = plan_cache_->evictions();
+      auto inputs = bench_->OracleOptimizerInputs(/*include_zgjn_pgfs=*/true);
+      if (!inputs.ok()) {
+        // Transient workbench failure: respond, but don't poison the cache.
+        error_total_->Increment();
+        obs::JsonWriter json;
+        BeginResponse(&json, request, "error");
+        json.Key("error").Value(inputs.status().ToString());
+        json.EndObject();
+        return json.TakeString();
+      }
+      OptimizerInputs opt_inputs = *std::move(inputs);
+      if (have_faults) opt_inputs.fault_plan = &fault_plan;
+      QualityAwareOptimizer optimizer(std::move(opt_inputs),
+                                      PlanEnumerationOptions{});
+      QualityRequirement requirement;
+      requirement.min_good_tuples = request.tau_good;
+      requirement.max_bad_tuples = request.tau_bad;
+      auto choice = optimizer.ChoosePlan(requirement);
+      CachedPlanChoice fresh;
+      if (choice.ok()) {
+        fresh.feasible = true;
+        fresh.plan = choice->plan;
+        fresh.predicted_seconds = choice->estimate.seconds;
+      } else {
+        // Negative results are cacheable too: infeasibility is a property
+        // of (workbench, SLO, fault plan), all fixed for our lifetime.
+        fresh.error = choice.status().message();
+      }
+      plan_cache_->Insert(key, fresh);
+      plan_cache_evictions_->Increment(plan_cache_->evictions() -
+                                       evictions_before);
+      cached = std::move(fresh);
+    }
+    if (!cached->feasible) {
+      error_total_->Increment();
+      obs::JsonWriter json;
+      BeginResponse(&json, request, "error");
+      json.Key("error").Value(cached->error);
+      json.EndObject();
+      return json.TakeString();
+    }
+    plan = cached->plan;
+    predicted_seconds = cached->predicted_seconds;
+    optimized = true;
+  } else {
+    auto parsed_plan = PlanFromRequest(request);
+    IEJOIN_CHECK(parsed_plan.ok());  // validated at admission
+    plan = *parsed_plan;
+  }
+
+  // Scatter: with a hook installed (sharded supervisor), lease remote
+  // extraction for this request's plan. The lease's source accelerates the
+  // pipeline but never changes its answers, so response bytes are
+  // unaffected; the lease destructor cancels and drains before the
+  // response is built.
+  std::unique_ptr<ExtractionLease> lease;
+  if (scatter_hook_) lease = scatter_hook_(plan);
+  if (lease != nullptr) options.extraction_source = lease->source();
+  auto result = bench_->RunPlan(plan, options);
+  lease.reset();
   if (!result.ok()) {
     error_total_->Increment();
     obs::JsonWriter json;
@@ -229,7 +310,11 @@ std::string JoinService::Execute(const ServiceRequest& request) const {
   const TrajectoryPoint& fp = result->final_point;
   obs::JsonWriter json;
   BeginResponse(&json, request, result->degraded ? "degraded" : "ok");
-  json.Key("plan").Value(plan->Describe());
+  json.Key("plan").Value(plan.Describe());
+  if (optimized) {
+    json.Key("optimized").Value(true);
+    json.Key("predicted_seconds").Value(predicted_seconds);
+  }
   json.Key("exhausted").Value(result->exhausted);
   if (request.has_requirement) {
     json.Key("requirement_met").Value(result->requirement_met);

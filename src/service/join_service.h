@@ -15,10 +15,13 @@
 #include "harness/workbench.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
+#include "service/plan_cache.h"
 #include "service/request_server.h"
 #include "service/service_protocol.h"
 
 namespace iejoin {
+class ExtractionSource;
+
 namespace service {
 
 /// Service tuning knobs (docs/SERVICE.md "Admission control").
@@ -43,7 +46,30 @@ struct ServiceConfig {
   /// Emit one telemetry frame (server-stats snapshot) to the attached
   /// recorder every N completed requests (0 = off).
   int64_t telemetry_every_requests = 0;
+  /// Bounded LRU capacity of the (SLO, fault plan)-keyed plan cache serving
+  /// "optimize":true requests (docs/SERVICE.md "Plan cache"). 0 disables
+  /// memoization (every optimize request re-runs plan enumeration).
+  int64_t plan_cache_capacity = 64;
 };
+
+/// Scope object returned by a ScatterHook for one admitted join request.
+/// While alive, source() feeds the request's document pipeline extraction
+/// batches fetched elsewhere (e.g. partition shards in the supervised
+/// service). Destroyed after the join completes — the destructor must
+/// cancel and drain any outstanding remote work. A null source() means
+/// "execute this request unassisted".
+class ExtractionLease {
+ public:
+  virtual ~ExtractionLease() = default;
+  virtual ExtractionSource* source() = 0;
+};
+
+/// Invoked once per admitted join request after the plan is fully resolved
+/// (including an optimizer decision for "optimize":true), before execution.
+/// Returning nullptr runs the request without scatter. The hook may be
+/// called concurrently from different workers.
+using ScatterHook = std::function<std::unique_ptr<ExtractionLease>(
+    const JoinPlanSpec& plan)>;
 
 /// Long-lived join service over one immutable Workbench: corpus, indexes,
 /// trained extractor/classifier profiles, and the shared bounded
@@ -99,6 +125,16 @@ class JoinService : public RequestServer {
   /// before the first Serve).
   void AttachTelemetry(obs::TimeSeriesRecorder* recorder) { recorder_ = recorder; }
 
+  /// Installs the per-request scatter hook (call before the first Serve).
+  /// Sharded supervisors use this to fan extraction out to worker
+  /// partitions; the merged result is byte-identical to local extraction.
+  void SetScatterHook(ScatterHook hook) { scatter_hook_ = std::move(hook); }
+
+  /// Optimizer-decision cache backing "optimize":true requests (always
+  /// non-null; capacity 0 when disabled). Exposed for tests and for the
+  /// supervisor's stats mirroring.
+  const PlanCache& plan_cache() const { return *plan_cache_; }
+
   int64_t completed_requests() const override;
 
  private:
@@ -124,8 +160,15 @@ class JoinService : public RequestServer {
   obs::Counter* ok_total_;
   obs::Counter* degraded_total_;
   obs::Counter* error_total_;
+  obs::Counter* plan_cache_hits_;
+  obs::Counter* plan_cache_misses_;
+  obs::Counter* plan_cache_evictions_;
   obs::Gauge* queue_depth_;
   obs::Gauge* active_requests_;
+
+  /// Optimizer memoization for "optimize":true (internally locked).
+  std::unique_ptr<PlanCache> plan_cache_;
+  ScatterHook scatter_hook_;
 
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;

@@ -1,0 +1,80 @@
+#include "service/plan_cache.h"
+
+#include <utility>
+
+namespace iejoin {
+namespace service {
+
+std::string PlanCacheKey(int64_t tau_good, int64_t tau_bad,
+                         const fault::FaultPlan* faults) {
+  std::string key = "tau_good=" + std::to_string(tau_good) +
+                    "|tau_bad=" + std::to_string(tau_bad) + "|faults=";
+  if (faults != nullptr) {
+    // Normalize the seed before formatting: the injector seed changes
+    // execution randomness but never the optimizer's closed-form
+    // expectations, so it must not fragment the cache.
+    fault::FaultPlan canonical = *faults;
+    canonical.seed = fault::FaultPlan().seed;
+    std::string formatted = fault::FormatFaultPlan(canonical);
+    // A plan that collapses to the all-default plan (a request carrying
+    // only `seed`, say) is the no-fault optimizer input — zero-rate plans
+    // cost bit-identically to no plan — so it must share the nullptr key.
+    static const std::string* const kDefaultFormatted =
+        new std::string(fault::FormatFaultPlan(fault::FaultPlan()));
+    if (formatted != *kDefaultFormatted) key += formatted;
+  }
+  return key;
+}
+
+std::optional<CachedPlanChoice> PlanCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return it->second->choice;
+}
+
+void PlanCache::Insert(const std::string& key, CachedPlanChoice choice) {
+  if (capacity_ <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->choice = std::move(choice);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(choice)});
+  index_[key] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+int64_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace service
+}  // namespace iejoin

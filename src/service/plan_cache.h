@@ -1,0 +1,84 @@
+#ifndef IEJOIN_SERVICE_PLAN_CACHE_H_
+#define IEJOIN_SERVICE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "fault/fault_plan.h"
+#include "join/join_types.h"
+
+namespace iejoin {
+namespace service {
+
+/// One cached optimizer decision: the chosen plan (or the remembered
+/// infeasibility) for an SLO'd request. Negative results are cached too —
+/// an infeasible requirement stays infeasible until the workbench changes,
+/// and the workbench is immutable for a service's lifetime.
+struct CachedPlanChoice {
+  bool feasible = false;
+  JoinPlanSpec plan;
+  /// Model-predicted plan seconds at the chosen effort (response field).
+  double predicted_seconds = 0.0;
+  /// Error message when the optimizer found no feasible plan.
+  std::string error;
+};
+
+/// Canonical cache key for an optimize request: the quality SLO (τ_g, τ_b)
+/// plus the canonical fault-plan spec (FormatFaultPlan of the parsed plan,
+/// deadline folded in, seed normalized away — the optimizer's closed-form
+/// costing is seed-independent, so requests differing only in seed share
+/// one entry).
+std::string PlanCacheKey(int64_t tau_good, int64_t tau_bad,
+                         const fault::FaultPlan* faults);
+
+/// Bounded, internally locked LRU cache of optimizer decisions, keyed by
+/// PlanCacheKey. The optimizer is a pure function of (workbench, SLO,
+/// fault plan), so a hit can skip plan enumeration entirely without
+/// affecting response bytes. hits/misses/evictions counters are plain
+/// monotone totals for the owner to mirror into its metrics registry.
+class PlanCache {
+ public:
+  /// `capacity` <= 0 disables caching (every Lookup misses, Insert drops).
+  explicit PlanCache(int64_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// A hit refreshes recency and counts toward hits(); a miss counts
+  /// toward misses().
+  std::optional<CachedPlanChoice> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// beyond capacity.
+  void Insert(const std::string& key, CachedPlanChoice choice);
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedPlanChoice choice;
+  };
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  /// Most-recently-used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_PLAN_CACHE_H_

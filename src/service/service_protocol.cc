@@ -207,6 +207,9 @@ Result<ServiceRequest> ParseServiceRequest(const std::string& line) {
       }
       request.has_seed = true;
       request.seed = static_cast<uint64_t>(num);
+    } else if (key == "optimize") {
+      if (!is_true && !is_false) return TypeError(key, "boolean");
+      request.optimize = flag;
     } else if (key == "metrics") {
       if (!is_true && !is_false) return TypeError(key, "boolean");
       request.include_metrics = flag;
@@ -253,6 +256,10 @@ Status ValidateJoinRequest(const ServiceRequest& request) {
   IEJOIN_RETURN_IF_ERROR(PlanFromRequest(request).status());
   if (!request.faults.empty()) {
     IEJOIN_RETURN_IF_ERROR(fault::ParseFaultPlan(request.faults).status());
+  }
+  if (request.optimize && !request.has_requirement) {
+    return Status::InvalidArgument(
+        "\"optimize\" requires a quality SLO (tau_good and/or tau_bad)");
   }
   return Status::Ok();
 }

@@ -34,6 +34,13 @@ struct ServiceRequest {
   double theta2 = 0.4;
   std::string x1 = "sc";  // sc | fs | aqg
   std::string x2 = "sc";
+  /// "optimize":true — ignore the explicit plan fields above and let the
+  /// quality-aware optimizer pick the predicted-fastest feasible plan for
+  /// (tau_good, tau_bad) under the request's fault spec. Requires a
+  /// quality SLO. Decisions are memoized in the service's bounded plan
+  /// cache (docs/SERVICE.md "Plan cache"), so repeated SLO'd requests skip
+  /// plan enumeration; responses are byte-identical either way.
+  bool optimize = false;
 
   // --- Quality SLO: stop once tau_good good tuples are reached (or the
   // bad-tuple ceiling forces a stop), otherwise run to exhaustion ---

@@ -1,0 +1,341 @@
+#include "service/shard.h"
+
+#include <chrono>
+#include <utility>
+
+#include "checkpoint/snapshot_format.h"
+#include "extraction/extraction_cache.h"
+#include "harness/workbench.h"
+
+namespace iejoin {
+namespace service {
+namespace {
+
+/// splitmix64 finalizer — the same fixed, platform-independent mix the KMV
+/// sketch uses, so the partition is a pure function of the doc id.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Caps for decode-side count validation (far above any real frame, low
+/// enough to reject a corrupt count before allocating).
+constexpr int64_t kMaxDocsPerChunk = 1 << 16;
+constexpr int64_t kMaxTuplesPerDoc = 1 << 20;
+constexpr int64_t kMaxSketchHashes = 1 << 20;
+
+void EncodeSketch(ckpt::BufEncoder* enc, const KmvSketch& sketch) {
+  enc->PutU32(static_cast<uint32_t>(sketch.k()));
+  enc->PutI64(sketch.inserted());
+  enc->PutU64(sketch.hashes().size());
+  for (const uint64_t h : sketch.hashes()) enc->PutU64(h);
+}
+
+Status DecodeSketch(ckpt::BufDecoder* dec, KmvSketch* out) {
+  uint32_t k = 0;
+  int64_t inserted = 0;
+  int64_t count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec->GetU32(&k));
+  IEJOIN_RETURN_IF_ERROR(dec->GetI64(&inserted));
+  IEJOIN_RETURN_IF_ERROR(dec->GetCount(&count, kMaxSketchHashes));
+  std::vector<uint64_t> hashes(static_cast<size_t>(count));
+  for (uint64_t& h : hashes) IEJOIN_RETURN_IF_ERROR(dec->GetU64(&h));
+  *out = KmvSketch::FromParts(static_cast<int32_t>(k), std::move(hashes),
+                              inserted);
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint32_t ShardOfDoc(DocId doc, uint32_t shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<uint32_t>(
+      MixHash(static_cast<uint64_t>(static_cast<uint32_t>(doc))) % shard_count);
+}
+
+int64_t ShardDocCount(int64_t corpus_size, uint32_t shard_index,
+                      uint32_t shard_count) {
+  int64_t count = 0;
+  for (DocId doc = 0; doc < corpus_size; ++doc) {
+    if (ShardOfDoc(doc, shard_count) == shard_index) ++count;
+  }
+  return count;
+}
+
+std::string EncodeShardRequest(const ShardRequestFrame& frame) {
+  ckpt::BufEncoder enc;
+  enc.PutU64(frame.seq);
+  enc.PutU32(frame.shard_index);
+  enc.PutU32(frame.shard_count);
+  enc.PutDouble(frame.theta1);
+  enc.PutDouble(frame.theta2);
+  return enc.Take();
+}
+
+Result<ShardRequestFrame> DecodeShardRequest(std::string_view payload) {
+  ckpt::BufDecoder dec(payload);
+  ShardRequestFrame frame;
+  IEJOIN_RETURN_IF_ERROR(dec.GetU64(&frame.seq));
+  IEJOIN_RETURN_IF_ERROR(dec.GetU32(&frame.shard_index));
+  IEJOIN_RETURN_IF_ERROR(dec.GetU32(&frame.shard_count));
+  IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&frame.theta1));
+  IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&frame.theta2));
+  IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  if (frame.shard_count == 0 || frame.shard_index >= frame.shard_count) {
+    return Status::InvalidArgument("shard request index out of range");
+  }
+  return frame;
+}
+
+std::string EncodeShardPartial(uint64_t seq,
+                               const std::vector<ShardDocResult>& docs) {
+  ckpt::BufEncoder enc;
+  enc.PutU64(seq);
+  enc.PutU64(docs.size());
+  for (const ShardDocResult& doc : docs) {
+    enc.PutU8(static_cast<uint8_t>(doc.side));
+    enc.PutI64(doc.doc);
+    enc.PutU64(doc.batch.size());
+    for (const ExtractedTuple& tuple : doc.batch) {
+      enc.PutU32(tuple.join_value);
+      enc.PutU32(tuple.second_value);
+      enc.PutI64(tuple.doc_id);
+      enc.PutU32(tuple.sentence_index);
+      enc.PutDouble(tuple.similarity);
+      enc.PutBool(tuple.ground_truth_good);
+    }
+  }
+  return enc.Take();
+}
+
+Result<std::vector<ShardDocResult>> DecodeShardPartial(std::string_view payload,
+                                                       uint64_t* seq) {
+  ckpt::BufDecoder dec(payload);
+  IEJOIN_RETURN_IF_ERROR(dec.GetU64(seq));
+  int64_t doc_count = 0;
+  IEJOIN_RETURN_IF_ERROR(dec.GetCount(&doc_count, kMaxDocsPerChunk));
+  std::vector<ShardDocResult> docs(static_cast<size_t>(doc_count));
+  for (ShardDocResult& doc : docs) {
+    uint8_t side = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetU8(&side));
+    if (side > 1) return Status::InvalidArgument("shard partial side out of range");
+    doc.side = static_cast<int32_t>(side);
+    int64_t doc_id = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetI64(&doc_id));
+    doc.doc = static_cast<DocId>(doc_id);
+    int64_t tuple_count = 0;
+    IEJOIN_RETURN_IF_ERROR(dec.GetCount(&tuple_count, kMaxTuplesPerDoc));
+    doc.batch.resize(static_cast<size_t>(tuple_count));
+    for (ExtractedTuple& tuple : doc.batch) {
+      uint32_t join_value = 0;
+      uint32_t second_value = 0;
+      int64_t tuple_doc = 0;
+      IEJOIN_RETURN_IF_ERROR(dec.GetU32(&join_value));
+      IEJOIN_RETURN_IF_ERROR(dec.GetU32(&second_value));
+      IEJOIN_RETURN_IF_ERROR(dec.GetI64(&tuple_doc));
+      IEJOIN_RETURN_IF_ERROR(dec.GetU32(&tuple.sentence_index));
+      IEJOIN_RETURN_IF_ERROR(dec.GetDouble(&tuple.similarity));
+      IEJOIN_RETURN_IF_ERROR(dec.GetBool(&tuple.ground_truth_good));
+      tuple.join_value = join_value;
+      tuple.second_value = second_value;
+      tuple.doc_id = static_cast<DocId>(tuple_doc);
+    }
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  return docs;
+}
+
+std::string EncodeShardDone(const ShardDoneFrame& frame) {
+  ckpt::BufEncoder enc;
+  enc.PutU64(frame.seq);
+  enc.PutBool(frame.cancelled);
+  for (int side = 0; side < 2; ++side) {
+    enc.PutI64(frame.docs[side]);
+    enc.PutI64(frame.tuples[side]);
+    EncodeSketch(&enc, frame.sketches[side]);
+  }
+  return enc.Take();
+}
+
+Result<ShardDoneFrame> DecodeShardDone(std::string_view payload) {
+  ckpt::BufDecoder dec(payload);
+  ShardDoneFrame frame;
+  IEJOIN_RETURN_IF_ERROR(dec.GetU64(&frame.seq));
+  IEJOIN_RETURN_IF_ERROR(dec.GetBool(&frame.cancelled));
+  for (int side = 0; side < 2; ++side) {
+    IEJOIN_RETURN_IF_ERROR(dec.GetI64(&frame.docs[side]));
+    IEJOIN_RETURN_IF_ERROR(dec.GetI64(&frame.tuples[side]));
+    IEJOIN_RETURN_IF_ERROR(DecodeSketch(&dec, &frame.sketches[side]));
+  }
+  IEJOIN_RETURN_IF_ERROR(dec.ExpectEnd());
+  return frame;
+}
+
+Result<std::string> StreamShardPartition(
+    const Workbench& bench, const ShardRequestFrame& request,
+    int64_t docs_per_chunk, const std::function<Status(std::string)>& emit,
+    const std::function<bool()>& should_cancel) {
+  if (docs_per_chunk < 1) docs_per_chunk = 1;
+  std::unique_ptr<Extractor> extractors[2] = {
+      bench.extractor1().WithTheta(request.theta1),
+      bench.extractor2().WithTheta(request.theta2)};
+  const Corpus* corpora[2] = {&bench.database1().corpus(),
+                              &bench.database2().corpus()};
+  ExtractionCache* cache = bench.extraction_cache();
+
+  ShardDoneFrame done;
+  done.seq = request.seq;
+
+  // Per-side cursors over the owned partition; chunks alternate sides so
+  // the supervisor's ripple-join driver gets early documents of both
+  // relations without waiting out a full side-1 stream.
+  DocId cursor[2] = {0, 0};
+  std::vector<ShardDocResult> chunk;
+  for (;;) {
+    bool any_remaining = false;
+    for (int side = 0; side < 2 && !done.cancelled; ++side) {
+      const int64_t corpus_size = corpora[side]->size();
+      if (cursor[side] >= corpus_size) continue;
+      chunk.clear();
+      while (cursor[side] < corpus_size &&
+             static_cast<int64_t>(chunk.size()) < docs_per_chunk) {
+        const DocId doc = cursor[side]++;
+        if (ShardOfDoc(doc, request.shard_count) != request.shard_index) continue;
+        ShardDocResult result;
+        result.side = side;
+        result.doc = doc;
+        ExtractionCache::Key key;
+        key.side = side;
+        key.doc = doc;
+        key.theta = extractors[side]->theta();
+        std::optional<ExtractionBatch> cached;
+        if (cache != nullptr) cached = cache->Lookup(key);
+        if (cached.has_value()) {
+          result.batch = std::move(*cached);
+        } else {
+          result.batch = extractors[side]->Process(corpora[side]->document(doc));
+          if (cache != nullptr) cache->Insert(key, result.batch);
+        }
+        done.docs[side] += 1;
+        done.tuples[side] += static_cast<int64_t>(result.batch.size());
+        for (const ExtractedTuple& tuple : result.batch) {
+          done.sketches[side].Add(tuple.join_value);
+        }
+        chunk.push_back(std::move(result));
+      }
+      if (!chunk.empty()) {
+        IEJOIN_RETURN_IF_ERROR(emit(EncodeShardPartial(request.seq, chunk)));
+      }
+      if (cursor[side] < corpus_size) any_remaining = true;
+      if (should_cancel && should_cancel()) done.cancelled = true;
+    }
+    if (done.cancelled || !any_remaining) break;
+  }
+  return EncodeShardDone(done);
+}
+
+// ---------------------------------------------------------------------------
+// ShardGatherBuffer
+// ---------------------------------------------------------------------------
+
+ShardGatherBuffer::ShardGatherBuffer(uint32_t shard_count,
+                                     double stall_timeout_seconds)
+    : shard_count_(shard_count == 0 ? 1 : shard_count),
+      stall_timeout_seconds_(stall_timeout_seconds),
+      live_(shard_count_, false) {}
+
+void ShardGatherBuffer::MarkShardLive(uint32_t shard) {
+  if (shard >= shard_count_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[shard] = true;
+  }
+  cv_.notify_all();
+}
+
+void ShardGatherBuffer::MarkShardFailed(uint32_t shard) {
+  if (shard >= shard_count_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_[shard] = false;
+  }
+  cv_.notify_all();
+}
+
+bool ShardGatherBuffer::shard_live(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard < shard_count_ && live_[shard];
+}
+
+Status ShardGatherBuffer::DeliverPartial(std::string_view payload) {
+  uint64_t seq = 0;
+  IEJOIN_ASSIGN_OR_RETURN(std::vector<ShardDocResult> docs,
+                          DecodeShardPartial(payload, &seq));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ShardDocResult& doc : docs) {
+      // A replayed shard re-streams documents already delivered; extraction
+      // is deterministic, so overwriting is byte-neutral.
+      batches_[DocKey{doc.side, doc.doc}] = std::move(doc.batch);
+      ++delivered_;
+    }
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status ShardGatherBuffer::DeliverDone(uint32_t shard, std::string_view payload,
+                                      ShardDoneFrame* out) {
+  IEJOIN_ASSIGN_OR_RETURN(ShardDoneFrame frame, DecodeShardDone(payload));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int side = 0; side < 2; ++side) merged_[side].Merge(frame.sketches[side]);
+  }
+  (void)shard;
+  if (out != nullptr) *out = frame;
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+std::optional<ExtractionBatch> ShardGatherBuffer::Fetch(int side, DocId doc) {
+  const uint32_t shard = ShardOfDoc(doc, shard_count_);
+  const DocKey key{side, doc};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(stall_timeout_seconds_);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = batches_.find(key);
+    if (it != batches_.end()) {
+      ++served_;
+      // Copy out, keep the entry: a later replay may redeliver it, and a
+      // driver retry after a fault-injected drop may re-fetch it.
+      return it->second;
+    }
+    if (!live_[shard]) return std::nullopt;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      // Supplier stalled (should not happen with healthy workers): fall
+      // back to inline extraction rather than hanging the request.
+      return std::nullopt;
+    }
+  }
+}
+
+int64_t ShardGatherBuffer::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+int64_t ShardGatherBuffer::served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return served_;
+}
+
+KmvSketch ShardGatherBuffer::merged_sketch(int side) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return merged_[side & 1];
+}
+
+}  // namespace service
+}  // namespace iejoin

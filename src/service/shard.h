@@ -1,0 +1,172 @@
+#ifndef IEJOIN_SERVICE_SHARD_H_
+#define IEJOIN_SERVICE_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "estimation/sketch_bounds.h"
+#include "extraction/extracted_tuple.h"
+#include "join/document_pipeline.h"
+#include "textdb/document.h"
+
+namespace iejoin {
+class Workbench;
+
+namespace service {
+
+/// Sharded scatter/gather execution (docs/SERVICE.md "Sharded mode").
+///
+/// The join algorithms are sequential, data-dependent state machines —
+/// OIJN probes and the ZGJN frontier depend on every result so far — so
+/// the *control flow* cannot be partitioned without changing the answer.
+/// What can be partitioned is the dominant per-document cost: pure
+/// extraction. In --shard mode the supervisor runs the join driver itself
+/// and scatters each request's extraction work across worker processes,
+/// each owning a fixed document partition; partial results are gathered
+/// and re-merged in retrieval order through the DocumentPipeline's
+/// ExtractionSource seam, so the response is byte-identical to a
+/// single-process run over the full corpus.
+
+/// Deterministic document partition: splitmix64 finalizer of the doc id,
+/// mod the shard count. A pure function of (doc, shard_count) — stable
+/// across worker restarts, supervisor restarts, and platforms.
+uint32_t ShardOfDoc(DocId doc, uint32_t shard_count);
+
+/// Documents of `[0, corpus_size)` owned by `shard_index`.
+int64_t ShardDocCount(int64_t corpus_size, uint32_t shard_index,
+                      uint32_t shard_count);
+
+/// kShardRequest payload: which slice of which request to extract.
+struct ShardRequestFrame {
+  uint64_t seq = 0;
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  /// Resolved plan knob settings — workers extract both sides' partitions
+  /// at exactly the thetas the supervisor's driver will commit.
+  double theta1 = 0.0;
+  double theta2 = 0.0;
+};
+
+std::string EncodeShardRequest(const ShardRequestFrame& frame);
+Result<ShardRequestFrame> DecodeShardRequest(std::string_view payload);
+
+/// One document's extraction batch inside a kShardPartial chunk.
+struct ShardDocResult {
+  int32_t side = 0;  // 0-based
+  DocId doc = -1;
+  ExtractionBatch batch;
+};
+
+/// kShardPartial payload: seq echo + a chunk of per-document batches.
+std::string EncodeShardPartial(uint64_t seq,
+                               const std::vector<ShardDocResult>& docs);
+Result<std::vector<ShardDocResult>> DecodeShardPartial(std::string_view payload,
+                                                       uint64_t* seq);
+
+/// kShardDone payload: per-side totals plus mergeable KMV sketches over
+/// the extracted join values (the estimation layer's distinct-value
+/// observable, combined shard-by-shard on the supervisor).
+struct ShardDoneFrame {
+  uint64_t seq = 0;
+  bool cancelled = false;
+  int64_t docs[2] = {0, 0};
+  int64_t tuples[2] = {0, 0};
+  KmvSketch sketches[2];
+};
+
+std::string EncodeShardDone(const ShardDoneFrame& frame);
+Result<ShardDoneFrame> DecodeShardDone(std::string_view payload);
+
+/// Worker-side partition streamer: extracts every document of
+/// `request.shard_index`'s partition on both sides at the request thetas,
+/// emitting kShardPartial payloads of `docs_per_chunk` documents through
+/// `emit` (side chunks alternate so a ripple-join driver is fed both sides
+/// early) and returning the kShardDone payload. `should_cancel` is polled
+/// between chunks; when it reports true the stream stops early and the
+/// done frame is flagged cancelled. The workbench's shared extraction
+/// cache (when configured) memoizes batches across requests; cached or
+/// fresh, the streamed bytes are the extractor's exact output.
+Result<std::string> StreamShardPartition(
+    const Workbench& bench, const ShardRequestFrame& request,
+    int64_t docs_per_chunk, const std::function<Status(std::string)>& emit,
+    const std::function<bool()>& should_cancel);
+
+/// Supervisor-side gather point for one scattered request, and the
+/// ExtractionSource the join driver reads. Reader threads (one per live
+/// shard) call Deliver* as frames arrive; the driver thread blocks in
+/// Fetch until the owning shard streams the document, the shard fails
+/// permanently (Fetch then returns nullopt and the driver extracts
+/// inline — correct, just slower), or the stall timeout fires.
+///
+/// Shard replay: a worker dying mid-scatter loses only its own partials.
+/// The supervisor re-sends the shard request to the restarted worker and
+/// its re-streamed partition lands here; documents already delivered are
+/// simply overwritten with identical bytes (extraction is deterministic),
+/// so the merged response is unaffected.
+class ShardGatherBuffer : public ExtractionSource {
+ public:
+  explicit ShardGatherBuffer(uint32_t shard_count,
+                             double stall_timeout_seconds = 30.0);
+
+  /// Marks a shard as scattered (initially or after a replay): its
+  /// documents are worth waiting for.
+  void MarkShardLive(uint32_t shard);
+  /// Marks a shard as permanently unavailable (breaker open, never
+  /// acquired): Fetch stops waiting for its documents.
+  void MarkShardFailed(uint32_t shard);
+  bool shard_live(uint32_t shard) const;
+
+  /// Ingests one kShardPartial payload (any reader thread).
+  Status DeliverPartial(std::string_view payload);
+  /// Ingests one kShardDone payload; `out` may be null.
+  Status DeliverDone(uint32_t shard, std::string_view payload,
+                     ShardDoneFrame* out);
+
+  /// ExtractionSource: blocks for the owning shard's delivery.
+  std::optional<ExtractionBatch> Fetch(int side, DocId doc) override;
+
+  /// Gathered totals (observability): delivered documents and batches
+  /// served to the driver.
+  int64_t delivered() const;
+  int64_t served() const;
+  /// Merged per-side sketches across every DeliverDone so far.
+  KmvSketch merged_sketch(int side) const;
+
+ private:
+  struct DocKey {
+    int32_t side;
+    DocId doc;
+    bool operator==(const DocKey& other) const {
+      return side == other.side && doc == other.doc;
+    }
+  };
+  struct DocKeyHash {
+    size_t operator()(const DocKey& key) const {
+      return (static_cast<size_t>(static_cast<uint32_t>(key.side)) << 32) ^
+             static_cast<size_t>(static_cast<uint32_t>(key.doc));
+    }
+  };
+
+  const uint32_t shard_count_;
+  const double stall_timeout_seconds_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<DocKey, ExtractionBatch, DocKeyHash> batches_;
+  std::vector<bool> live_;
+  int64_t delivered_ = 0;
+  int64_t served_ = 0;
+  KmvSketch merged_[2];
+};
+
+}  // namespace service
+}  // namespace iejoin
+
+#endif  // IEJOIN_SERVICE_SHARD_H_

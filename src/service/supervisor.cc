@@ -13,9 +13,11 @@
 
 #include "common/logging.h"
 #include "common/random.h"
+#include "checkpoint/snapshot_format.h"
 #include "harness/workbench.h"
 #include "obs/json_writer.h"
 #include "service/join_service.h"
+#include "service/shard.h"
 
 namespace iejoin {
 namespace service {
@@ -59,6 +61,147 @@ bool CrashLoopBreaker::RecordCrash(double now_seconds) {
 }
 
 // ---------------------------------------------------------------------------
+// Supervisor::GatherLease
+// ---------------------------------------------------------------------------
+
+/// One scattered request: the embedded driver's ScatterHook constructs a
+/// lease per admitted join, which scatters the shard request to every live
+/// worker and runs one reader thread per shard feeding the gather buffer.
+/// The destructor cancels outstanding streams and joins the readers, so the
+/// buffer never outlives its writers. At most one lease exists at a time
+/// (the embedded service runs workers=1), so an unleased registered channel
+/// is always free to take.
+class Supervisor::GatherLease : public ExtractionLease {
+ public:
+  GatherLease(Supervisor* sup, double theta1, double theta2)
+      : sup_(sup),
+        seq_(sup->shard_seq_.fetch_add(1, std::memory_order_relaxed)),
+        shard_count_(static_cast<uint32_t>(sup->config_.workers)),
+        buffer_(shard_count_) {
+    frame_.seq = seq_;
+    frame_.shard_count = shard_count_;
+    frame_.theta1 = theta1;
+    frame_.theta2 = theta2;
+    readers_.reserve(shard_count_);
+    for (uint32_t i = 0; i < shard_count_; ++i) {
+      readers_.emplace_back([this, i] { ReadShard(i); });
+    }
+  }
+
+  ~GatherLease() override {
+    // Cancel: wake readers still waiting for a channel, and ask workers
+    // mid-stream to cut their partition short (they answer with a cancelled
+    // kShardDone, which cleanly ends their reader). Then join the readers
+    // so nothing touches the buffer after destruction.
+    {
+      std::lock_guard<std::mutex> lock(sup_->shard_mu_);
+      cancelled_ = true;
+      ckpt::BufEncoder enc;
+      enc.PutU64(seq_);
+      const std::string cancel = enc.Take();
+      for (uint32_t i = 0; i < shard_count_ && i < sup_->shard_channels_.size();
+           ++i) {
+        ShardChannel& entry = sup_->shard_channels_[i];
+        if (entry.leased && entry.channel != nullptr) {
+          entry.channel->Send(FrameType::kShardCancel, cancel);  // best effort
+        }
+      }
+    }
+    sup_->shard_cv_.notify_all();
+    for (std::thread& reader : readers_) reader.join();
+  }
+
+  ExtractionSource* source() override { return &buffer_; }
+
+ private:
+  void ReadShard(uint32_t shard) {
+    ShardRequestFrame request = frame_;
+    request.shard_index = shard;
+    const std::string payload = EncodeShardRequest(request);
+    for (;;) {
+      WorkerChannel* channel = nullptr;
+      Status sent = Status::Ok();
+      {
+        std::unique_lock<std::mutex> lock(sup_->shard_mu_);
+        sup_->shard_cv_.wait(lock, [&] {
+          const ShardChannel& entry = sup_->shard_channels_[shard];
+          return cancelled_ || entry.down ||
+                 (entry.channel != nullptr && !entry.leased && !entry.broken);
+        });
+        ShardChannel& entry = sup_->shard_channels_[shard];
+        if (cancelled_ || entry.down) {
+          buffer_.MarkShardFailed(shard);
+          return;
+        }
+        entry.leased = true;
+        channel = entry.channel;
+        // Send under shard_mu_: the destructor's kShardCancel writes to the
+        // same fd under the same lock, so frames never interleave.
+        sent = channel->Send(FrameType::kShardRequest, payload);
+      }
+
+      bool finished = false;
+      if (sent.ok()) {
+        buffer_.MarkShardLive(shard);
+        for (;;) {
+          auto frame = channel->Recv();
+          if (!frame.ok()) break;
+          if (frame->type == static_cast<uint8_t>(FrameType::kShardPartial)) {
+            if (!buffer_.DeliverPartial(frame->payload).ok()) break;
+            continue;
+          }
+          if (frame->type == static_cast<uint8_t>(FrameType::kShardDone)) {
+            ShardDoneFrame done;
+            if (buffer_.DeliverDone(shard, frame->payload, &done).ok()) {
+              if (sup_->scatter_docs_ != nullptr) {
+                sup_->scatter_docs_->Increment(done.docs[0] + done.docs[1]);
+              }
+              if (sup_->scatter_tuples_ != nullptr) {
+                sup_->scatter_tuples_->Increment(done.tuples[0] +
+                                                 done.tuples[1]);
+              }
+              finished = true;
+            }
+            break;
+          }
+          break;  // torn protocol: recycle the channel below
+        }
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(sup_->shard_mu_);
+        ShardChannel& entry = sup_->shard_channels_[shard];
+        entry.leased = false;
+        // A stream that ended without kShardDone left unknown bytes in
+        // flight: the slot thread must kill + respawn the worker before the
+        // channel can carry another request.
+        if (!finished && entry.channel == channel) entry.broken = true;
+      }
+      sup_->shard_cv_.notify_all();
+      if (finished) return;
+
+      // Worker died (or tore the stream) mid-scatter: only this shard's
+      // partials are lost. Loop to wait for the restarted worker's fresh
+      // channel and replay the shard request; redelivered documents
+      // overwrite byte-identically.
+      if (sup_->shard_replays_ != nullptr) sup_->shard_replays_->Increment();
+      IEJOIN_LOG(Warning) << "supervisor: replaying shard " << shard
+                          << " of scattered request seq " << seq_
+                          << " after a worker failure";
+    }
+  }
+
+  Supervisor* const sup_;
+  const uint64_t seq_;
+  const uint32_t shard_count_;
+  ShardRequestFrame frame_;
+  ShardGatherBuffer buffer_;
+  /// Guarded by sup_->shard_mu_.
+  bool cancelled_ = false;
+  std::vector<std::thread> readers_;
+};
+
+// ---------------------------------------------------------------------------
 // Supervisor
 // ---------------------------------------------------------------------------
 
@@ -82,11 +225,15 @@ Supervisor::Supervisor(SupervisorConfig config)
 
 Supervisor::~Supervisor() {
   Drain();
+  // Shard mode: drain the embedded driver before tearing slots down, so no
+  // gather lease is alive once channels start disappearing.
+  if (shard_service_ != nullptr) shard_service_->Drain();
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   queue_cv_.notify_all();
+  shard_cv_.notify_all();
   for (auto& slot : slots_) {
     if (slot->thread.joinable()) slot->thread.join();
   }
@@ -113,6 +260,48 @@ Status Supervisor::Start() {
     }
     IEJOIN_RETURN_IF_ERROR(journal_.Open(config_.journal_path));
     Journal(JournalEvent::kEpoch, next_seq_, 0, std::string());
+  }
+  if (config_.shard) {
+    if (config_.bench == nullptr) {
+      return Status::InvalidArgument(
+          "shard mode needs a supervisor-resident workbench");
+    }
+    shard_channels_.assign(static_cast<size_t>(config_.workers), ShardChannel{});
+    shard_replays_ = stats_.counter("supervisor.shard_replays");
+    scatter_docs_ = stats_.counter("supervisor.scatter_docs");
+    scatter_tuples_ = stats_.counter("supervisor.scatter_tuples");
+    plan_cache_hits_ = stats_.counter("plan_cache.hits");
+    plan_cache_misses_ = stats_.counter("plan_cache.misses");
+    plan_cache_evictions_ = stats_.counter("plan_cache.evictions");
+    // Partition sizes are a pure function of (corpus, shard count):
+    // publish them once so operators can see the document split.
+    const uint32_t shards = static_cast<uint32_t>(config_.workers);
+    const int64_t corpus1 = config_.bench->database1().corpus().size();
+    const int64_t corpus2 = config_.bench->database2().corpus().size();
+    for (int32_t i = 0; i < config_.workers; ++i) {
+      const std::string prefix = "supervisor.shard" + std::to_string(i);
+      stats_.gauge(prefix + ".docs1")
+          ->Set(static_cast<double>(
+              ShardDocCount(corpus1, static_cast<uint32_t>(i), shards)));
+      stats_.gauge(prefix + ".docs2")
+          ->Set(static_cast<double>(
+              ShardDocCount(corpus2, static_cast<uint32_t>(i), shards)));
+    }
+    ServiceConfig driver_config;
+    // One driver: join execution serializes, so at most one gather lease
+    // holds the shard channels at a time, and every response is
+    // byte-identical to the same request served alone.
+    driver_config.workers = 1;
+    driver_config.max_queue = config_.max_queue;
+    driver_config.retry_after_ms = config_.retry_after_ms;
+    driver_config.shed_jitter_seed = config_.shed_jitter_seed;
+    driver_config.default_deadline_seconds = config_.default_deadline_seconds;
+    driver_config.plan_cache_capacity = config_.plan_cache_capacity;
+    shard_service_ = std::make_unique<JoinService>(config_.bench, driver_config);
+    shard_service_->SetScatterHook(
+        [this](const JoinPlanSpec& plan) -> std::unique_ptr<ExtractionLease> {
+          return std::make_unique<GatherLease>(this, plan.theta1, plan.theta2);
+        });
   }
   workers_live_->Set(0.0);
   workers_down_->Set(0.0);
@@ -351,6 +540,7 @@ void Supervisor::SlotThread(WorkerSlot* slot) {
       if (shutting_down_ || slot->breaker.open()) {
         slot->state = "down";
         PublishWorkerStatsLocked(slot);
+        MarkShardDown(slot->index);
         break;
       }
       slot->state = "starting";
@@ -386,6 +576,13 @@ void Supervisor::SlotThread(WorkerSlot* slot) {
         PublishWorkerStatsLocked(slot);
       }
 
+      if (config_.shard) {
+        // Shard mode: the slot thread only manages the worker's lifecycle;
+        // per-request gather readers drive the channel.
+        if (ShardSlotServe(slot, channel.get())) return;
+        channel.reset();
+        // Fall through to the shared breaker/backoff block below.
+      } else {
       // Serve until the worker dies or the supervisor shuts down.
       bool worker_alive = true;
       bool idle_death = false;
@@ -465,6 +662,7 @@ void Supervisor::SlotThread(WorkerSlot* slot) {
       }
       if (idle_death) HandleWorkerDeath(slot, "died while idle");
       channel.reset();
+      }
     }
 
     // Breaker check + capacity accounting before a restart attempt.
@@ -474,6 +672,7 @@ void Supervisor::SlotThread(WorkerSlot* slot) {
       if (slot->breaker.open() || shutting_down_) {
         slot->state = "down";
         PublishWorkerStatsLocked(slot);
+        MarkShardDown(slot->index);
         all_down = true;
         for (const auto& other : slots_) {
           if (other.get() != slot && other->state != "down") all_down = false;
@@ -499,6 +698,151 @@ void Supervisor::SlotThread(WorkerSlot* slot) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_cv_.wait_until(lock, deadline, [this] { return shutting_down_; });
   }
+}
+
+void Supervisor::MarkShardDown(int32_t index) {
+  if (!config_.shard ||
+      static_cast<size_t>(index) >= shard_channels_.size()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    shard_channels_[index].down = true;
+  }
+  shard_cv_.notify_all();
+}
+
+bool Supervisor::ShardSlotServe(WorkerSlot* slot, WorkerChannel* channel) {
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    ShardChannel& entry = shard_channels_[slot->index];
+    entry.channel = channel;
+    entry.generation += 1;
+    entry.leased = false;
+    entry.broken = false;
+  }
+  shard_cv_.notify_all();
+
+  // Probe loop: the channel itself is driven by gather readers, so the slot
+  // thread only watches for worker death, torn streams, and shutdown.
+  bool dead = false;
+  bool broken = false;
+  for (;;) {
+    bool shutdown_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!shutting_down_) {
+        queue_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      }
+      shutdown_now = shutting_down_;
+      int status = 0;
+      if (slot->pid > 0 && ::waitpid(slot->pid, &status, WNOHANG) == slot->pid) {
+        slot->last_death = DescribeWaitStatus(status);
+        slot->pid = 0;  // reaped; HandleWorkerDeath skips waitpid
+        dead = true;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(shard_mu_);
+      if (shard_channels_[slot->index].broken) broken = true;
+    }
+    if (shutdown_now || dead || broken) break;
+  }
+
+  // Unregister: wait out any reader still holding the channel (a dead
+  // worker's Recv fails promptly, releasing the lease), then drop it so no
+  // reader can lease a channel about to be destroyed.
+  {
+    std::unique_lock<std::mutex> lock(shard_mu_);
+    ShardChannel& entry = shard_channels_[slot->index];
+    shard_cv_.wait(lock, [&] { return !entry.leased; });
+    entry.channel = nullptr;
+  }
+  shard_cv_.notify_all();
+
+  bool shutdown_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_now = shutting_down_;
+  }
+  if (shutdown_now) {
+    if (!dead) channel->Send(FrameType::kShutdown, std::string_view());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot->pid > 0) ::waitpid(slot->pid, nullptr, 0);
+    slot->pid = -1;
+    slot->state = "down";
+    PublishWorkerStatsLocked(slot);
+    MarkShardDown(slot->index);
+    return true;
+  }
+  if (broken && !dead) {
+    // The stream tore but the worker is still alive: its channel state is
+    // unknowable, so recycle the process — a fresh address space and a
+    // fresh channel.
+    pid_t pid = -1;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pid = slot->pid;
+    }
+    if (pid > 0) ::kill(pid, SIGKILL);
+  }
+  HandleWorkerDeath(slot, broken ? "torn shard stream" : "died while idle");
+  return false;
+}
+
+void Supervisor::MirrorShardStats() const {
+  if (shard_service_ == nullptr || plan_cache_hits_ == nullptr) return;
+  const PlanCache& cache = shard_service_->plan_cache();
+  std::lock_guard<std::mutex> lock(mirror_mu_);
+  const int64_t hits = cache.hits();
+  const int64_t misses = cache.misses();
+  const int64_t evictions = cache.evictions();
+  plan_cache_hits_->Increment(hits - mirrored_hits_);
+  plan_cache_misses_->Increment(misses - mirrored_misses_);
+  plan_cache_evictions_->Increment(evictions - mirrored_evictions_);
+  mirrored_hits_ = hits;
+  mirrored_misses_ = misses;
+  mirrored_evictions_ = evictions;
+}
+
+void Supervisor::ServeSharded(const ServiceRequest& request,
+                              const std::string& line, Respond respond) {
+  uint64_t seq = 0;
+  std::string shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      shed = ShedResponse(request, "draining");
+    } else {
+      seq = next_seq_++;
+      ++active_;
+      active_requests_->Set(static_cast<double>(active_));
+    }
+  }
+  if (!shed.empty()) {
+    respond(std::move(shed));
+    return;
+  }
+  Journal(JournalEvent::kAdmit, seq, 0, request.id);
+  // Admission control (bounded queue, shed on overflow) lives in the
+  // embedded driver; the wrapper adds journaling and supervisor accounting.
+  // Note there is no "no_workers" shed here: with every breaker open the
+  // driver extracts inline and still answers correctly, just slower.
+  const std::string id = request.id;
+  shard_service_->Serve(line, [this, seq, id, respond](std::string response) {
+    Journal(JournalEvent::kRespond, seq, 0, id);
+    NoteResponseStatus(response);
+    respond(std::move(response));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++completed_;
+      active_requests_->Set(static_cast<double>(active_));
+      MirrorShardStats();
+      RecordTelemetryFrameLocked();
+    }
+    idle_cv_.notify_all();
+  });
 }
 
 void Supervisor::Serve(const std::string& line, Respond respond) {
@@ -558,6 +902,11 @@ void Supervisor::Serve(const std::string& line, Respond respond) {
       respond(json.TakeString());
       return;
     }
+  }
+
+  if (config_.shard) {
+    ServeSharded(request, line, std::move(respond));
+    return;
   }
 
   // Shed responses are built under mu_ (shed_ordinal_ needs it) but sent
@@ -620,17 +969,23 @@ void Supervisor::NoteResponseStatus(const std::string& response) {
     degraded_total_->Increment();
   } else if (response.find("\"status\":\"error\"") != std::string::npos) {
     error_total_->Increment();
+  } else if (response.find("\"status\":\"unavailable\"") != std::string::npos) {
+    // Shard mode: admission lives in the embedded driver, so its sheds
+    // surface here rather than through ShedResponse.
+    shed_total_->Increment();
   } else {
     ok_total_->Increment();
   }
 }
 
 std::string Supervisor::StatsJson(const std::string& id) const {
+  MirrorShardStats();
   obs::JsonWriter json;
   json.BeginObject();
   if (!id.empty()) json.Key("id").Value(id);
   json.Key("status").Value("ok");
   json.Key("supervisor").Value(true);
+  if (config_.shard) json.Key("shard").Value(true);
   json.Key("pid").Value(static_cast<int64_t>(::getpid()));
   json.Key("uptime_ms").Value(static_cast<int64_t>(NowSeconds() * 1000.0));
   {
@@ -686,6 +1041,7 @@ int64_t Supervisor::completed_requests() const {
 void Supervisor::RecordTelemetryFrameLocked() {
   if (recorder_ == nullptr || config_.telemetry_every_requests <= 0) return;
   if (completed_ % config_.telemetry_every_requests != 0) return;
+  MirrorShardStats();
   obs::TelemetryFrame frame;
   frame.metrics = stats_.Snapshot();
   recorder_->Record(frame);
@@ -716,6 +1072,54 @@ int RunWorkerLoop(int channel_fd, const Workbench* bench,
     if (frame->type == static_cast<uint8_t>(FrameType::kShutdown)) {
       service.Drain();
       return 0;
+    }
+    if (frame->type == static_cast<uint8_t>(FrameType::kShardCancel)) {
+      continue;  // stale cancel for a request already fully streamed
+    }
+    if (frame->type == static_cast<uint8_t>(FrameType::kShardRequest)) {
+      auto shard_request = DecodeShardRequest(frame->payload);
+      if (!shard_request.ok()) continue;  // defensive: malformed scatter
+      const uint64_t seq = shard_request->seq;
+      bool channel_lost = false;
+      // Between chunks, drain any frames the supervisor pushed mid-stream:
+      // a kShardCancel matching this seq stops the stream early (stale
+      // seqs are ignored); channel failure means the supervisor is gone.
+      const auto should_cancel = [&]() -> bool {
+        for (;;) {
+          pollfd pfd{channel.fd(), POLLIN, 0};
+          const int ready = ::poll(&pfd, 1, /*timeout_ms=*/0);
+          if (ready == 0) return false;
+          if (ready < 0) {
+            if (errno == EINTR) continue;
+            channel_lost = true;
+            return true;
+          }
+          auto extra = channel.Recv();
+          if (!extra.ok()) {
+            channel_lost = true;
+            return true;
+          }
+          if (extra->type == static_cast<uint8_t>(FrameType::kShardCancel)) {
+            ckpt::BufDecoder dec(extra->payload);
+            uint64_t cancel_seq = 0;
+            if (dec.GetU64(&cancel_seq).ok() && cancel_seq == seq) return true;
+            continue;  // stale cancel for an earlier request
+          }
+          // Any other frame mid-stream is a protocol violation; stop and
+          // let the supervisor recycle this worker.
+          channel_lost = true;
+          return true;
+        }
+      };
+      const auto emit = [&](std::string payload) {
+        return channel.Send(FrameType::kShardPartial, payload);
+      };
+      auto done = StreamShardPartition(*bench, *shard_request,
+                                       /*docs_per_chunk=*/64, emit,
+                                       should_cancel);
+      if (!done.ok() || channel_lost) return 0;  // channel broke under us
+      if (!channel.Send(FrameType::kShardDone, *done).ok()) return 0;
+      continue;
     }
     if (frame->type != static_cast<uint8_t>(FrameType::kRequest)) continue;
 

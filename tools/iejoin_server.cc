@@ -93,9 +93,9 @@ int Usage() {
       "           [--extraction-cache-mb N] [--socket PATH]\n"
       "           [--telemetry-out FILE] [--telemetry-every-requests N]\n"
       "           [--exposition-out FILE] [--shed-jitter-seed N]\n"
-      "           [--supervise] [--journal FILE] [--max-replays N]\n"
+      "           [--supervise] [--shard] [--journal FILE] [--max-replays N]\n"
       "           [--breaker-max-crashes N] [--breaker-window-seconds S]\n"
-      "           [--restart-backoff-ms MS]\n");
+      "           [--restart-backoff-ms MS] [--plan-cache-capacity N]\n");
   return 2;
 }
 
@@ -384,6 +384,22 @@ int Main(int argc, char** argv) {
                              std::to_string(args.GetInt("extraction-cache-mb", 64)),
                              "--deadline-seconds",
                              args.Get("deadline-seconds", "0")};
+    if (args.Has("shard")) {
+      // Sharded scatter/gather: the supervisor runs the join driver itself
+      // and therefore needs its own workbench; workers become extraction
+      // shards over the same scenario.
+      auto built = BuildWorkbench(args);
+      if (!built.ok()) {
+        std::fprintf(stderr, "iejoin_server: workbench: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      bench = std::move(built).value();
+      config.shard = true;
+      config.bench = bench.get();
+      config.default_deadline_seconds = args.GetDouble("deadline-seconds", 0.0);
+      config.plan_cache_capacity = args.GetInt("plan-cache-capacity", 64);
+    }
     supervisor = std::make_unique<service::Supervisor>(config);
     const Status started = supervisor->Start();
     if (!started.ok()) {
@@ -414,6 +430,7 @@ int Main(int argc, char** argv) {
         args.GetDouble("deadline-seconds", 0.0);
     service_config.telemetry_every_requests =
         args.GetInt("telemetry-every-requests", 16);
+    service_config.plan_cache_capacity = args.GetInt("plan-cache-capacity", 64);
     join_service =
         std::make_unique<service::JoinService>(bench.get(), service_config);
     server = join_service.get();
@@ -438,8 +455,9 @@ int Main(int argc, char** argv) {
 
   if (supervise) {
     std::fprintf(stderr,
-                 "iejoin_server: ready (supervised, %lld worker processes, "
+                 "iejoin_server: ready (supervised%s, %lld worker processes, "
                  "queue %lld)\n",
+                 args.Has("shard") ? " + sharded" : "",
                  static_cast<long long>(args.GetInt("workers", 3)),
                  static_cast<long long>(args.GetInt("max-queue", 32)));
   } else {
